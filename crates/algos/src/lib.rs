@@ -1,0 +1,28 @@
+//! # pc-algos — the evaluated algorithms
+//!
+//! Every algorithm from the paper's evaluation (§V), each in every variant
+//! a table row needs:
+//!
+//! | Algorithm | Variants | Used in |
+//! |-----------|----------|---------|
+//! | [`pagerank`] | pregel-basic, pregel-ghost, channel-basic, channel-scatter | Table IV, V(top) |
+//! | [`pointer_jumping`] | pregel-basic, pregel-reqresp, channel-basic, channel-reqresp | Table IV, V(mid) |
+//! | [`wcc`] | pregel-basic, blogel, channel-basic, channel-propagation | Table IV, V(bottom) |
+//! | [`sv`] | pregel-basic, pregel-reqresp, channel-{basic,reqresp,scatter,both} | Table IV, VI |
+//! | [`scc`] | pregel-basic, channel-basic, channel-propagation | Table IV, VII |
+//! | [`msf`] | pregel-basic, channel-basic | Table IV |
+//! | [`sssp`] | pregel-basic, channel-basic, channel-propagation | extra coverage |
+//! | [`kernels`] | BFS levels (async propagation), k-core | extra coverage |
+//!
+//! All variants return their domain results plus [`pc_bsp::RunStats`], and
+//! every implementation is validated against the sequential oracles in
+//! [`pc_graph::reference`].
+
+pub mod kernels;
+pub mod msf;
+pub mod pagerank;
+pub mod pointer_jumping;
+pub mod scc;
+pub mod sssp;
+pub mod sv;
+pub mod wcc;

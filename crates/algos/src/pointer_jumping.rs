@@ -1,0 +1,307 @@
+//! Pointer Jumping — the Table V (middle) workload for the
+//! request-respond channel.
+//!
+//! Given a parent-pointer forest `D`, every vertex finds the root of its
+//! tree by repeated pointer doubling: `D[u] ← D[D[u]]` until fixpoint
+//! (`O(log depth)` rounds). Reading `D[D[u]]` is exactly the "request an
+//! attribute of another vertex" conversation:
+//!
+//! * the **basic** versions implement it with two supersteps of plain
+//!   messages per round (ask: `u → D[u]` carrying `u`; reply:
+//!   `D[u] → u` carrying `D[D[u]]`) — a few high-degree roots answer one
+//!   message *per child*, the load-imbalance issue of §III-C;
+//! * the **reqresp** versions collapse the conversation into the
+//!   request-respond machinery (one superstep per round, per-worker
+//!   deduplicated requests).
+//!
+//! Termination is detected with a boolean OR aggregator over per-round
+//! pointer changes.
+
+use pc_bsp::{Config, RunStats, Topology};
+use pc_channels::channel::{VertexCtx, WorkerEnv};
+use pc_channels::engine::{run, Algorithm};
+use pc_channels::{Aggregator, Combine, DirectMessage, RequestRespond};
+use pc_graph::VertexId;
+use pc_pregel::{run_pregel, PregelOptions, PregelProgram, PregelVertex};
+use std::sync::Arc;
+
+/// Result of a pointer-jumping run.
+#[derive(Debug, Clone)]
+pub struct PjOutput {
+    /// Root of every vertex's tree.
+    pub roots: Vec<VertexId>,
+    /// Run statistics.
+    pub stats: RunStats,
+}
+
+/// Channel-basic: two `DirectMessage` channels (ask, reply) + aggregator.
+struct PjBasic {
+    parents: Arc<Vec<VertexId>>,
+}
+
+impl Algorithm for PjBasic {
+    type Value = VertexId; // current pointer D
+    type Channels = (DirectMessage<u32>, DirectMessage<u32>, Aggregator<bool>);
+
+    fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+        (
+            DirectMessage::new(env),
+            DirectMessage::new(env),
+            Aggregator::new(env, Combine::or()),
+        )
+    }
+
+    fn compute(&self, v: &mut VertexCtx<'_>, d: &mut VertexId, ch: &mut Self::Channels) {
+        let (ask, reply, agg) = ch;
+        if v.step() % 2 == 1 {
+            // Phase A: absorb last round's reply, report change, re-ask.
+            let changed = if v.step() == 1 {
+                *d = self.parents[v.id as usize];
+                true
+            } else {
+                match reply.messages(v.local).first() {
+                    Some(&gp) if gp != *d => {
+                        *d = gp;
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            agg.add(changed);
+            ask.send_message(*d, v.id);
+        } else {
+            // Phase B: if the last phase A changed nothing anywhere, the
+            // whole computation halts (dangling asks are dropped).
+            if v.step() > 2 && !*agg.result() {
+                v.vote_to_halt();
+                return;
+            }
+            for &asker in ask.messages(v.local) {
+                reply.send_message(asker, *d);
+            }
+        }
+    }
+}
+
+/// Channel-reqresp: the conversation collapses into one superstep/round.
+struct PjReqResp {
+    parents: Arc<Vec<VertexId>>,
+}
+
+impl Algorithm for PjReqResp {
+    type Value = VertexId;
+    type Channels = (RequestRespond<VertexId, u32>, Aggregator<bool>);
+
+    fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+        (
+            RequestRespond::new(env, |d: &VertexId| *d),
+            Aggregator::new(env, Combine::or()),
+        )
+    }
+
+    fn compute(&self, v: &mut VertexCtx<'_>, d: &mut VertexId, ch: &mut Self::Channels) {
+        let (rr, agg) = ch;
+        let changed = if v.step() == 1 {
+            *d = self.parents[v.id as usize];
+            true
+        } else {
+            match rr.get_respond(*d) {
+                Some(&gp) if gp != *d => {
+                    *d = gp;
+                    true
+                }
+                _ => false,
+            }
+        };
+        agg.add(changed);
+        if v.step() > 1 && !*agg.result() {
+            v.vote_to_halt();
+            return;
+        }
+        rr.add_request(*d);
+    }
+}
+
+/// Pregel+ pointer jumping: monolithic `u32` messages (asker ids and
+/// pointer values share the type, distinguished by phase parity), no
+/// combiner (replies are per-asker).
+struct PjPregel {
+    parents: Arc<Vec<VertexId>>,
+    reqresp: bool,
+}
+
+impl PregelProgram for PjPregel {
+    type Value = VertexId;
+    type Msg = u32;
+    type Agg = bool;
+    type Resp = u32;
+
+    fn aggregator(&self) -> Option<Combine<bool>> {
+        Some(Combine::or())
+    }
+
+    fn respond(&self, d: &VertexId) -> u32 {
+        *d
+    }
+
+    fn compute(&self, v: &mut PregelVertex<'_, '_, Self>) {
+        if self.reqresp {
+            let changed = if v.step() == 1 {
+                *v.value_mut() = self.parents[v.id() as usize];
+                true
+            } else {
+                let d = *v.value();
+                match v.get_resp(d) {
+                    Some(&gp) if gp != d => {
+                        *v.value_mut() = gp;
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            v.aggregate(changed);
+            if v.step() > 1 && !*v.agg_result() {
+                v.vote_to_halt();
+                return;
+            }
+            let d = *v.value();
+            v.request(d);
+        } else if v.step() % 2 == 1 {
+            let changed = if v.step() == 1 {
+                *v.value_mut() = self.parents[v.id() as usize];
+                true
+            } else {
+                let d = *v.value();
+                match v.messages().first() {
+                    Some(&gp) if gp != d => {
+                        *v.value_mut() = gp;
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            v.aggregate(changed);
+            let d = *v.value();
+            let id = v.id();
+            v.send_message(d, id);
+        } else {
+            if v.step() > 2 && !*v.agg_result() {
+                v.vote_to_halt();
+                return;
+            }
+            let d = *v.value();
+            for &asker in v.messages().to_vec().iter() {
+                v.send_message(asker, d);
+            }
+        }
+    }
+}
+
+/// Channel-basic pointer jumping (two supersteps per round).
+pub fn channel_basic(parents: &Arc<Vec<VertexId>>, topo: &Arc<Topology>, cfg: &Config) -> PjOutput {
+    let out = run(&PjBasic { parents: Arc::clone(parents) }, topo, cfg);
+    PjOutput { roots: out.values, stats: out.stats }
+}
+
+/// Channel pointer jumping over the request-respond channel.
+pub fn channel_reqresp(
+    parents: &Arc<Vec<VertexId>>,
+    topo: &Arc<Topology>,
+    cfg: &Config,
+) -> PjOutput {
+    let out = run(&PjReqResp { parents: Arc::clone(parents) }, topo, cfg);
+    PjOutput { roots: out.values, stats: out.stats }
+}
+
+/// Pregel+ basic-mode pointer jumping.
+pub fn pregel_basic(parents: &Arc<Vec<VertexId>>, topo: &Arc<Topology>, cfg: &Config) -> PjOutput {
+    let prog = Arc::new(PjPregel { parents: Arc::clone(parents), reqresp: false });
+    let out = run_pregel(prog, topo, cfg, PregelOptions::default());
+    PjOutput { roots: out.values, stats: out.stats }
+}
+
+/// Pregel+ reqresp-mode pointer jumping.
+pub fn pregel_reqresp(
+    parents: &Arc<Vec<VertexId>>,
+    topo: &Arc<Topology>,
+    cfg: &Config,
+) -> PjOutput {
+    let prog = Arc::new(PjPregel { parents: Arc::clone(parents), reqresp: true });
+    let out = run_pregel(prog, topo, cfg, PregelOptions::default());
+    PjOutput { roots: out.values, stats: out.stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_graph::{gen, reference};
+
+    fn check_all(parents: Vec<VertexId>, workers: usize) {
+        let parents = Arc::new(parents);
+        let expect = reference::forest_roots(&parents);
+        let topo = Arc::new(Topology::hashed(parents.len(), workers));
+        let cfg = Config::sequential(workers);
+        assert_eq!(channel_basic(&parents, &topo, &cfg).roots, expect, "channel basic");
+        assert_eq!(channel_reqresp(&parents, &topo, &cfg).roots, expect, "channel reqresp");
+        assert_eq!(pregel_basic(&parents, &topo, &cfg).roots, expect, "pregel basic");
+        assert_eq!(pregel_reqresp(&parents, &topo, &cfg).roots, expect, "pregel reqresp");
+    }
+
+    #[test]
+    fn chain_resolves_to_root_zero() {
+        check_all(gen::chain_parents(500), 4);
+    }
+
+    #[test]
+    fn random_forest_resolves() {
+        check_all(gen::random_forest_parents(2000, 7, 42), 4);
+    }
+
+    #[test]
+    fn single_vertex_and_self_roots() {
+        check_all(vec![0], 2);
+        check_all(vec![0, 1, 2, 3], 2); // all roots already
+    }
+
+    #[test]
+    fn reqresp_uses_fewer_supersteps_than_basic() {
+        let parents = Arc::new(gen::chain_parents(1024));
+        let topo = Arc::new(Topology::hashed(1024, 4));
+        let cfg = Config::sequential(4);
+        let basic = channel_basic(&parents, &topo, &cfg);
+        let rr = channel_reqresp(&parents, &topo, &cfg);
+        assert!(
+            rr.stats.supersteps < basic.stats.supersteps,
+            "reqresp {} vs basic {} supersteps",
+            rr.stats.supersteps,
+            basic.stats.supersteps
+        );
+    }
+
+    #[test]
+    fn reqresp_dedup_beats_pregel_reqresp_bytes_on_trees() {
+        // A shallow wide forest: many children share parents, so dedup and
+        // positional responses save bytes vs Pregel+'s (id, value) replies.
+        let parents = Arc::new(gen::random_forest_parents(4000, 3, 7));
+        let topo = Arc::new(Topology::hashed(4000, 4));
+        let cfg = Config::sequential(4);
+        let ours = channel_reqresp(&parents, &topo, &cfg);
+        let theirs = pregel_reqresp(&parents, &topo, &cfg);
+        assert!(
+            ours.stats.remote_bytes() < theirs.stats.remote_bytes(),
+            "channel reqresp {} vs pregel reqresp {}",
+            ours.stats.remote_bytes(),
+            theirs.stats.remote_bytes()
+        );
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let parents = Arc::new(gen::random_forest_parents(1500, 5, 3));
+        let topo = Arc::new(Topology::hashed(1500, 4));
+        let seq = channel_reqresp(&parents, &topo, &Config::sequential(4));
+        let thr = channel_reqresp(&parents, &topo, &Config::with_workers(4));
+        assert_eq!(seq.roots, thr.roots);
+        assert_eq!(seq.stats.supersteps, thr.stats.supersteps);
+    }
+}

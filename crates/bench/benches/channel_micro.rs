@@ -1,0 +1,233 @@
+//! Criterion micro-benchmarks for the channel *mechanisms* (the paper's
+//! Figs. 5–7 describe these data paths; the tables measure their
+//! end-to-end effect, these benches isolate the primitive costs):
+//!
+//! * `fig5_scatter_combine` — producing receiver-combined messages by a
+//!   linear scan of a pre-sorted edge array vs the hash-table combining of
+//!   the general message path;
+//! * `fig6_request_respond` — sort+dedup of request batches vs hash-set
+//!   dedup, and positional vs (id, value) response encoding;
+//! * `fig7_propagation` — worklist label propagation over a local subgraph
+//!   vs one synchronous sweep per "superstep";
+//! * `codec` — raw encode/decode throughput of the wire codec.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pc_bsp::codec::{Codec, Reader};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hint::black_box;
+
+const N_VERTICES: usize = 1 << 14;
+const N_EDGES: usize = 1 << 17;
+
+fn edges(seed: u64) -> Vec<(u32, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..N_EDGES)
+        .map(|_| {
+            (rng.random_range(0..N_VERTICES as u32), rng.random_range(0..N_VERTICES as u32))
+        })
+        .collect()
+}
+
+fn fig5_scatter_combine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_scatter_combine");
+    let values: Vec<u64> = (0..N_VERTICES as u64).collect();
+
+    // Pre-sorted edge array: the scatter-combine fast path.
+    let mut sorted = edges(1);
+    sorted.sort_unstable();
+    g.bench_function("sorted_scan", |b| {
+        b.iter(|| {
+            let mut out: Vec<(u32, u64)> = Vec::with_capacity(N_EDGES / 2);
+            let mut i = 0;
+            while i < sorted.len() {
+                let dst = sorted[i].0;
+                let mut acc = 0u64;
+                while i < sorted.len() && sorted[i].0 == dst {
+                    acc += values[sorted[i].1 as usize];
+                    i += 1;
+                }
+                out.push((dst, acc));
+            }
+            black_box(out)
+        })
+    });
+
+    // Hash-table combining: the general-case message path.
+    let unsorted = edges(1);
+    g.bench_function("hash_combine", |b| {
+        b.iter(|| {
+            let mut out: HashMap<u32, u64> = HashMap::with_capacity(N_EDGES / 2);
+            for &(dst, src) in &unsorted {
+                *out.entry(dst).or_insert(0) += values[src as usize];
+            }
+            black_box(out)
+        })
+    });
+    g.finish();
+}
+
+fn fig6_request_respond(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_request_respond");
+    let mut rng = StdRng::seed_from_u64(7);
+    let requests: Vec<u32> =
+        (0..N_EDGES).map(|_| rng.random_range(0..N_VERTICES as u32 / 4)).collect();
+
+    g.bench_function("sort_dedup", |b| {
+        b.iter_batched(
+            || requests.clone(),
+            |mut reqs| {
+                reqs.sort_unstable();
+                reqs.dedup();
+                black_box(reqs)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("hashset_dedup", |b| {
+        b.iter(|| {
+            let set: HashSet<u32> = requests.iter().copied().collect();
+            black_box(set)
+        })
+    });
+
+    // Response encodings: positional values vs (id, value) pairs.
+    let unique: Vec<u32> = {
+        let mut r = requests.clone();
+        r.sort_unstable();
+        r.dedup();
+        r
+    };
+    g.bench_function("respond_positional", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(unique.len() * 8);
+            for &id in &unique {
+                (id as u64).encode(&mut buf);
+            }
+            black_box(buf)
+        })
+    });
+    g.bench_function("respond_id_value", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(unique.len() * 12);
+            for &id in &unique {
+                id.encode(&mut buf);
+                (id as u64).encode(&mut buf);
+            }
+            black_box(buf)
+        })
+    });
+    g.finish();
+}
+
+fn fig7_propagation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_propagation");
+    // A local grid subgraph: worst case for synchronous sweeps.
+    let side = 128usize;
+    let n = side * side;
+    let mut adj = vec![Vec::new(); n];
+    for r in 0..side {
+        for col in 0..side {
+            let v = r * side + col;
+            if col + 1 < side {
+                adj[v].push(v + 1);
+                adj[v + 1].push(v);
+            }
+            if r + 1 < side {
+                adj[v].push(v + side);
+                adj[v + side].push(v);
+            }
+        }
+    }
+
+    g.bench_function("async_worklist", |b| {
+        b.iter(|| {
+            let mut label: Vec<u32> = (0..n as u32).collect();
+            let mut queue: VecDeque<usize> = (0..n).collect();
+            let mut in_queue = vec![true; n];
+            while let Some(u) = queue.pop_front() {
+                in_queue[u] = false;
+                let l = label[u];
+                for &t in &adj[u] {
+                    if l < label[t] {
+                        label[t] = l;
+                        if !in_queue[t] {
+                            in_queue[t] = true;
+                            queue.push_back(t);
+                        }
+                    }
+                }
+            }
+            black_box(label)
+        })
+    });
+
+    g.bench_function("sync_sweeps", |b| {
+        b.iter(|| {
+            let mut label: Vec<u32> = (0..n as u32).collect();
+            loop {
+                let mut changed = false;
+                // One "superstep": everyone reads neighbors once.
+                let prev = label.clone();
+                for (u, edges) in adj.iter().enumerate() {
+                    for &t in edges {
+                        if prev[t] < label[u] {
+                            label[u] = prev[t];
+                            changed = true;
+                        }
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            black_box(label)
+        })
+    });
+    g.finish();
+}
+
+fn codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let pairs: Vec<(u32, f64)> = (0..100_000).map(|i| (i as u32, i as f64 * 0.5)).collect();
+
+    g.bench_function("encode_pairs", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(pairs.len() * 12);
+            for p in &pairs {
+                p.encode(&mut buf);
+            }
+            black_box(buf)
+        })
+    });
+
+    let mut buf = Vec::new();
+    for p in &pairs {
+        p.encode(&mut buf);
+    }
+    g.bench_function("decode_pairs", |b| {
+        b.iter(|| {
+            let mut r = Reader::new(&buf);
+            let mut sum = 0.0;
+            while !r.is_empty() {
+                let (_, v): (u32, f64) = r.get();
+                sum += v;
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = fig5_scatter_combine, fig6_request_respond, fig7_propagation, codec
+}
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Scaled-down stand-ins for the paper's datasets (Table III).
+//!
+//! The real datasets are 18M–2.9B edges; the simulated cluster runs on one
+//! box, so each dataset is generated at a default scale of ~10⁵–10⁶ arcs
+//! with the *structural* property that drives its role in the evaluation:
+//!
+//! | Paper dataset | Stand-in | Key property preserved |
+//! |---|---|---|
+//! | Wikipedia (directed, avg deg 9.4) | R-MAT, scale s, ~9·n arcs | skewed degrees, low diameter |
+//! | WebUK (directed, avg deg 23.7) | R-MAT, ~24·n arcs | denser power law |
+//! | Facebook (undirected, avg deg 3.1) | R-MAT undirected, ~1.6·n edges | sparse — reqresp beats scatter in S-V |
+//! | Twitter (undirected, avg deg 70.5) | R-MAT undirected, ~16·n edges | dense — scatter beats reqresp in S-V |
+//! | Tree (100M) | random recursive forest | pointer-jumping depth ~log n |
+//! | Chain (100M) | path | pointer-jumping worst case |
+//! | USA Road (avg deg 2.4) | 2-D grid + diagonals, weighted | large diameter, low degree |
+//! | RMAT24 (weighted, avg deg 16) | weighted R-MAT, 16·n arcs | skew + weights for MSF |
+//!
+//! All functions take a `scale` exponent (vertices = `2^scale`) so the
+//! bench harness can sweep sizes; `PC_SCALE` in the environment bumps the
+//! default.
+
+use pc_graph::gen::{self, RmatParams};
+use pc_graph::{Graph, VertexId, WeightedGraph};
+
+/// Default scale exponent (vertices = 2^scale) used by the table benches.
+/// Override with the `PC_SCALE` environment variable.
+pub fn default_scale() -> u32 {
+    std::env::var("PC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(13)
+}
+
+/// Number of simulated workers used by the table benches.
+/// Override with `PC_WORKERS`.
+pub fn default_workers() -> usize {
+    std::env::var("PC_WORKERS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+}
+
+/// Wikipedia stand-in: directed power-law, avg out-degree ≈ 9.
+pub fn wikipedia(scale: u32) -> Graph {
+    gen::rmat(scale, 9 << scale, RmatParams::default(), seed(1), true)
+}
+
+/// WebUK stand-in: directed power-law, avg out-degree ≈ 24.
+pub fn webuk(scale: u32) -> Graph {
+    gen::rmat(scale, 24 << scale, RmatParams::default(), seed(2), true)
+}
+
+/// Facebook stand-in: sparse undirected power-law, avg degree ≈ 3.
+pub fn facebook(scale: u32) -> Graph {
+    gen::rmat(scale, (3 << scale) / 2, RmatParams::default(), seed(3), false)
+}
+
+/// Twitter stand-in: dense undirected power-law, avg degree ≈ 40–64
+/// (the paper's Twitter averages 70.5 — density is what decides the
+/// scatter-vs-reqresp crossover in Table VI).
+pub fn twitter(scale: u32) -> Graph {
+    gen::rmat(scale, 32 << scale, RmatParams::default(), seed(4), false)
+}
+
+/// Random recursive forest parents (the paper's "Tree").
+pub fn tree_parents(scale: u32) -> Vec<VertexId> {
+    gen::random_forest_parents(1 << scale, 1, seed(5))
+}
+
+/// Chain parents (the paper's "Chain").
+pub fn chain_parents(scale: u32) -> Vec<VertexId> {
+    gen::chain_parents(1 << scale)
+}
+
+/// USA-road stand-in: weighted 2-D grid with diagonals.
+pub fn usa_road(scale: u32) -> WeightedGraph {
+    let side = 1usize << (scale / 2);
+    let rows = (1usize << scale) / side;
+    gen::grid2d_weighted(rows, side, 1000, seed(6))
+}
+
+/// Unweighted road-like grid (for WCC-style runs).
+pub fn usa_road_unweighted(scale: u32) -> Graph {
+    let side = 1usize << (scale / 2);
+    let rows = (1usize << scale) / side;
+    gen::grid2d(rows, side, 0.05, seed(6))
+}
+
+/// RMAT24 stand-in: weighted power-law, avg degree 16.
+pub fn rmat24(scale: u32) -> WeightedGraph {
+    gen::rmat_weighted(scale, 8 << scale, RmatParams::default(), seed(7), false, 1 << 20)
+}
+
+/// Directed graph with planted SCC structure for the Min-Label runs.
+pub fn scc_web(scale: u32) -> Graph {
+    let n = 1usize << scale;
+    let k = (n / 24).max(4);
+    gen::planted_sccs(k, 24, n, seed(8))
+}
+
+fn seed(i: u64) -> u64 {
+    0x5eed_0000 + i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_graph::stats::graph_stats;
+
+    #[test]
+    fn densities_track_the_paper() {
+        let wiki = wikipedia(10);
+        let s = graph_stats(&wiki);
+        assert!(s.avg_degree > 5.0 && s.avg_degree < 10.0, "wiki {:?}", s.avg_degree);
+
+        let fb = facebook(10);
+        let tw = twitter(10);
+        let fb_deg = graph_stats(&fb).avg_degree;
+        let tw_deg = graph_stats(&tw).avg_degree;
+        assert!(
+            tw_deg > 4.0 * fb_deg,
+            "twitter ({tw_deg:.1}) must be much denser than facebook ({fb_deg:.1})"
+        );
+    }
+
+    #[test]
+    fn road_is_low_degree() {
+        let road = usa_road_unweighted(10);
+        let s = graph_stats(&road);
+        assert!(s.avg_degree < 5.0);
+        assert!(s.max_degree <= 8);
+    }
+
+    #[test]
+    fn parents_are_wellformed() {
+        let t = tree_parents(10);
+        assert_eq!(t.len(), 1024);
+        let c = chain_parents(8);
+        assert_eq!(c[0], 0);
+        assert_eq!(c[255], 254);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = wikipedia(9);
+        let b = wikipedia(9);
+        assert_eq!(a.arc_count(), b.arc_count());
+    }
+}

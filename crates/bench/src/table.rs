@@ -1,0 +1,112 @@
+//! Table-printing helpers shared by the per-table bench binaries.
+//!
+//! Each bench prints rows in the paper's format — `runtime` and
+//! `message` volume per program — side by side with the paper's reported
+//! numbers, so EXPERIMENTS.md can record paper-vs-measured shapes.
+
+use pc_bsp::RunStats;
+
+/// One measured row of a table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Program name (e.g. `"channel (scatter)"`).
+    pub program: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Measured wall time in milliseconds.
+    pub runtime_ms: f64,
+    /// Measured remote ("network") traffic in MiB.
+    pub message_mib: f64,
+    /// Supersteps.
+    pub supersteps: u64,
+    /// Exchange rounds.
+    pub rounds: u64,
+}
+
+impl Row {
+    /// Build a row from a program's [`RunStats`].
+    pub fn new(program: &str, dataset: &str, stats: &RunStats) -> Self {
+        Row {
+            program: program.to_string(),
+            dataset: dataset.to_string(),
+            runtime_ms: stats.millis(),
+            message_mib: stats.remote_mib(),
+            supersteps: stats.supersteps,
+            rounds: stats.rounds,
+        }
+    }
+}
+
+/// Print a table of measured rows with a title and the paper's reference
+/// numbers underneath (free text).
+pub fn print_table(title: &str, rows: &[Row], paper_reference: &str) {
+    println!();
+    println!("=== {title} ===");
+    println!(
+        "{:<28} {:<14} {:>12} {:>14} {:>10} {:>8}",
+        "program", "dataset", "runtime(ms)", "message(MiB)", "supersteps", "rounds"
+    );
+    for r in rows {
+        println!(
+            "{:<28} {:<14} {:>12.1} {:>14.3} {:>10} {:>8}",
+            r.program, r.dataset, r.runtime_ms, r.message_mib, r.supersteps, r.rounds
+        );
+    }
+    if !paper_reference.is_empty() {
+        println!("--- paper reference ---");
+        for line in paper_reference.trim_matches('\n').lines() {
+            println!("  {line}");
+        }
+    }
+}
+
+/// Speedup of `b` over `a` in wall time (a.runtime / b.runtime).
+pub fn speedup(a: &Row, b: &Row) -> f64 {
+    a.runtime_ms / b.runtime_ms
+}
+
+/// Message reduction factor of `b` vs `a` (a.bytes / b.bytes).
+pub fn message_ratio(a: &Row, b: &Row) -> f64 {
+    if b.message_mib == 0.0 {
+        f64::INFINITY
+    } else {
+        a.message_mib / b.message_mib
+    }
+}
+
+/// Print a one-line derived comparison.
+pub fn print_ratio(label: &str, value: f64) {
+    println!("  {label}: {value:.2}x");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_bsp::metrics::{ByteCounter, ChannelMetrics};
+    use std::time::Duration;
+
+    fn stats(ms: u64, bytes: u64) -> RunStats {
+        let mut s = RunStats { elapsed: Duration::from_millis(ms), ..Default::default() };
+        s.absorb_channels(vec![ChannelMetrics {
+            name: "x".into(),
+            bytes: ByteCounter { remote: bytes, local: 0 },
+            messages: 1,
+        }]);
+        s
+    }
+
+    #[test]
+    fn ratios() {
+        let a = Row::new("a", "d", &stats(100, 2 * 1024 * 1024));
+        let b = Row::new("b", "d", &stats(50, 1024 * 1024));
+        assert!((speedup(&a, &b) - 2.0).abs() < 1e-9);
+        assert!((message_ratio(&a, &b) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_message_ratio_is_infinite() {
+        let a = Row::new("a", "d", &stats(100, 1024));
+        let b = Row::new("b", "d", &stats(100, 0));
+        assert!(message_ratio(&a, &b).is_infinite());
+    }
+}

@@ -1,0 +1,215 @@
+//! Per-destination raw byte buffers and the channel frame format.
+//!
+//! Fig. 2 of the paper: each worker owns one raw buffer per peer; all
+//! channels of a worker serialize into those shared buffers. We keep the
+//! buffers as plain `Vec<u8>` and tag each channel's contribution with a
+//! small frame header `(channel_id: u16, payload_len: u32)` so the receiving
+//! worker can route each frame back to the right channel.
+
+use crate::metrics::ByteCounter;
+
+/// The set of outgoing buffers of one worker — one per peer (including a
+/// loop-back buffer for messages whose destination lives on the same
+/// worker; those count as `local` bytes, everything else as `remote`).
+#[derive(Debug)]
+pub struct OutBuffers {
+    self_id: usize,
+    bufs: Vec<Vec<u8>>,
+}
+
+impl OutBuffers {
+    /// Create empty buffers for a worker among `workers` peers.
+    pub fn new(self_id: usize, workers: usize) -> Self {
+        OutBuffers { self_id, bufs: (0..workers).map(|_| Vec::new()).collect() }
+    }
+
+    /// Number of peers (including self).
+    pub fn workers(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Identifier of the owning worker.
+    pub fn self_id(&self) -> usize {
+        self.self_id
+    }
+
+    /// Mutable access to the raw buffer destined for `peer`.
+    pub fn buf(&mut self, peer: usize) -> &mut Vec<u8> {
+        &mut self.bufs[peer]
+    }
+
+    /// Drain all buffers, returning `(peer, bytes)` pairs for non-empty ones
+    /// and crediting their sizes to `counter`.
+    pub fn drain_into(&mut self, counter: &mut ByteCounter) -> Vec<(usize, Vec<u8>)> {
+        let mut out = Vec::new();
+        for (peer, buf) in self.bufs.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            if peer == self.self_id {
+                counter.local += buf.len() as u64;
+            } else {
+                counter.remote += buf.len() as u64;
+            }
+            out.push((peer, std::mem::take(buf)));
+        }
+        out
+    }
+
+    /// Total bytes currently pending across all peers.
+    pub fn pending_bytes(&self) -> usize {
+        self.bufs.iter().map(Vec::len).sum()
+    }
+}
+
+/// Writes one channel frame into a raw buffer; finalizes the length header
+/// on drop. Payload bytes are appended through [`FrameWriter::payload`].
+pub struct FrameWriter<'a> {
+    buf: &'a mut Vec<u8>,
+    len_at: usize,
+}
+
+impl<'a> FrameWriter<'a> {
+    /// Open a frame for `channel_id` at the end of `buf`.
+    pub fn begin(buf: &'a mut Vec<u8>, channel_id: u16) -> Self {
+        buf.extend_from_slice(&channel_id.to_le_bytes());
+        let len_at = buf.len();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        FrameWriter { buf, len_at }
+    }
+
+    /// The payload section of the frame (append-only).
+    pub fn payload(&mut self) -> &mut Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written to the payload so far.
+    pub fn payload_len(&self) -> usize {
+        self.buf.len() - self.len_at - 4
+    }
+
+    /// Abandon the frame if nothing was written, truncating the header.
+    /// Returns the final payload length.
+    pub fn finish(self) -> usize {
+        let n = self.payload_len();
+        if n == 0 {
+            // Drop the empty frame entirely so it costs zero wire bytes.
+            let start = self.len_at - 2;
+            self.buf.truncate(start);
+        } else {
+            let len = (n as u32).to_le_bytes();
+            self.buf[self.len_at..self.len_at + 4].copy_from_slice(&len);
+        }
+        // Defuse the Drop impl.
+        std::mem::forget(self);
+        n
+    }
+}
+
+impl Drop for FrameWriter<'_> {
+    fn drop(&mut self) {
+        let n = self.payload_len();
+        let len = (n as u32).to_le_bytes();
+        self.buf[self.len_at..self.len_at + 4].copy_from_slice(&len);
+    }
+}
+
+/// Iterate the `(channel_id, payload)` frames of a received raw buffer.
+pub fn iter_frames(data: &[u8]) -> FrameIter<'_> {
+    FrameIter { data, pos: 0 }
+}
+
+/// Iterator over frames; see [`iter_frames`].
+pub struct FrameIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = (u16, &'a [u8]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let id = u16::from_le_bytes(self.data[self.pos..self.pos + 2].try_into().unwrap());
+        let len =
+            u32::from_le_bytes(self.data[self.pos + 2..self.pos + 6].try_into().unwrap()) as usize;
+        let start = self.pos + 6;
+        self.pos = start + len;
+        Some((id, &self.data[start..start + len]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::Codec;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        {
+            let mut f = FrameWriter::begin(&mut buf, 3);
+            7u32.encode(f.payload());
+            8u32.encode(f.payload());
+            assert_eq!(f.finish(), 8);
+        }
+        {
+            let mut f = FrameWriter::begin(&mut buf, 9);
+            1u8.encode(f.payload());
+            f.finish();
+        }
+        let frames: Vec<_> = iter_frames(&buf).collect();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].0, 3);
+        assert_eq!(frames[0].1.len(), 8);
+        assert_eq!(frames[1].0, 9);
+        assert_eq!(frames[1].1, &[1u8][..]);
+    }
+
+    #[test]
+    fn empty_frame_is_elided() {
+        let mut buf = Vec::new();
+        let f = FrameWriter::begin(&mut buf, 5);
+        assert_eq!(f.finish(), 0);
+        assert!(buf.is_empty());
+        assert_eq!(iter_frames(&buf).count(), 0);
+    }
+
+    #[test]
+    fn drop_finalizes_header() {
+        let mut buf = Vec::new();
+        {
+            let mut f = FrameWriter::begin(&mut buf, 1);
+            42u64.encode(f.payload());
+            // dropped without finish()
+        }
+        let frames: Vec<_> = iter_frames(&buf).collect();
+        assert_eq!(frames, vec![(1u16, &buf[6..14])]);
+    }
+
+    #[test]
+    fn out_buffers_split_local_and_remote() {
+        let mut out = OutBuffers::new(1, 3);
+        out.buf(0).extend_from_slice(&[0; 10]);
+        out.buf(1).extend_from_slice(&[0; 3]); // self → local
+        out.buf(2).extend_from_slice(&[0; 5]);
+        let mut c = ByteCounter::default();
+        let drained = out.drain_into(&mut c);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(c.remote, 15);
+        assert_eq!(c.local, 3);
+        assert_eq!(out.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_drained() {
+        let mut out = OutBuffers::new(0, 4);
+        out.buf(2).push(1);
+        let mut c = ByteCounter::default();
+        let drained = out.drain_into(&mut c);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, 2);
+    }
+}

@@ -1,0 +1,249 @@
+//! Buffer exchange and synchronization for the threaded execution mode.
+//!
+//! The paper's workers perform a *pairwise* buffer exchange between the
+//! serialize and deserialize steps of every round (Fig. 2/4). Here the
+//! "network" is a mailbox matrix: worker `k` posts the buffer destined for
+//! `j` into slot `(k, j)`, a barrier separates the post and take phases, and
+//! worker `j` drains column `j`.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use crossbeam::utils::CachePadded;
+
+/// M×M mailbox of byte buffers.
+#[derive(Debug)]
+pub struct Mailbox {
+    workers: usize,
+    slots: Vec<Mutex<Option<Vec<u8>>>>,
+}
+
+impl Mailbox {
+    /// Create an empty mailbox for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        Mailbox {
+            workers,
+            slots: (0..workers * workers).map(|_| Mutex::new(None)).collect(),
+        }
+    }
+
+    #[inline]
+    fn idx(&self, from: usize, to: usize) -> usize {
+        from * self.workers + to
+    }
+
+    /// Post a buffer from `from` to `to`. Panics if the slot is occupied —
+    /// that would mean two exchange rounds overlapped, i.e. a missing
+    /// barrier.
+    pub fn post(&self, from: usize, to: usize, data: Vec<u8>) {
+        let prev = self.slots[self.idx(from, to)].lock().replace(data);
+        assert!(prev.is_none(), "mailbox slot ({from},{to}) posted twice in one round");
+    }
+
+    /// Take the buffer posted from `from` to `to`, if any.
+    pub fn take(&self, from: usize, to: usize) -> Option<Vec<u8>> {
+        self.slots[self.idx(from, to)].lock().take()
+    }
+
+    /// Drain every buffer addressed to `to`, in sender order.
+    pub fn take_all_for(&self, to: usize) -> Vec<(usize, Vec<u8>)> {
+        (0..self.workers)
+            .filter_map(|from| self.take(from, to).map(|b| (from, b)))
+            .collect()
+    }
+}
+
+/// Per-worker atomic slots used to compute global reductions (active-vertex
+/// counts, channel-active flags) without a coordinator thread.
+///
+/// Each worker writes only its own row, so writes never contend; the
+/// surrounding barriers (see [`Hub::reduce`]) order writes against reads.
+#[derive(Debug)]
+pub struct SharedReduce {
+    lanes: usize,
+    slots: Vec<CachePadded<AtomicU64>>,
+}
+
+impl SharedReduce {
+    /// `workers` rows × `lanes` columns, all zero.
+    pub fn new(workers: usize, lanes: usize) -> Self {
+        SharedReduce {
+            lanes,
+            slots: (0..workers * lanes).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    /// Store `value` in `(worker, lane)`.
+    pub fn set(&self, worker: usize, lane: usize, value: u64) {
+        self.slots[worker * self.lanes + lane].store(value, Ordering::Release);
+    }
+
+    /// Sum a lane over all workers.
+    pub fn sum(&self, lane: usize) -> u64 {
+        let workers = self.slots.len() / self.lanes;
+        (0..workers)
+            .map(|w| self.slots[w * self.lanes + lane].load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Bitwise OR of a lane over all workers.
+    pub fn or(&self, lane: usize) -> u64 {
+        let workers = self.slots.len() / self.lanes;
+        (0..workers)
+            .map(|w| self.slots[w * self.lanes + lane].load(Ordering::Acquire))
+            .fold(0, |acc, v| acc | v)
+    }
+}
+
+/// Shared rendezvous object for one threaded run: barrier + mailbox +
+/// reduction slots.
+#[derive(Debug)]
+pub struct Hub {
+    workers: usize,
+    barrier: Barrier,
+    mailbox: Mailbox,
+    reduce: SharedReduce,
+}
+
+impl Hub {
+    /// Create a hub for `workers` workers with `lanes` reduction lanes.
+    pub fn new(workers: usize, lanes: usize) -> Self {
+        Hub {
+            workers,
+            barrier: Barrier::new(workers),
+            mailbox: Mailbox::new(workers),
+            reduce: SharedReduce::new(workers, lanes),
+        }
+    }
+
+    /// Number of workers synchronizing on this hub.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Block until all workers arrive.
+    pub fn sync(&self) {
+        self.barrier.wait();
+    }
+
+    /// The mailbox matrix.
+    pub fn mailbox(&self) -> &Mailbox {
+        &self.mailbox
+    }
+
+    /// Full reduction protocol: publish this worker's `values` (one per
+    /// lane), synchronize, read the global sums, synchronize again so no
+    /// worker can overwrite its row before everyone has read it.
+    ///
+    /// Every worker must call this the same number of times with the same
+    /// number of lanes.
+    pub fn reduce(&self, worker: usize, values: &[u64]) -> Vec<u64> {
+        for (lane, &v) in values.iter().enumerate() {
+            self.reduce.set(worker, lane, v);
+        }
+        self.sync();
+        let sums: Vec<u64> = (0..values.len()).map(|lane| self.reduce.sum(lane)).collect();
+        self.sync();
+        sums
+    }
+
+    /// Like [`Hub::reduce`] but combining lane values with bitwise OR —
+    /// used for per-channel `again()` bitmasks.
+    pub fn reduce_or(&self, worker: usize, values: &[u64]) -> Vec<u64> {
+        for (lane, &v) in values.iter().enumerate() {
+            self.reduce.set(worker, lane, v);
+        }
+        self.sync();
+        let ors: Vec<u64> = (0..values.len()).map(|lane| self.reduce.or(lane)).collect();
+        self.sync();
+        ors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mailbox_post_take() {
+        let mb = Mailbox::new(3);
+        mb.post(0, 2, vec![1, 2, 3]);
+        mb.post(1, 2, vec![4]);
+        assert_eq!(mb.take(0, 2), Some(vec![1, 2, 3]));
+        assert_eq!(mb.take(0, 2), None);
+        let rest = mb.take_all_for(2);
+        assert_eq!(rest, vec![(1, vec![4])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "posted twice")]
+    fn mailbox_double_post_panics() {
+        let mb = Mailbox::new(2);
+        mb.post(0, 1, vec![1]);
+        mb.post(0, 1, vec![2]);
+    }
+
+    #[test]
+    fn shared_reduce_sums_lanes() {
+        let r = SharedReduce::new(4, 2);
+        for w in 0..4 {
+            r.set(w, 0, w as u64);
+            r.set(w, 1, 10);
+        }
+        assert_eq!(r.sum(0), 6);
+        assert_eq!(r.sum(1), 40);
+    }
+
+    #[test]
+    fn hub_reduce_across_threads() {
+        let hub = Arc::new(Hub::new(4, 1));
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let hub = Arc::clone(&hub);
+            handles.push(std::thread::spawn(move || {
+                let mut totals = Vec::new();
+                for round in 0..10u64 {
+                    let s = hub.reduce(w, &[round + w as u64]);
+                    totals.push(s[0]);
+                }
+                totals
+            }));
+        }
+        let results: Vec<Vec<u64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // All workers observe identical sums every round.
+        for round in 0..10usize {
+            let expect = (0..4).map(|w| round as u64 + w as u64).sum::<u64>();
+            for r in &results {
+                assert_eq!(r[round], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn hub_exchange_across_threads() {
+        let hub = Arc::new(Hub::new(3, 1));
+        let mut handles = Vec::new();
+        for w in 0..3usize {
+            let hub = Arc::clone(&hub);
+            handles.push(std::thread::spawn(move || {
+                // Everyone sends its id to everyone (including itself).
+                for to in 0..3 {
+                    hub.mailbox().post(w, to, vec![w as u8]);
+                }
+                hub.sync();
+                let got = hub.mailbox().take_all_for(w);
+                hub.sync();
+                got
+            }));
+        }
+        for h in handles {
+            let got = h.join().unwrap();
+            assert_eq!(got.len(), 3);
+            for (from, bytes) in got {
+                assert_eq!(bytes, vec![from as u8]);
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # pc-bsp — simulated-cluster BSP substrate
+//!
+//! This crate is the "hardware" of the reproduction: an in-process stand-in
+//! for the 8-node cluster the paper runs on. It provides
+//!
+//! * [`codec`] — a compact, deterministic binary codec so message *bytes*
+//!   can be accounted exactly (the paper's "message (GB)" columns),
+//! * [`buffer`] — per-destination raw byte buffers and the channel frame
+//!   format used by the channel engine,
+//! * [`exchange`] — the pairwise mailbox through which workers swap buffers
+//!   at superstep boundaries, plus the barrier/reduction primitives used by
+//!   the threaded execution mode,
+//! * [`topology`] — vertex → worker ownership maps (hash partition or an
+//!   explicit partition vector),
+//! * [`metrics`] — per-channel and per-run statistics (bytes, messages,
+//!   supersteps, exchange rounds, wall time).
+//!
+//! Both the channel engine (`pc-channels`) and the baseline Pregel engine
+//! (`pc-pregel`) are built on these primitives, so their byte accounting is
+//! directly comparable.
+
+pub mod buffer;
+pub mod codec;
+pub mod exchange;
+pub mod metrics;
+pub mod topology;
+
+pub use buffer::{iter_frames, FrameWriter, OutBuffers};
+pub use codec::{Codec, FixedWidth, Reader};
+pub use exchange::{Hub, Mailbox, SharedReduce};
+pub use metrics::{ChannelMetrics, RunStats};
+pub use topology::Topology;
+
+/// How the simulated cluster executes its workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One OS thread per worker, barrier-synchronized (default; mirrors the
+    /// paper's one-process-per-node deployment).
+    #[default]
+    Threads,
+    /// Workers run in a deterministic round-robin on the calling thread.
+    /// Used by tests and property-based checks.
+    Sequential,
+}
+
+/// Run-wide configuration shared by both engines.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of simulated workers (the paper uses an 8-node cluster).
+    pub workers: usize,
+    /// Execution mode (threads vs deterministic sequential).
+    pub mode: ExecMode,
+    /// Safety cap on supersteps; engines abort (panic) past this to surface
+    /// non-terminating programs in tests.
+    pub max_supersteps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { workers: 8, mode: ExecMode::Threads, max_supersteps: 1_000_000 }
+    }
+}
+
+impl Config {
+    /// Config with `workers` workers and the default threaded mode.
+    pub fn with_workers(workers: usize) -> Self {
+        Config { workers, ..Config::default() }
+    }
+
+    /// Deterministic sequential config, handy in tests.
+    pub fn sequential(workers: usize) -> Self {
+        Config { workers, mode: ExecMode::Sequential, ..Config::default() }
+    }
+}

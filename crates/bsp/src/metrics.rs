@@ -1,0 +1,158 @@
+//! Run statistics: bytes per channel, messages, supersteps, wall time.
+//!
+//! The paper's tables report `runtime (s)` and `message (GB)` per program;
+//! [`RunStats`] carries both plus enough breakdown (per-channel bytes,
+//! exchange rounds) to explain *where* a reduction came from.
+
+use std::time::Duration;
+
+/// Local/remote byte tally for one channel on one worker.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ByteCounter {
+    /// Bytes whose destination worker differs from the source (the paper's
+    /// "message" volume — what would cross the network).
+    pub remote: u64,
+    /// Bytes addressed to the sending worker itself (loop-back).
+    pub local: u64,
+}
+
+impl ByteCounter {
+    /// Sum both directions.
+    pub fn total(&self) -> u64 {
+        self.remote + self.local
+    }
+
+    /// Accumulate another counter.
+    pub fn merge(&mut self, other: &ByteCounter) {
+        self.remote += other.remote;
+        self.local += other.local;
+    }
+}
+
+/// Aggregated statistics of one named channel across all workers.
+#[derive(Debug, Default, Clone)]
+pub struct ChannelMetrics {
+    /// Channel name (e.g. `"scatter"`, `"reqresp"`, `"msg"`).
+    pub name: String,
+    /// Wire bytes attributed to the channel.
+    pub bytes: ByteCounter,
+    /// Number of application-level messages (combined values, requests,
+    /// responses, label updates — channel-specific unit).
+    pub messages: u64,
+}
+
+/// Statistics of one complete run.
+#[derive(Debug, Default, Clone)]
+pub struct RunStats {
+    /// Supersteps executed (global synchronization points).
+    pub supersteps: u64,
+    /// Total buffer-exchange rounds (≥ supersteps; extra rounds come from
+    /// channels whose `again()` returned true, e.g. request/respond or
+    /// propagation).
+    pub rounds: u64,
+    /// Wall-clock duration of the run (excludes graph loading).
+    pub elapsed: Duration,
+    /// Per-channel byte/message breakdown.
+    pub channels: Vec<ChannelMetrics>,
+}
+
+impl RunStats {
+    /// Total remote (network) bytes across channels — the paper's
+    /// "message" column.
+    pub fn remote_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.bytes.remote).sum()
+    }
+
+    /// Total bytes including loop-back traffic.
+    pub fn total_bytes(&self) -> u64 {
+        self.channels.iter().map(|c| c.bytes.total()).sum()
+    }
+
+    /// Total application-level messages across channels.
+    pub fn messages(&self) -> u64 {
+        self.channels.iter().map(|c| c.messages).sum()
+    }
+
+    /// Remote bytes in mebibytes, for table printing.
+    pub fn remote_mib(&self) -> f64 {
+        self.remote_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Wall time in milliseconds, for table printing.
+    pub fn millis(&self) -> f64 {
+        self.elapsed.as_secs_f64() * 1e3
+    }
+
+    /// Merge per-worker channel metrics into this run's totals, matching by
+    /// position (all workers create channels in the same order).
+    pub fn absorb_channels(&mut self, worker_channels: Vec<ChannelMetrics>) {
+        if self.channels.is_empty() {
+            self.channels = worker_channels;
+            return;
+        }
+        assert_eq!(
+            self.channels.len(),
+            worker_channels.len(),
+            "workers disagree on channel count"
+        );
+        for (into, from) in self.channels.iter_mut().zip(worker_channels) {
+            debug_assert_eq!(into.name, from.name);
+            into.bytes.merge(&from.bytes);
+            into.messages += from.messages;
+        }
+    }
+
+    /// Find a channel's metrics by name (first match).
+    pub fn channel(&self, name: &str) -> Option<&ChannelMetrics> {
+        self.channels.iter().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm(name: &str, remote: u64, local: u64, messages: u64) -> ChannelMetrics {
+        ChannelMetrics {
+            name: name.to_string(),
+            bytes: ByteCounter { remote, local },
+            messages,
+        }
+    }
+
+    #[test]
+    fn absorb_accumulates_by_position() {
+        let mut stats = RunStats::default();
+        stats.absorb_channels(vec![cm("a", 10, 1, 2), cm("b", 5, 0, 1)]);
+        stats.absorb_channels(vec![cm("a", 7, 2, 3), cm("b", 0, 0, 0)]);
+        assert_eq!(stats.remote_bytes(), 22);
+        assert_eq!(stats.total_bytes(), 25);
+        assert_eq!(stats.messages(), 6);
+        assert_eq!(stats.channel("a").unwrap().bytes.remote, 17);
+        assert!(stats.channel("zzz").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on channel count")]
+    fn absorb_rejects_mismatched_shapes() {
+        let mut stats = RunStats::default();
+        stats.absorb_channels(vec![cm("a", 1, 0, 0)]);
+        stats.absorb_channels(vec![cm("a", 1, 0, 0), cm("b", 1, 0, 0)]);
+    }
+
+    #[test]
+    fn byte_counter_merge() {
+        let mut a = ByteCounter { remote: 1, local: 2 };
+        a.merge(&ByteCounter { remote: 10, local: 20 });
+        assert_eq!(a, ByteCounter { remote: 11, local: 22 });
+        assert_eq!(a.total(), 33);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        let mut stats = RunStats { elapsed: Duration::from_millis(1500), ..Default::default() };
+        stats.absorb_channels(vec![cm("a", 2 * 1024 * 1024, 0, 1)]);
+        assert!((stats.remote_mib() - 2.0).abs() < 1e-9);
+        assert!((stats.millis() - 1500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Vertex → worker ownership.
+//!
+//! Vertex identifiers are dense `0..n` (`u32`). A [`Topology`] maps every
+//! vertex to its owning worker and to a dense local index within that
+//! worker, supporting both the paper's default random (hash) assignment and
+//! explicit partitions produced by a partitioner (the "Wikipedia (P)" runs).
+
+/// Ownership map of all vertices over a set of workers.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    workers: usize,
+    owner: Vec<u16>,
+    local_index: Vec<u32>,
+    locals: Vec<Vec<u32>>,
+}
+
+/// Deterministic 64-bit mix (splitmix64 finalizer) used for pseudo-random
+/// vertex placement; matches the paper's "vertices are randomly assigned to
+/// workers" without a seed dependency.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Topology {
+    /// Build from an explicit owner vector (`owner[v]` = worker of `v`).
+    pub fn from_owners(workers: usize, owner: Vec<u16>) -> Self {
+        assert!(workers > 0 && workers <= u16::MAX as usize);
+        assert!(
+            owner.iter().all(|&w| (w as usize) < workers),
+            "owner index out of range"
+        );
+        let mut locals: Vec<Vec<u32>> = vec![Vec::new(); workers];
+        let mut local_index = vec![0u32; owner.len()];
+        for (v, &w) in owner.iter().enumerate() {
+            local_index[v] = locals[w as usize].len() as u32;
+            locals[w as usize].push(v as u32);
+        }
+        Topology { workers, owner, local_index, locals }
+    }
+
+    /// Pseudo-random (hash) placement of `n` vertices over `workers`
+    /// workers — the paper's default.
+    pub fn hashed(n: usize, workers: usize) -> Self {
+        let owner = (0..n as u64).map(|v| (mix64(v) % workers as u64) as u16).collect();
+        Topology::from_owners(workers, owner)
+    }
+
+    /// Contiguous block placement (vertex id ranges). Useful when vertex ids
+    /// have been relabelled by a partitioner so that blocks are contiguous.
+    pub fn blocked(n: usize, workers: usize) -> Self {
+        let per = n.div_ceil(workers.max(1)).max(1);
+        let owner = (0..n).map(|v| ((v / per).min(workers - 1)) as u16).collect();
+        Topology::from_owners(workers, owner)
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Total number of vertices.
+    pub fn n(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Owning worker of vertex `v`.
+    #[inline]
+    pub fn worker_of(&self, v: u32) -> usize {
+        self.owner[v as usize] as usize
+    }
+
+    /// Dense local index of `v` within its owning worker.
+    #[inline]
+    pub fn local_of(&self, v: u32) -> u32 {
+        self.local_index[v as usize]
+    }
+
+    /// Global ids of the vertices on `worker` (local index → global id).
+    pub fn locals(&self, worker: usize) -> &[u32] {
+        &self.locals[worker]
+    }
+
+    /// Number of vertices on `worker`.
+    pub fn local_count(&self, worker: usize) -> usize {
+        self.locals[worker].len()
+    }
+
+    /// Maximum/minimum vertices per worker — load balance diagnostic.
+    pub fn balance(&self) -> (usize, usize) {
+        let max = self.locals.iter().map(Vec::len).max().unwrap_or(0);
+        let min = self.locals.iter().map(Vec::len).min().unwrap_or(0);
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashed_covers_all_vertices_consistently() {
+        let t = Topology::hashed(1000, 7);
+        assert_eq!(t.n(), 1000);
+        let mut seen = 0usize;
+        for w in 0..7 {
+            for (li, &v) in t.locals(w).iter().enumerate() {
+                assert_eq!(t.worker_of(v), w);
+                assert_eq!(t.local_of(v) as usize, li);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 1000);
+    }
+
+    #[test]
+    fn hashed_is_roughly_balanced() {
+        let t = Topology::hashed(100_000, 8);
+        let (min, max) = t.balance();
+        // Within 10% of perfect balance for a good mix function.
+        assert!(min > 100_000 / 8 * 9 / 10, "min={min}");
+        assert!(max < 100_000 / 8 * 11 / 10, "max={max}");
+    }
+
+    #[test]
+    fn blocked_assigns_ranges() {
+        let t = Topology::blocked(10, 3);
+        assert_eq!(t.worker_of(0), 0);
+        assert_eq!(t.worker_of(3), 0);
+        assert_eq!(t.worker_of(4), 1);
+        assert_eq!(t.worker_of(9), 2);
+        assert_eq!(t.local_of(4), 0);
+    }
+
+    #[test]
+    fn from_owners_explicit() {
+        let t = Topology::from_owners(3, vec![2, 0, 2, 1]);
+        assert_eq!(t.locals(2), &[0, 2]);
+        assert_eq!(t.locals(0), &[1]);
+        assert_eq!(t.local_of(2), 1);
+        assert_eq!(t.local_count(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "owner index out of range")]
+    fn from_owners_validates_range() {
+        Topology::from_owners(2, vec![0, 5]);
+    }
+
+    #[test]
+    fn single_worker_owns_everything() {
+        let t = Topology::hashed(64, 1);
+        assert_eq!(t.local_count(0), 64);
+        assert_eq!(t.balance(), (64, 64));
+    }
+}

@@ -1,0 +1,177 @@
+//! Message combiners.
+//!
+//! A [`Combine`] pairs an identity value with an associative, commutative
+//! binary operation. Channels use it to merge messages addressed to the
+//! same receiver — on the sender side (scatter-combine, combined-message)
+//! and again on the receiver side. One of the paper's observations
+//! (§V-A analysis) is that per-channel combiners apply in programs where a
+//! single *global* Pregel combiner cannot; this type is what makes the
+//! per-channel form trivial to express.
+
+use std::sync::Arc;
+
+/// Shared fold step.
+type FoldFn<V> = Arc<dyn Fn(&mut V, V) + Send + Sync>;
+
+/// An identity element plus an associative, commutative fold step.
+///
+/// Cheap to clone (the closure is shared); every worker clones the
+/// algorithm's combiner into its own channel instance.
+#[derive(Clone)]
+pub struct Combine<V> {
+    identity: V,
+    f: FoldFn<V>,
+}
+
+impl<V: Clone> Combine<V> {
+    /// Build from an identity and a fold step `f(acc, v)`.
+    ///
+    /// `f` must be associative and commutative up to the algorithm's
+    /// tolerance — message arrival order is unspecified.
+    pub fn new(identity: V, f: impl Fn(&mut V, V) + Send + Sync + 'static) -> Self {
+        Combine { identity, f: Arc::new(f) }
+    }
+
+    /// A fresh copy of the identity element.
+    pub fn identity(&self) -> V {
+        self.identity.clone()
+    }
+
+    /// Fold `v` into `acc`.
+    #[inline]
+    pub fn apply(&self, acc: &mut V, v: V) {
+        (self.f)(acc, v);
+    }
+
+    /// Combine two values into one.
+    pub fn join(&self, mut a: V, b: V) -> V {
+        self.apply(&mut a, b);
+        a
+    }
+
+    /// Fold an iterator starting from the identity.
+    pub fn fold(&self, it: impl IntoIterator<Item = V>) -> V {
+        let mut acc = self.identity();
+        for v in it {
+            self.apply(&mut acc, v);
+        }
+        acc
+    }
+}
+
+impl<V: Ord + Clone> Combine<V> {
+    /// Minimum with explicit identity (usually the type's max value).
+    pub fn min_with_identity(identity: V) -> Self {
+        Combine::new(identity, |acc: &mut V, v: V| {
+            if v < *acc {
+                *acc = v;
+            }
+        })
+    }
+
+    /// Maximum with explicit identity (usually the type's min value).
+    pub fn max_with_identity(identity: V) -> Self {
+        Combine::new(identity, |acc: &mut V, v: V| {
+            if v > *acc {
+                *acc = v;
+            }
+        })
+    }
+}
+
+impl Combine<u32> {
+    /// `min` over `u32` (identity `u32::MAX`).
+    pub fn min_u32() -> Self {
+        Combine::min_with_identity(u32::MAX)
+    }
+}
+
+impl Combine<u64> {
+    /// `min` over `u64` (identity `u64::MAX`).
+    pub fn min_u64() -> Self {
+        Combine::min_with_identity(u64::MAX)
+    }
+
+    /// Sum over `u64` (identity 0).
+    pub fn sum_u64() -> Self {
+        Combine::new(0u64, |acc, v| *acc += v)
+    }
+}
+
+impl Combine<f64> {
+    /// Sum over `f64` (identity 0.0).
+    pub fn sum_f64() -> Self {
+        Combine::new(0.0f64, |acc, v| *acc += v)
+    }
+
+    /// Minimum over `f64` (identity +inf).
+    pub fn min_f64() -> Self {
+        Combine::new(f64::INFINITY, |acc: &mut f64, v| {
+            if v < *acc {
+                *acc = v;
+            }
+        })
+    }
+}
+
+impl Combine<bool> {
+    /// Logical OR (identity false).
+    pub fn or() -> Self {
+        Combine::new(false, |acc, v| *acc |= v)
+    }
+
+    /// Logical AND (identity true).
+    pub fn and() -> Self {
+        Combine::new(true, |acc, v| *acc &= v)
+    }
+}
+
+impl<V> std::fmt::Debug for Combine<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Combine { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_and_max() {
+        let min = Combine::min_u32();
+        assert_eq!(min.fold([5, 3, 9]), 3);
+        assert_eq!(min.fold(std::iter::empty()), u32::MAX);
+        let max = Combine::max_with_identity(0u32);
+        assert_eq!(max.fold([5, 3, 9]), 9);
+    }
+
+    #[test]
+    fn sums() {
+        assert_eq!(Combine::sum_u64().fold([1, 2, 3]), 6);
+        assert!((Combine::sum_f64().fold([0.5, 0.25]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boolean_folds() {
+        assert!(Combine::or().fold([false, true]));
+        assert!(!Combine::or().fold(std::iter::empty()));
+        assert!(!Combine::and().fold([true, false]));
+        assert!(Combine::and().fold(std::iter::empty()));
+    }
+
+    #[test]
+    fn join_and_apply_agree() {
+        let c = Combine::min_u32();
+        let mut acc = 9;
+        c.apply(&mut acc, 4);
+        assert_eq!(acc, 4);
+        assert_eq!(c.join(9, 4), 4);
+    }
+
+    #[test]
+    fn clones_share_behaviour() {
+        let c = Combine::new(0u64, |acc, v| *acc += 2 * v);
+        let d = c.clone();
+        assert_eq!(c.fold([1, 2]), d.fold([1, 2]));
+    }
+}

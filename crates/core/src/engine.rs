@@ -1,0 +1,522 @@
+//! The channel engine: the worker computation logic of Fig. 4.
+//!
+//! ```text
+//! load_graph(); channels.initialize(); all vertices active
+//! while active vertex exists:            // a superstep
+//!     for active vertex v: compute(v)
+//!     all channels active
+//!     while active channel exists:       // an exchange round
+//!         for active channel c: c.serialize()
+//!         buffer_exchange()
+//!         for active channel c: c.deserialize(); c.set_active(c.again())
+//! ```
+//!
+//! The engine runs the same per-worker phases under two drivers: a
+//! deterministic [`ExecMode::Sequential`] loop and a threaded
+//! [`ExecMode::Threads`] driver with one OS thread per worker (barrier +
+//! mailbox rendezvous). Channel activity and vertex activity are global
+//! decisions: per-channel `again()` flags are OR-reduced across workers and
+//! active-vertex counts are sum-reduced, so all workers leave the loops
+//! together.
+
+use crate::channel::{ChannelSet, DeserializeCx, SerializeCx, VertexCtx, WorkerEnv};
+use pc_bsp::buffer::{iter_frames, OutBuffers};
+use pc_bsp::exchange::Hub;
+use pc_bsp::metrics::{ByteCounter, ChannelMetrics, RunStats};
+use pc_bsp::topology::Topology;
+use pc_bsp::{Config, ExecMode};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A channel-based vertex-centric program.
+///
+/// Implementations are shared (by reference) across worker threads, so the
+/// usual pattern is to keep the graph in an `Arc` field and read adjacency
+/// inside [`Algorithm::compute`].
+pub trait Algorithm: Sync {
+    /// Per-vertex state.
+    type Value: Clone + Default + Send + 'static;
+    /// The program's channels — a tuple, one element per communication
+    /// pattern.
+    type Channels: ChannelSet<Self::Value>;
+
+    /// Construct this worker's channel instances.
+    fn channels(&self, env: &WorkerEnv) -> Self::Channels;
+
+    /// The vertex program, run once per active vertex per superstep.
+    fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Self::Value, ch: &mut Self::Channels);
+}
+
+/// Result of a run: the final vertex values (indexed by global vertex id)
+/// and the run statistics.
+#[derive(Debug, Clone)]
+pub struct Output<V> {
+    /// Final per-vertex values, `values[v]` for global id `v`.
+    pub values: Vec<V>,
+    /// Supersteps, rounds, wall time, per-channel bytes/messages.
+    pub stats: RunStats,
+}
+
+/// Per-worker run result: `(global id, value)` pairs plus channel metrics.
+type WorkerPart<V> = (Vec<(u32, V)>, Vec<ChannelMetrics>);
+
+struct WorkerState<'a, A: Algorithm> {
+    algo: &'a A,
+    env: WorkerEnv,
+    values: Vec<A::Value>,
+    active: Vec<bool>,
+    next_active: Vec<bool>,
+    channels: A::Channels,
+    out: OutBuffers,
+    bytes: Vec<ByteCounter>,
+    step: u64,
+}
+
+impl<'a, A: Algorithm> WorkerState<'a, A> {
+    fn new(algo: &'a A, topo: &Arc<Topology>, worker: usize) -> Self {
+        let env = WorkerEnv { worker, topo: Arc::clone(topo) };
+        let numv = env.local_count();
+        let channels = algo.channels(&env);
+        let n_channels = channels.len();
+        assert!(n_channels <= 64, "at most 64 channels per algorithm");
+        WorkerState {
+            algo,
+            env,
+            values: vec![A::Value::default(); numv],
+            active: vec![true; numv],
+            next_active: vec![false; numv],
+            channels,
+            out: OutBuffers::new(worker, topo.workers()),
+            bytes: vec![ByteCounter::default(); n_channels],
+            step: 0,
+        }
+    }
+
+    fn worker(&self) -> usize {
+        self.env.worker
+    }
+
+    fn channel_mask(&self) -> u64 {
+        let n = self.channels.len();
+        if n == 0 {
+            0
+        } else if n == 64 {
+            u64::MAX
+        } else {
+            (1u64 << n) - 1
+        }
+    }
+
+    /// Superstep prologue: bump the counter and let channels swap their
+    /// receive buffers, then run `compute` on every active vertex.
+    fn compute_phase(&mut self) {
+        self.step += 1;
+        let step = self.step;
+        self.channels.for_each(&mut |_, ch| ch.before_superstep(step));
+        let WorkerState { algo, env, values, active, next_active, channels, .. } = self;
+        let locals = env.topo.locals(env.worker);
+        for (li, (&gid, value)) in locals.iter().zip(values.iter_mut()).enumerate() {
+            if !active[li] {
+                continue;
+            }
+            let mut ctx = VertexCtx { id: gid, local: li as u32, step, halted: false, env };
+            algo.compute(&mut ctx, value, channels);
+            if !ctx.halted {
+                next_active[li] = true;
+            }
+        }
+    }
+
+    /// Serialize the channels named in `mask` into the out-buffers.
+    fn serialize_phase(&mut self, mask: u64) {
+        let WorkerState { env, channels, out, bytes, .. } = self;
+        channels.for_each(&mut |i, ch| {
+            if mask & (1 << i) == 0 {
+                return;
+            }
+            let mut cx = SerializeCx {
+                channel_id: i,
+                env,
+                out: &mut *out,
+                bytes: &mut bytes[i as usize],
+            };
+            ch.serialize(&mut cx);
+        });
+    }
+
+    /// Move the out-buffers to their destinations (returned to the driver).
+    fn drain(&mut self) -> Vec<(usize, Vec<u8>)> {
+        // Frame bytes were already attributed per channel in SerializeCx;
+        // the drain-side counter is only a cross-check.
+        let mut scratch = ByteCounter::default();
+        self.out.drain_into(&mut scratch)
+    }
+
+    /// Deserialize this round's received buffers into the channels named in
+    /// `mask`; returns the bitmask of channels asking for another round.
+    fn deserialize_phase(&mut self, received: &[(usize, Vec<u8>)], mask: u64) -> u64 {
+        let n_channels = self.channels.len();
+        let mut per_channel: Vec<Vec<(usize, &[u8])>> = vec![Vec::new(); n_channels];
+        for (from, buf) in received {
+            for (cid, payload) in iter_frames(buf) {
+                per_channel[cid as usize].push((*from, payload));
+            }
+        }
+        let WorkerState { env, values, next_active, channels, .. } = self;
+        let mut again = 0u64;
+        channels.for_each(&mut |i, ch| {
+            if mask & (1 << i) == 0 {
+                return;
+            }
+            let mut cx = DeserializeCx {
+                env,
+                frames: &per_channel[i as usize],
+                values,
+                next_active,
+            };
+            ch.deserialize(&mut cx);
+            if ch.again() {
+                again |= 1 << i;
+            }
+        });
+        again
+    }
+
+    /// Superstep epilogue: publish next-superstep activity; returns the
+    /// local active-vertex count.
+    fn end_superstep(&mut self) -> u64 {
+        std::mem::swap(&mut self.active, &mut self.next_active);
+        self.next_active.iter_mut().for_each(|b| *b = false);
+        self.active.iter().filter(|&&b| b).count() as u64
+    }
+
+    /// Final per-worker results: `(global_id, value)` pairs plus channel
+    /// metrics.
+    fn finish(mut self) -> WorkerPart<A::Value> {
+        let locals = self.env.topo.locals(self.env.worker);
+        let pairs = locals.iter().copied().zip(self.values).collect();
+        let mut metrics = Vec::with_capacity(self.channels.len());
+        let bytes = &self.bytes;
+        self.channels.for_each(&mut |i, ch| {
+            metrics.push(ChannelMetrics {
+                name: ch.name().to_string(),
+                bytes: bytes[i as usize],
+                messages: ch.message_count(),
+            });
+        });
+        (pairs, metrics)
+    }
+}
+
+/// Run an algorithm over a partitioned graph.
+///
+/// Returns the final vertex values (dense, by global id) and [`RunStats`].
+pub fn run<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> Output<A::Value> {
+    assert_eq!(
+        topo.workers(),
+        cfg.workers,
+        "topology was built for {} workers but config asks for {}",
+        topo.workers(),
+        cfg.workers
+    );
+    match cfg.mode {
+        ExecMode::Sequential => run_sequential(algo, topo, cfg),
+        ExecMode::Threads => run_threaded(algo, topo, cfg),
+    }
+}
+
+fn assemble<V: Clone + Default>(n: usize, parts: Vec<WorkerPart<V>>, stats: &mut RunStats) -> Vec<V> {
+    let mut values = vec![V::default(); n];
+    for (pairs, metrics) in parts {
+        stats.absorb_channels(metrics);
+        for (gid, v) in pairs {
+            values[gid as usize] = v;
+        }
+    }
+    values
+}
+
+fn run_sequential<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> Output<A::Value> {
+    let workers = cfg.workers;
+    let mut states: Vec<WorkerState<'_, A>> =
+        (0..workers).map(|w| WorkerState::new(algo, topo, w)).collect();
+    let mut stats = RunStats::default();
+    let start = Instant::now();
+    loop {
+        for s in &mut states {
+            s.compute_phase();
+        }
+        stats.supersteps += 1;
+        let mut mask = states[0].channel_mask();
+        while mask != 0 {
+            for s in &mut states {
+                s.serialize_phase(mask);
+            }
+            let mut inbox: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); workers];
+            for s in &mut states {
+                let from = s.worker();
+                for (peer, buf) in s.drain() {
+                    inbox[peer].push((from, buf));
+                }
+            }
+            let mut again = 0u64;
+            for (w, s) in states.iter_mut().enumerate() {
+                again |= s.deserialize_phase(&inbox[w], mask);
+            }
+            stats.rounds += 1;
+            mask = again;
+        }
+        let active: u64 = states.iter_mut().map(|s| s.end_superstep()).sum();
+        if active == 0 {
+            break;
+        }
+        assert!(
+            stats.supersteps < cfg.max_supersteps,
+            "exceeded max_supersteps = {}",
+            cfg.max_supersteps
+        );
+    }
+    stats.elapsed = start.elapsed();
+    let parts = states.into_iter().map(|s| s.finish()).collect();
+    let values = assemble(topo.n(), parts, &mut stats);
+    Output { values, stats }
+}
+
+fn run_threaded<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> Output<A::Value> {
+    let workers = cfg.workers;
+    let hub = Hub::new(workers, 1);
+    let start = Instant::now();
+    let mut results: Vec<Option<WorkerPart<A::Value>>> = Vec::new();
+    results.resize_with(workers, || None);
+    let mut counters = (0u64, 0u64); // (supersteps, rounds) — identical on all workers
+    std::thread::scope(|scope| {
+        let hub = &hub;
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            handles.push(scope.spawn(move || {
+                let mut s = WorkerState::new(algo, topo, w);
+                let mut supersteps = 0u64;
+                let mut rounds = 0u64;
+                loop {
+                    s.compute_phase();
+                    supersteps += 1;
+                    let mut mask = s.channel_mask();
+                    // All workers computed identical masks, so the round
+                    // loop stays in lock-step.
+                    while mask != 0 {
+                        s.serialize_phase(mask);
+                        let from = s.worker();
+                        for (peer, buf) in s.drain() {
+                            hub.mailbox().post(from, peer, buf);
+                        }
+                        hub.sync();
+                        let received = hub.mailbox().take_all_for(w);
+                        let again = s.deserialize_phase(&received, mask);
+                        mask = hub.reduce_or(w, &[again])[0];
+                        rounds += 1;
+                    }
+                    let local_active = s.end_superstep();
+                    let total = hub.reduce(w, &[local_active])[0];
+                    if total == 0 {
+                        break;
+                    }
+                    assert!(
+                        supersteps < cfg.max_supersteps,
+                        "exceeded max_supersteps = {}",
+                        cfg.max_supersteps
+                    );
+                }
+                (w, s.finish(), supersteps, rounds)
+            }));
+        }
+        for h in handles {
+            let (w, part, supersteps, rounds) = h.join().expect("worker thread panicked");
+            results[w] = Some(part);
+            counters = (supersteps, rounds);
+        }
+    });
+    let mut stats = RunStats { supersteps: counters.0, rounds: counters.1, ..Default::default() };
+    let parts = results.into_iter().map(|r| r.expect("missing worker result")).collect();
+    let values = assemble(topo.n(), parts, &mut stats);
+    stats.elapsed = start.elapsed();
+    Output { values, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{Channel, DeserializeCx, SerializeCx};
+    use pc_bsp::Codec;
+    // (Channel is only needed by the probe channels defined below.)
+
+    /// An algorithm with no channels: every vertex counts to 3 then halts.
+    struct CountToThree;
+    impl Algorithm for CountToThree {
+        type Value = u64;
+        type Channels = ();
+        fn channels(&self, _env: &WorkerEnv) -> Self::Channels {}
+        fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u64, _ch: &mut ()) {
+            *value += 1;
+            if v.step() >= 3 {
+                v.vote_to_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn channel_free_algorithm_terminates() {
+        let topo = Arc::new(Topology::hashed(100, 4));
+        for cfg in [Config::sequential(4), Config::with_workers(4)] {
+            let out = run(&CountToThree, &topo, &cfg);
+            assert_eq!(out.stats.supersteps, 3);
+            assert!(out.values.iter().all(|&v| v == 3));
+            assert_eq!(out.stats.remote_bytes(), 0);
+        }
+    }
+
+    /// A ring-forwarding channel used to test activation, rounds and byte
+    /// accounting: each vertex sends its id to `(id + 1) % n` once.
+    struct RingChannel {
+        env: WorkerEnv,
+        staged: Vec<(u32, u64)>,      // (dst global, payload)
+        incoming: Vec<(u32, u64)>,    // (dst local, payload)
+        readable: Vec<(u32, u64)>,
+        messages: u64,
+    }
+    impl RingChannel {
+        fn new(env: &WorkerEnv) -> Self {
+            RingChannel {
+                env: env.clone(),
+                staged: Vec::new(),
+                incoming: Vec::new(),
+                readable: Vec::new(),
+                messages: 0,
+            }
+        }
+        fn send(&mut self, dst: u32, v: u64) {
+            self.staged.push((dst, v));
+        }
+    }
+    impl Channel<u64> for RingChannel {
+        fn name(&self) -> &'static str {
+            "ring"
+        }
+        fn before_superstep(&mut self, _step: u64) {
+            self.readable = std::mem::take(&mut self.incoming);
+        }
+        fn serialize(&mut self, cx: &mut SerializeCx<'_>) {
+            let staged = std::mem::take(&mut self.staged);
+            for peer in 0..cx.workers() {
+                let msgs: Vec<&(u32, u64)> = staged
+                    .iter()
+                    .filter(|(dst, _)| self.env.worker_of(*dst) == peer)
+                    .collect();
+                if msgs.is_empty() {
+                    continue;
+                }
+                cx.frame(peer, |buf| {
+                    for (dst, v) in msgs {
+                        dst.encode(buf);
+                        v.encode(buf);
+                    }
+                });
+            }
+            self.messages += staged.len() as u64;
+        }
+        fn deserialize(&mut self, cx: &mut DeserializeCx<'_, u64>) {
+            for (_from, mut r) in cx.frames() {
+                while !r.is_empty() {
+                    let dst: u32 = r.get();
+                    let v: u64 = r.get();
+                    let local = self.env.local_of(dst);
+                    self.incoming.push((local, v));
+                    cx.activate(local);
+                }
+            }
+        }
+        fn message_count(&self) -> u64 {
+            self.messages
+        }
+    }
+
+    /// Send id to the ring successor at step 1, sum what arrives at step 2.
+    struct RingSum {
+        n: u32,
+    }
+    impl Algorithm for RingSum {
+        type Value = u64;
+        type Channels = (RingChannel,);
+        fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+            (RingChannel::new(env),)
+        }
+        fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u64, ch: &mut Self::Channels) {
+            if v.step() == 1 {
+                ch.0.send((v.id + 1) % self.n, v.id as u64 + 1);
+                v.vote_to_halt();
+            } else {
+                *value = ch
+                    .0
+                    .readable
+                    .iter()
+                    .filter(|&&(local, _)| local == v.local)
+                    .map(|&(_, m)| m)
+                    .sum();
+                v.vote_to_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn messages_flow_and_reactivate() {
+        let n = 64u32;
+        let topo = Arc::new(Topology::hashed(n as usize, 3));
+        for cfg in [Config::sequential(3), Config::with_workers(3)] {
+            let out = run(&RingSum { n }, &topo, &cfg);
+            // Vertex v receives (v == 0 ? n : v) from its predecessor.
+            for v in 0..n as usize {
+                let expect = if v == 0 { n as u64 } else { v as u64 };
+                assert_eq!(out.values[v], expect, "vertex {v}");
+            }
+            assert_eq!(out.stats.supersteps, 2);
+            assert_eq!(out.stats.messages(), n as u64);
+            assert!(out.stats.remote_bytes() > 0);
+            assert_eq!(out.stats.channels.len(), 1);
+            assert_eq!(out.stats.channels[0].name, "ring");
+        }
+    }
+
+    #[test]
+    fn sequential_and_threaded_agree_on_bytes() {
+        let n = 200u32;
+        let topo = Arc::new(Topology::hashed(n as usize, 4));
+        let a = run(&RingSum { n }, &topo, &Config::sequential(4));
+        let b = run(&RingSum { n }, &topo, &Config::with_workers(4));
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.stats.remote_bytes(), b.stats.remote_bytes());
+        assert_eq!(a.stats.supersteps, b.stats.supersteps);
+        assert_eq!(a.stats.rounds, b.stats.rounds);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded max_supersteps")]
+    fn runaway_program_is_caught() {
+        struct Forever;
+        impl Algorithm for Forever {
+            type Value = u64;
+            type Channels = ();
+            fn channels(&self, _env: &WorkerEnv) -> Self::Channels {}
+            fn compute(&self, _v: &mut VertexCtx<'_>, _value: &mut u64, _ch: &mut ()) {}
+        }
+        let topo = Arc::new(Topology::hashed(10, 2));
+        let cfg = Config { max_supersteps: 50, ..Config::sequential(2) };
+        run(&Forever, &topo, &cfg);
+    }
+
+    #[test]
+    fn single_worker_runs() {
+        let topo = Arc::new(Topology::hashed(32, 1));
+        let out = run(&RingSum { n: 32 }, &topo, &Config::sequential(1));
+        assert_eq!(out.stats.remote_bytes(), 0, "all traffic is loop-back");
+        assert!(out.stats.total_bytes() > 0);
+    }
+}

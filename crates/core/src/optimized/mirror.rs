@@ -1,0 +1,341 @@
+//! The `Mirror` channel — sender-centric message combining (vertex
+//! replication / ghost vertices) as a *composable* channel.
+//!
+//! Pregel+ offers mirroring only as a global execution mode ("ghost
+//! mode") that cannot be combined with its other mode (§VI: "it is less
+//! flexible since the two modes cannot be composed and adding
+//! optimizations is inconvenient"). In the channel architecture the same
+//! optimization is just another channel, freely composable with the rest
+//! of the library.
+//!
+//! Mechanism: a vertex whose registered out-degree reaches the threshold τ
+//! is *mirrored* — broadcasting a value to its neighbors sends **one**
+//! message per destination worker; the receiving worker expands it through
+//! a mirror table built at registration time. Low-degree vertices send
+//! per-edge messages, combined per destination at the sender like
+//! [`crate::CombinedMessage`].
+//!
+//! Compared with [`crate::ScatterCombine`] (receiver-centric combining of
+//! the same static pattern): mirroring ships fewer bytes when hubs
+//! dominate — one message per *worker* instead of one per *distinct
+//! destination* — but pays hash lookups and per-edge expansion at the
+//! receiver (the paper's §V-B1 analysis of why ghost mode saves bytes
+//! without saving time).
+
+use crate::channel::{Channel, DeserializeCx, SerializeCx, WorkerEnv};
+use crate::combine::Combine;
+use pc_bsp::codec::Codec;
+use pc_graph::VertexId;
+use std::collections::HashMap;
+
+/// Broadcast-to-neighbors channel with sender-centric combining above a
+/// degree threshold.
+pub struct Mirror<M> {
+    env: WorkerEnv,
+    combine: Combine<M>,
+    threshold: usize,
+    /// Out-edges registered per local vertex (global ids).
+    edges: Vec<Vec<VertexId>>,
+    /// For mirrored vertices: the distinct peers holding their neighbors.
+    mirror_peers: Vec<Vec<u16>>,
+    /// Whether registration changed since the tables were built.
+    dirty: bool,
+    /// Receive-side mirror tables: ghosted source id → local targets.
+    ghost_in: HashMap<VertexId, Vec<u32>>,
+    /// Mirror-table updates to ship (new ghosted vertex → its per-peer
+    /// target lists), sent once like scatter's id transmission.
+    pending_tables: Vec<Vec<(VertexId, Vec<u32>)>>,
+    /// Staged traffic per peer.
+    staged_ghost: Vec<Vec<(VertexId, M)>>,
+    staged_direct: Vec<HashMap<VertexId, M>>,
+    /// Receiver-combined values per local vertex (double-buffered).
+    incoming: Vec<Option<M>>,
+    readable: Vec<Option<M>>,
+    messages: u64,
+}
+
+impl<M: Codec + Clone + Send> Mirror<M> {
+    /// Create this worker's instance with mirroring threshold τ (the paper
+    /// uses 16 for ghost mode).
+    pub fn new(env: &WorkerEnv, combine: Combine<M>, threshold: usize) -> Self {
+        let numv = env.local_count();
+        let workers = env.workers();
+        Mirror {
+            env: env.clone(),
+            combine,
+            threshold: threshold.max(1),
+            edges: vec![Vec::new(); numv],
+            mirror_peers: vec![Vec::new(); numv],
+            dirty: false,
+            ghost_in: HashMap::new(),
+            pending_tables: vec![Vec::new(); workers],
+            staged_ghost: vec![Vec::new(); workers],
+            staged_direct: (0..workers).map(|_| HashMap::new()).collect(),
+            incoming: vec![None; numv],
+            readable: vec![None; numv],
+            messages: 0,
+        }
+    }
+
+    /// Register a broadcast edge from local vertex `src_local` to the
+    /// vertex with global id `dst`.
+    pub fn add_edge(&mut self, src_local: u32, dst: VertexId) {
+        self.edges[src_local as usize].push(dst);
+        self.dirty = true;
+    }
+
+    /// Broadcast `m` to all registered out-neighbors of `src_local` (whose
+    /// global id is `src_id`).
+    pub fn send_to_neighbors(&mut self, src_local: u32, src_id: VertexId, m: M) {
+        if self.dirty {
+            self.rebuild_tables();
+        }
+        let li = src_local as usize;
+        if !self.mirror_peers[li].is_empty() {
+            for &peer in &self.mirror_peers[li] {
+                self.staged_ghost[peer as usize].push((src_id, m.clone()));
+            }
+            return;
+        }
+        for i in 0..self.edges[li].len() {
+            let dst = self.edges[li][i];
+            let peer = self.env.worker_of(dst);
+            match self.staged_direct[peer].entry(dst) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    self.combine.apply(e.get_mut(), m.clone());
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(m.clone());
+                }
+            }
+        }
+    }
+
+    /// The combined value gathered by `local` this superstep.
+    pub fn get_message(&self, local: u32) -> Option<&M> {
+        self.readable[local as usize].as_ref()
+    }
+
+    /// Combined value or the combiner's identity.
+    pub fn get_or_identity(&self, local: u32) -> M {
+        self.get_message(local).cloned().unwrap_or_else(|| self.combine.identity())
+    }
+
+    /// Build mirror tables for newly-qualifying hubs and queue their
+    /// receiver-side tables for (one-time) shipment.
+    fn rebuild_tables(&mut self) {
+        for li in 0..self.edges.len() {
+            if self.edges[li].len() < self.threshold || !self.mirror_peers[li].is_empty() {
+                continue;
+            }
+            let src_id = self.env.global_of(li as u32);
+            // Group this hub's targets per owning worker.
+            let mut per_peer: HashMap<u16, Vec<u32>> = HashMap::new();
+            for &dst in &self.edges[li] {
+                let peer = self.env.worker_of(dst) as u16;
+                per_peer.entry(peer).or_default().push(self.env.local_of(dst));
+            }
+            let mut peers: Vec<u16> = per_peer.keys().copied().collect();
+            peers.sort_unstable();
+            self.mirror_peers[li] = peers;
+            for (peer, locals) in per_peer {
+                self.pending_tables[peer as usize].push((src_id, locals));
+            }
+        }
+        self.dirty = false;
+    }
+
+    fn absorb(&mut self, local: u32, m: M) {
+        match &mut self.incoming[local as usize] {
+            Some(acc) => self.combine.apply(acc, m),
+            slot @ None => *slot = Some(m),
+        }
+    }
+}
+
+impl<AV, M: Codec + Clone + Send> Channel<AV> for Mirror<M> {
+    fn name(&self) -> &'static str {
+        "mirror"
+    }
+
+    fn before_superstep(&mut self, _step: u64) {
+        std::mem::swap(&mut self.readable, &mut self.incoming);
+        self.incoming.iter_mut().for_each(|s| *s = None);
+    }
+
+    fn serialize(&mut self, cx: &mut SerializeCx<'_>) {
+        if self.dirty {
+            self.rebuild_tables();
+        }
+        for peer in 0..self.staged_ghost.len() {
+            let has_traffic = !self.staged_ghost[peer].is_empty()
+                || !self.staged_direct[peer].is_empty()
+                || !self.pending_tables[peer].is_empty();
+            if !has_traffic {
+                continue;
+            }
+            let tables = std::mem::take(&mut self.pending_tables[peer]);
+            let ghosts = std::mem::take(&mut self.staged_ghost[peer]);
+            let directs = std::mem::take(&mut self.staged_direct[peer]);
+            self.messages += (ghosts.len() + directs.len()) as u64;
+            cx.frame(peer, |buf| {
+                // Section 1: one-time mirror-table updates.
+                (tables.len() as u32).encode(buf);
+                for (src, locals) in &tables {
+                    src.encode(buf);
+                    locals.encode(buf);
+                }
+                // Section 2: mirrored broadcasts.
+                (ghosts.len() as u32).encode(buf);
+                for (src, m) in &ghosts {
+                    src.encode(buf);
+                    m.encode(buf);
+                }
+                // Section 3: direct (sender-combined) messages to the end.
+                for (dst, m) in &directs {
+                    dst.encode(buf);
+                    m.encode(buf);
+                }
+            });
+        }
+    }
+
+    fn deserialize(&mut self, cx: &mut DeserializeCx<'_, AV>) {
+        for (_from, mut r) in cx.frames() {
+            let table_count: u32 = r.get();
+            for _ in 0..table_count {
+                let src: VertexId = r.get();
+                let locals: Vec<u32> = r.get();
+                self.ghost_in.insert(src, locals);
+            }
+            let ghost_count: u32 = r.get();
+            for _ in 0..ghost_count {
+                let src: VertexId = r.get();
+                let m: M = r.get();
+                let locals = self.ghost_in.get(&src).cloned().unwrap_or_default();
+                for local in locals {
+                    self.absorb(local, m.clone());
+                    cx.activate(local);
+                }
+            }
+            while !r.is_empty() {
+                let dst: VertexId = r.get();
+                let m: M = r.get();
+                let local = self.env.local_of(dst);
+                self.absorb(local, m);
+                cx.activate(local);
+            }
+        }
+    }
+
+    fn message_count(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::VertexCtx;
+    use crate::engine::{run, Algorithm};
+    use pc_bsp::{Config, Topology};
+    use pc_graph::{gen, Graph};
+    use std::sync::Arc;
+
+    /// Broadcast ids for several supersteps; receivers keep the min.
+    struct MirrorMin {
+        g: Arc<Graph>,
+        threshold: usize,
+        rounds: u64,
+    }
+    impl Algorithm for MirrorMin {
+        type Value = u32;
+        type Channels = (Mirror<u32>,);
+        fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+            (Mirror::new(env, Combine::min_u32(), self.threshold),)
+        }
+        fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u32, ch: &mut Self::Channels) {
+            if v.step() == 1 {
+                *value = u32::MAX;
+                for &t in self.g.neighbors(v.id) {
+                    ch.0.add_edge(v.local, t);
+                }
+            } else {
+                *value = ch.0.get_or_identity(v.local).min(*value);
+            }
+            if v.step() <= self.rounds {
+                ch.0.send_to_neighbors(v.local, v.id, v.id);
+            } else {
+                v.vote_to_halt();
+            }
+        }
+    }
+
+    fn oracle(g: &Graph) -> Vec<u32> {
+        let mut expect = vec![u32::MAX; g.n()];
+        for (u, v, ()) in g.arcs() {
+            expect[v as usize] = expect[v as usize].min(u);
+        }
+        expect
+    }
+
+    #[test]
+    fn mirror_matches_direct_semantics_at_any_threshold() {
+        let g = Arc::new(gen::rmat(8, 2000, gen::RmatParams::default(), 31, true));
+        let topo = Arc::new(Topology::hashed(g.n(), 4));
+        let expect = oracle(&g);
+        for threshold in [1, 8, 64, usize::MAX] {
+            for cfg in [Config::sequential(4), Config::with_workers(4)] {
+                let algo = MirrorMin { g: Arc::clone(&g), threshold, rounds: 1 };
+                let out = run(&algo, &topo, &cfg);
+                for (v, (&got, &want)) in out.values.iter().zip(&expect).enumerate() {
+                    if want != u32::MAX {
+                        assert_eq!(got, want, "v={v} threshold={threshold}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hub_broadcast_collapses_to_one_message_per_worker() {
+        let g = Arc::new(gen::star(801));
+        let topo = Arc::new(Topology::hashed(g.n(), 4));
+        let cfg = Config::sequential(4);
+        let mirrored = run(
+            &MirrorMin { g: Arc::clone(&g), threshold: 16, rounds: 3 },
+            &topo,
+            &cfg,
+        );
+        let direct = run(
+            &MirrorMin { g: Arc::clone(&g), threshold: usize::MAX, rounds: 3 },
+            &topo,
+            &cfg,
+        );
+        assert_eq!(mirrored.values, direct.values);
+        // Hub: ≤ 4 ghost messages per superstep instead of 800 pairs.
+        assert!(
+            mirrored.stats.messages() * 50 < direct.stats.messages(),
+            "mirrored {} vs direct {}",
+            mirrored.stats.messages(),
+            direct.stats.messages()
+        );
+    }
+
+    #[test]
+    fn mirror_tables_ship_once() {
+        let g = Arc::new(gen::star(801));
+        let topo = Arc::new(Topology::hashed(g.n(), 4));
+        let cfg = Config::sequential(4);
+        let short = run(&MirrorMin { g: Arc::clone(&g), threshold: 4, rounds: 1 }, &topo, &cfg);
+        let long = run(&MirrorMin { g: Arc::clone(&g), threshold: 4, rounds: 11 }, &topo, &cfg);
+        // The table shipment is one-time: 10 extra supersteps of hub
+        // broadcast cost far less than 10× the first.
+        let extra = (long.stats.total_bytes() - short.stats.total_bytes()) as f64 / 10.0;
+        assert!(
+            extra < 0.2 * short.stats.total_bytes() as f64,
+            "per-superstep cost {extra} vs first {}",
+            short.stats.total_bytes()
+        );
+    }
+}

@@ -1,0 +1,318 @@
+//! The `RequestRespond` channel (§IV-C2, Fig. 6).
+//!
+//! Two rounds of message passing form a conversation: in the *request*
+//! round every vertex may ask for an attribute of any other vertex; in the
+//! *respond* round the attribute values travel back. The naive
+//! implementation (each requester messages the target, the target replies
+//! individually) makes high-degree targets reply to thousands of
+//! requesters — the load-imbalance issue the paper identifies in S-V's
+//! parent queries.
+//!
+//! The optimization (after Pregel+'s reqresp mode, with the paper's two
+//! improvements):
+//!
+//! * per-worker **deduplication**: each worker sorts and dedups the targets
+//!   its vertices requested, sending every distinct target exactly once —
+//!   a target replies at most once per *worker*, not per requester;
+//! * **positional responses**: the responder returns a bare value list in
+//!   request order, so responses carry no vertex ids at all (the trick the
+//!   paper credits for its constant 33% size win over Pregel+'s
+//!   id+value replies).
+//!
+//! The respond value is produced by a user function applied to the target
+//! vertex's value, so target vertices participate without running
+//! `compute` — "implicit style" in the paper's words.
+
+use crate::channel::{Channel, DeserializeCx, SerializeCx, WorkerEnv};
+use pc_bsp::codec::Codec;
+use pc_graph::VertexId;
+use std::sync::Arc;
+
+/// Request/respond conversation channel: requests target vertices with
+/// values of type `AV`; responses carry type `R`.
+pub struct RequestRespond<AV, R> {
+    env: WorkerEnv,
+    respond: Arc<dyn Fn(&AV) -> R + Send + Sync>,
+    /// Targets requested this superstep (global ids), bucketed per owner.
+    staged: Vec<Vec<VertexId>>,
+    /// Sorted, deduplicated requests sent this superstep, per owner.
+    sent: Vec<Vec<VertexId>>,
+    /// Response lists produced for each requesting worker (respond round).
+    pending: Vec<Vec<R>>,
+    /// Received responses, positional with `sent` (double-buffered).
+    incoming: Vec<Vec<R>>,
+    read_requests: Vec<Vec<VertexId>>,
+    read_responses: Vec<Vec<R>>,
+    phase: u8,
+    traffic: bool,
+    messages: u64,
+}
+
+impl<AV, R: Codec + Clone + Send> RequestRespond<AV, R> {
+    /// Create this worker's instance. `respond` derives the response from
+    /// the target vertex's value (the constructor argument of Table II).
+    pub fn new(env: &WorkerEnv, respond: impl Fn(&AV) -> R + Send + Sync + 'static) -> Self {
+        let workers = env.workers();
+        RequestRespond {
+            env: env.clone(),
+            respond: Arc::new(respond),
+            staged: vec![Vec::new(); workers],
+            sent: vec![Vec::new(); workers],
+            pending: (0..workers).map(|_| Vec::new()).collect(),
+            incoming: (0..workers).map(|_| Vec::new()).collect(),
+            read_requests: vec![Vec::new(); workers],
+            read_responses: (0..workers).map(|_| Vec::new()).collect(),
+            phase: 0,
+            traffic: false,
+            messages: 0,
+        }
+    }
+
+    /// Request the attribute of the vertex with global id `dst`; the
+    /// response is readable via [`RequestRespond::get_respond`] next
+    /// superstep.
+    pub fn add_request(&mut self, dst: VertexId) {
+        self.staged[self.env.worker_of(dst)].push(dst);
+    }
+
+    /// The response for target `dst`, if it was requested last superstep.
+    pub fn get_respond(&self, dst: VertexId) -> Option<&R> {
+        let peer = self.env.worker_of(dst);
+        let idx = self.read_requests[peer].binary_search(&dst).ok()?;
+        self.read_responses[peer].get(idx)
+    }
+}
+
+impl<AV, R: Codec + Clone + Send> Channel<AV> for RequestRespond<AV, R> {
+    fn name(&self) -> &'static str {
+        "reqresp"
+    }
+
+    fn before_superstep(&mut self, _step: u64) {
+        self.read_requests = std::mem::replace(&mut self.sent, vec![Vec::new(); self.staged.len()]);
+        self.read_responses = std::mem::take(&mut self.incoming);
+        self.incoming = (0..self.staged.len()).map(|_| Vec::new()).collect();
+        self.phase = 0;
+        self.traffic = false;
+    }
+
+    fn serialize(&mut self, cx: &mut SerializeCx<'_>) {
+        self.phase += 1;
+        match self.phase {
+            1 => {
+                // Request round: dedup and ship distinct targets.
+                for peer in 0..self.staged.len() {
+                    let mut reqs = std::mem::take(&mut self.staged[peer]);
+                    if reqs.is_empty() {
+                        continue;
+                    }
+                    reqs.sort_unstable();
+                    reqs.dedup();
+                    self.messages += reqs.len() as u64;
+                    self.traffic = true;
+                    cx.frame(peer, |buf| {
+                        for &dst in &reqs {
+                            dst.encode(buf);
+                        }
+                    });
+                    self.sent[peer] = reqs;
+                }
+            }
+            2 => {
+                // Respond round: bare positional value lists.
+                for peer in 0..self.pending.len() {
+                    if self.pending[peer].is_empty() {
+                        continue;
+                    }
+                    let resp = std::mem::take(&mut self.pending[peer]);
+                    self.messages += resp.len() as u64;
+                    cx.frame(peer, |buf| {
+                        for r in &resp {
+                            r.encode(buf);
+                        }
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn deserialize(&mut self, cx: &mut DeserializeCx<'_, AV>) {
+        match self.phase {
+            1 => {
+                // Receive requests; produce responses from vertex values.
+                for (from, mut r) in cx.frames() {
+                    self.traffic = true;
+                    while !r.is_empty() {
+                        let dst: VertexId = r.get();
+                        let local = self.env.local_of(dst);
+                        let value = cx.value(local);
+                        self.pending[from].push((self.respond)(value));
+                    }
+                }
+            }
+            2 => {
+                for (from, mut r) in cx.frames() {
+                    let expected = self.sent[from].len();
+                    let mut resp = Vec::with_capacity(expected);
+                    while !r.is_empty() {
+                        resp.push(r.get::<R>());
+                    }
+                    debug_assert_eq!(resp.len(), expected, "positional response mismatch");
+                    self.incoming[from] = resp;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn again(&self) -> bool {
+        // One extra round is needed whenever any requests flowed; the
+        // engine ORs this across workers, so phase counters stay aligned.
+        self.phase == 1 && self.traffic
+    }
+
+    fn message_count(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::VertexCtx;
+    use crate::engine::{run, Algorithm};
+    use pc_bsp::{Config, Topology};
+    use std::sync::Arc;
+
+    /// Every vertex asks for the squared value of vertex `id / 2`.
+    struct AskParent;
+    impl Algorithm for AskParent {
+        type Value = u64;
+        type Channels = (RequestRespond<u64, u64>,);
+        fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+            (RequestRespond::new(env, |v: &u64| v * v),)
+        }
+        fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u64, ch: &mut Self::Channels) {
+            match v.step() {
+                1 => {
+                    *value = v.id as u64 + 1;
+                    ch.0.add_request(v.id / 2);
+                }
+                _ => {
+                    let target = (v.id / 2) as u64 + 1;
+                    assert_eq!(ch.0.get_respond(v.id / 2), Some(&(target * target)));
+                    *value = *ch.0.get_respond(v.id / 2).unwrap();
+                    v.vote_to_halt();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn responses_match_targets() {
+        let topo = Arc::new(Topology::hashed(64, 4));
+        for cfg in [Config::sequential(4), Config::with_workers(4)] {
+            let out = run(&AskParent, &topo, &cfg);
+            for id in 0..64u64 {
+                let t = id / 2 + 1;
+                assert_eq!(out.values[id as usize], t * t);
+            }
+            // Exactly 2 rounds in the request superstep, 1 in the final.
+            assert_eq!(out.stats.supersteps, 2);
+            assert_eq!(out.stats.rounds, 3);
+        }
+    }
+
+    #[test]
+    fn requests_are_deduplicated_per_worker() {
+        /// All vertices request vertex 0.
+        struct AllAskZero;
+        impl Algorithm for AllAskZero {
+            type Value = u64;
+            type Channels = (RequestRespond<u64, u64>,);
+            fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+                (RequestRespond::new(env, |v: &u64| *v),)
+            }
+            fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u64, ch: &mut Self::Channels) {
+                if v.step() == 1 {
+                    *value = v.id as u64 + 100;
+                    ch.0.add_request(0);
+                } else {
+                    *value = *ch.0.get_respond(0).unwrap();
+                    v.vote_to_halt();
+                }
+            }
+        }
+        let topo = Arc::new(Topology::hashed(1000, 4));
+        let out = run(&AllAskZero, &topo, &Config::sequential(4));
+        assert!(out.values.iter().all(|&v| v == 100));
+        let ch = &out.stats.channels[0];
+        // 4 deduped requests + 4 responses instead of 1000 + 1000.
+        assert_eq!(ch.messages, 8);
+    }
+
+    #[test]
+    fn no_requests_costs_one_round() {
+        struct Quiet;
+        impl Algorithm for Quiet {
+            type Value = u64;
+            type Channels = (RequestRespond<u64, u64>,);
+            fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+                (RequestRespond::new(env, |v: &u64| *v),)
+            }
+            fn compute(&self, v: &mut VertexCtx<'_>, _value: &mut u64, ch: &mut Self::Channels) {
+                assert!(ch.0.get_respond(0).is_none());
+                v.vote_to_halt();
+            }
+        }
+        let topo = Arc::new(Topology::hashed(10, 2));
+        let out = run(&Quiet, &topo, &Config::sequential(2));
+        assert_eq!(out.stats.rounds, 1);
+        assert_eq!(out.stats.total_bytes(), 0);
+    }
+
+    #[test]
+    fn repeated_conversations_across_supersteps() {
+        /// Chase parent pointers: each vertex asks its current pointer for
+        /// that vertex's pointer, three times (pointer doubling on a path).
+        struct Chase;
+        impl Algorithm for Chase {
+            type Value = u32; // current pointer
+            type Channels = (RequestRespond<u32, u32>,);
+            fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+                (RequestRespond::new(env, |v: &u32| *v),)
+            }
+            fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u32, ch: &mut Self::Channels) {
+                if v.step() == 1 {
+                    *value = v.id.saturating_sub(1); // chain parent
+                } else {
+                    *value = *ch.0.get_respond(*value).unwrap();
+                }
+                if v.step() <= 3 {
+                    ch.0.add_request(*value);
+                } else {
+                    v.vote_to_halt();
+                }
+            }
+        }
+        let n = 32u32;
+        let topo = Arc::new(Topology::hashed(n as usize, 3));
+        let out = run(&Chase, &topo, &Config::with_workers(3));
+        // After k rounds of doubling a vertex's pointer moves 2^k - 1… here
+        // simply check monotone decrease toward 0 and the head's fixpoint.
+        assert_eq!(out.values[0], 0);
+        assert_eq!(out.values[1], 0);
+        for id in 2..n {
+            assert!(out.values[id as usize] < id.saturating_sub(1).max(1));
+        }
+    }
+
+    #[test]
+    fn local_requests_use_loopback() {
+        let topo = Arc::new(Topology::hashed(64, 1));
+        let out = run(&AskParent, &topo, &Config::sequential(1));
+        assert_eq!(out.stats.remote_bytes(), 0);
+        assert!(out.stats.total_bytes() > 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The `Aggregator` channel (Table I, right column).
+//!
+//! Global communication: every vertex may [`Aggregator::add`] a value
+//! during a superstep; the values are reduced with the channel's
+//! [`Combine`] and the global result is readable on every worker in the
+//! next superstep. Used e.g. by PageRank's sink-mass redistribution
+//! (Fig. 1) and S-V's fixpoint detection.
+//!
+//! Implementation: each worker folds its local contributions, broadcasts
+//! the single partial to every worker (M−1 tiny messages), and every
+//! worker folds the partials it receives — one exchange round, no master.
+
+use crate::channel::{Channel, DeserializeCx, SerializeCx, WorkerEnv};
+use crate::combine::Combine;
+use pc_bsp::codec::Codec;
+
+/// Global-reduction channel producing values of type `M`.
+pub struct Aggregator<M> {
+    combine: Combine<M>,
+    partial: M,
+    added: bool,
+    incoming: M,
+    readable: M,
+    messages: u64,
+}
+
+impl<M: Codec + Clone + Send> Aggregator<M> {
+    /// Create this worker's instance with the global reduction operator.
+    pub fn new(_env: &WorkerEnv, combine: Combine<M>) -> Self {
+        let identity = combine.identity();
+        Aggregator {
+            combine,
+            partial: identity.clone(),
+            added: false,
+            incoming: identity.clone(),
+            readable: identity,
+            messages: 0,
+        }
+    }
+
+    /// Contribute a value to this superstep's global reduction.
+    pub fn add(&mut self, v: M) {
+        self.combine.apply(&mut self.partial, v);
+        self.added = true;
+    }
+
+    /// The global result of the *previous* superstep's contributions
+    /// (identity if nothing was added).
+    pub fn result(&self) -> &M {
+        &self.readable
+    }
+}
+
+impl<AV, M: Codec + Clone + Send> Channel<AV> for Aggregator<M> {
+    fn name(&self) -> &'static str {
+        "aggregator"
+    }
+
+    fn before_superstep(&mut self, _step: u64) {
+        self.readable = std::mem::replace(&mut self.incoming, self.combine.identity());
+        self.partial = self.combine.identity();
+        self.added = false;
+    }
+
+    fn serialize(&mut self, cx: &mut SerializeCx<'_>) {
+        if !self.added {
+            return;
+        }
+        // Fold our own partial in directly and broadcast it to the others.
+        self.combine.apply(&mut self.incoming, self.partial.clone());
+        for peer in 0..cx.workers() {
+            if peer == cx.env().worker {
+                continue;
+            }
+            self.messages += 1;
+            let partial = &self.partial;
+            cx.frame(peer, |buf| partial.encode(buf));
+        }
+        self.added = false;
+    }
+
+    fn deserialize(&mut self, cx: &mut DeserializeCx<'_, AV>) {
+        for (_from, mut r) in cx.frames() {
+            let partial: M = r.get();
+            self.combine.apply(&mut self.incoming, partial);
+        }
+    }
+
+    fn message_count(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::VertexCtx;
+    use crate::engine::{run, Algorithm};
+    use pc_bsp::{Config, Topology};
+    use std::sync::Arc;
+
+    /// Sum all vertex ids globally; every vertex checks the result.
+    struct GlobalSum;
+    impl Algorithm for GlobalSum {
+        type Value = u64;
+        type Channels = (Aggregator<u64>,);
+        fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+            (Aggregator::new(env, Combine::sum_u64()),)
+        }
+        fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u64, ch: &mut Self::Channels) {
+            if v.step() == 1 {
+                ch.0.add(v.id as u64);
+            } else {
+                *value = *ch.0.result();
+                v.vote_to_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn global_sum_reaches_everyone() {
+        let n = 100u64;
+        let topo = Arc::new(Topology::hashed(n as usize, 4));
+        let expect = n * (n - 1) / 2;
+        for cfg in [Config::sequential(4), Config::with_workers(4)] {
+            let out = run(&GlobalSum, &topo, &cfg);
+            assert!(out.values.iter().all(|&v| v == expect));
+        }
+    }
+
+    #[test]
+    fn aggregator_resets_every_superstep() {
+        struct EveryStep;
+        impl Algorithm for EveryStep {
+            type Value = Vec<u64>;
+            type Channels = (Aggregator<u64>,);
+            fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+                (Aggregator::new(env, Combine::sum_u64()),)
+            }
+            fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Vec<u64>, ch: &mut Self::Channels) {
+                value.push(*ch.0.result());
+                if v.step() <= 2 {
+                    ch.0.add(v.step()); // everyone adds the step number
+                } else {
+                    v.vote_to_halt();
+                }
+            }
+        }
+        let n = 10u64;
+        let topo = Arc::new(Topology::hashed(n as usize, 2));
+        let out = run(&EveryStep, &topo, &Config::sequential(2));
+        for v in &out.values {
+            // step1 sees identity, step2 sees n*1, step3 sees n*2.
+            assert_eq!(v, &vec![0, n, 2 * n]);
+        }
+    }
+
+    #[test]
+    fn min_aggregator() {
+        struct GlobalMin;
+        impl Algorithm for GlobalMin {
+            type Value = u32;
+            type Channels = (Aggregator<u32>,);
+            fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+                (Aggregator::new(env, Combine::min_u32()),)
+            }
+            fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u32, ch: &mut Self::Channels) {
+                if v.step() == 1 {
+                    ch.0.add(v.id + 5);
+                } else {
+                    *value = *ch.0.result();
+                    v.vote_to_halt();
+                }
+            }
+        }
+        let topo = Arc::new(Topology::hashed(64, 8));
+        let out = run(&GlobalMin, &topo, &Config::with_workers(8));
+        assert!(out.values.iter().all(|&v| v == 5));
+    }
+
+    #[test]
+    fn silent_superstep_costs_no_bytes() {
+        struct Silent;
+        impl Algorithm for Silent {
+            type Value = u64;
+            type Channels = (Aggregator<u64>,);
+            fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+                (Aggregator::new(env, Combine::sum_u64()),)
+            }
+            fn compute(&self, v: &mut VertexCtx<'_>, _value: &mut u64, _ch: &mut Self::Channels) {
+                v.vote_to_halt();
+            }
+        }
+        let topo = Arc::new(Topology::hashed(10, 4));
+        let out = run(&Silent, &topo, &Config::sequential(4));
+        assert_eq!(out.stats.total_bytes(), 0);
+        assert_eq!(out.stats.messages(), 0);
+    }
+}

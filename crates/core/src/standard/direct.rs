@@ -1,0 +1,230 @@
+//! The `DirectMessage` channel (Table I, first column).
+//!
+//! Point-to-point messages: a vertex sends `(dst, value)` pairs; the
+//! receiver iterates the values addressed to each vertex in the next
+//! superstep. The receive side is a flat counting-sorted array with
+//! per-vertex ranges — the "message iterator" the paper credits for the
+//! 45% pointer-jumping win over Pregel+'s nested vectors (§V-A analysis).
+
+use crate::channel::{Channel, DeserializeCx, SerializeCx, WorkerEnv};
+use pc_bsp::codec::Codec;
+use pc_graph::VertexId;
+
+/// Point-to-point message channel carrying values of type `M`.
+#[derive(Debug)]
+pub struct DirectMessage<M> {
+    env: WorkerEnv,
+    /// Staged sends, bucketed per destination worker as `(dst, value)`.
+    staged: Vec<Vec<(VertexId, M)>>,
+    /// Messages received this superstep as `(dst local index, value)`.
+    incoming: Vec<(u32, M)>,
+    /// Readable state: values sorted by destination with range offsets.
+    read_vals: Vec<M>,
+    read_offsets: Vec<u32>,
+    messages: u64,
+}
+
+impl<M: Codec + Clone + Send> DirectMessage<M> {
+    /// Create this worker's instance.
+    pub fn new(env: &WorkerEnv) -> Self {
+        let numv = env.local_count();
+        DirectMessage {
+            env: env.clone(),
+            staged: (0..env.workers()).map(|_| Vec::new()).collect(),
+            incoming: Vec::new(),
+            read_vals: Vec::new(),
+            read_offsets: vec![0; numv + 1],
+            messages: 0,
+        }
+    }
+
+    /// Send `m` to the vertex with global id `dst`; it becomes readable at
+    /// the destination in the next superstep.
+    pub fn send_message(&mut self, dst: VertexId, m: M) {
+        self.staged[self.env.worker_of(dst)].push((dst, m));
+    }
+
+    /// The messages delivered to local vertex `local` this superstep.
+    pub fn messages(&self, local: u32) -> &[M] {
+        let lo = self.read_offsets[local as usize] as usize;
+        let hi = self.read_offsets[local as usize + 1] as usize;
+        &self.read_vals[lo..hi]
+    }
+
+    /// Whether `local` received anything this superstep.
+    pub fn has_messages(&self, local: u32) -> bool {
+        !self.messages(local).is_empty()
+    }
+}
+
+impl<AV, M: Codec + Clone + Send> Channel<AV> for DirectMessage<M> {
+    fn name(&self) -> &'static str {
+        "direct"
+    }
+
+    fn before_superstep(&mut self, _step: u64) {
+        // Sort the superstep's deliveries by destination and expose them as
+        // one flat value array with per-vertex ranges.
+        let numv = self.read_offsets.len() - 1;
+        self.incoming.sort_by_key(|&(local, _)| local);
+        self.read_offsets.iter_mut().for_each(|o| *o = 0);
+        for &(local, _) in &self.incoming {
+            self.read_offsets[local as usize + 1] += 1;
+        }
+        for i in 0..numv {
+            self.read_offsets[i + 1] += self.read_offsets[i];
+        }
+        self.read_vals.clear();
+        self.read_vals.extend(self.incoming.drain(..).map(|(_, m)| m));
+    }
+
+    fn serialize(&mut self, cx: &mut SerializeCx<'_>) {
+        for peer in 0..self.staged.len() {
+            if self.staged[peer].is_empty() {
+                continue;
+            }
+            self.messages += self.staged[peer].len() as u64;
+            let batch = std::mem::take(&mut self.staged[peer]);
+            cx.frame(peer, |buf| {
+                for (dst, m) in &batch {
+                    dst.encode(buf);
+                    m.encode(buf);
+                }
+            });
+        }
+    }
+
+    fn deserialize(&mut self, cx: &mut DeserializeCx<'_, AV>) {
+        for (_from, mut r) in cx.frames() {
+            while !r.is_empty() {
+                let dst: VertexId = r.get();
+                let m: M = r.get();
+                let local = self.env.local_of(dst);
+                self.incoming.push((local, m));
+                cx.activate(local);
+            }
+        }
+    }
+
+    fn message_count(&self) -> u64 {
+        self.messages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{run, Algorithm};
+    use crate::channel::VertexCtx;
+    use pc_bsp::{Config, Topology};
+    use std::sync::Arc;
+
+    /// Every vertex sends its id to vertices `id/2` and `id/3`; receivers
+    /// collect the count and sum of incoming messages.
+    struct FanIn;
+    impl Algorithm for FanIn {
+        type Value = (u64, u64); // (count, sum)
+        type Channels = (DirectMessage<u32>,);
+        fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+            (DirectMessage::new(env),)
+        }
+        fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Self::Value, ch: &mut Self::Channels) {
+            if v.step() == 1 {
+                ch.0.send_message(v.id / 2, v.id);
+                ch.0.send_message(v.id / 3, v.id);
+                v.vote_to_halt();
+            } else {
+                let msgs = ch.0.messages(v.local);
+                *value = (msgs.len() as u64, msgs.iter().map(|&m| m as u64).sum());
+                v.vote_to_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn direct_messages_are_grouped_per_receiver() {
+        let n = 100u32;
+        let topo = Arc::new(Topology::hashed(n as usize, 4));
+        for cfg in [Config::sequential(4), Config::with_workers(4)] {
+            let out = run(&FanIn, &topo, &cfg);
+            // Oracle: recompute fan-in sequentially.
+            let mut expect = vec![(0u64, 0u64); n as usize];
+            for id in 0..n {
+                for dst in [id / 2, id / 3] {
+                    expect[dst as usize].0 += 1;
+                    expect[dst as usize].1 += id as u64;
+                }
+            }
+            assert_eq!(out.values, expect);
+            assert_eq!(out.stats.messages(), 2 * n as u64);
+            // Each message is 4 bytes dst + 4 bytes value (+ frame headers).
+            assert!(out.stats.total_bytes() >= 2 * n as u64 * 8);
+        }
+    }
+
+    /// Token passing along a chain: only the token holder is active.
+    struct TokenPass {
+        n: u32,
+    }
+    impl Algorithm for TokenPass {
+        type Value = bool; // visited by the token
+        type Channels = (DirectMessage<u8>,);
+        fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+            (DirectMessage::new(env),)
+        }
+        fn compute(&self, v: &mut VertexCtx<'_>, value: &mut bool, ch: &mut Self::Channels) {
+            let has_token = (v.step() == 1 && v.id == 0) || ch.0.has_messages(v.local);
+            if has_token {
+                *value = true;
+                if v.id + 1 < self.n {
+                    ch.0.send_message(v.id + 1, 1);
+                }
+            }
+            v.vote_to_halt();
+        }
+    }
+
+    #[test]
+    fn activation_wakes_only_receivers() {
+        let n = 20u32;
+        let topo = Arc::new(Topology::hashed(n as usize, 3));
+        let out = run(&TokenPass { n }, &topo, &Config::sequential(3));
+        assert!(out.values.iter().all(|&v| v), "token visited everyone");
+        assert_eq!(out.stats.supersteps, n as u64);
+        assert_eq!(out.stats.messages(), (n - 1) as u64);
+    }
+
+    #[test]
+    fn empty_supersteps_deliver_nothing() {
+        let topo = Arc::new(Topology::hashed(10, 2));
+        let out = run(&TokenPass { n: 1 }, &topo, &Config::sequential(2));
+        // Vertex 0 exists among 10 vertices; only it gets the token.
+        assert_eq!(out.values.iter().filter(|&&v| v).count(), 1);
+        assert_eq!(out.stats.messages(), 0);
+    }
+
+    #[test]
+    fn variable_width_messages_roundtrip() {
+        struct VecMsg;
+        impl Algorithm for VecMsg {
+            type Value = u64;
+            type Channels = (DirectMessage<Vec<u32>>,);
+            fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+                (DirectMessage::new(env),)
+            }
+            fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u64, ch: &mut Self::Channels) {
+                if v.step() == 1 {
+                    ch.0.send_message(0, vec![v.id; (v.id % 3) as usize]);
+                    v.vote_to_halt();
+                } else {
+                    *value = ch.0.messages(v.local).iter().map(|m| m.len() as u64).sum();
+                    v.vote_to_halt();
+                }
+            }
+        }
+        let topo = Arc::new(Topology::hashed(9, 2));
+        let out = run(&VecMsg, &topo, &Config::sequential(2));
+        // ids 0..9, each sends id%3 elements: 0+1+2+0+1+2+0+1+2 = 9
+        assert_eq!(out.values[0], 9);
+    }
+}

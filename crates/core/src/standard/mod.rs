@@ -1,0 +1,8 @@
+//! The standard channels of Table I: direct messages, combined messages
+//! and the aggregator. These mirror Pregel's native facilities one-to-one;
+//! a Pregel program ports to them by replacing each matched send/receive
+//! pair with one channel's send/receive methods (§V-A).
+
+pub mod aggregator;
+pub mod combined;
+pub mod direct;

@@ -1,0 +1,280 @@
+//! Compressed sparse row graphs.
+//!
+//! Vertex ids are dense `u32` in `0..n`. A [`Graph<W>`] stores an
+//! out-adjacency CSR; undirected graphs are symmetrized at construction so
+//! that `neighbors(v)` always yields every incident edge (the paper's
+//! "neighborhood communication" iterates exactly this set).
+
+/// Dense vertex identifier.
+pub type VertexId = u32;
+
+/// Convenience alias for an edge-weighted graph (weights as `u32`).
+pub type WeightedGraph = Graph<u32>;
+
+/// A CSR graph, optionally edge-weighted.
+///
+/// `W = ()` (the default) means unweighted; the weight vector is then a
+/// zero-sized no-op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Graph<W = ()> {
+    n: usize,
+    offsets: Vec<usize>,
+    targets: Vec<VertexId>,
+    weights: Vec<W>,
+    directed: bool,
+}
+
+impl<W: Copy + Default> Graph<W> {
+    /// Build from weighted edges. For undirected graphs every edge is
+    /// inserted in both directions (self-loops once). Parallel edges are
+    /// preserved — generators dedup when they need to.
+    pub fn from_weighted_edges(
+        n: usize,
+        edges: &[(VertexId, VertexId, W)],
+        directed: bool,
+    ) -> Self {
+        for &(u, v, _) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range 0..{n}");
+        }
+        let mut deg = vec![0usize; n];
+        for &(u, v, _) in edges {
+            deg[u as usize] += 1;
+            if !directed && u != v {
+                deg[v as usize] += 1;
+            }
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + deg[i];
+        }
+        let m = offsets[n];
+        let mut targets = vec![0 as VertexId; m];
+        let mut weights = vec![W::default(); m];
+        let mut cursor = offsets.clone();
+        for &(u, v, w) in edges {
+            let c = &mut cursor[u as usize];
+            targets[*c] = v;
+            weights[*c] = w;
+            *c += 1;
+            if !directed && u != v {
+                let c = &mut cursor[v as usize];
+                targets[*c] = u;
+                weights[*c] = w;
+                *c += 1;
+            }
+        }
+        // Sort each adjacency list (by target, then weight) for determinism.
+        let mut g = Graph { n, offsets, targets, weights, directed };
+        g.sort_adjacency();
+        g
+    }
+
+    fn sort_adjacency(&mut self)
+    where
+        W: Copy,
+    {
+        for v in 0..self.n {
+            let range = self.offsets[v]..self.offsets[v + 1];
+            let mut pairs: Vec<(VertexId, W)> = range
+                .clone()
+                .map(|i| (self.targets[i], self.weights[i]))
+                .collect();
+            pairs.sort_by_key(|&(t, _)| t);
+            for (i, (t, w)) in range.zip(pairs) {
+                self.targets[i] = t;
+                self.weights[i] = w;
+            }
+        }
+    }
+
+    /// The undirected view of this graph: every arc becomes a symmetric
+    /// edge (duplicates merged). Used by WCC/S-V on directed inputs.
+    pub fn symmetrized(&self) -> Self {
+        if !self.directed {
+            return self.clone();
+        }
+        let mut edges: Vec<(VertexId, VertexId, W)> = self
+            .arcs()
+            .map(|(u, v, w)| if u <= v { (u, v, w) } else { (v, u, w) })
+            .collect();
+        edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+        Graph::from_weighted_edges(self.n, &edges, false)
+    }
+
+    /// The transposed graph (in-edges become out-edges). For undirected
+    /// graphs this is a (sorted) copy.
+    pub fn reverse(&self) -> Self {
+        let mut edges = Vec::with_capacity(self.targets.len());
+        for u in 0..self.n as VertexId {
+            for (v, w) in self.neighbors_weighted(u) {
+                edges.push((v, u, w));
+            }
+        }
+        // The symmetrized edge set of an undirected graph already contains
+        // both directions, so rebuild as directed to avoid doubling.
+        Graph::from_weighted_edges(self.n, &edges, true)
+    }
+}
+
+impl Graph<()> {
+    /// Build an unweighted graph from `(src, dst)` pairs.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)], directed: bool) -> Self {
+        let weighted: Vec<(VertexId, VertexId, ())> =
+            edges.iter().map(|&(u, v)| (u, v, ())).collect();
+        Graph::from_weighted_edges(n, &weighted, directed)
+    }
+}
+
+impl<W: Copy> Graph<W> {
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (directed) arcs. For an undirected graph each edge
+    /// counts twice (self-loops once).
+    pub fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of logical edges: arcs for directed graphs, arcs adjusted for
+    /// symmetrization otherwise.
+    pub fn edge_count(&self) -> usize {
+        if self.directed {
+            self.arc_count()
+        } else {
+            let self_loops = (0..self.n as VertexId)
+                .map(|v| self.neighbors(v).iter().filter(|&&t| t == v).count())
+                .sum::<usize>();
+            (self.arc_count() - self_loops) / 2 + self_loops
+        }
+    }
+
+    /// Whether the graph was built as directed.
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Out-neighbors of `v` (sorted).
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Edge weights of `v`'s out-edges, parallel to [`Graph::neighbors`].
+    #[inline]
+    pub fn weights(&self, v: VertexId) -> &[W] {
+        &self.weights[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Iterate `(target, weight)` pairs of `v`'s out-edges.
+    pub fn neighbors_weighted(&self, v: VertexId) -> impl Iterator<Item = (VertexId, W)> + '_ {
+        self.neighbors(v).iter().copied().zip(self.weights(v).iter().copied())
+    }
+
+    /// Iterate all arcs as `(src, dst, weight)`.
+    pub fn arcs(&self) -> impl Iterator<Item = (VertexId, VertexId, W)> + '_ {
+        (0..self.n as VertexId)
+            .flat_map(move |u| self.neighbors_weighted(u).map(move |(v, w)| (u, v, w)))
+    }
+
+    /// Iterate vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.n as VertexId
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directed_graph_basics() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (2, 3), (3, 0)], true);
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.arc_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert_eq!(g.degree(3), 1);
+        assert!(g.is_directed());
+    }
+
+    #[test]
+    fn undirected_graph_symmetrizes() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], false);
+        assert_eq!(g.arc_count(), 4);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn self_loop_inserted_once_when_undirected() {
+        let g = Graph::from_edges(2, &[(0, 0), (0, 1)], false);
+        assert_eq!(g.neighbors(0), &[0, 1]);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn weighted_edges_kept_parallel_to_targets() {
+        let g = Graph::from_weighted_edges(3, &[(0, 2, 9u32), (0, 1, 5)], true);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.weights(0), &[5, 9]);
+        let pairs: Vec<_> = g.neighbors_weighted(0).collect();
+        assert_eq!(pairs, vec![(1, 5), (2, 9)]);
+    }
+
+    #[test]
+    fn reverse_transposes() {
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2), (1, 2)], true);
+        let r = g.reverse();
+        assert_eq!(r.neighbors(2), &[0, 1]);
+        assert_eq!(r.neighbors(0), &[] as &[u32]);
+        assert_eq!(r.arc_count(), 3);
+    }
+
+    #[test]
+    fn reverse_of_undirected_preserves_adjacency() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], false);
+        let r = g.reverse();
+        for v in 0..4u32 {
+            assert_eq!(r.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn arcs_iterator_covers_everything() {
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 7u32), (2, 0, 3)], true);
+        let arcs: Vec<_> = g.arcs().collect();
+        assert_eq!(arcs, vec![(0, 1, 7), (2, 0, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Graph::from_edges(2, &[(0, 5)], true);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[], true);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.arc_count(), 0);
+        assert_eq!(g.vertices().count(), 0);
+    }
+
+    #[test]
+    fn parallel_edges_preserved() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1)], true);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+        assert_eq!(g.arc_count(), 2);
+    }
+}

@@ -1,0 +1,400 @@
+//! Deterministic synthetic graph generators.
+//!
+//! These are the stand-ins for the paper's datasets (Table III). The paper's
+//! performance phenomena are structural, so each generator is chosen to
+//! reproduce the relevant structure:
+//!
+//! * [`rmat`] — skewed (power-law-ish) degree distribution → load imbalance,
+//!   mirroring/request-respond territory (Wikipedia, WebUK, Twitter,
+//!   Facebook, RMAT24);
+//! * [`chain`] / [`chain_parents`] — maximal-diameter worst case for
+//!   pointer jumping and propagation (Chain);
+//! * [`random_forest_parents`] — random recursive trees for
+//!   pointer-jumping (Tree);
+//! * [`grid2d`] — large-diameter, low-degree road-network analogue
+//!   (USA Road).
+//!
+//! All generators take explicit seeds and are fully deterministic.
+
+use crate::csr::{Graph, VertexId, WeightedGraph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Undirected path `0 — 1 — … — n-1`.
+pub fn chain(n: usize) -> Graph {
+    let edges: Vec<(VertexId, VertexId)> =
+        (0..n.saturating_sub(1)).map(|i| (i as VertexId, (i + 1) as VertexId)).collect();
+    Graph::from_edges(n, &edges, false)
+}
+
+/// Parent-pointer array of a chain rooted at 0: `D[0] = 0`, `D[i] = i-1`.
+/// This is the pointer-jumping worst case from Table V.
+pub fn chain_parents(n: usize) -> Vec<VertexId> {
+    (0..n).map(|i| if i == 0 { 0 } else { (i - 1) as VertexId }).collect()
+}
+
+/// Parent-pointer arrays of `roots` random recursive trees over `n`
+/// vertices. Vertices `0..roots` are roots (pointing to themselves); every
+/// other vertex picks a uniformly random parent with a smaller id.
+pub fn random_forest_parents(n: usize, roots: usize, seed: u64) -> Vec<VertexId> {
+    assert!(roots >= 1 && roots <= n.max(1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            if i < roots {
+                i as VertexId
+            } else {
+                rng.random_range(0..i) as VertexId
+            }
+        })
+        .collect()
+}
+
+/// Undirected random recursive tree with `n` vertices.
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    let parents = random_forest_parents(n, 1, seed);
+    let edges: Vec<(VertexId, VertexId)> = (1..n)
+        .map(|i| (i as VertexId, parents[i]))
+        .collect();
+    Graph::from_edges(n, &edges, false)
+}
+
+/// Parameters of the recursive-matrix generator of Chakrabarti et al.,
+/// used by the paper for its synthetic power-law graph (RMAT24).
+#[derive(Debug, Clone, Copy)]
+pub struct RmatParams {
+    /// Probability mass of the four quadrants; must sum to ~1.
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Noise applied to the quadrant probabilities per level.
+    pub noise: f64,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        // The classic Graph500-style skew.
+        RmatParams { a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+    }
+}
+
+fn rmat_edge(scale: u32, p: RmatParams, rng: &mut StdRng) -> (VertexId, VertexId) {
+    let (mut u, mut v) = (0u64, 0u64);
+    for _ in 0..scale {
+        let (mut a, mut b, mut c) = (p.a, p.b, p.c);
+        // Multiplicative noise keeps the expected skew but breaks the
+        // perfectly self-similar structure.
+        let jitter = |x: f64, rng: &mut StdRng| x * (1.0 - p.noise / 2.0 + p.noise * rng.random::<f64>());
+        a = jitter(a, rng);
+        b = jitter(b, rng);
+        c = jitter(c, rng);
+        let total = a + b + c + (1.0 - p.a - p.b - p.c).max(0.0);
+        let r = rng.random::<f64>() * total;
+        u <<= 1;
+        v <<= 1;
+        if r < a {
+            // top-left
+        } else if r < a + b {
+            v |= 1;
+        } else if r < a + b + c {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u as VertexId, v as VertexId)
+}
+
+/// R-MAT edge list over `2^scale` vertices with `m` edge samples.
+/// Self-loops and duplicates are removed; the result is sorted.
+pub fn rmat_edges(scale: u32, m: usize, p: RmatParams, seed: u64) -> Vec<(VertexId, VertexId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let (u, v) = rmat_edge(scale, p, &mut rng);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+/// R-MAT graph over `2^scale` vertices with about `m` distinct edges.
+pub fn rmat(scale: u32, m: usize, p: RmatParams, seed: u64, directed: bool) -> Graph {
+    let edges = rmat_edges(scale, m, p, seed);
+    Graph::from_edges(1 << scale, &edges, directed)
+}
+
+/// R-MAT graph with uniformly random edge weights in `1..=max_weight`.
+pub fn rmat_weighted(
+    scale: u32,
+    m: usize,
+    p: RmatParams,
+    seed: u64,
+    directed: bool,
+    max_weight: u32,
+) -> WeightedGraph {
+    let edges = rmat_edges(scale, m, p, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ WEIGHT_SEED_SALT);
+    let weighted: Vec<(VertexId, VertexId, u32)> = edges
+        .into_iter()
+        .map(|(u, v)| (u, v, rng.random_range(1..=max_weight)))
+        .collect();
+    Graph::from_weighted_edges(1 << scale, &weighted, directed)
+}
+
+/// Salt so weight streams are independent of structure streams.
+const WEIGHT_SEED_SALT: u64 = 0x57ae_11ed;
+
+/// Erdős–Rényi G(n, m): `m` distinct uniformly random edges.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64, directed: bool) -> Graph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m);
+    for _ in 0..m {
+        let u = rng.random_range(0..n) as VertexId;
+        let v = rng.random_range(0..n) as VertexId;
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n, &edges, directed)
+}
+
+/// `rows × cols` undirected grid with optional random diagonal shortcuts
+/// (probability `diag_prob` per cell) — a road-network analogue: low
+/// degree, huge diameter.
+pub fn grid2d(rows: usize, cols: usize, diag_prob: f64, seed: u64) -> Graph {
+    let n = rows * cols;
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+            if r + 1 < rows && c + 1 < cols && rng.random::<f64>() < diag_prob {
+                edges.push((id(r, c), id(r + 1, c + 1)));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges, false)
+}
+
+/// Weighted grid (road-network analogue with travel costs).
+pub fn grid2d_weighted(rows: usize, cols: usize, max_weight: u32, seed: u64) -> WeightedGraph {
+    let g = grid2d(rows, cols, 0.05, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ WEIGHT_SEED_SALT);
+    let mut edges = Vec::new();
+    for (u, v, ()) in g.arcs() {
+        if u < v {
+            edges.push((u, v, rng.random_range(1..=max_weight)));
+        }
+    }
+    Graph::from_weighted_edges(rows * cols, &edges, false)
+}
+
+/// Star: vertex 0 connected to all others (undirected). The extreme
+/// high-degree case for load-imbalance tests.
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<(VertexId, VertexId)> = (1..n).map(|i| (0, i as VertexId)).collect();
+    Graph::from_edges(n, &edges, false)
+}
+
+/// Complete undirected graph on `n` vertices (tests only; O(n²) edges).
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::new();
+    for u in 0..n as VertexId {
+        for v in (u + 1)..n as VertexId {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges, false)
+}
+
+/// Perfect-ish binary tree as an undirected graph.
+pub fn binary_tree(n: usize) -> Graph {
+    let edges: Vec<(VertexId, VertexId)> =
+        (1..n).map(|i| (i as VertexId, ((i - 1) / 2) as VertexId)).collect();
+    Graph::from_edges(n, &edges, false)
+}
+
+/// Undirected cycle.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3);
+    let mut edges: Vec<(VertexId, VertexId)> =
+        (0..n - 1).map(|i| (i as VertexId, (i + 1) as VertexId)).collect();
+    edges.push(((n - 1) as VertexId, 0));
+    Graph::from_edges(n, &edges, false)
+}
+
+/// A directed graph with planted strongly connected components: `k` cycles
+/// of length `len` connected by random forward (acyclic) edges — oracle
+/// territory for the Min-Label SCC algorithm.
+pub fn planted_sccs(k: usize, len: usize, extra: usize, seed: u64) -> Graph {
+    assert!(len >= 1);
+    let n = k * len;
+    let mut edges = Vec::new();
+    for c in 0..k {
+        let base = c * len;
+        for i in 0..len {
+            let u = (base + i) as VertexId;
+            let v = (base + (i + 1) % len) as VertexId;
+            if len > 1 || u != v {
+                edges.push((u, v));
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..extra {
+        // Only edges from a lower-indexed component to a higher one, so the
+        // planted cycles remain the exact SCCs.
+        let c1 = rng.random_range(0..k);
+        let c2 = rng.random_range(0..k);
+        if c1 == c2 {
+            continue;
+        }
+        let (lo, hi) = (c1.min(c2), c1.max(c2));
+        let u = (lo * len + rng.random_range(0..len)) as VertexId;
+        let v = (hi * len + rng.random_range(0..len)) as VertexId;
+        edges.push((u, v));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n, &edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn chain_parents_shape() {
+        let p = chain_parents(4);
+        assert_eq!(p, vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn forest_parents_are_valid() {
+        let p = random_forest_parents(1000, 5, 42);
+        for (i, &d) in p.iter().enumerate() {
+            if i < 5 {
+                assert_eq!(d as usize, i);
+            } else {
+                assert!((d as usize) < i, "parent must have smaller id");
+            }
+        }
+        // Deterministic per seed.
+        assert_eq!(p, random_forest_parents(1000, 5, 42));
+        assert_ne!(p, random_forest_parents(1000, 5, 43));
+    }
+
+    #[test]
+    fn random_tree_is_connected_with_n_minus_1_edges() {
+        let g = random_tree(200, 7);
+        assert_eq!(g.edge_count(), 199);
+        let labels = crate::reference::connected_components(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn rmat_is_skewed_and_deterministic() {
+        let g = rmat(10, 8 * 1024, RmatParams::default(), 1, true);
+        assert_eq!(g.n(), 1024);
+        assert!(g.arc_count() > 4000, "dedup should leave most samples");
+        let max_deg = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        let avg = g.arc_count() as f64 / g.n() as f64;
+        assert!(
+            (max_deg as f64) > 6.0 * avg,
+            "R-MAT should be skewed: max={max_deg} avg={avg:.2}"
+        );
+        let g2 = rmat(10, 8 * 1024, RmatParams::default(), 1, true);
+        assert_eq!(g.arc_count(), g2.arc_count());
+    }
+
+    #[test]
+    fn rmat_weighted_weights_in_range() {
+        let g = rmat_weighted(8, 2000, RmatParams::default(), 3, false, 100);
+        for (_, _, w) in g.arcs() {
+            assert!((1..=100).contains(&w));
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_no_self_loops_or_dupes() {
+        let g = erdos_renyi(100, 500, 9, true);
+        let mut seen = std::collections::HashSet::new();
+        for (u, v, ()) in g.arcs() {
+            assert_ne!(u, v);
+            assert!(seen.insert((u, v)));
+        }
+    }
+
+    #[test]
+    fn grid_has_expected_structure() {
+        let g = grid2d(3, 4, 0.0, 0);
+        assert_eq!(g.n(), 12);
+        // 3*3 horizontal + 2*4 vertical = 17 edges
+        assert_eq!(g.edge_count(), 17);
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(g.degree(5), 4); // interior
+    }
+
+    #[test]
+    fn star_and_complete_and_cycle() {
+        assert_eq!(star(10).degree(0), 9);
+        assert_eq!(star(10).degree(3), 1);
+        assert_eq!(complete(5).edge_count(), 10);
+        let c = cycle(6);
+        assert!(c.vertices().all(|v| c.degree(v) == 2));
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(1), 3);
+        assert_eq!(g.degree(6), 1);
+    }
+
+    #[test]
+    fn planted_sccs_match_tarjan() {
+        let g = planted_sccs(8, 5, 30, 11);
+        let labels = crate::reference::strongly_connected_components(&g);
+        // Each planted cycle collapses to one SCC labelled by its min id.
+        for c in 0..8u32 {
+            for i in 0..5u32 {
+                assert_eq!(labels[(c * 5 + i) as usize], c * 5);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_weighted_is_undirected_and_bounded() {
+        let g = grid2d_weighted(5, 5, 10, 2);
+        for (_, _, w) in g.arcs() {
+            assert!((1..=10).contains(&w));
+        }
+        assert!(!g.is_directed());
+    }
+}

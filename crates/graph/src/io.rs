@@ -1,0 +1,157 @@
+//! Plain edge-list persistence.
+//!
+//! The paper loads graphs from HDFS; we read/write the ubiquitous
+//! whitespace-separated edge-list format (`src dst [weight]` per line,
+//! `#`-prefixed comments ignored), which is what SNAP/KONECT datasets ship
+//! as, so real data can be dropped in if available.
+
+use crate::csr::{Graph, VertexId, WeightedGraph};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Read an unweighted edge list. `directed` controls symmetrization.
+/// The vertex count is `max id + 1` unless `min_n` is larger.
+pub fn read_edge_list(path: &Path, directed: bool, min_n: usize) -> io::Result<Graph> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = io::BufReader::new(file);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut line = String::new();
+    let mut max_id = 0u32;
+    while reader.read_line(&mut line)? != 0 {
+        if let Some((u, v, _)) = parse_line(&line) {
+            max_id = max_id.max(u).max(v);
+            edges.push((u, v));
+        }
+        line.clear();
+    }
+    let n = min_n.max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    Ok(Graph::from_edges(n, &edges, directed))
+}
+
+/// Read a weighted edge list (third column = weight; defaults to 1).
+pub fn read_weighted_edge_list(
+    path: &Path,
+    directed: bool,
+    min_n: usize,
+) -> io::Result<WeightedGraph> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = io::BufReader::new(file);
+    let mut edges: Vec<(VertexId, VertexId, u32)> = Vec::new();
+    let mut line = String::new();
+    let mut max_id = 0u32;
+    while reader.read_line(&mut line)? != 0 {
+        if let Some((u, v, w)) = parse_line(&line) {
+            max_id = max_id.max(u).max(v);
+            edges.push((u, v, w.unwrap_or(1)));
+        }
+        line.clear();
+    }
+    let n = min_n.max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    Ok(Graph::from_weighted_edges(n, &edges, directed))
+}
+
+fn parse_line(line: &str) -> Option<(VertexId, VertexId, Option<u32>)> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+        return None;
+    }
+    let mut it = line.split_whitespace();
+    let u: VertexId = it.next()?.parse().ok()?;
+    let v: VertexId = it.next()?.parse().ok()?;
+    let w = it.next().and_then(|s| s.parse().ok());
+    Some((u, v, w))
+}
+
+/// Weight column formatting: weighted graphs print a third column,
+/// unweighted graphs print none.
+pub trait WeightColumn: Copy {
+    /// Write the weight column (including its leading separator), if any.
+    fn write_column(&self, out: &mut dyn Write) -> io::Result<()>;
+}
+
+impl WeightColumn for () {
+    fn write_column(&self, _out: &mut dyn Write) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl WeightColumn for u32 {
+    fn write_column(&self, out: &mut dyn Write) -> io::Result<()> {
+        write!(out, " {self}")
+    }
+}
+
+/// Write a graph as an edge list. Undirected graphs emit each edge once
+/// (`u <= v` arcs only).
+pub fn write_edge_list<W: WeightColumn>(g: &Graph<W>, path: &Path) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut out = BufWriter::new(file);
+    writeln!(out, "# {} vertices, {} edges", g.n(), g.edge_count())?;
+    for (u, v, w) in g.arcs() {
+        if !g.is_directed() && u > v {
+            continue;
+        }
+        write!(out, "{u} {v}")?;
+        w.write_column(&mut out)?;
+        writeln!(out)?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pc_graph_io_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn unweighted_roundtrip() {
+        let g = gen::rmat(6, 200, gen::RmatParams::default(), 4, true);
+        let path = tmp("unweighted.txt");
+        write_edge_list(&g, &path).unwrap();
+        let g2 = read_edge_list(&path, true, g.n()).unwrap();
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn weighted_roundtrip_undirected() {
+        let g = gen::grid2d_weighted(6, 6, 9, 1);
+        let path = tmp("weighted.txt");
+        write_edge_list(&g, &path).unwrap();
+        let g2 = read_weighted_edge_list(&path, false, g.n()).unwrap();
+        for v in g.vertices() {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+            assert_eq!(g.weights(v), g2.weights(v));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let path = tmp("comments.txt");
+        std::fs::write(&path, "# header\n\n% konect style\n0 1\n1 2 7\n").unwrap();
+        let g = read_weighted_edge_list(&path, true, 0).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.weights(0), &[1]); // missing weight defaults to 1
+        assert_eq!(g.weights(1), &[7]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn min_n_pads_isolated_vertices() {
+        let path = tmp("padded.txt");
+        std::fs::write(&path, "0 1\n").unwrap();
+        let g = read_edge_list(&path, false, 10).unwrap();
+        assert_eq!(g.n(), 10);
+        assert_eq!(g.degree(9), 0);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,26 @@
+//! # pc-graph — graph data structures, generators, partitioners, oracles
+//!
+//! Everything graph-shaped that the reproduction needs and that is not part
+//! of the paper's contribution:
+//!
+//! * [`csr`] — compressed sparse row graphs, optionally edge-weighted;
+//! * [`gen`] — deterministic synthetic generators standing in for the
+//!   paper's datasets (Table III): R-MAT power-law graphs, chains, random
+//!   trees, 2-D grids (road networks), plus small shapes for tests;
+//! * [`partition`] — partitioners (hash, streaming greedy, BFS block
+//!   growing) and the edge-cut metric; the greedy/BFS partitioners are the
+//!   METIS stand-ins for the paper's "Wikipedia (P)" experiments;
+//! * [`reference`] — sequential reference algorithms (union-find CC,
+//!   PageRank, Dijkstra, Tarjan SCC, Kruskal MSF, pointer-jumping roots)
+//!   used as test oracles for the distributed implementations;
+//! * [`stats`] — degree statistics for dataset tables;
+//! * [`io`] — plain edge-list persistence.
+
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod reference;
+pub mod stats;
+
+pub use csr::{Graph, VertexId, WeightedGraph};

@@ -1,0 +1,393 @@
+//! Sequential reference algorithms.
+//!
+//! Each distributed algorithm in `pc-algos` is validated against one of
+//! these single-threaded oracles. Labels follow the conventions the
+//! vertex-centric algorithms converge to (component labels are the minimum
+//! vertex id in the component), so results can be compared verbatim.
+
+use crate::csr::{Graph, VertexId, WeightedGraph};
+
+/// Union-find with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+}
+
+/// Connected components of an (effectively) undirected graph; arcs are
+/// followed in both directions. Returns for every vertex the **minimum
+/// vertex id of its component** — the label S-V and HCC converge to.
+pub fn connected_components<W: Copy>(g: &Graph<W>) -> Vec<VertexId> {
+    let mut uf = UnionFind::new(g.n());
+    for (u, v, _) in g.arcs() {
+        uf.union(u, v);
+    }
+    min_label_from_uf(&mut uf, g.n())
+}
+
+fn min_label_from_uf(uf: &mut UnionFind, n: usize) -> Vec<VertexId> {
+    let mut min_of_root = vec![u32::MAX; n];
+    for v in 0..n as u32 {
+        let r = uf.find(v) as usize;
+        min_of_root[r] = min_of_root[r].min(v);
+    }
+    (0..n as u32).map(|v| min_of_root[uf.find(v) as usize]).collect()
+}
+
+/// Number of distinct components given a label vector.
+pub fn component_count(labels: &[VertexId]) -> usize {
+    let mut set: Vec<VertexId> = labels.to_vec();
+    set.sort_unstable();
+    set.dedup();
+    set.len()
+}
+
+/// PageRank with the paper's dead-end handling: rank lost at sinks is
+/// collected and redistributed uniformly (the "sink node" aggregator of
+/// Fig. 1). `iters` full power iterations with damping 0.85.
+pub fn pagerank<W: Copy>(g: &Graph<W>, iters: usize) -> Vec<f64> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iters {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut sink = 0.0f64;
+        for v in g.vertices() {
+            let deg = g.degree(v);
+            if deg == 0 {
+                sink += rank[v as usize];
+            } else {
+                let share = rank[v as usize] / deg as f64;
+                for &t in g.neighbors(v) {
+                    next[t as usize] += share;
+                }
+            }
+        }
+        let redistribute = sink / n as f64;
+        for x in next.iter_mut() {
+            *x = 0.15 / n as f64 + 0.85 * (*x + redistribute);
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Dijkstra from `src`; `None` for unreachable vertices.
+pub fn sssp(g: &WeightedGraph, src: VertexId) -> Vec<Option<u64>> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist: Vec<Option<u64>> = vec![None; g.n()];
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = Some(0);
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if dist[v as usize] != Some(d) {
+            continue;
+        }
+        for (t, w) in g.neighbors_weighted(v) {
+            let nd = d + w as u64;
+            if dist[t as usize].is_none_or(|old| nd < old) {
+                dist[t as usize] = Some(nd);
+                heap.push(Reverse((nd, t)));
+            }
+        }
+    }
+    dist
+}
+
+/// Strongly connected components (iterative Tarjan). Returns for every
+/// vertex the minimum vertex id in its SCC — the label the Min-Label
+/// algorithm converges to.
+pub fn strongly_connected_components<W: Copy>(g: &Graph<W>) -> Vec<VertexId> {
+    let n = g.n();
+    let mut index = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut label = vec![0 as VertexId; n];
+    let mut next_index = 0u32;
+
+    // Explicit DFS state machine to survive deep graphs (chains).
+    enum FrameState {
+        Enter,
+        Resume(usize),
+    }
+    for start in 0..n as u32 {
+        if index[start as usize] != u32::MAX {
+            continue;
+        }
+        let mut call: Vec<(u32, FrameState)> = vec![(start, FrameState::Enter)];
+        while let Some((v, state)) = call.pop() {
+            let mut child_at = match state {
+                FrameState::Enter => {
+                    index[v as usize] = next_index;
+                    low[v as usize] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v as usize] = true;
+                    0
+                }
+                FrameState::Resume(i) => {
+                    let child = g.neighbors(v)[i];
+                    low[v as usize] = low[v as usize].min(low[child as usize]);
+                    i + 1
+                }
+            };
+            let nbrs = g.neighbors(v);
+            let mut descended = false;
+            while child_at < nbrs.len() {
+                let w = nbrs[child_at];
+                if index[w as usize] == u32::MAX {
+                    call.push((v, FrameState::Resume(child_at)));
+                    call.push((w, FrameState::Enter));
+                    descended = true;
+                    break;
+                } else if on_stack[w as usize] {
+                    low[v as usize] = low[v as usize].min(index[w as usize]);
+                }
+                child_at += 1;
+            }
+            if descended {
+                continue;
+            }
+            if low[v as usize] == index[v as usize] {
+                // v is an SCC root; pop the component and label it.
+                let mut members = Vec::new();
+                loop {
+                    let w = stack.pop().unwrap();
+                    on_stack[w as usize] = false;
+                    members.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                let min_id = *members.iter().min().unwrap();
+                for w in members {
+                    label[w as usize] = min_id;
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Total weight of a minimum spanning forest (Kruskal).
+pub fn msf_weight(g: &WeightedGraph) -> u64 {
+    let mut edges: Vec<(u32, VertexId, VertexId)> = g
+        .arcs()
+        .filter(|&(u, v, _)| u < v) // undirected graphs store both arcs
+        .map(|(u, v, w)| (w, u, v))
+        .collect();
+    edges.sort_unstable();
+    let mut uf = UnionFind::new(g.n());
+    let mut total = 0u64;
+    for (w, u, v) in edges {
+        if uf.union(u, v) {
+            total += w as u64;
+        }
+    }
+    total
+}
+
+/// Number of edges in a minimum spanning forest = n - #components.
+pub fn msf_edge_count(g: &WeightedGraph) -> usize {
+    let labels = connected_components(g);
+    g.n() - component_count(&labels)
+}
+
+/// Resolve every vertex's root in a parent-pointer forest.
+pub fn forest_roots(parents: &[VertexId]) -> Vec<VertexId> {
+    let n = parents.len();
+    let mut root = vec![u32::MAX; n];
+    for v in 0..n as u32 {
+        if root[v as usize] != u32::MAX {
+            continue;
+        }
+        // Walk up, remembering the path, then write the root back.
+        let mut path = vec![v];
+        let mut cur = v;
+        loop {
+            let p = parents[cur as usize];
+            if p == cur {
+                break;
+            }
+            if root[p as usize] != u32::MAX {
+                cur = root[p as usize];
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        let r = cur;
+        for x in path {
+            root[x as usize] = r;
+        }
+    }
+    root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(3, 4));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(0), uf.find(3));
+    }
+
+    #[test]
+    fn cc_on_two_components() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (4, 5)], false);
+        let labels = connected_components(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 4, 4]);
+        assert_eq!(component_count(&labels), 3);
+    }
+
+    #[test]
+    fn cc_follows_direction_both_ways() {
+        let g = Graph::from_edges(3, &[(2, 0)], true);
+        let labels = connected_components(&g);
+        assert_eq!(labels, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hubs() {
+        let g = gen::star(10);
+        let pr = pagerank(&g, 30);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9, "mass conservation, got {total}");
+        assert!(pr[0] > pr[1] * 2.0, "hub should dominate");
+    }
+
+    #[test]
+    fn pagerank_handles_sinks() {
+        // 0 -> 1, 1 is a sink.
+        let g = Graph::from_edges(2, &[(0, 1)], true);
+        let pr = pagerank(&g, 50);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pr[1] > pr[0]);
+    }
+
+    #[test]
+    fn sssp_on_small_weighted_graph() {
+        let g = Graph::from_weighted_edges(
+            4,
+            &[(0, 1, 1u32), (1, 2, 1), (0, 2, 5), (0, 3, 10)],
+            true,
+        );
+        let d = sssp(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(10)]);
+    }
+
+    #[test]
+    fn sssp_unreachable_is_none() {
+        let g = Graph::from_weighted_edges(3, &[(0, 1, 1u32)], true);
+        assert_eq!(sssp(&g, 0)[2], None);
+    }
+
+    #[test]
+    fn scc_on_cycle_and_dag() {
+        // 0->1->2->0 is one SCC; 3 hangs off it.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)], true);
+        let labels = strongly_connected_components(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3]);
+    }
+
+    #[test]
+    fn scc_survives_long_chain() {
+        // A 100k-long directed chain must not blow the stack.
+        let edges: Vec<(u32, u32)> = (0..100_000 - 1).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(100_000, &edges, true);
+        let labels = strongly_connected_components(&g);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[99_999], 99_999);
+    }
+
+    #[test]
+    fn msf_weight_on_known_graph() {
+        let g = Graph::from_weighted_edges(
+            4,
+            &[(0, 1, 1u32), (1, 2, 2), (2, 3, 3), (0, 3, 10), (0, 2, 4)],
+            false,
+        );
+        assert_eq!(msf_weight(&g), 6);
+        assert_eq!(msf_edge_count(&g), 3);
+    }
+
+    #[test]
+    fn msf_of_forest_counts_per_component() {
+        let g = Graph::from_weighted_edges(5, &[(0, 1, 2u32), (2, 3, 7)], false);
+        assert_eq!(msf_weight(&g), 9);
+        assert_eq!(msf_edge_count(&g), 2);
+    }
+
+    #[test]
+    fn forest_roots_resolves_chains_and_forests() {
+        let parents = gen::chain_parents(1000);
+        let roots = forest_roots(&parents);
+        assert!(roots.iter().all(|&r| r == 0));
+
+        let parents = gen::random_forest_parents(5000, 7, 3);
+        let roots = forest_roots(&parents);
+        for (v, &r) in roots.iter().enumerate() {
+            assert!(r < 7, "root of {v} must be one of the planted roots");
+            // Walking up from v must land on r.
+            let mut cur = v as u32;
+            while parents[cur as usize] != cur {
+                cur = parents[cur as usize];
+            }
+            assert_eq!(cur, r);
+        }
+    }
+
+    #[test]
+    fn scc_matches_components_on_symmetric_graph() {
+        // For a symmetrized graph, SCCs == CCs.
+        let g = gen::rmat(8, 1500, gen::RmatParams::default(), 5, false);
+        let scc = strongly_connected_components(&g);
+        let cc = connected_components(&g);
+        assert_eq!(scc, cc);
+    }
+}

@@ -1,0 +1,94 @@
+//! Degree statistics for dataset inventories (Table III).
+
+use crate::csr::Graph;
+
+/// Summary statistics of a graph, as printed in Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub n: usize,
+    /// Logical edge count.
+    pub m: usize,
+    /// Average out-degree (arcs / vertices).
+    pub avg_degree: f64,
+    /// Maximum out-degree.
+    pub max_degree: usize,
+    /// Number of zero-out-degree vertices (PageRank sinks).
+    pub sinks: usize,
+}
+
+/// Compute [`GraphStats`] for a graph.
+pub fn graph_stats<W: Copy>(g: &Graph<W>) -> GraphStats {
+    let mut max_degree = 0usize;
+    let mut sinks = 0usize;
+    for v in g.vertices() {
+        let d = g.degree(v);
+        max_degree = max_degree.max(d);
+        if d == 0 {
+            sinks += 1;
+        }
+    }
+    GraphStats {
+        n: g.n(),
+        m: g.edge_count(),
+        avg_degree: if g.n() == 0 { 0.0 } else { g.arc_count() as f64 / g.n() as f64 },
+        max_degree,
+        sinks,
+    }
+}
+
+/// Degree histogram in power-of-two buckets: `hist[k]` counts vertices with
+/// degree in `[2^k, 2^(k+1))`; `hist[0]` also counts degree 0..2.
+pub fn degree_histogram<W: Copy>(g: &Graph<W>) -> Vec<usize> {
+    let mut hist = vec![0usize; 33];
+    for v in g.vertices() {
+        let d = g.degree(v);
+        let bucket = usize::BITS as usize - d.leading_zeros() as usize;
+        hist[bucket.min(32)] += 1;
+    }
+    while hist.len() > 1 && *hist.last().unwrap() == 0 {
+        hist.pop();
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn stats_on_star() {
+        let g = gen::star(11);
+        let s = graph_stats(&g);
+        assert_eq!(s.n, 11);
+        assert_eq!(s.m, 10);
+        assert_eq!(s.max_degree, 10);
+        assert_eq!(s.sinks, 0);
+        assert!((s.avg_degree - 20.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sink_counting() {
+        let g = crate::Graph::from_edges(3, &[(0, 1)], true);
+        let s = graph_stats(&g);
+        assert_eq!(s.sinks, 2);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        // degrees: 10×1 on the leaves + 10 on the hub
+        let g = gen::star(11);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 10); // degree 1 → bucket 1
+        assert_eq!(h[4], 1); // degree 10 → bucket 4 ([8,16))
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::Graph::from_edges(0, &[], true);
+        let s = graph_stats(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.avg_degree, 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # pc-pregel — the baseline systems
+//!
+//! Faithful-cost reimplementations of the systems the paper compares
+//! against, running on the same `pc-bsp` substrate as the channel engine so
+//! byte counts are directly comparable:
+//!
+//! * [`program`] — the classic **Pregel+ programming interface**: one
+//!   monolithic message type per program, a single optional global
+//!   combiner, an aggregator, voting-to-halt. The baseline for every
+//!   "pregel (basic)" row in the paper's tables.
+//! * [`monolithic`] — the monolithic message channel behind it: messages
+//!   are encoded at the *fixed width of the largest variant* (like a C++
+//!   `struct Message`), received into per-vertex nested vectors, and a
+//!   combiner applies only if one operation fits **all** messages in the
+//!   program (paper §II-B).
+//! * [`reqresp`] — Pregel+'s **reqresp mode**: per-worker request
+//!   deduplication via hash sets, responses shipped as `(id, value)` pairs
+//!   (the id overhead the paper's channel version removes).
+//! * [`ghost`] — Pregel+'s **ghost (mirroring) mode**: vertices with
+//!   degree ≥ τ send one message per worker, expanded to neighbors at the
+//!   receiver through mirror tables.
+//! * [`blogel`] — **Blogel**'s block-centric WCC: per-block hash-min to
+//!   local convergence each superstep, boundary exchange between
+//!   supersteps.
+//!
+//! Architecturally these baselines are implemented as channels on the same
+//! engine (so supersteps, activation and accounting behave identically);
+//! what makes them "the baseline" is their wire format and data-structure
+//! cost profile, which is what the paper's comparisons measure.
+
+pub mod blogel;
+pub mod ghost;
+pub mod monolithic;
+pub mod program;
+pub mod reqresp;
+
+pub use ghost::GhostMessage;
+pub use monolithic::MonolithicMessage;
+pub use program::{run_pregel, PregelOptions, PregelProgram, PregelVertex};
+pub use reqresp::PregelReqResp;

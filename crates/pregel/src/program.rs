@@ -1,0 +1,366 @@
+//! The classic Pregel+ programming interface, used by every
+//! "pregel (basic/reqresp/ghost)" row of the paper's tables.
+//!
+//! A [`PregelProgram`] has one vertex value type, **one** message type (the
+//! monolithic interface of §II-B), an optional single global combiner, an
+//! optional aggregator, and — for the two special modes — a respond
+//! function (reqresp) and mirror tables (ghost). `compute` receives a
+//! [`PregelVertex`] exposing the familiar surface: `messages()`,
+//! `send_message()`, `vote_to_halt()`, aggregator access, and the
+//! mode-specific calls.
+
+use crate::ghost::GhostMessage;
+use crate::monolithic::MonolithicMessage;
+use crate::reqresp::PregelReqResp;
+use pc_bsp::codec::{Codec, FixedWidth};
+use pc_bsp::{Config, Topology};
+use pc_channels::channel::{VertexCtx, WorkerEnv};
+use pc_channels::engine::{run, Algorithm, Output};
+use pc_channels::standard::aggregator::Aggregator;
+use pc_channels::Combine;
+use pc_graph::{Graph, VertexId};
+use std::sync::Arc;
+
+/// A vertex-centric program against the classic Pregel+ interface.
+///
+/// Programs are shared across worker threads behind an `Arc` (the respond
+/// function of reqresp mode is invoked from channel code), hence the
+/// `Send + Sync + 'static` requirement.
+pub trait PregelProgram: Send + Sync + 'static {
+    /// Per-vertex state.
+    type Value: Clone + Default + Send + 'static;
+    /// The single monolithic message type. Encoded at fixed width (the
+    /// size of its largest variant), as a C++ message struct would be.
+    type Msg: Codec + FixedWidth + Clone + Default + Send + 'static;
+    /// Aggregator value type (`u8` if unused).
+    type Agg: Codec + Clone + Default + Send + 'static;
+    /// Response type for reqresp mode (`u8` if unused).
+    type Resp: Codec + FixedWidth + Clone + Send + 'static;
+
+    /// The single global combiner — only if one operation suits **every**
+    /// message in the program.
+    fn combiner(&self) -> Option<Combine<Self::Msg>> {
+        None
+    }
+
+    /// The aggregator's reduction, if the program uses one.
+    fn aggregator(&self) -> Option<Combine<Self::Agg>> {
+        None
+    }
+
+    /// Produce a reqresp response from a vertex value (reqresp mode only).
+    fn respond(&self, _value: &Self::Value) -> Self::Resp {
+        unimplemented!("this program does not use reqresp mode")
+    }
+
+    /// The vertex program.
+    fn compute(&self, v: &mut PregelVertex<'_, '_, Self>);
+}
+
+type PregelChannels<P> = (
+    MonolithicMessage<<P as PregelProgram>::Msg>,
+    Aggregator<<P as PregelProgram>::Agg>,
+    PregelReqResp<<P as PregelProgram>::Value, <P as PregelProgram>::Resp>,
+    GhostMessage<<P as PregelProgram>::Msg>,
+);
+
+/// The per-vertex view handed to [`PregelProgram::compute`].
+pub struct PregelVertex<'a, 'b, P: PregelProgram + ?Sized> {
+    ctx: &'a mut VertexCtx<'b>,
+    value: &'a mut P::Value,
+    channels: &'a mut PregelChannels<P>,
+}
+
+impl<P: PregelProgram> PregelVertex<'_, '_, P> {
+    /// Global vertex id.
+    pub fn id(&self) -> VertexId {
+        self.ctx.id
+    }
+
+    /// 1-based superstep number.
+    pub fn step(&self) -> u64 {
+        self.ctx.step()
+    }
+
+    /// Total vertices in the graph.
+    pub fn num_vertices(&self) -> usize {
+        self.ctx.num_vertices()
+    }
+
+    /// Halt until re-activated by a message.
+    pub fn vote_to_halt(&mut self) {
+        self.ctx.vote_to_halt();
+    }
+
+    /// This vertex's state.
+    pub fn value(&self) -> &P::Value {
+        self.value
+    }
+
+    /// Mutable access to this vertex's state.
+    pub fn value_mut(&mut self) -> &mut P::Value {
+        self.value
+    }
+
+    /// Messages delivered this superstep.
+    pub fn messages(&self) -> &[P::Msg] {
+        self.channels.0.messages(self.ctx.local)
+    }
+
+    /// Whether any message arrived this superstep.
+    pub fn has_messages(&self) -> bool {
+        self.channels.0.has_messages(self.ctx.local)
+    }
+
+    /// Send a message to the vertex with global id `dst`.
+    pub fn send_message(&mut self, dst: VertexId, m: P::Msg) {
+        self.channels.0.send_message(dst, m);
+    }
+
+    /// Contribute to the aggregator.
+    pub fn aggregate(&mut self, v: P::Agg) {
+        self.channels.1.add(v);
+    }
+
+    /// Last superstep's aggregated result.
+    pub fn agg_result(&self) -> &P::Agg {
+        self.channels.1.result()
+    }
+
+    /// Reqresp mode: request an attribute of `dst`.
+    pub fn request(&mut self, dst: VertexId) {
+        self.channels.2.add_request(dst);
+    }
+
+    /// Reqresp mode: the response for `dst` requested last superstep.
+    pub fn get_resp(&self, dst: VertexId) -> Option<&P::Resp> {
+        self.channels.2.get_resp(dst)
+    }
+
+    /// Ghost mode: broadcast `m` to all out-neighbors (mirrored for
+    /// high-degree vertices).
+    pub fn ghost_send(&mut self, m: P::Msg) {
+        self.channels.3.send_to_neighbors(self.ctx.local, self.ctx.id, m);
+    }
+
+    /// Ghost mode: the combined broadcast value received this superstep.
+    pub fn ghost_message(&self) -> Option<&P::Msg> {
+        self.channels.3.get_message(self.ctx.local)
+    }
+}
+
+/// Mode configuration for a Pregel+ run.
+#[derive(Default)]
+pub struct PregelOptions {
+    /// Enable ghost (mirroring) mode: the graph to mirror and the degree
+    /// threshold τ (the paper uses 16). Ghost broadcasts are merged with
+    /// the program's `combiner()`.
+    pub ghost: Option<(Arc<Graph>, usize)>,
+}
+
+struct PregelAdapter<P: PregelProgram> {
+    prog: Arc<P>,
+    ghost: Option<(Arc<Graph>, usize)>,
+}
+
+impl<P: PregelProgram> Algorithm for PregelAdapter<P> {
+    type Value = P::Value;
+    type Channels = PregelChannels<P>;
+
+    fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+        let msg = MonolithicMessage::new(env, self.prog.combiner());
+        let agg = Aggregator::new(
+            env,
+            self.prog.aggregator().unwrap_or_else(|| {
+                Combine::new(P::Agg::default(), |_, _| {
+                    panic!("program aggregates but provides no aggregator()")
+                })
+            }),
+        );
+        let prog = Arc::clone(&self.prog);
+        let rr = PregelReqResp::new(env, move |v: &P::Value| prog.respond(v));
+        let ghost_combiner = self.prog.combiner().unwrap_or_else(|| {
+            Combine::new(P::Msg::default(), |_, _| {
+                panic!("ghost_send requires the program to define combiner()")
+            })
+        });
+        let ghost = match &self.ghost {
+            Some((g, threshold)) => GhostMessage::new(env, ghost_combiner, g, *threshold),
+            None => GhostMessage::disabled(env, ghost_combiner),
+        };
+        (msg, agg, rr, ghost)
+    }
+
+    fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Self::Value, ch: &mut Self::Channels) {
+        let mut pv = PregelVertex { ctx: v, value, channels: ch };
+        self.prog.compute(&mut pv);
+    }
+}
+
+/// Run a Pregel+ program — the entry point for every baseline measurement.
+pub fn run_pregel<P: PregelProgram>(
+    prog: Arc<P>,
+    topo: &Arc<Topology>,
+    cfg: &Config,
+    opts: PregelOptions,
+) -> Output<P::Value> {
+    let adapter = PregelAdapter { prog, ghost: opts.ghost };
+    run(&adapter, topo, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// PageRank-free smoke program: flood the min id over edges given as a
+    /// shared graph, Pregel style (monolithic u32 messages, min combiner).
+    struct HashMin {
+        g: Arc<Graph>,
+    }
+    impl PregelProgram for HashMin {
+        type Value = u32;
+        type Msg = u32;
+        type Agg = u8;
+        type Resp = u8;
+        fn combiner(&self) -> Option<Combine<u32>> {
+            Some(Combine::min_u32())
+        }
+        fn compute(&self, v: &mut PregelVertex<'_, '_, Self>) {
+            if v.step() == 1 {
+                *v.value_mut() = v.id();
+            }
+            let incoming = v.messages().iter().copied().min().unwrap_or(u32::MAX);
+            let id = v.id();
+            let cur = *v.value();
+            let next = cur.min(incoming);
+            if next < cur || v.step() == 1 {
+                *v.value_mut() = next;
+                for &t in self.g.neighbors(id) {
+                    v.send_message(t, next);
+                }
+            }
+            v.vote_to_halt();
+        }
+    }
+
+    #[test]
+    fn pregel_hashmin_finds_components() {
+        let g = Arc::new(pc_graph::gen::rmat(
+            8,
+            1200,
+            pc_graph::gen::RmatParams::default(),
+            5,
+            false,
+        ));
+        let expect = pc_graph::reference::connected_components(&g);
+        let topo = Arc::new(Topology::hashed(g.n(), 4));
+        for cfg in [Config::sequential(4), Config::with_workers(4)] {
+            let out = run_pregel(
+                Arc::new(HashMin { g: Arc::clone(&g) }),
+                &topo,
+                &cfg,
+                PregelOptions::default(),
+            );
+            assert_eq!(out.values, expect);
+        }
+    }
+
+    /// Reqresp mode smoke test: every vertex asks `id/2` for its value.
+    struct AskHalf;
+    impl PregelProgram for AskHalf {
+        type Value = u32;
+        type Msg = u32;
+        type Agg = u8;
+        type Resp = u32;
+        fn respond(&self, value: &u32) -> u32 {
+            value * 3
+        }
+        fn compute(&self, v: &mut PregelVertex<'_, '_, Self>) {
+            if v.step() == 1 {
+                *v.value_mut() = v.id() + 1;
+                let target = v.id() / 2;
+                v.request(target);
+            } else {
+                let target = v.id() / 2;
+                let got = *v.get_resp(target).expect("response missing");
+                *v.value_mut() = got;
+                v.vote_to_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn pregel_reqresp_mode_round_trips() {
+        let topo = Arc::new(Topology::hashed(60, 4));
+        let out = run_pregel(Arc::new(AskHalf), &topo, &Config::sequential(4), PregelOptions::default());
+        for id in 0..60u32 {
+            assert_eq!(out.values[id as usize], (id / 2 + 1) * 3);
+        }
+    }
+
+    /// Ghost mode smoke test: sum of neighbor ids via mirrored broadcast.
+    struct GhostSum;
+    impl PregelProgram for GhostSum {
+        type Value = u64;
+        type Msg = u64;
+        type Agg = u8;
+        type Resp = u8;
+        fn combiner(&self) -> Option<Combine<u64>> {
+            Some(Combine::sum_u64())
+        }
+        fn compute(&self, v: &mut PregelVertex<'_, '_, Self>) {
+            if v.step() == 1 {
+                v.ghost_send(v.id() as u64);
+                v.vote_to_halt();
+            } else {
+                *v.value_mut() = v.ghost_message().copied().unwrap_or(0);
+                v.vote_to_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn pregel_ghost_mode_broadcasts() {
+        let g = Arc::new(pc_graph::gen::star(300));
+        let mut expect = vec![0u64; 300];
+        for (u, t, ()) in g.arcs() {
+            expect[t as usize] += u as u64;
+        }
+        let topo = Arc::new(Topology::hashed(300, 4));
+        let out = run_pregel(
+            Arc::new(GhostSum),
+            &topo,
+            &Config::sequential(4),
+            PregelOptions { ghost: Some((Arc::clone(&g), 16)) },
+        );
+        assert_eq!(out.values, expect);
+    }
+
+    /// Aggregator round trip through the facade.
+    struct CountAll;
+    impl PregelProgram for CountAll {
+        type Value = u64;
+        type Msg = u32;
+        type Agg = u64;
+        type Resp = u8;
+        fn aggregator(&self) -> Option<Combine<u64>> {
+            Some(Combine::sum_u64())
+        }
+        fn compute(&self, v: &mut PregelVertex<'_, '_, Self>) {
+            if v.step() == 1 {
+                v.aggregate(1);
+            } else {
+                *v.value_mut() = *v.agg_result();
+                v.vote_to_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn pregel_aggregator_counts_vertices() {
+        let topo = Arc::new(Topology::hashed(123, 3));
+        let out =
+            run_pregel(Arc::new(CountAll), &topo, &Config::with_workers(3), PregelOptions::default());
+        assert!(out.values.iter().all(|&v| v == 123));
+    }
+}

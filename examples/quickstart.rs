@@ -1,0 +1,56 @@
+//! Quickstart: the paper's Fig. 1 PageRank, then the §III-B one-line
+//! optimization (swap the message channel for a scatter-combine channel).
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pregel_channels::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // A power-law web of 2^12 pages (R-MAT), 4 simulated workers.
+    let g = Arc::new(pc_graph::gen::rmat(
+        12,
+        40_000,
+        pc_graph::gen::RmatParams::default(),
+        42,
+        true,
+    ));
+    let topo = Arc::new(Topology::hashed(g.n(), 4));
+    let cfg = Config::with_workers(4);
+
+    println!("graph: {} vertices, {} arcs", g.n(), g.arc_count());
+
+    // The standard program: CombinedMessage + Aggregator (paper Fig. 1).
+    let basic = pc_algos::pagerank::channel_basic(&g, &topo, &cfg, 30);
+    // The optimized program: one channel swapped (paper §III-B).
+    let scatter = pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 30);
+
+    // Identical results...
+    let drift: f64 = basic
+        .ranks
+        .iter()
+        .zip(&scatter.ranks)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    println!("max rank difference between programs: {drift:.2e}");
+
+    // ...different costs.
+    for (name, out) in [("channel (basic)", &basic), ("channel (scatter)", &scatter)] {
+        println!(
+            "{name:<18} {:>8.1} ms  {:>8.3} MiB  {} supersteps",
+            out.stats.millis(),
+            out.stats.remote_mib(),
+            out.stats.supersteps
+        );
+    }
+
+    // Top pages.
+    let mut ranked: Vec<(usize, f64)> = scatter.ranks.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top 5 pages by rank:");
+    for (v, r) in ranked.iter().take(5) {
+        println!("  vertex {v:>6}  rank {r:.6}  in-deg≈{}", g.degree(*v as u32));
+    }
+}

@@ -1,0 +1,256 @@
+//! `pcgraph` — run the channel-based algorithms from the command line.
+//!
+//! ```text
+//! pcgraph <algorithm> [--input FILE | --gen NAME] [options]
+//!
+//! algorithms: pagerank | wcc | sv | scc | sssp | bfs | kcore | msf | stats
+//! options:
+//!   --input FILE      whitespace edge list (src dst [weight]); '#'/'%' comments
+//!   --gen NAME        synthetic dataset: wikipedia|webuk|facebook|twitter|road|rmat24
+//!   --scale N         generator scale, vertices = 2^N        [default 13]
+//!   --workers N       simulated workers                      [default 4]
+//!   --variant NAME    basic|scatter|reqresp|both|prop|mirror [default: best]
+//!   --iters N         PageRank iterations                    [default 30]
+//!   --src N           SSSP/BFS source vertex                 [default 0]
+//!   --k N             k-core parameter                       [default 2]
+//!   --directed        treat the input file as directed
+//!   --partition       place vertices with the LDG partitioner (vs random)
+//! ```
+
+use pc_bsp::{Config, Topology};
+use pc_graph::{io, partition, stats, Graph, WeightedGraph};
+use std::path::PathBuf;
+use std::process::exit;
+use std::sync::Arc;
+
+#[derive(Debug)]
+struct Opts {
+    algorithm: String,
+    input: Option<PathBuf>,
+    gen: Option<String>,
+    scale: u32,
+    workers: usize,
+    variant: String,
+    iters: u64,
+    src: u32,
+    k: u32,
+    directed: bool,
+    partition: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pcgraph <pagerank|wcc|sv|scc|sssp|bfs|kcore|msf|stats> \
+         [--input FILE | --gen NAME] [--scale N] [--workers N] \
+         [--variant NAME] [--iters N] [--src N] [--k N] [--directed] [--partition]"
+    );
+    exit(2)
+}
+
+fn parse_args() -> Opts {
+    let mut args = std::env::args().skip(1);
+    let algorithm = args.next().unwrap_or_else(|| usage());
+    let mut opts = Opts {
+        algorithm,
+        input: None,
+        gen: None,
+        scale: 13,
+        workers: 4,
+        variant: String::new(),
+        iters: 30,
+        src: 0,
+        k: 2,
+        directed: false,
+        partition: false,
+    };
+    let mut next = |args: &mut dyn Iterator<Item = String>| {
+        args.next().unwrap_or_else(|| usage())
+    };
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--input" => opts.input = Some(PathBuf::from(next(&mut args))),
+            "--gen" => opts.gen = Some(next(&mut args)),
+            "--scale" => opts.scale = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--workers" => opts.workers = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--variant" => opts.variant = next(&mut args),
+            "--iters" => opts.iters = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--src" => opts.src = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--k" => opts.k = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--directed" => opts.directed = true,
+            "--partition" => opts.partition = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn load_unweighted(opts: &Opts, want_directed: bool) -> Arc<Graph> {
+    if let Some(path) = &opts.input {
+        let g = io::read_edge_list(path, opts.directed && want_directed, 0)
+            .unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", path.display());
+                exit(1)
+            });
+        return Arc::new(g);
+    }
+    let name = opts.gen.as_deref().unwrap_or("wikipedia");
+    use pc_graph::gen::*;
+    let g = match name {
+        "wikipedia" => rmat(opts.scale, 9 << opts.scale, RmatParams::default(), 1, true),
+        "webuk" => rmat(opts.scale, 24 << opts.scale, RmatParams::default(), 2, true),
+        "facebook" => rmat(opts.scale, (3 << opts.scale) / 2, RmatParams::default(), 3, false),
+        "twitter" => rmat(opts.scale, 32 << opts.scale, RmatParams::default(), 4, false),
+        "road" => {
+            let side = 1usize << (opts.scale / 2);
+            grid2d((1usize << opts.scale) / side, side, 0.05, 6)
+        }
+        other => {
+            eprintln!("unknown dataset '{other}'");
+            exit(2)
+        }
+    };
+    let g = if want_directed { g } else { g.symmetrized() };
+    Arc::new(g)
+}
+
+fn load_weighted(opts: &Opts) -> Arc<WeightedGraph> {
+    if let Some(path) = &opts.input {
+        let g = io::read_weighted_edge_list(path, opts.directed, 0).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            exit(1)
+        });
+        return Arc::new(g);
+    }
+    use pc_graph::gen::*;
+    Arc::new(rmat_weighted(opts.scale, 8 << opts.scale, RmatParams::default(), 7, false, 1000))
+}
+
+fn topology<W: Copy + Default>(g: &Graph<W>, opts: &Opts) -> Arc<Topology> {
+    if opts.partition {
+        let owners = partition::ldg(g, opts.workers, 2);
+        let (cut, total) = partition::edge_cut(g, &owners);
+        eprintln!("ldg partition: edge-cut {:.1}%", 100.0 * cut as f64 / total.max(1) as f64);
+        Arc::new(Topology::from_owners(opts.workers, owners))
+    } else {
+        Arc::new(Topology::hashed(g.n(), opts.workers))
+    }
+}
+
+fn report(stats: &pc_bsp::RunStats) {
+    eprintln!(
+        "done: {:.1} ms, {:.3} MiB network traffic, {} supersteps, {} rounds",
+        stats.millis(),
+        stats.remote_mib(),
+        stats.supersteps,
+        stats.rounds
+    );
+    for c in &stats.channels {
+        eprintln!(
+            "  channel {:<12} {:>12} messages {:>14} remote bytes",
+            c.name, c.messages, c.bytes.remote
+        );
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let cfg = Config::with_workers(opts.workers);
+    match opts.algorithm.as_str() {
+        "stats" => {
+            let g = load_unweighted(&opts, true);
+            let s = stats::graph_stats(&g);
+            println!(
+                "|V| {}  |E| {}  avg deg {:.2}  max deg {}  sinks {}",
+                s.n, s.m, s.avg_degree, s.max_degree, s.sinks
+            );
+        }
+        "pagerank" => {
+            let g = load_unweighted(&opts, true);
+            let topo = topology(&g, &opts);
+            let out = match opts.variant.as_str() {
+                "basic" => pc_algos::pagerank::channel_basic(&g, &topo, &cfg, opts.iters),
+                "mirror" => pc_algos::pagerank::channel_mirror(&g, &topo, &cfg, opts.iters, 16),
+                _ => pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, opts.iters),
+            };
+            let mut top: Vec<(usize, f64)> = out.ranks.iter().copied().enumerate().collect();
+            top.sort_by(|a, b| b.1.total_cmp(&a.1));
+            for (v, r) in top.iter().take(10) {
+                println!("{v}\t{r:.8}");
+            }
+            report(&out.stats);
+        }
+        "wcc" => {
+            let g = load_unweighted(&opts, false);
+            let topo = topology(&g, &opts);
+            let out = match opts.variant.as_str() {
+                "basic" => pc_algos::wcc::channel_basic(&g, &topo, &cfg),
+                "blogel" => pc_algos::wcc::blogel(&g, &topo, &cfg),
+                _ => pc_algos::wcc::channel_propagation(&g, &topo, &cfg),
+            };
+            println!("{} components", pc_graph::reference::component_count(&out.labels));
+            report(&out.stats);
+        }
+        "sv" => {
+            let g = load_unweighted(&opts, false);
+            let topo = topology(&g, &opts);
+            let out = match opts.variant.as_str() {
+                "basic" => pc_algos::sv::channel_basic(&g, &topo, &cfg),
+                "reqresp" => pc_algos::sv::channel_reqresp(&g, &topo, &cfg),
+                "scatter" => pc_algos::sv::channel_scatter(&g, &topo, &cfg),
+                _ => pc_algos::sv::channel_both(&g, &topo, &cfg),
+            };
+            println!("{} components", pc_graph::reference::component_count(&out.labels));
+            report(&out.stats);
+        }
+        "scc" => {
+            let g = load_unweighted(&opts, true);
+            let topo = topology(&g, &opts);
+            let out = match opts.variant.as_str() {
+                "basic" => pc_algos::scc::channel_basic(&g, &topo, &cfg),
+                _ => pc_algos::scc::channel_propagation(&g, &topo, &cfg),
+            };
+            println!("{} SCCs", pc_graph::reference::component_count(&out.labels));
+            report(&out.stats);
+        }
+        "sssp" => {
+            let g = load_weighted(&opts);
+            let topo = topology(&g, &opts);
+            let out = match opts.variant.as_str() {
+                "basic" => pc_algos::sssp::channel_basic(&g, &topo, &cfg, opts.src),
+                _ => pc_algos::sssp::channel_propagation(&g, &topo, &cfg, opts.src),
+            };
+            let reached = out.dist.iter().filter(|&&d| d != pc_algos::sssp::UNREACHED).count();
+            println!("{reached} reachable from {}", opts.src);
+            report(&out.stats);
+        }
+        "bfs" => {
+            let g = load_unweighted(&opts, true);
+            let topo = topology(&g, &opts);
+            let out = pc_algos::kernels::bfs(&g, &topo, &cfg, opts.src);
+            let reached = out.level.iter().filter(|&&l| l != pc_algos::kernels::UNREACHED).count();
+            let depth = out.level.iter().filter(|&&l| l != pc_algos::kernels::UNREACHED).max();
+            println!("{reached} reachable, depth {:?}", depth);
+            report(&out.stats);
+        }
+        "kcore" => {
+            let g = load_unweighted(&opts, false);
+            let topo = topology(&g, &opts);
+            let out = pc_algos::kernels::kcore(&g, &topo, &cfg, opts.k);
+            println!(
+                "{} of {} vertices in the {}-core",
+                out.in_core.iter().filter(|&&a| a).count(),
+                g.n(),
+                opts.k
+            );
+            report(&out.stats);
+        }
+        "msf" => {
+            let g = load_weighted(&opts);
+            let topo = topology(&g, &opts);
+            let out = pc_algos::msf::channel_basic(&g, &topo, &cfg);
+            println!("forest weight {} over {} edges", out.total_weight, out.edge_count);
+            report(&out.stats);
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,58 @@
+//! # pregel-channels
+//!
+//! A Rust reproduction of *"Composing Optimization Techniques for
+//! Vertex-Centric Graph Processing via Communication Channels"*
+//! (Yongzhe Zhang & Zhenjiang Hu, IPDPS 2019).
+//!
+//! Pregel's monolithic message-passing interface forces every computation
+//! phase of a vertex-centric algorithm through one message type and blocks
+//! per-pattern optimization. This crate replaces it with **channels**:
+//! typed, per-purpose message containers between the vertices and the raw
+//! per-worker buffers. Each channel captures one communication pattern and
+//! optimizes it independently, and channels *compose* — a program picks one
+//! channel per pattern and gets every optimization at once.
+//!
+//! The facade re-exports the full workspace:
+//!
+//! * [`bsp`] — the simulated-cluster substrate (codec, buffers, exchange,
+//!   metrics),
+//! * [`graph`] — graph structures, generators, partitioners, reference
+//!   oracles,
+//! * [`channels`] — **the paper's contribution**: the channel engine and
+//!   the six channels of Tables I/II,
+//! * [`pregel`] — the baselines (Pregel+ basic/reqresp/ghost, Blogel),
+//! * [`algos`] — the evaluated algorithms in every paper variant.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pregel_channels::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A small power-law graph, 4 simulated workers.
+//! let g = Arc::new(pc_graph::gen::rmat(
+//!     10, 8_192, pc_graph::gen::RmatParams::default(), 7, true));
+//! let topo = Arc::new(Topology::hashed(g.n(), 4));
+//! let cfg = Config::with_workers(4);
+//!
+//! // PageRank over a scatter-combine channel (the paper's Fig. 1 program
+//! // with the one-line channel swap of §III-B).
+//! let out = pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 10);
+//! assert!((out.ranks.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+//! println!("supersteps: {}", out.stats.supersteps);
+//! ```
+
+pub use pc_algos as algos;
+pub use pc_bsp as bsp;
+pub use pc_channels as channels;
+pub use pc_graph as graph;
+pub use pc_pregel as pregel;
+
+/// The items almost every program needs.
+pub mod prelude {
+    pub use pc_algos;
+    pub use pc_bsp::{Config, ExecMode, RunStats, Topology};
+    pub use pc_channels;
+    pub use pc_graph::{self, Graph, VertexId, WeightedGraph};
+    pub use pc_pregel;
+}

@@ -1,0 +1,163 @@
+//! Cross-crate integration tests: every algorithm, every variant, checked
+//! against the sequential oracles across worker counts and both execution
+//! modes.
+
+use pc_bsp::{Config, Topology};
+use pc_graph::{gen, partition, reference, Graph};
+use std::sync::Arc;
+
+fn configs(workers: usize) -> [Config; 2] {
+    [Config::sequential(workers), Config::with_workers(workers)]
+}
+
+#[test]
+fn pagerank_all_variants_all_worker_counts() {
+    let g = Arc::new(gen::rmat(9, 3000, gen::RmatParams::default(), 1, true));
+    let oracle = reference::pagerank(&g, 12);
+    for workers in [1, 3, 8] {
+        let topo = Arc::new(Topology::hashed(g.n(), workers));
+        for cfg in configs(workers) {
+            for out in [
+                pc_algos::pagerank::channel_basic(&g, &topo, &cfg, 12),
+                pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 12),
+                pc_algos::pagerank::pregel_basic(&g, &topo, &cfg, 12),
+                pc_algos::pagerank::pregel_ghost(&g, &topo, &cfg, 12, 8),
+            ] {
+                for (i, (a, b)) in out.ranks.iter().zip(&oracle).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-9,
+                        "workers={workers} mode={:?} vertex {i}: {a} vs {b}",
+                        cfg.mode
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn wcc_all_variants_on_mixed_graph() {
+    // Union of a power-law core and a long path — both regimes at once.
+    let mut edges: Vec<(u32, u32)> = gen::rmat_edges(9, 1200, gen::RmatParams::default(), 2);
+    for i in 300..500u32 {
+        edges.push((i, i + 1));
+    }
+    let g = Arc::new(Graph::from_edges(512, &edges, false));
+    let oracle = reference::connected_components(&g);
+    for workers in [1, 4] {
+        let topo = Arc::new(Topology::hashed(g.n(), workers));
+        for cfg in configs(workers) {
+            assert_eq!(pc_algos::wcc::channel_basic(&g, &topo, &cfg).labels, oracle);
+            assert_eq!(pc_algos::wcc::channel_propagation(&g, &topo, &cfg).labels, oracle);
+            assert_eq!(pc_algos::wcc::pregel_basic(&g, &topo, &cfg).labels, oracle);
+            assert_eq!(pc_algos::wcc::blogel(&g, &topo, &cfg).labels, oracle);
+        }
+    }
+}
+
+#[test]
+fn sv_composition_grid_on_partitioned_topology() {
+    // S-V must be placement-independent: run on a partitioner-produced
+    // topology as well as hash placement.
+    let g = Arc::new(gen::grid2d(20, 25, 0.1, 4));
+    let oracle = reference::connected_components(&g);
+    let owners = partition::bfs_blocks(&*g, 4);
+    for topo in [
+        Arc::new(Topology::hashed(g.n(), 4)),
+        Arc::new(Topology::from_owners(4, owners)),
+    ] {
+        let cfg = Config::sequential(4);
+        assert_eq!(pc_algos::sv::channel_basic(&g, &topo, &cfg).labels, oracle);
+        assert_eq!(pc_algos::sv::channel_reqresp(&g, &topo, &cfg).labels, oracle);
+        assert_eq!(pc_algos::sv::channel_scatter(&g, &topo, &cfg).labels, oracle);
+        assert_eq!(pc_algos::sv::channel_both(&g, &topo, &cfg).labels, oracle);
+        assert_eq!(pc_algos::sv::pregel_basic(&g, &topo, &cfg).labels, oracle);
+        assert_eq!(pc_algos::sv::pregel_reqresp(&g, &topo, &cfg).labels, oracle);
+    }
+}
+
+#[test]
+fn scc_on_web_like_graph() {
+    let g = Arc::new(gen::planted_sccs(20, 8, 120, 6));
+    let oracle = reference::strongly_connected_components(&g);
+    for workers in [1, 4] {
+        let topo = Arc::new(Topology::hashed(g.n(), workers));
+        for cfg in configs(workers) {
+            assert_eq!(pc_algos::scc::channel_basic(&g, &topo, &cfg).labels, oracle);
+            assert_eq!(pc_algos::scc::channel_propagation(&g, &topo, &cfg).labels, oracle);
+            assert_eq!(pc_algos::scc::pregel_basic(&g, &topo, &cfg).labels, oracle);
+        }
+    }
+}
+
+#[test]
+fn msf_against_kruskal() {
+    let g = Arc::new(gen::rmat_weighted(8, 1200, gen::RmatParams::default(), 3, false, 64));
+    let expect_w = reference::msf_weight(&g);
+    let expect_n = reference::msf_edge_count(&g);
+    for workers in [1, 4] {
+        let topo = Arc::new(Topology::hashed(g.n(), workers));
+        for cfg in configs(workers) {
+            let a = pc_algos::msf::channel_basic(&g, &topo, &cfg);
+            let b = pc_algos::msf::pregel_basic(&g, &topo, &cfg);
+            assert_eq!(a.total_weight, expect_w);
+            assert_eq!(a.edge_count, expect_n);
+            assert_eq!(b.total_weight, expect_w);
+            assert_eq!(b.edge_count, expect_n);
+        }
+    }
+}
+
+#[test]
+fn pointer_jumping_and_sssp() {
+    let parents = Arc::new(gen::random_forest_parents(3000, 11, 8));
+    let roots = reference::forest_roots(&parents);
+    let wg = Arc::new(gen::grid2d_weighted(20, 20, 50, 9));
+    let dist: Vec<u64> = reference::sssp(&wg, 3)
+        .into_iter()
+        .map(|d| d.unwrap_or(u64::MAX))
+        .collect();
+    for workers in [1, 4] {
+        let ptopo = Arc::new(Topology::hashed(parents.len(), workers));
+        let wtopo = Arc::new(Topology::hashed(wg.n(), workers));
+        for cfg in configs(workers) {
+            assert_eq!(pc_algos::pointer_jumping::channel_basic(&parents, &ptopo, &cfg).roots, roots);
+            assert_eq!(pc_algos::pointer_jumping::channel_reqresp(&parents, &ptopo, &cfg).roots, roots);
+            assert_eq!(pc_algos::pointer_jumping::pregel_basic(&parents, &ptopo, &cfg).roots, roots);
+            assert_eq!(pc_algos::pointer_jumping::pregel_reqresp(&parents, &ptopo, &cfg).roots, roots);
+            assert_eq!(pc_algos::sssp::channel_basic(&wg, &wtopo, &cfg, 3).dist, dist);
+            assert_eq!(pc_algos::sssp::pregel_basic(&wg, &wtopo, &cfg, 3).dist, dist);
+        }
+    }
+}
+
+#[test]
+fn empty_and_degenerate_graphs() {
+    // Single vertex, no edges.
+    let g = Arc::new(Graph::from_edges(1, &[], false));
+    let topo = Arc::new(Topology::hashed(1, 2));
+    let cfg = Config::sequential(2);
+    assert_eq!(pc_algos::wcc::channel_propagation(&g, &topo, &cfg).labels, vec![0]);
+    assert_eq!(pc_algos::sv::channel_both(&g, &topo, &cfg).labels, vec![0]);
+
+    // All isolated vertices.
+    let g = Arc::new(Graph::from_edges(64, &[], false));
+    let topo = Arc::new(Topology::hashed(64, 2));
+    let out = pc_algos::sv::channel_both(&g, &topo, &cfg);
+    assert_eq!(out.labels, (0..64u32).collect::<Vec<_>>());
+    // No vertex-to-vertex traffic; only the aggregator's fixpoint
+    // broadcast crosses workers.
+    for name in ["reqresp", "scatter", "combined"] {
+        assert_eq!(out.stats.channel(name).unwrap().bytes.remote, 0, "{name}");
+    }
+}
+
+#[test]
+fn more_workers_than_vertices() {
+    let g = Arc::new(gen::cycle(5));
+    let topo = Arc::new(Topology::hashed(5, 8));
+    for cfg in configs(8) {
+        let out = pc_algos::wcc::channel_basic(&g, &topo, &cfg);
+        assert!(out.labels.iter().all(|&l| l == 0));
+    }
+}

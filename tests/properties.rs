@@ -1,0 +1,146 @@
+//! Property-based tests (proptest): invariants of the channel system and
+//! the algorithms over randomly generated graphs, partitions and values.
+
+use pc_bsp::codec::{Codec, Reader};
+use pc_bsp::{Config, Topology};
+use pc_graph::{reference, Graph};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a random undirected graph with up to `n` vertices.
+fn undirected_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| Graph::from_edges(n, &edges, false))
+    })
+}
+
+/// Strategy: a random directed graph.
+fn directed_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| Graph::from_edges(n, &edges, true))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every S-V composition equals union-find on arbitrary graphs.
+    #[test]
+    fn sv_matches_union_find(g in undirected_graph(120, 300), workers in 1usize..5) {
+        let g = Arc::new(g);
+        let oracle = reference::connected_components(&g);
+        let topo = Arc::new(Topology::hashed(g.n(), workers));
+        let cfg = Config::sequential(workers);
+        prop_assert_eq!(&pc_algos::sv::channel_basic(&g, &topo, &cfg).labels, &oracle);
+        prop_assert_eq!(&pc_algos::sv::channel_both(&g, &topo, &cfg).labels, &oracle);
+    }
+
+    /// WCC propagation equals WCC message-passing equals union-find.
+    #[test]
+    fn wcc_variants_agree(g in undirected_graph(150, 350), workers in 1usize..5) {
+        let g = Arc::new(g);
+        let oracle = reference::connected_components(&g);
+        let topo = Arc::new(Topology::hashed(g.n(), workers));
+        let cfg = Config::sequential(workers);
+        prop_assert_eq!(&pc_algos::wcc::channel_basic(&g, &topo, &cfg).labels, &oracle);
+        prop_assert_eq!(&pc_algos::wcc::channel_propagation(&g, &topo, &cfg).labels, &oracle);
+    }
+
+    /// SCC Min-Label equals Tarjan on arbitrary digraphs.
+    #[test]
+    fn scc_matches_tarjan(g in directed_graph(60, 150), workers in 1usize..4) {
+        let g = Arc::new(g);
+        let oracle = reference::strongly_connected_components(&g);
+        let topo = Arc::new(Topology::hashed(g.n(), workers));
+        let cfg = Config::sequential(workers);
+        prop_assert_eq!(&pc_algos::scc::channel_basic(&g, &topo, &cfg).labels, &oracle);
+        prop_assert_eq!(&pc_algos::scc::channel_propagation(&g, &topo, &cfg).labels, &oracle);
+    }
+
+    /// PageRank conserves probability mass on arbitrary digraphs.
+    #[test]
+    fn pagerank_mass_conservation(g in directed_graph(100, 250), workers in 1usize..5) {
+        let g = Arc::new(g);
+        let topo = Arc::new(Topology::hashed(g.n(), workers));
+        let cfg = Config::sequential(workers);
+        let out = pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 8);
+        let total: f64 = out.ranks.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "mass = {}", total);
+    }
+
+    /// Pointer jumping resolves arbitrary forests.
+    #[test]
+    fn pointer_jumping_resolves(
+        parents in (2usize..200).prop_flat_map(|n| {
+            proptest::collection::vec(0u32..n as u32, n).prop_map(move |mut p| {
+                // Make it a valid forest: parent index < own index, or self.
+                for (i, slot) in p.iter_mut().enumerate() {
+                    if *slot as usize >= i {
+                        *slot = i as u32;
+                    }
+                }
+                p
+            })
+        }),
+        workers in 1usize..5,
+    ) {
+        let parents = Arc::new(parents);
+        let oracle = reference::forest_roots(&parents);
+        let topo = Arc::new(Topology::hashed(parents.len(), workers));
+        let cfg = Config::sequential(workers);
+        prop_assert_eq!(&pc_algos::pointer_jumping::channel_basic(&parents, &topo, &cfg).roots, &oracle);
+        prop_assert_eq!(&pc_algos::pointer_jumping::channel_reqresp(&parents, &topo, &cfg).roots, &oracle);
+    }
+
+    /// The codec round-trips arbitrary values and value sequences.
+    #[test]
+    fn codec_roundtrip(values in proptest::collection::vec((any::<u32>(), any::<u64>(), any::<bool>()), 0..50)) {
+        let mut buf = Vec::new();
+        values.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back: Vec<(u32, u64, bool)> = r.get();
+        prop_assert!(r.is_empty());
+        prop_assert_eq!(back, values);
+    }
+
+    /// Floats survive the wire.
+    #[test]
+    fn codec_floats(values in proptest::collection::vec(any::<f64>(), 0..40)) {
+        let mut buf = Vec::new();
+        values.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back: Vec<f64> = r.get();
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert!(a == b || (a.is_nan() && b.is_nan()));
+        }
+    }
+
+    /// Topologies index consistently for arbitrary owner vectors.
+    #[test]
+    fn topology_indexing(owners in proptest::collection::vec(0u16..6, 1..300)) {
+        let topo = Topology::from_owners(6, owners.clone());
+        for (v, &w) in owners.iter().enumerate() {
+            prop_assert_eq!(topo.worker_of(v as u32), w as usize);
+            let local = topo.local_of(v as u32);
+            prop_assert_eq!(topo.locals(w as usize)[local as usize], v as u32);
+        }
+        let total: usize = (0..6).map(|w| topo.local_count(w)).sum();
+        prop_assert_eq!(total, owners.len());
+    }
+
+    /// Sequential and threaded execution agree bit-for-bit on results and
+    /// byte counts.
+    #[test]
+    fn exec_modes_agree(g in undirected_graph(100, 220), workers in 2usize..5) {
+        let g = Arc::new(g);
+        let topo = Arc::new(Topology::hashed(g.n(), workers));
+        let a = pc_algos::sv::channel_both(&g, &topo, &Config::sequential(workers));
+        let b = pc_algos::sv::channel_both(&g, &topo, &Config::with_workers(workers));
+        prop_assert_eq!(a.labels, b.labels);
+        prop_assert_eq!(a.stats.remote_bytes(), b.stats.remote_bytes());
+        prop_assert_eq!(a.stats.supersteps, b.stats.supersteps);
+        prop_assert_eq!(a.stats.rounds, b.stats.rounds);
+    }
+}
