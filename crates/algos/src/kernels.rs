@@ -45,9 +45,11 @@ impl Algorithm for Bfs {
     type Channels = (Propagation<u32, ()>,);
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
-        (Propagation::weighted(env, Combine::min_u32(), |_: &(), d: &u32| {
-            d.saturating_add(1)
-        }),)
+        (Propagation::weighted(
+            env,
+            Combine::min_u32(),
+            |_: &(), d: &u32| d.saturating_add(1),
+        ),)
     }
 
     fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Level, ch: &mut Self::Channels) {
@@ -67,8 +69,18 @@ impl Algorithm for Bfs {
 
 /// BFS levels from `src` (propagation channel; 2 supersteps).
 pub fn bfs(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config, src: VertexId) -> BfsOutput {
-    let out = run(&Bfs { g: Arc::clone(g), src }, topo, cfg);
-    BfsOutput { level: out.values.into_iter().map(|l| l.0).collect(), stats: out.stats }
+    let out = run(
+        &Bfs {
+            g: Arc::clone(g),
+            src,
+        },
+        topo,
+        cfg,
+    );
+    BfsOutput {
+        level: out.values.into_iter().map(|l| l.0).collect(),
+        stats: out.stats,
+    }
 }
 
 /// Result of a k-core run.
@@ -100,7 +112,10 @@ impl Algorithm for KCore {
     type Channels = (CombinedMessage<u32>,);
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
-        (CombinedMessage::new(env, Combine::new(0u32, |a, b| *a += b)),)
+        (CombinedMessage::new(
+            env,
+            Combine::new(0u32, |a, b| *a += b),
+        ),)
     }
 
     fn compute(&self, v: &mut VertexCtx<'_>, value: &mut CoreState, ch: &mut Self::Channels) {
@@ -124,8 +139,18 @@ impl Algorithm for KCore {
 /// The k-core of `g`: the maximal subgraph where every vertex has degree
 /// ≥ `k` within the subgraph.
 pub fn kcore(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config, k: u32) -> KCoreOutput {
-    let out = run(&KCore { g: Arc::clone(g), k }, topo, cfg);
-    KCoreOutput { in_core: out.values.into_iter().map(|s| s.alive).collect(), stats: out.stats }
+    let out = run(
+        &KCore {
+            g: Arc::clone(g),
+            k,
+        },
+        topo,
+        cfg,
+    );
+    KCoreOutput {
+        in_core: out.values.into_iter().map(|s| s.alive).collect(),
+        stats: out.stats,
+    }
 }
 
 /// Sequential k-core oracle.

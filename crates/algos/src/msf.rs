@@ -96,11 +96,11 @@ struct MsfChannel {
 }
 
 type MsfChannels = (
-    DirectMessage<(u32, u32)>,   // component broadcasts (sender, comp)
-    CombinedMessage<Proposal>,   // edge proposals, min-combined per root
-    DirectMessage<u32>,          // pointer asks & replies (phase-disciplined)
-    Aggregator<bool>,            // pointer-jumping stability
-    Aggregator<bool>,            // any-merge-this-round
+    DirectMessage<(u32, u32)>, // component broadcasts (sender, comp)
+    CombinedMessage<Proposal>, // edge proposals, min-combined per root
+    DirectMessage<u32>,        // pointer asks & replies (phase-disciplined)
+    Aggregator<bool>,          // pointer-jumping stability
+    Aggregator<bool>,          // any-merge-this-round
 );
 
 impl Algorithm for MsfChannel {
@@ -131,8 +131,7 @@ impl Algorithm for MsfChannel {
                 value.mode = Mode::Gather;
             }
             Mode::Gather => {
-                let comps: HashMap<u32, u32> =
-                    nbrc.messages(v.local).iter().copied().collect();
+                let comps: HashMap<u32, u32> = nbrc.messages(v.local).iter().copied().collect();
                 let mut best = NO_PROPOSAL;
                 for (t, w) in self.g.neighbors_weighted(v.id) {
                     if let Some(&tc) = comps.get(&t) {
@@ -177,8 +176,11 @@ impl Algorithm for MsfChannel {
             }
             Mode::Resolve => {
                 if value.pending {
-                    let parent_comp =
-                        ptr.messages(v.local).first().copied().unwrap_or(value.pending_parent);
+                    let parent_comp = ptr
+                        .messages(v.local)
+                        .first()
+                        .copied()
+                        .unwrap_or(value.pending_parent);
                     if parent_comp == v.id && v.id < value.pending_parent {
                         // Mutual selection of the same edge: the smaller id
                         // stays root and un-records its copy.
@@ -494,7 +496,11 @@ mod tests {
             assert_eq!(out.edge_count, expect_n, "{name} edge count");
             // Components must match connectivity (labels may differ, so
             // compare the partition via canonical relabeling).
-            assert_eq!(canonical(&out.components), canonical(&cc), "{name} components");
+            assert_eq!(
+                canonical(&out.components),
+                canonical(&cc),
+                "{name} components"
+            );
         }
     }
 
@@ -551,7 +557,14 @@ mod tests {
 
     #[test]
     fn weighted_rmat_forest() {
-        let g = Arc::new(gen::rmat_weighted(8, 1500, gen::RmatParams::default(), 6, false, 1000));
+        let g = Arc::new(gen::rmat_weighted(
+            8,
+            1500,
+            gen::RmatParams::default(),
+            6,
+            false,
+            1000,
+        ));
         check_all(g, 4);
     }
 
@@ -576,7 +589,14 @@ mod tests {
 
     #[test]
     fn monolithic_messages_cost_more_bytes() {
-        let g = Arc::new(gen::rmat_weighted(8, 2500, gen::RmatParams::default(), 2, false, 500));
+        let g = Arc::new(gen::rmat_weighted(
+            8,
+            2500,
+            gen::RmatParams::default(),
+            2,
+            false,
+            500,
+        ));
         let topo = Arc::new(Topology::hashed(g.n(), 4));
         let cfg = Config::sequential(4);
         let channel = channel_basic(&g, &topo, &cfg);
@@ -592,7 +612,14 @@ mod tests {
 
     #[test]
     fn threaded_matches_sequential() {
-        let g = Arc::new(gen::rmat_weighted(7, 900, gen::RmatParams::default(), 4, false, 100));
+        let g = Arc::new(gen::rmat_weighted(
+            7,
+            900,
+            gen::RmatParams::default(),
+            4,
+            false,
+            100,
+        ));
         let topo = Arc::new(Topology::hashed(g.n(), 3));
         let a = channel_basic(&g, &topo, &Config::sequential(3));
         let b = channel_basic(&g, &topo, &Config::with_workers(3));

@@ -9,8 +9,8 @@ use pc_bsp::{Config, RunStats, Topology};
 use pc_channels::channel::{VertexCtx, WorkerEnv};
 use pc_channels::engine::{run, Algorithm};
 use pc_channels::{Aggregator, Combine, CombinedMessage, Mirror, ScatterCombine};
-use pc_pregel::{run_pregel, PregelOptions, PregelProgram, PregelVertex};
 use pc_graph::Graph;
+use pc_pregel::{run_pregel, PregelOptions, PregelProgram, PregelVertex};
 use std::sync::Arc;
 
 /// Result of a PageRank run.
@@ -209,14 +209,34 @@ impl PregelProgram for PrPregel {
 
 /// Channel-basic PageRank (the Fig. 1 program).
 pub fn channel_basic(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config, iters: u64) -> PrOutput {
-    let out = run(&PrBasic { g: Arc::clone(g), iters }, topo, cfg);
-    PrOutput { ranks: out.values, stats: out.stats }
+    let out = run(
+        &PrBasic {
+            g: Arc::clone(g),
+            iters,
+        },
+        topo,
+        cfg,
+    );
+    PrOutput {
+        ranks: out.values,
+        stats: out.stats,
+    }
 }
 
 /// Channel PageRank over the scatter-combine channel (§III-B).
 pub fn channel_scatter(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config, iters: u64) -> PrOutput {
-    let out = run(&PrScatter { g: Arc::clone(g), iters }, topo, cfg);
-    PrOutput { ranks: out.values, stats: out.stats }
+    let out = run(
+        &PrScatter {
+            g: Arc::clone(g),
+            iters,
+        },
+        topo,
+        cfg,
+    );
+    PrOutput {
+        ranks: out.values,
+        stats: out.stats,
+    }
 }
 
 /// Channel PageRank over the mirror (ghost-as-a-channel) optimization.
@@ -227,15 +247,33 @@ pub fn channel_mirror(
     iters: u64,
     threshold: usize,
 ) -> PrOutput {
-    let out = run(&PrMirror { g: Arc::clone(g), iters, threshold }, topo, cfg);
-    PrOutput { ranks: out.values, stats: out.stats }
+    let out = run(
+        &PrMirror {
+            g: Arc::clone(g),
+            iters,
+            threshold,
+        },
+        topo,
+        cfg,
+    );
+    PrOutput {
+        ranks: out.values,
+        stats: out.stats,
+    }
 }
 
 /// Pregel+ basic-mode PageRank.
 pub fn pregel_basic(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config, iters: u64) -> PrOutput {
-    let prog = Arc::new(PrPregel { g: Arc::clone(g), iters, ghost: false });
+    let prog = Arc::new(PrPregel {
+        g: Arc::clone(g),
+        iters,
+        ghost: false,
+    });
     let out = run_pregel(prog, topo, cfg, PregelOptions::default());
-    PrOutput { ranks: out.values, stats: out.stats }
+    PrOutput {
+        ranks: out.values,
+        stats: out.stats,
+    }
 }
 
 /// Pregel+ ghost-mode PageRank (mirroring threshold τ, paper uses 16).
@@ -246,10 +284,19 @@ pub fn pregel_ghost(
     iters: u64,
     threshold: usize,
 ) -> PrOutput {
-    let prog = Arc::new(PrPregel { g: Arc::clone(g), iters, ghost: true });
-    let opts = PregelOptions { ghost: Some((Arc::clone(g), threshold)) };
+    let prog = Arc::new(PrPregel {
+        g: Arc::clone(g),
+        iters,
+        ghost: true,
+    });
+    let opts = PregelOptions {
+        ghost: Some((Arc::clone(g), threshold)),
+    };
     let out = run_pregel(prog, topo, cfg, opts);
-    PrOutput { ranks: out.values, stats: out.stats }
+    PrOutput {
+        ranks: out.values,
+        stats: out.stats,
+    }
 }
 
 #[cfg(test)]
@@ -324,7 +371,11 @@ mod tests {
     #[test]
     fn rank_mass_is_conserved_with_sinks() {
         // A graph guaranteed to have dead ends.
-        let g = Arc::new(Graph::from_edges(6, &[(0, 1), (1, 2), (3, 2), (4, 2)], true));
+        let g = Arc::new(Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (3, 2), (4, 2)],
+            true,
+        ));
         let topo = Arc::new(Topology::hashed(6, 2));
         let out = channel_basic(&g, &topo, &Config::sequential(2), 30);
         let total: f64 = out.ranks.iter().sum();

@@ -199,8 +199,17 @@ impl PregelProgram for PjPregel {
 
 /// Channel-basic pointer jumping (two supersteps per round).
 pub fn channel_basic(parents: &Arc<Vec<VertexId>>, topo: &Arc<Topology>, cfg: &Config) -> PjOutput {
-    let out = run(&PjBasic { parents: Arc::clone(parents) }, topo, cfg);
-    PjOutput { roots: out.values, stats: out.stats }
+    let out = run(
+        &PjBasic {
+            parents: Arc::clone(parents),
+        },
+        topo,
+        cfg,
+    );
+    PjOutput {
+        roots: out.values,
+        stats: out.stats,
+    }
 }
 
 /// Channel pointer jumping over the request-respond channel.
@@ -209,15 +218,30 @@ pub fn channel_reqresp(
     topo: &Arc<Topology>,
     cfg: &Config,
 ) -> PjOutput {
-    let out = run(&PjReqResp { parents: Arc::clone(parents) }, topo, cfg);
-    PjOutput { roots: out.values, stats: out.stats }
+    let out = run(
+        &PjReqResp {
+            parents: Arc::clone(parents),
+        },
+        topo,
+        cfg,
+    );
+    PjOutput {
+        roots: out.values,
+        stats: out.stats,
+    }
 }
 
 /// Pregel+ basic-mode pointer jumping.
 pub fn pregel_basic(parents: &Arc<Vec<VertexId>>, topo: &Arc<Topology>, cfg: &Config) -> PjOutput {
-    let prog = Arc::new(PjPregel { parents: Arc::clone(parents), reqresp: false });
+    let prog = Arc::new(PjPregel {
+        parents: Arc::clone(parents),
+        reqresp: false,
+    });
     let out = run_pregel(prog, topo, cfg, PregelOptions::default());
-    PjOutput { roots: out.values, stats: out.stats }
+    PjOutput {
+        roots: out.values,
+        stats: out.stats,
+    }
 }
 
 /// Pregel+ reqresp-mode pointer jumping.
@@ -226,9 +250,15 @@ pub fn pregel_reqresp(
     topo: &Arc<Topology>,
     cfg: &Config,
 ) -> PjOutput {
-    let prog = Arc::new(PjPregel { parents: Arc::clone(parents), reqresp: true });
+    let prog = Arc::new(PjPregel {
+        parents: Arc::clone(parents),
+        reqresp: true,
+    });
     let out = run_pregel(prog, topo, cfg, PregelOptions::default());
-    PjOutput { roots: out.values, stats: out.stats }
+    PjOutput {
+        roots: out.values,
+        stats: out.stats,
+    }
 }
 
 #[cfg(test)]
@@ -241,10 +271,26 @@ mod tests {
         let expect = reference::forest_roots(&parents);
         let topo = Arc::new(Topology::hashed(parents.len(), workers));
         let cfg = Config::sequential(workers);
-        assert_eq!(channel_basic(&parents, &topo, &cfg).roots, expect, "channel basic");
-        assert_eq!(channel_reqresp(&parents, &topo, &cfg).roots, expect, "channel reqresp");
-        assert_eq!(pregel_basic(&parents, &topo, &cfg).roots, expect, "pregel basic");
-        assert_eq!(pregel_reqresp(&parents, &topo, &cfg).roots, expect, "pregel reqresp");
+        assert_eq!(
+            channel_basic(&parents, &topo, &cfg).roots,
+            expect,
+            "channel basic"
+        );
+        assert_eq!(
+            channel_reqresp(&parents, &topo, &cfg).roots,
+            expect,
+            "channel reqresp"
+        );
+        assert_eq!(
+            pregel_basic(&parents, &topo, &cfg).roots,
+            expect,
+            "pregel basic"
+        );
+        assert_eq!(
+            pregel_reqresp(&parents, &topo, &cfg).roots,
+            expect,
+            "pregel reqresp"
+        );
     }
 
     #[test]

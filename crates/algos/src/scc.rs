@@ -135,7 +135,10 @@ impl Codec for MaskedLabel {
         self.label.encode(buf);
     }
     fn decode(r: &mut Reader<'_>) -> Self {
-        MaskedLabel { removed: r.get(), label: r.get() }
+        MaskedLabel {
+            removed: r.get(),
+            label: r.get(),
+        }
     }
     const FIXED_SIZE: Option<usize> = Some(5);
 }
@@ -144,7 +147,10 @@ impl MaskedLabel {
     /// The combiner: min over labels, inert once either side is removed.
     pub fn combine() -> Combine<MaskedLabel> {
         Combine::new(
-            MaskedLabel { removed: false, label: u32::MAX },
+            MaskedLabel {
+                removed: false,
+                label: u32::MAX,
+            },
             |acc: &mut MaskedLabel, m: MaskedLabel| {
                 if !acc.removed && !m.removed && m.label < acc.label {
                     acc.label = m.label;
@@ -192,7 +198,10 @@ impl Algorithm for SccProp {
             if f == b {
                 value.label = f;
                 value.removed = true;
-                let tomb = MaskedLabel { removed: true, label: f };
+                let tomb = MaskedLabel {
+                    removed: true,
+                    label: f,
+                };
                 fwd.set_value_silent(v.local, tomb);
                 bwd.set_value_silent(v.local, tomb);
                 v.vote_to_halt();
@@ -200,7 +209,10 @@ impl Algorithm for SccProp {
             }
         }
         // (Re-)seed; the floods run to fixpoint within this superstep.
-        let seed = MaskedLabel { removed: false, label: v.id };
+        let seed = MaskedLabel {
+            removed: false,
+            label: v.id,
+        };
         fwd.set_value(v.local, seed);
         bwd.set_value(v.local, seed);
     }
@@ -293,23 +305,49 @@ fn labels_of(values: Vec<SccValue>) -> Vec<VertexId> {
 /// Channel-basic Min-Label SCC.
 pub fn channel_basic(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> SccOutput {
     let rev = Arc::new(g.reverse());
-    let out = run(&SccBasic { g: Arc::clone(g), rev }, topo, cfg);
-    SccOutput { labels: labels_of(out.values), stats: out.stats }
+    let out = run(
+        &SccBasic {
+            g: Arc::clone(g),
+            rev,
+        },
+        topo,
+        cfg,
+    );
+    SccOutput {
+        labels: labels_of(out.values),
+        stats: out.stats,
+    }
 }
 
 /// Channel-propagation Min-Label SCC (Table VII program 3).
 pub fn channel_propagation(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> SccOutput {
     let rev = Arc::new(g.reverse());
-    let out = run(&SccProp { g: Arc::clone(g), rev }, topo, cfg);
-    SccOutput { labels: labels_of(out.values), stats: out.stats }
+    let out = run(
+        &SccProp {
+            g: Arc::clone(g),
+            rev,
+        },
+        topo,
+        cfg,
+    );
+    SccOutput {
+        labels: labels_of(out.values),
+        stats: out.stats,
+    }
 }
 
 /// Pregel+ basic-mode Min-Label SCC.
 pub fn pregel_basic(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> SccOutput {
     let rev = Arc::new(g.reverse());
-    let prog = Arc::new(SccPregel { g: Arc::clone(g), rev });
+    let prog = Arc::new(SccPregel {
+        g: Arc::clone(g),
+        rev,
+    });
     let out = run_pregel(prog, topo, cfg, PregelOptions::default());
-    SccOutput { labels: labels_of(out.values), stats: out.stats }
+    SccOutput {
+        labels: labels_of(out.values),
+        stats: out.stats,
+    }
 }
 
 #[cfg(test)]
@@ -334,9 +372,9 @@ mod tests {
     #[test]
     fn dag_has_singleton_sccs() {
         // A DAG: every vertex is its own SCC.
-        let edges: Vec<(u32, u32)> = (0..60u32).flat_map(|i| {
-            [(i, i + 1), (i, (i + 7).min(60))]
-        }).collect();
+        let edges: Vec<(u32, u32)> = (0..60u32)
+            .flat_map(|i| [(i, i + 1), (i, (i + 7).min(60))])
+            .collect();
         check_all(Arc::new(Graph::from_edges(61, &edges, true)), 3);
     }
 
@@ -348,7 +386,10 @@ mod tests {
 
     #[test]
     fn rmat_digraph_sccs() {
-        check_all(Arc::new(gen::rmat(8, 3000, gen::RmatParams::default(), 23, true)), 4);
+        check_all(
+            Arc::new(gen::rmat(8, 3000, gen::RmatParams::default(), 23, true)),
+            4,
+        );
     }
 
     #[test]

@@ -141,9 +141,11 @@ impl Algorithm for SsspProp {
     type Channels = (Propagation<u64, u32>,);
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
-        (Propagation::weighted(env, Combine::min_u64(), |w: &u32, d: &u64| {
-            d.saturating_add(*w as u64)
-        }),)
+        (Propagation::weighted(
+            env,
+            Combine::min_u64(),
+            |w: &u32, d: &u64| d.saturating_add(*w as u64),
+        ),)
     }
 
     fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Dist, ch: &mut Self::Channels) {
@@ -168,8 +170,18 @@ pub fn channel_basic(
     cfg: &Config,
     src: VertexId,
 ) -> SsspOutput {
-    let out = run(&SsspBasic { g: Arc::clone(g), src }, topo, cfg);
-    SsspOutput { dist: out.values.into_iter().map(|d| d.0).collect(), stats: out.stats }
+    let out = run(
+        &SsspBasic {
+            g: Arc::clone(g),
+            src,
+        },
+        topo,
+        cfg,
+    );
+    SsspOutput {
+        dist: out.values.into_iter().map(|d| d.0).collect(),
+        stats: out.stats,
+    }
 }
 
 /// Channel SSSP over the full propagation model (asynchronous
@@ -181,8 +193,18 @@ pub fn channel_propagation(
     cfg: &Config,
     src: VertexId,
 ) -> SsspOutput {
-    let out = run(&SsspProp { g: Arc::clone(g), src }, topo, cfg);
-    SsspOutput { dist: out.values.into_iter().map(|d| d.0).collect(), stats: out.stats }
+    let out = run(
+        &SsspProp {
+            g: Arc::clone(g),
+            src,
+        },
+        topo,
+        cfg,
+    );
+    SsspOutput {
+        dist: out.values.into_iter().map(|d| d.0).collect(),
+        stats: out.stats,
+    }
 }
 
 /// Pregel+ SSSP.
@@ -192,9 +214,15 @@ pub fn pregel_basic(
     cfg: &Config,
     src: VertexId,
 ) -> SsspOutput {
-    let prog = Arc::new(SsspPregel { g: Arc::clone(g), src });
+    let prog = Arc::new(SsspPregel {
+        g: Arc::clone(g),
+        src,
+    });
     let out = run_pregel(prog, topo, cfg, PregelOptions::default());
-    SsspOutput { dist: out.values, stats: out.stats }
+    SsspOutput {
+        dist: out.values,
+        stats: out.stats,
+    }
 }
 
 #[cfg(test)]
@@ -203,7 +231,10 @@ mod tests {
     use pc_graph::{gen, reference};
 
     fn oracle(g: &WeightedGraph, src: VertexId) -> Vec<u64> {
-        reference::sssp(g, src).into_iter().map(|d| d.unwrap_or(UNREACHED)).collect()
+        reference::sssp(g, src)
+            .into_iter()
+            .map(|d| d.unwrap_or(UNREACHED))
+            .collect()
     }
 
     fn check_all(g: Arc<WeightedGraph>, src: VertexId, workers: usize) {
@@ -211,7 +242,11 @@ mod tests {
         let topo = Arc::new(Topology::hashed(g.n(), workers));
         let cfg = Config::sequential(workers);
         assert_eq!(channel_basic(&g, &topo, &cfg, src).dist, expect, "channel");
-        assert_eq!(channel_propagation(&g, &topo, &cfg, src).dist, expect, "prop");
+        assert_eq!(
+            channel_propagation(&g, &topo, &cfg, src).dist,
+            expect,
+            "prop"
+        );
         assert_eq!(pregel_basic(&g, &topo, &cfg, src).dist, expect, "pregel");
     }
 
@@ -226,12 +261,23 @@ mod tests {
         let prop = channel_propagation(&g, &topo, &cfg, 0);
         assert_eq!(basic.dist, prop.dist);
         assert_eq!(prop.stats.supersteps, 2);
-        assert!(basic.stats.supersteps > 500, "basic = {}", basic.stats.supersteps);
+        assert!(
+            basic.stats.supersteps > 500,
+            "basic = {}",
+            basic.stats.supersteps
+        );
     }
 
     #[test]
     fn weighted_rmat_distances() {
-        let g = Arc::new(gen::rmat_weighted(9, 3000, gen::RmatParams::default(), 5, true, 100));
+        let g = Arc::new(gen::rmat_weighted(
+            9,
+            3000,
+            gen::RmatParams::default(),
+            5,
+            true,
+            100,
+        ));
         check_all(g, 0, 4);
     }
 
@@ -255,7 +301,14 @@ mod tests {
 
     #[test]
     fn threaded_matches_sequential() {
-        let g = Arc::new(gen::rmat_weighted(8, 1500, gen::RmatParams::default(), 9, true, 50));
+        let g = Arc::new(gen::rmat_weighted(
+            8,
+            1500,
+            gen::RmatParams::default(),
+            9,
+            true,
+            50,
+        ));
         let topo = Arc::new(Topology::hashed(g.n(), 3));
         let a = channel_basic(&g, &topo, &Config::sequential(3), 1);
         let b = channel_basic(&g, &topo, &Config::with_workers(3), 1);
@@ -264,7 +317,11 @@ mod tests {
 
     #[test]
     fn source_with_self_loop() {
-        let g = Arc::new(WeightedGraph::from_weighted_edges(3, &[(0, 0, 5u32), (0, 1, 2)], true));
+        let g = Arc::new(WeightedGraph::from_weighted_edges(
+            3,
+            &[(0, 0, 5u32), (0, 1, 2)],
+            true,
+        ));
         let topo = Arc::new(Topology::hashed(3, 2));
         let out = channel_basic(&g, &topo, &Config::sequential(2), 0);
         assert_eq!(out.dist[0], 0);

@@ -196,7 +196,11 @@ struct Sv<Q, B> {
 
 impl<Q, B> Sv<Q, B> {
     fn new(g: &Arc<Graph>) -> Self {
-        Sv { g: Arc::clone(g), _q: std::marker::PhantomData, _b: std::marker::PhantomData }
+        Sv {
+            g: Arc::clone(g),
+            _q: std::marker::PhantomData,
+            _b: std::marker::PhantomData,
+        }
     }
 }
 
@@ -262,7 +266,10 @@ impl<Q: GpQuery, B: NbrBcast> Algorithm for Sv<Q, B> {
 
 fn run_sv<Q: GpQuery, B: NbrBcast>(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> SvOutput {
     let out = run(&Sv::<Q, B>::new(g), topo, cfg);
-    SvOutput { labels: out.values.into_iter().map(|x| x.d).collect(), stats: out.stats }
+    SvOutput {
+        labels: out.values.into_iter().map(|x| x.d).collect(),
+        stats: out.stats,
+    }
 }
 
 /// Program 2 of Table VI: standard channels only.
@@ -430,16 +437,28 @@ impl PregelProgram for SvPregel {
 
 /// Program 1 of Table VI (variant): Pregel+ basic mode.
 pub fn pregel_basic(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> SvOutput {
-    let prog = Arc::new(SvPregel { g: Arc::clone(g), reqresp: false });
+    let prog = Arc::new(SvPregel {
+        g: Arc::clone(g),
+        reqresp: false,
+    });
     let out = run_pregel(prog, topo, cfg, PregelOptions::default());
-    SvOutput { labels: out.values.into_iter().map(|x| x.d).collect(), stats: out.stats }
+    SvOutput {
+        labels: out.values.into_iter().map(|x| x.d).collect(),
+        stats: out.stats,
+    }
 }
 
 /// Program 1 of Table VI: Pregel+ reqresp mode.
 pub fn pregel_reqresp(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> SvOutput {
-    let prog = Arc::new(SvPregel { g: Arc::clone(g), reqresp: true });
+    let prog = Arc::new(SvPregel {
+        g: Arc::clone(g),
+        reqresp: true,
+    });
     let out = run_pregel(prog, topo, cfg, PregelOptions::default());
-    SvOutput { labels: out.values.into_iter().map(|x| x.d).collect(), stats: out.stats }
+    SvOutput {
+        labels: out.values.into_iter().map(|x| x.d).collect(),
+        stats: out.stats,
+    }
 }
 
 #[cfg(test)]
@@ -456,17 +475,27 @@ mod tests {
         assert_eq!(channel_scatter(&g, &topo, &cfg).labels, expect, "scatter");
         assert_eq!(channel_both(&g, &topo, &cfg).labels, expect, "both");
         assert_eq!(pregel_basic(&g, &topo, &cfg).labels, expect, "pregel basic");
-        assert_eq!(pregel_reqresp(&g, &topo, &cfg).labels, expect, "pregel reqresp");
+        assert_eq!(
+            pregel_reqresp(&g, &topo, &cfg).labels,
+            expect,
+            "pregel reqresp"
+        );
     }
 
     #[test]
     fn sparse_components() {
-        check_all(Arc::new(gen::rmat(9, 1200, gen::RmatParams::default(), 2, false)), 4);
+        check_all(
+            Arc::new(gen::rmat(9, 1200, gen::RmatParams::default(), 2, false)),
+            4,
+        );
     }
 
     #[test]
     fn dense_single_component() {
-        check_all(Arc::new(gen::rmat(7, 4000, gen::RmatParams::default(), 5, false)), 4);
+        check_all(
+            Arc::new(gen::rmat(7, 4000, gen::RmatParams::default(), 5, false)),
+            4,
+        );
     }
 
     #[test]

@@ -137,13 +137,19 @@ impl PregelProgram for WccPregel {
 /// Channel-basic WCC (message passing, one superstep per hop).
 pub fn channel_basic(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> WccOutput {
     let out = run(&WccBasic { g: Arc::clone(g) }, topo, cfg);
-    WccOutput { labels: out.values, stats: out.stats }
+    WccOutput {
+        labels: out.values,
+        stats: out.stats,
+    }
 }
 
 /// Channel-propagation WCC (asynchronous intra-worker convergence).
 pub fn channel_propagation(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> WccOutput {
     let out = run(&WccProp { g: Arc::clone(g) }, topo, cfg);
-    WccOutput { labels: out.values, stats: out.stats }
+    WccOutput {
+        labels: out.values,
+        stats: out.stats,
+    }
 }
 
 /// Pregel+ basic-mode WCC.
@@ -154,13 +160,19 @@ pub fn pregel_basic(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> WccOu
         cfg,
         PregelOptions::default(),
     );
-    WccOutput { labels: out.values, stats: out.stats }
+    WccOutput {
+        labels: out.values,
+        stats: out.stats,
+    }
 }
 
 /// Blogel block-centric WCC (re-exported for table harnesses).
 pub fn blogel(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> WccOutput {
     let out = pc_pregel::blogel::wcc(g, topo, cfg);
-    WccOutput { labels: out.values, stats: out.stats }
+    WccOutput {
+        labels: out.values,
+        stats: out.stats,
+    }
 }
 
 #[cfg(test)]
@@ -172,15 +184,26 @@ mod tests {
         let expect = reference::connected_components(&g);
         let topo = Arc::new(Topology::hashed(g.n(), workers));
         let cfg = Config::sequential(workers);
-        assert_eq!(channel_basic(&g, &topo, &cfg).labels, expect, "channel basic");
-        assert_eq!(channel_propagation(&g, &topo, &cfg).labels, expect, "channel prop");
+        assert_eq!(
+            channel_basic(&g, &topo, &cfg).labels,
+            expect,
+            "channel basic"
+        );
+        assert_eq!(
+            channel_propagation(&g, &topo, &cfg).labels,
+            expect,
+            "channel prop"
+        );
         assert_eq!(pregel_basic(&g, &topo, &cfg).labels, expect, "pregel basic");
         assert_eq!(blogel(&g, &topo, &cfg).labels, expect, "blogel");
     }
 
     #[test]
     fn undirected_rmat_components() {
-        check_all(Arc::new(gen::rmat(9, 2500, gen::RmatParams::default(), 3, false)), 4);
+        check_all(
+            Arc::new(gen::rmat(9, 2500, gen::RmatParams::default(), 3, false)),
+            4,
+        );
     }
 
     #[test]

@@ -9,7 +9,12 @@
 //!   dedup, and positional vs (id, value) response encoding;
 //! * `fig7_propagation` — worklist label propagation over a local subgraph
 //!   vs one synchronous sweep per "superstep";
-//! * `codec` — raw encode/decode throughput of the wire codec.
+//! * `codec` — raw encode/decode throughput of the wire codec;
+//! * `exchange_pooling` — one simulated exchange round with pooled buffers
+//!   vs fresh allocations (the steady-state engine path vs the old one);
+//! * `prop_staging` — remote-update combining through dense per-peer slot
+//!   arrays + dirty lists vs a per-peer hash map (the Propagation channel's
+//!   hottest path before and after this change).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pc_bsp::codec::{Codec, Reader};
@@ -25,7 +30,10 @@ fn edges(seed: u64) -> Vec<(u32, u32)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..N_EDGES)
         .map(|_| {
-            (rng.random_range(0..N_VERTICES as u32), rng.random_range(0..N_VERTICES as u32))
+            (
+                rng.random_range(0..N_VERTICES as u32),
+                rng.random_range(0..N_VERTICES as u32),
+            )
         })
         .collect()
 }
@@ -71,8 +79,9 @@ fn fig5_scatter_combine(c: &mut Criterion) {
 fn fig6_request_respond(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_request_respond");
     let mut rng = StdRng::seed_from_u64(7);
-    let requests: Vec<u32> =
-        (0..N_EDGES).map(|_| rng.random_range(0..N_VERTICES as u32 / 4)).collect();
+    let requests: Vec<u32> = (0..N_EDGES)
+        .map(|_| rng.random_range(0..N_VERTICES as u32 / 4))
+        .collect();
 
     g.bench_function("sort_dedup", |b| {
         b.iter_batched(
@@ -221,13 +230,168 @@ fn codec(c: &mut Criterion) {
     g.finish();
 }
 
+fn exchange_pooling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exchange_pooling");
+    const PEERS: usize = 8;
+    const ROUND_BYTES: usize = 64 * 1024;
+    let payload = vec![7u8; 1024];
+
+    // Old path: every round allocates one fresh Vec per peer and drops the
+    // received ones.
+    g.bench_function("fresh_alloc_round", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for _ in 0..PEERS {
+                let mut buf = Vec::new();
+                while buf.len() < ROUND_BYTES {
+                    buf.extend_from_slice(&payload);
+                }
+                total += buf.len();
+                drop(buf);
+            }
+            black_box(total)
+        })
+    });
+
+    // New path: buffers cycle through a pool, so steady-state rounds only
+    // clear and refill.
+    let mut pool = pc_bsp::BufferPool::new();
+    g.bench_function("pooled_round", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            let mut used = Vec::with_capacity(PEERS);
+            for _ in 0..PEERS {
+                let mut buf = pool.get();
+                while buf.len() < ROUND_BYTES {
+                    buf.extend_from_slice(&payload);
+                }
+                total += buf.len();
+                used.push(buf);
+            }
+            pool.put_all(used);
+            black_box(total)
+        })
+    });
+    g.finish();
+}
+
+fn prop_staging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prop_staging");
+    // Remote updates of one busy round: many targets touched repeatedly
+    // (label propagation folds several updates per boundary vertex).
+    let targets = N_VERTICES / 4;
+    let updates: Vec<(u32, u64)> = {
+        let mut rng = StdRng::seed_from_u64(11);
+        (0..N_EDGES)
+            .map(|_| {
+                (
+                    rng.random_range(0..targets as u32),
+                    rng.random_range(0..1u64 << 32),
+                )
+            })
+            .collect()
+    };
+
+    g.bench_function("hashmap_stage", |b| {
+        b.iter(|| {
+            let mut staging: HashMap<u32, u64> = HashMap::new();
+            for &(dst, v) in &updates {
+                match staging.entry(dst) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let m = (*e.get()).min(v);
+                        e.insert(m);
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(v);
+                    }
+                }
+            }
+            black_box(staging.len())
+        })
+    });
+
+    let mut slots: Vec<Option<u64>> = vec![None; targets];
+    let mut dirty: Vec<u32> = Vec::with_capacity(targets);
+    g.bench_function("dense_slots_stage", |b| {
+        b.iter(|| {
+            for &(dst, v) in &updates {
+                match &mut slots[dst as usize] {
+                    Some(acc) => *acc = (*acc).min(v),
+                    slot @ None => {
+                        *slot = Some(v);
+                        dirty.push(dst);
+                    }
+                }
+            }
+            let n = dirty.len();
+            for dst in dirty.drain(..) {
+                slots[dst as usize] = None;
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+fn barrier(c: &mut Criterion) {
+    let mut g = c.benchmark_group("barrier");
+    const THREADS: usize = 4;
+    const CROSSINGS: usize = 1000;
+
+    // The engine's old rendezvous: std::sync::Barrier (mutex + condvar on
+    // every arrival).
+    g.bench_function("std_barrier_1k_crossings", |b| {
+        b.iter(|| {
+            let bar = std::sync::Arc::new(std::sync::Barrier::new(THREADS));
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let bar = std::sync::Arc::clone(&bar);
+                    std::thread::spawn(move || {
+                        for _ in 0..CROSSINGS {
+                            bar.wait();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    });
+
+    // The replacement: sense-reversing spin-then-park barrier.
+    g.bench_function("spin_barrier_1k_crossings", |b| {
+        b.iter(|| {
+            let bar = std::sync::Arc::new(pc_bsp::SpinBarrier::new(THREADS));
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let bar = std::sync::Arc::clone(&bar);
+                    std::thread::spawn(move || {
+                        for _ in 0..CROSSINGS {
+                            bar.wait();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
 fn quick() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300))
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(300))
 }
 
 criterion_group! {
     name = benches;
     config = quick();
-    targets = fig5_scatter_combine, fig6_request_respond, fig7_propagation, codec
+    targets = fig5_scatter_combine, fig6_request_respond, fig7_propagation, codec,
+        exchange_pooling, prop_staging, barrier
 }
 criterion_main!(benches);

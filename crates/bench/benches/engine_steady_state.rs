@@ -1,0 +1,119 @@
+//! End-to-end steady-state engine benchmarks.
+//!
+//! The micro-benches isolate primitive costs; this bench measures what the
+//! exchange-path work actually bought: full PageRank and WCC runs on
+//! R-MAT and ring graphs, Sequential vs Threads. PageRank (scatter
+//! channel, fixed iterations) exercises the dense steady-state exchange;
+//! WCC (propagation channel) exercises the multi-round fixpoint path; the
+//! ring WCC run is the sparse-frontier stress (two active vertices per
+//! superstep without the worklist).
+//!
+//! Scale with `PC_SCALE` (vertices = 2^scale, default 12 here to keep CI
+//! smoke runs quick).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pc_bsp::{Config, Topology};
+use pc_graph::{gen, Graph};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn scale() -> u32 {
+    std::env::var("PC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
+}
+
+fn workers() -> usize {
+    std::env::var("PC_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+}
+
+fn rmat_graph() -> Arc<Graph> {
+    let n = 1usize << scale();
+    Arc::new(gen::rmat(
+        scale(),
+        9 * n,
+        gen::RmatParams::default(),
+        42,
+        true,
+    ))
+}
+
+fn rmat_sym() -> Arc<Graph> {
+    let n = 1usize << scale();
+    Arc::new(gen::rmat(
+        scale(),
+        4 * n,
+        gen::RmatParams::default(),
+        43,
+        false,
+    ))
+}
+
+fn ring() -> Arc<Graph> {
+    Arc::new(gen::cycle(1usize << scale()))
+}
+
+fn configs() -> [(&'static str, Config); 2] {
+    let w = workers();
+    [
+        ("seq", Config::sequential(w)),
+        ("threads", Config::with_workers(w)),
+    ]
+}
+
+fn pagerank_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_steady_state/pagerank_rmat");
+    let g = rmat_graph();
+    let topo = Arc::new(Topology::hashed(g.n(), workers()));
+    for (name, cfg) in configs() {
+        group.bench_function(name, |b| {
+            b.iter(|| pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 20))
+        });
+    }
+    group.finish();
+}
+
+fn wcc_steady_state(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_steady_state/wcc_rmat");
+    let g = rmat_sym();
+    let topo = Arc::new(Topology::hashed(g.n(), workers()));
+    for (name, cfg) in configs() {
+        group.bench_function(name, |b| {
+            b.iter(|| pc_algos::wcc::channel_propagation(&g, &topo, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn wcc_sparse_frontier(c: &mut Criterion) {
+    // A single huge ring under propagation WCC with a blocked partition:
+    // long tails of nearly-empty supersteps, which is exactly what the
+    // frontier worklist accelerates.
+    let mut group = c.benchmark_group("engine_steady_state/wcc_ring");
+    let g = ring();
+    let topo = Arc::new(Topology::blocked(g.n(), workers()));
+    for (name, cfg) in configs() {
+        group.bench_function(name, |b| {
+            b.iter(|| pc_algos::wcc::channel_propagation(&g, &topo, &cfg))
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = pagerank_steady_state, wcc_steady_state, wcc_sparse_frontier
+}
+criterion_main!(benches);

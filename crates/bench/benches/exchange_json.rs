@@ -1,0 +1,143 @@
+//! Emit `BENCH_exchange.json`: the exchange-path performance trajectory.
+//!
+//! Runs the steady-state workloads once per mode and records runtime,
+//! message volume, pool hit rate and barrier crossings, so successive PRs
+//! can diff the exchange path's constant factors. Run via
+//! `cargo bench --bench exchange_json`; writes to the current directory
+//! (override with `PC_BENCH_OUT`).
+
+use pc_bsp::{Config, RunStats, Topology};
+use pc_graph::gen;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+struct Entry {
+    workload: String,
+    mode: &'static str,
+    stats: RunStats,
+}
+
+fn record(entries: &mut Vec<Entry>, workload: &str, mode: &'static str, stats: RunStats) {
+    println!(
+        "{workload:<24} {mode:<10} {:>9.1} ms  {:>8.2} MiB  {:>4} supersteps  {:>5} rounds  pool {:>6.2}%  {:.2} crossings/round",
+        stats.millis(),
+        stats.remote_mib(),
+        stats.supersteps,
+        stats.rounds,
+        100.0 * stats.pool_hit_rate(),
+        stats.crossings_per_round(),
+    );
+    entries.push(Entry {
+        workload: workload.to_string(),
+        mode,
+        stats,
+    });
+}
+
+fn main() {
+    let scale: u32 = std::env::var("PC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
+    let workers: usize = std::env::var("PC_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let n = 1usize << scale;
+
+    let pr_graph = Arc::new(gen::rmat(
+        scale,
+        9 * n,
+        gen::RmatParams::default(),
+        42,
+        true,
+    ));
+    let wcc_graph = Arc::new(gen::rmat(
+        scale,
+        4 * n,
+        gen::RmatParams::default(),
+        43,
+        false,
+    ));
+    let ring = Arc::new(gen::cycle(n));
+
+    let modes: [(&'static str, Config); 2] = [
+        ("sequential", Config::sequential(workers)),
+        ("threads", Config::with_workers(workers)),
+    ];
+
+    // With PC_REPS > 1, each workload runs that many times and the
+    // fastest run is recorded (in-process repetition smooths scheduler
+    // noise on shared machines).
+    let reps: usize = std::env::var("PC_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let best = |run: &dyn Fn() -> pc_bsp::RunStats| {
+        let mut best: Option<RunStats> = None;
+        for _ in 0..reps.max(1) {
+            let stats = run();
+            if best.as_ref().is_none_or(|b| stats.elapsed < b.elapsed) {
+                best = Some(stats);
+            }
+        }
+        best.expect("at least one rep")
+    };
+
+    let mut entries = Vec::new();
+    for (mode, cfg) in &modes {
+        let topo = Arc::new(Topology::hashed(pr_graph.n(), workers));
+        let stats = best(&|| pc_algos::pagerank::channel_scatter(&pr_graph, &topo, cfg, 20).stats);
+        record(&mut entries, "pagerank_rmat_scatter", mode, stats);
+
+        let topo = Arc::new(Topology::hashed(wcc_graph.n(), workers));
+        let stats = best(&|| pc_algos::wcc::channel_propagation(&wcc_graph, &topo, cfg).stats);
+        record(&mut entries, "wcc_rmat_propagation", mode, stats);
+
+        let topo = Arc::new(Topology::blocked(ring.n(), workers));
+        let stats = best(&|| pc_algos::wcc::channel_propagation(&ring, &topo, cfg).stats);
+        record(&mut entries, "wcc_ring_propagation", mode, stats);
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"exchange\",");
+    let _ = writeln!(json, "  \"scale\": {scale},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"entries\": [");
+    for (i, e) in entries.iter().enumerate() {
+        let s = &e.stats;
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"workload\": \"{}\",", e.workload);
+        let _ = writeln!(json, "      \"mode\": \"{}\",", e.mode);
+        let _ = writeln!(json, "      \"runtime_ms\": {:.3},", s.millis());
+        let _ = writeln!(json, "      \"remote_mib\": {:.4},", s.remote_mib());
+        let _ = writeln!(json, "      \"supersteps\": {},", s.supersteps);
+        let _ = writeln!(json, "      \"rounds\": {},", s.rounds);
+        let _ = writeln!(json, "      \"pool_hits\": {},", s.pool.hits);
+        let _ = writeln!(json, "      \"pool_misses\": {},", s.pool.misses);
+        let _ = writeln!(json, "      \"pool_hit_rate\": {:.6},", s.pool_hit_rate());
+        let _ = writeln!(
+            json,
+            "      \"barrier_crossings\": {},",
+            s.barrier_crossings
+        );
+        let _ = writeln!(
+            json,
+            "      \"crossings_per_round\": {:.4}",
+            s.crossings_per_round()
+        );
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    // Default to the workspace root regardless of the bench's CWD.
+    let out_path = std::env::var("PC_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_exchange.json", env!("CARGO_MANIFEST_DIR")));
+    std::fs::write(&out_path, &json).expect("write BENCH_exchange.json");
+    println!("\nwrote {out_path}");
+}

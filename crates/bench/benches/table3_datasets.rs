@@ -53,8 +53,20 @@ fn main() {
     row("rmat24", "und+weight", &rmat24);
     let tree = datasets::tree_parents(scale);
     let chain = datasets::chain_parents(scale);
-    println!("{:<12} {:<12} {:>9} {:>9}", "tree", "parents", tree.len(), tree.len() - 1);
-    println!("{:<12} {:<12} {:>9} {:>9}", "chain", "parents", chain.len(), chain.len() - 1);
+    println!(
+        "{:<12} {:<12} {:>9} {:>9}",
+        "tree",
+        "parents",
+        tree.len(),
+        tree.len() - 1
+    );
+    println!(
+        "{:<12} {:<12} {:>9} {:>9}",
+        "chain",
+        "parents",
+        chain.len(),
+        chain.len() - 1
+    );
 
     println!();
     println!("=== partitioner edge-cut (lower is better) ===");

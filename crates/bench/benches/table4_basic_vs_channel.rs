@@ -23,8 +23,16 @@ fn main() {
         ("wikipedia", Arc::new(datasets::wikipedia(scale))),
     ] {
         let topo = Arc::new(Topology::hashed(g.n(), workers));
-        rows.push(Row::new("PR  pregel (basic)", name, &pagerank::pregel_basic(&g, &topo, &cfg, 30).stats));
-        rows.push(Row::new("PR  channel (basic)", name, &pagerank::channel_basic(&g, &topo, &cfg, 30).stats));
+        rows.push(Row::new(
+            "PR  pregel (basic)",
+            name,
+            &pagerank::pregel_basic(&g, &topo, &cfg, 30).stats,
+        ));
+        rows.push(Row::new(
+            "PR  channel (basic)",
+            name,
+            &pagerank::channel_basic(&g, &topo, &cfg, 30).stats,
+        ));
     }
 
     // WCC on Wikipedia, random and partitioned placement.
@@ -33,8 +41,16 @@ fn main() {
     let owners = pc_graph::partition::ldg(&*wiki_sym, workers, 2);
     let topo_part = Arc::new(Topology::from_owners(workers, owners));
     for (name, topo) in [("wikipedia", &topo_rand), ("wikipedia(P)", &topo_part)] {
-        rows.push(Row::new("WCC pregel (basic)", name, &wcc::pregel_basic(&wiki_sym, topo, &cfg).stats));
-        rows.push(Row::new("WCC channel (basic)", name, &wcc::channel_basic(&wiki_sym, topo, &cfg).stats));
+        rows.push(Row::new(
+            "WCC pregel (basic)",
+            name,
+            &wcc::pregel_basic(&wiki_sym, topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "WCC channel (basic)",
+            name,
+            &wcc::channel_basic(&wiki_sym, topo, &cfg).stats,
+        ));
     }
 
     // PJ on Chain and Tree.
@@ -43,8 +59,16 @@ fn main() {
         ("tree", Arc::new(datasets::tree_parents(scale))),
     ] {
         let topo = Arc::new(Topology::hashed(parents.len(), workers));
-        rows.push(Row::new("PJ  pregel (basic)", name, &pointer_jumping::pregel_basic(&parents, &topo, &cfg).stats));
-        rows.push(Row::new("PJ  channel (basic)", name, &pointer_jumping::channel_basic(&parents, &topo, &cfg).stats));
+        rows.push(Row::new(
+            "PJ  pregel (basic)",
+            name,
+            &pointer_jumping::pregel_basic(&parents, &topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "PJ  channel (basic)",
+            name,
+            &pointer_jumping::channel_basic(&parents, &topo, &cfg).stats,
+        ));
     }
 
     // S-V on Facebook and Twitter.
@@ -53,8 +77,16 @@ fn main() {
         ("twitter", Arc::new(datasets::twitter(scale))),
     ] {
         let topo = Arc::new(Topology::hashed(g.n(), workers));
-        rows.push(Row::new("S-V pregel (basic)", name, &sv::pregel_basic(&g, &topo, &cfg).stats));
-        rows.push(Row::new("S-V channel (basic)", name, &sv::channel_basic(&g, &topo, &cfg).stats));
+        rows.push(Row::new(
+            "S-V pregel (basic)",
+            name,
+            &sv::pregel_basic(&g, &topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "S-V channel (basic)",
+            name,
+            &sv::channel_basic(&g, &topo, &cfg).stats,
+        ));
     }
 
     // MSF on USA-road and RMAT24.
@@ -63,8 +95,16 @@ fn main() {
         ("rmat24", Arc::new(datasets::rmat24(scale.min(12)))),
     ] {
         let topo = Arc::new(Topology::hashed(g.n(), workers));
-        rows.push(Row::new("MSF pregel (basic)", name, &msf::pregel_basic(&g, &topo, &cfg).stats));
-        rows.push(Row::new("MSF channel (basic)", name, &msf::channel_basic(&g, &topo, &cfg).stats));
+        rows.push(Row::new(
+            "MSF pregel (basic)",
+            name,
+            &msf::pregel_basic(&g, &topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "MSF channel (basic)",
+            name,
+            &msf::channel_basic(&g, &topo, &cfg).stats,
+        ));
     }
 
     // SCC on the planted web, random and partitioned placement.
@@ -73,8 +113,16 @@ fn main() {
     let owners = pc_graph::partition::ldg(&*web, workers, 2);
     let topo_part = Arc::new(Topology::from_owners(workers, owners));
     for (name, topo) in [("scc-web", &topo_rand), ("scc-web(P)", &topo_part)] {
-        rows.push(Row::new("SCC pregel (basic)", name, &scc::pregel_basic(&web, topo, &cfg).stats));
-        rows.push(Row::new("SCC channel (basic)", name, &scc::channel_basic(&web, topo, &cfg).stats));
+        rows.push(Row::new(
+            "SCC pregel (basic)",
+            name,
+            &scc::pregel_basic(&web, topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "SCC channel (basic)",
+            name,
+            &scc::channel_basic(&web, topo, &cfg).stats,
+        ));
     }
 
     print_table(
@@ -91,11 +139,21 @@ SCC wiki 52.15s/9.85GB vs 61.89s/4.98GB | wiki(P) 50.51/2.70 vs 67.84/1.29",
     for group in rows.chunks(2) {
         if let [a, b] = group {
             print_ratio(
-                &format!("{} → {} [{}] runtime", a.program.trim(), b.program.trim(), a.dataset),
+                &format!(
+                    "{} → {} [{}] runtime",
+                    a.program.trim(),
+                    b.program.trim(),
+                    a.dataset
+                ),
                 speedup(a, b),
             );
             print_ratio(
-                &format!("{} → {} [{}] message", a.program.trim(), b.program.trim(), a.dataset),
+                &format!(
+                    "{} → {} [{}] message",
+                    a.program.trim(),
+                    b.program.trim(),
+                    a.dataset
+                ),
                 message_ratio(a, b),
             );
         }

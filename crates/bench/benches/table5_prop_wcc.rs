@@ -24,10 +24,22 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, topo) in [("wikipedia", &topo_rand), ("wikipedia(P)", &topo_part)] {
-        rows.push(Row::new("pregel+ (basic)", name, &wcc::pregel_basic(&g, topo, &cfg).stats));
+        rows.push(Row::new(
+            "pregel+ (basic)",
+            name,
+            &wcc::pregel_basic(&g, topo, &cfg).stats,
+        ));
         rows.push(Row::new("blogel", name, &wcc::blogel(&g, topo, &cfg).stats));
-        rows.push(Row::new("channel (basic)", name, &wcc::channel_basic(&g, topo, &cfg).stats));
-        rows.push(Row::new("channel (prop.)", name, &wcc::channel_propagation(&g, topo, &cfg).stats));
+        rows.push(Row::new(
+            "channel (basic)",
+            name,
+            &wcc::channel_basic(&g, topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "channel (prop.)",
+            name,
+            &wcc::channel_propagation(&g, topo, &cfg).stats,
+        ));
     }
 
     // Extra series beyond the paper: a large-diameter road network, where
@@ -39,10 +51,26 @@ fn main() {
     let owners = partition::bfs_blocks(&*road, workers);
     let road_part = Arc::new(Topology::from_owners(workers, owners));
     for (name, topo) in [("usa-road", &road_rand), ("usa-road(P)", &road_part)] {
-        rows.push(Row::new("pregel+ (basic)", name, &wcc::pregel_basic(&road, topo, &cfg).stats));
-        rows.push(Row::new("blogel", name, &wcc::blogel(&road, topo, &cfg).stats));
-        rows.push(Row::new("channel (basic)", name, &wcc::channel_basic(&road, topo, &cfg).stats));
-        rows.push(Row::new("channel (prop.)", name, &wcc::channel_propagation(&road, topo, &cfg).stats));
+        rows.push(Row::new(
+            "pregel+ (basic)",
+            name,
+            &wcc::pregel_basic(&road, topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "blogel",
+            name,
+            &wcc::blogel(&road, topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "channel (basic)",
+            name,
+            &wcc::channel_basic(&road, topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "channel (prop.)",
+            name,
+            &wcc::channel_propagation(&road, topo, &cfg).stats,
+        ));
     }
 
     print_table(
@@ -54,8 +82,14 @@ wikipedia(P): pregel+(basic) 15.31s/0.49GB; blogel 5.10/0.11; channel(basic) 15.
 
     for chunk in rows.chunks(4) {
         if let [pb, blogel, cb, prop] = chunk {
-            print_ratio(&format!("[{}] prop speedup vs channel basic", pb.dataset), speedup(cb, prop));
-            print_ratio(&format!("[{}] prop speedup vs blogel", pb.dataset), speedup(blogel, prop));
+            print_ratio(
+                &format!("[{}] prop speedup vs channel basic", pb.dataset),
+                speedup(cb, prop),
+            );
+            print_ratio(
+                &format!("[{}] prop speedup vs blogel", pb.dataset),
+                speedup(blogel, prop),
+            );
             println!(
                 "  [{}] supersteps: basic {} / blogel {} / prop {}",
                 pb.dataset, cb.supersteps, blogel.supersteps, prop.supersteps

@@ -22,10 +22,26 @@ fn main() {
         ("chain", Arc::new(datasets::chain_parents(scale))),
     ] {
         let topo = Arc::new(Topology::hashed(parents.len(), workers));
-        rows.push(Row::new("pregel+ (basic)", name, &pj::pregel_basic(&parents, &topo, &cfg).stats));
-        rows.push(Row::new("pregel+ (reqresp)", name, &pj::pregel_reqresp(&parents, &topo, &cfg).stats));
-        rows.push(Row::new("channel (basic)", name, &pj::channel_basic(&parents, &topo, &cfg).stats));
-        rows.push(Row::new("channel (reqresp)", name, &pj::channel_reqresp(&parents, &topo, &cfg).stats));
+        rows.push(Row::new(
+            "pregel+ (basic)",
+            name,
+            &pj::pregel_basic(&parents, &topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "pregel+ (reqresp)",
+            name,
+            &pj::pregel_reqresp(&parents, &topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "channel (basic)",
+            name,
+            &pj::channel_basic(&parents, &topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "channel (reqresp)",
+            name,
+            &pj::channel_reqresp(&parents, &topo, &cfg).stats,
+        ));
     }
 
     print_table(
@@ -37,9 +53,24 @@ chain: pregel+(basic) 111.54s/39.99GB; pregel+(reqresp) 676.19/28.87; channel(ba
 
     for chunk in rows.chunks(4) {
         if let [pb, pr, cb, cr] = chunk {
-            print_ratio(&format!("[{}] channel reqresp speedup vs channel basic", pb.dataset), speedup(cb, cr));
-            print_ratio(&format!("[{}] channel reqresp vs pregel reqresp (runtime)", pb.dataset), speedup(pr, cr));
-            print_ratio(&format!("[{}] channel reqresp message reduction vs pregel reqresp", pb.dataset), message_ratio(pr, cr));
+            print_ratio(
+                &format!("[{}] channel reqresp speedup vs channel basic", pb.dataset),
+                speedup(cb, cr),
+            );
+            print_ratio(
+                &format!(
+                    "[{}] channel reqresp vs pregel reqresp (runtime)",
+                    pb.dataset
+                ),
+                speedup(pr, cr),
+            );
+            print_ratio(
+                &format!(
+                    "[{}] channel reqresp message reduction vs pregel reqresp",
+                    pb.dataset
+                ),
+                message_ratio(pr, cr),
+            );
         }
     }
 }

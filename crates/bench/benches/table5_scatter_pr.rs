@@ -22,12 +22,32 @@ fn main() {
         ("webuk", Arc::new(datasets::webuk(scale))),
     ] {
         let topo = Arc::new(Topology::hashed(g.n(), workers));
-        rows.push(Row::new("pregel+ (basic)", name, &pagerank::pregel_basic(&g, &topo, &cfg, iters).stats));
-        rows.push(Row::new("pregel+ (ghost)", name, &pagerank::pregel_ghost(&g, &topo, &cfg, iters, 16).stats));
-        rows.push(Row::new("channel (basic)", name, &pagerank::channel_basic(&g, &topo, &cfg, iters).stats));
-        rows.push(Row::new("channel (scatter)", name, &pagerank::channel_scatter(&g, &topo, &cfg, iters).stats));
+        rows.push(Row::new(
+            "pregel+ (basic)",
+            name,
+            &pagerank::pregel_basic(&g, &topo, &cfg, iters).stats,
+        ));
+        rows.push(Row::new(
+            "pregel+ (ghost)",
+            name,
+            &pagerank::pregel_ghost(&g, &topo, &cfg, iters, 16).stats,
+        ));
+        rows.push(Row::new(
+            "channel (basic)",
+            name,
+            &pagerank::channel_basic(&g, &topo, &cfg, iters).stats,
+        ));
+        rows.push(Row::new(
+            "channel (scatter)",
+            name,
+            &pagerank::channel_scatter(&g, &topo, &cfg, iters).stats,
+        ));
         // Extra series beyond the paper: mirroring as a composable channel.
-        rows.push(Row::new("channel (mirror)*", name, &pagerank::channel_mirror(&g, &topo, &cfg, iters, 16).stats));
+        rows.push(Row::new(
+            "channel (mirror)*",
+            name,
+            &pagerank::channel_mirror(&g, &topo, &cfg, iters, 16).stats,
+        ));
     }
 
     print_table(
@@ -39,9 +59,21 @@ webuk:     pregel+(basic) 212.24s/63.23GB; pregel+(ghost) 246.41/23.69; channel(
 
     for chunk in rows.chunks(5) {
         if let [basic, ghost, cbasic, scatter, _mirror] = chunk {
-            print_ratio(&format!("[{}] scatter speedup vs channel basic", basic.dataset), speedup(cbasic, scatter));
-            print_ratio(&format!("[{}] scatter message reduction", basic.dataset), message_ratio(cbasic, scatter));
-            print_ratio(&format!("[{}] ghost message reduction vs pregel basic", basic.dataset), message_ratio(basic, ghost));
+            print_ratio(
+                &format!("[{}] scatter speedup vs channel basic", basic.dataset),
+                speedup(cbasic, scatter),
+            );
+            print_ratio(
+                &format!("[{}] scatter message reduction", basic.dataset),
+                message_ratio(cbasic, scatter),
+            );
+            print_ratio(
+                &format!(
+                    "[{}] ghost message reduction vs pregel basic",
+                    basic.dataset
+                ),
+                message_ratio(basic, ghost),
+            );
         }
     }
 }

@@ -23,11 +23,31 @@ fn main() {
         ("twitter", Arc::new(datasets::twitter(scale))),
     ] {
         let topo = Arc::new(Topology::hashed(g.n(), workers));
-        rows.push(Row::new("1-pregel+ (reqresp)", name, &sv::pregel_reqresp(&g, &topo, &cfg).stats));
-        rows.push(Row::new("2-channel (basic)", name, &sv::channel_basic(&g, &topo, &cfg).stats));
-        rows.push(Row::new("3-channel (reqresp)", name, &sv::channel_reqresp(&g, &topo, &cfg).stats));
-        rows.push(Row::new("4-channel (scatter)", name, &sv::channel_scatter(&g, &topo, &cfg).stats));
-        rows.push(Row::new("5-channel (both)", name, &sv::channel_both(&g, &topo, &cfg).stats));
+        rows.push(Row::new(
+            "1-pregel+ (reqresp)",
+            name,
+            &sv::pregel_reqresp(&g, &topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "2-channel (basic)",
+            name,
+            &sv::channel_basic(&g, &topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "3-channel (reqresp)",
+            name,
+            &sv::channel_reqresp(&g, &topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "4-channel (scatter)",
+            name,
+            &sv::channel_scatter(&g, &topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "5-channel (both)",
+            name,
+            &sv::channel_both(&g, &topo, &cfg).stats,
+        ));
     }
 
     print_table(
@@ -39,11 +59,26 @@ twitter:  1) 182.93s/19.66GB 2) 144.99/20.32 3) 138.44/16.76 4) 87.52/13.34 5) 7
 
     for chunk in rows.chunks(5) {
         if let [pregel, basic, reqresp, scatter, both] = chunk {
-            print_ratio(&format!("[{}] composition speedup vs channel basic", basic.dataset), speedup(basic, both));
-            print_ratio(&format!("[{}] composition speedup vs pregel+ reqresp", basic.dataset), speedup(pregel, both));
-            print_ratio(&format!("[{}] reqresp-only speedup", basic.dataset), speedup(basic, reqresp));
-            print_ratio(&format!("[{}] scatter-only speedup", basic.dataset), speedup(basic, scatter));
-            print_ratio(&format!("[{}] composition message reduction", basic.dataset), message_ratio(basic, both));
+            print_ratio(
+                &format!("[{}] composition speedup vs channel basic", basic.dataset),
+                speedup(basic, both),
+            );
+            print_ratio(
+                &format!("[{}] composition speedup vs pregel+ reqresp", basic.dataset),
+                speedup(pregel, both),
+            );
+            print_ratio(
+                &format!("[{}] reqresp-only speedup", basic.dataset),
+                speedup(basic, reqresp),
+            );
+            print_ratio(
+                &format!("[{}] scatter-only speedup", basic.dataset),
+                speedup(basic, scatter),
+            );
+            print_ratio(
+                &format!("[{}] composition message reduction", basic.dataset),
+                message_ratio(basic, both),
+            );
         }
     }
 }

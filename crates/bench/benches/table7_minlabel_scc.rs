@@ -24,9 +24,21 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, topo) in [("scc-web", &topo_rand), ("scc-web(P)", &topo_part)] {
-        rows.push(Row::new("1-pregel+ (basic)", name, &scc::pregel_basic(&g, topo, &cfg).stats));
-        rows.push(Row::new("2-channel (basic)", name, &scc::channel_basic(&g, topo, &cfg).stats));
-        rows.push(Row::new("3-channel (prop.)", name, &scc::channel_propagation(&g, topo, &cfg).stats));
+        rows.push(Row::new(
+            "1-pregel+ (basic)",
+            name,
+            &scc::pregel_basic(&g, topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "2-channel (basic)",
+            name,
+            &scc::channel_basic(&g, topo, &cfg).stats,
+        ));
+        rows.push(Row::new(
+            "3-channel (prop.)",
+            name,
+            &scc::channel_propagation(&g, topo, &cfg).stats,
+        ));
     }
 
     print_table(
@@ -38,9 +50,18 @@ wikipedia(P): 1) 50.51s/2.70GB 2) 67.84/1.29 3) 13.96/1.12",
 
     for chunk in rows.chunks(3) {
         if let [pregel, basic, prop] = chunk {
-            print_ratio(&format!("[{}] prop speedup vs channel basic", basic.dataset), speedup(basic, prop));
-            print_ratio(&format!("[{}] prop speedup vs pregel basic", basic.dataset), speedup(pregel, prop));
-            print_ratio(&format!("[{}] channel message reduction vs pregel", basic.dataset), message_ratio(pregel, basic));
+            print_ratio(
+                &format!("[{}] prop speedup vs channel basic", basic.dataset),
+                speedup(basic, prop),
+            );
+            print_ratio(
+                &format!("[{}] prop speedup vs pregel basic", basic.dataset),
+                speedup(pregel, prop),
+            );
+            print_ratio(
+                &format!("[{}] channel message reduction vs pregel", basic.dataset),
+                message_ratio(pregel, basic),
+            );
             println!(
                 "  [{}] supersteps: pregel {} / basic {} / prop {}",
                 basic.dataset, pregel.supersteps, basic.supersteps, prop.supersteps

@@ -25,13 +25,19 @@ use pc_graph::{Graph, VertexId, WeightedGraph};
 /// Default scale exponent (vertices = 2^scale) used by the table benches.
 /// Override with the `PC_SCALE` environment variable.
 pub fn default_scale() -> u32 {
-    std::env::var("PC_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(13)
+    std::env::var("PC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(13)
 }
 
 /// Number of simulated workers used by the table benches.
 /// Override with `PC_WORKERS`.
 pub fn default_workers() -> usize {
-    std::env::var("PC_WORKERS").ok().and_then(|s| s.parse().ok()).unwrap_or(4)
+    std::env::var("PC_WORKERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
 }
 
 /// Wikipedia stand-in: directed power-law, avg out-degree ≈ 9.
@@ -46,7 +52,13 @@ pub fn webuk(scale: u32) -> Graph {
 
 /// Facebook stand-in: sparse undirected power-law, avg degree ≈ 3.
 pub fn facebook(scale: u32) -> Graph {
-    gen::rmat(scale, (3 << scale) / 2, RmatParams::default(), seed(3), false)
+    gen::rmat(
+        scale,
+        (3 << scale) / 2,
+        RmatParams::default(),
+        seed(3),
+        false,
+    )
 }
 
 /// Twitter stand-in: dense undirected power-law, avg degree ≈ 40–64
@@ -82,7 +94,14 @@ pub fn usa_road_unweighted(scale: u32) -> Graph {
 
 /// RMAT24 stand-in: weighted power-law, avg degree 16.
 pub fn rmat24(scale: u32) -> WeightedGraph {
-    gen::rmat_weighted(scale, 8 << scale, RmatParams::default(), seed(7), false, 1 << 20)
+    gen::rmat_weighted(
+        scale,
+        8 << scale,
+        RmatParams::default(),
+        seed(7),
+        false,
+        1 << 20,
+    )
 }
 
 /// Directed graph with planted SCC structure for the Min-Label runs.
@@ -105,7 +124,11 @@ mod tests {
     fn densities_track_the_paper() {
         let wiki = wikipedia(10);
         let s = graph_stats(&wiki);
-        assert!(s.avg_degree > 5.0 && s.avg_degree < 10.0, "wiki {:?}", s.avg_degree);
+        assert!(
+            s.avg_degree > 5.0 && s.avg_degree < 10.0,
+            "wiki {:?}",
+            s.avg_degree
+        );
 
         let fb = facebook(10);
         let tw = twitter(10);

@@ -86,10 +86,16 @@ mod tests {
     use std::time::Duration;
 
     fn stats(ms: u64, bytes: u64) -> RunStats {
-        let mut s = RunStats { elapsed: Duration::from_millis(ms), ..Default::default() };
+        let mut s = RunStats {
+            elapsed: Duration::from_millis(ms),
+            ..Default::default()
+        };
         s.absorb_channels(vec![ChannelMetrics {
             name: "x".into(),
-            bytes: ByteCounter { remote: bytes, local: 0 },
+            bytes: ByteCounter {
+                remote: bytes,
+                local: 0,
+            },
             messages: 1,
         }]);
         s

@@ -5,8 +5,14 @@
 //! buffers as plain `Vec<u8>` and tag each channel's contribution with a
 //! small frame header `(channel_id: u16, payload_len: u32)` so the receiving
 //! worker can route each frame back to the right channel.
+//!
+//! Draining is allocation-free in steady state: [`OutBuffers::drain_into`]
+//! swaps each outgoing buffer for one from the worker's
+//! [`BufferPool`](crate::pool::BufferPool) and reuses the caller's output
+//! vector, so the per-round cost is a handful of pointer swaps.
 
 use crate::metrics::ByteCounter;
+use crate::pool::BufferPool;
 
 /// The set of outgoing buffers of one worker — one per peer (including a
 /// loop-back buffer for messages whose destination lives on the same
@@ -20,7 +26,10 @@ pub struct OutBuffers {
 impl OutBuffers {
     /// Create empty buffers for a worker among `workers` peers.
     pub fn new(self_id: usize, workers: usize) -> Self {
-        OutBuffers { self_id, bufs: (0..workers).map(|_| Vec::new()).collect() }
+        OutBuffers {
+            self_id,
+            bufs: (0..workers).map(|_| Vec::new()).collect(),
+        }
     }
 
     /// Number of peers (including self).
@@ -38,10 +47,17 @@ impl OutBuffers {
         &mut self.bufs[peer]
     }
 
-    /// Drain all buffers, returning `(peer, bytes)` pairs for non-empty ones
-    /// and crediting their sizes to `counter`.
-    pub fn drain_into(&mut self, counter: &mut ByteCounter) -> Vec<(usize, Vec<u8>)> {
-        let mut out = Vec::new();
+    /// Drain all buffers into `out` as `(peer, bytes)` pairs for non-empty
+    /// ones, crediting their sizes to `counter`. Each drained buffer is
+    /// replaced by one from `pool` (empty, capacity retained), and `out` is
+    /// cleared and refilled — so a steady-state drain allocates nothing.
+    pub fn drain_into(
+        &mut self,
+        counter: &mut ByteCounter,
+        pool: &mut BufferPool,
+        out: &mut Vec<(usize, Vec<u8>)>,
+    ) {
+        out.clear();
         for (peer, buf) in self.bufs.iter_mut().enumerate() {
             if buf.is_empty() {
                 continue;
@@ -51,9 +67,9 @@ impl OutBuffers {
             } else {
                 counter.remote += buf.len() as u64;
             }
-            out.push((peer, std::mem::take(buf)));
+            let replacement = pool.get();
+            out.push((peer, std::mem::replace(buf, replacement)));
         }
-        out
     }
 
     /// Total bytes currently pending across all peers.
@@ -117,6 +133,37 @@ impl Drop for FrameWriter<'_> {
 /// Iterate the `(channel_id, payload)` frames of a received raw buffer.
 pub fn iter_frames(data: &[u8]) -> FrameIter<'_> {
     FrameIter { data, pos: 0 }
+}
+
+/// Location of one channel frame inside a round's received buffers:
+/// `bufs[buf].1[start..end]` is the payload. Engines keep per-channel
+/// `Vec<FrameSpan>` routing tables and reuse their capacity across rounds
+/// (a span has no lifetime, unlike a payload slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameSpan {
+    /// Index into the round's `(sender, buffer)` list.
+    pub buf: u32,
+    /// Payload start offset within that buffer.
+    pub start: u32,
+    /// Payload end offset within that buffer.
+    pub end: u32,
+}
+
+/// Iterate `(channel_id, payload_start..payload_end)` over a received raw
+/// buffer — the offset-based sibling of [`iter_frames`].
+///
+/// Offsets are `u32`; a single exchange buffer must stay under 4 GiB (far
+/// above anything the simulated cluster produces, and checked in debug
+/// builds so an overflow fails loudly instead of misrouting frames).
+pub fn frame_spans(data: &[u8]) -> impl Iterator<Item = (u16, u32, u32)> + '_ {
+    debug_assert!(
+        u32::try_from(data.len()).is_ok(),
+        "exchange buffer exceeds the 4 GiB frame-span offset range"
+    );
+    iter_frames(data).map(move |(id, payload)| {
+        let start = payload.as_ptr() as usize - data.as_ptr() as usize;
+        (id, start as u32, (start + payload.len()) as u32)
+    })
 }
 
 /// Iterator over frames; see [`iter_frames`].
@@ -196,7 +243,9 @@ mod tests {
         out.buf(1).extend_from_slice(&[0; 3]); // self → local
         out.buf(2).extend_from_slice(&[0; 5]);
         let mut c = ByteCounter::default();
-        let drained = out.drain_into(&mut c);
+        let mut pool = BufferPool::new();
+        let mut drained = Vec::new();
+        out.drain_into(&mut c, &mut pool, &mut drained);
         assert_eq!(drained.len(), 3);
         assert_eq!(c.remote, 15);
         assert_eq!(c.local, 3);
@@ -208,8 +257,32 @@ mod tests {
         let mut out = OutBuffers::new(0, 4);
         out.buf(2).push(1);
         let mut c = ByteCounter::default();
-        let drained = out.drain_into(&mut c);
+        let mut pool = BufferPool::new();
+        let mut drained = Vec::new();
+        out.drain_into(&mut c, &mut pool, &mut drained);
         assert_eq!(drained.len(), 1);
         assert_eq!(drained[0].0, 2);
+    }
+
+    #[test]
+    fn steady_state_drain_hits_the_pool() {
+        let mut out = OutBuffers::new(0, 2);
+        let mut pool = BufferPool::new();
+        let mut c = ByteCounter::default();
+        let mut drained = Vec::new();
+        for round in 0..5 {
+            out.buf(1).extend_from_slice(&[7; 64]);
+            out.drain_into(&mut c, &mut pool, &mut drained);
+            // Simulate the receiver consuming and recycling the buffer.
+            for (_, buf) in drained.drain(..) {
+                pool.put(buf);
+            }
+            if round == 0 {
+                assert_eq!(pool.stats().misses, 1);
+            }
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1, "only the first round allocates");
+        assert_eq!(stats.hits, 4);
     }
 }

@@ -63,16 +63,31 @@ pub trait Codec: Sized {
     const FIXED_SIZE: Option<usize> = None;
 
     /// Encoded size of this particular value.
+    ///
+    /// Variable-width types are measured by encoding into a thread-local
+    /// scratch buffer whose capacity is reused across calls, so repeated
+    /// size queries on the hot path do not allocate.
     fn encoded_size(&self) -> usize {
         match Self::FIXED_SIZE {
             Some(n) => n,
-            None => {
-                let mut tmp = Vec::new();
-                self.encode(&mut tmp);
-                tmp.len()
-            }
+            None => SIZE_SCRATCH.with(|cell| {
+                // `take` leaves a fresh Vec behind, so a reentrant
+                // `encoded_size` inside `encode` degrades to an allocation
+                // instead of corrupting the measurement.
+                let mut buf = cell.take();
+                buf.clear();
+                self.encode(&mut buf);
+                let n = buf.len();
+                cell.set(buf);
+                n
+            }),
         }
     }
+}
+
+thread_local! {
+    /// Reusable measuring buffer for [`Codec::encoded_size`].
+    static SIZE_SCRATCH: std::cell::Cell<Vec<u8>> = const { std::cell::Cell::new(Vec::new()) };
 }
 
 macro_rules! int_codec {

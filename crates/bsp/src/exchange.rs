@@ -2,108 +2,255 @@
 //!
 //! The paper's workers perform a *pairwise* buffer exchange between the
 //! serialize and deserialize steps of every round (Fig. 2/4). Here the
-//! "network" is a mailbox matrix: worker `k` posts the buffer destined for
-//! `j` into slot `(k, j)`, a barrier separates the post and take phases, and
-//! worker `j` drains column `j`.
+//! "network" is a mailbox of per-receiver columns: worker `k` posts the
+//! buffer destined for `j` into column `j`, a barrier separates the post
+//! and take phases, and worker `j` drains its column in one lock.
+//!
+//! Steady-state cost is the design constraint (the engine crosses this
+//! module two times per exchange round):
+//!
+//! * [`SpinBarrier`] — a sense-reversing barrier that spins briefly, then
+//!   yields, then parks. Roughly an order of magnitude cheaper than
+//!   `std::sync::Barrier` (which takes a mutex on every arrival) when
+//!   workers arrive close together, while still not burning CPU when the
+//!   machine is oversubscribed.
+//! * [`SharedReduce`] — double-buffered per-worker reduction slots. The
+//!   two generations alternate, so a reduction needs only **one** barrier
+//!   crossing: the slot a worker writes for reduction `k+2` cannot be read
+//!   by a peer still working on reduction `k`, because a full barrier
+//!   (reduction `k+1`'s) separates them.
+//! * [`Hub::reduce_round`] — the fused round epilogue: the per-channel
+//!   `again` OR-mask and the active-vertex sum publish in one reduction
+//!   instead of two.
+//! * Per-sender return stacks ([`Hub::recycle`] / [`Hub::reclaim_into`])
+//!   cycle consumed receive buffers back to their sender's
+//!   [`crate::pool::BufferPool`], closing the zero-allocation loop.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Condvar;
+use std::time::Duration;
 
+use crate::pool::BufferPool;
 use crossbeam::utils::CachePadded;
 
-/// M×M mailbox of byte buffers.
+/// Spins with `spin_loop` hints before yielding (when cores allow).
+const SPIN_LIMIT: u32 = 256;
+/// Yields to the scheduler before parking on the condvar.
+const YIELD_LIMIT: u32 = 64;
+
+/// A sense-reversing barrier: spin, then yield, then park.
+///
+/// Workers spin on a generation counter bumped by the last arriver. The
+/// spin phase is skipped automatically when the machine has fewer cores
+/// than workers (spinning there only delays the threads that hold
+/// progress). The slow path parks on a condvar with a timeout, so a late
+/// wake-up can never deadlock the run.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    workers: usize,
+    /// Spin budget before yielding: 0 on oversubscribed machines.
+    spin_limit: u32,
+    arrived: CachePadded<AtomicUsize>,
+    generation: CachePadded<AtomicU64>,
+    sleepers: CachePadded<AtomicUsize>,
+    waits: CachePadded<AtomicU64>,
+    park: std::sync::Mutex<()>,
+    unpark: Condvar,
+}
+
+impl SpinBarrier {
+    /// Barrier for `workers` threads.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0);
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        let spin_limit = if cores > workers { SPIN_LIMIT } else { 0 };
+        SpinBarrier {
+            workers,
+            spin_limit,
+            arrived: CachePadded::new(AtomicUsize::new(0)),
+            generation: CachePadded::new(AtomicU64::new(0)),
+            sleepers: CachePadded::new(AtomicUsize::new(0)),
+            waits: CachePadded::new(AtomicU64::new(0)),
+            park: std::sync::Mutex::new(()),
+            unpark: Condvar::new(),
+        }
+    }
+
+    /// Block until all workers arrive.
+    pub fn wait(&self) {
+        self.waits.fetch_add(1, Ordering::Relaxed);
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.workers {
+            // Last arriver: reset the count *before* releasing the next
+            // generation (newcomers re-enter only after seeing the bump).
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(gen.wrapping_add(1), Ordering::SeqCst);
+            if self.sleepers.load(Ordering::SeqCst) > 0 {
+                // Take the lock so the notify cannot slip between a
+                // parker's generation re-check and its wait.
+                let _guard = self.park.lock().unwrap_or_else(|e| e.into_inner());
+                self.unpark.notify_all();
+            }
+            return;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            if spins < self.spin_limit {
+                std::hint::spin_loop();
+                spins += 1;
+            } else if spins < self.spin_limit + YIELD_LIMIT {
+                std::thread::yield_now();
+                spins += 1;
+            } else {
+                self.sleepers.fetch_add(1, Ordering::SeqCst);
+                let mut guard = self.park.lock().unwrap_or_else(|e| e.into_inner());
+                while self.generation.load(Ordering::SeqCst) == gen {
+                    let (g, _) = self
+                        .unpark
+                        .wait_timeout(guard, Duration::from_millis(1))
+                        .unwrap_or_else(|e| e.into_inner());
+                    guard = g;
+                }
+                drop(guard);
+                self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                break;
+            }
+        }
+    }
+
+    /// Total `wait` calls across all workers (waits ÷ workers = barrier
+    /// crossings) — the observability hook behind
+    /// [`crate::metrics::RunStats::barrier_crossings`].
+    pub fn total_waits(&self) -> u64 {
+        self.waits.load(Ordering::Relaxed)
+    }
+}
+
+/// One mailbox column: the `(sender, bytes)` pairs addressed to a worker
+/// this round.
+type Column = CachePadded<Mutex<Vec<(usize, Vec<u8>)>>>;
+
+/// M-column mailbox of byte buffers: column `j` holds everything addressed
+/// to worker `j` this round, posted as `(sender, bytes)` pairs.
 #[derive(Debug)]
 pub struct Mailbox {
-    workers: usize,
-    slots: Vec<Mutex<Option<Vec<u8>>>>,
+    columns: Vec<Column>,
 }
 
 impl Mailbox {
     /// Create an empty mailbox for `workers` workers.
     pub fn new(workers: usize) -> Self {
         Mailbox {
-            workers,
-            slots: (0..workers * workers).map(|_| Mutex::new(None)).collect(),
+            columns: (0..workers)
+                .map(|_| CachePadded::new(Mutex::new(Vec::new())))
+                .collect(),
         }
     }
 
-    #[inline]
-    fn idx(&self, from: usize, to: usize) -> usize {
-        from * self.workers + to
-    }
-
-    /// Post a buffer from `from` to `to`. Panics if the slot is occupied —
-    /// that would mean two exchange rounds overlapped, i.e. a missing
-    /// barrier.
+    /// Post a buffer from `from` to `to` — one column lock. Panics if
+    /// `from` already posted to `to` this round: that would mean two
+    /// exchange rounds overlapped, i.e. a missing barrier.
     pub fn post(&self, from: usize, to: usize, data: Vec<u8>) {
-        let prev = self.slots[self.idx(from, to)].lock().replace(data);
-        assert!(prev.is_none(), "mailbox slot ({from},{to}) posted twice in one round");
+        let mut col = self.columns[to].lock();
+        assert!(
+            col.iter().all(|&(f, _)| f != from),
+            "mailbox slot ({from},{to}) posted twice in one round"
+        );
+        col.push((from, data));
     }
 
     /// Take the buffer posted from `from` to `to`, if any.
     pub fn take(&self, from: usize, to: usize) -> Option<Vec<u8>> {
-        self.slots[self.idx(from, to)].lock().take()
+        let mut col = self.columns[to].lock();
+        let at = col.iter().position(|&(f, _)| f == from)?;
+        Some(col.remove(at).1)
+    }
+
+    /// Drain every buffer addressed to `to` into `out`, in sender order,
+    /// under a single column lock. `out` is cleared first; its capacity
+    /// (and the column's) is reused round over round.
+    pub fn take_all_into(&self, to: usize, out: &mut Vec<(usize, Vec<u8>)>) {
+        out.clear();
+        std::mem::swap(&mut *self.columns[to].lock(), out);
+        // Arrival order is racy; sender order is the deterministic one.
+        out.sort_unstable_by_key(|&(from, _)| from);
     }
 
     /// Drain every buffer addressed to `to`, in sender order.
     pub fn take_all_for(&self, to: usize) -> Vec<(usize, Vec<u8>)> {
-        (0..self.workers)
-            .filter_map(|from| self.take(from, to).map(|b| (from, b)))
-            .collect()
+        let mut out = Vec::new();
+        self.take_all_into(to, &mut out);
+        out
     }
 }
 
 /// Per-worker atomic slots used to compute global reductions (active-vertex
 /// counts, channel-active flags) without a coordinator thread.
 ///
-/// Each worker writes only its own row, so writes never contend; the
-/// surrounding barriers (see [`Hub::reduce`]) order writes against reads.
+/// Slots are double-buffered by reduction generation: consecutive
+/// reductions write alternating halves, so one barrier per reduction is
+/// enough (see the module docs for the argument).
 #[derive(Debug)]
 pub struct SharedReduce {
+    workers: usize,
     lanes: usize,
     slots: Vec<CachePadded<AtomicU64>>,
 }
 
 impl SharedReduce {
-    /// `workers` rows × `lanes` columns, all zero.
+    /// `workers` rows × `lanes` columns × 2 generations, all zero.
     pub fn new(workers: usize, lanes: usize) -> Self {
         SharedReduce {
+            workers,
             lanes,
-            slots: (0..workers * lanes).map(|_| CachePadded::new(AtomicU64::new(0))).collect(),
+            slots: (0..2 * workers * lanes)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
         }
     }
 
-    /// Store `value` in `(worker, lane)`.
-    pub fn set(&self, worker: usize, lane: usize, value: u64) {
-        self.slots[worker * self.lanes + lane].store(value, Ordering::Release);
+    #[inline]
+    fn idx(&self, generation: u64, worker: usize, lane: usize) -> usize {
+        ((generation as usize & 1) * self.workers + worker) * self.lanes + lane
     }
 
-    /// Sum a lane over all workers.
-    pub fn sum(&self, lane: usize) -> u64 {
-        let workers = self.slots.len() / self.lanes;
-        (0..workers)
-            .map(|w| self.slots[w * self.lanes + lane].load(Ordering::Acquire))
+    /// Store `value` in `(worker, lane)` of `generation`'s half.
+    pub fn set(&self, generation: u64, worker: usize, lane: usize, value: u64) {
+        self.slots[self.idx(generation, worker, lane)].store(value, Ordering::Release);
+    }
+
+    /// Sum a lane over all workers in `generation`'s half.
+    pub fn sum(&self, generation: u64, lane: usize) -> u64 {
+        (0..self.workers)
+            .map(|w| self.slots[self.idx(generation, w, lane)].load(Ordering::Acquire))
             .sum()
     }
 
-    /// Bitwise OR of a lane over all workers.
-    pub fn or(&self, lane: usize) -> u64 {
-        let workers = self.slots.len() / self.lanes;
-        (0..workers)
-            .map(|w| self.slots[w * self.lanes + lane].load(Ordering::Acquire))
+    /// Bitwise OR of a lane over all workers in `generation`'s half.
+    pub fn or(&self, generation: u64, lane: usize) -> u64 {
+        (0..self.workers)
+            .map(|w| self.slots[self.idx(generation, w, lane)].load(Ordering::Acquire))
             .fold(0, |acc, v| acc | v)
     }
 }
 
 /// Shared rendezvous object for one threaded run: barrier + mailbox +
-/// reduction slots.
+/// reduction slots + buffer return stacks.
 #[derive(Debug)]
 pub struct Hub {
     workers: usize,
-    barrier: Barrier,
+    barrier: SpinBarrier,
     mailbox: Mailbox,
     reduce: SharedReduce,
+    /// Per-worker reduction counters (each written only by its owner);
+    /// drive the generation parity of [`SharedReduce`].
+    reductions: Vec<CachePadded<AtomicU64>>,
+    /// `returns[k]`: consumed receive buffers awaiting reclamation by
+    /// their sender `k`.
+    returns: Vec<CachePadded<Mutex<Vec<Vec<u8>>>>>,
 }
 
 impl Hub {
@@ -111,9 +258,15 @@ impl Hub {
     pub fn new(workers: usize, lanes: usize) -> Self {
         Hub {
             workers,
-            barrier: Barrier::new(workers),
+            barrier: SpinBarrier::new(workers),
             mailbox: Mailbox::new(workers),
             reduce: SharedReduce::new(workers, lanes),
+            reductions: (0..workers)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            returns: (0..workers)
+                .map(|_| CachePadded::new(Mutex::new(Vec::new())))
+                .collect(),
         }
     }
 
@@ -127,37 +280,74 @@ impl Hub {
         self.barrier.wait();
     }
 
-    /// The mailbox matrix.
+    /// Global barrier crossings so far (total waits ÷ workers).
+    pub fn barrier_crossings(&self) -> u64 {
+        self.barrier.total_waits() / self.workers as u64
+    }
+
+    /// The mailbox.
     pub fn mailbox(&self) -> &Mailbox {
         &self.mailbox
     }
 
-    /// Full reduction protocol: publish this worker's `values` (one per
-    /// lane), synchronize, read the global sums, synchronize again so no
-    /// worker can overwrite its row before everyone has read it.
+    /// Hand consumed receive buffers back to the worker that sent them.
+    pub fn recycle(&self, sender: usize, bufs: impl IntoIterator<Item = Vec<u8>>) {
+        self.returns[sender].lock().extend(bufs);
+    }
+
+    /// Move every buffer returned to `worker` into its pool.
+    pub fn reclaim_into(&self, worker: usize, pool: &mut BufferPool) {
+        let mut returned = self.returns[worker].lock();
+        pool.put_all(returned.drain(..));
+    }
+
+    /// This worker's next reduction generation. All workers perform the
+    /// same reduction sequence, so the per-worker counters stay in
+    /// lock-step without sharing a cache line.
+    fn next_generation(&self, worker: usize) -> u64 {
+        self.reductions[worker].fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Reduction protocol: publish this worker's `values` (one per lane),
+    /// cross the barrier once, read the global sums.
     ///
-    /// Every worker must call this the same number of times with the same
-    /// number of lanes.
+    /// Every worker must call the reduction methods in the same order with
+    /// the same number of lanes.
     pub fn reduce(&self, worker: usize, values: &[u64]) -> Vec<u64> {
+        let generation = self.next_generation(worker);
         for (lane, &v) in values.iter().enumerate() {
-            self.reduce.set(worker, lane, v);
+            self.reduce.set(generation, worker, lane, v);
         }
         self.sync();
-        let sums: Vec<u64> = (0..values.len()).map(|lane| self.reduce.sum(lane)).collect();
-        self.sync();
-        sums
+        (0..values.len())
+            .map(|lane| self.reduce.sum(generation, lane))
+            .collect()
     }
 
     /// Like [`Hub::reduce`] but combining lane values with bitwise OR —
     /// used for per-channel `again()` bitmasks.
     pub fn reduce_or(&self, worker: usize, values: &[u64]) -> Vec<u64> {
+        let generation = self.next_generation(worker);
         for (lane, &v) in values.iter().enumerate() {
-            self.reduce.set(worker, lane, v);
+            self.reduce.set(generation, worker, lane, v);
         }
         self.sync();
-        let ors: Vec<u64> = (0..values.len()).map(|lane| self.reduce.or(lane)).collect();
+        (0..values.len())
+            .map(|lane| self.reduce.or(generation, lane))
+            .collect()
+    }
+
+    /// The fused round epilogue: OR-combine `again` and sum `active` in a
+    /// single barrier crossing. Requires a hub with ≥ 2 lanes.
+    pub fn reduce_round(&self, worker: usize, again: u64, active: u64) -> (u64, u64) {
+        let generation = self.next_generation(worker);
+        self.reduce.set(generation, worker, 0, again);
+        self.reduce.set(generation, worker, 1, active);
         self.sync();
-        ors
+        (
+            self.reduce.or(generation, 0),
+            self.reduce.sum(generation, 1),
+        )
     }
 }
 
@@ -178,6 +368,28 @@ mod tests {
     }
 
     #[test]
+    fn mailbox_take_all_sorts_by_sender() {
+        let mb = Mailbox::new(4);
+        mb.post(3, 0, vec![3]);
+        mb.post(1, 0, vec![1]);
+        mb.post(2, 0, vec![2]);
+        let got = mb.take_all_for(0);
+        assert_eq!(got, vec![(1, vec![1]), (2, vec![2]), (3, vec![3])]);
+        assert!(mb.take_all_for(0).is_empty());
+    }
+
+    #[test]
+    fn mailbox_take_all_into_reuses_capacity() {
+        let mb = Mailbox::new(2);
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            mb.post(0, 1, vec![7; 32]);
+            mb.take_all_into(1, &mut out);
+            assert_eq!(out.len(), 1);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "posted twice")]
     fn mailbox_double_post_panics() {
         let mb = Mailbox::new(2);
@@ -186,19 +398,44 @@ mod tests {
     }
 
     #[test]
-    fn shared_reduce_sums_lanes() {
+    fn shared_reduce_sums_lanes_per_generation() {
         let r = SharedReduce::new(4, 2);
         for w in 0..4 {
-            r.set(w, 0, w as u64);
-            r.set(w, 1, 10);
+            r.set(0, w, 0, w as u64);
+            r.set(0, w, 1, 10);
+            r.set(1, w, 0, 100); // other generation, must not interfere
         }
-        assert_eq!(r.sum(0), 6);
-        assert_eq!(r.sum(1), 40);
+        assert_eq!(r.sum(0, 0), 6);
+        assert_eq!(r.sum(0, 1), 40);
+        assert_eq!(r.sum(1, 0), 400);
+        assert_eq!(r.sum(2, 0), 6, "generation 2 aliases generation 0's half");
+    }
+
+    #[test]
+    fn spin_barrier_releases_all() {
+        let b = Arc::new(SpinBarrier::new(4));
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let b = Arc::clone(&b);
+            let hits = Arc::clone(&hits);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    b.wait();
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 400);
+        assert_eq!(b.total_waits(), 400);
     }
 
     #[test]
     fn hub_reduce_across_threads() {
-        let hub = Arc::new(Hub::new(4, 1));
+        let hub = Arc::new(Hub::new(4, 2));
         let mut handles = Vec::new();
         for w in 0..4 {
             let hub = Arc::clone(&hub);
@@ -217,6 +454,37 @@ mod tests {
             let expect = (0..4).map(|w| round as u64 + w as u64).sum::<u64>();
             for r in &results {
                 assert_eq!(r[round], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn hub_fused_round_reduction() {
+        let hub = Arc::new(Hub::new(3, 2));
+        let mut handles = Vec::new();
+        for w in 0..3 {
+            let hub = Arc::clone(&hub);
+            handles.push(std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                for round in 0..50u64 {
+                    let again = if w == 1 && round % 2 == 0 { 0b10 } else { 0 };
+                    let (mask, active) = hub.reduce_round(w, again, w as u64 + round);
+                    seen.push((mask, active));
+                }
+                seen
+            }));
+        }
+        let results: Vec<Vec<(u64, u64)>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for round in 0..50u64 {
+            let expect_mask = if round % 2 == 0 { 0b10 } else { 0 };
+            let expect_active = (0..3).map(|w| w as u64 + round).sum::<u64>();
+            for r in &results {
+                assert_eq!(
+                    r[round as usize],
+                    (expect_mask, expect_active),
+                    "round {round}"
+                );
             }
         }
     }
@@ -245,5 +513,42 @@ mod tests {
                 assert_eq!(bytes, vec![from as u8]);
             }
         }
+    }
+
+    #[test]
+    fn hub_recycles_buffers_to_sender_pool() {
+        let hub = Hub::new(2, 1);
+        let mut pool = BufferPool::new();
+        hub.recycle(0, vec![vec![1, 2, 3], vec![4; 100]]);
+        hub.reclaim_into(0, &mut pool);
+        assert_eq!(pool.available(), 2);
+        let buf = pool.get();
+        assert!(
+            buf.is_empty() && buf.capacity() >= 3,
+            "recycled buffers are cleared"
+        );
+        // Nothing was returned for worker 1.
+        let mut pool1 = BufferPool::new();
+        hub.reclaim_into(1, &mut pool1);
+        assert_eq!(pool1.available(), 0);
+    }
+
+    #[test]
+    fn barrier_crossings_counted_globally() {
+        let hub = Arc::new(Hub::new(2, 2));
+        let mut handles = Vec::new();
+        for w in 0..2 {
+            let hub = Arc::clone(&hub);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    hub.sync();
+                }
+                let _ = hub.reduce_round(w, 0, 1);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(hub.barrier_crossings(), 6, "5 syncs + 1 fused reduction");
     }
 }

@@ -7,9 +7,13 @@
 //!   can be accounted exactly (the paper's "message (GB)" columns),
 //! * [`buffer`] — per-destination raw byte buffers and the channel frame
 //!   format used by the channel engine,
+//! * [`pool`] — per-worker buffer pools that make the steady-state
+//!   exchange path allocation-free (buffers cycle sender → receiver →
+//!   sender instead of being dropped and reallocated every round),
 //! * [`exchange`] — the pairwise mailbox through which workers swap buffers
-//!   at superstep boundaries, plus the barrier/reduction primitives used by
-//!   the threaded execution mode,
+//!   at superstep boundaries, plus the sense-reversing barrier and
+//!   double-buffered single-crossing reductions used by the threaded
+//!   execution mode,
 //! * [`topology`] — vertex → worker ownership maps (hash partition or an
 //!   explicit partition vector),
 //! * [`metrics`] — per-channel and per-run statistics (bytes, messages,
@@ -23,12 +27,14 @@ pub mod buffer;
 pub mod codec;
 pub mod exchange;
 pub mod metrics;
+pub mod pool;
 pub mod topology;
 
 pub use buffer::{iter_frames, FrameWriter, OutBuffers};
 pub use codec::{Codec, FixedWidth, Reader};
-pub use exchange::{Hub, Mailbox, SharedReduce};
+pub use exchange::{Hub, Mailbox, SharedReduce, SpinBarrier};
 pub use metrics::{ChannelMetrics, RunStats};
+pub use pool::{BufferPool, PoolStats};
 pub use topology::Topology;
 
 /// How the simulated cluster executes its workers.
@@ -57,18 +63,29 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
-        Config { workers: 8, mode: ExecMode::Threads, max_supersteps: 1_000_000 }
+        Config {
+            workers: 8,
+            mode: ExecMode::Threads,
+            max_supersteps: 1_000_000,
+        }
     }
 }
 
 impl Config {
     /// Config with `workers` workers and the default threaded mode.
     pub fn with_workers(workers: usize) -> Self {
-        Config { workers, ..Config::default() }
+        Config {
+            workers,
+            ..Config::default()
+        }
     }
 
     /// Deterministic sequential config, handy in tests.
     pub fn sequential(workers: usize) -> Self {
-        Config { workers, mode: ExecMode::Sequential, ..Config::default() }
+        Config {
+            workers,
+            mode: ExecMode::Sequential,
+            ..Config::default()
+        }
     }
 }

@@ -4,6 +4,7 @@
 //! [`RunStats`] carries both plus enough breakdown (per-channel bytes,
 //! exchange rounds) to explain *where* a reduction came from.
 
+use crate::pool::PoolStats;
 use std::time::Duration;
 
 /// Local/remote byte tally for one channel on one worker.
@@ -54,6 +55,12 @@ pub struct RunStats {
     pub elapsed: Duration,
     /// Per-channel byte/message breakdown.
     pub channels: Vec<ChannelMetrics>,
+    /// Exchange-buffer pool hits/misses summed over all workers. A
+    /// steady-state hit rate near 1.0 means the exchange path stopped
+    /// allocating after warm-up.
+    pub pool: PoolStats,
+    /// Global barrier crossings (threaded mode; 0 in sequential mode).
+    pub barrier_crossings: u64,
 }
 
 impl RunStats {
@@ -81,6 +88,23 @@ impl RunStats {
     /// Wall time in milliseconds, for table printing.
     pub fn millis(&self) -> f64 {
         self.elapsed.as_secs_f64() * 1e3
+    }
+
+    /// Exchange-buffer pool hit rate over the whole run (1.0 when the run
+    /// never requested a buffer).
+    pub fn pool_hit_rate(&self) -> f64 {
+        self.pool.hit_rate()
+    }
+
+    /// Barrier crossings per exchange round (threaded mode). The pooled
+    /// engine performs 2 per round (mailbox sync + fused reduction) plus
+    /// at most one extra per superstep for channel-free programs.
+    pub fn crossings_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.barrier_crossings as f64 / self.rounds as f64
+        }
     }
 
     /// Merge per-worker channel metrics into this run's totals, matching by
@@ -142,15 +166,30 @@ mod tests {
 
     #[test]
     fn byte_counter_merge() {
-        let mut a = ByteCounter { remote: 1, local: 2 };
-        a.merge(&ByteCounter { remote: 10, local: 20 });
-        assert_eq!(a, ByteCounter { remote: 11, local: 22 });
+        let mut a = ByteCounter {
+            remote: 1,
+            local: 2,
+        };
+        a.merge(&ByteCounter {
+            remote: 10,
+            local: 20,
+        });
+        assert_eq!(
+            a,
+            ByteCounter {
+                remote: 11,
+                local: 22
+            }
+        );
         assert_eq!(a.total(), 33);
     }
 
     #[test]
     fn unit_helpers() {
-        let mut stats = RunStats { elapsed: Duration::from_millis(1500), ..Default::default() };
+        let mut stats = RunStats {
+            elapsed: Duration::from_millis(1500),
+            ..Default::default()
+        };
         stats.absorb_channels(vec![cm("a", 2 * 1024 * 1024, 0, 1)]);
         assert!((stats.remote_mib() - 2.0).abs() < 1e-9);
         assert!((stats.millis() - 1500.0).abs() < 1e-9);

@@ -39,13 +39,20 @@ impl Topology {
             local_index[v] = locals[w as usize].len() as u32;
             locals[w as usize].push(v as u32);
         }
-        Topology { workers, owner, local_index, locals }
+        Topology {
+            workers,
+            owner,
+            local_index,
+            locals,
+        }
     }
 
     /// Pseudo-random (hash) placement of `n` vertices over `workers`
     /// workers — the paper's default.
     pub fn hashed(n: usize, workers: usize) -> Self {
-        let owner = (0..n as u64).map(|v| (mix64(v) % workers as u64) as u16).collect();
+        let owner = (0..n as u64)
+            .map(|v| (mix64(v) % workers as u64) as u16)
+            .collect();
         Topology::from_owners(workers, owner)
     }
 
@@ -53,7 +60,9 @@ impl Topology {
     /// have been relabelled by a partitioner so that blocks are contiguous.
     pub fn blocked(n: usize, workers: usize) -> Self {
         let per = n.div_ceil(workers.max(1)).max(1);
-        let owner = (0..n).map(|v| ((v / per).min(workers - 1)) as u16).collect();
+        let owner = (0..n)
+            .map(|v| ((v / per).min(workers - 1)) as u16)
+            .collect();
         Topology::from_owners(workers, owner)
     }
 

@@ -10,7 +10,8 @@
 //! that is how request/respond gets its second phase and how propagation
 //! converges inside a single superstep.
 
-use pc_bsp::buffer::{FrameWriter, OutBuffers};
+use crate::frontier::Frontier;
+use pc_bsp::buffer::{FrameSpan, FrameWriter, OutBuffers};
 use pc_bsp::codec::Reader;
 use pc_bsp::metrics::ByteCounter;
 use pc_bsp::topology::Topology;
@@ -138,9 +139,13 @@ impl SerializeCx<'_> {
 /// Pregel's message-driven reactivation).
 pub struct DeserializeCx<'a, AV> {
     pub(crate) env: &'a WorkerEnv,
-    pub(crate) frames: &'a [(usize, &'a [u8])],
+    /// This channel's frames, as offsets into `bufs` (the engine reuses
+    /// the span tables across rounds — see [`FrameSpan`]).
+    pub(crate) spans: &'a [FrameSpan],
+    /// The round's received `(sender, buffer)` pairs.
+    pub(crate) bufs: &'a [(usize, Vec<u8>)],
     pub(crate) values: &'a [AV],
-    pub(crate) next_active: &'a mut [bool],
+    pub(crate) frontier: &'a mut Frontier,
 }
 
 impl<'a, AV> DeserializeCx<'a, AV> {
@@ -153,8 +158,14 @@ impl<'a, AV> DeserializeCx<'a, AV> {
     /// iterator borrows the frame data, not the context, so `activate` can
     /// be called while iterating.
     pub fn frames(&self) -> impl Iterator<Item = (usize, Reader<'a>)> + 'a {
-        let frames = self.frames;
-        frames.iter().map(|&(from, bytes)| (from, Reader::new(bytes)))
+        let bufs = self.bufs;
+        self.spans.iter().map(move |span| {
+            let (from, data) = &bufs[span.buf as usize];
+            (
+                *from,
+                Reader::new(&data[span.start as usize..span.end as usize]),
+            )
+        })
     }
 
     /// Read a local vertex's value (the state *after* this superstep's
@@ -165,7 +176,7 @@ impl<'a, AV> DeserializeCx<'a, AV> {
 
     /// Re-activate a local vertex for the next superstep.
     pub fn activate(&mut self, local: u32) {
-        self.next_active[local as usize] = true;
+        self.frontier.activate(local);
     }
 }
 

@@ -29,7 +29,10 @@ impl<V: Clone> Combine<V> {
     /// `f` must be associative and commutative up to the algorithm's
     /// tolerance — message arrival order is unspecified.
     pub fn new(identity: V, f: impl Fn(&mut V, V) + Send + Sync + 'static) -> Self {
-        Combine { identity, f: Arc::new(f) }
+        Combine {
+            identity,
+            f: Arc::new(f),
+        }
     }
 
     /// A fresh copy of the identity element.

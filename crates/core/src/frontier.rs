@@ -1,0 +1,182 @@
+//! Epoch-stamped active-vertex worklists.
+//!
+//! The engine used to keep `active: Vec<bool>` per worker and scan all of
+//! it every superstep — O(n/workers) even when two vertices are active
+//! (SSSP wavefronts, WCC tails, SCC phases). A [`Frontier`] keeps a dense
+//! list of the active vertices instead, with an epoch-stamp array for O(1)
+//! dedup of activations, so a superstep costs O(active).
+//!
+//! Activation order is made deterministic by sorting the next list at the
+//! superstep boundary, which also preserves the historical ascending
+//! compute order (so sequential and threaded runs, and old and new
+//! engines, visit vertices identically).
+
+/// Dense active list + epoch-stamped membership for one worker.
+#[derive(Debug)]
+pub struct Frontier {
+    /// The currently-executing superstep's epoch, starting at 1.
+    epoch: u32,
+    /// `stamp[v] == epoch + 1` ⇔ `v` is already queued for the next
+    /// superstep.
+    stamp: Vec<u32>,
+    /// Vertices active this superstep, ascending.
+    current: Vec<u32>,
+    /// Vertices activated for the next superstep, in activation order.
+    next: Vec<u32>,
+}
+
+impl Frontier {
+    /// A frontier over `n` local vertices, all initially active (epoch 1).
+    pub fn all_active(n: usize) -> Self {
+        Frontier {
+            epoch: 1,
+            stamp: vec![1; n],
+            current: (0..n as u32).collect(),
+            next: Vec::with_capacity(n.min(1024)),
+        }
+    }
+
+    /// Number of vertices active this superstep.
+    pub fn len(&self) -> usize {
+        self.current.len()
+    }
+
+    /// True when nothing is active this superstep.
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty()
+    }
+
+    /// The `i`-th active vertex (ascending order).
+    #[inline]
+    pub fn at(&self, i: usize) -> u32 {
+        self.current[i]
+    }
+
+    /// The active vertices of this superstep, ascending.
+    pub fn current(&self) -> &[u32] {
+        &self.current
+    }
+
+    /// Queue `local` for the next superstep (idempotent).
+    #[inline]
+    pub fn activate(&mut self, local: u32) {
+        let s = &mut self.stamp[local as usize];
+        if *s != self.epoch + 1 {
+            *s = self.epoch + 1;
+            self.next.push(local);
+        }
+    }
+
+    /// Split into the current active list and an activation handle over
+    /// the next one, so a caller can iterate the frontier and activate
+    /// from the same scope (the compute loop's hot path).
+    pub fn split(&mut self) -> (&[u32], Activator<'_>) {
+        (
+            &self.current,
+            Activator {
+                next_epoch: self.epoch + 1,
+                stamp: &mut self.stamp,
+                next: &mut self.next,
+            },
+        )
+    }
+
+    /// Vertices queued for the next superstep so far. After the last
+    /// exchange round this *is* the next superstep's active count, which
+    /// is what the fused round reduction publishes.
+    pub fn pending(&self) -> usize {
+        self.next.len()
+    }
+
+    /// Superstep boundary: the queued vertices become the active set
+    /// (sorted ascending), the epoch advances. Returns the new active
+    /// count.
+    pub fn advance(&mut self) -> usize {
+        std::mem::swap(&mut self.current, &mut self.next);
+        self.next.clear();
+        // Mostly-sorted input (compute-phase activations arrive ascending);
+        // pdqsort handles that in near-linear time.
+        self.current.sort_unstable();
+        self.epoch += 1;
+        self.current.len()
+    }
+}
+
+/// Borrowed activation handle produced by [`Frontier::split`].
+pub struct Activator<'a> {
+    next_epoch: u32,
+    stamp: &'a mut [u32],
+    next: &'a mut Vec<u32>,
+}
+
+impl Activator<'_> {
+    /// Queue `local` for the next superstep (idempotent).
+    #[inline]
+    pub fn activate(&mut self, local: u32) {
+        let s = &mut self.stamp[local as usize];
+        if *s != self.next_epoch {
+            *s = self.next_epoch;
+            self.next.push(local);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_activates_like_direct_calls() {
+        let mut f = Frontier::all_active(5);
+        {
+            let (current, mut act) = f.split();
+            assert_eq!(current, &[0, 1, 2, 3, 4]);
+            act.activate(4);
+            act.activate(1);
+            act.activate(4);
+        }
+        assert_eq!(f.pending(), 2);
+        assert_eq!(f.advance(), 2);
+        assert_eq!(f.current(), &[1, 4]);
+    }
+
+    #[test]
+    fn starts_all_active_ascending() {
+        let f = Frontier::all_active(4);
+        assert_eq!(f.current(), &[0, 1, 2, 3]);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.pending(), 0);
+    }
+
+    #[test]
+    fn activation_dedups_and_sorts() {
+        let mut f = Frontier::all_active(6);
+        f.activate(5);
+        f.activate(2);
+        f.activate(5);
+        f.activate(2);
+        assert_eq!(f.pending(), 2);
+        assert_eq!(f.advance(), 2);
+        assert_eq!(f.current(), &[2, 5]);
+        assert!(f.pending() == 0);
+    }
+
+    #[test]
+    fn empty_advance_terminates() {
+        let mut f = Frontier::all_active(3);
+        assert_eq!(f.advance(), 0);
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn epochs_do_not_leak_across_supersteps() {
+        let mut f = Frontier::all_active(3);
+        f.activate(1);
+        f.advance();
+        // Re-activating in the new epoch must enqueue again.
+        f.activate(1);
+        assert_eq!(f.pending(), 1);
+        assert_eq!(f.advance(), 1);
+        assert_eq!(f.current(), &[1]);
+    }
+}

@@ -46,6 +46,7 @@
 pub mod channel;
 pub mod combine;
 pub mod engine;
+pub mod frontier;
 pub mod optimized;
 pub mod standard;
 

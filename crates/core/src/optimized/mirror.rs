@@ -118,7 +118,9 @@ impl<M: Codec + Clone + Send> Mirror<M> {
 
     /// Combined value or the combiner's identity.
     pub fn get_or_identity(&self, local: u32) -> M {
-        self.get_message(local).cloned().unwrap_or_else(|| self.combine.identity())
+        self.get_message(local)
+            .cloned()
+            .unwrap_or_else(|| self.combine.identity())
     }
 
     /// Build mirror tables for newly-qualifying hubs and queue their
@@ -133,7 +135,10 @@ impl<M: Codec + Clone + Send> Mirror<M> {
             let mut per_peer: HashMap<u16, Vec<u32>> = HashMap::new();
             for &dst in &self.edges[li] {
                 let peer = self.env.worker_of(dst) as u16;
-                per_peer.entry(peer).or_default().push(self.env.local_of(dst));
+                per_peer
+                    .entry(peer)
+                    .or_default()
+                    .push(self.env.local_of(dst));
             }
             let mut peers: Vec<u16> = per_peer.keys().copied().collect();
             peers.sort_unstable();
@@ -286,7 +291,11 @@ mod tests {
         let expect = oracle(&g);
         for threshold in [1, 8, 64, usize::MAX] {
             for cfg in [Config::sequential(4), Config::with_workers(4)] {
-                let algo = MirrorMin { g: Arc::clone(&g), threshold, rounds: 1 };
+                let algo = MirrorMin {
+                    g: Arc::clone(&g),
+                    threshold,
+                    rounds: 1,
+                };
                 let out = run(&algo, &topo, &cfg);
                 for (v, (&got, &want)) in out.values.iter().zip(&expect).enumerate() {
                     if want != u32::MAX {
@@ -303,12 +312,20 @@ mod tests {
         let topo = Arc::new(Topology::hashed(g.n(), 4));
         let cfg = Config::sequential(4);
         let mirrored = run(
-            &MirrorMin { g: Arc::clone(&g), threshold: 16, rounds: 3 },
+            &MirrorMin {
+                g: Arc::clone(&g),
+                threshold: 16,
+                rounds: 3,
+            },
             &topo,
             &cfg,
         );
         let direct = run(
-            &MirrorMin { g: Arc::clone(&g), threshold: usize::MAX, rounds: 3 },
+            &MirrorMin {
+                g: Arc::clone(&g),
+                threshold: usize::MAX,
+                rounds: 3,
+            },
             &topo,
             &cfg,
         );
@@ -327,8 +344,24 @@ mod tests {
         let g = Arc::new(gen::star(801));
         let topo = Arc::new(Topology::hashed(g.n(), 4));
         let cfg = Config::sequential(4);
-        let short = run(&MirrorMin { g: Arc::clone(&g), threshold: 4, rounds: 1 }, &topo, &cfg);
-        let long = run(&MirrorMin { g: Arc::clone(&g), threshold: 4, rounds: 11 }, &topo, &cfg);
+        let short = run(
+            &MirrorMin {
+                g: Arc::clone(&g),
+                threshold: 4,
+                rounds: 1,
+            },
+            &topo,
+            &cfg,
+        );
+        let long = run(
+            &MirrorMin {
+                g: Arc::clone(&g),
+                threshold: 4,
+                rounds: 11,
+            },
+            &topo,
+            &cfg,
+        );
         // The table shipment is one-time: 10 extra supersteps of hub
         // broadcast cost far less than 10× the first.
         let extra = (long.stats.total_bytes() - short.stats.total_bytes()) as f64 / 10.0;

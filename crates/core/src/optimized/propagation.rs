@@ -10,10 +10,13 @@
 //! block-centric computation (Blogel): within every exchange round, each
 //! worker performs a BFS-like traversal of *its own* subgraph, pushing
 //! labels as far as they go locally; only updates to remote vertices
-//! become messages. The engine keeps the round loop running (via
-//! [`Channel::again`]) until no worker has pending work — so an entire
-//! label-propagation fixpoint completes inside a single superstep, in a
-//! few exchange rounds instead of `O(diameter)` supersteps.
+//! become messages. Remote updates are combined in dense per-peer slot
+//! arrays with dirty lists ([`PeerStage`]) — the hottest combiner path
+//! does no hashing and serializes in deterministic first-touch order.
+//! The engine keeps the round loop running (via [`Channel::again`]) until
+//! no worker has pending work — so an entire label-propagation fixpoint
+//! completes inside a single superstep, in a few exchange rounds instead
+//! of `O(diameter)` supersteps.
 //!
 //! The vertex value is the channel's state: seed with
 //! [`Propagation::set_value`], read the converged result with
@@ -32,11 +35,53 @@ use crate::channel::{Channel, DeserializeCx, SerializeCx, WorkerEnv};
 use crate::combine::Combine;
 use pc_bsp::codec::Codec;
 use pc_graph::VertexId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Edge transformation `aᵢ = f(eᵢ, vᵢ)` of the propagation model (Fig. 7).
 type EdgeFn<E, M> = Arc<dyn Fn(&E, &M) -> M + Send + Sync>;
+
+/// Outgoing remote updates for one peer, combined per target without
+/// hashing: a dense slot array indexed by the *receiver's* local vertex
+/// index plus a dirty list of occupied slots (the same design the
+/// scatter channel uses on its receive side). The combiner hot path is a
+/// bounds-checked array access; serialization walks only the dirty list,
+/// in deterministic first-touch order.
+///
+/// The slot array is allocated lazily on the first update to that peer,
+/// so a worker only pays O(peer's vertices) memory for peers it actually
+/// exchanges labels with — under locality-preserving partitions most
+/// worker pairs never do.
+struct PeerStage<M> {
+    receiver_vertices: usize,
+    slots: Vec<Option<M>>,
+    dirty: Vec<u32>,
+}
+
+impl<M: Clone> PeerStage<M> {
+    fn new(receiver_vertices: usize) -> Self {
+        PeerStage {
+            receiver_vertices,
+            slots: Vec::new(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Fold `m` into the slot for `dst_local` on the receiving worker.
+    #[inline]
+    fn stage(&mut self, combine: &Combine<M>, dst_local: u32, m: M) {
+        if self.slots.is_empty() {
+            self.slots.resize(self.receiver_vertices, None);
+        }
+        match &mut self.slots[dst_local as usize] {
+            Some(acc) => combine.apply(acc, m),
+            slot @ None => {
+                *slot = Some(m);
+                self.dirty.push(dst_local);
+            }
+        }
+    }
+}
 
 /// Asynchronous label-propagation channel with values of type `M` and
 /// per-edge values of type `E` (`()` in the simplified form).
@@ -57,8 +102,9 @@ pub struct Propagation<M, E = ()> {
     /// Vertices whose value changed this superstep, pending activation.
     changed: Vec<u32>,
     is_changed: Vec<bool>,
-    /// Outgoing remote updates, combined per `(peer, target)`.
-    staging: Vec<HashMap<u32, M>>,
+    /// Outgoing remote updates, combined per `(peer, target)` in dense
+    /// per-peer slot arrays — no hashing on the combiner hot path.
+    staging: Vec<PeerStage<M>>,
     /// In block mode the channel never extends the round loop: one local
     /// convergence + one boundary exchange per superstep, like Blogel's
     /// B-compute. The default (asynchronous) mode keeps exchanging rounds
@@ -79,7 +125,10 @@ impl<M: Codec + Clone + PartialEq + Send> Propagation<M> {
     /// are exchanged only at superstep boundaries (no extra rounds). Used
     /// as the block-centric baseline in the Table V comparison.
     pub fn block_mode(env: &WorkerEnv, combine: Combine<M>) -> Self {
-        Propagation { synchronous: true, ..Propagation::new(env, combine) }
+        Propagation {
+            synchronous: true,
+            ..Propagation::new(env, combine)
+        }
     }
 
     /// Register a propagation edge from local vertex `src_local` to the
@@ -112,7 +161,9 @@ impl<M: Codec + Clone + PartialEq + Send, E: Clone + Send> Propagation<M, E> {
             in_queue: vec![false; numv],
             changed: Vec::new(),
             is_changed: vec![false; numv],
-            staging: (0..workers).map(|_| HashMap::new()).collect(),
+            staging: (0..workers)
+                .map(|peer| PeerStage::new(env.topo.local_count(peer)))
+                .collect(),
             synchronous: false,
             messages: 0,
         }
@@ -196,19 +247,11 @@ impl<M: Codec + Clone + PartialEq + Send, E: Clone + Send> Propagation<M, E> {
                 self.absorb(*dst, a);
             }
             self.local_adj[u as usize] = nbrs;
-            // Remote neighbors: combine into the per-peer staging table.
+            // Remote neighbors: combine into the per-peer dense stage.
             let remotes = std::mem::take(&mut self.remote_adj[u as usize]);
             for (peer, dst_local, e) in &remotes {
                 let a = (self.edge_fn)(e, &val);
-                match self.staging[*peer as usize].entry(*dst_local) {
-                    std::collections::hash_map::Entry::Occupied(mut slot) => {
-                        let merged = self.combine.join(slot.get().clone(), a);
-                        slot.insert(merged);
-                    }
-                    std::collections::hash_map::Entry::Vacant(slot) => {
-                        slot.insert(a);
-                    }
-                }
+                self.staging[*peer as usize].stage(&self.combine, *dst_local, a);
             }
             self.remote_adj[u as usize] = remotes;
         }
@@ -226,13 +269,20 @@ impl<AV, M: Codec + Clone + PartialEq + Send, E: Clone + Send> Channel<AV> for P
         }
         self.propagate_locally();
         for peer in 0..self.staging.len() {
-            if self.staging[peer].is_empty() {
+            let stage = &mut self.staging[peer];
+            if stage.dirty.is_empty() {
                 continue;
             }
-            let staged = std::mem::take(&mut self.staging[peer]);
-            self.messages += staged.len() as u64;
+            self.messages += stage.dirty.len() as u64;
+            let slots = &mut stage.slots;
+            let dirty = &mut stage.dirty;
             cx.frame(peer, |buf| {
-                for (dst_local, m) in &staged {
+                // Walk only the touched slots, draining them for the next
+                // round; first-touch order keeps the wire deterministic.
+                for dst_local in dirty.drain(..) {
+                    let m = slots[dst_local as usize]
+                        .take()
+                        .expect("dirty slot is occupied");
                     dst_local.encode(buf);
                     m.encode(buf);
                 }
@@ -323,7 +373,11 @@ mod tests {
         let g = Arc::new(gen::chain(300));
         let topo = Arc::new(Topology::hashed(g.n(), 4));
         let expect = reference::connected_components(&g);
-        let out = run(&MinLabel { g: Arc::clone(&g) }, &topo, &Config::sequential(4));
+        let out = run(
+            &MinLabel { g: Arc::clone(&g) },
+            &topo,
+            &Config::sequential(4),
+        );
         assert_eq!(out.values, expect);
         assert_eq!(out.stats.supersteps, 2);
     }
@@ -333,7 +387,11 @@ mod tests {
         let g = Arc::new(gen::rmat(9, 1200, gen::RmatParams::default(), 21, false));
         let topo = Arc::new(Topology::hashed(g.n(), 4));
         let expect = reference::connected_components(&g);
-        let out = run(&MinLabel { g: Arc::clone(&g) }, &topo, &Config::sequential(4));
+        let out = run(
+            &MinLabel { g: Arc::clone(&g) },
+            &topo,
+            &Config::sequential(4),
+        );
         assert_eq!(out.values, expect);
     }
 
@@ -343,11 +401,19 @@ mod tests {
         let expect = reference::connected_components(&g);
 
         let random = Arc::new(Topology::hashed(g.n(), 4));
-        let out_random = run(&MinLabel { g: Arc::clone(&g) }, &random, &Config::sequential(4));
+        let out_random = run(
+            &MinLabel { g: Arc::clone(&g) },
+            &random,
+            &Config::sequential(4),
+        );
 
         let owners = pc_graph::partition::bfs_blocks(&*g, 4);
         let part = Arc::new(Topology::from_owners(4, owners));
-        let out_part = run(&MinLabel { g: Arc::clone(&g) }, &part, &Config::sequential(4));
+        let out_part = run(
+            &MinLabel { g: Arc::clone(&g) },
+            &part,
+            &Config::sequential(4),
+        );
 
         assert_eq!(out_random.values, expect);
         assert_eq!(out_part.values, expect);
@@ -370,7 +436,11 @@ mod tests {
         let g_rev = Arc::new(Graph::from_edges(3, &[(1, 0), (2, 1)], true));
         let topo = Arc::new(Topology::hashed(3, 2));
         let out = run(&MinLabel { g: g_rev }, &topo, &Config::sequential(2));
-        assert_eq!(out.values, vec![0, 1, 2], "labels cannot flow against edges");
+        assert_eq!(
+            out.values,
+            vec![0, 1, 2],
+            "labels cannot flow against edges"
+        );
     }
 
     #[test]
@@ -385,7 +455,12 @@ mod tests {
             fn channels(&self, env: &WorkerEnv) -> Self::Channels {
                 (Propagation::new(env, Combine::min_u32()),)
             }
-            fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Self::Value, ch: &mut Self::Channels) {
+            fn compute(
+                &self,
+                v: &mut VertexCtx<'_>,
+                value: &mut Self::Value,
+                ch: &mut Self::Channels,
+            ) {
                 match v.step() {
                     1 => {
                         for &t in self.g.neighbors(v.id) {
@@ -422,13 +497,15 @@ mod tests {
         type Value = u64;
         type Channels = (Propagation<u64, u32>,);
         fn channels(&self, env: &WorkerEnv) -> Self::Channels {
-            (Propagation::weighted(env, Combine::min_u64(), |w: &u32, d: &u64| {
-                d.saturating_add(*w as u64)
-            }),)
+            (Propagation::weighted(
+                env,
+                Combine::min_u64(),
+                |w: &u32, d: &u64| d.saturating_add(*w as u64),
+            ),)
         }
         fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u64, ch: &mut Self::Channels) {
             if v.step() == 1 {
-                for &(s, t, w) in self.edges.iter().filter(|&&(s, _, _)| s == v.id) {
+                for &(_, t, w) in self.edges.iter().filter(|&&(s, _, _)| s == v.id) {
                     ch.0.add_weighted_edge(v.local, t, w);
                 }
                 if v.id == 0 {
@@ -447,7 +524,9 @@ mod tests {
         let n = 50u32;
         let edges: Vec<(u32, u32, u32)> = (0..n - 1).map(|i| (i, i + 1, i + 1)).collect();
         let topo = Arc::new(Topology::hashed(n as usize, 4));
-        let algo = AsyncDistances { edges: Arc::new(edges) };
+        let algo = AsyncDistances {
+            edges: Arc::new(edges),
+        };
         for cfg in [Config::sequential(4), Config::with_workers(4)] {
             let out = run(&algo, &topo, &cfg);
             for k in 0..n as u64 {

@@ -104,7 +104,9 @@ impl<M: Codec + Clone + Send> ScatterCombine<M> {
 
     /// Combined value or the combiner's identity.
     pub fn get_or_identity(&self, local: u32) -> M {
-        self.get_message(local).cloned().unwrap_or_else(|| self.combine.identity())
+        self.get_message(local)
+            .cloned()
+            .unwrap_or_else(|| self.combine.identity())
     }
 
     /// Total registered edges on this worker.
@@ -344,7 +346,11 @@ mod tests {
         let out = run(&MinOfNeighbors { g }, &topo, &Config::sequential(4));
         assert_eq!(out.values[0], 1);
         let ch = &out.stats.channels[0];
-        assert!(ch.messages <= 4, "one combined message per worker, got {}", ch.messages);
+        assert!(
+            ch.messages <= 4,
+            "one combined message per worker, got {}",
+            ch.messages
+        );
     }
 
     /// Scatter a constant for `iters` supersteps — used to verify the
@@ -378,8 +384,22 @@ mod tests {
     fn ids_are_transmitted_only_once() {
         let g = Arc::new(gen::rmat(8, 1500, gen::RmatParams::default(), 4, true));
         let topo = Arc::new(Topology::hashed(g.n(), 4));
-        let short = run(&RepeatScatter { g: Arc::clone(&g), iters: 1 }, &topo, &Config::sequential(4));
-        let long = run(&RepeatScatter { g: Arc::clone(&g), iters: 11 }, &topo, &Config::sequential(4));
+        let short = run(
+            &RepeatScatter {
+                g: Arc::clone(&g),
+                iters: 1,
+            },
+            &topo,
+            &Config::sequential(4),
+        );
+        let long = run(
+            &RepeatScatter {
+                g: Arc::clone(&g),
+                iters: 11,
+            },
+            &topo,
+            &Config::sequential(4),
+        );
         let b1 = short.stats.total_bytes() as f64;
         let b11 = long.stats.total_bytes() as f64;
         // 11 scatters cost far less than 11× one scatter: ids ship once.
@@ -395,7 +415,11 @@ mod tests {
     fn repeated_supersteps_accumulate_correctly() {
         let g = Arc::new(gen::cycle(12));
         let topo = Arc::new(Topology::hashed(12, 4));
-        let out = run(&RepeatScatter { g, iters: 3 }, &topo, &Config::with_workers(4));
+        let out = run(
+            &RepeatScatter { g, iters: 3 },
+            &topo,
+            &Config::with_workers(4),
+        );
         // Each vertex has 2 in-neighbors scattering 1 for 3 supersteps.
         assert!(out.values.iter().all(|&v| v == 6), "{:?}", out.values);
     }
@@ -428,11 +452,20 @@ mod tests {
         }
         let g = Arc::new(gen::cycle(10));
         let topo = Arc::new(Topology::hashed(10, 3));
-        let out = run(&EvenOnly { g: Arc::clone(&g) }, &topo, &Config::sequential(3));
+        let out = run(
+            &EvenOnly { g: Arc::clone(&g) },
+            &topo,
+            &Config::sequential(3),
+        );
         // Odd vertices have two even neighbors; even vertices have none.
         for v in 0..10u32 {
             let expect = if v % 2 == 1 {
-                g.neighbors(v).iter().copied().filter(|t| t % 2 == 0).min().unwrap()
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|t| t % 2 == 0)
+                    .min()
+                    .unwrap()
             } else {
                 u32::MAX
             };
@@ -452,7 +485,12 @@ mod tests {
             fn channels(&self, env: &WorkerEnv) -> Self::Channels {
                 (ScatterCombine::new(env, Combine::sum_u64()),)
             }
-            fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Vec<u64>, ch: &mut Self::Channels) {
+            fn compute(
+                &self,
+                v: &mut VertexCtx<'_>,
+                value: &mut Vec<u64>,
+                ch: &mut Self::Channels,
+            ) {
                 if v.step() == 1 {
                     for &t in self.g.neighbors(v.id) {
                         ch.0.add_edge(v.local, t);
@@ -479,7 +517,11 @@ mod tests {
             assert_eq!(vals[0], 2, "step2 gather at {id}"); // both neighbors sent 1
             assert_eq!(vals[1], 2, "step3 gather at {id}");
             // step 4 reads step-3 partial scatter: only vertex 0 sent 100.
-            let expect = if g.neighbors(id as u32).contains(&0) { 100 } else { 0 };
+            let expect = if g.neighbors(id as u32).contains(&0) {
+                100
+            } else {
+                0
+            };
             assert_eq!(vals[2], expect, "step4 gather at {id}");
             assert_eq!(vals[3], 2, "step5 gather at {id}");
         }

@@ -137,7 +137,12 @@ mod tests {
             fn channels(&self, env: &WorkerEnv) -> Self::Channels {
                 (Aggregator::new(env, Combine::sum_u64()),)
             }
-            fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Vec<u64>, ch: &mut Self::Channels) {
+            fn compute(
+                &self,
+                v: &mut VertexCtx<'_>,
+                value: &mut Vec<u64>,
+                ch: &mut Self::Channels,
+            ) {
                 value.push(*ch.0.result());
                 if v.step() <= 2 {
                     ch.0.add(v.step()); // everyone adds the step number

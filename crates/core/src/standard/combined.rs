@@ -82,7 +82,9 @@ impl<M: Codec + Clone + Send> CombinedMessage<M> {
 
     /// Combined value or the combiner's identity.
     pub fn get_or_identity(&self, local: u32) -> M {
-        self.get_message(local).cloned().unwrap_or_else(|| self.combine.identity())
+        self.get_message(local)
+            .cloned()
+            .unwrap_or_else(|| self.combine.identity())
     }
 }
 
@@ -220,7 +222,12 @@ mod tests {
             fn channels(&self, env: &WorkerEnv) -> Self::Channels {
                 (CombinedMessage::new(env, Combine::sum_u64()),)
             }
-            fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Vec<u64>, ch: &mut Self::Channels) {
+            fn compute(
+                &self,
+                v: &mut VertexCtx<'_>,
+                value: &mut Vec<u64>,
+                ch: &mut Self::Channels,
+            ) {
                 value.push(ch.0.get_or_identity(v.local));
                 if v.step() == 1 {
                     ch.0.send_message(v.id, 7); // to self

@@ -75,7 +75,8 @@ impl<AV, M: Codec + Clone + Send> Channel<AV> for DirectMessage<M> {
             self.read_offsets[i + 1] += self.read_offsets[i];
         }
         self.read_vals.clear();
-        self.read_vals.extend(self.incoming.drain(..).map(|(_, m)| m));
+        self.read_vals
+            .extend(self.incoming.drain(..).map(|(_, m)| m));
     }
 
     fn serialize(&mut self, cx: &mut SerializeCx<'_>) {
@@ -114,8 +115,8 @@ impl<AV, M: Codec + Clone + Send> Channel<AV> for DirectMessage<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{run, Algorithm};
     use crate::channel::VertexCtx;
+    use crate::engine::{run, Algorithm};
     use pc_bsp::{Config, Topology};
     use std::sync::Arc;
 

@@ -34,7 +34,10 @@ impl<W: Copy + Default> Graph<W> {
         directed: bool,
     ) -> Self {
         for &(u, v, _) in edges {
-            assert!((u as usize) < n && (v as usize) < n, "edge ({u},{v}) out of range 0..{n}");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range 0..{n}"
+            );
         }
         let mut deg = vec![0usize; n];
         for &(u, v, _) in edges {
@@ -64,7 +67,13 @@ impl<W: Copy + Default> Graph<W> {
             }
         }
         // Sort each adjacency list (by target, then weight) for determinism.
-        let mut g = Graph { n, offsets, targets, weights, directed };
+        let mut g = Graph {
+            n,
+            offsets,
+            targets,
+            weights,
+            directed,
+        };
         g.sort_adjacency();
         g
     }
@@ -176,7 +185,10 @@ impl<W: Copy> Graph<W> {
 
     /// Iterate `(target, weight)` pairs of `v`'s out-edges.
     pub fn neighbors_weighted(&self, v: VertexId) -> impl Iterator<Item = (VertexId, W)> + '_ {
-        self.neighbors(v).iter().copied().zip(self.weights(v).iter().copied())
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights(v).iter().copied())
     }
 
     /// Iterate all arcs as `(src, dst, weight)`.

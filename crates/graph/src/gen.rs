@@ -22,15 +22,18 @@ use rand::{RngExt, SeedableRng};
 
 /// Undirected path `0 — 1 — … — n-1`.
 pub fn chain(n: usize) -> Graph {
-    let edges: Vec<(VertexId, VertexId)> =
-        (0..n.saturating_sub(1)).map(|i| (i as VertexId, (i + 1) as VertexId)).collect();
+    let edges: Vec<(VertexId, VertexId)> = (0..n.saturating_sub(1))
+        .map(|i| (i as VertexId, (i + 1) as VertexId))
+        .collect();
     Graph::from_edges(n, &edges, false)
 }
 
 /// Parent-pointer array of a chain rooted at 0: `D[0] = 0`, `D[i] = i-1`.
 /// This is the pointer-jumping worst case from Table V.
 pub fn chain_parents(n: usize) -> Vec<VertexId> {
-    (0..n).map(|i| if i == 0 { 0 } else { (i - 1) as VertexId }).collect()
+    (0..n)
+        .map(|i| if i == 0 { 0 } else { (i - 1) as VertexId })
+        .collect()
 }
 
 /// Parent-pointer arrays of `roots` random recursive trees over `n`
@@ -53,9 +56,7 @@ pub fn random_forest_parents(n: usize, roots: usize, seed: u64) -> Vec<VertexId>
 /// Undirected random recursive tree with `n` vertices.
 pub fn random_tree(n: usize, seed: u64) -> Graph {
     let parents = random_forest_parents(n, 1, seed);
-    let edges: Vec<(VertexId, VertexId)> = (1..n)
-        .map(|i| (i as VertexId, parents[i]))
-        .collect();
+    let edges: Vec<(VertexId, VertexId)> = (1..n).map(|i| (i as VertexId, parents[i])).collect();
     Graph::from_edges(n, &edges, false)
 }
 
@@ -76,7 +77,12 @@ pub struct RmatParams {
 impl Default for RmatParams {
     fn default() -> Self {
         // The classic Graph500-style skew.
-        RmatParams { a: 0.57, b: 0.19, c: 0.19, noise: 0.1 }
+        RmatParams {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            noise: 0.1,
+        }
     }
 }
 
@@ -86,7 +92,8 @@ fn rmat_edge(scale: u32, p: RmatParams, rng: &mut StdRng) -> (VertexId, VertexId
         let (mut a, mut b, mut c) = (p.a, p.b, p.c);
         // Multiplicative noise keeps the expected skew but breaks the
         // perfectly self-similar structure.
-        let jitter = |x: f64, rng: &mut StdRng| x * (1.0 - p.noise / 2.0 + p.noise * rng.random::<f64>());
+        let jitter =
+            |x: f64, rng: &mut StdRng| x * (1.0 - p.noise / 2.0 + p.noise * rng.random::<f64>());
         a = jitter(a, rng);
         b = jitter(b, rng);
         c = jitter(c, rng);
@@ -225,16 +232,18 @@ pub fn complete(n: usize) -> Graph {
 
 /// Perfect-ish binary tree as an undirected graph.
 pub fn binary_tree(n: usize) -> Graph {
-    let edges: Vec<(VertexId, VertexId)> =
-        (1..n).map(|i| (i as VertexId, ((i - 1) / 2) as VertexId)).collect();
+    let edges: Vec<(VertexId, VertexId)> = (1..n)
+        .map(|i| (i as VertexId, ((i - 1) / 2) as VertexId))
+        .collect();
     Graph::from_edges(n, &edges, false)
 }
 
 /// Undirected cycle.
 pub fn cycle(n: usize) -> Graph {
     assert!(n >= 3);
-    let mut edges: Vec<(VertexId, VertexId)> =
-        (0..n - 1).map(|i| (i as VertexId, (i + 1) as VertexId)).collect();
+    let mut edges: Vec<(VertexId, VertexId)> = (0..n - 1)
+        .map(|i| (i as VertexId, (i + 1) as VertexId))
+        .collect();
     edges.push(((n - 1) as VertexId, 0));
     Graph::from_edges(n, &edges, false)
 }

@@ -24,7 +24,11 @@ pub fn read_edge_list(path: &Path, directed: bool, min_n: usize) -> io::Result<G
         }
         line.clear();
     }
-    let n = min_n.max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = min_n.max(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     Ok(Graph::from_edges(n, &edges, directed))
 }
 
@@ -46,7 +50,11 @@ pub fn read_weighted_edge_list(
         }
         line.clear();
     }
-    let n = min_n.max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = min_n.max(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     Ok(Graph::from_weighted_edges(n, &edges, directed))
 }
 

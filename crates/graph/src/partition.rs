@@ -34,7 +34,9 @@ pub fn edge_cut<W: Copy>(g: &Graph<W>, owner: &[u16]) -> (usize, usize) {
 /// Pseudo-random (hash) assignment — the baseline the paper calls
 /// "vertices are randomly assigned to workers".
 pub fn random_owners(n: usize, parts: usize) -> Vec<u16> {
-    (0..n as u64).map(|v| (pc_bsp_mix(v) % parts as u64) as u16).collect()
+    (0..n as u64)
+        .map(|v| (pc_bsp_mix(v) % parts as u64) as u16)
+        .collect()
 }
 
 // Local copy of the splitmix64 finalizer so pc-graph does not depend on
@@ -88,8 +90,7 @@ pub fn ldg<W: Copy>(g: &Graph<W>, parts: usize, passes: usize) -> Vec<u16> {
             let mut best_score = f64::MIN;
             for p in 0..parts {
                 let penalty = 1.0 - sizes[p] as f64 / capacity;
-                let s = scores[p] as f64 * penalty.max(0.0)
-                    + penalty * 1e-6; // tie-break toward emptier parts
+                let s = scores[p] as f64 * penalty.max(0.0) + penalty * 1e-6; // tie-break toward emptier parts
                 if s > best_score {
                     best_score = s;
                     best = p;

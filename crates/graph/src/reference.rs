@@ -17,7 +17,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Representative of `x`'s set.
@@ -63,7 +66,9 @@ fn min_label_from_uf(uf: &mut UnionFind, n: usize) -> Vec<VertexId> {
         let r = uf.find(v) as usize;
         min_of_root[r] = min_of_root[r].min(v);
     }
-    (0..n as u32).map(|v| min_of_root[uf.find(v) as usize]).collect()
+    (0..n as u32)
+        .map(|v| min_of_root[uf.find(v) as usize])
+        .collect()
 }
 
 /// Number of distinct components given a label vector.
@@ -312,11 +317,8 @@ mod tests {
 
     #[test]
     fn sssp_on_small_weighted_graph() {
-        let g = Graph::from_weighted_edges(
-            4,
-            &[(0, 1, 1u32), (1, 2, 1), (0, 2, 5), (0, 3, 10)],
-            true,
-        );
+        let g =
+            Graph::from_weighted_edges(4, &[(0, 1, 1u32), (1, 2, 1), (0, 2, 5), (0, 3, 10)], true);
         let d = sssp(&g, 0);
         assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(10)]);
     }

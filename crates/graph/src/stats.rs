@@ -31,7 +31,11 @@ pub fn graph_stats<W: Copy>(g: &Graph<W>) -> GraphStats {
     GraphStats {
         n: g.n(),
         m: g.edge_count(),
-        avg_degree: if g.n() == 0 { 0.0 } else { g.arc_count() as f64 / g.n() as f64 },
+        avg_degree: if g.n() == 0 {
+            0.0
+        } else {
+            g.arc_count() as f64 / g.n() as f64
+        },
         max_degree,
         sinks,
     }

@@ -52,7 +52,9 @@ pub fn wcc(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> Output<VertexI
     // the converged channel state via a trailing superstep. The run above
     // already includes that trailing superstep (activation keeps changed
     // vertices alive), so values are final here.
-    out.stats.channels.retain(|c| c.bytes.total() > 0 || c.messages > 0);
+    out.stats
+        .channels
+        .retain(|c| c.bytes.total() > 0 || c.messages > 0);
     out
 }
 
@@ -96,6 +98,10 @@ mod tests {
         let out = wcc(&g, &topo, &Config::sequential(4));
         assert!(out.values.iter().all(|&l| l == 0));
         // 4 contiguous blocks ⇒ label crosses 3 boundaries ⇒ ~4 supersteps.
-        assert!(out.stats.supersteps <= 6, "supersteps = {}", out.stats.supersteps);
+        assert!(
+            out.stats.supersteps <= 6,
+            "supersteps = {}",
+            out.stats.supersteps
+        );
     }
 }

@@ -146,7 +146,9 @@ impl<M: Codec + Clone + Send> GhostMessage<M> {
 
     /// Combined value or the combiner's identity.
     pub fn get_or_identity(&self, local: u32) -> M {
-        self.get_message(local).cloned().unwrap_or_else(|| self.combine.identity())
+        self.get_message(local)
+            .cloned()
+            .unwrap_or_else(|| self.combine.identity())
     }
 
     fn absorb(&mut self, local: u32, m: M) {
@@ -237,7 +239,12 @@ mod tests {
         type Value = u32;
         type Channels = (GhostMessage<u32>,);
         fn channels(&self, env: &WorkerEnv) -> Self::Channels {
-            (GhostMessage::new(env, Combine::min_u32(), &self.g, self.threshold),)
+            (GhostMessage::new(
+                env,
+                Combine::min_u32(),
+                &self.g,
+                self.threshold,
+            ),)
         }
         fn compute(&self, v: &mut VertexCtx<'_>, value: &mut u32, ch: &mut Self::Channels) {
             if v.step() == 1 {
@@ -267,7 +274,14 @@ mod tests {
         let expect = oracle(&g);
         for threshold in [1, 4, 16, usize::MAX] {
             for cfg in [Config::sequential(4), Config::with_workers(4)] {
-                let out = run(&GhostMin { g: Arc::clone(&g), threshold }, &topo, &cfg);
+                let out = run(
+                    &GhostMin {
+                        g: Arc::clone(&g),
+                        threshold,
+                    },
+                    &topo,
+                    &cfg,
+                );
                 assert_eq!(out.values, expect, "threshold {threshold}");
             }
         }
@@ -278,16 +292,32 @@ mod tests {
         // A star: the hub has degree n-1.
         let g = Arc::new(gen::star(1001));
         let topo = Arc::new(Topology::hashed(g.n(), 4));
-        let with_mirrors =
-            run(&GhostMin { g: Arc::clone(&g), threshold: 16 }, &topo, &Config::sequential(4));
-        let without =
-            run(&GhostMin { g: Arc::clone(&g), threshold: usize::MAX }, &topo, &Config::sequential(4));
+        let with_mirrors = run(
+            &GhostMin {
+                g: Arc::clone(&g),
+                threshold: 16,
+            },
+            &topo,
+            &Config::sequential(4),
+        );
+        let without = run(
+            &GhostMin {
+                g: Arc::clone(&g),
+                threshold: usize::MAX,
+            },
+            &topo,
+            &Config::sequential(4),
+        );
         assert_eq!(with_mirrors.values, without.values);
         // Hub broadcast: ≤ 4 ghost messages instead of 1000 per-destination
         // pairs (each leaf is a distinct destination, so the combiner can
         // not reduce them); the leaf→hub direction sender-combines to ≤ 4
         // pairs either way.
-        assert!(without.stats.messages() >= 1000, "got {}", without.stats.messages());
+        assert!(
+            without.stats.messages() >= 1000,
+            "got {}",
+            without.stats.messages()
+        );
         assert!(
             with_mirrors.stats.messages() <= 8,
             "ghost should collapse the hub broadcast, got {}",
@@ -299,7 +329,14 @@ mod tests {
     fn low_degree_vertices_bypass_mirrors() {
         let g = Arc::new(gen::cycle(40)); // all degree 2
         let topo = Arc::new(Topology::hashed(g.n(), 4));
-        let out = run(&GhostMin { g: Arc::clone(&g), threshold: 16 }, &topo, &Config::sequential(4));
+        let out = run(
+            &GhostMin {
+                g: Arc::clone(&g),
+                threshold: 16,
+            },
+            &topo,
+            &Config::sequential(4),
+        );
         assert_eq!(out.values, oracle(&g));
     }
 }

@@ -140,7 +140,9 @@ impl<P: PregelProgram> PregelVertex<'_, '_, P> {
     /// Ghost mode: broadcast `m` to all out-neighbors (mirrored for
     /// high-degree vertices).
     pub fn ghost_send(&mut self, m: P::Msg) {
-        self.channels.3.send_to_neighbors(self.ctx.local, self.ctx.id, m);
+        self.channels
+            .3
+            .send_to_neighbors(self.ctx.local, self.ctx.id, m);
     }
 
     /// Ghost mode: the combined broadcast value received this superstep.
@@ -192,7 +194,11 @@ impl<P: PregelProgram> Algorithm for PregelAdapter<P> {
     }
 
     fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Self::Value, ch: &mut Self::Channels) {
-        let mut pv = PregelVertex { ctx: v, value, channels: ch };
+        let mut pv = PregelVertex {
+            ctx: v,
+            value,
+            channels: ch,
+        };
         self.prog.compute(&mut pv);
     }
 }
@@ -204,7 +210,10 @@ pub fn run_pregel<P: PregelProgram>(
     cfg: &Config,
     opts: PregelOptions,
 ) -> Output<P::Value> {
-    let adapter = PregelAdapter { prog, ghost: opts.ghost };
+    let adapter = PregelAdapter {
+        prog,
+        ghost: opts.ghost,
+    };
     run(&adapter, topo, cfg)
 }
 
@@ -292,7 +301,12 @@ mod tests {
     #[test]
     fn pregel_reqresp_mode_round_trips() {
         let topo = Arc::new(Topology::hashed(60, 4));
-        let out = run_pregel(Arc::new(AskHalf), &topo, &Config::sequential(4), PregelOptions::default());
+        let out = run_pregel(
+            Arc::new(AskHalf),
+            &topo,
+            &Config::sequential(4),
+            PregelOptions::default(),
+        );
         for id in 0..60u32 {
             assert_eq!(out.values[id as usize], (id / 2 + 1) * 3);
         }
@@ -331,7 +345,9 @@ mod tests {
             Arc::new(GhostSum),
             &topo,
             &Config::sequential(4),
-            PregelOptions { ghost: Some((Arc::clone(&g), 16)) },
+            PregelOptions {
+                ghost: Some((Arc::clone(&g), 16)),
+            },
         );
         assert_eq!(out.values, expect);
     }
@@ -359,8 +375,12 @@ mod tests {
     #[test]
     fn pregel_aggregator_counts_vertices() {
         let topo = Arc::new(Topology::hashed(123, 3));
-        let out =
-            run_pregel(Arc::new(CountAll), &topo, &Config::with_workers(3), PregelOptions::default());
+        let out = run_pregel(
+            Arc::new(CountAll),
+            &topo,
+            &Config::with_workers(3),
+            PregelOptions::default(),
+        );
         assert!(out.values.iter().all(|&v| v == 123));
     }
 }

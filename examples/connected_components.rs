@@ -9,8 +9,8 @@
 //! cargo run --release --example connected_components
 //! ```
 
-use pregel_channels::prelude::*;
 use pc_graph::reference;
+use pregel_channels::prelude::*;
 use std::sync::Arc;
 
 fn main() {
@@ -34,7 +34,10 @@ fn main() {
         n_components
     );
     println!();
-    println!("{:<22} {:>10} {:>12} {:>11}", "program", "time(ms)", "bytes(MiB)", "supersteps");
+    println!(
+        "{:<22} {:>10} {:>12} {:>11}",
+        "program", "time(ms)", "bytes(MiB)", "supersteps"
+    );
 
     type SvProgram = fn(&Arc<Graph>, &Arc<Topology>, &Config) -> pc_algos::sv::SvOutput;
     let programs: [(&str, SvProgram); 4] = [

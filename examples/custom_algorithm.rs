@@ -40,7 +40,10 @@ impl Algorithm for AvgNeighborDegree {
             acc.0 += v.0;
             acc.1 += v.1;
         });
-        (ScatterCombine::new(env, sum_pairs), Aggregator::new(env, sum_avg))
+        (
+            ScatterCombine::new(env, sum_pairs),
+            Aggregator::new(env, sum_avg),
+        )
     }
 
     fn compute(&self, v: &mut VertexCtx<'_>, value: &mut NbrDegree, ch: &mut Self::Channels) {
@@ -73,7 +76,11 @@ fn main() {
         false,
     ));
     let topo = Arc::new(Topology::hashed(g.n(), 4));
-    let out = run(&AvgNeighborDegree { g: Arc::clone(&g) }, &topo, &Config::with_workers(4));
+    let out = run(
+        &AvgNeighborDegree { g: Arc::clone(&g) },
+        &topo,
+        &Config::with_workers(4),
+    );
 
     // Oracle check, then a summary.
     for v in 0..g.n().min(50) as u32 {

@@ -51,6 +51,9 @@ fn main() {
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top 5 pages by rank:");
     for (v, r) in ranked.iter().take(5) {
-        println!("  vertex {v:>6}  rank {r:.6}  in-deg≈{}", g.degree(*v as u32));
+        println!(
+            "  vertex {v:>6}  rank {r:.6}  in-deg≈{}",
+            g.degree(*v as u32)
+        );
     }
 }

@@ -10,14 +10,18 @@
 //! cargo run --release --example road_network
 //! ```
 
-use pregel_channels::prelude::*;
 use pc_graph::{partition, reference};
+use pregel_channels::prelude::*;
 use std::sync::Arc;
 
 fn main() {
     let g = Arc::new(pc_graph::gen::grid2d(96, 96, 0.05, 3));
     let cfg = Config::with_workers(4);
-    println!("road network: {} intersections, {} segments", g.n(), g.edge_count());
+    println!(
+        "road network: {} intersections, {} segments",
+        g.n(),
+        g.edge_count()
+    );
 
     let oracle = reference::connected_components(&g);
 
@@ -35,7 +39,10 @@ fn main() {
         "{:<28} {:>10} {:>12} {:>11} {:>8}",
         "WCC program", "time(ms)", "bytes(MiB)", "supersteps", "rounds"
     );
-    for (name, topo) in [("propagation, random", &random), ("propagation, partitioned", &blocks)] {
+    for (name, topo) in [
+        ("propagation, random", &random),
+        ("propagation, partitioned", &blocks),
+    ] {
         let out = pc_algos::wcc::channel_propagation(&g, topo, &cfg);
         assert_eq!(out.labels, oracle);
         println!(
@@ -63,7 +70,11 @@ fn main() {
     let topo = Arc::new(Topology::hashed(wg.n(), 4));
     let sssp = pc_algos::sssp::channel_basic(&wg, &topo, &cfg, 0);
     let dijkstra = reference::sssp(&wg, 0);
-    let reached = sssp.dist.iter().filter(|&&d| d != pc_algos::sssp::UNREACHED).count();
+    let reached = sssp
+        .dist
+        .iter()
+        .filter(|&&d| d != pc_algos::sssp::UNREACHED)
+        .count();
     for (v, d) in dijkstra.iter().enumerate() {
         assert_eq!(d.unwrap_or(u64::MAX), sssp.dist[v], "sssp mismatch at {v}");
     }
@@ -71,6 +82,10 @@ fn main() {
     println!(
         "SSSP from intersection 0: {} reachable, farthest cost {}, verified vs Dijkstra ✓",
         reached,
-        sssp.dist.iter().filter(|&&d| d != pc_algos::sssp::UNREACHED).max().unwrap()
+        sssp.dist
+            .iter()
+            .filter(|&&d| d != pc_algos::sssp::UNREACHED)
+            .max()
+            .unwrap()
     );
 }

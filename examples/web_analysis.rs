@@ -5,8 +5,8 @@
 //! cargo run --release --example web_analysis
 //! ```
 
-use pregel_channels::prelude::*;
 use pc_graph::reference;
+use pregel_channels::prelude::*;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -25,8 +25,14 @@ fn main() {
     assert_eq!(prop.labels, oracle, "propagation SCC disagrees with Tarjan");
 
     println!();
-    println!("{:<24} {:>10} {:>12} {:>11}", "program", "time(ms)", "bytes(MiB)", "supersteps");
-    for (name, out) in [("channel (basic)", &basic), ("channel (propagation)", &prop)] {
+    println!(
+        "{:<24} {:>10} {:>12} {:>11}",
+        "program", "time(ms)", "bytes(MiB)", "supersteps"
+    );
+    for (name, out) in [
+        ("channel (basic)", &basic),
+        ("channel (propagation)", &prop),
+    ] {
         println!(
             "{:<24} {:>10.1} {:>12.3} {:>11}",
             name,

@@ -63,9 +63,7 @@ fn parse_args() -> Opts {
         directed: false,
         partition: false,
     };
-    let mut next = |args: &mut dyn Iterator<Item = String>| {
-        args.next().unwrap_or_else(|| usage())
-    };
+    let next = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--input" => opts.input = Some(PathBuf::from(next(&mut args))),
@@ -86,11 +84,10 @@ fn parse_args() -> Opts {
 
 fn load_unweighted(opts: &Opts, want_directed: bool) -> Arc<Graph> {
     if let Some(path) = &opts.input {
-        let g = io::read_edge_list(path, opts.directed && want_directed, 0)
-            .unwrap_or_else(|e| {
-                eprintln!("cannot read {}: {e}", path.display());
-                exit(1)
-            });
+        let g = io::read_edge_list(path, opts.directed && want_directed, 0).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", path.display());
+            exit(1)
+        });
         return Arc::new(g);
     }
     let name = opts.gen.as_deref().unwrap_or("wikipedia");
@@ -98,8 +95,20 @@ fn load_unweighted(opts: &Opts, want_directed: bool) -> Arc<Graph> {
     let g = match name {
         "wikipedia" => rmat(opts.scale, 9 << opts.scale, RmatParams::default(), 1, true),
         "webuk" => rmat(opts.scale, 24 << opts.scale, RmatParams::default(), 2, true),
-        "facebook" => rmat(opts.scale, (3 << opts.scale) / 2, RmatParams::default(), 3, false),
-        "twitter" => rmat(opts.scale, 32 << opts.scale, RmatParams::default(), 4, false),
+        "facebook" => rmat(
+            opts.scale,
+            (3 << opts.scale) / 2,
+            RmatParams::default(),
+            3,
+            false,
+        ),
+        "twitter" => rmat(
+            opts.scale,
+            32 << opts.scale,
+            RmatParams::default(),
+            4,
+            false,
+        ),
         "road" => {
             let side = 1usize << (opts.scale / 2);
             grid2d((1usize << opts.scale) / side, side, 0.05, 6)
@@ -122,14 +131,24 @@ fn load_weighted(opts: &Opts) -> Arc<WeightedGraph> {
         return Arc::new(g);
     }
     use pc_graph::gen::*;
-    Arc::new(rmat_weighted(opts.scale, 8 << opts.scale, RmatParams::default(), 7, false, 1000))
+    Arc::new(rmat_weighted(
+        opts.scale,
+        8 << opts.scale,
+        RmatParams::default(),
+        7,
+        false,
+        1000,
+    ))
 }
 
 fn topology<W: Copy + Default>(g: &Graph<W>, opts: &Opts) -> Arc<Topology> {
     if opts.partition {
         let owners = partition::ldg(g, opts.workers, 2);
         let (cut, total) = partition::edge_cut(g, &owners);
-        eprintln!("ldg partition: edge-cut {:.1}%", 100.0 * cut as f64 / total.max(1) as f64);
+        eprintln!(
+            "ldg partition: edge-cut {:.1}%",
+            100.0 * cut as f64 / total.max(1) as f64
+        );
         Arc::new(Topology::from_owners(opts.workers, owners))
     } else {
         Arc::new(Topology::hashed(g.n(), opts.workers))
@@ -187,7 +206,10 @@ fn main() {
                 "blogel" => pc_algos::wcc::blogel(&g, &topo, &cfg),
                 _ => pc_algos::wcc::channel_propagation(&g, &topo, &cfg),
             };
-            println!("{} components", pc_graph::reference::component_count(&out.labels));
+            println!(
+                "{} components",
+                pc_graph::reference::component_count(&out.labels)
+            );
             report(&out.stats);
         }
         "sv" => {
@@ -199,7 +221,10 @@ fn main() {
                 "scatter" => pc_algos::sv::channel_scatter(&g, &topo, &cfg),
                 _ => pc_algos::sv::channel_both(&g, &topo, &cfg),
             };
-            println!("{} components", pc_graph::reference::component_count(&out.labels));
+            println!(
+                "{} components",
+                pc_graph::reference::component_count(&out.labels)
+            );
             report(&out.stats);
         }
         "scc" => {
@@ -219,7 +244,11 @@ fn main() {
                 "basic" => pc_algos::sssp::channel_basic(&g, &topo, &cfg, opts.src),
                 _ => pc_algos::sssp::channel_propagation(&g, &topo, &cfg, opts.src),
             };
-            let reached = out.dist.iter().filter(|&&d| d != pc_algos::sssp::UNREACHED).count();
+            let reached = out
+                .dist
+                .iter()
+                .filter(|&&d| d != pc_algos::sssp::UNREACHED)
+                .count();
             println!("{reached} reachable from {}", opts.src);
             report(&out.stats);
         }
@@ -227,8 +256,16 @@ fn main() {
             let g = load_unweighted(&opts, true);
             let topo = topology(&g, &opts);
             let out = pc_algos::kernels::bfs(&g, &topo, &cfg, opts.src);
-            let reached = out.level.iter().filter(|&&l| l != pc_algos::kernels::UNREACHED).count();
-            let depth = out.level.iter().filter(|&&l| l != pc_algos::kernels::UNREACHED).max();
+            let reached = out
+                .level
+                .iter()
+                .filter(|&&l| l != pc_algos::kernels::UNREACHED)
+                .count();
+            let depth = out
+                .level
+                .iter()
+                .filter(|&&l| l != pc_algos::kernels::UNREACHED)
+                .max();
             println!("{reached} reachable, depth {:?}", depth);
             report(&out.stats);
         }
@@ -248,7 +285,10 @@ fn main() {
             let g = load_weighted(&opts);
             let topo = topology(&g, &opts);
             let out = pc_algos::msf::channel_basic(&g, &topo, &cfg);
-            println!("forest weight {} over {} edges", out.total_weight, out.edge_count);
+            println!(
+                "forest weight {} over {} edges",
+                out.total_weight, out.edge_count
+            );
             report(&out.stats);
         }
         _ => usage(),

@@ -85,8 +85,12 @@ fn scatter_amortizes_ids_across_supersteps() {
     let g = Arc::new(gen::rmat(9, 4000, gen::RmatParams::default(), 3, true));
     let topo = Arc::new(Topology::hashed(g.n(), 4));
     let cfg = Config::sequential(4);
-    let short = pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 1).stats.remote_bytes();
-    let long = pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 21).stats.remote_bytes();
+    let short = pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 1)
+        .stats
+        .remote_bytes();
+    let long = pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 21)
+        .stats
+        .remote_bytes();
     // First superstep ships (dst, value) pairs; steady state ships bare
     // values: for f64 messages that is 8/12 of the first-superstep rate.
     let per_iter = (long - short) as f64 / 20.0;

@@ -48,7 +48,10 @@ fn wcc_all_variants_on_mixed_graph() {
         let topo = Arc::new(Topology::hashed(g.n(), workers));
         for cfg in configs(workers) {
             assert_eq!(pc_algos::wcc::channel_basic(&g, &topo, &cfg).labels, oracle);
-            assert_eq!(pc_algos::wcc::channel_propagation(&g, &topo, &cfg).labels, oracle);
+            assert_eq!(
+                pc_algos::wcc::channel_propagation(&g, &topo, &cfg).labels,
+                oracle
+            );
             assert_eq!(pc_algos::wcc::pregel_basic(&g, &topo, &cfg).labels, oracle);
             assert_eq!(pc_algos::wcc::blogel(&g, &topo, &cfg).labels, oracle);
         }
@@ -68,8 +71,14 @@ fn sv_composition_grid_on_partitioned_topology() {
     ] {
         let cfg = Config::sequential(4);
         assert_eq!(pc_algos::sv::channel_basic(&g, &topo, &cfg).labels, oracle);
-        assert_eq!(pc_algos::sv::channel_reqresp(&g, &topo, &cfg).labels, oracle);
-        assert_eq!(pc_algos::sv::channel_scatter(&g, &topo, &cfg).labels, oracle);
+        assert_eq!(
+            pc_algos::sv::channel_reqresp(&g, &topo, &cfg).labels,
+            oracle
+        );
+        assert_eq!(
+            pc_algos::sv::channel_scatter(&g, &topo, &cfg).labels,
+            oracle
+        );
         assert_eq!(pc_algos::sv::channel_both(&g, &topo, &cfg).labels, oracle);
         assert_eq!(pc_algos::sv::pregel_basic(&g, &topo, &cfg).labels, oracle);
         assert_eq!(pc_algos::sv::pregel_reqresp(&g, &topo, &cfg).labels, oracle);
@@ -84,7 +93,10 @@ fn scc_on_web_like_graph() {
         let topo = Arc::new(Topology::hashed(g.n(), workers));
         for cfg in configs(workers) {
             assert_eq!(pc_algos::scc::channel_basic(&g, &topo, &cfg).labels, oracle);
-            assert_eq!(pc_algos::scc::channel_propagation(&g, &topo, &cfg).labels, oracle);
+            assert_eq!(
+                pc_algos::scc::channel_propagation(&g, &topo, &cfg).labels,
+                oracle
+            );
             assert_eq!(pc_algos::scc::pregel_basic(&g, &topo, &cfg).labels, oracle);
         }
     }
@@ -92,7 +104,14 @@ fn scc_on_web_like_graph() {
 
 #[test]
 fn msf_against_kruskal() {
-    let g = Arc::new(gen::rmat_weighted(8, 1200, gen::RmatParams::default(), 3, false, 64));
+    let g = Arc::new(gen::rmat_weighted(
+        8,
+        1200,
+        gen::RmatParams::default(),
+        3,
+        false,
+        64,
+    ));
     let expect_w = reference::msf_weight(&g);
     let expect_n = reference::msf_edge_count(&g);
     for workers in [1, 4] {
@@ -121,12 +140,30 @@ fn pointer_jumping_and_sssp() {
         let ptopo = Arc::new(Topology::hashed(parents.len(), workers));
         let wtopo = Arc::new(Topology::hashed(wg.n(), workers));
         for cfg in configs(workers) {
-            assert_eq!(pc_algos::pointer_jumping::channel_basic(&parents, &ptopo, &cfg).roots, roots);
-            assert_eq!(pc_algos::pointer_jumping::channel_reqresp(&parents, &ptopo, &cfg).roots, roots);
-            assert_eq!(pc_algos::pointer_jumping::pregel_basic(&parents, &ptopo, &cfg).roots, roots);
-            assert_eq!(pc_algos::pointer_jumping::pregel_reqresp(&parents, &ptopo, &cfg).roots, roots);
-            assert_eq!(pc_algos::sssp::channel_basic(&wg, &wtopo, &cfg, 3).dist, dist);
-            assert_eq!(pc_algos::sssp::pregel_basic(&wg, &wtopo, &cfg, 3).dist, dist);
+            assert_eq!(
+                pc_algos::pointer_jumping::channel_basic(&parents, &ptopo, &cfg).roots,
+                roots
+            );
+            assert_eq!(
+                pc_algos::pointer_jumping::channel_reqresp(&parents, &ptopo, &cfg).roots,
+                roots
+            );
+            assert_eq!(
+                pc_algos::pointer_jumping::pregel_basic(&parents, &ptopo, &cfg).roots,
+                roots
+            );
+            assert_eq!(
+                pc_algos::pointer_jumping::pregel_reqresp(&parents, &ptopo, &cfg).roots,
+                roots
+            );
+            assert_eq!(
+                pc_algos::sssp::channel_basic(&wg, &wtopo, &cfg, 3).dist,
+                dist
+            );
+            assert_eq!(
+                pc_algos::sssp::pregel_basic(&wg, &wtopo, &cfg, 3).dist,
+                dist
+            );
         }
     }
 }
@@ -137,7 +174,10 @@ fn empty_and_degenerate_graphs() {
     let g = Arc::new(Graph::from_edges(1, &[], false));
     let topo = Arc::new(Topology::hashed(1, 2));
     let cfg = Config::sequential(2);
-    assert_eq!(pc_algos::wcc::channel_propagation(&g, &topo, &cfg).labels, vec![0]);
+    assert_eq!(
+        pc_algos::wcc::channel_propagation(&g, &topo, &cfg).labels,
+        vec![0]
+    );
     assert_eq!(pc_algos::sv::channel_both(&g, &topo, &cfg).labels, vec![0]);
 
     // All isolated vertices.

@@ -1,0 +1,61 @@
+//! Minimal stand-in for the `crossbeam` crate (offline build): only
+//! `utils::CachePadded`, which the exchange layer uses to keep per-worker
+//! hot atomics on separate cache lines.
+
+pub mod utils {
+    //! Synchronization utilities.
+    use std::fmt;
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns `T` to (at least) one cache line to prevent false
+    /// sharing between adjacent per-worker slots.
+    #[derive(Default, Clone, Copy, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wrap a value.
+        pub const fn new(value: T) -> Self {
+            CachePadded { value }
+        }
+
+        /// Unwrap the value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+
+    impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            self.value.fmt(f)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::CachePadded;
+
+        #[test]
+        fn alignment_and_deref() {
+            let p = CachePadded::new(7u64);
+            assert_eq!(*p, 7);
+            assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+            assert_eq!(p.into_inner(), 7);
+        }
+    }
+}
