@@ -104,6 +104,28 @@ fn wcc_sparse_frontier(c: &mut Criterion) {
     group.finish();
 }
 
+/// Transport comparison: the same threaded driver over the shared-memory
+/// hub vs real loopback sockets — the `threads`→`tcp` gap is the price
+/// of a real wire. Runs in its own short-budget group because every
+/// `tcp` iteration binds a fresh socket mesh whose closed connections
+/// linger in TIME_WAIT; a tight iteration budget keeps long bench runs
+/// well clear of ephemeral-port exhaustion.
+fn transport_compare(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_steady_state/transport_pagerank");
+    let g = rmat_graph();
+    let topo = Arc::new(Topology::hashed(g.n(), workers()));
+    let w = workers();
+    for (name, cfg) in [
+        ("threads", Config::with_workers(w)),
+        ("tcp", Config::tcp(w)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 20))
+        });
+    }
+    group.finish();
+}
+
 fn quick() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -111,9 +133,22 @@ fn quick() -> Criterion {
         .warm_up_time(Duration::from_millis(300))
 }
 
+/// Tight budget for the socket-mesh benches (see [`transport_compare`]).
+fn quick_tcp() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_millis(400))
+        .warm_up_time(Duration::from_millis(100))
+}
+
 criterion_group! {
     name = benches;
     config = quick();
     targets = pagerank_steady_state, wcc_steady_state, wcc_sparse_frontier
 }
-criterion_main!(benches);
+criterion_group! {
+    name = transport_benches;
+    config = quick_tcp();
+    targets = transport_compare
+}
+criterion_main!(benches, transport_benches);

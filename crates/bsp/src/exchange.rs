@@ -171,19 +171,14 @@ impl Mailbox {
 
     /// Drain every buffer addressed to `to` into `out`, in sender order,
     /// under a single column lock. `out` is cleared first; its capacity
-    /// (and the column's) is reused round over round.
+    /// (and the column's) is reused round over round. This is the only
+    /// drain: the old allocating `take_all_for` drifted out of the hot
+    /// path and was removed.
     pub fn take_all_into(&self, to: usize, out: &mut Vec<(usize, Vec<u8>)>) {
         out.clear();
         std::mem::swap(&mut *self.columns[to].lock(), out);
         // Arrival order is racy; sender order is the deterministic one.
         out.sort_unstable_by_key(|&(from, _)| from);
-    }
-
-    /// Drain every buffer addressed to `to`, in sender order.
-    pub fn take_all_for(&self, to: usize) -> Vec<(usize, Vec<u8>)> {
-        let mut out = Vec::new();
-        self.take_all_into(to, &mut out);
-        out
     }
 }
 
@@ -363,19 +358,25 @@ mod tests {
         mb.post(1, 2, vec![4]);
         assert_eq!(mb.take(0, 2), Some(vec![1, 2, 3]));
         assert_eq!(mb.take(0, 2), None);
-        let rest = mb.take_all_for(2);
+        let mut rest = Vec::new();
+        mb.take_all_into(2, &mut rest);
         assert_eq!(rest, vec![(1, vec![4])]);
     }
 
+    /// Drains are deterministic: whatever order buffers were posted in,
+    /// `take_all_into` yields ascending sender ids — the order every
+    /// transport must reproduce.
     #[test]
     fn mailbox_take_all_sorts_by_sender() {
         let mb = Mailbox::new(4);
         mb.post(3, 0, vec![3]);
         mb.post(1, 0, vec![1]);
         mb.post(2, 0, vec![2]);
-        let got = mb.take_all_for(0);
+        let mut got = Vec::new();
+        mb.take_all_into(0, &mut got);
         assert_eq!(got, vec![(1, vec![1]), (2, vec![2]), (3, vec![3])]);
-        assert!(mb.take_all_for(0).is_empty());
+        mb.take_all_into(0, &mut got);
+        assert!(got.is_empty());
     }
 
     #[test]
@@ -501,7 +502,8 @@ mod tests {
                     hub.mailbox().post(w, to, vec![w as u8]);
                 }
                 hub.sync();
-                let got = hub.mailbox().take_all_for(w);
+                let mut got = Vec::new();
+                hub.mailbox().take_all_into(w, &mut got);
                 hub.sync();
                 got
             }));

@@ -14,10 +14,13 @@
 //!   at superstep boundaries, plus the sense-reversing barrier and
 //!   double-buffered single-crossing reductions used by the threaded
 //!   execution mode,
+//! * [`transport`] — the pluggable [`ExchangeTransport`] rendezvous
+//!   surface behind which the backends live: [`transport::InProcess`]
+//!   (the `Hub`) and [`tcp::Tcp`] (real loopback sockets),
 //! * [`topology`] — vertex → worker ownership maps (hash partition or an
 //!   explicit partition vector),
 //! * [`metrics`] — per-channel and per-run statistics (bytes, messages,
-//!   supersteps, exchange rounds, wall time).
+//!   supersteps, exchange rounds, wall time, transport wire counters).
 //!
 //! Both the channel engine (`pc-channels`) and the baseline Pregel engine
 //! (`pc-pregel`) are built on these primitives, so their byte accounting is
@@ -28,14 +31,18 @@ pub mod codec;
 pub mod exchange;
 pub mod metrics;
 pub mod pool;
+pub mod tcp;
 pub mod topology;
+pub mod transport;
 
 pub use buffer::{iter_frames, FrameWriter, OutBuffers};
 pub use codec::{Codec, FixedWidth, Reader};
 pub use exchange::{Hub, Mailbox, SharedReduce, SpinBarrier};
-pub use metrics::{ChannelMetrics, RunStats};
+pub use metrics::{ChannelMetrics, RunStats, TransportStats};
 pub use pool::{BufferPool, PoolStats};
+pub use tcp::{Tcp, TcpOptions};
 pub use topology::Topology;
+pub use transport::{ExchangeTransport, InProcess, TransportError};
 
 /// How the simulated cluster executes its workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,6 +56,35 @@ pub enum ExecMode {
     Sequential,
 }
 
+/// Which exchange backend carries the threaded workers' traffic.
+///
+/// Sequential mode moves buffers directly and ignores this choice. Both
+/// backends are observationally identical (same values, bytes,
+/// supersteps, rounds — enforced by `tests/transport_conformance.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Shared-memory mailbox + barrier ([`transport::InProcess`], the
+    /// simulated cluster; default).
+    #[default]
+    InProcess,
+    /// A full mesh of loopback TCP sockets ([`tcp::Tcp`]): real
+    /// length-prefixed wire traffic, reductions as gather/broadcast
+    /// rounds on worker 0.
+    Tcp,
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "in-process" | "inprocess" | "hub" => Ok(TransportKind::InProcess),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport '{other}' (in-process|tcp)")),
+        }
+    }
+}
+
 /// Run-wide configuration shared by both engines.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -56,6 +92,8 @@ pub struct Config {
     pub workers: usize,
     /// Execution mode (threads vs deterministic sequential).
     pub mode: ExecMode,
+    /// Exchange backend used by the threaded mode.
+    pub transport: TransportKind,
     /// Safety cap on supersteps; engines abort (panic) past this to surface
     /// non-terminating programs in tests.
     pub max_supersteps: u64,
@@ -66,6 +104,7 @@ impl Default for Config {
         Config {
             workers: 8,
             mode: ExecMode::Threads,
+            transport: TransportKind::InProcess,
             max_supersteps: 1_000_000,
         }
     }
@@ -85,6 +124,15 @@ impl Config {
         Config {
             workers,
             mode: ExecMode::Sequential,
+            ..Config::default()
+        }
+    }
+
+    /// Threaded config exchanging over loopback TCP sockets.
+    pub fn tcp(workers: usize) -> Self {
+        Config {
+            workers,
+            transport: TransportKind::Tcp,
             ..Config::default()
         }
     }

@@ -42,6 +42,34 @@ pub struct ChannelMetrics {
     pub messages: u64,
 }
 
+/// Wire-level counters of one exchange transport (see
+/// [`crate::transport::ExchangeTransport::stats`]).
+///
+/// The in-process transport counts mailbox traffic (payload bytes, one
+/// frame per post); the TCP transport counts real socket traffic including
+/// the 5-byte frame headers and the control frames of its gather/broadcast
+/// reductions. `round_trips` counts global reductions — a gather/broadcast
+/// exchange with worker 0 on the TCP backend, one barrier-synchronized
+/// slot exchange on the in-process backend.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Bytes put on the wire (or through the mailbox) by all workers.
+    pub wire_bytes: u64,
+    /// Frames sent by all workers (data, skip and reduction frames).
+    pub frames: u64,
+    /// Global reduction round-trips.
+    pub round_trips: u64,
+}
+
+impl TransportStats {
+    /// Accumulate another transport's counters.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.wire_bytes += other.wire_bytes;
+        self.frames += other.frames;
+        self.round_trips += other.round_trips;
+    }
+}
+
 /// Statistics of one complete run.
 #[derive(Debug, Default, Clone)]
 pub struct RunStats {
@@ -61,6 +89,12 @@ pub struct RunStats {
     pub pool: PoolStats,
     /// Global barrier crossings (threaded mode; 0 in sequential mode).
     pub barrier_crossings: u64,
+    /// Name of the exchange transport that carried the run
+    /// (`"sequential"`, `"in-process"`, `"tcp"`).
+    pub transport_name: &'static str,
+    /// Wire-level transport counters (zero in sequential mode, which
+    /// moves buffers without a transport).
+    pub transport: TransportStats,
 }
 
 impl RunStats {
@@ -94,6 +128,11 @@ impl RunStats {
     /// never requested a buffer).
     pub fn pool_hit_rate(&self) -> f64 {
         self.pool.hit_rate()
+    }
+
+    /// Transport wire bytes in mebibytes, for table printing.
+    pub fn wire_mib(&self) -> f64 {
+        self.transport.wire_bytes as f64 / (1024.0 * 1024.0)
     }
 
     /// Barrier crossings per exchange round (threaded mode). The pooled

@@ -41,15 +41,49 @@ impl PoolStats {
     }
 }
 
+/// Rounds of footprint history kept for the high-water trim policy.
+const TRIM_WINDOW: usize = 32;
+/// Minimum history before trimming kicks in (avoids trimming during
+/// warm-up, when footprints are still growing toward steady state).
+const TRIM_MIN_SAMPLES: usize = 8;
+/// Capacity slack over the p90 footprint. `Vec` growth doubles, so pooled
+/// capacity legitimately sits up to ~2× the bytes a round actually
+/// writes; only capacity beyond this slack is released.
+const TRIM_SLACK: usize = 2;
+
 /// A freelist of byte buffers owned by one worker.
 ///
 /// Not thread-safe by design — each worker owns one; cross-thread
 /// recycling goes through the `Hub`'s per-sender return stacks so the pool
 /// itself stays lock-free on the hot path.
+///
+/// ## High-water trimming
+///
+/// A pool that never frees pins the peak: one giant superstep leaves
+/// giant buffers in the freelist forever. The pool therefore tracks the
+/// byte footprint of recent rounds (bytes returned per round, measured
+/// before buffers are cleared) and, at every [`BufferPool::end_round`],
+/// releases pooled *capacity* down to [`TRIM_SLACK`] × the p90 of that
+/// window. Trimming shrinks buffers in place (`Vec::shrink_to`) rather
+/// than dropping them, so hit/miss accounting — and with it the
+/// cross-mode determinism contract on [`PoolStats`] — is completely
+/// unaffected by when or whether a trim happens.
 #[derive(Debug, Default)]
 pub struct BufferPool {
     free: Vec<Vec<u8>>,
     stats: PoolStats,
+    /// Total capacity currently parked in `free`.
+    free_bytes: usize,
+    /// Bytes returned (buffer lengths at `put`) since the last
+    /// `end_round`.
+    round_put_bytes: usize,
+    /// Footprints of the last [`TRIM_WINDOW`] rounds.
+    footprints: std::collections::VecDeque<usize>,
+    /// Reusable sort scratch for the p90 computation, so `end_round`
+    /// allocates nothing in steady state.
+    p90_scratch: Vec<usize>,
+    /// Total capacity released by trims so far.
+    trimmed_bytes: u64,
 }
 
 impl BufferPool {
@@ -64,6 +98,7 @@ impl BufferPool {
         match self.free.pop() {
             Some(buf) => {
                 debug_assert!(buf.is_empty());
+                self.free_bytes -= buf.capacity();
                 self.stats.hits += 1;
                 buf
             }
@@ -74,9 +109,13 @@ impl BufferPool {
         }
     }
 
-    /// Return a consumed buffer to the pool.
+    /// Return a consumed buffer to the pool. The buffer's length (the
+    /// bytes the round actually used) is charged to the current round's
+    /// footprint before the buffer is cleared.
     pub fn put(&mut self, mut buf: Vec<u8>) {
+        self.round_put_bytes += buf.len();
         buf.clear();
+        self.free_bytes += buf.capacity();
         self.free.push(buf);
     }
 
@@ -87,9 +126,69 @@ impl BufferPool {
         }
     }
 
+    /// Close one exchange round: record the round's footprint and apply
+    /// the high-water trim policy (see the type docs). Engines call this
+    /// once per exchange round per worker.
+    pub fn end_round(&mut self) {
+        if self.footprints.len() == TRIM_WINDOW {
+            self.footprints.pop_front();
+        }
+        self.footprints.push_back(self.round_put_bytes);
+        self.round_put_bytes = 0;
+        if self.footprints.len() < TRIM_MIN_SAMPLES {
+            return;
+        }
+        let p90 = self.footprint_p90();
+        if p90 == 0 {
+            // A window dominated by idle rounds (sparse frontier) says
+            // nothing about the working set; trimming to zero here would
+            // just force reallocation at the next burst.
+            return;
+        }
+        let target = TRIM_SLACK * p90;
+        if self.free_bytes <= target {
+            return;
+        }
+        // Shrink the largest buffers first; keep every Vec in the list so
+        // hit/miss traffic is untouched.
+        self.free
+            .sort_unstable_by_key(|b| std::cmp::Reverse(b.capacity()));
+        let mut free_bytes = self.free_bytes;
+        for buf in &mut self.free {
+            if free_bytes <= target {
+                break;
+            }
+            let cap = buf.capacity();
+            let keep = cap.saturating_sub(free_bytes - target);
+            buf.shrink_to(keep);
+            let released = cap - buf.capacity();
+            free_bytes -= released;
+            self.trimmed_bytes += released as u64;
+        }
+        self.free_bytes = free_bytes;
+    }
+
+    /// The 90th percentile of the recorded round footprints.
+    fn footprint_p90(&mut self) -> usize {
+        self.p90_scratch.clear();
+        self.p90_scratch.extend(self.footprints.iter().copied());
+        self.p90_scratch.sort_unstable();
+        self.p90_scratch[(self.p90_scratch.len() * 9).div_ceil(10) - 1]
+    }
+
     /// Buffers currently pooled.
     pub fn available(&self) -> usize {
         self.free.len()
+    }
+
+    /// Total capacity currently parked in the freelist.
+    pub fn pooled_bytes(&self) -> usize {
+        self.free_bytes
+    }
+
+    /// Total capacity released by the trim policy so far.
+    pub fn trimmed_bytes(&self) -> u64 {
+        self.trimmed_bytes
     }
 
     /// Hit/miss counters so far.
@@ -123,6 +222,117 @@ mod tests {
         assert_eq!(pool.available(), 3);
         let _ = pool.get();
         assert_eq!(pool.available(), 2);
+    }
+
+    /// Simulate one worker's exchange rounds: `count` buffers of `size`
+    /// bytes cycle out and home again, then the round closes.
+    fn run_round(pool: &mut BufferPool, count: usize, size: usize) {
+        let mut in_flight: Vec<Vec<u8>> = (0..count)
+            .map(|_| {
+                let mut b = pool.get();
+                b.resize(size, 7);
+                b
+            })
+            .collect();
+        pool.put_all(in_flight.drain(..));
+        pool.end_round();
+    }
+
+    /// The ROADMAP regression: a one-off giant superstep must not pin
+    /// peak capacity forever. After the window refills with small rounds,
+    /// the giant capacity is released — without perturbing hit/miss
+    /// accounting.
+    #[test]
+    fn one_off_giant_round_no_longer_pins_capacity() {
+        const SMALL: usize = 1 << 10;
+        const GIANT: usize = 1 << 20;
+        let mut pool = BufferPool::new();
+        for _ in 0..TRIM_MIN_SAMPLES {
+            run_round(&mut pool, 4, SMALL);
+        }
+        let steady = pool.pooled_bytes();
+        assert!((4 * SMALL..=TRIM_SLACK * 8 * SMALL).contains(&steady));
+
+        run_round(&mut pool, 4, GIANT);
+        assert!(
+            pool.pooled_bytes() >= 4 * GIANT,
+            "giant round grows the pool"
+        );
+
+        // The very next small round already sees the giant as an outlier
+        // (p90 of the window is small) and trims back down.
+        run_round(&mut pool, 4, SMALL);
+        assert!(
+            pool.pooled_bytes() <= TRIM_SLACK * 8 * SMALL,
+            "giant capacity still pinned: {} bytes pooled",
+            pool.pooled_bytes()
+        );
+        assert!(pool.trimmed_bytes() >= 3 * GIANT as u64);
+
+        // Hit/miss traffic is exactly what an untrimmed pool would show:
+        // 4 warm-up misses, everything else a hit.
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits as usize, 4 * (TRIM_MIN_SAMPLES + 2) - 4);
+        // And the trimmed buffers are still *in* the pool (count-wise).
+        assert_eq!(pool.available(), 4);
+    }
+
+    /// Steady-state rounds never trigger the trim: pooled capacity stays
+    /// within the slack budget and nothing is released.
+    #[test]
+    fn steady_rounds_do_not_trim() {
+        let mut pool = BufferPool::new();
+        for _ in 0..3 * TRIM_WINDOW {
+            run_round(&mut pool, 3, 4096);
+        }
+        assert_eq!(pool.trimmed_bytes(), 0, "steady state must not churn");
+        assert_eq!(pool.stats().misses, 3);
+    }
+
+    /// A sparse-frontier phase (mostly idle rounds) must not trim the
+    /// working set to zero — an idle window carries no sizing signal,
+    /// and a pool that trimmed to nothing would quietly reallocate on
+    /// the next burst.
+    #[test]
+    fn idle_rounds_do_not_trim_to_zero() {
+        let mut pool = BufferPool::new();
+        for _ in 0..TRIM_MIN_SAMPLES {
+            run_round(&mut pool, 2, 8192);
+        }
+        let steady = pool.pooled_bytes();
+        // A long idle stretch: nothing sent, nothing put.
+        for _ in 0..2 * TRIM_WINDOW {
+            pool.end_round();
+        }
+        assert_eq!(pool.pooled_bytes(), steady, "idle rounds must not trim");
+        assert_eq!(pool.trimmed_bytes(), 0);
+        // The next burst is served entirely from the intact pool.
+        run_round(&mut pool, 2, 8192);
+        assert_eq!(pool.stats().misses, 2, "burst after idling stays warm");
+    }
+
+    /// A sustained shift to a bigger working set must also not churn: the
+    /// window adapts and trimming stops once big rounds dominate it.
+    #[test]
+    fn sustained_growth_adapts_without_oscillating() {
+        let mut pool = BufferPool::new();
+        for _ in 0..TRIM_WINDOW {
+            run_round(&mut pool, 2, 1 << 10);
+        }
+        for _ in 0..2 * TRIM_WINDOW {
+            run_round(&mut pool, 2, 1 << 16);
+        }
+        let trimmed_after_shift = pool.trimmed_bytes();
+        for _ in 0..TRIM_WINDOW {
+            run_round(&mut pool, 2, 1 << 16);
+        }
+        assert_eq!(
+            pool.trimmed_bytes(),
+            trimmed_after_shift,
+            "no further trimming once the window reflects the new footprint"
+        );
+        assert!(pool.pooled_bytes() >= 2 * (1 << 16));
     }
 
     #[test]

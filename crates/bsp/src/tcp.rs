@@ -1,0 +1,1144 @@
+//! A real-socket exchange transport: every worker behind a loopback TCP
+//! connection.
+//!
+//! This backend replaces the shared-memory mailbox of
+//! [`crate::exchange::Hub`] with an N×N mesh of `TcpStream`s while keeping
+//! the engine-observable behavior identical (see
+//! `tests/transport_conformance.rs`). It is the deployable shape of the
+//! simulated cluster: swap the loopback addresses for real hosts and the
+//! same wire protocol runs a multi-process deployment.
+//!
+//! ## Wire protocol
+//!
+//! Every message is one length-prefixed frame, encoded with the existing
+//! [`Codec`] discipline:
+//!
+//! ```text
+//! frame := tag:u8  len:u32(LE)  payload[len]
+//! ```
+//!
+//! * `HELLO`  — mesh handshake; payload is the sender's rank (`u32`).
+//! * `DATA`   — one exchange buffer, exactly as the engine posted it.
+//! * `SKIP`   — "nothing for you this round"; emitted by [`Tcp::sync`] so
+//!   every receiver sees exactly one frame per peer per round and knows
+//!   the round is complete without a barrier.
+//! * `REDUCE` — a worker's reduction contribution, gathered by worker 0.
+//! * `RESULT` — the combined reduction, broadcast by worker 0.
+//!
+//! ## Design notes
+//!
+//! * **Determinism without select.** All workers drive the transport in
+//!   lock-step (the engine's masks are global decisions), so each socket
+//!   carries a deterministic frame sequence and a receiver can simply
+//!   read its peers in ascending rank order — no polling, no reordering.
+//!   `take_all_into` therefore yields buffers in sender order, exactly
+//!   like the mailbox's sorted drain.
+//! * **Zero-copy staging survives.** `post` writes the pooled buffer
+//!   straight to the socket and parks the `Vec` on a per-worker return
+//!   stack; `reclaim_into` hands it back to the engine's
+//!   [`BufferPool`] next round, so pool hit/miss traffic matches the
+//!   in-process backend byte for byte. Receive buffers cycle through a
+//!   private per-worker freelist refilled by `recycle`.
+//! * **Reductions are a gather/broadcast round on worker 0** (the paper's
+//!   master-less reductions need shared memory): workers send `REDUCE` to
+//!   rank 0, rank 0 combines and broadcasts `RESULT`. One round-trip per
+//!   reduction, counted in [`TransportStats::round_trips`].
+//! * **Nothing blocks forever.** Every socket operation polls with a
+//!   short kernel timeout against an explicit deadline and fails with a
+//!   typed [`TransportError`] when it expires; a late peer within the
+//!   connect deadline is tolerated, an absent one is an error, not a
+//!   hang.
+
+use crate::codec::{Codec, Reader};
+use crate::metrics::TransportStats;
+use crate::pool::BufferPool;
+use crate::transport::{ExchangeTransport, TransportError};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Frame tag: mesh handshake (payload = sender rank as `u32`).
+pub const TAG_HELLO: u8 = b'H';
+/// Frame tag: one posted exchange buffer.
+pub const TAG_DATA: u8 = b'D';
+/// Frame tag: empty round marker (no payload).
+pub const TAG_SKIP: u8 = b'S';
+/// Frame tag: reduction contribution (worker → rank 0).
+pub const TAG_REDUCE: u8 = b'R';
+/// Frame tag: combined reduction result (rank 0 → worker).
+pub const TAG_RESULT: u8 = b'r';
+
+/// Reduction op: lane-wise sum.
+const OP_SUM: u8 = 0;
+/// Reduction op: lane 0 OR, lane 1 sum (the fused round epilogue).
+const OP_FUSED: u8 = 1;
+
+/// Kernel-level poll granularity for blocking socket calls. Deadlines are
+/// enforced on top of this, so no operation can hang.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Minimum capacity `recycle` always keeps on a receive buffer, so the
+/// watermark trim never churns small steady-state buffers.
+const READ_RETAIN_MIN: usize = 4096;
+
+/// Upper bound on a sane frame payload; anything larger is treated as a
+/// protocol violation instead of an attempted allocation.
+const MAX_FRAME: usize = 1 << 30;
+
+/// Frame header size on the wire: tag byte + `u32` length prefix.
+pub const FRAME_HEADER: u64 = 5;
+
+/// Tuning knobs of the TCP transport.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpOptions {
+    /// How long mesh setup may wait for peers to appear (covers workers
+    /// that start late).
+    pub connect_timeout: Duration,
+    /// Deadline for any single exchange/reduction operation once the mesh
+    /// is up.
+    pub io_timeout: Duration,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            connect_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Prepare a socket for transport use: disable Nagle and install the
+/// short kernel poll timeouts that [`read_frame_into`] / [`write_frame`]
+/// rely on for deadline enforcement.
+pub fn configure_stream(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_write_timeout(Some(POLL))?;
+    Ok(())
+}
+
+fn io_err(peer: usize, during: &'static str, e: std::io::Error) -> TransportError {
+    TransportError::Io {
+        peer,
+        kind: e.kind(),
+        during,
+    }
+}
+
+fn is_poll_expiry(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    ) || e.kind() == std::io::ErrorKind::Interrupted
+}
+
+/// `read_exact` with a deadline: tolerates arbitrarily split reads,
+/// returns [`TransportError::Truncated`] on EOF mid-buffer and
+/// [`TransportError::Timeout`] past the deadline — never hangs.
+fn read_exact_deadline(
+    mut stream: &TcpStream,
+    out: &mut [u8],
+    deadline: Instant,
+    peer: usize,
+    during: &'static str,
+) -> Result<(), TransportError> {
+    let mut got = 0;
+    while got < out.len() {
+        if Instant::now() >= deadline {
+            return Err(TransportError::Timeout { peer, during });
+        }
+        match stream.read(&mut out[got..]) {
+            Ok(0) => {
+                return Err(TransportError::Truncated {
+                    peer,
+                    expected: out.len(),
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if is_poll_expiry(&e) => continue,
+            Err(e) => return Err(io_err(peer, during, e)),
+        }
+    }
+    Ok(())
+}
+
+/// `write_all` with a deadline; never hangs.
+fn write_all_deadline(
+    mut stream: &TcpStream,
+    data: &[u8],
+    deadline: Instant,
+    peer: usize,
+    during: &'static str,
+) -> Result<(), TransportError> {
+    let mut sent = 0;
+    while sent < data.len() {
+        if Instant::now() >= deadline {
+            return Err(TransportError::Timeout { peer, during });
+        }
+        match stream.write(&data[sent..]) {
+            Ok(0) => {
+                return Err(TransportError::Disconnected { peer, during });
+            }
+            Ok(n) => sent += n,
+            Err(e) if is_poll_expiry(&e) => continue,
+            Err(e) => return Err(io_err(peer, during, e)),
+        }
+    }
+    Ok(())
+}
+
+/// Build a frame header, rejecting payloads the receiver would refuse —
+/// the error belongs at the *send* site, and a length past `u32` must
+/// never silently truncate the prefix and desync the wire.
+fn frame_header(
+    tag: u8,
+    payload: &[u8],
+    peer: usize,
+) -> Result<[u8; FRAME_HEADER as usize], TransportError> {
+    if payload.len() > MAX_FRAME {
+        return Err(TransportError::Protocol {
+            peer,
+            detail: format!(
+                "outgoing frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+                payload.len()
+            ),
+        });
+    }
+    let mut header = [0u8; FRAME_HEADER as usize];
+    header[0] = tag;
+    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    Ok(header)
+}
+
+/// Write one `tag + len + payload` frame. The stream must have been set
+/// up with [`configure_stream`]; the deadline bounds the whole write.
+pub fn write_frame(
+    stream: &TcpStream,
+    tag: u8,
+    payload: &[u8],
+    deadline: Instant,
+    peer: usize,
+) -> Result<(), TransportError> {
+    let header = frame_header(tag, payload, peer)?;
+    write_all_deadline(stream, &header, deadline, peer, "write frame header")?;
+    write_all_deadline(stream, payload, deadline, peer, "write frame payload")
+}
+
+/// Read one frame into `payload` (cleared and resized), returning the
+/// tag. Handles short and split reads; a peer that closes mid-frame
+/// yields [`TransportError::Truncated`] / `Disconnected`, a deadline
+/// expiry yields [`TransportError::Timeout`] — this call cannot hang.
+pub fn read_frame_into(
+    stream: &TcpStream,
+    payload: &mut Vec<u8>,
+    deadline: Instant,
+    peer: usize,
+) -> Result<u8, TransportError> {
+    let mut header = [0u8; FRAME_HEADER as usize];
+    read_exact_deadline(stream, &mut header, deadline, peer, "read frame header").map_err(|e| {
+        // EOF on a frame boundary is a disconnect, not a truncation.
+        match e {
+            TransportError::Truncated { peer, got: 0, .. } => TransportError::Disconnected {
+                peer,
+                during: "read frame header",
+            },
+            other => other,
+        }
+    })?;
+    let tag = header[0];
+    let len = u32::from_le_bytes(header[1..5].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(TransportError::Protocol {
+            peer,
+            detail: format!("frame length {len} exceeds the {MAX_FRAME}-byte limit"),
+        });
+    }
+    payload.clear();
+    payload.resize(len, 0);
+    read_exact_deadline(stream, payload, deadline, peer, "read frame payload")?;
+    Ok(tag)
+}
+
+/// An incoming frame caught mid-flight by a drain-on-stall pass. The
+/// drain never blocks on a frame's remainder (its sender may itself be
+/// stalled draining); whatever is missing is picked up by the next drain
+/// pass or finished by [`next_frame`] once this worker's writes are done.
+#[derive(Debug, Default)]
+struct PartialRead {
+    header: [u8; FRAME_HEADER as usize],
+    header_got: usize,
+    buf: Vec<u8>,
+    payload_got: usize,
+}
+
+impl PartialRead {
+    fn tag(&self) -> u8 {
+        self.header[0]
+    }
+
+    /// Validate the completed header and size the payload buffer.
+    fn start_payload(
+        &mut self,
+        read_pool: &mut Vec<Vec<u8>>,
+        peer: usize,
+    ) -> Result<(), TransportError> {
+        let len = u32::from_le_bytes(self.header[1..5].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(TransportError::Protocol {
+                peer,
+                detail: format!("frame length {len} exceeds the {MAX_FRAME}-byte limit"),
+            });
+        }
+        self.buf = read_pool.pop().unwrap_or_default();
+        self.buf.clear();
+        self.buf.resize(len, 0);
+        self.payload_got = 0;
+        Ok(())
+    }
+}
+
+/// Consume everything currently available on `stream` without blocking,
+/// advancing (or creating) the peer's [`PartialRead`] and queueing every
+/// completed frame on `early`. Returns the bytes consumed.
+fn drain_available(
+    stream: &TcpStream,
+    pending: &mut Option<PartialRead>,
+    early: &mut VecDeque<(u8, Vec<u8>)>,
+    read_pool: &mut Vec<Vec<u8>>,
+    peer: usize,
+) -> Result<usize, TransportError> {
+    stream
+        .set_nonblocking(true)
+        .map_err(|e| io_err(peer, "drain set_nonblocking", e))?;
+    let result = drain_available_nonblocking(stream, pending, early, read_pool, peer);
+    stream
+        .set_nonblocking(false)
+        .map_err(|e| io_err(peer, "drain restore blocking", e))?;
+    result
+}
+
+fn drain_available_nonblocking(
+    mut stream: &TcpStream,
+    pending: &mut Option<PartialRead>,
+    early: &mut VecDeque<(u8, Vec<u8>)>,
+    read_pool: &mut Vec<Vec<u8>>,
+    peer: usize,
+) -> Result<usize, TransportError> {
+    let mut consumed = 0;
+    loop {
+        let pr = pending.get_or_insert_with(PartialRead::default);
+        let dst: &mut [u8] = if pr.header_got < pr.header.len() {
+            &mut pr.header[pr.header_got..]
+        } else {
+            &mut pr.buf[pr.payload_got..]
+        };
+        if dst.is_empty() {
+            // Zero-length payload frame completed on the header alone.
+            let pr = pending.take().unwrap();
+            early.push_back((pr.tag(), pr.buf));
+            continue;
+        }
+        match stream.read(dst) {
+            Ok(0) => {
+                return Err(TransportError::Disconnected {
+                    peer,
+                    during: "drain frame",
+                })
+            }
+            Ok(n) => {
+                consumed += n;
+                if pr.header_got < pr.header.len() {
+                    pr.header_got += n;
+                    if pr.header_got == pr.header.len() {
+                        pr.start_payload(read_pool, peer)?;
+                    }
+                } else {
+                    pr.payload_got += n;
+                }
+                if pr.header_got == pr.header.len() && pr.payload_got == pr.buf.len() {
+                    let pr = pending.take().unwrap();
+                    early.push_back((pr.tag(), pr.buf));
+                }
+            }
+            Err(e) if is_poll_expiry(&e) => return Ok(consumed),
+            Err(e) => return Err(io_err(peer, "drain frame", e)),
+        }
+    }
+}
+
+/// The next frame from `peer`: drained frames first, then the peer's
+/// in-flight partial (finished blocking — safe here, because `next_frame`
+/// is only called once this worker's own writes for the phase are
+/// complete, so the sender cannot be waiting on us), then the socket.
+fn next_frame(
+    link: &TcpStream,
+    pending: &mut Option<PartialRead>,
+    early: &mut VecDeque<(u8, Vec<u8>)>,
+    read_pool: &mut Vec<Vec<u8>>,
+    deadline: Instant,
+    peer: usize,
+) -> Result<(u8, Vec<u8>), TransportError> {
+    if let Some(frame) = early.pop_front() {
+        return Ok(frame);
+    }
+    if let Some(mut pr) = pending.take() {
+        if pr.header_got < pr.header.len() {
+            let at = pr.header_got;
+            read_exact_deadline(
+                link,
+                &mut pr.header[at..],
+                deadline,
+                peer,
+                "read frame header",
+            )?;
+            pr.header_got = pr.header.len();
+            pr.start_payload(read_pool, peer)?;
+        }
+        let at = pr.payload_got;
+        read_exact_deadline(
+            link,
+            &mut pr.buf[at..],
+            deadline,
+            peer,
+            "read frame payload",
+        )?;
+        return Ok((pr.tag(), pr.buf));
+    }
+    let mut buf = read_pool.pop().unwrap_or_default();
+    let tag = read_frame_into(link, &mut buf, deadline, peer)?;
+    Ok((tag, buf))
+}
+
+/// Write one frame to `links[to]`, draining available inbound bytes from
+/// every peer whenever the kernel send buffer stalls.
+///
+/// In an all-to-all bulk exchange every worker writes before it reads;
+/// with frames larger than the kernel's socket buffering, plain blocking
+/// writes would mutually stall until the io deadline. A stalled writer
+/// therefore consumes whatever its peers have managed to send —
+/// incrementally, via per-peer [`PartialRead`]s, never blocking on a
+/// frame remainder whose sender may itself be stalled — so every pipe
+/// keeps moving and the exchange always makes progress. The deadline
+/// still backstops a genuinely dead peer with a typed error.
+#[allow(clippy::too_many_arguments)]
+fn write_frame_draining(
+    links: &[Option<TcpStream>],
+    pending: &mut [Option<PartialRead>],
+    early: &mut [VecDeque<(u8, Vec<u8>)>],
+    read_pool: &mut Vec<Vec<u8>>,
+    worker: usize,
+    to: usize,
+    tag: u8,
+    payload: &[u8],
+    deadline: Instant,
+) -> Result<(), TransportError> {
+    let mut stream = links[to].as_ref().expect("mesh link missing");
+    let header = frame_header(tag, payload, to)?;
+    let total = header.len() + payload.len();
+    let mut sent = 0;
+    while sent < total {
+        if Instant::now() >= deadline {
+            return Err(TransportError::Timeout {
+                peer: to,
+                during: "write frame",
+            });
+        }
+        let chunk = if sent < header.len() {
+            &header[sent..]
+        } else {
+            &payload[sent - header.len()..]
+        };
+        match stream.write(chunk) {
+            Ok(0) => {
+                return Err(TransportError::Disconnected {
+                    peer: to,
+                    during: "write frame",
+                })
+            }
+            Ok(n) => sent += n,
+            Err(e) if is_poll_expiry(&e) => {
+                let mut drained = 0;
+                for (p, link) in links.iter().enumerate() {
+                    if p == worker {
+                        continue;
+                    }
+                    let Some(l) = link else { continue };
+                    drained += drain_available(l, &mut pending[p], &mut early[p], read_pool, p)?;
+                }
+                if drained == 0 {
+                    // Nothing moved anywhere: back off briefly instead of
+                    // spinning against a full pipe.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+            Err(e) => return Err(io_err(to, "write frame", e)),
+        }
+    }
+    Ok(())
+}
+
+/// Per-worker endpoint state. Each worker locks only its own endpoint, so
+/// the mutexes are uncontended; they exist to make the shared [`Tcp`]
+/// object `Sync`.
+#[derive(Debug, Default)]
+struct Endpoint {
+    /// Socket to each peer (`None` for self and until the mesh is up).
+    links: Vec<Option<TcpStream>>,
+    /// Buffer posted to self this round (loop-back skips the wire).
+    self_slot: Option<Vec<u8>>,
+    /// Peers already posted to this round (double-post guard + SKIP set).
+    posted: Vec<bool>,
+    /// Private freelist of receive buffers, refilled by `recycle`.
+    read_pool: Vec<Vec<u8>>,
+    /// Decaying high-water mark of received frame sizes: bounds how much
+    /// capacity `recycle` keeps on the receive freelist, so one giant
+    /// superstep cannot pin giant receive buffers for the transport's
+    /// lifetime (the receive-side sibling of `BufferPool::end_round`).
+    read_watermark: usize,
+    /// Per-peer frames read ahead of schedule by a drain-on-stall pass,
+    /// consumed (in arrival order) before the socket is touched again.
+    early: Vec<VecDeque<(u8, Vec<u8>)>>,
+    /// Per-peer frame fragments caught mid-flight by a drain pass.
+    pending: Vec<Option<PartialRead>>,
+    /// Posted buffers awaiting `reclaim_into` (their bytes are already on
+    /// the wire; the `Vec`s go home to the engine's pool).
+    send_returns: Vec<Vec<u8>>,
+    /// Scratch for reduction payload encoding.
+    scratch: Vec<u8>,
+    /// This worker's share of the wire counters.
+    stats: TransportStats,
+}
+
+/// The TCP exchange transport: a full mesh of loopback sockets between
+/// `workers` in-process workers. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct Tcp {
+    workers: usize,
+    opts: TcpOptions,
+    addrs: Vec<SocketAddr>,
+    /// Listener for each rank, taken by its worker during mesh setup.
+    listeners: Vec<Mutex<Option<TcpListener>>>,
+    endpoints: Vec<Mutex<Endpoint>>,
+}
+
+impl Tcp {
+    /// Bind a loopback mesh for `workers` workers with default options.
+    ///
+    /// Listeners are bound immediately (so peer addresses are known and
+    /// connections queue in the kernel even before a worker thread
+    /// starts); the sockets are connected lazily on each worker's first
+    /// transport operation.
+    pub fn loopback(workers: usize) -> Result<Self, TransportError> {
+        Tcp::loopback_with(workers, TcpOptions::default())
+    }
+
+    /// [`Tcp::loopback`] with explicit timeouts.
+    pub fn loopback_with(workers: usize, opts: TcpOptions) -> Result<Self, TransportError> {
+        assert!(workers > 0);
+        let mut addrs = Vec::with_capacity(workers);
+        let mut listeners = Vec::with_capacity(workers);
+        for rank in 0..workers {
+            let listener =
+                TcpListener::bind(("127.0.0.1", 0)).map_err(|e| TransportError::Connect {
+                    peer: rank,
+                    detail: format!("bind 127.0.0.1:0: {e}"),
+                })?;
+            addrs.push(listener.local_addr().map_err(|e| TransportError::Connect {
+                peer: rank,
+                detail: format!("local_addr: {e}"),
+            })?);
+            listeners.push(Mutex::new(Some(listener)));
+        }
+        let endpoints = (0..workers)
+            .map(|_| {
+                Mutex::new(Endpoint {
+                    links: (0..workers).map(|_| None).collect(),
+                    posted: vec![false; workers],
+                    early: (0..workers).map(|_| VecDeque::new()).collect(),
+                    pending: (0..workers).map(|_| None).collect(),
+                    ..Endpoint::default()
+                })
+            })
+            .collect();
+        Ok(Tcp {
+            workers,
+            opts,
+            addrs,
+            listeners,
+            endpoints,
+        })
+    }
+
+    /// The bound listener addresses, rank by rank.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Capacity currently parked on `worker`'s receive freelist —
+    /// observability for the watermark trim (see `Endpoint::read_watermark`).
+    pub fn receive_pool_bytes(&self, worker: usize) -> usize {
+        self.endpoints[worker]
+            .lock()
+            .read_pool
+            .iter()
+            .map(Vec::capacity)
+            .sum()
+    }
+
+    /// Establish worker `w`'s mesh links: connect to every lower rank,
+    /// accept from every higher rank (identified by their `HELLO`).
+    fn ensure_connected(&self, w: usize, ep: &mut Endpoint) -> Result<(), TransportError> {
+        if (0..self.workers).all(|p| p == w || ep.links[p].is_some()) {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.opts.connect_timeout;
+        for p in 0..w {
+            if ep.links[p].is_some() {
+                continue;
+            }
+            let stream = loop {
+                match TcpStream::connect(self.addrs[p]) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(TransportError::Connect {
+                                peer: p,
+                                detail: format!("connect {}: {e}", self.addrs[p]),
+                            });
+                        }
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            };
+            configure_stream(&stream).map_err(|e| io_err(p, "configure stream", e))?;
+            let mut hello = Vec::with_capacity(4);
+            (w as u32).encode(&mut hello);
+            write_frame(&stream, TAG_HELLO, &hello, deadline, p)?;
+            ep.stats.frames += 1;
+            ep.stats.wire_bytes += FRAME_HEADER + hello.len() as u64;
+            ep.links[p] = Some(stream);
+        }
+        let expect_higher = (w + 1..self.workers).any(|p| ep.links[p].is_none());
+        if expect_higher {
+            // Borrow the listener; it is only released (closed) once the
+            // mesh is complete, so a failed setup can be retried.
+            let mut slot = self.listeners[w].lock();
+            let listener = slot.as_ref().ok_or_else(|| TransportError::Connect {
+                peer: w,
+                detail: "listener already released but mesh incomplete".to_string(),
+            })?;
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| io_err(w, "listener set_nonblocking", e))?;
+            let mut scratch = Vec::new();
+            while (w + 1..self.workers).any(|p| ep.links[p].is_none()) {
+                if Instant::now() >= deadline {
+                    let missing = (w + 1..self.workers)
+                        .find(|&p| ep.links[p].is_none())
+                        .unwrap();
+                    return Err(TransportError::Timeout {
+                        peer: missing,
+                        during: "accept mesh connection",
+                    });
+                }
+                let stream = match listener.accept() {
+                    Ok((s, _)) => s,
+                    Err(e) if is_poll_expiry(&e) => {
+                        std::thread::sleep(Duration::from_millis(1));
+                        continue;
+                    }
+                    Err(e) => return Err(io_err(w, "accept", e)),
+                };
+                stream
+                    .set_nonblocking(false)
+                    .map_err(|e| io_err(w, "accepted set_nonblocking", e))?;
+                configure_stream(&stream).map_err(|e| io_err(w, "configure stream", e))?;
+                let tag = read_frame_into(&stream, &mut scratch, deadline, usize::MAX)?;
+                if tag != TAG_HELLO || scratch.len() != 4 {
+                    return Err(TransportError::Protocol {
+                        peer: usize::MAX,
+                        detail: format!(
+                            "expected HELLO, got tag {tag:#04x} ({} bytes)",
+                            scratch.len()
+                        ),
+                    });
+                }
+                let peer = u32::from_le_bytes(scratch[..4].try_into().unwrap()) as usize;
+                if peer <= w || peer >= self.workers || ep.links[peer].is_some() {
+                    return Err(TransportError::Protocol {
+                        peer,
+                        detail: "HELLO from an unexpected or duplicate rank".to_string(),
+                    });
+                }
+                ep.links[peer] = Some(stream);
+            }
+            // All higher ranks connected: the listener's job is done.
+            *slot = None;
+        }
+        Ok(())
+    }
+
+    /// Run `f` on worker `w`'s endpoint with the mesh guaranteed up.
+    fn with_endpoint<R>(
+        &self,
+        w: usize,
+        f: impl FnOnce(&mut Endpoint) -> Result<R, TransportError>,
+    ) -> Result<R, TransportError> {
+        let mut ep = self.endpoints[w].lock();
+        self.ensure_connected(w, &mut ep)?;
+        f(&mut ep)
+    }
+
+    fn io_deadline(&self) -> Instant {
+        Instant::now() + self.opts.io_timeout
+    }
+
+    /// Fallible [`ExchangeTransport::post`].
+    pub fn try_post(&self, from: usize, to: usize, data: Vec<u8>) -> Result<(), TransportError> {
+        let deadline = self.io_deadline();
+        self.with_endpoint(from, |ep| {
+            assert!(
+                !ep.posted[to],
+                "transport slot ({from},{to}) posted twice in one round"
+            );
+            ep.posted[to] = true;
+            if to == from {
+                ep.self_slot = Some(data);
+                return Ok(());
+            }
+            let Endpoint {
+                links,
+                pending,
+                early,
+                read_pool,
+                send_returns,
+                stats,
+                ..
+            } = ep;
+            write_frame_draining(
+                links, pending, early, read_pool, from, to, TAG_DATA, &data, deadline,
+            )?;
+            stats.frames += 1;
+            stats.wire_bytes += FRAME_HEADER + data.len() as u64;
+            send_returns.push(data);
+            Ok(())
+        })
+    }
+
+    /// Fallible [`ExchangeTransport::sync`]: emit `SKIP` markers to every
+    /// peer not posted to, completing the round on all receivers.
+    pub fn try_sync(&self, worker: usize) -> Result<(), TransportError> {
+        let deadline = self.io_deadline();
+        self.with_endpoint(worker, |ep| {
+            let Endpoint {
+                links,
+                pending,
+                early,
+                read_pool,
+                posted,
+                stats,
+                ..
+            } = ep;
+            for (p, &was_posted) in posted.iter().enumerate() {
+                if p == worker || was_posted {
+                    continue;
+                }
+                write_frame_draining(
+                    links,
+                    pending,
+                    early,
+                    read_pool,
+                    worker,
+                    p,
+                    TAG_SKIP,
+                    &[],
+                    deadline,
+                )?;
+                stats.frames += 1;
+                stats.wire_bytes += FRAME_HEADER;
+            }
+            posted.fill(false);
+            Ok(())
+        })
+    }
+
+    /// Fallible [`ExchangeTransport::take_all_into`]: exactly one frame
+    /// per peer per round, ascending rank order, self-delivery in rank
+    /// place.
+    pub fn try_take_all_into(
+        &self,
+        worker: usize,
+        out: &mut Vec<(usize, Vec<u8>)>,
+    ) -> Result<(), TransportError> {
+        let deadline = self.io_deadline();
+        out.clear();
+        self.with_endpoint(worker, |ep| {
+            let Endpoint {
+                links,
+                self_slot,
+                read_pool,
+                early,
+                pending,
+                read_watermark,
+                ..
+            } = ep;
+            let mut round_max = 0usize;
+            for (p, link) in links.iter().enumerate() {
+                if p == worker {
+                    if let Some(buf) = self_slot.take() {
+                        out.push((p, buf));
+                    }
+                    continue;
+                }
+                let stream = link.as_ref().expect("mesh link missing");
+                let (tag, buf) = next_frame(
+                    stream,
+                    &mut pending[p],
+                    &mut early[p],
+                    read_pool,
+                    deadline,
+                    p,
+                )?;
+                match tag {
+                    TAG_DATA => {
+                        round_max = round_max.max(buf.len());
+                        out.push((p, buf));
+                    }
+                    TAG_SKIP => read_pool.push(buf),
+                    other => {
+                        return Err(TransportError::Protocol {
+                            peer: p,
+                            detail: format!("expected DATA/SKIP, got tag {other:#04x}"),
+                        })
+                    }
+                }
+            }
+            // Decay toward the current round's largest frame: a one-off
+            // spike stops dominating within a few dozen rounds, while a
+            // sustained large working set holds the watermark up.
+            *read_watermark = round_max.max(*read_watermark - *read_watermark / 4);
+            Ok(())
+        })
+    }
+
+    /// Fallible generic reduction (gather on rank 0, broadcast back).
+    fn try_reduce_op(
+        &self,
+        worker: usize,
+        op: u8,
+        values: &[u64],
+    ) -> Result<Vec<u64>, TransportError> {
+        let deadline = self.io_deadline();
+        self.with_endpoint(worker, |ep| {
+            let lanes = values.len();
+            let Endpoint {
+                links,
+                pending,
+                early,
+                read_pool,
+                scratch,
+                stats,
+                ..
+            } = ep;
+            if worker == 0 {
+                let mut acc = values.to_vec();
+                for (p, link) in links.iter().enumerate().skip(1) {
+                    let stream = link.as_ref().expect("mesh link missing");
+                    let (tag, payload) = next_frame(
+                        stream,
+                        &mut pending[p],
+                        &mut early[p],
+                        read_pool,
+                        deadline,
+                        p,
+                    )?;
+                    if tag != TAG_REDUCE {
+                        return Err(TransportError::Protocol {
+                            peer: p,
+                            detail: format!("expected REDUCE, got tag {tag:#04x}"),
+                        });
+                    }
+                    let mut r = Reader::new(&payload);
+                    let peer_op: u8 = r.get();
+                    let peer_lanes: u32 = r.get();
+                    if peer_op != op || peer_lanes as usize != lanes {
+                        return Err(TransportError::Protocol {
+                            peer: p,
+                            detail: format!(
+                                "reduction shape mismatch: op {peer_op}/{op}, \
+                                 lanes {peer_lanes}/{lanes}"
+                            ),
+                        });
+                    }
+                    for (lane, slot) in acc.iter_mut().enumerate() {
+                        let v: u64 = r.get();
+                        match (op, lane) {
+                            (OP_FUSED, 0) => *slot |= v,
+                            _ => *slot += v,
+                        }
+                    }
+                    read_pool.push(payload);
+                }
+                scratch.clear();
+                for &v in &acc {
+                    v.encode(scratch);
+                }
+                for p in 1..links.len() {
+                    write_frame_draining(
+                        links, pending, early, read_pool, worker, p, TAG_RESULT, scratch, deadline,
+                    )?;
+                    stats.frames += 1;
+                    stats.wire_bytes += FRAME_HEADER + scratch.len() as u64;
+                }
+                stats.round_trips += 1;
+                Ok(acc)
+            } else {
+                scratch.clear();
+                op.encode(scratch);
+                (lanes as u32).encode(scratch);
+                for &v in values {
+                    v.encode(scratch);
+                }
+                write_frame_draining(
+                    links, pending, early, read_pool, worker, 0, TAG_REDUCE, scratch, deadline,
+                )?;
+                stats.frames += 1;
+                stats.wire_bytes += FRAME_HEADER + scratch.len() as u64;
+                let stream = links[0].as_ref().expect("mesh link missing");
+                let (tag, payload) = next_frame(
+                    stream,
+                    &mut pending[0],
+                    &mut early[0],
+                    read_pool,
+                    deadline,
+                    0,
+                )?;
+                if tag != TAG_RESULT {
+                    return Err(TransportError::Protocol {
+                        peer: 0,
+                        detail: format!("expected RESULT, got tag {tag:#04x}"),
+                    });
+                }
+                let mut r = Reader::new(&payload);
+                let result = (0..lanes).map(|_| r.get()).collect();
+                read_pool.push(payload);
+                Ok(result)
+            }
+        })
+    }
+
+    /// Fallible [`ExchangeTransport::reduce`].
+    pub fn try_reduce(&self, worker: usize, values: &[u64]) -> Result<Vec<u64>, TransportError> {
+        self.try_reduce_op(worker, OP_SUM, values)
+    }
+
+    /// Fallible [`ExchangeTransport::reduce_round`].
+    pub fn try_reduce_round(
+        &self,
+        worker: usize,
+        again: u64,
+        active: u64,
+    ) -> Result<(u64, u64), TransportError> {
+        let r = self.try_reduce_op(worker, OP_FUSED, &[again, active])?;
+        Ok((r[0], r[1]))
+    }
+}
+
+/// Panic message for the infallible trait surface: the engine treats a
+/// transport failure like any other worker panic (the run aborts), while
+/// the fault-injection tests use the fallible `try_*` methods directly.
+fn bail(e: TransportError) -> ! {
+    panic!("tcp transport: {e}")
+}
+
+impl ExchangeTransport for Tcp {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn post(&self, from: usize, to: usize, data: Vec<u8>) {
+        self.try_post(from, to, data).unwrap_or_else(|e| bail(e))
+    }
+
+    fn sync(&self, worker: usize) {
+        self.try_sync(worker).unwrap_or_else(|e| bail(e))
+    }
+
+    fn take_all_into(&self, worker: usize, out: &mut Vec<(usize, Vec<u8>)>) {
+        self.try_take_all_into(worker, out)
+            .unwrap_or_else(|e| bail(e))
+    }
+
+    fn recycle(&self, worker: usize, sender: usize, mut buf: Vec<u8>) {
+        // Receive buffers never leave the receiving worker; buffers the
+        // worker sent to itself rejoin the send-return path — with their
+        // length intact, so `BufferPool::put` charges them to the round
+        // footprint exactly like the in-process return stacks do.
+        let mut ep = self.endpoints[worker].lock();
+        if sender == worker {
+            ep.send_returns.push(buf);
+        } else {
+            buf.clear();
+            // Release capacity a one-off giant round would otherwise pin
+            // on the receive freelist forever (watermark-bounded, so a
+            // sustained large working set is left alone).
+            let cap_limit = (2 * ep.read_watermark).max(READ_RETAIN_MIN);
+            if buf.capacity() > cap_limit {
+                buf.shrink_to(cap_limit);
+            }
+            ep.read_pool.push(buf);
+        }
+    }
+
+    fn reclaim_into(&self, worker: usize, pool: &mut BufferPool) {
+        let mut ep = self.endpoints[worker].lock();
+        pool.put_all(ep.send_returns.drain(..));
+    }
+
+    fn reduce(&self, worker: usize, values: &[u64]) -> Vec<u64> {
+        self.try_reduce(worker, values).unwrap_or_else(|e| bail(e))
+    }
+
+    fn reduce_round(&self, worker: usize, again: u64, active: u64) -> (u64, u64) {
+        self.try_reduce_round(worker, again, active)
+            .unwrap_or_else(|e| bail(e))
+    }
+
+    fn stats(&self) -> TransportStats {
+        let mut total = TransportStats::default();
+        for ep in &self.endpoints {
+            total.merge(&ep.lock().stats);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// Full mesh exchange + fused reduction across real sockets.
+    #[test]
+    fn tcp_exchange_and_reduce_round() {
+        let t = Arc::new(Tcp::loopback(3).unwrap());
+        let mut handles = Vec::new();
+        for w in 0..3usize {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut received = Vec::new();
+                let mut seen = Vec::new();
+                for round in 0..5u8 {
+                    // Send to self and to (w+1) % 3 only; others get SKIP.
+                    t.post(w, w, vec![round, w as u8]);
+                    t.post(w, (w + 1) % 3, vec![round, w as u8, 7]);
+                    t.sync(w);
+                    t.take_all_into(w, &mut received);
+                    let mut senders = Vec::new();
+                    for (s, buf) in received.drain(..) {
+                        assert_eq!(buf[0], round);
+                        assert_eq!(buf[1], s as u8);
+                        senders.push(s);
+                        t.recycle(w, s, buf);
+                    }
+                    seen.push(senders);
+                    let (mask, active) = t.reduce_round(w, 1 << w, w as u64 + 1);
+                    assert_eq!(mask, 0b111);
+                    assert_eq!(active, 6);
+                }
+                seen
+            }));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            let seen = h.join().unwrap();
+            // Every round: one buffer from the predecessor, one from self,
+            // in ascending sender order.
+            let pred = (w + 2) % 3;
+            let mut expect = vec![pred, w];
+            expect.sort_unstable();
+            for senders in seen {
+                assert_eq!(senders, expect, "worker {w}");
+            }
+        }
+        let stats = t.stats();
+        assert!(stats.wire_bytes > 0);
+        assert_eq!(stats.round_trips, 5);
+    }
+
+    /// One giant round must not pin giant receive buffers on the
+    /// transport's freelist forever: the decaying watermark releases the
+    /// capacity once rounds shrink again.
+    #[test]
+    fn giant_round_receive_buffers_are_trimmed() {
+        let t = Arc::new(Tcp::loopback(2).unwrap());
+        let mut handles = Vec::new();
+        for w in 0..2usize {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut received = Vec::new();
+                for round in 0..40usize {
+                    let size = if round == 0 { 1 << 20 } else { 256 };
+                    t.post(w, 1 - w, vec![w as u8; size]);
+                    t.sync(w);
+                    t.take_all_into(w, &mut received);
+                    for (s, buf) in received.drain(..) {
+                        t.recycle(w, s, buf);
+                    }
+                    let _ = t.reduce(w, &[1]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for w in 0..2 {
+            let pooled = t.receive_pool_bytes(w);
+            assert!(
+                pooled <= 64 << 10,
+                "worker {w} still pins {pooled} bytes of receive capacity"
+            );
+        }
+    }
+
+    /// Posted buffers come home to the engine pool via reclaim, exactly
+    /// like the in-process return stacks.
+    #[test]
+    fn tcp_send_buffers_are_reclaimed() {
+        let t = Arc::new(Tcp::loopback(2).unwrap());
+        let mut handles = Vec::new();
+        for w in 0..2usize {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut pool = BufferPool::new();
+                let mut received = Vec::new();
+                for _ in 0..3 {
+                    t.reclaim_into(w, &mut pool);
+                    let mut buf = pool.get();
+                    buf.extend_from_slice(&[w as u8; 16]);
+                    t.post(w, 1 - w, buf);
+                    t.sync(w);
+                    t.take_all_into(w, &mut received);
+                    for (s, b) in received.drain(..) {
+                        t.recycle(w, s, b);
+                    }
+                    let _ = t.reduce(w, &[1]);
+                }
+                pool.stats()
+            }));
+        }
+        for h in handles {
+            let stats = h.join().unwrap();
+            // Round 1 allocates the send buffer; rounds 2-3 reuse it.
+            assert_eq!(stats.misses, 1);
+            assert_eq!(stats.hits, 2);
+        }
+    }
+}

@@ -13,11 +13,15 @@
 //!
 //! The engine runs the same per-worker phases under two drivers: a
 //! deterministic [`ExecMode::Sequential`] loop and a threaded
-//! [`ExecMode::Threads`] driver with one OS thread per worker (barrier +
-//! mailbox rendezvous). Channel activity and vertex activity are global
-//! decisions: per-channel `again()` flags are OR-reduced across workers and
-//! active-vertex counts are sum-reduced, so all workers leave the loops
-//! together.
+//! [`ExecMode::Threads`] driver with one OS thread per worker. The
+//! threaded driver is generic over an [`ExchangeTransport`] — the
+//! rendezvous surface (post/sync/take/recycle/reduce) behind which the
+//! backends live: the shared-memory [`InProcess`] hub (default) or the
+//! real-socket [`pc_bsp::tcp::Tcp`] mesh, selected by
+//! [`pc_bsp::TransportKind`] in the [`Config`]. Channel activity and
+//! vertex activity are global decisions: per-channel `again()` flags are
+//! OR-reduced across workers and active-vertex counts are sum-reduced, so
+//! all workers leave the loops together.
 //!
 //! The steady-state loop is allocation-free and synchronization-lean:
 //!
@@ -25,21 +29,24 @@
 //!   superstep costs O(active), not O(n/workers);
 //! * outgoing buffers are swapped against a per-worker
 //!   [`BufferPool`](pc_bsp::pool::BufferPool) and consumed receive buffers
-//!   cycle back to their sender (directly in sequential mode, via the
-//!   [`Hub`]'s return stacks in threaded mode);
+//!   cycle back to their sender (directly in sequential mode, through the
+//!   transport's return path in threaded mode), with a per-round
+//!   high-water trim releasing capacity a one-off giant superstep would
+//!   otherwise pin;
 //! * frame routing reuses per-channel [`FrameSpan`] tables instead of
 //!   rebuilding nested vectors every round;
-//! * a threaded round crosses the barrier exactly twice (mailbox sync +
-//!   the fused `again`/active-count reduction of [`Hub::reduce_round`]).
+//! * a threaded round synchronizes exactly twice (the post/take
+//!   rendezvous + the fused `again`/active-count reduction of
+//!   [`ExchangeTransport::reduce_round`]).
 
 use crate::channel::{ChannelSet, DeserializeCx, SerializeCx, VertexCtx, WorkerEnv};
 use crate::frontier::Frontier;
 use pc_bsp::buffer::{frame_spans, FrameSpan, OutBuffers};
-use pc_bsp::exchange::Hub;
 use pc_bsp::metrics::{ByteCounter, ChannelMetrics, RunStats};
 use pc_bsp::pool::{BufferPool, PoolStats};
 use pc_bsp::topology::Topology;
-use pc_bsp::{Config, ExecMode};
+use pc_bsp::transport::{ExchangeTransport, InProcess};
+use pc_bsp::{Config, ExecMode, Tcp, TransportKind};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -286,7 +293,14 @@ pub fn run<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> Output
     );
     match cfg.mode {
         ExecMode::Sequential => run_sequential(algo, topo, cfg),
-        ExecMode::Threads => run_threaded(algo, topo, cfg),
+        ExecMode::Threads => match cfg.transport {
+            TransportKind::InProcess => run_threaded(algo, topo, cfg, &InProcess::new(cfg.workers)),
+            TransportKind::Tcp => {
+                let tcp = Tcp::loopback(cfg.workers)
+                    .unwrap_or_else(|e| panic!("cannot bind tcp transport: {e}"));
+                run_threaded(algo, topo, cfg, &tcp)
+            }
+        },
     }
 }
 
@@ -345,6 +359,9 @@ fn run_sequential<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) ->
                     states[from].pool.put(buf);
                 }
             }
+            for s in &mut states {
+                s.pool.end_round();
+            }
             stats.rounds += 1;
             mask = again;
         }
@@ -359,20 +376,30 @@ fn run_sequential<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) ->
         );
     }
     stats.elapsed = start.elapsed();
+    stats.transport_name = "sequential";
     let parts = states.into_iter().map(|s| s.finish()).collect();
     let values = assemble(topo.n(), parts, &mut stats);
     Output { values, stats }
 }
 
-fn run_threaded<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> Output<A::Value> {
+/// The threaded driver, generic over the exchange backend. One OS thread
+/// per worker; the transport carries the buffer exchange and the global
+/// reductions. Everything a transport can observe — the post/sync/take/
+/// reduce call sequence — is identical across backends, which is what the
+/// conformance suite (`tests/transport_conformance.rs`) pins down.
+fn run_threaded<A: Algorithm, T: ExchangeTransport>(
+    algo: &A,
+    topo: &Arc<Topology>,
+    cfg: &Config,
+    hub: &T,
+) -> Output<A::Value> {
     let workers = cfg.workers;
-    let hub = Hub::new(workers, 2);
+    assert_eq!(hub.workers(), workers, "transport sized for wrong cluster");
     let start = Instant::now();
     let mut results: Vec<Option<WorkerPart<A::Value>>> = Vec::new();
     results.resize_with(workers, || None);
     let mut counters = (0u64, 0u64); // (supersteps, rounds) — identical on all workers
     std::thread::scope(|scope| {
-        let hub = &hub;
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             handles.push(scope.spawn(move || {
@@ -394,8 +421,8 @@ fn run_threaded<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> O
                         total_active = 0;
                     }
                     // All workers computed identical masks, so the round
-                    // loop stays in lock-step. Each iteration crosses the
-                    // barrier exactly twice: the post/take sync and the
+                    // loop stays in lock-step. Each iteration synchronizes
+                    // exactly twice: the post/take rendezvous and the
                     // fused again/active reduction.
                     while mask != 0 {
                         s.serialize_phase(mask);
@@ -405,14 +432,15 @@ fn run_threaded<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> O
                         s.drain(&mut drained);
                         let from = s.worker();
                         for (peer, buf) in drained.drain(..) {
-                            hub.mailbox().post(from, peer, buf);
+                            hub.post(from, peer, buf);
                         }
-                        hub.sync();
-                        hub.mailbox().take_all_into(w, &mut received);
+                        hub.sync(w);
+                        hub.take_all_into(w, &mut received);
                         let again = s.deserialize_phase(&received, mask);
                         for (sender, buf) in received.drain(..) {
-                            hub.recycle(sender, std::iter::once(buf));
+                            hub.recycle(w, sender, buf);
                         }
+                        s.pool.end_round();
                         let (gmask, active) = hub.reduce_round(w, again, s.pending_active());
                         rounds += 1;
                         mask = gmask;
@@ -441,6 +469,8 @@ fn run_threaded<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> O
         supersteps: counters.0,
         rounds: counters.1,
         barrier_crossings: hub.barrier_crossings(),
+        transport_name: hub.name(),
+        transport: hub.stats(),
         ..Default::default()
     };
     let parts = results
@@ -606,6 +636,33 @@ mod tests {
         assert_eq!(a.stats.rounds, b.stats.rounds);
         // Pool traffic is part of the determinism contract too.
         assert_eq!(a.stats.pool, b.stats.pool);
+    }
+
+    /// The TCP backend is a drop-in for the in-process hub: same values,
+    /// bytes, rounds — and even the same pool traffic, because posted
+    /// buffers come home through the transport's return path.
+    #[test]
+    fn tcp_transport_is_observationally_identical() {
+        let n = 120u32;
+        let topo = Arc::new(Topology::hashed(n as usize, 3));
+        let a = run(&RingSum { n }, &topo, &Config::with_workers(3));
+        let b = run(&RingSum { n }, &topo, &Config::tcp(3));
+        assert_eq!(a.values, b.values);
+        assert_eq!(a.stats.remote_bytes(), b.stats.remote_bytes());
+        assert_eq!(a.stats.total_bytes(), b.stats.total_bytes());
+        assert_eq!(a.stats.messages(), b.stats.messages());
+        assert_eq!(a.stats.supersteps, b.stats.supersteps);
+        assert_eq!(a.stats.rounds, b.stats.rounds);
+        assert_eq!(a.stats.pool, b.stats.pool);
+        assert_eq!(b.stats.transport_name, "tcp");
+        // Wire accounting differs by design: the hub counts every posted
+        // payload (loop-back included), tcp counts real socket traffic
+        // (headers, skip markers and reduction frames; self-delivery
+        // never touches the wire). Both must be live.
+        assert!(b.stats.transport.wire_bytes > 0);
+        assert!(b.stats.transport.frames > 0);
+        assert!(b.stats.transport.round_trips > 0);
+        assert!(a.stats.transport.frames > 0);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //!   --gen NAME        synthetic dataset: wikipedia|webuk|facebook|twitter|road|rmat24
 //!   --scale N         generator scale, vertices = 2^N        [default 13]
 //!   --workers N       simulated workers                      [default 4]
+//!   --transport NAME  exchange backend: in-process|tcp       [default in-process]
 //!   --variant NAME    basic|scatter|reqresp|both|prop|mirror [default: best]
 //!   --iters N         PageRank iterations                    [default 30]
 //!   --src N           SSSP/BFS source vertex                 [default 0]
@@ -17,7 +18,7 @@
 //!   --partition       place vertices with the LDG partitioner (vs random)
 //! ```
 
-use pc_bsp::{Config, Topology};
+use pc_bsp::{Config, Topology, TransportKind};
 use pc_graph::{io, partition, stats, Graph, WeightedGraph};
 use std::path::PathBuf;
 use std::process::exit;
@@ -30,6 +31,7 @@ struct Opts {
     gen: Option<String>,
     scale: u32,
     workers: usize,
+    transport: TransportKind,
     variant: String,
     iters: u64,
     src: u32,
@@ -42,7 +44,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pcgraph <pagerank|wcc|sv|scc|sssp|bfs|kcore|msf|stats> \
          [--input FILE | --gen NAME] [--scale N] [--workers N] \
-         [--variant NAME] [--iters N] [--src N] [--k N] [--directed] [--partition]"
+         [--transport in-process|tcp] [--variant NAME] [--iters N] \
+         [--src N] [--k N] [--directed] [--partition]"
     );
     exit(2)
 }
@@ -56,6 +59,7 @@ fn parse_args() -> Opts {
         gen: None,
         scale: 13,
         workers: 4,
+        transport: TransportKind::InProcess,
         variant: String::new(),
         iters: 30,
         src: 0,
@@ -70,6 +74,12 @@ fn parse_args() -> Opts {
             "--gen" => opts.gen = Some(next(&mut args)),
             "--scale" => opts.scale = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--workers" => opts.workers = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--transport" => {
+                opts.transport = next(&mut args).parse().unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })
+            }
             "--variant" => opts.variant = next(&mut args),
             "--iters" => opts.iters = next(&mut args).parse().unwrap_or_else(|_| usage()),
             "--src" => opts.src = next(&mut args).parse().unwrap_or_else(|_| usage()),
@@ -169,11 +179,23 @@ fn report(stats: &pc_bsp::RunStats) {
             c.name, c.messages, c.bytes.remote
         );
     }
+    if stats.transport.frames > 0 {
+        eprintln!(
+            "  transport {:<10} {:>12} frames {:>14.3} MiB wire {:>8} round-trips",
+            stats.transport_name,
+            stats.transport.frames,
+            stats.wire_mib(),
+            stats.transport.round_trips,
+        );
+    }
 }
 
 fn main() {
     let opts = parse_args();
-    let cfg = Config::with_workers(opts.workers);
+    let cfg = Config {
+        transport: opts.transport,
+        ..Config::with_workers(opts.workers)
+    };
     match opts.algorithm.as_str() {
         "stats" => {
             let g = load_unweighted(&opts, true);

@@ -51,7 +51,7 @@ pub use pc_pregel as pregel;
 /// The items almost every program needs.
 pub mod prelude {
     pub use pc_algos;
-    pub use pc_bsp::{Config, ExecMode, RunStats, Topology};
+    pub use pc_bsp::{Config, ExecMode, RunStats, Topology, TransportKind};
     pub use pc_channels;
     pub use pc_graph::{self, Graph, VertexId, WeightedGraph};
     pub use pc_pregel;

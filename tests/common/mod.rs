@@ -1,0 +1,32 @@
+//! Shared assertions for the cross-backend determinism contract, used by
+//! both the property tests and the transport-conformance suite.
+#![allow(dead_code)] // each test binary uses the subset it needs
+
+use pc_bsp::{Config, RunStats};
+
+/// Two runs of the same program must agree on *everything observable* —
+/// values are checked by the caller; this covers byte counts, message
+/// counts, supersteps, rounds, and even pool traffic. This is the
+/// contract every execution mode and every exchange transport must
+/// satisfy (transport wire counters are excluded by design: each backend
+/// counts its own wire).
+pub fn assert_stats_agree(name: &str, a: &RunStats, b: &RunStats) {
+    assert_eq!(a.remote_bytes(), b.remote_bytes(), "{name}: remote bytes");
+    assert_eq!(a.total_bytes(), b.total_bytes(), "{name}: total bytes");
+    assert_eq!(a.messages(), b.messages(), "{name}: messages");
+    assert_eq!(a.supersteps, b.supersteps, "{name}: supersteps");
+    assert_eq!(a.rounds, b.rounds, "{name}: rounds");
+    assert_eq!(a.pool, b.pool, "{name}: pool hits/misses");
+}
+
+/// The three backend configurations every algorithm must agree across:
+/// the deterministic sequential driver (the reference), the threaded
+/// driver over the shared-memory hub, and the threaded driver over real
+/// loopback TCP sockets.
+pub fn conformance_configs(workers: usize) -> [(&'static str, Config); 3] {
+    [
+        ("sequential", Config::sequential(workers)),
+        ("in-process", Config::with_workers(workers)),
+        ("tcp", Config::tcp(workers)),
+    ]
+}

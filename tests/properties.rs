@@ -1,6 +1,14 @@
 //! Property-based tests (proptest): invariants of the channel system and
 //! the algorithms over randomly generated graphs, partitions and values.
+//!
+//! The cross-*transport* arm of these invariants (sequential vs
+//! in-process vs tcp) lives in `tests/transport_conformance.rs`; both
+//! share the everything-observable contract of
+//! [`common::assert_stats_agree`].
 
+mod common;
+
+use common::assert_stats_agree;
 use pc_bsp::codec::{Codec, Reader};
 use pc_bsp::{Config, Topology};
 use pc_graph::{reference, Graph};
@@ -143,17 +151,6 @@ proptest! {
         prop_assert_eq!(a.stats.supersteps, b.stats.supersteps);
         prop_assert_eq!(a.stats.rounds, b.stats.rounds);
     }
-}
-
-/// Sequential vs Threads must agree on *everything observable* — values,
-/// byte counts, message counts, supersteps, rounds, and even pool traffic.
-fn assert_stats_agree(name: &str, a: &pc_bsp::RunStats, b: &pc_bsp::RunStats) {
-    assert_eq!(a.remote_bytes(), b.remote_bytes(), "{name}: remote bytes");
-    assert_eq!(a.total_bytes(), b.total_bytes(), "{name}: total bytes");
-    assert_eq!(a.messages(), b.messages(), "{name}: messages");
-    assert_eq!(a.supersteps, b.supersteps, "{name}: supersteps");
-    assert_eq!(a.rounds, b.rounds, "{name}: rounds");
-    assert_eq!(a.pool, b.pool, "{name}: pool hits/misses");
 }
 
 proptest! {

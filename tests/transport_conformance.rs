@@ -1,0 +1,309 @@
+//! Backend-conformance harness: every exchange transport must be
+//! observationally identical.
+//!
+//! The channel abstraction separates what a channel computes from how
+//! messages move between workers; this suite pins the second half down.
+//! For every shipped algorithm, three backend configurations —
+//! sequential (the deterministic reference), threaded over the
+//! shared-memory hub, and threaded over real loopback TCP sockets — must
+//! produce identical values, message counts, byte counts, supersteps,
+//! rounds, pool traffic, and per-round wire order. A transport that
+//! reorders, drops, duplicates or re-times anything fails here first.
+
+mod common;
+
+use common::{assert_stats_agree, conformance_configs};
+use pc_bsp::{Config, RunStats, Topology};
+use pc_graph::gen;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const WORKERS: usize = 4;
+
+/// Run one algorithm under all three backend configurations and assert
+/// the values and every observable statistic agree with the sequential
+/// reference.
+fn conform<V: PartialEq + std::fmt::Debug>(
+    name: &str,
+    mut run: impl FnMut(&Config) -> (V, RunStats),
+) {
+    let configs = conformance_configs(WORKERS);
+    let (base_label, base_cfg) = &configs[0];
+    let (base_values, base_stats) = run(base_cfg);
+    for (label, cfg) in &configs[1..] {
+        let (values, stats) = run(cfg);
+        assert!(
+            values == base_values,
+            "{name}: values diverge between {base_label} and {label}"
+        );
+        assert_stats_agree(
+            &format!("{name} ({base_label} vs {label})"),
+            &base_stats,
+            &stats,
+        );
+    }
+}
+
+fn undirected() -> Arc<pc_graph::Graph> {
+    Arc::new(gen::rmat(8, 1400, gen::RmatParams::default(), 11, false).symmetrized())
+}
+
+fn directed() -> Arc<pc_graph::Graph> {
+    Arc::new(gen::rmat(8, 1800, gen::RmatParams::default(), 12, true))
+}
+
+#[test]
+fn pagerank_conforms() {
+    let g = directed();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    conform("pagerank_scatter", |cfg| {
+        let o = pc_algos::pagerank::channel_scatter(&g, &topo, cfg, 12);
+        (o.ranks, o.stats)
+    });
+}
+
+#[test]
+fn wcc_conforms() {
+    let g = undirected();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    conform("wcc_propagation", |cfg| {
+        let o = pc_algos::wcc::channel_propagation(&g, &topo, cfg);
+        (o.labels, o.stats)
+    });
+    conform("wcc_basic", |cfg| {
+        let o = pc_algos::wcc::channel_basic(&g, &topo, cfg);
+        (o.labels, o.stats)
+    });
+}
+
+#[test]
+fn sv_conforms() {
+    let g = undirected();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    conform("sv_both", |cfg| {
+        let o = pc_algos::sv::channel_both(&g, &topo, cfg);
+        (o.labels, o.stats)
+    });
+}
+
+#[test]
+fn scc_conforms() {
+    let g = directed();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    conform("scc_propagation", |cfg| {
+        let o = pc_algos::scc::channel_propagation(&g, &topo, cfg);
+        (o.labels, o.stats)
+    });
+}
+
+#[test]
+fn sssp_conforms() {
+    let g = Arc::new(gen::grid2d_weighted(14, 14, 9, 21));
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    conform("sssp_propagation", |cfg| {
+        let o = pc_algos::sssp::channel_propagation(&g, &topo, cfg, 0);
+        (o.dist, o.stats)
+    });
+}
+
+#[test]
+fn bfs_conforms() {
+    let g = undirected();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    conform("bfs", |cfg| {
+        let o = pc_algos::kernels::bfs(&g, &topo, cfg, 0);
+        (o.level, o.stats)
+    });
+}
+
+#[test]
+fn kcore_conforms() {
+    let g = undirected();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    conform("kcore", |cfg| {
+        let o = pc_algos::kernels::kcore(&g, &topo, cfg, 2);
+        (o.in_core, o.stats)
+    });
+}
+
+#[test]
+fn msf_conforms() {
+    let g = Arc::new(gen::rmat_weighted(
+        8,
+        1200,
+        gen::RmatParams::default(),
+        13,
+        false,
+        1000,
+    ));
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    conform("msf", |cfg| {
+        let o = pc_algos::msf::channel_basic(&g, &topo, cfg);
+        ((o.total_weight, o.edge_count), o.stats)
+    });
+}
+
+#[test]
+fn pointer_jumping_conforms() {
+    let parents = Arc::new(gen::random_forest_parents(180, 9, 17));
+    let topo = Arc::new(Topology::hashed(parents.len(), WORKERS));
+    conform("pj_reqresp", |cfg| {
+        let o = pc_algos::pointer_jumping::channel_reqresp(&parents, &topo, cfg);
+        (o.roots, o.stats)
+    });
+}
+
+// ---------------------------------------------------------------------
+// Wire-order probe: the order frames arrive in must be identical across
+// backends, not just the values they converge to.
+// ---------------------------------------------------------------------
+
+mod wire_order {
+    use super::*;
+    use pc_bsp::Codec;
+    use pc_channels::channel::{Channel, DeserializeCx, SerializeCx, VertexCtx, WorkerEnv};
+    use pc_channels::engine::{run, Algorithm};
+    use std::sync::Mutex;
+
+    /// One observed frame: `(receiving worker, superstep, sender,
+    /// sender-claimed rank, payload length)`.
+    type Seen = (usize, u64, usize, u32, usize);
+
+    /// A channel that broadcasts a tagged payload to every peer each
+    /// superstep and records exactly what it sees on deserialize, in
+    /// arrival order.
+    struct WireProbe {
+        env: WorkerEnv,
+        step: u64,
+        log: Arc<Mutex<Vec<Vec<Seen>>>>,
+        messages: u64,
+    }
+
+    impl Channel<u64> for WireProbe {
+        fn name(&self) -> &'static str {
+            "wire-probe"
+        }
+        fn before_superstep(&mut self, step: u64) {
+            self.step = step;
+        }
+        fn serialize(&mut self, cx: &mut SerializeCx<'_>) {
+            // Variable-length payloads so framing/short-read bugs shift
+            // byte counts, not just ordering.
+            for peer in 0..cx.workers() {
+                cx.frame(peer, |buf| {
+                    (self.env.worker as u32).encode(buf);
+                    self.step.encode(buf);
+                    for i in 0..(self.env.worker + peer) {
+                        (i as u8).encode(buf);
+                    }
+                });
+                self.messages += 1;
+            }
+        }
+        fn deserialize(&mut self, cx: &mut DeserializeCx<'_, u64>) {
+            let worker = self.env.worker;
+            let mut log = self.log.lock().unwrap();
+            for (from, mut r) in cx.frames() {
+                let claimed: u32 = r.get();
+                let step: u64 = r.get();
+                log[worker].push((worker, step, from, claimed, r.remaining()));
+            }
+        }
+        fn message_count(&self) -> u64 {
+            self.messages
+        }
+    }
+
+    struct WireProbeAlgo {
+        steps: u64,
+        log: Arc<Mutex<Vec<Vec<Seen>>>>,
+    }
+
+    impl Algorithm for WireProbeAlgo {
+        type Value = u64;
+        type Channels = (WireProbe,);
+        fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+            (WireProbe {
+                env: env.clone(),
+                step: 0,
+                log: Arc::clone(&self.log),
+                messages: 0,
+            },)
+        }
+        fn compute(&self, v: &mut VertexCtx<'_>, _value: &mut u64, _ch: &mut Self::Channels) {
+            if v.step() >= self.steps {
+                v.vote_to_halt();
+            }
+        }
+    }
+
+    /// Every backend delivers the same frames, from the same senders, in
+    /// the same per-worker order, with the same payload bytes.
+    #[test]
+    fn wire_order_is_identical_across_backends() {
+        let topo = Arc::new(Topology::hashed(64, WORKERS));
+        let mut reference: Option<Vec<Vec<Seen>>> = None;
+        for (label, cfg) in conformance_configs(WORKERS) {
+            let log = Arc::new(Mutex::new(vec![Vec::new(); WORKERS]));
+            let algo = WireProbeAlgo {
+                steps: 6,
+                log: Arc::clone(&log),
+            };
+            let out = run(&algo, &topo, &cfg);
+            assert_eq!(out.stats.supersteps, 6);
+            drop(algo); // release the algorithm's clone of the log
+            let seen = Arc::try_unwrap(log).unwrap().into_inner().unwrap();
+            for (w, entries) in seen.iter().enumerate() {
+                // Sanity inside one run: frames arrive in ascending
+                // sender order each superstep and claim their sender.
+                assert!(!entries.is_empty(), "{label}: worker {w} saw nothing");
+                for e in entries {
+                    assert_eq!(e.2 as u32, e.3, "{label}: sender id vs claimed");
+                }
+            }
+            match &reference {
+                None => reference = Some(seen),
+                Some(expect) => {
+                    assert_eq!(
+                        expect, &seen,
+                        "{label}: wire order diverges from the sequential reference"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property extension of the PR 1 cross-mode tests: random graphs, all
+// three backends, the same everything-observable contract.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// WCC and S-V agree across sequential / in-process / tcp on random
+    /// graphs — the property-test arm of the conformance contract.
+    #[test]
+    fn random_graphs_conform_across_transports(
+        n in 8usize..90,
+        m in 0usize..220,
+        seed in 0u64..500,
+        workers in 2usize..4,
+    ) {
+        let g = Arc::new(gen::rmat(7, m.max(n / 2), gen::RmatParams::default(), seed, false)
+            .symmetrized());
+        let topo = Arc::new(Topology::hashed(g.n(), workers));
+        let configs = conformance_configs(workers);
+        let base_wcc = pc_algos::wcc::channel_propagation(&g, &topo, &configs[0].1);
+        let base_sv = pc_algos::sv::channel_both(&g, &topo, &configs[0].1);
+        for (label, cfg) in &configs[1..] {
+            let wcc = pc_algos::wcc::channel_propagation(&g, &topo, cfg);
+            prop_assert_eq!(&wcc.labels, &base_wcc.labels, "wcc values on {}", label);
+            assert_stats_agree(&format!("wcc ({label})"), &base_wcc.stats, &wcc.stats);
+            let sv = pc_algos::sv::channel_both(&g, &topo, cfg);
+            prop_assert_eq!(&sv.labels, &base_sv.labels, "sv values on {}", label);
+            assert_stats_agree(&format!("sv ({label})"), &base_sv.stats, &sv.stats);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Fault injection for the TCP exchange transport.
+//!
+//! The wire will misbehave: reads and writes split at arbitrary byte
+//! boundaries, peers show up late, peers vanish mid-frame. The contract
+//! (ISSUE 2): every round either completes *identically* to the
+//! in-process backend or fails with a typed [`TransportError`] — it
+//! never hangs. Every test here runs under a watchdog that kills the
+//! test run if a transport call blocks past its deadline.
+
+use pc_bsp::tcp::{self, configure_stream, read_frame_into, write_frame, Tcp, TcpOptions};
+use pc_bsp::transport::{ExchangeTransport, TransportError};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Run `f` on a helper thread and panic if it does not finish within
+/// `limit` — the "never hang" guarantee, enforced mechanically.
+fn with_watchdog<T: Send + 'static>(limit: Duration, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(limit) {
+        Ok(v) => {
+            handle.join().expect("watchdogged test panicked");
+            v
+        }
+        // The closure panicked (dropping the sender): propagate the real
+        // assertion failure rather than misreporting it as a hang.
+        Err(mpsc::RecvTimeoutError::Disconnected) => match handle.join() {
+            Err(panic) => std::panic::resume_unwind(panic),
+            Ok(_) => unreachable!("sender dropped without sending or panicking"),
+        },
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            panic!("watchdog: transport operation still blocked after {limit:?}")
+        }
+    }
+}
+
+/// A loopback socket pair with transport timeouts installed.
+fn socket_pair() -> (TcpStream, TcpStream) {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let a = TcpStream::connect(addr).unwrap();
+    let (b, _) = listener.accept().unwrap();
+    configure_stream(&a).unwrap();
+    configure_stream(&b).unwrap();
+    (a, b)
+}
+
+/// A frame written one byte at a time, with pauses, must reassemble
+/// exactly — short reads and split frames are normal TCP behavior, not
+/// faults.
+#[test]
+fn split_writes_reassemble_into_one_frame() {
+    with_watchdog(Duration::from_secs(20), || {
+        let (a, b) = socket_pair();
+        let payload: Vec<u8> = (0..97u8).collect();
+        let writer = std::thread::spawn(move || {
+            let mut wire = vec![tcp::TAG_DATA];
+            wire.extend_from_slice(&(97u32).to_le_bytes());
+            wire.extend_from_slice(&(0..97u8).collect::<Vec<u8>>());
+            for chunk in wire.chunks(1) {
+                (&a).write_all(chunk).unwrap();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            a // keep the socket open until the reader is done
+        });
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let tag = read_frame_into(&b, &mut got, deadline, 9).expect("split frame must decode");
+        assert_eq!(tag, tcp::TAG_DATA);
+        assert_eq!(got, payload);
+        drop(writer.join().unwrap());
+    });
+}
+
+/// A peer that dies mid-frame yields `Truncated` — with an accurate
+/// account of what was owed — not a hang and not garbage.
+#[test]
+fn peer_closing_mid_frame_is_truncation() {
+    with_watchdog(Duration::from_secs(20), || {
+        let (a, b) = socket_pair();
+        // Header promises 100 payload bytes; only 10 arrive.
+        let mut wire = vec![tcp::TAG_DATA];
+        wire.extend_from_slice(&(100u32).to_le_bytes());
+        wire.extend_from_slice(&[7u8; 10]);
+        (&a).write_all(&wire).unwrap();
+        drop(a); // EOF mid-payload
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        match read_frame_into(&b, &mut got, deadline, 3) {
+            Err(TransportError::Truncated {
+                peer,
+                expected,
+                got,
+            }) => {
+                assert_eq!(peer, 3);
+                assert_eq!(expected, 100);
+                assert_eq!(got, 10);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    });
+}
+
+/// A peer that closes on a frame boundary is a `Disconnected`, which is
+/// a different failure than a truncation (the protocol position is
+/// clean).
+#[test]
+fn peer_closing_between_frames_is_disconnect() {
+    with_watchdog(Duration::from_secs(20), || {
+        let (a, b) = socket_pair();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        write_frame(&a, tcp::TAG_SKIP, &[], deadline, 0).unwrap();
+        drop(a);
+        let mut got = Vec::new();
+        let tag = read_frame_into(&b, &mut got, deadline, 5).unwrap();
+        assert_eq!(tag, tcp::TAG_SKIP);
+        match read_frame_into(&b, &mut got, deadline, 5) {
+            Err(TransportError::Disconnected { peer, .. }) => assert_eq!(peer, 5),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    });
+}
+
+/// A reader whose peer sends nothing times out with a typed error at its
+/// deadline instead of blocking forever.
+#[test]
+fn silent_peer_times_out() {
+    with_watchdog(Duration::from_secs(20), || {
+        let (_a, b) = socket_pair();
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_millis(300);
+        let started = Instant::now();
+        match read_frame_into(&b, &mut got, deadline, 1) {
+            Err(TransportError::Timeout { peer, .. }) => assert_eq!(peer, 1),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timeout honored promptly"
+        );
+    });
+}
+
+/// A worker that starts late (within the connect deadline) joins the
+/// mesh and the round completes with the same result as an on-time run.
+#[test]
+fn late_peer_completes_round_identically() {
+    let exchange = |delay: Duration| {
+        with_watchdog(Duration::from_secs(30), move || {
+            let t = std::sync::Arc::new(
+                Tcp::loopback_with(
+                    2,
+                    TcpOptions {
+                        connect_timeout: Duration::from_secs(10),
+                        io_timeout: Duration::from_secs(10),
+                    },
+                )
+                .unwrap(),
+            );
+            let mut handles = Vec::new();
+            for w in 0..2usize {
+                let t = std::sync::Arc::clone(&t);
+                handles.push(std::thread::spawn(move || {
+                    if w == 1 {
+                        std::thread::sleep(delay); // the late worker
+                    }
+                    let mut received = Vec::new();
+                    let mut seen = Vec::new();
+                    for round in 0..3u8 {
+                        t.post(w, 1 - w, vec![round, w as u8]);
+                        t.sync(w);
+                        t.take_all_into(w, &mut received);
+                        for (s, buf) in received.drain(..) {
+                            seen.push((s, buf.clone()));
+                            t.recycle(w, s, buf);
+                        }
+                        let (mask, active) = t.reduce_round(w, u64::from(round), 1);
+                        seen.push((usize::MAX, vec![mask as u8, active as u8]));
+                    }
+                    seen
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        })
+    };
+    let on_time = exchange(Duration::ZERO);
+    let late = exchange(Duration::from_millis(400));
+    assert_eq!(on_time, late, "a late (but present) peer changes nothing");
+}
+
+/// A worker that never shows up is a typed connect/accept failure on
+/// everyone waiting for it — not a deadlock.
+#[test]
+fn absent_peer_is_a_typed_error() {
+    with_watchdog(Duration::from_secs(20), || {
+        let t = Tcp::loopback_with(
+            2,
+            TcpOptions {
+                connect_timeout: Duration::from_millis(300),
+                io_timeout: Duration::from_millis(300),
+            },
+        )
+        .unwrap();
+        // Worker 0 must accept worker 1's connection; worker 1 never
+        // runs. The first operation fails at the connect deadline.
+        match t.try_post(0, 1, vec![1, 2, 3]) {
+            Err(TransportError::Timeout { peer, during }) => {
+                assert_eq!(peer, 1);
+                assert!(during.contains("accept"), "failed during {during}");
+            }
+            other => panic!("expected a connect timeout, got {other:?}"),
+        }
+    });
+}
+
+/// Frames far larger than the kernel's socket buffering: in an
+/// all-to-all exchange every worker writes before it reads, so without
+/// the transport's drain-on-stall path these writes would mutually block
+/// until the io deadline. The round must complete, with every byte
+/// intact.
+#[test]
+fn giant_frames_do_not_deadlock() {
+    with_watchdog(Duration::from_secs(90), || {
+        const WORKERS: usize = 3;
+        const LEN: usize = 8 << 20; // 8 MiB per peer, ~16 MiB in flight per pipe pair
+        let t = std::sync::Arc::new(Tcp::loopback(WORKERS).unwrap());
+        let mut handles = Vec::new();
+        for w in 0..WORKERS {
+            let t = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut received = Vec::new();
+                for round in 0..2u8 {
+                    for peer in 0..WORKERS {
+                        let mut buf = vec![w as u8 ^ round; LEN];
+                        buf[0] = w as u8; // sender fingerprint
+                        t.post(w, peer, buf);
+                    }
+                    t.sync(w);
+                    t.take_all_into(w, &mut received);
+                    assert_eq!(received.len(), WORKERS);
+                    for (s, buf) in received.drain(..) {
+                        assert_eq!(buf.len(), LEN);
+                        assert_eq!(buf[0], s as u8);
+                        assert!(buf[1..].iter().all(|&b| b == s as u8 ^ round));
+                        t.recycle(w, s, buf);
+                    }
+                    let (mask, active) = t.reduce_round(w, 1 << w, 1);
+                    assert_eq!(mask, 0b111);
+                    assert_eq!(active, WORKERS as u64);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
+/// Garbage where a frame tag should be is a protocol violation, not an
+/// attempted gigabyte allocation or a hang.
+#[test]
+fn oversized_frame_length_is_rejected() {
+    with_watchdog(Duration::from_secs(20), || {
+        let (a, b) = socket_pair();
+        let mut wire = vec![tcp::TAG_DATA];
+        wire.extend_from_slice(&u32::MAX.to_le_bytes()); // 4 GiB claim
+        (&a).write_all(&wire).unwrap();
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        match read_frame_into(&b, &mut got, deadline, 2) {
+            Err(TransportError::Protocol { peer, detail }) => {
+                assert_eq!(peer, 2);
+                assert!(detail.contains("exceeds"), "{detail}");
+            }
+            other => panic!("expected Protocol, got {other:?}"),
+        }
+    });
+}
