@@ -32,6 +32,15 @@ impl Default for Level {
     }
 }
 
+impl pc_bsp::Codec for Level {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        pc_bsp::Codec::encode(&self.0, buf)
+    }
+    fn decode(r: &mut pc_bsp::Reader<'_>) -> Self {
+        Level(r.get())
+    }
+}
+
 /// Breadth-first levels from `src`, over the asynchronous propagation
 /// channel with `f(_, d) = d + 1` — the full Fig. 7 model with a unit
 /// edge function. Converges in two supersteps.
@@ -43,6 +52,7 @@ struct Bfs {
 impl Algorithm for Bfs {
     type Value = Level;
     type Channels = (Propagation<u32, ()>,);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (Propagation::weighted(
@@ -99,6 +109,19 @@ struct CoreState {
     degree: u32,
 }
 
+impl pc_bsp::Codec for CoreState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.alive.encode(buf);
+        self.degree.encode(buf);
+    }
+    fn decode(r: &mut pc_bsp::Reader<'_>) -> Self {
+        CoreState {
+            alive: r.get(),
+            degree: r.get(),
+        }
+    }
+}
+
 /// k-core decomposition: iteratively peel vertices with alive-degree < k.
 /// Peeling notifications ride a sum-combined channel (each removed vertex
 /// sends `1` to every neighbor, combined per receiver).
@@ -110,6 +133,7 @@ struct KCore {
 impl Algorithm for KCore {
     type Value = CoreState;
     type Channels = (CombinedMessage<u32>,);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (CombinedMessage::new(

@@ -90,6 +90,59 @@ struct MsfValue {
     recorded_n: u32,
 }
 
+impl Codec for Mode {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            Mode::Bcast => 0,
+            Mode::Gather => 1,
+            Mode::Pick => 2,
+            Mode::Reply => 3,
+            Mode::Resolve => 4,
+            Mode::JumpAsk => 5,
+            Mode::JumpReply => 6,
+        };
+        tag.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Self {
+        match r.get::<u8>() {
+            0 => Mode::Bcast,
+            1 => Mode::Gather,
+            2 => Mode::Pick,
+            3 => Mode::Reply,
+            4 => Mode::Resolve,
+            5 => Mode::JumpAsk,
+            6 => Mode::JumpReply,
+            other => panic!("invalid Mode tag {other}"),
+        }
+    }
+    const FIXED_SIZE: Option<usize> = Some(1);
+}
+
+impl Codec for MsfValue {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.comp.encode(buf);
+        self.mode.encode(buf);
+        self.pending_parent.encode(buf);
+        self.pending_w.encode(buf);
+        self.pending.encode(buf);
+        self.jump_first.encode(buf);
+        self.recorded_w.encode(buf);
+        self.recorded_n.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Self {
+        MsfValue {
+            comp: r.get(),
+            mode: r.get(),
+            pending_parent: r.get(),
+            pending_w: r.get(),
+            pending: r.get(),
+            jump_first: r.get(),
+            recorded_w: r.get(),
+            recorded_n: r.get(),
+        }
+    }
+}
+
 /// Channel-based Borůvka: four purpose-specific channels.
 struct MsfChannel {
     g: Arc<WeightedGraph>,
@@ -106,6 +159,7 @@ type MsfChannels = (
 impl Algorithm for MsfChannel {
     type Value = MsfValue;
     type Channels = MsfChannels;
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (

@@ -33,6 +33,7 @@ struct PrBasic {
 impl Algorithm for PrBasic {
     type Value = f64;
     type Channels = (CombinedMessage<f64>, Aggregator<f64>);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (
@@ -75,6 +76,7 @@ struct PrScatter {
 impl Algorithm for PrScatter {
     type Value = f64;
     type Channels = (ScatterCombine<f64>, Aggregator<f64>);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (
@@ -119,6 +121,7 @@ struct PrMirror {
 impl Algorithm for PrMirror {
     type Value = f64;
     type Channels = (Mirror<f64>, Aggregator<f64>);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (

@@ -42,6 +42,7 @@ struct PjBasic {
 impl Algorithm for PjBasic {
     type Value = VertexId; // current pointer D
     type Channels = (DirectMessage<u32>, DirectMessage<u32>, Aggregator<bool>);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (
@@ -91,6 +92,7 @@ struct PjReqResp {
 impl Algorithm for PjReqResp {
     type Value = VertexId;
     type Channels = (RequestRespond<VertexId, u32>, Aggregator<bool>);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (

@@ -47,6 +47,23 @@ struct SccValue {
     b: VertexId,
 }
 
+impl Codec for SccValue {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.label.encode(buf);
+        self.removed.encode(buf);
+        self.f.encode(buf);
+        self.b.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Self {
+        SccValue {
+            label: r.get(),
+            removed: r.get(),
+            f: r.get(),
+            b: r.get(),
+        }
+    }
+}
+
 /// Channel-basic Min-Label: two combined-message min floods + OR
 /// aggregator for flood stability.
 struct SccBasic {
@@ -57,6 +74,7 @@ struct SccBasic {
 impl Algorithm for SccBasic {
     type Value = SccValue;
     type Channels = (CombinedMessage<u32>, CombinedMessage<u32>, Aggregator<bool>);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (
@@ -170,6 +188,7 @@ struct SccProp {
 impl Algorithm for SccProp {
     type Value = SccValue;
     type Channels = (Propagation<MaskedLabel>, Propagation<MaskedLabel>);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (
@@ -304,11 +323,22 @@ fn labels_of(values: Vec<SccValue>) -> Vec<VertexId> {
 
 /// Channel-basic Min-Label SCC.
 pub fn channel_basic(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> SccOutput {
-    let rev = Arc::new(g.reverse());
+    channel_basic_with_rev(g, &Arc::new(g.reverse()), topo, cfg)
+}
+
+/// [`channel_basic`] with a caller-supplied reverse graph — multi-process
+/// runs ship each rank a row slice of the transpose, which a slice cannot
+/// derive locally (the in-edges of a local vertex live on other ranks).
+pub fn channel_basic_with_rev(
+    g: &Arc<Graph>,
+    rev: &Arc<Graph>,
+    topo: &Arc<Topology>,
+    cfg: &Config,
+) -> SccOutput {
     let out = run(
         &SccBasic {
             g: Arc::clone(g),
-            rev,
+            rev: Arc::clone(rev),
         },
         topo,
         cfg,
@@ -321,11 +351,21 @@ pub fn channel_basic(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> SccO
 
 /// Channel-propagation Min-Label SCC (Table VII program 3).
 pub fn channel_propagation(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> SccOutput {
-    let rev = Arc::new(g.reverse());
+    channel_propagation_with_rev(g, &Arc::new(g.reverse()), topo, cfg)
+}
+
+/// [`channel_propagation`] with a caller-supplied reverse graph (see
+/// [`channel_basic_with_rev`]).
+pub fn channel_propagation_with_rev(
+    g: &Arc<Graph>,
+    rev: &Arc<Graph>,
+    topo: &Arc<Topology>,
+    cfg: &Config,
+) -> SccOutput {
     let out = run(
         &SccProp {
             g: Arc::clone(g),
-            rev,
+            rev: Arc::clone(rev),
         },
         topo,
         cfg,

@@ -46,9 +46,19 @@ impl Default for Dist {
     }
 }
 
+impl pc_bsp::Codec for Dist {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        pc_bsp::Codec::encode(&self.0, buf)
+    }
+    fn decode(r: &mut pc_bsp::Reader<'_>) -> Self {
+        Dist(r.get())
+    }
+}
+
 impl Algorithm for SsspBasic {
     type Value = Dist;
     type Channels = (CombinedMessage<u64>,);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (CombinedMessage::new(env, Combine::min_u64()),)
@@ -139,6 +149,7 @@ struct SsspProp {
 impl Algorithm for SsspProp {
     type Value = Dist;
     type Channels = (Propagation<u64, u32>,);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (Propagation::weighted(

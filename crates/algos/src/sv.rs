@@ -53,6 +53,21 @@ pub struct SvValue {
     changed: bool,
 }
 
+impl pc_bsp::Codec for SvValue {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.d.encode(buf);
+        self.gp.encode(buf);
+        self.changed.encode(buf);
+    }
+    fn decode(r: &mut pc_bsp::Reader<'_>) -> Self {
+        SvValue {
+            d: r.get(),
+            gp: r.get(),
+            changed: r.get(),
+        }
+    }
+}
+
 /// Round phase from the 1-based superstep number.
 fn phase(step: u64) -> u64 {
     (step - 1) % 4
@@ -207,6 +222,7 @@ impl<Q, B> Sv<Q, B> {
 impl<Q: GpQuery, B: NbrBcast> Algorithm for Sv<Q, B> {
     type Value = SvValue;
     type Channels = (Q::Ch, B::Ch, CombinedMessage<u32>, Aggregator<bool>);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (

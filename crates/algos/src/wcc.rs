@@ -39,6 +39,7 @@ struct WccBasic {
 impl Algorithm for WccBasic {
     type Value = VertexId;
     type Channels = (CombinedMessage<u32>,);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (CombinedMessage::new(env, Combine::min_u32()),)
@@ -74,6 +75,7 @@ struct WccProp {
 impl Algorithm for WccProp {
     type Value = VertexId;
     type Channels = (Propagation<u32>,);
+    pc_channels::dist_value_via_codec!();
 
     fn channels(&self, env: &WorkerEnv) -> Self::Channels {
         (Propagation::new(env, Combine::min_u32()),)

@@ -55,18 +55,37 @@ pub struct SpinBarrier {
     generation: CachePadded<AtomicU64>,
     sleepers: CachePadded<AtomicUsize>,
     waits: CachePadded<AtomicU64>,
+    /// Arrival-spin iterations burned across all waits — the measurement
+    /// behind the ROADMAP "adaptive spin budget" item.
+    spins: CachePadded<AtomicU64>,
     park: std::sync::Mutex<()>,
     unpark: Condvar,
 }
 
 impl SpinBarrier {
-    /// Barrier for `workers` threads.
+    /// Barrier for `workers` threads with the adaptive spin budget.
     pub fn new(workers: usize) -> Self {
+        SpinBarrier::with_budget(workers, None)
+    }
+
+    /// Barrier for `workers` threads with an explicit spin budget.
+    ///
+    /// `None` keeps the adaptive default (spin [`SPIN_LIMIT`] iterations
+    /// when the machine has more cores than workers, park immediately
+    /// otherwise); `Some(n)` forces a budget of `n` iterations regardless
+    /// of core count — `Some(0)` disables spinning entirely.
+    pub fn with_budget(workers: usize, budget: Option<u32>) -> Self {
         assert!(workers > 0);
-        let cores = std::thread::available_parallelism()
-            .map(|c| c.get())
-            .unwrap_or(1);
-        let spin_limit = if cores > workers { SPIN_LIMIT } else { 0 };
+        let spin_limit = budget.unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1);
+            if cores > workers {
+                SPIN_LIMIT
+            } else {
+                0
+            }
+        });
         SpinBarrier {
             workers,
             spin_limit,
@@ -74,6 +93,7 @@ impl SpinBarrier {
             generation: CachePadded::new(AtomicU64::new(0)),
             sleepers: CachePadded::new(AtomicUsize::new(0)),
             waits: CachePadded::new(AtomicU64::new(0)),
+            spins: CachePadded::new(AtomicU64::new(0)),
             park: std::sync::Mutex::new(()),
             unpark: Condvar::new(),
         }
@@ -119,6 +139,10 @@ impl SpinBarrier {
                 break;
             }
         }
+        // Charge only the spin-phase iterations (not yields/parks): this
+        // is the budget an adaptive policy would tune.
+        self.spins
+            .fetch_add(spins.min(self.spin_limit) as u64, Ordering::Relaxed);
     }
 
     /// Total `wait` calls across all workers (waits ÷ workers = barrier
@@ -126,6 +150,17 @@ impl SpinBarrier {
     /// [`crate::metrics::RunStats::barrier_crossings`].
     pub fn total_waits(&self) -> u64 {
         self.waits.load(Ordering::Relaxed)
+    }
+
+    /// Arrival-spin iterations burned across all waits — the hook behind
+    /// [`crate::metrics::RunStats::barrier_spins`].
+    pub fn total_spins(&self) -> u64 {
+        self.spins.load(Ordering::Relaxed)
+    }
+
+    /// The spin budget this barrier runs with (iterations before yielding).
+    pub fn spin_budget(&self) -> u32 {
+        self.spin_limit
     }
 }
 
@@ -251,9 +286,15 @@ pub struct Hub {
 impl Hub {
     /// Create a hub for `workers` workers with `lanes` reduction lanes.
     pub fn new(workers: usize, lanes: usize) -> Self {
+        Hub::with_budget(workers, lanes, None)
+    }
+
+    /// [`Hub::new`] with an explicit barrier spin budget (see
+    /// [`SpinBarrier::with_budget`]).
+    pub fn with_budget(workers: usize, lanes: usize, budget: Option<u32>) -> Self {
         Hub {
             workers,
-            barrier: SpinBarrier::new(workers),
+            barrier: SpinBarrier::with_budget(workers, budget),
             mailbox: Mailbox::new(workers),
             reduce: SharedReduce::new(workers, lanes),
             reductions: (0..workers)
@@ -278,6 +319,11 @@ impl Hub {
     /// Global barrier crossings so far (total waits ÷ workers).
     pub fn barrier_crossings(&self) -> u64 {
         self.barrier.total_waits() / self.workers as u64
+    }
+
+    /// Arrival-spin iterations burned at the barrier, summed over workers.
+    pub fn barrier_spins(&self) -> u64 {
+        self.barrier.total_spins()
     }
 
     /// The mailbox.
@@ -533,6 +579,42 @@ mod tests {
         let mut pool1 = BufferPool::new();
         hub.reclaim_into(1, &mut pool1);
         assert_eq!(pool1.available(), 0);
+    }
+
+    /// A zero budget disables spinning entirely: whatever the arrival
+    /// skew, no spin iterations are recorded.
+    #[test]
+    fn zero_spin_budget_never_spins() {
+        let b = Arc::new(SpinBarrier::with_budget(2, Some(0)));
+        assert_eq!(b.spin_budget(), 0);
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || {
+            for _ in 0..20 {
+                b2.wait();
+            }
+        });
+        for _ in 0..20 {
+            std::thread::sleep(Duration::from_micros(200));
+            b.wait();
+        }
+        h.join().unwrap();
+        assert_eq!(b.total_spins(), 0);
+    }
+
+    /// A forced budget spins even when the heuristic would park: a worker
+    /// that arrives well before its peer exhausts the whole budget.
+    #[test]
+    fn forced_spin_budget_is_exhausted_by_an_early_arriver() {
+        let b = Arc::new(SpinBarrier::with_budget(2, Some(96)));
+        assert_eq!(b.spin_budget(), 96);
+        let b2 = Arc::clone(&b);
+        // The early arriver spins its full 96 iterations (and then some
+        // yields) long before the 20ms sleeper shows up.
+        let h = std::thread::spawn(move || b2.wait());
+        std::thread::sleep(Duration::from_millis(20));
+        b.wait();
+        h.join().unwrap();
+        assert_eq!(b.total_spins(), 96, "early arriver burns the budget");
     }
 
     #[test]

@@ -85,6 +85,23 @@ impl std::str::FromStr for TransportKind {
     }
 }
 
+/// The distributed role of one process in a multi-process run: which rank
+/// it drives and the socket mesh connecting it to its peers.
+///
+/// When [`Config::dist`] carries one of these, the engine runs exactly one
+/// worker (`rank`) in the calling process over the shared [`Tcp`] mesh —
+/// the other ranks live in other OS processes (or, in tests, other
+/// threads sharing the same mesh object). Final values and statistics are
+/// gathered to rank 0 through the same transport.
+#[derive(Debug, Clone)]
+pub struct RankRole {
+    /// The worker this process drives, in `0..Config::workers`.
+    pub rank: usize,
+    /// The socket mesh connecting all ranks ([`Tcp::loopback`] for
+    /// simulated multi-process tests, [`Tcp::mesh`] for real processes).
+    pub transport: std::sync::Arc<Tcp>,
+}
+
 /// Run-wide configuration shared by both engines.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -97,6 +114,14 @@ pub struct Config {
     /// Safety cap on supersteps; engines abort (panic) past this to surface
     /// non-terminating programs in tests.
     pub max_supersteps: u64,
+    /// Multi-process role: when set, this process drives the single worker
+    /// `dist.rank` over `dist.transport` instead of spawning threads, and
+    /// `mode`/`transport` are ignored.
+    pub dist: Option<RankRole>,
+    /// Explicit [`exchange::SpinBarrier`] spin budget (iterations spent
+    /// spinning before yielding). `None` keeps the adaptive default: spin
+    /// when cores outnumber workers, park immediately otherwise.
+    pub spin_budget: Option<u32>,
 }
 
 impl Default for Config {
@@ -106,6 +131,8 @@ impl Default for Config {
             mode: ExecMode::Threads,
             transport: TransportKind::InProcess,
             max_supersteps: 1_000_000,
+            dist: None,
+            spin_budget: None,
         }
     }
 }
@@ -133,6 +160,18 @@ impl Config {
         Config {
             workers,
             transport: TransportKind::Tcp,
+            ..Config::default()
+        }
+    }
+
+    /// Config for one rank of a multi-process run: `workers` total ranks,
+    /// of which this process drives `rank` over `transport`.
+    pub fn rank(workers: usize, rank: usize, transport: std::sync::Arc<Tcp>) -> Self {
+        assert!(rank < workers, "rank {rank} out of range 0..{workers}");
+        Config {
+            workers,
+            transport: TransportKind::Tcp,
+            dist: Some(RankRole { rank, transport }),
             ..Config::default()
         }
     }

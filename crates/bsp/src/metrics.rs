@@ -89,6 +89,11 @@ pub struct RunStats {
     pub pool: PoolStats,
     /// Global barrier crossings (threaded mode; 0 in sequential mode).
     pub barrier_crossings: u64,
+    /// Arrival-spin iterations burned at the barrier, summed over workers
+    /// (threaded in-process mode; 0 elsewhere). Together with
+    /// `barrier_crossings` this measures how well the spin budget
+    /// ([`crate::Config::spin_budget`]) fits the workload's arrival skew.
+    pub barrier_spins: u64,
     /// Name of the exchange transport that carried the run
     /// (`"sequential"`, `"in-process"`, `"tcp"`).
     pub transport_name: &'static str,

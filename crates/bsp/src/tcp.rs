@@ -513,11 +513,25 @@ struct Endpoint {
     stats: TransportStats,
 }
 
-/// The TCP exchange transport: a full mesh of loopback sockets between
-/// `workers` in-process workers. See the module docs for the protocol.
+/// The TCP exchange transport: a full mesh of sockets between `workers`
+/// workers. See the module docs for the protocol.
+///
+/// Two deployment shapes share this type:
+///
+/// * [`Tcp::loopback`] — every worker lives in this process (one thread
+///   each) and the mesh runs over loopback sockets. This is the simulated
+///   cluster used by `Config::tcp`.
+/// * [`Tcp::mesh`] — this process owns exactly **one** rank of a
+///   multi-process deployment; the peer addresses come from an
+///   out-of-process rendezvous (`pc_dist::bootstrap`) and may live on
+///   other hosts. Only the local rank's endpoint may be driven.
 #[derive(Debug)]
 pub struct Tcp {
     workers: usize,
+    /// `Some(rank)` when this object is one rank of a multi-process mesh
+    /// (only that endpoint may be driven); `None` for the in-process
+    /// loopback mesh where every worker is local.
+    local: Option<usize>,
     opts: TcpOptions,
     addrs: Vec<SocketAddr>,
     /// Listener for each rank, taken by its worker during mesh setup.
@@ -553,7 +567,54 @@ impl Tcp {
             })?);
             listeners.push(Mutex::new(Some(listener)));
         }
-        let endpoints = (0..workers)
+        let endpoints = Tcp::fresh_endpoints(workers);
+        Ok(Tcp {
+            workers,
+            local: None,
+            opts,
+            addrs,
+            listeners,
+            endpoints,
+        })
+    }
+
+    /// Join a multi-process mesh as `rank`.
+    ///
+    /// `addrs` is the full peer table (one data-plane address per rank, as
+    /// exchanged by the bootstrap rendezvous) and `listener` is this
+    /// process's already-bound data listener — it must be the socket whose
+    /// address was published as `addrs[rank]`, so peers connecting to that
+    /// address reach it. The mesh links are established lazily on the
+    /// first transport operation, exactly like the loopback shape: connect
+    /// to every lower rank, accept (and `HELLO`-identify) every higher
+    /// one.
+    ///
+    /// Only endpoint `rank` may be driven through the returned object;
+    /// driving any other worker panics, because those ranks live in other
+    /// processes.
+    pub fn mesh(
+        rank: usize,
+        addrs: Vec<SocketAddr>,
+        listener: TcpListener,
+        opts: TcpOptions,
+    ) -> Result<Self, TransportError> {
+        let workers = addrs.len();
+        assert!(rank < workers, "rank {rank} out of range 0..{workers}");
+        let mut listeners: Vec<Mutex<Option<TcpListener>>> =
+            (0..workers).map(|_| Mutex::new(None)).collect();
+        *listeners[rank].get_mut() = Some(listener);
+        Ok(Tcp {
+            workers,
+            local: Some(rank),
+            opts,
+            addrs,
+            listeners,
+            endpoints: Tcp::fresh_endpoints(workers),
+        })
+    }
+
+    fn fresh_endpoints(workers: usize) -> Vec<Mutex<Endpoint>> {
+        (0..workers)
             .map(|_| {
                 Mutex::new(Endpoint {
                     links: (0..workers).map(|_| None).collect(),
@@ -563,19 +624,30 @@ impl Tcp {
                     ..Endpoint::default()
                 })
             })
-            .collect();
-        Ok(Tcp {
-            workers,
-            opts,
-            addrs,
-            listeners,
-            endpoints,
-        })
+            .collect()
     }
 
-    /// The bound listener addresses, rank by rank.
+    /// The data-plane addresses, rank by rank (bound listeners for the
+    /// loopback shape, the rendezvous peer table for the mesh shape).
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
+    }
+
+    /// The rank this object drives in a multi-process mesh (`None` for
+    /// the all-local loopback shape).
+    pub fn local_rank(&self) -> Option<usize> {
+        self.local
+    }
+
+    /// Panic unless `w` is drivable from this process.
+    fn assert_local(&self, w: usize) {
+        if let Some(rank) = self.local {
+            assert_eq!(
+                rank, w,
+                "worker {w} driven through the mesh endpoint of rank {rank}; \
+                 that worker lives in another process"
+            );
+        }
     }
 
     /// Capacity currently parked on `worker`'s receive freelist —
@@ -688,6 +760,7 @@ impl Tcp {
         w: usize,
         f: impl FnOnce(&mut Endpoint) -> Result<R, TransportError>,
     ) -> Result<R, TransportError> {
+        self.assert_local(w);
         let mut ep = self.endpoints[w].lock();
         self.ensure_connected(w, &mut ep)?;
         f(&mut ep)
@@ -982,6 +1055,7 @@ impl ExchangeTransport for Tcp {
         // worker sent to itself rejoin the send-return path — with their
         // length intact, so `BufferPool::put` charges them to the round
         // footprint exactly like the in-process return stacks do.
+        self.assert_local(worker);
         let mut ep = self.endpoints[worker].lock();
         if sender == worker {
             ep.send_returns.push(buf);
@@ -999,6 +1073,7 @@ impl ExchangeTransport for Tcp {
     }
 
     fn reclaim_into(&self, worker: usize, pool: &mut BufferPool) {
+        self.assert_local(worker);
         let mut ep = self.endpoints[worker].lock();
         pool.put_all(ep.send_returns.drain(..));
     }
@@ -1018,6 +1093,10 @@ impl ExchangeTransport for Tcp {
             total.merge(&ep.lock().stats);
         }
         total
+    }
+
+    fn worker_stats(&self, worker: usize) -> TransportStats {
+        self.endpoints[worker].lock().stats
     }
 }
 
@@ -1106,6 +1185,64 @@ mod tests {
                 "worker {w} still pins {pooled} bytes of receive capacity"
             );
         }
+    }
+
+    /// The multi-process shape: each rank owns its own `Tcp::mesh` object
+    /// (separate listener, shared address table) and the meshes
+    /// interoperate over real sockets exactly like the loopback shape —
+    /// exchange, SKIP markers, fused reductions.
+    #[test]
+    fn mesh_endpoints_in_separate_objects_interoperate() {
+        let listeners: Vec<TcpListener> = (0..3)
+            .map(|_| TcpListener::bind(("127.0.0.1", 0)).unwrap())
+            .collect();
+        let addrs: Vec<std::net::SocketAddr> =
+            listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut handles = Vec::new();
+        for (rank, listener) in listeners.into_iter().enumerate() {
+            let addrs = addrs.clone();
+            handles.push(std::thread::spawn(move || {
+                let t = Tcp::mesh(rank, addrs, listener, TcpOptions::default()).unwrap();
+                assert_eq!(t.local_rank(), Some(rank));
+                let mut received = Vec::new();
+                for round in 0..4u8 {
+                    t.post(rank, rank, vec![round, rank as u8]);
+                    t.post(rank, (rank + 1) % 3, vec![round, rank as u8, 9]);
+                    t.sync(rank);
+                    t.take_all_into(rank, &mut received);
+                    let mut senders = Vec::new();
+                    for (s, buf) in received.drain(..) {
+                        assert_eq!(buf[0], round);
+                        assert_eq!(buf[1], s as u8);
+                        senders.push(s);
+                        t.recycle(rank, s, buf);
+                    }
+                    let mut expect = vec![(rank + 2) % 3, rank];
+                    expect.sort_unstable();
+                    assert_eq!(senders, expect, "rank {rank} round {round}");
+                    let (mask, active) = t.reduce_round(rank, 1 << rank, rank as u64 + 1);
+                    assert_eq!(mask, 0b111);
+                    assert_eq!(active, 6);
+                }
+                t.worker_stats(rank)
+            }));
+        }
+        let mut wire = 0;
+        for h in handles {
+            wire += h.join().unwrap().wire_bytes;
+        }
+        assert!(wire > 0);
+    }
+
+    /// A mesh object refuses to drive any rank but its own: those workers
+    /// live in other processes.
+    #[test]
+    #[should_panic(expected = "lives in another process")]
+    fn mesh_guards_nonlocal_workers() {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let t = Tcp::mesh(0, vec![addr, addr], listener, TcpOptions::default()).unwrap();
+        t.post(1, 0, vec![1]);
     }
 
     /// Posted buffers come home to the engine pool via reclaim, exactly

@@ -82,9 +82,25 @@ pub trait ExchangeTransport: Sync {
     /// Wire-level counters accumulated so far, aggregated over workers.
     fn stats(&self) -> TransportStats;
 
+    /// Wire-level counters attributable to one worker. The default returns
+    /// the aggregate, which is exact when the calling process drives a
+    /// single worker (the multi-process deployment); backends that host
+    /// several workers in one object override this with a per-worker
+    /// breakdown so rank-mode result gathering never double-counts.
+    fn worker_stats(&self, worker: usize) -> TransportStats {
+        let _ = worker;
+        self.stats()
+    }
+
     /// Global barrier crossings, where the backend has a barrier (0
     /// otherwise).
     fn barrier_crossings(&self) -> u64 {
+        0
+    }
+
+    /// Arrival-spin iterations burned at the backend's barrier, summed
+    /// over workers (0 where there is no spinning barrier).
+    fn barrier_spins(&self) -> u64 {
         0
     }
 }
@@ -196,8 +212,14 @@ pub struct InProcess {
 impl InProcess {
     /// An in-process transport for `workers` workers.
     pub fn new(workers: usize) -> Self {
+        InProcess::with_budget(workers, None)
+    }
+
+    /// [`InProcess::new`] with an explicit barrier spin budget (see
+    /// [`crate::exchange::SpinBarrier::with_budget`]).
+    pub fn with_budget(workers: usize, budget: Option<u32>) -> Self {
         InProcess {
-            hub: Hub::new(workers, 2),
+            hub: Hub::with_budget(workers, 2, budget),
             counters: (0..workers)
                 .map(|_| CachePadded::new(WorkerCounters::default()))
                 .collect(),
@@ -271,8 +293,27 @@ impl ExchangeTransport for InProcess {
         total
     }
 
+    fn worker_stats(&self, worker: usize) -> TransportStats {
+        let c = &self.counters[worker];
+        TransportStats {
+            wire_bytes: c.wire_bytes.load(Ordering::Relaxed),
+            frames: c.frames.load(Ordering::Relaxed),
+            // Reductions are global events; charge them to worker 0 so the
+            // per-worker breakdown still sums to `stats()`.
+            round_trips: if worker == 0 {
+                self.round_trips.load(Ordering::Relaxed)
+            } else {
+                0
+            },
+        }
+    }
+
     fn barrier_crossings(&self) -> u64 {
         self.hub.barrier_crossings()
+    }
+
+    fn barrier_spins(&self) -> u64 {
+        self.hub.barrier_spins()
     }
 }
 

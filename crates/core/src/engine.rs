@@ -42,11 +42,12 @@
 use crate::channel::{ChannelSet, DeserializeCx, SerializeCx, VertexCtx, WorkerEnv};
 use crate::frontier::Frontier;
 use pc_bsp::buffer::{frame_spans, FrameSpan, OutBuffers};
-use pc_bsp::metrics::{ByteCounter, ChannelMetrics, RunStats};
+use pc_bsp::codec::{Codec, Reader};
+use pc_bsp::metrics::{ByteCounter, ChannelMetrics, RunStats, TransportStats};
 use pc_bsp::pool::{BufferPool, PoolStats};
 use pc_bsp::topology::Topology;
 use pc_bsp::transport::{ExchangeTransport, InProcess};
-use pc_bsp::{Config, ExecMode, Tcp, TransportKind};
+use pc_bsp::{Config, ExecMode, RankRole, Tcp, TransportKind};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -67,6 +68,33 @@ pub trait Algorithm: Sync {
 
     /// The vertex program, run once per active vertex per superstep.
     fn compute(&self, v: &mut VertexCtx<'_>, value: &mut Self::Value, ch: &mut Self::Channels);
+
+    /// Serialize one final vertex value for cross-process result
+    /// gathering. Multi-process runs ([`Config::dist`]) ship each rank's
+    /// values to rank 0 over the exchange transport once the program
+    /// terminates; in-process modes never call this.
+    ///
+    /// The default panics — implement both hooks (most easily via
+    /// [`crate::dist_value_via_codec!`] when the value type implements
+    /// [`Codec`]) to make an algorithm runnable under `Config::dist`.
+    fn encode_value(value: &Self::Value, buf: &mut Vec<u8>) {
+        let _ = (value, buf);
+        panic!(
+            "{} has no value serialization for multi-process runs; \
+             implement Algorithm::encode_value/decode_value",
+            std::any::type_name::<Self>()
+        );
+    }
+
+    /// Deserialize one vertex value written by [`Algorithm::encode_value`].
+    fn decode_value(r: &mut Reader<'_>) -> Self::Value {
+        let _ = r;
+        panic!(
+            "{} has no value serialization for multi-process runs; \
+             implement Algorithm::encode_value/decode_value",
+            std::any::type_name::<Self>()
+        );
+    }
 }
 
 /// Result of a run: the final vertex values (indexed by global vertex id)
@@ -291,10 +319,18 @@ pub fn run<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> Output
         topo.workers(),
         cfg.workers
     );
+    if let Some(role) = &cfg.dist {
+        return run_rank(algo, topo, cfg, role);
+    }
     match cfg.mode {
         ExecMode::Sequential => run_sequential(algo, topo, cfg),
         ExecMode::Threads => match cfg.transport {
-            TransportKind::InProcess => run_threaded(algo, topo, cfg, &InProcess::new(cfg.workers)),
+            TransportKind::InProcess => run_threaded(
+                algo,
+                topo,
+                cfg,
+                &InProcess::with_budget(cfg.workers, cfg.spin_budget),
+            ),
             TransportKind::Tcp => {
                 let tcp = Tcp::loopback(cfg.workers)
                     .unwrap_or_else(|e| panic!("cannot bind tcp transport: {e}"));
@@ -382,6 +418,74 @@ fn run_sequential<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) ->
     Output { values, stats }
 }
 
+/// Drive one worker's superstep/round loop over a transport until the
+/// program terminates globally. This is the per-worker body shared by the
+/// threaded driver (one call per worker thread) and the multi-process
+/// rank driver (one call per OS process). Returns the worker's results
+/// plus its superstep/round counters (identical on every worker — the
+/// loop exits are global decisions).
+fn drive_worker<A: Algorithm, T: ExchangeTransport + ?Sized>(
+    algo: &A,
+    topo: &Arc<Topology>,
+    cfg: &Config,
+    hub: &T,
+    w: usize,
+) -> (WorkerPart<A::Value>, u64, u64) {
+    let mut s = WorkerState::new(algo, topo, w);
+    let mut drained: BufList = Vec::new();
+    let mut received: BufList = Vec::new();
+    let mut supersteps = 0u64;
+    let mut rounds = 0u64;
+    loop {
+        s.compute_phase();
+        supersteps += 1;
+        let mut mask = s.channel_mask();
+        let mut total_active;
+        if mask == 0 {
+            // Channel-free superstep: one reduction decides global
+            // activity.
+            total_active = hub.reduce(w, &[s.pending_active()])[0];
+        } else {
+            total_active = 0;
+        }
+        // All workers computed identical masks, so the round loop stays in
+        // lock-step. Each iteration synchronizes exactly twice: the
+        // post/take rendezvous and the fused again/active reduction.
+        while mask != 0 {
+            s.serialize_phase(mask);
+            // Buffers recycled by last round's receivers come home before
+            // we drain, so the swap hits the pool.
+            hub.reclaim_into(w, &mut s.pool);
+            s.drain(&mut drained);
+            let from = s.worker();
+            for (peer, buf) in drained.drain(..) {
+                hub.post(from, peer, buf);
+            }
+            hub.sync(w);
+            hub.take_all_into(w, &mut received);
+            let again = s.deserialize_phase(&received, mask);
+            for (sender, buf) in received.drain(..) {
+                hub.recycle(w, sender, buf);
+            }
+            s.pool.end_round();
+            let (gmask, active) = hub.reduce_round(w, again, s.pending_active());
+            rounds += 1;
+            mask = gmask;
+            total_active = active;
+        }
+        s.end_superstep();
+        if total_active == 0 {
+            break;
+        }
+        assert!(
+            supersteps < cfg.max_supersteps,
+            "exceeded max_supersteps = {}",
+            cfg.max_supersteps
+        );
+    }
+    (s.finish(), supersteps, rounds)
+}
+
 /// The threaded driver, generic over the exchange backend. One OS thread
 /// per worker; the transport carries the buffer exchange and the global
 /// reductions. Everything a transport can observe — the post/sync/take/
@@ -403,60 +507,8 @@ fn run_threaded<A: Algorithm, T: ExchangeTransport>(
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             handles.push(scope.spawn(move || {
-                let mut s = WorkerState::new(algo, topo, w);
-                let mut drained: BufList = Vec::new();
-                let mut received: BufList = Vec::new();
-                let mut supersteps = 0u64;
-                let mut rounds = 0u64;
-                loop {
-                    s.compute_phase();
-                    supersteps += 1;
-                    let mut mask = s.channel_mask();
-                    let mut total_active;
-                    if mask == 0 {
-                        // Channel-free superstep: one reduction decides
-                        // global activity.
-                        total_active = hub.reduce(w, &[s.pending_active()])[0];
-                    } else {
-                        total_active = 0;
-                    }
-                    // All workers computed identical masks, so the round
-                    // loop stays in lock-step. Each iteration synchronizes
-                    // exactly twice: the post/take rendezvous and the
-                    // fused again/active reduction.
-                    while mask != 0 {
-                        s.serialize_phase(mask);
-                        // Buffers recycled by last round's receivers come
-                        // home before we drain, so the swap hits the pool.
-                        hub.reclaim_into(w, &mut s.pool);
-                        s.drain(&mut drained);
-                        let from = s.worker();
-                        for (peer, buf) in drained.drain(..) {
-                            hub.post(from, peer, buf);
-                        }
-                        hub.sync(w);
-                        hub.take_all_into(w, &mut received);
-                        let again = s.deserialize_phase(&received, mask);
-                        for (sender, buf) in received.drain(..) {
-                            hub.recycle(w, sender, buf);
-                        }
-                        s.pool.end_round();
-                        let (gmask, active) = hub.reduce_round(w, again, s.pending_active());
-                        rounds += 1;
-                        mask = gmask;
-                        total_active = active;
-                    }
-                    s.end_superstep();
-                    if total_active == 0 {
-                        break;
-                    }
-                    assert!(
-                        supersteps < cfg.max_supersteps,
-                        "exceeded max_supersteps = {}",
-                        cfg.max_supersteps
-                    );
-                }
-                (w, s.finish(), supersteps, rounds)
+                let (part, supersteps, rounds) = drive_worker(algo, topo, cfg, hub, w);
+                (w, part, supersteps, rounds)
             }));
         }
         for h in handles {
@@ -469,6 +521,7 @@ fn run_threaded<A: Algorithm, T: ExchangeTransport>(
         supersteps: counters.0,
         rounds: counters.1,
         barrier_crossings: hub.barrier_crossings(),
+        barrier_spins: hub.barrier_spins(),
         transport_name: hub.name(),
         transport: hub.stats(),
         ..Default::default()
@@ -477,6 +530,157 @@ fn run_threaded<A: Algorithm, T: ExchangeTransport>(
         .into_iter()
         .map(|r| r.expect("missing worker result"))
         .collect();
+    let values = assemble(topo.n(), parts, &mut stats);
+    stats.elapsed = start.elapsed();
+    Output { values, stats }
+}
+
+/// Encode one worker's results for the cross-process gather: value pairs,
+/// per-channel metrics, pool counters and the rank's transport counters.
+fn encode_part<A: Algorithm>(
+    part: &WorkerPart<A::Value>,
+    tstats: TransportStats,
+    buf: &mut Vec<u8>,
+) {
+    let (pairs, metrics, pool) = part;
+    (pairs.len() as u32).encode(buf);
+    for (gid, v) in pairs {
+        gid.encode(buf);
+        A::encode_value(v, buf);
+    }
+    (metrics.len() as u32).encode(buf);
+    for m in metrics {
+        let name = m.name.as_bytes();
+        (name.len() as u32).encode(buf);
+        buf.extend_from_slice(name);
+        m.bytes.remote.encode(buf);
+        m.bytes.local.encode(buf);
+        m.messages.encode(buf);
+    }
+    pool.hits.encode(buf);
+    pool.misses.encode(buf);
+    tstats.wire_bytes.encode(buf);
+    tstats.frames.encode(buf);
+    tstats.round_trips.encode(buf);
+}
+
+/// Decode one worker's gather frame (see [`encode_part`]).
+///
+/// Gather frames are produced by [`encode_part`] in a peer running the
+/// same binary, after the conformance-checked exchange protocol has
+/// already carried the whole run, so they are trusted bytes: a malformed
+/// frame (version-skewed peer, corrupted wire) panics and aborts the run
+/// — the same policy the engine applies to any other transport failure.
+/// External inputs that cross a trust boundary (shipped plans, graph
+/// files) go through the fallible decoders in `pc_graph::io`/`pc_dist`
+/// instead.
+fn decode_part<A: Algorithm>(r: &mut Reader<'_>) -> (WorkerPart<A::Value>, TransportStats) {
+    let npairs: u32 = r.get();
+    let mut pairs = Vec::with_capacity(npairs as usize);
+    for _ in 0..npairs {
+        let gid: u32 = r.get();
+        pairs.push((gid, A::decode_value(r)));
+    }
+    let nchannels: u32 = r.get();
+    let mut metrics = Vec::with_capacity(nchannels as usize);
+    for _ in 0..nchannels {
+        let len: u32 = r.get();
+        let name =
+            String::from_utf8(r.take(len as usize).to_vec()).expect("channel name is not utf-8");
+        metrics.push(ChannelMetrics {
+            name,
+            bytes: ByteCounter {
+                remote: r.get(),
+                local: r.get(),
+            },
+            messages: r.get(),
+        });
+    }
+    let pool = PoolStats {
+        hits: r.get(),
+        misses: r.get(),
+    };
+    let tstats = TransportStats {
+        wire_bytes: r.get(),
+        frames: r.get(),
+        round_trips: r.get(),
+    };
+    ((pairs, metrics, pool), tstats)
+}
+
+/// The multi-process driver: this process runs exactly one worker
+/// (`role.rank`) over the shared socket mesh; its peers are other OS
+/// processes (or, in tests, other threads holding the same mesh object).
+///
+/// The superstep/round loop is byte-identical to the threaded TCP driver
+/// — same [`drive_worker`] body, same wire traffic — which is what the
+/// multi-process arm of the conformance suite pins down. When the program
+/// terminates, one extra exchange round gathers every rank's results to
+/// rank 0: each rank posts its encoded values/metrics ([`encode_part`]),
+/// rank 0 merges them into a complete [`Output`]. Non-zero ranks return
+/// an `Output` holding only their local values (every other slot is
+/// `Default`) and their local statistics.
+fn run_rank<A: Algorithm>(
+    algo: &A,
+    topo: &Arc<Topology>,
+    cfg: &Config,
+    role: &RankRole,
+) -> Output<A::Value> {
+    let workers = cfg.workers;
+    let t: &Tcp = &role.transport;
+    assert_eq!(t.workers(), workers, "transport sized for wrong cluster");
+    assert!(
+        role.rank < workers,
+        "rank {} out of range 0..{workers}",
+        role.rank
+    );
+    let w = role.rank;
+    let start = Instant::now();
+    let (part, supersteps, rounds) = drive_worker(algo, topo, cfg, t, w);
+    // Result gather: one extra post/sync/take round addressed at rank 0.
+    // Transport counters are snapshotted first so every rank reports the
+    // same traffic the conformant run produced (the gather's own frames
+    // are bookkeeping, not algorithm traffic).
+    let local_tstats = t.worker_stats(w);
+    let mut frame = Vec::new();
+    supersteps.encode(&mut frame);
+    rounds.encode(&mut frame);
+    encode_part::<A>(&part, local_tstats, &mut frame);
+    t.post(w, 0, frame);
+    t.sync(w);
+    let mut received: BufList = Vec::new();
+    t.take_all_into(w, &mut received);
+    let mut stats = RunStats {
+        supersteps,
+        rounds,
+        transport_name: t.name(),
+        ..Default::default()
+    };
+    if w != 0 {
+        // Non-zero ranks keep their local view; `received` only drained
+        // the round's SKIP markers.
+        stats.transport = local_tstats;
+        let values = assemble(topo.n(), vec![part], &mut stats);
+        stats.elapsed = start.elapsed();
+        return Output { values, stats };
+    }
+    let mut parts = Vec::with_capacity(workers);
+    for (sender, buf) in received.drain(..) {
+        let mut r = Reader::new(&buf);
+        let ss: u64 = r.get();
+        let rr: u64 = r.get();
+        assert_eq!(
+            (ss, rr),
+            (supersteps, rounds),
+            "rank {sender} disagrees on the superstep/round count"
+        );
+        let (p, tstats) = decode_part::<A>(&mut r);
+        assert!(r.is_empty(), "trailing bytes in rank {sender}'s results");
+        stats.transport.merge(&tstats);
+        parts.push(p);
+        t.recycle(w, sender, buf);
+    }
+    assert_eq!(parts.len(), workers, "missing rank results in the gather");
     let values = assemble(topo.n(), parts, &mut stats);
     stats.elapsed = start.elapsed();
     Output { values, stats }
@@ -586,6 +790,7 @@ mod tests {
     impl Algorithm for RingSum {
         type Value = u64;
         type Channels = (RingChannel,);
+        crate::dist_value_via_codec!();
         fn channels(&self, env: &WorkerEnv) -> Self::Channels {
             (RingChannel::new(env),)
         }
@@ -663,6 +868,64 @@ mod tests {
         assert!(b.stats.transport.frames > 0);
         assert!(b.stats.transport.round_trips > 0);
         assert!(a.stats.transport.frames > 0);
+    }
+
+    /// The multi-process driver, simulated: three "processes" (threads)
+    /// each drive one rank of a shared loopback mesh through the public
+    /// `run` entry point. Rank 0 gathers a complete output identical to
+    /// the sequential reference; other ranks keep only their local view.
+    #[test]
+    fn rank_driver_gathers_results_to_rank_zero() {
+        let n = 120u32;
+        let workers = 3;
+        let topo = Arc::new(Topology::hashed(n as usize, workers));
+        let seq = run(&RingSum { n }, &topo, &Config::sequential(workers));
+        let tcp = Arc::new(Tcp::loopback(workers).unwrap());
+        let mut outs: Vec<Option<Output<u64>>> = (0..workers).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let cfg = Config::rank(workers, w, Arc::clone(&tcp));
+                let topo = Arc::clone(&topo);
+                handles.push(scope.spawn(move || (w, run(&RingSum { n }, &topo, &cfg))));
+            }
+            for h in handles {
+                let (w, out) = h.join().unwrap();
+                outs[w] = Some(out);
+            }
+        });
+        let outs: Vec<Output<u64>> = outs.into_iter().map(Option::unwrap).collect();
+        // Rank 0: complete values and fully merged statistics.
+        assert_eq!(outs[0].values, seq.values);
+        assert_eq!(outs[0].stats.remote_bytes(), seq.stats.remote_bytes());
+        assert_eq!(outs[0].stats.total_bytes(), seq.stats.total_bytes());
+        assert_eq!(outs[0].stats.messages(), seq.stats.messages());
+        assert_eq!(outs[0].stats.supersteps, seq.stats.supersteps);
+        assert_eq!(outs[0].stats.rounds, seq.stats.rounds);
+        assert_eq!(outs[0].stats.pool, seq.stats.pool);
+        assert_eq!(outs[0].stats.transport_name, "tcp");
+        assert!(outs[0].stats.transport.wire_bytes > 0);
+        // Non-zero ranks: local values only, everything else default.
+        for (w, out) in outs.iter().enumerate().skip(1) {
+            for &gid in topo.locals(w) {
+                assert_eq!(out.values[gid as usize], seq.values[gid as usize]);
+            }
+            assert!(out.stats.messages() < seq.stats.messages());
+        }
+    }
+
+    /// `Config::spin_budget = Some(0)` reaches the barrier: no arrival
+    /// spins are ever recorded.
+    #[test]
+    fn spin_budget_zero_is_plumbed_to_the_barrier() {
+        let topo = Arc::new(Topology::hashed(64, 4));
+        let cfg = Config {
+            spin_budget: Some(0),
+            ..Config::with_workers(4)
+        };
+        let out = run(&PulseAlgo { steps: 10 }, &topo, &cfg);
+        assert_eq!(out.stats.barrier_spins, 0);
+        assert!(out.stats.barrier_crossings > 0);
     }
 
     #[test]

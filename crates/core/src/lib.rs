@@ -53,6 +53,30 @@ pub mod standard;
 pub use channel::{Channel, ChannelSet, DeserializeCx, SerializeCx, VertexCtx, WorkerEnv};
 pub use combine::Combine;
 pub use engine::{run, Algorithm, Output};
+
+/// Implement the multi-process value hooks of [`Algorithm`]
+/// (`encode_value`/`decode_value`) by delegating to the value type's
+/// [`pc_bsp::Codec`] implementation. Expand inside an `impl Algorithm`
+/// block:
+///
+/// ```ignore
+/// impl Algorithm for MyAlgo {
+///     type Value = f64;
+///     pc_channels::dist_value_via_codec!();
+///     // channels(), compute() ...
+/// }
+/// ```
+#[macro_export]
+macro_rules! dist_value_via_codec {
+    () => {
+        fn encode_value(value: &Self::Value, buf: &mut ::std::vec::Vec<u8>) {
+            ::pc_bsp::Codec::encode(value, buf)
+        }
+        fn decode_value(r: &mut ::pc_bsp::Reader<'_>) -> Self::Value {
+            ::pc_bsp::Codec::decode(r)
+        }
+    };
+}
 pub use optimized::mirror::Mirror;
 pub use optimized::propagation::Propagation;
 pub use optimized::reqresp::RequestRespond;

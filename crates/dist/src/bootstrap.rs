@@ -1,0 +1,438 @@
+//! Out-of-process rendezvous for a multi-process cluster.
+//!
+//! Rank 0 (the *coordinator*) listens on a configurable address. Every
+//! other rank (a *follower*) connects, sends a `JOIN` frame carrying its
+//! rank and its freshly-bound data-plane address, and blocks until the
+//! coordinator answers with the full `PEERS` table. Once every rank holds
+//! the same table, each builds its [`pc_bsp::Tcp::mesh`] endpoint and the
+//! data plane takes over; the control connection stays open for partition
+//! shipping (`PLAN` frames, see [`crate::ship`]).
+//!
+//! ```text
+//! follower r:  JOIN{rank, data_addr}  ─────▶  coordinator (rank 0)
+//! follower r:  ◀─────  PEERS{addr_0 .. addr_{M-1}}
+//! follower r:  ◀─────  PLAN{owner table + CSR slice(s) of rank r}
+//! ```
+//!
+//! Every frame rides the transport's `tag + len` wire format
+//! ([`pc_bsp::tcp::write_frame`]); every blocking call polls against an
+//! explicit deadline and fails with a typed [`TransportError`] — a rank
+//! that never shows up is an error, not a hang.
+
+use pc_bsp::tcp::{configure_stream, read_frame_into, write_frame};
+use pc_bsp::{Codec, Reader, TransportError};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Control frame: a follower announces `{rank, data_addr}`.
+pub const TAG_JOIN: u8 = b'J';
+/// Control frame: the coordinator's peer-address table.
+pub const TAG_PEERS: u8 = b'P';
+/// Control frame: a rank's shipped partition (owner table + CSR slices).
+pub const TAG_PLAN: u8 = b'G';
+/// Control frame: run settings the coordinator decides for every rank.
+pub const TAG_SETTINGS: u8 = b'S';
+
+/// Timeouts of the rendezvous and the control-plane I/O.
+#[derive(Debug, Clone, Copy)]
+pub struct BootstrapOptions {
+    /// How long ranks may take to appear (covers slow process spawns).
+    pub connect_timeout: Duration,
+    /// Deadline for any single control-plane frame. Plan frames carry
+    /// whole CSR slices, so this is generous.
+    pub io_timeout: Duration,
+}
+
+impl Default for BootstrapOptions {
+    fn default() -> Self {
+        BootstrapOptions {
+            connect_timeout: Duration::from_secs(10),
+            io_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+fn encode_addr(addr: &SocketAddr, buf: &mut Vec<u8>) {
+    let s = addr.to_string();
+    (s.len() as u32).encode(buf);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn decode_addr(r: &mut Reader<'_>, peer: usize) -> Result<SocketAddr, TransportError> {
+    let protocol = |detail: String| TransportError::Protocol { peer, detail };
+    let len: u32 = if r.remaining() >= 4 {
+        r.get()
+    } else {
+        return Err(protocol("truncated address length".to_string()));
+    };
+    if r.remaining() < len as usize {
+        return Err(protocol(format!(
+            "address of {len} bytes but only {} left",
+            r.remaining()
+        )));
+    }
+    let s = std::str::from_utf8(r.take(len as usize))
+        .map_err(|e| protocol(format!("address is not utf-8: {e}")))?;
+    s.parse()
+        .map_err(|e| protocol(format!("unparsable address '{s}': {e}")))
+}
+
+fn io_err(peer: usize, during: &'static str, e: std::io::Error) -> TransportError {
+    TransportError::Io {
+        peer,
+        kind: e.kind(),
+        during,
+    }
+}
+
+/// Rank 0's side of the rendezvous: accepts every follower, collects the
+/// data-plane peer table, broadcasts it, and keeps one control stream per
+/// follower for partition shipping.
+#[derive(Debug)]
+pub struct Coordinator {
+    ranks: usize,
+    /// Control stream per follower (`None` at index 0 — that is us).
+    links: Vec<Option<TcpStream>>,
+    peers: Vec<SocketAddr>,
+    opts: BootstrapOptions,
+}
+
+impl Coordinator {
+    /// Bind `bind_addr`, accept `ranks - 1` followers, exchange the peer
+    /// table. `data_addr` is rank 0's own (already bound) data-plane
+    /// address, published as `peers[0]`.
+    pub fn rendezvous(
+        bind_addr: SocketAddr,
+        ranks: usize,
+        data_addr: SocketAddr,
+        opts: BootstrapOptions,
+    ) -> Result<Self, TransportError> {
+        assert!(ranks >= 1, "a cluster needs at least one rank");
+        let listener = TcpListener::bind(bind_addr).map_err(|e| TransportError::Connect {
+            peer: 0,
+            detail: format!("bind rendezvous address {bind_addr}: {e}"),
+        })?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err(0, "rendezvous set_nonblocking", e))?;
+        let deadline = Instant::now() + opts.connect_timeout;
+        let mut links: Vec<Option<TcpStream>> = (0..ranks).map(|_| None).collect();
+        let mut peers: Vec<Option<SocketAddr>> = (0..ranks).map(|_| None).collect();
+        peers[0] = Some(data_addr);
+        let mut scratch = Vec::new();
+        while links.iter().skip(1).any(Option::is_none) {
+            if Instant::now() >= deadline {
+                let missing = (1..ranks).find(|&r| links[r].is_none()).unwrap();
+                return Err(TransportError::Timeout {
+                    peer: missing,
+                    during: "bootstrap rendezvous (a rank never joined)",
+                });
+            }
+            let stream = match listener.accept() {
+                Ok((s, _)) => s,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                Err(e) => return Err(io_err(usize::MAX, "rendezvous accept", e)),
+            };
+            stream
+                .set_nonblocking(false)
+                .map_err(|e| io_err(usize::MAX, "joiner set_nonblocking", e))?;
+            configure_stream(&stream).map_err(|e| io_err(usize::MAX, "configure joiner", e))?;
+            let tag = read_frame_into(&stream, &mut scratch, deadline, usize::MAX)?;
+            if tag != TAG_JOIN {
+                return Err(TransportError::Protocol {
+                    peer: usize::MAX,
+                    detail: format!("expected JOIN, got tag {tag:#04x}"),
+                });
+            }
+            let mut r = Reader::new(&scratch);
+            if r.remaining() < 4 {
+                return Err(TransportError::Protocol {
+                    peer: usize::MAX,
+                    detail: "JOIN too short".to_string(),
+                });
+            }
+            let rank = r.get::<u32>() as usize;
+            if rank == 0 || rank >= ranks {
+                return Err(TransportError::Protocol {
+                    peer: rank,
+                    detail: format!("JOIN from rank {rank}, expected 1..{ranks}"),
+                });
+            }
+            if links[rank].is_some() {
+                return Err(TransportError::Protocol {
+                    peer: rank,
+                    detail: "duplicate JOIN".to_string(),
+                });
+            }
+            let addr = decode_addr(&mut r, rank)?;
+            peers[rank] = Some(addr);
+            links[rank] = Some(stream);
+        }
+        let peers: Vec<SocketAddr> = peers.into_iter().map(Option::unwrap).collect();
+        let mut table = Vec::new();
+        (ranks as u32).encode(&mut table);
+        for addr in &peers {
+            encode_addr(addr, &mut table);
+        }
+        let io_deadline = Instant::now() + opts.io_timeout;
+        for (rank, link) in links.iter().enumerate().skip(1) {
+            write_frame(link.as_ref().unwrap(), TAG_PEERS, &table, io_deadline, rank)?;
+        }
+        Ok(Coordinator {
+            ranks,
+            links,
+            peers,
+            opts,
+        })
+    }
+
+    /// The agreed data-plane address table, rank by rank.
+    pub fn peers(&self) -> &[SocketAddr] {
+        &self.peers
+    }
+
+    /// Number of ranks in the cluster.
+    pub fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    /// Send one control frame to a follower.
+    pub fn send(&mut self, rank: usize, tag: u8, payload: &[u8]) -> Result<(), TransportError> {
+        let deadline = Instant::now() + self.opts.io_timeout;
+        let link = self.links[rank]
+            .as_ref()
+            .expect("no control link for that rank");
+        write_frame(link, tag, payload, deadline, rank)
+    }
+
+    /// Receive one control frame from a follower into `buf`; returns the
+    /// tag.
+    pub fn recv(&mut self, rank: usize, buf: &mut Vec<u8>) -> Result<u8, TransportError> {
+        let deadline = Instant::now() + self.opts.io_timeout;
+        let link = self.links[rank]
+            .as_ref()
+            .expect("no control link for that rank");
+        read_frame_into(link, buf, deadline, rank)
+    }
+}
+
+/// A non-zero rank's side of the rendezvous: connect, announce, receive
+/// the peer table, then consume shipped frames.
+#[derive(Debug)]
+pub struct Follower {
+    rank: usize,
+    link: TcpStream,
+    peers: Vec<SocketAddr>,
+    opts: BootstrapOptions,
+}
+
+impl Follower {
+    /// Connect to the coordinator (retrying until the connect deadline —
+    /// rank 0 may still be starting), announce `rank` + `data_addr`, and
+    /// block for the peer table.
+    pub fn join(
+        coordinator: SocketAddr,
+        rank: usize,
+        data_addr: SocketAddr,
+        opts: BootstrapOptions,
+    ) -> Result<Self, TransportError> {
+        assert!(rank >= 1, "rank 0 is the coordinator; it does not join");
+        let deadline = Instant::now() + opts.connect_timeout;
+        let stream = loop {
+            match TcpStream::connect(coordinator) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(TransportError::Connect {
+                            peer: 0,
+                            detail: format!("connect rendezvous {coordinator}: {e}"),
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        };
+        configure_stream(&stream).map_err(|e| io_err(0, "configure rendezvous stream", e))?;
+        let mut join = Vec::new();
+        (rank as u32).encode(&mut join);
+        encode_addr(&data_addr, &mut join);
+        write_frame(&stream, TAG_JOIN, &join, deadline, 0)?;
+        let mut scratch = Vec::new();
+        let tag = read_frame_into(&stream, &mut scratch, deadline, 0)?;
+        if tag != TAG_PEERS {
+            return Err(TransportError::Protocol {
+                peer: 0,
+                detail: format!("expected PEERS, got tag {tag:#04x}"),
+            });
+        }
+        let mut r = Reader::new(&scratch);
+        if r.remaining() < 4 {
+            return Err(TransportError::Protocol {
+                peer: 0,
+                detail: "PEERS too short".to_string(),
+            });
+        }
+        let ranks = r.get::<u32>() as usize;
+        if rank >= ranks {
+            return Err(TransportError::Protocol {
+                peer: 0,
+                detail: format!("peer table has {ranks} ranks but we are rank {rank}"),
+            });
+        }
+        let mut peers = Vec::with_capacity(ranks);
+        for p in 0..ranks {
+            peers.push(decode_addr(&mut r, p)?);
+        }
+        if peers[rank] != data_addr {
+            return Err(TransportError::Protocol {
+                peer: 0,
+                detail: format!(
+                    "peer table lists {} for rank {rank}, but we bound {data_addr}",
+                    peers[rank]
+                ),
+            });
+        }
+        Ok(Follower {
+            rank,
+            link: stream,
+            peers,
+            opts,
+        })
+    }
+
+    /// The agreed data-plane address table, rank by rank.
+    pub fn peers(&self) -> &[SocketAddr] {
+        &self.peers
+    }
+
+    /// This follower's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Receive one control frame from the coordinator into `buf`; returns
+    /// the tag.
+    pub fn recv(&mut self, buf: &mut Vec<u8>) -> Result<u8, TransportError> {
+        let deadline = Instant::now() + self.opts.io_timeout;
+        read_frame_into(&self.link, buf, deadline, 0)
+    }
+
+    /// Send one control frame to the coordinator.
+    pub fn send(&mut self, tag: u8, payload: &[u8]) -> Result<(), TransportError> {
+        let deadline = Instant::now() + self.opts.io_timeout;
+        write_frame(&self.link, tag, payload, deadline, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn free_addr() -> SocketAddr {
+        TcpListener::bind(("127.0.0.1", 0))
+            .unwrap()
+            .local_addr()
+            .unwrap()
+    }
+
+    fn quick() -> BootstrapOptions {
+        BootstrapOptions {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Full rendezvous: 3 ranks agree on a peer table and can exchange
+    /// control frames both ways.
+    #[test]
+    fn rendezvous_exchanges_peer_table_and_frames() {
+        let rendezvous = free_addr();
+        let data: Vec<SocketAddr> = (0..3).map(|_| free_addr()).collect();
+        let mut handles = Vec::new();
+        for rank in 1..3usize {
+            let data = data.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut f = Follower::join(rendezvous, rank, data[rank], quick()).unwrap();
+                assert_eq!(f.peers(), &data[..]);
+                let mut buf = Vec::new();
+                let tag = f.recv(&mut buf).unwrap();
+                assert_eq!(tag, TAG_PLAN);
+                assert_eq!(buf, vec![rank as u8; 4]);
+                f.send(TAG_SETTINGS, &[rank as u8]).unwrap();
+            }));
+        }
+        let mut c = Coordinator::rendezvous(rendezvous, 3, data[0], quick()).unwrap();
+        assert_eq!(c.peers(), &data[..]);
+        for rank in 1..3 {
+            c.send(rank, TAG_PLAN, &[rank as u8; 4]).unwrap();
+        }
+        let mut buf = Vec::new();
+        for rank in 1..3 {
+            let tag = c.recv(rank, &mut buf).unwrap();
+            assert_eq!(tag, TAG_SETTINGS);
+            assert_eq!(buf, vec![rank as u8]);
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// A missing rank is a typed timeout, not a hang.
+    #[test]
+    fn rendezvous_times_out_on_missing_rank() {
+        let rendezvous = free_addr();
+        let opts = BootstrapOptions {
+            connect_timeout: Duration::from_millis(300),
+            io_timeout: Duration::from_millis(300),
+        };
+        let err = Coordinator::rendezvous(rendezvous, 2, free_addr(), opts).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Timeout { peer: 1, .. }),
+            "{err}"
+        );
+    }
+
+    /// A follower pointed at a dead address fails with a typed connect
+    /// error within the deadline.
+    #[test]
+    fn follower_fails_fast_on_dead_coordinator() {
+        let dead = free_addr(); // bound then dropped: nothing listens
+        let opts = BootstrapOptions {
+            connect_timeout: Duration::from_millis(300),
+            io_timeout: Duration::from_millis(300),
+        };
+        let err = Follower::join(dead, 1, free_addr(), opts).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Connect { peer: 0, .. }),
+            "{err}"
+        );
+    }
+
+    /// Duplicate JOINs are protocol violations, not silent overwrites.
+    #[test]
+    fn rendezvous_rejects_duplicate_joins() {
+        let rendezvous = free_addr();
+        // Two joiners claiming the same rank, racing from separate
+        // threads; whichever arrives second trips the coordinator.
+        let joiners: Vec<_> = (0..2)
+            .map(|_| {
+                std::thread::spawn(move || Follower::join(rendezvous, 1, free_addr(), quick()))
+            })
+            .collect();
+        let err = Coordinator::rendezvous(rendezvous, 3, free_addr(), quick()).unwrap_err();
+        assert!(matches!(err, TransportError::Protocol { .. }), "{err}");
+        for j in joiners {
+            // The coordinator died: at most one join can have gotten as
+            // far as a peer table, and that table never arrives.
+            assert!(j.join().unwrap().is_err());
+        }
+    }
+}

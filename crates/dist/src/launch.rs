@@ -1,0 +1,307 @@
+//! The rank launcher: spawn one OS process per rank and supervise them.
+//!
+//! `pcgraph <algo> --ranks M` runs this supervisor: it picks a rendezvous
+//! address, spawns `M` children (`pcgraph <algo> --rank i --ranks M
+//! --coordinator HOST:PORT`), and waits for all of them under a deadline.
+//! Rank 0 inherits the terminal (it prints the merged results); follower
+//! stderr is captured and replayed only when something fails, so a clean
+//! run prints exactly what a single-process run would.
+//!
+//! Failure handling is typed: a child that exits non-zero (or is killed
+//! by a signal, or outlives the deadline) becomes a [`LaunchError`]
+//! carrying the rank, the exit-code classification (usage / runtime /
+//! bootstrap / panic) and the captured stderr; the remaining children are
+//! killed so a wedged rank cannot leak processes.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Exit code: success.
+pub const EXIT_OK: i32 = 0;
+/// Exit code: runtime failure (I/O, engine error, verification mismatch).
+pub const EXIT_RUNTIME: i32 = 1;
+/// Exit code: bad command line.
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code: bootstrap/transport failure (rendezvous, shipping, mesh).
+pub const EXIT_BOOTSTRAP: i32 = 3;
+
+/// Human label for a child's exit code.
+pub fn classify_exit(code: Option<i32>) -> &'static str {
+    match code {
+        Some(EXIT_OK) => "success",
+        Some(EXIT_RUNTIME) => "runtime error",
+        Some(EXIT_USAGE) => "usage error",
+        Some(EXIT_BOOTSTRAP) => "bootstrap/transport failure",
+        Some(101) => "panic",
+        Some(_) => "unexpected exit code",
+        None => "killed by signal",
+    }
+}
+
+/// A launcher failure, carrying enough context to diagnose the rank.
+#[derive(Debug)]
+pub enum LaunchError {
+    /// A child process could not be spawned at all.
+    Spawn {
+        /// Rank that failed to start.
+        rank: usize,
+        /// The underlying OS error.
+        error: std::io::Error,
+    },
+    /// A child exited unsuccessfully.
+    Exit {
+        /// Rank that failed.
+        rank: usize,
+        /// Its raw exit code (`None`: killed by a signal).
+        code: Option<i32>,
+        /// [`classify_exit`] of `code`.
+        kind: &'static str,
+        /// The rank's captured stderr (empty for rank 0, which inherits
+        /// the terminal).
+        stderr: String,
+    },
+    /// Ranks still running when the join deadline expired (they have been
+    /// killed).
+    Timeout {
+        /// Ranks that never finished.
+        pending: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::Spawn { rank, error } => {
+                write!(f, "cannot spawn rank {rank}: {error}")
+            }
+            LaunchError::Exit {
+                rank,
+                code,
+                kind,
+                stderr,
+            } => {
+                write!(f, "rank {rank} failed: {kind} (exit {code:?})")?;
+                if !stderr.is_empty() {
+                    write!(f, "\n--- rank {rank} stderr ---\n{}", stderr.trim_end())?;
+                }
+                Ok(())
+            }
+            LaunchError::Timeout { pending } => {
+                write!(
+                    f,
+                    "ranks {pending:?} did not finish before the deadline (killed)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// What to launch.
+#[derive(Debug)]
+pub struct LaunchSpec {
+    /// The `pcgraph` binary (usually `std::env::current_exe()`).
+    pub exe: PathBuf,
+    /// Number of ranks to spawn.
+    pub ranks: usize,
+    /// Deadline for the whole cluster to finish.
+    pub join_timeout: Duration,
+}
+
+/// Pick a free loopback address for the rendezvous.
+///
+/// The port is probed by binding and releasing it; rank 0 re-binds it
+/// immediately on startup, so the race window is the spawn latency —
+/// acceptable on loopback, and a lost race fails fast with a typed bind
+/// error rather than a hang.
+pub fn pick_rendezvous_addr() -> std::io::Result<SocketAddr> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    listener.local_addr()
+}
+
+/// Kill and reap every child still running.
+fn kill_all(children: &mut [(usize, Option<Child>)]) {
+    for (_, slot) in children.iter_mut() {
+        if let Some(child) = slot.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Spawn `spec.ranks` children (`args_for_rank(i)` builds rank `i`'s
+/// argument vector) and supervise them to completion.
+///
+/// Rank 0 inherits stdout/stderr; follower stderr is piped and captured.
+/// Returns as soon as every rank exits 0, or with the first failure
+/// (remaining children killed).
+pub fn launch(
+    spec: &LaunchSpec,
+    args_for_rank: impl Fn(usize) -> Vec<String>,
+) -> Result<(), LaunchError> {
+    assert!(spec.ranks >= 1);
+    let mut children: Vec<(usize, Option<Child>)> = Vec::with_capacity(spec.ranks);
+    let mut stderr_readers: Vec<Option<std::thread::JoinHandle<String>>> =
+        (0..spec.ranks).map(|_| None).collect();
+    // Rank 0 first: it binds the rendezvous address the others dial.
+    for (rank, reader_slot) in stderr_readers.iter_mut().enumerate() {
+        let mut cmd = Command::new(&spec.exe);
+        cmd.args(args_for_rank(rank));
+        if rank > 0 {
+            cmd.stdout(Stdio::null());
+            cmd.stderr(Stdio::piped());
+        }
+        match cmd.spawn() {
+            Ok(mut child) => {
+                if let Some(pipe) = child.stderr.take() {
+                    *reader_slot = Some(std::thread::spawn(move || {
+                        let mut pipe = pipe;
+                        let mut out = String::new();
+                        let _ = pipe.read_to_string(&mut out);
+                        out
+                    }));
+                }
+                children.push((rank, Some(child)));
+            }
+            Err(error) => {
+                kill_all(&mut children);
+                return Err(LaunchError::Spawn { rank, error });
+            }
+        }
+    }
+    let deadline = Instant::now() + spec.join_timeout;
+    let mut done = 0usize;
+    while done < spec.ranks {
+        let mut progressed = false;
+        for (rank, slot) in children.iter_mut() {
+            let Some(child) = slot.as_mut() else { continue };
+            match child.try_wait() {
+                Ok(None) => {}
+                Ok(Some(status)) => {
+                    progressed = true;
+                    *slot = None;
+                    done += 1;
+                    if !status.success() {
+                        let rank = *rank;
+                        kill_all(&mut children);
+                        let stderr = stderr_readers[rank]
+                            .take()
+                            .and_then(|h| h.join().ok())
+                            .unwrap_or_default();
+                        let code = status.code();
+                        return Err(LaunchError::Exit {
+                            rank,
+                            code,
+                            kind: classify_exit(code),
+                            stderr,
+                        });
+                    }
+                }
+                Err(error) => {
+                    let rank = *rank;
+                    kill_all(&mut children);
+                    return Err(LaunchError::Spawn { rank, error });
+                }
+            }
+        }
+        if done == spec.ranks {
+            break;
+        }
+        if Instant::now() >= deadline {
+            let pending: Vec<usize> = children
+                .iter()
+                .filter(|(_, c)| c.is_some())
+                .map(|&(r, _)| r)
+                .collect();
+            kill_all(&mut children);
+            return Err(LaunchError::Timeout { pending });
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sh_spec(ranks: usize, timeout_ms: u64) -> LaunchSpec {
+        LaunchSpec {
+            exe: PathBuf::from("/bin/sh"),
+            ranks,
+            join_timeout: Duration::from_millis(timeout_ms),
+        }
+    }
+
+    #[test]
+    fn launch_succeeds_when_all_ranks_exit_zero() {
+        let spec = sh_spec(3, 10_000);
+        launch(&spec, |_| vec!["-c".into(), "exit 0".into()]).unwrap();
+    }
+
+    #[test]
+    fn launch_reports_failing_rank_with_stderr() {
+        let spec = sh_spec(3, 10_000);
+        let err = launch(&spec, |rank| {
+            if rank == 2 {
+                vec!["-c".into(), "echo rank2 broke >&2; exit 3".into()]
+            } else {
+                vec!["-c".into(), "sleep 5".into()]
+            }
+        })
+        .unwrap_err();
+        match err {
+            LaunchError::Exit {
+                rank,
+                code,
+                kind,
+                stderr,
+            } => {
+                assert_eq!(rank, 2);
+                assert_eq!(code, Some(3));
+                assert_eq!(kind, "bootstrap/transport failure");
+                assert!(stderr.contains("rank2 broke"), "stderr: {stderr:?}");
+            }
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn launch_kills_stragglers_on_deadline() {
+        let spec = sh_spec(2, 300);
+        let start = Instant::now();
+        let err = launch(&spec, |_| vec!["-c".into(), "sleep 30".into()]).unwrap_err();
+        assert!(matches!(err, LaunchError::Timeout { ref pending } if pending.len() == 2));
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "stragglers were not killed promptly"
+        );
+    }
+
+    #[test]
+    fn launch_surfaces_spawn_failures() {
+        let spec = LaunchSpec {
+            exe: PathBuf::from("/nonexistent/binary"),
+            ranks: 2,
+            join_timeout: Duration::from_secs(1),
+        };
+        let err = launch(&spec, |_| vec![]).unwrap_err();
+        assert!(matches!(err, LaunchError::Spawn { rank: 0, .. }));
+    }
+
+    #[test]
+    fn exit_codes_classify() {
+        assert_eq!(classify_exit(Some(0)), "success");
+        assert_eq!(classify_exit(Some(1)), "runtime error");
+        assert_eq!(classify_exit(Some(2)), "usage error");
+        assert_eq!(classify_exit(Some(3)), "bootstrap/transport failure");
+        assert_eq!(classify_exit(Some(101)), "panic");
+        assert_eq!(classify_exit(None), "killed by signal");
+    }
+}

@@ -1,0 +1,35 @@
+//! # pc-dist — the multi-process distributed runtime
+//!
+//! PR 2's `Tcp` exchange transport already speaks a real length-prefixed
+//! wire protocol; this crate adds the three pieces that turn it from a
+//! loopback simulation into a deployment where **every worker is its own
+//! OS process**:
+//!
+//! * [`bootstrap`] — the out-of-process rendezvous. Rank 0 listens on a
+//!   configurable address; every other rank connects, announces its
+//!   data-plane address, and receives the full peer table plus its
+//!   shipped partition. The control connections reuse the transport's
+//!   frame protocol, so every blocking step is deadline-bounded and fails
+//!   with a typed [`pc_bsp::TransportError`] instead of hanging.
+//! * [`ship`] — partition shipping. Rank 0 loads (or generates) the
+//!   graph, partitions it, and streams each rank its CSR **row slice**
+//!   (`pc_graph::io::encode_graph`) together with the ownership table —
+//!   non-zero ranks never touch the input file.
+//! * [`launch`] — the process supervisor behind `pcgraph --ranks N`: it
+//!   spawns one `pcgraph --rank i` child per rank, captures follower
+//!   stderr, enforces a join deadline, and maps child exits to typed
+//!   [`launch::LaunchError`]s.
+//!
+//! The engine side lives in `pc_channels::engine`: a [`pc_bsp::Config`]
+//! whose `dist` field carries a [`pc_bsp::RankRole`] drives exactly one
+//! worker over a [`pc_bsp::Tcp::mesh`] and gathers results to rank 0
+//! through the same transport. The multi-process arm of the conformance
+//! suite pins the whole stack to the sequential reference: identical
+//! values, bytes, messages, supersteps, rounds and pool traffic.
+
+pub mod bootstrap;
+pub mod launch;
+pub mod ship;
+
+pub use bootstrap::{BootstrapOptions, Coordinator, Follower};
+pub use launch::{pick_rendezvous_addr, LaunchError, LaunchSpec};

@@ -1,0 +1,146 @@
+//! Partition shipping: rank 0 loads the graph, partitions it, and streams
+//! every rank exactly the rows it owns.
+//!
+//! A rank's `compute()` only ever reads the adjacency of its **local**
+//! vertices, so the plan shipped to rank `r` is the CSR *row slice*
+//! ([`pc_graph::Graph::restrict_rows`]) of the full graph — same vertex id
+//! space, same row contents byte for byte, empty rows elsewhere. That
+//! keeps the engine-observable behavior identical to a single-process run
+//! (the conformance contract) while each rank stores only its share of
+//! the arcs. Algorithms that also walk reverse edges (SCC) get a second
+//! slice of the transposed graph; the plan carries any number of slices.
+//!
+//! The ownership table rides along so every rank builds the identical
+//! [`pc_bsp::Topology`] without re-deriving the partition.
+
+use pc_bsp::{Codec, Reader, Topology};
+use pc_graph::{io as gio, Graph};
+
+/// The row slice of `g` that `rank` needs: adjacency kept verbatim for
+/// the vertices `topo` assigns to `rank`, empty rows elsewhere.
+pub fn slice_for_rank<W: Copy + Default>(g: &Graph<W>, topo: &Topology, rank: usize) -> Graph<W> {
+    g.restrict_rows(|v| topo.worker_of(v) == rank)
+}
+
+/// Encode one rank's plan: the full ownership table plus its graph
+/// slices (one per graph the algorithm walks — forward, and reverse for
+/// SCC-style programs).
+pub fn encode_plan<W: Codec + Copy>(owner: &[u16], graphs: &[&Graph<W>]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    (owner.len() as u64).encode(&mut buf);
+    for &o in owner {
+        o.encode(&mut buf);
+    }
+    (graphs.len() as u32).encode(&mut buf);
+    for g in graphs {
+        gio::encode_graph(g, &mut buf);
+    }
+    buf
+}
+
+/// Decode a plan written by [`encode_plan`].
+pub fn decode_plan<W: Codec + Copy + Default>(
+    payload: &[u8],
+) -> Result<(Vec<u16>, Vec<Graph<W>>), String> {
+    let mut r = Reader::new(payload);
+    if r.remaining() < 8 {
+        return Err("plan header truncated".to_string());
+    }
+    let n: u64 = r.get();
+    let n = usize::try_from(n).map_err(|_| "owner count overflows usize".to_string())?;
+    if r.remaining() < n.checked_mul(2).ok_or("owner table overflows")? {
+        return Err(format!(
+            "owner table truncated: {} bytes left, {} needed",
+            r.remaining(),
+            n * 2
+        ));
+    }
+    let mut owner = Vec::with_capacity(n);
+    for _ in 0..n {
+        owner.push(r.get::<u16>());
+    }
+    if r.remaining() < 4 {
+        return Err("graph count truncated".to_string());
+    }
+    let ngraphs: u32 = r.get();
+    let mut graphs = Vec::with_capacity(ngraphs as usize);
+    for _ in 0..ngraphs {
+        graphs.push(gio::decode_graph(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(format!("{} trailing bytes after plan", r.remaining()));
+    }
+    Ok((owner, graphs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_graph::gen;
+
+    /// Slices cover the graph: every arc of the original appears in
+    /// exactly one rank's slice, rows verbatim, and the whole plan
+    /// round-trips through the wire encoding.
+    #[test]
+    fn plan_roundtrip_partitions_all_rows() {
+        let g = gen::rmat_weighted(7, 700, gen::RmatParams::default(), 3, false, 100);
+        let workers = 3;
+        let topo = Topology::hashed(g.n(), workers);
+        let owner: Vec<u16> = (0..g.n() as u32)
+            .map(|v| topo.worker_of(v) as u16)
+            .collect();
+        let mut covered = 0usize;
+        for rank in 0..workers {
+            let slice = slice_for_rank(&g, &topo, rank);
+            let payload = encode_plan(&owner, &[&slice]);
+            let (owner2, graphs) = decode_plan::<u32>(&payload).unwrap();
+            assert_eq!(owner2, owner);
+            assert_eq!(graphs.len(), 1);
+            assert_eq!(&graphs[0], &slice);
+            for v in 0..g.n() as u32 {
+                if topo.worker_of(v) == rank {
+                    assert_eq!(slice.neighbors(v), g.neighbors(v));
+                    assert_eq!(slice.weights(v), g.weights(v));
+                    covered += slice.degree(v);
+                } else {
+                    assert_eq!(slice.degree(v), 0);
+                }
+            }
+        }
+        assert_eq!(covered, g.arc_count(), "slices cover every arc once");
+    }
+
+    /// Multi-graph plans (forward + reverse, the SCC shape) round-trip.
+    #[test]
+    fn plan_carries_multiple_slices() {
+        let g = gen::rmat(7, 500, gen::RmatParams::default(), 9, true);
+        let rev = g.reverse();
+        let topo = Topology::hashed(g.n(), 2);
+        let owner: Vec<u16> = (0..g.n() as u32)
+            .map(|v| topo.worker_of(v) as u16)
+            .collect();
+        let fwd_slice = slice_for_rank(&g, &topo, 1);
+        let rev_slice = slice_for_rank(&rev, &topo, 1);
+        let payload = encode_plan(&owner, &[&fwd_slice, &rev_slice]);
+        let (_, graphs) = decode_plan::<()>(&payload).unwrap();
+        assert_eq!(graphs.len(), 2);
+        assert_eq!(&graphs[0], &fwd_slice);
+        assert_eq!(&graphs[1], &rev_slice);
+    }
+
+    #[test]
+    fn plan_decode_rejects_garbage() {
+        assert!(decode_plan::<()>(&[]).is_err());
+        let g = gen::cycle(5);
+        let topo = Topology::hashed(5, 2);
+        let payload = encode_plan(&[0, 0, 1, 1, 0], &[&slice_for_rank(&g, &topo, 0)]);
+        // Truncation anywhere must error, never panic.
+        for cut in [3, 10, payload.len() - 1] {
+            assert!(decode_plan::<()>(&payload[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing junk is rejected too.
+        let mut noisy = payload.clone();
+        noisy.push(7);
+        assert!(decode_plan::<()>(&noisy).is_err());
+    }
+}

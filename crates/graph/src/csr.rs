@@ -135,7 +135,99 @@ impl Graph<()> {
     }
 }
 
+impl<W: Copy + Default> Graph<W> {
+    /// Rebuild a graph from raw CSR arrays (the inverse of
+    /// [`Graph::csr_parts`]), validating the invariants a decoder cannot
+    /// assume: monotone offsets covering `targets`, weights parallel to
+    /// targets, every target in range.
+    ///
+    /// Row contents are adopted **verbatim** — no re-sorting — so a
+    /// decoded graph is bit-identical to the encoded one (adjacency order
+    /// is part of the engine's determinism contract).
+    pub fn from_csr_parts(
+        n: usize,
+        offsets: Vec<usize>,
+        targets: Vec<VertexId>,
+        weights: Vec<W>,
+        directed: bool,
+    ) -> Result<Self, String> {
+        if offsets.len() != n + 1 {
+            return Err(format!("{} offsets for {n} vertices", offsets.len()));
+        }
+        if offsets[0] != 0 || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err("offsets are not monotone from 0".to_string());
+        }
+        if offsets[n] != targets.len() {
+            return Err(format!(
+                "offsets cover {} arcs but {} targets given",
+                offsets[n],
+                targets.len()
+            ));
+        }
+        if weights.len() != targets.len() {
+            return Err(format!(
+                "{} weights for {} targets",
+                weights.len(),
+                targets.len()
+            ));
+        }
+        if let Some(&t) = targets.iter().find(|&&t| t as usize >= n) {
+            return Err(format!("target {t} out of range 0..{n}"));
+        }
+        Ok(Graph {
+            n,
+            offsets,
+            targets,
+            weights,
+            directed,
+        })
+    }
+
+    /// The vertical slice of this graph owned by one worker: adjacency is
+    /// kept verbatim (same order, same weights) for vertices where
+    /// `keep(v)` and empty elsewhere, with the global id space unchanged.
+    ///
+    /// This is what partition shipping sends each rank: a rank computes
+    /// only on the vertices it owns, so it needs only their rows — the
+    /// slice behaves identically to the full graph for every local-vertex
+    /// query while storing only the local arcs.
+    pub fn restrict_rows(&self, keep: impl Fn(VertexId) -> bool) -> Self {
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::new();
+        let mut weights = Vec::new();
+        for v in 0..self.n as VertexId {
+            if keep(v) {
+                let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
+                targets.extend_from_slice(&self.targets[range.clone()]);
+                weights.extend_from_slice(&self.weights[range]);
+            }
+            offsets.push(targets.len());
+        }
+        Graph {
+            n: self.n,
+            offsets,
+            targets,
+            weights,
+            directed: self.directed,
+        }
+    }
+}
+
 impl<W: Copy> Graph<W> {
+    /// The raw CSR arrays: `(n, offsets, targets, weights, directed)`.
+    /// Together with [`Graph::from_csr_parts`] this is the graph's
+    /// serialization surface (see `io::encode_graph`).
+    pub fn csr_parts(&self) -> (usize, &[usize], &[VertexId], &[W], bool) {
+        (
+            self.n,
+            &self.offsets,
+            &self.targets,
+            &self.weights,
+            self.directed,
+        )
+    }
+
     /// Number of vertices.
     pub fn n(&self) -> usize {
         self.n
@@ -288,5 +380,57 @@ mod tests {
         let g = Graph::from_edges(2, &[(0, 1), (0, 1)], true);
         assert_eq!(g.neighbors(0), &[1, 1]);
         assert_eq!(g.arc_count(), 2);
+    }
+
+    #[test]
+    fn csr_parts_roundtrip_is_identity() {
+        let g = Graph::from_weighted_edges(4, &[(0, 1, 7u32), (0, 2, 3), (2, 3, 1)], true);
+        let (n, offsets, targets, weights, directed) = g.csr_parts();
+        let g2 = Graph::from_csr_parts(
+            n,
+            offsets.to_vec(),
+            targets.to_vec(),
+            weights.to_vec(),
+            directed,
+        )
+        .unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_malformed_input() {
+        // Offsets not covering targets.
+        assert!(
+            Graph::<()>::from_csr_parts(2, vec![0, 1, 1], vec![1, 0], vec![(); 2], true).is_err()
+        );
+        // Non-monotone offsets.
+        assert!(Graph::<()>::from_csr_parts(2, vec![0, 2, 1], vec![1], vec![(); 1], true).is_err());
+        // Target out of range.
+        assert!(Graph::<()>::from_csr_parts(2, vec![0, 1, 1], vec![5], vec![(); 1], true).is_err());
+        // Weights not parallel to targets.
+        assert!(Graph::<u32>::from_csr_parts(2, vec![0, 1, 1], vec![1], vec![], true).is_err());
+        // Wrong offset count.
+        assert!(Graph::<()>::from_csr_parts(2, vec![0, 0], vec![], vec![], true).is_err());
+    }
+
+    #[test]
+    fn restrict_rows_keeps_kept_rows_verbatim() {
+        let g = Graph::from_weighted_edges(
+            5,
+            &[(0, 2, 9u32), (0, 1, 5), (1, 3, 2), (3, 4, 1), (4, 0, 8)],
+            true,
+        );
+        let s = g.restrict_rows(|v| v % 2 == 0);
+        assert_eq!(s.n(), g.n());
+        for v in 0..5u32 {
+            if v % 2 == 0 {
+                assert_eq!(s.neighbors(v), g.neighbors(v), "kept row {v}");
+                assert_eq!(s.weights(v), g.weights(v), "kept weights {v}");
+            } else {
+                assert_eq!(s.degree(v), 0, "dropped row {v}");
+            }
+        }
+        assert!(s.arc_count() < g.arc_count());
+        assert_eq!(s.is_directed(), g.is_directed());
     }
 }

@@ -6,6 +6,7 @@
 //! as, so real data can be dropped in if available.
 
 use crate::csr::{Graph, VertexId, WeightedGraph};
+use pc_bsp::{Codec, Reader};
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
 
@@ -68,6 +69,101 @@ fn parse_line(line: &str) -> Option<(VertexId, VertexId, Option<u32>)> {
     let v: VertexId = it.next()?.parse().ok()?;
     let w = it.next().and_then(|s| s.parse().ok());
     Some((u, v, w))
+}
+
+/// Version tag leading every [`encode_graph`] payload, so a future layout
+/// change fails loudly instead of mis-decoding.
+const CSR_WIRE_VERSION: u8 = 1;
+
+/// Serialize a CSR graph with the exchange [`Codec`] — the wire format
+/// partition shipping uses to stream each rank its slice, so non-zero
+/// ranks never touch the input file.
+///
+/// Layout (all little-endian, matching the codec):
+///
+/// ```text
+/// version:u8  n:u64  directed:bool  m:u64
+/// offsets[1..=n]:u64  targets[m]:u32  weights[m]:W
+/// ```
+///
+/// `offsets[0]` is always 0 and elided. Row order is preserved exactly:
+/// [`decode_graph`] rebuilds a bit-identical graph (adjacency order is
+/// part of the engine's determinism contract).
+pub fn encode_graph<W: Codec + Copy>(g: &Graph<W>, buf: &mut Vec<u8>) {
+    let (n, offsets, targets, weights, directed) = g.csr_parts();
+    buf.push(CSR_WIRE_VERSION);
+    (n as u64).encode(buf);
+    directed.encode(buf);
+    (targets.len() as u64).encode(buf);
+    for &o in &offsets[1..] {
+        (o as u64).encode(buf);
+    }
+    for &t in targets {
+        t.encode(buf);
+    }
+    for w in weights {
+        w.encode(buf);
+    }
+}
+
+/// Decode a graph serialized by [`encode_graph`], validating the CSR
+/// invariants (see [`Graph::from_csr_parts`]). Returns a descriptive
+/// error on a malformed or truncated payload instead of panicking —
+/// shipped bytes cross a process boundary and must be treated as input.
+pub fn decode_graph<W: Codec + Copy + Default>(r: &mut Reader<'_>) -> Result<Graph<W>, String> {
+    let header = 1 + 8 + 1 + 8;
+    if r.remaining() < header {
+        return Err(format!("graph header truncated at {} bytes", r.remaining()));
+    }
+    let version: u8 = r.get();
+    if version != CSR_WIRE_VERSION {
+        return Err(format!(
+            "graph wire version {version}, expected {CSR_WIRE_VERSION}"
+        ));
+    }
+    let n: u64 = r.get();
+    let directed: bool = r.get();
+    let m: u64 = r.get();
+    let n = usize::try_from(n).map_err(|_| "vertex count overflows usize".to_string())?;
+    let m = usize::try_from(m).map_err(|_| "arc count overflows usize".to_string())?;
+    // Each offset is 8 bytes, each target 4; weights follow. Check before
+    // allocating so a hostile length cannot trigger a huge allocation.
+    let need = n
+        .checked_mul(8)
+        .and_then(|o| m.checked_mul(4).map(|t| o + t))
+        .ok_or_else(|| "graph size overflows".to_string())?;
+    if r.remaining() < need {
+        return Err(format!(
+            "graph payload truncated: {} bytes left, {need}+ needed",
+            r.remaining()
+        ));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    for _ in 0..n {
+        let o: u64 = r.get();
+        offsets.push(usize::try_from(o).map_err(|_| "offset overflows usize".to_string())?);
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        targets.push(r.get::<u32>());
+    }
+    if let Some(ws) = W::FIXED_SIZE {
+        let wneed = m
+            .checked_mul(ws)
+            .ok_or_else(|| "weight size overflows".to_string())?;
+        if r.remaining() < wneed {
+            return Err(format!(
+                "weights truncated: {} bytes left, {wneed} needed",
+                r.remaining()
+            ));
+        }
+    }
+    let mut weights = Vec::with_capacity(m);
+    for _ in 0..m {
+        weights.push(r.get::<W>());
+    }
+    Graph::from_csr_parts(n, offsets, targets, weights, directed)
 }
 
 /// Weight column formatting: weighted graphs print a third column,
@@ -161,5 +257,89 @@ mod tests {
         assert_eq!(g.n(), 10);
         assert_eq!(g.degree(9), 0);
         std::fs::remove_file(path).ok();
+    }
+
+    fn wire_roundtrip<W: Codec + Copy + Default + PartialEq + std::fmt::Debug>(g: &Graph<W>) {
+        let mut buf = Vec::new();
+        encode_graph(g, &mut buf);
+        let mut r = Reader::new(&buf);
+        let g2: Graph<W> = decode_graph(&mut r).unwrap();
+        assert!(r.is_empty(), "trailing bytes after graph decode");
+        assert_eq!(g, &g2);
+    }
+
+    #[test]
+    fn codec_roundtrips_unweighted_and_weighted() {
+        wire_roundtrip(&gen::rmat(7, 600, gen::RmatParams::default(), 5, true));
+        wire_roundtrip(&gen::grid2d_weighted(7, 7, 9, 2));
+        wire_roundtrip(&Graph::from_edges(0, &[], true)); // empty graph
+        wire_roundtrip(&Graph::from_edges(3, &[], false)); // isolated vertices
+    }
+
+    #[test]
+    fn codec_roundtrips_partition_slices() {
+        let g = gen::rmat(7, 500, gen::RmatParams::default(), 8, false).symmetrized();
+        for parts in [1usize, 3] {
+            for p in 0..parts {
+                let slice = g.restrict_rows(|v| v as usize % parts == p);
+                wire_roundtrip(&slice);
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        // Wrong version byte.
+        let mut buf = Vec::new();
+        encode_graph(&gen::cycle(4), &mut buf);
+        buf[0] = 99;
+        assert!(decode_graph::<()>(&mut Reader::new(&buf)).is_err());
+        // Truncated payload (cut mid-targets).
+        let mut buf = Vec::new();
+        encode_graph(&gen::cycle(4), &mut buf);
+        buf.truncate(buf.len() - 3);
+        assert!(decode_graph::<()>(&mut Reader::new(&buf)).is_err());
+        // Hostile arc count must fail the length check, not allocate.
+        let mut buf = Vec::new();
+        0u8.encode(&mut buf); // placeholder, fixed below
+        buf[0] = 1; // version
+        4u64.encode(&mut buf); // n
+        true.encode(&mut buf);
+        u64::MAX.encode(&mut buf); // m
+        assert!(decode_graph::<()>(&mut Reader::new(&buf)).is_err());
+        // Empty input.
+        assert!(decode_graph::<u32>(&mut Reader::new(&[])).is_err());
+    }
+
+    proptest::proptest! {
+        /// Partition shipping's round trip: build a weighted graph from an
+        /// arbitrary (unsorted, duplicate-carrying) edge list, encode,
+        /// decode — the result is an identical graph, weights included.
+        #[test]
+        fn prop_weighted_graph_wire_roundtrip(
+            n in 1usize..40,
+            edges in proptest::collection::vec((0u32..40, 0u32..40, 1u32..1000), 0..120),
+            directed in proptest::any::<bool>(),
+        ) {
+            let edges: Vec<(u32, u32, u32)> = edges
+                .into_iter()
+                .map(|(u, v, w)| (u % n as u32, v % n as u32, w))
+                .collect();
+            let g = Graph::from_weighted_edges(n, &edges, directed);
+            let mut buf = Vec::new();
+            encode_graph(&g, &mut buf);
+            let mut r = Reader::new(&buf);
+            let g2: WeightedGraph = decode_graph(&mut r).unwrap();
+            proptest::prop_assert!(r.is_empty());
+            proptest::prop_assert_eq!(&g, &g2);
+            // And each worker's shipped slice round-trips too.
+            for rank in 0..3u32 {
+                let slice = g.restrict_rows(|v| v % 3 == rank);
+                let mut buf = Vec::new();
+                encode_graph(&slice, &mut buf);
+                let s2: WeightedGraph = decode_graph(&mut Reader::new(&buf)).unwrap();
+                proptest::prop_assert_eq!(&slice, &s2);
+            }
+        }
     }
 }

@@ -32,21 +32,12 @@ pub fn edge_cut<W: Copy>(g: &Graph<W>, owner: &[u16]) -> (usize, usize) {
 }
 
 /// Pseudo-random (hash) assignment — the baseline the paper calls
-/// "vertices are randomly assigned to workers".
+/// "vertices are randomly assigned to workers". Uses the same mix as
+/// `pc_bsp::Topology::hashed`, so the two agree vertex for vertex.
 pub fn random_owners(n: usize, parts: usize) -> Vec<u16> {
     (0..n as u64)
-        .map(|v| (pc_bsp_mix(v) % parts as u64) as u16)
+        .map(|v| (pc_bsp::topology::mix64(v) % parts as u64) as u16)
         .collect()
-}
-
-// Local copy of the splitmix64 finalizer so pc-graph does not depend on
-// pc-bsp (kept bit-identical to `pc_bsp::topology::mix64`).
-#[inline]
-fn pc_bsp_mix(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
 }
 
 /// Linear Deterministic Greedy streaming partitioner.

@@ -1,30 +1,35 @@
 //! `pcgraph` — run the channel-based algorithms from the command line.
 //!
-//! ```text
-//! pcgraph <algorithm> [--input FILE | --gen NAME] [options]
+//! Three execution shapes share one binary:
 //!
-//! algorithms: pagerank | wcc | sv | scc | sssp | bfs | kcore | msf | stats
-//! options:
-//!   --input FILE      whitespace edge list (src dst [weight]); '#'/'%' comments
-//!   --gen NAME        synthetic dataset: wikipedia|webuk|facebook|twitter|road|rmat24
-//!   --scale N         generator scale, vertices = 2^N        [default 13]
-//!   --workers N       simulated workers                      [default 4]
-//!   --transport NAME  exchange backend: in-process|tcp       [default in-process]
-//!   --variant NAME    basic|scatter|reqresp|both|prop|mirror [default: best]
-//!   --iters N         PageRank iterations                    [default 30]
-//!   --src N           SSSP/BFS source vertex                 [default 0]
-//!   --k N             k-core parameter                       [default 2]
-//!   --directed        treat the input file as directed
-//!   --partition       place vertices with the LDG partitioner (vs random)
-//! ```
+//! * **Single process** (default): the simulated cluster — worker threads
+//!   over the in-process hub or a loopback TCP mesh.
+//! * **Launcher** (`--ranks M`): spawn `M` OS processes (one rank each),
+//!   supervise them, and let rank 0 print the merged results. Only rank 0
+//!   reads the input; every other rank receives its partition over the
+//!   bootstrap connection.
+//! * **Rank** (`--rank N --ranks M --coordinator HOST:PORT`): one rank of
+//!   a multi-process cluster, normally spawned by the launcher but usable
+//!   by hand (or across hosts with a reachable coordinator address).
+//!
+//! Run `pcgraph --help` for the full flag reference. Exit codes: 0
+//! success, 1 runtime error (including `--verify` mismatches), 2 usage,
+//! 3 bootstrap/transport failure.
 
-use pc_bsp::{Config, Topology, TransportKind};
+use pc_bsp::{Config, ExecMode, RunStats, Tcp, TcpOptions, Topology, TransportKind};
+use pc_dist::bootstrap::{BootstrapOptions, Coordinator, Follower, TAG_PLAN};
+use pc_dist::launch::{
+    self, pick_rendezvous_addr, LaunchSpec, EXIT_BOOTSTRAP, EXIT_OK, EXIT_RUNTIME, EXIT_USAGE,
+};
+use pc_dist::ship;
 use pc_graph::{io, partition, stats, Graph, WeightedGraph};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
+use std::time::Duration;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Opts {
     algorithm: String,
     input: Option<PathBuf>,
@@ -38,21 +43,82 @@ struct Opts {
     k: u32,
     directed: bool,
     partition: bool,
+    /// Total ranks of a multi-process run (launcher or rank mode).
+    ranks: Option<usize>,
+    /// This process's rank (rank mode only; the launcher spawns these).
+    rank: Option<usize>,
+    /// Rendezvous address rank 0 listens on.
+    coordinator: Option<SocketAddr>,
+    /// After a distributed run, rank 0 re-runs the sequential engine on
+    /// the full graph and fails (exit 1) unless values and stats match.
+    verify: bool,
+    /// Explicit SpinBarrier budget (in-process transport).
+    spin_budget: Option<u32>,
 }
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: pcgraph <pagerank|wcc|sv|scc|sssp|bfs|kcore|msf|stats> \
-         [--input FILE | --gen NAME] [--scale N] [--workers N] \
-         [--transport in-process|tcp] [--variant NAME] [--iters N] \
-         [--src N] [--k N] [--directed] [--partition]"
-    );
-    exit(2)
+const HELP: &str = "\
+pcgraph — channel-composed vertex-centric graph processing
+
+USAGE:
+    pcgraph <ALGORITHM> [OPTIONS]
+
+ALGORITHMS:
+    pagerank | wcc | sv | scc | sssp | bfs | kcore | msf | stats
+
+INPUT (rank 0 / single process only):
+    --input FILE      whitespace edge list (src dst [weight]); '#'/'%' comments
+    --gen NAME        synthetic dataset: wikipedia|webuk|facebook|twitter|road
+    --scale N         generator scale, vertices = 2^N            [default 13]
+    --directed        treat the input file as directed
+
+EXECUTION:
+    --workers N       simulated workers (single process)         [default 4]
+    --transport NAME  exchange backend: in-process|tcp           [default in-process]
+    --partition       place vertices with the LDG partitioner (vs random)
+    --spin-budget N   barrier spin iterations before yielding, in-process
+                      transport only                             [default adaptive]
+
+MULTI-PROCESS:
+    --ranks M         launcher mode: run M OS processes (one worker each);
+                      rank 0 loads the graph and ships every other rank its
+                      partition — no other process touches the input
+    --rank N          rank mode: be rank N of an M-rank cluster (requires
+                      --ranks and --coordinator; normally set by the launcher)
+    --coordinator A   rendezvous address rank 0 listens on (HOST:PORT)
+    --verify          after the distributed run, rank 0 re-runs the
+                      sequential engine and fails on any mismatch
+
+ALGORITHM PARAMETERS:
+    --variant NAME    basic|scatter|reqresp|both|prop|mirror|blogel [default: best]
+    --iters N         PageRank iterations                        [default 30]
+    --src N           SSSP/BFS source vertex                     [default 0]
+    --k N             k-core parameter                           [default 2]
+
+ENVIRONMENT:
+    PC_DIST_CONNECT_TIMEOUT_MS   rendezvous/mesh connect deadline [10000]
+    PC_DIST_JOIN_TIMEOUT_MS      launcher whole-run deadline      [600000]
+
+EXIT CODES:
+    0 success   1 runtime error / verify mismatch   2 usage   3 bootstrap failure
+";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("pcgraph: {msg}");
+    eprintln!("run 'pcgraph --help' for usage");
+    exit(EXIT_USAGE)
 }
 
 fn parse_args() -> Opts {
-    let mut args = std::env::args().skip(1);
-    let algorithm = args.next().unwrap_or_else(|| usage());
+    let mut args = std::env::args().skip(1).peekable();
+    let algorithm = match args.next() {
+        Some(a) if a == "--help" || a == "-h" => {
+            print!("{HELP}");
+            exit(EXIT_OK)
+        }
+        Some(a) if a.starts_with('-') => usage_error(&format!("expected an algorithm, got '{a}'")),
+        Some(a) => a,
+        None => usage_error("no algorithm given"),
+    };
     let mut opts = Opts {
         algorithm,
         input: None,
@@ -66,37 +132,194 @@ fn parse_args() -> Opts {
         k: 2,
         directed: false,
         partition: false,
+        ranks: None,
+        rank: None,
+        coordinator: None,
+        verify: false,
+        spin_budget: None,
     };
-    let next = |args: &mut dyn Iterator<Item = String>| args.next().unwrap_or_else(|| usage());
+    fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+        args.next()
+            .unwrap_or_else(|| usage_error(&format!("flag {flag} needs a value")))
+    }
+    fn number<T: std::str::FromStr>(args: &mut impl Iterator<Item = String>, flag: &str) -> T {
+        let v = value(args, flag);
+        v.parse()
+            .unwrap_or_else(|_| usage_error(&format!("flag {flag} expects a number, got '{v}'")))
+    }
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--input" => opts.input = Some(PathBuf::from(next(&mut args))),
-            "--gen" => opts.gen = Some(next(&mut args)),
-            "--scale" => opts.scale = next(&mut args).parse().unwrap_or_else(|_| usage()),
-            "--workers" => opts.workers = next(&mut args).parse().unwrap_or_else(|_| usage()),
-            "--transport" => {
-                opts.transport = next(&mut args).parse().unwrap_or_else(|e| {
-                    eprintln!("{e}");
-                    usage()
-                })
+            "--help" | "-h" => {
+                print!("{HELP}");
+                exit(EXIT_OK)
             }
-            "--variant" => opts.variant = next(&mut args),
-            "--iters" => opts.iters = next(&mut args).parse().unwrap_or_else(|_| usage()),
-            "--src" => opts.src = next(&mut args).parse().unwrap_or_else(|_| usage()),
-            "--k" => opts.k = next(&mut args).parse().unwrap_or_else(|_| usage()),
+            "--input" => opts.input = Some(PathBuf::from(value(&mut args, "--input"))),
+            "--gen" => opts.gen = Some(value(&mut args, "--gen")),
+            "--scale" => opts.scale = number(&mut args, "--scale"),
+            "--workers" => opts.workers = number(&mut args, "--workers"),
+            "--transport" => {
+                let v = value(&mut args, "--transport");
+                opts.transport = v.parse().unwrap_or_else(|e: String| usage_error(&e));
+            }
+            "--variant" => opts.variant = value(&mut args, "--variant"),
+            "--iters" => opts.iters = number(&mut args, "--iters"),
+            "--src" => opts.src = number(&mut args, "--src"),
+            "--k" => opts.k = number(&mut args, "--k"),
             "--directed" => opts.directed = true,
             "--partition" => opts.partition = true,
-            _ => usage(),
+            "--ranks" => opts.ranks = Some(number(&mut args, "--ranks")),
+            "--rank" => opts.rank = Some(number(&mut args, "--rank")),
+            "--coordinator" => {
+                let v = value(&mut args, "--coordinator");
+                opts.coordinator = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--coordinator expects HOST:PORT, got '{v}'"))
+                }));
+            }
+            "--verify" => opts.verify = true,
+            "--spin-budget" => opts.spin_budget = Some(number(&mut args, "--spin-budget")),
+            other if other.starts_with('-') => usage_error(&format!("unknown flag '{other}'")),
+            other => usage_error(&format!("unexpected argument '{other}'")),
         }
     }
+    // Cross-flag validation.
+    if let Some(ranks) = opts.ranks {
+        if ranks == 0 {
+            usage_error("--ranks must be at least 1");
+        }
+        if let Some(rank) = opts.rank {
+            if rank >= ranks {
+                usage_error(&format!("--rank {rank} out of range 0..{ranks}"));
+            }
+            if opts.coordinator.is_none() {
+                usage_error("--rank requires --coordinator");
+            }
+        }
+    } else if opts.rank.is_some() {
+        usage_error("--rank requires --ranks");
+    } else {
+        // Flags that only mean something in a multi-process run must not
+        // be silently ignored.
+        if opts.verify {
+            usage_error("--verify compares a multi-process run against the sequential engine; it requires --ranks");
+        }
+        if opts.coordinator.is_some() {
+            usage_error("--coordinator requires --ranks (and --rank for rank mode)");
+        }
+    }
+    if opts.workers == 0 {
+        usage_error("--workers must be at least 1");
+    }
     opts
+}
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    match std::env::var(name) {
+        Err(_) => Duration::from_millis(default_ms),
+        Ok(v) => match v.parse() {
+            Ok(ms) => Duration::from_millis(ms),
+            // A set-but-unparsable deadline must not silently become the
+            // default — that is how a wedged cluster outlives its CI job.
+            Err(_) => usage_error(&format!("{name} expects milliseconds, got '{v}'")),
+        },
+    }
+}
+
+fn bootstrap_options() -> BootstrapOptions {
+    BootstrapOptions {
+        connect_timeout: env_ms("PC_DIST_CONNECT_TIMEOUT_MS", 10_000),
+        ..BootstrapOptions::default()
+    }
+}
+
+fn tcp_options() -> TcpOptions {
+    TcpOptions {
+        connect_timeout: env_ms("PC_DIST_CONNECT_TIMEOUT_MS", 10_000),
+        ..TcpOptions::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graph loading and partition shipping
+// ---------------------------------------------------------------------
+
+/// What kind of graph data an algorithm walks.
+#[derive(Debug, Clone, Copy)]
+struct Need {
+    weighted: bool,
+    directed: bool,
+    /// Also needs the transposed graph (SCC).
+    rev: bool,
+}
+
+fn need_of(algorithm: &str) -> Need {
+    match algorithm {
+        "pagerank" | "bfs" => Need {
+            weighted: false,
+            directed: true,
+            rev: false,
+        },
+        "scc" => Need {
+            weighted: false,
+            directed: true,
+            rev: true,
+        },
+        "sssp" | "msf" => Need {
+            weighted: true,
+            directed: false,
+            rev: false,
+        },
+        // wcc | sv | kcore (and anything undirected).
+        _ => Need {
+            weighted: false,
+            directed: false,
+            rev: false,
+        },
+    }
+}
+
+/// The graph data an algorithm runs on — full graphs in single-process
+/// mode, shipped row slices in rank mode.
+#[derive(Debug)]
+enum Gdata {
+    U {
+        g: Arc<Graph>,
+        rev: Option<Arc<Graph>>,
+    },
+    W(Arc<WeightedGraph>),
+}
+
+impl Gdata {
+    fn unweighted(&self) -> &Arc<Graph> {
+        match self {
+            Gdata::U { g, .. } => g,
+            Gdata::W(_) => unreachable!("algorithm asked for an unweighted graph"),
+        }
+    }
+    fn rev(&self) -> &Arc<Graph> {
+        match self {
+            Gdata::U { rev: Some(r), .. } => r,
+            _ => unreachable!("algorithm asked for a reverse graph that was not prepared"),
+        }
+    }
+    fn weighted(&self) -> &Arc<WeightedGraph> {
+        match self {
+            Gdata::W(g) => g,
+            Gdata::U { .. } => unreachable!("algorithm asked for a weighted graph"),
+        }
+    }
+    fn n(&self) -> usize {
+        match self {
+            Gdata::U { g, .. } => g.n(),
+            Gdata::W(g) => g.n(),
+        }
+    }
 }
 
 fn load_unweighted(opts: &Opts, want_directed: bool) -> Arc<Graph> {
     if let Some(path) = &opts.input {
         let g = io::read_edge_list(path, opts.directed && want_directed, 0).unwrap_or_else(|e| {
-            eprintln!("cannot read {}: {e}", path.display());
-            exit(1)
+            eprintln!("pcgraph: cannot read {}: {e}", path.display());
+            exit(EXIT_RUNTIME)
         });
         return Arc::new(g);
     }
@@ -123,10 +346,7 @@ fn load_unweighted(opts: &Opts, want_directed: bool) -> Arc<Graph> {
             let side = 1usize << (opts.scale / 2);
             grid2d((1usize << opts.scale) / side, side, 0.05, 6)
         }
-        other => {
-            eprintln!("unknown dataset '{other}'");
-            exit(2)
-        }
+        other => usage_error(&format!("unknown dataset '{other}'")),
     };
     let g = if want_directed { g } else { g.symmetrized() };
     Arc::new(g)
@@ -135,8 +355,8 @@ fn load_unweighted(opts: &Opts, want_directed: bool) -> Arc<Graph> {
 fn load_weighted(opts: &Opts) -> Arc<WeightedGraph> {
     if let Some(path) = &opts.input {
         let g = io::read_weighted_edge_list(path, opts.directed, 0).unwrap_or_else(|e| {
-            eprintln!("cannot read {}: {e}", path.display());
-            exit(1)
+            eprintln!("pcgraph: cannot read {}: {e}", path.display());
+            exit(EXIT_RUNTIME)
         });
         return Arc::new(g);
     }
@@ -151,21 +371,217 @@ fn load_weighted(opts: &Opts) -> Arc<WeightedGraph> {
     ))
 }
 
-fn topology<W: Copy + Default>(g: &Graph<W>, opts: &Opts) -> Arc<Topology> {
-    if opts.partition {
-        let owners = partition::ldg(g, opts.workers, 2);
-        let (cut, total) = partition::edge_cut(g, &owners);
-        eprintln!(
-            "ldg partition: edge-cut {:.1}%",
-            100.0 * cut as f64 / total.max(1) as f64
-        );
-        Arc::new(Topology::from_owners(opts.workers, owners))
+/// Load the full graph(s) the algorithm needs (rank 0 / single process).
+fn load(opts: &Opts, need: Need) -> Gdata {
+    if need.weighted {
+        Gdata::W(load_weighted(opts))
     } else {
-        Arc::new(Topology::hashed(g.n(), opts.workers))
+        let g = load_unweighted(opts, need.directed);
+        let rev = need.rev.then(|| Arc::new(g.reverse()));
+        Gdata::U { g, rev }
     }
 }
 
-fn report(stats: &pc_bsp::RunStats) {
+/// LDG-partition one graph and report the edge-cut.
+fn ldg_owners<W: Copy>(g: &Graph<W>, parts: usize) -> Vec<u16> {
+    let owners = partition::ldg(g, parts, 2);
+    let (cut, total) = partition::edge_cut(g, &owners);
+    eprintln!(
+        "ldg partition: edge-cut {:.1}%",
+        100.0 * cut as f64 / total.max(1) as f64
+    );
+    owners
+}
+
+/// Owner table for a `parts`-way split of `data` (LDG or random).
+fn owners_for(data: &Gdata, opts: &Opts, parts: usize) -> Vec<u16> {
+    if opts.partition {
+        match data {
+            Gdata::U { g, .. } => ldg_owners(g.as_ref(), parts),
+            Gdata::W(g) => ldg_owners(g.as_ref(), parts),
+        }
+    } else {
+        partition::random_owners(data.n(), parts)
+    }
+}
+
+/// The row slices `rank` needs, in the order `decode_slices` restores.
+fn slices_for(data: &Gdata, topo: &Topology, rank: usize) -> Gdata {
+    match data {
+        Gdata::U { g, rev } => Gdata::U {
+            g: Arc::new(ship::slice_for_rank(g, topo, rank)),
+            rev: rev
+                .as_ref()
+                .map(|r| Arc::new(ship::slice_for_rank(r, topo, rank))),
+        },
+        Gdata::W(g) => Gdata::W(Arc::new(ship::slice_for_rank(g, topo, rank))),
+    }
+}
+
+fn encode_plan(owner: &[u16], data: &Gdata) -> Vec<u8> {
+    match data {
+        Gdata::U { g, rev: None } => ship::encode_plan(owner, &[g.as_ref()]),
+        Gdata::U { g, rev: Some(r) } => ship::encode_plan(owner, &[g.as_ref(), r.as_ref()]),
+        Gdata::W(g) => ship::encode_plan(owner, &[g.as_ref()]),
+    }
+}
+
+fn decode_plan(payload: &[u8], need: Need) -> Result<(Vec<u16>, Gdata), String> {
+    if need.weighted {
+        let (owner, mut graphs) = ship::decode_plan::<u32>(payload)?;
+        if graphs.len() != 1 {
+            return Err(format!("expected 1 graph slice, got {}", graphs.len()));
+        }
+        Ok((owner, Gdata::W(Arc::new(graphs.remove(0)))))
+    } else {
+        let (owner, graphs) = ship::decode_plan::<()>(payload)?;
+        let expected = if need.rev { 2 } else { 1 };
+        if graphs.len() != expected {
+            return Err(format!(
+                "expected {expected} graph slice(s), got {}",
+                graphs.len()
+            ));
+        }
+        let mut it = graphs.into_iter();
+        let g = Arc::new(it.next().unwrap());
+        let rev = it.next().map(Arc::new);
+        Ok((owner, Gdata::U { g, rev }))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Session preparation (single process / rank 0 / follower)
+// ---------------------------------------------------------------------
+
+enum Role {
+    Single,
+    /// Rank 0 of a multi-process run. Keeps the full graph only when
+    /// `--verify` will need it; the run itself uses rank 0's slice.
+    Rank0 {
+        full: Option<Gdata>,
+        /// Keeps the control links open for the lifetime of the run.
+        _coordinator: Coordinator,
+    },
+    Follower,
+}
+
+struct Prepared {
+    cfg: Config,
+    topo: Arc<Topology>,
+    data: Gdata,
+    role: Role,
+}
+
+fn bail_bootstrap(e: impl std::fmt::Display) -> ! {
+    eprintln!("pcgraph: bootstrap failed: {e}");
+    exit(EXIT_BOOTSTRAP)
+}
+
+fn prepare(opts: &Opts, need: Need) -> Prepared {
+    let Some(rank) = opts.rank else {
+        // Single-process shape (the original pcgraph).
+        let data = load(opts, need);
+        let topo = if opts.partition {
+            Arc::new(Topology::from_owners(
+                opts.workers,
+                owners_for(&data, opts, opts.workers),
+            ))
+        } else {
+            Arc::new(Topology::hashed(data.n(), opts.workers))
+        };
+        let cfg = Config {
+            transport: opts.transport,
+            spin_budget: opts.spin_budget,
+            ..Config::with_workers(opts.workers)
+        };
+        return Prepared {
+            cfg,
+            topo,
+            data,
+            role: Role::Single,
+        };
+    };
+    // Rank mode: one worker per process over a real socket mesh.
+    let ranks = opts.ranks.expect("validated in parse_args");
+    let coordinator_addr = opts.coordinator.expect("validated in parse_args");
+    if opts.variant == "blogel" {
+        usage_error(
+            "--variant blogel runs on the Pregel baseline engine, which has no multi-process mode",
+        );
+    }
+    let listener = TcpListener::bind(("127.0.0.1", 0))
+        .unwrap_or_else(|e| bail_bootstrap(format!("bind data-plane listener: {e}")));
+    let data_addr = listener
+        .local_addr()
+        .unwrap_or_else(|e| bail_bootstrap(format!("data-plane local_addr: {e}")));
+    let bopts = bootstrap_options();
+    if rank == 0 {
+        // Rendezvous before loading: followers dial under the (short)
+        // connect deadline, which must not also have to cover a long
+        // graph load. Once joined, they wait for their plan under the
+        // generous control-plane io deadline instead.
+        let mut coordinator = Coordinator::rendezvous(coordinator_addr, ranks, data_addr, bopts)
+            .unwrap_or_else(|e| bail_bootstrap(e));
+        let full = load(opts, need);
+        let owner = owners_for(&full, opts, ranks);
+        let topo = Arc::new(Topology::from_owners(ranks, owner.clone()));
+        // Partition shipping: every follower gets the owner table plus
+        // exactly its row slices — no other process opens the input.
+        for r in 1..ranks {
+            let plan = encode_plan(&owner, &slices_for(&full, &topo, r));
+            coordinator
+                .send(r, TAG_PLAN, &plan)
+                .unwrap_or_else(|e| bail_bootstrap(e));
+        }
+        let data = slices_for(&full, &topo, 0);
+        let tcp = Tcp::mesh(0, coordinator.peers().to_vec(), listener, tcp_options())
+            .unwrap_or_else(|e| bail_bootstrap(e));
+        let cfg = Config {
+            spin_budget: opts.spin_budget,
+            ..Config::rank(ranks, 0, Arc::new(tcp))
+        };
+        Prepared {
+            cfg,
+            topo,
+            data,
+            role: Role::Rank0 {
+                full: opts.verify.then_some(full),
+                _coordinator: coordinator,
+            },
+        }
+    } else {
+        let mut follower = Follower::join(coordinator_addr, rank, data_addr, bopts)
+            .unwrap_or_else(|e| bail_bootstrap(e));
+        let mut plan = Vec::new();
+        let tag = follower
+            .recv(&mut plan)
+            .unwrap_or_else(|e| bail_bootstrap(e));
+        if tag != TAG_PLAN {
+            bail_bootstrap(format!("expected a PLAN frame, got tag {tag:#04x}"));
+        }
+        let (owner, data) = decode_plan(&plan, need)
+            .unwrap_or_else(|e| bail_bootstrap(format!("malformed plan: {e}")));
+        let topo = Arc::new(Topology::from_owners(ranks, owner));
+        let tcp = Tcp::mesh(rank, follower.peers().to_vec(), listener, tcp_options())
+            .unwrap_or_else(|e| bail_bootstrap(e));
+        let cfg = Config {
+            spin_budget: opts.spin_budget,
+            ..Config::rank(ranks, rank, Arc::new(tcp))
+        };
+        Prepared {
+            cfg,
+            topo,
+            data,
+            role: Role::Follower,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Result handling
+// ---------------------------------------------------------------------
+
+fn report(stats: &RunStats) {
     eprintln!(
         "done: {:.1} ms, {:.3} MiB network traffic, {} supersteps, {} rounds",
         stats.millis(),
@@ -188,17 +604,189 @@ fn report(stats: &pc_bsp::RunStats) {
             stats.transport.round_trips,
         );
     }
+    if stats.barrier_crossings > 0 {
+        eprintln!(
+            "  barrier {:>14} crossings {:>13} arrival spins",
+            stats.barrier_crossings, stats.barrier_spins,
+        );
+    }
 }
+
+/// Print (and in `--verify` mode check) the run's results, then exit.
+fn conclude<V: PartialEq>(
+    prepared: Prepared,
+    opts: &Opts,
+    values: V,
+    stats: RunStats,
+    print: impl FnOnce(&V, &RunStats),
+    rerun: impl Fn(&Gdata, &Arc<Topology>, &Config) -> (V, RunStats),
+) -> ! {
+    let Prepared { topo, role, .. } = prepared;
+    match role {
+        Role::Follower => exit(EXIT_OK), // results were gathered to rank 0
+        Role::Single => {
+            print(&values, &stats);
+            exit(EXIT_OK)
+        }
+        Role::Rank0 { full, .. } => {
+            print(&values, &stats);
+            if opts.verify {
+                let full = full.expect("--verify keeps the full graph on rank 0");
+                let seq_cfg = Config {
+                    mode: ExecMode::Sequential,
+                    ..Config::with_workers(topo.workers())
+                };
+                let (seq_values, seq_stats) = rerun(&full, &topo, &seq_cfg);
+                let mut failures = Vec::new();
+                if values != seq_values {
+                    failures.push("values".to_string());
+                }
+                let pairs: [(&str, u64, u64); 5] = [
+                    (
+                        "remote bytes",
+                        stats.remote_bytes(),
+                        seq_stats.remote_bytes(),
+                    ),
+                    ("total bytes", stats.total_bytes(), seq_stats.total_bytes()),
+                    ("messages", stats.messages(), seq_stats.messages()),
+                    ("supersteps", stats.supersteps, seq_stats.supersteps),
+                    ("rounds", stats.rounds, seq_stats.rounds),
+                ];
+                for (what, got, want) in pairs {
+                    if got != want {
+                        failures.push(format!("{what} ({got} vs {want})"));
+                    }
+                }
+                if stats.pool != seq_stats.pool {
+                    failures.push(format!(
+                        "pool traffic ({:?} vs {:?})",
+                        stats.pool, seq_stats.pool
+                    ));
+                }
+                if !failures.is_empty() {
+                    eprintln!(
+                        "pcgraph: verify FAILED — distributed run diverges from the \
+                         sequential reference: {}",
+                        failures.join(", ")
+                    );
+                    exit(EXIT_RUNTIME);
+                }
+                eprintln!(
+                    "verify: distributed run matches the sequential reference \
+                     (values, bytes, messages, supersteps, rounds, pool)"
+                );
+            }
+            exit(EXIT_OK)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Launcher mode
+// ---------------------------------------------------------------------
+
+/// Build the argument vector for one spawned rank. Loader flags
+/// (`--input`, `--gen`, `--scale`) go to rank 0 only: followers receive
+/// their partition over the bootstrap connection and structurally cannot
+/// load the input.
+fn child_args(opts: &Opts, rank: usize, ranks: usize, coordinator: &SocketAddr) -> Vec<String> {
+    let mut a = vec![
+        opts.algorithm.clone(),
+        "--rank".into(),
+        rank.to_string(),
+        "--ranks".into(),
+        ranks.to_string(),
+        "--coordinator".into(),
+        coordinator.to_string(),
+    ];
+    if !opts.variant.is_empty() {
+        a.push("--variant".into());
+        a.push(opts.variant.clone());
+    }
+    a.push("--iters".into());
+    a.push(opts.iters.to_string());
+    a.push("--src".into());
+    a.push(opts.src.to_string());
+    a.push("--k".into());
+    a.push(opts.k.to_string());
+    if opts.partition {
+        a.push("--partition".into());
+    }
+    // --spin-budget is NOT forwarded: ranks exchange over the socket
+    // mesh, which has no spinning barrier, so the flag would be a
+    // silent no-op there.
+    if rank == 0 {
+        if let Some(input) = &opts.input {
+            a.push("--input".into());
+            a.push(input.display().to_string());
+        } else if let Some(gen) = &opts.gen {
+            a.push("--gen".into());
+            a.push(gen.clone());
+        }
+        a.push("--scale".into());
+        a.push(opts.scale.to_string());
+        if opts.directed {
+            a.push("--directed".into());
+        }
+        if opts.verify {
+            a.push("--verify".into());
+        }
+    }
+    a
+}
+
+fn run_launcher(opts: &Opts) -> ! {
+    let ranks = opts.ranks.expect("launcher mode has --ranks");
+    if opts.algorithm == "stats" {
+        usage_error("'stats' is single-process; drop --ranks");
+    }
+    let coordinator = opts
+        .coordinator
+        .map(Ok)
+        .unwrap_or_else(pick_rendezvous_addr);
+    let coordinator = coordinator.unwrap_or_else(|e| {
+        eprintln!("pcgraph: cannot pick a rendezvous address: {e}");
+        exit(EXIT_RUNTIME)
+    });
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("pcgraph: cannot locate own binary: {e}");
+        exit(EXIT_RUNTIME)
+    });
+    let spec = LaunchSpec {
+        exe,
+        ranks,
+        join_timeout: env_ms("PC_DIST_JOIN_TIMEOUT_MS", 600_000),
+    };
+    match launch::launch(&spec, |rank| child_args(opts, rank, ranks, &coordinator)) {
+        Ok(()) => exit(EXIT_OK),
+        Err(e) => {
+            eprintln!("pcgraph: {e}");
+            // Propagate the failing rank's own code where there is one.
+            let code = match e {
+                launch::LaunchError::Exit { code: Some(c), .. } if c != 0 => c,
+                _ => EXIT_RUNTIME,
+            };
+            exit(code)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Algorithm dispatch
+// ---------------------------------------------------------------------
 
 fn main() {
     let opts = parse_args();
-    let cfg = Config {
-        transport: opts.transport,
-        ..Config::with_workers(opts.workers)
-    };
+    if opts.ranks.is_some() && opts.rank.is_none() {
+        run_launcher(&opts);
+    }
+    let opts = &opts;
     match opts.algorithm.as_str() {
         "stats" => {
-            let g = load_unweighted(&opts, true);
+            if opts.rank.is_some() {
+                usage_error("'stats' is single-process; drop --rank/--ranks");
+            }
+            let g = load_unweighted(opts, true);
             let s = stats::graph_stats(&g);
             println!(
                 "|V| {}  |E| {}  avg deg {:.2}  max deg {}  sinks {}",
@@ -206,113 +794,286 @@ fn main() {
             );
         }
         "pagerank" => {
-            let g = load_unweighted(&opts, true);
-            let topo = topology(&g, &opts);
-            let out = match opts.variant.as_str() {
-                "basic" => pc_algos::pagerank::channel_basic(&g, &topo, &cfg, opts.iters),
-                "mirror" => pc_algos::pagerank::channel_mirror(&g, &topo, &cfg, opts.iters, 16),
-                _ => pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, opts.iters),
+            let p = prepare(opts, need_of("pagerank"));
+            let (variant, iters) = (opts.variant.clone(), opts.iters);
+            let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
+                let g = d.unweighted();
+                let o = match variant.as_str() {
+                    "basic" => pc_algos::pagerank::channel_basic(g, topo, cfg, iters),
+                    "mirror" => pc_algos::pagerank::channel_mirror(g, topo, cfg, iters, 16),
+                    _ => pc_algos::pagerank::channel_scatter(g, topo, cfg, iters),
+                };
+                (o.ranks, o.stats)
             };
-            let mut top: Vec<(usize, f64)> = out.ranks.iter().copied().enumerate().collect();
-            top.sort_by(|a, b| b.1.total_cmp(&a.1));
-            for (v, r) in top.iter().take(10) {
-                println!("{v}\t{r:.8}");
-            }
-            report(&out.stats);
+            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            conclude(
+                p,
+                opts,
+                values,
+                stats,
+                |ranks, stats| {
+                    let mut top: Vec<(usize, f64)> = ranks.iter().copied().enumerate().collect();
+                    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+                    for (v, r) in top.iter().take(10) {
+                        println!("{v}\t{r:.8}");
+                    }
+                    report(stats);
+                },
+                run,
+            );
         }
         "wcc" => {
-            let g = load_unweighted(&opts, false);
-            let topo = topology(&g, &opts);
-            let out = match opts.variant.as_str() {
-                "basic" => pc_algos::wcc::channel_basic(&g, &topo, &cfg),
-                "blogel" => pc_algos::wcc::blogel(&g, &topo, &cfg),
-                _ => pc_algos::wcc::channel_propagation(&g, &topo, &cfg),
+            let p = prepare(opts, need_of("wcc"));
+            let variant = opts.variant.clone();
+            let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
+                let g = d.unweighted();
+                let o = match variant.as_str() {
+                    "basic" => pc_algos::wcc::channel_basic(g, topo, cfg),
+                    "blogel" => pc_algos::wcc::blogel(g, topo, cfg),
+                    _ => pc_algos::wcc::channel_propagation(g, topo, cfg),
+                };
+                (o.labels, o.stats)
             };
-            println!(
-                "{} components",
-                pc_graph::reference::component_count(&out.labels)
+            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            conclude(
+                p,
+                opts,
+                values,
+                stats,
+                |labels, stats| {
+                    println!(
+                        "{} components",
+                        pc_graph::reference::component_count(labels)
+                    );
+                    report(stats);
+                },
+                run,
             );
-            report(&out.stats);
         }
         "sv" => {
-            let g = load_unweighted(&opts, false);
-            let topo = topology(&g, &opts);
-            let out = match opts.variant.as_str() {
-                "basic" => pc_algos::sv::channel_basic(&g, &topo, &cfg),
-                "reqresp" => pc_algos::sv::channel_reqresp(&g, &topo, &cfg),
-                "scatter" => pc_algos::sv::channel_scatter(&g, &topo, &cfg),
-                _ => pc_algos::sv::channel_both(&g, &topo, &cfg),
+            let p = prepare(opts, need_of("sv"));
+            let variant = opts.variant.clone();
+            let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
+                let g = d.unweighted();
+                let o = match variant.as_str() {
+                    "basic" => pc_algos::sv::channel_basic(g, topo, cfg),
+                    "reqresp" => pc_algos::sv::channel_reqresp(g, topo, cfg),
+                    "scatter" => pc_algos::sv::channel_scatter(g, topo, cfg),
+                    _ => pc_algos::sv::channel_both(g, topo, cfg),
+                };
+                (o.labels, o.stats)
             };
-            println!(
-                "{} components",
-                pc_graph::reference::component_count(&out.labels)
+            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            conclude(
+                p,
+                opts,
+                values,
+                stats,
+                |labels, stats| {
+                    println!(
+                        "{} components",
+                        pc_graph::reference::component_count(labels)
+                    );
+                    report(stats);
+                },
+                run,
             );
-            report(&out.stats);
         }
         "scc" => {
-            let g = load_unweighted(&opts, true);
-            let topo = topology(&g, &opts);
-            let out = match opts.variant.as_str() {
-                "basic" => pc_algos::scc::channel_basic(&g, &topo, &cfg),
-                _ => pc_algos::scc::channel_propagation(&g, &topo, &cfg),
+            let p = prepare(opts, need_of("scc"));
+            let variant = opts.variant.clone();
+            let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
+                let (g, rev) = (d.unweighted(), d.rev());
+                let o = match variant.as_str() {
+                    "basic" => pc_algos::scc::channel_basic_with_rev(g, rev, topo, cfg),
+                    _ => pc_algos::scc::channel_propagation_with_rev(g, rev, topo, cfg),
+                };
+                (o.labels, o.stats)
             };
-            println!("{} SCCs", pc_graph::reference::component_count(&out.labels));
-            report(&out.stats);
+            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            conclude(
+                p,
+                opts,
+                values,
+                stats,
+                |labels, stats| {
+                    println!("{} SCCs", pc_graph::reference::component_count(labels));
+                    report(stats);
+                },
+                run,
+            );
         }
         "sssp" => {
-            let g = load_weighted(&opts);
-            let topo = topology(&g, &opts);
-            let out = match opts.variant.as_str() {
-                "basic" => pc_algos::sssp::channel_basic(&g, &topo, &cfg, opts.src),
-                _ => pc_algos::sssp::channel_propagation(&g, &topo, &cfg, opts.src),
+            let p = prepare(opts, need_of("sssp"));
+            let (variant, src) = (opts.variant.clone(), opts.src);
+            let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
+                let g = d.weighted();
+                let o = match variant.as_str() {
+                    "basic" => pc_algos::sssp::channel_basic(g, topo, cfg, src),
+                    _ => pc_algos::sssp::channel_propagation(g, topo, cfg, src),
+                };
+                (o.dist, o.stats)
             };
-            let reached = out
-                .dist
-                .iter()
-                .filter(|&&d| d != pc_algos::sssp::UNREACHED)
-                .count();
-            println!("{reached} reachable from {}", opts.src);
-            report(&out.stats);
+            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            let src = opts.src;
+            conclude(
+                p,
+                opts,
+                values,
+                stats,
+                move |dist, stats| {
+                    let reached = dist
+                        .iter()
+                        .filter(|&&d| d != pc_algos::sssp::UNREACHED)
+                        .count();
+                    println!("{reached} reachable from {src}");
+                    report(stats);
+                },
+                run,
+            );
         }
         "bfs" => {
-            let g = load_unweighted(&opts, true);
-            let topo = topology(&g, &opts);
-            let out = pc_algos::kernels::bfs(&g, &topo, &cfg, opts.src);
-            let reached = out
-                .level
-                .iter()
-                .filter(|&&l| l != pc_algos::kernels::UNREACHED)
-                .count();
-            let depth = out
-                .level
-                .iter()
-                .filter(|&&l| l != pc_algos::kernels::UNREACHED)
-                .max();
-            println!("{reached} reachable, depth {:?}", depth);
-            report(&out.stats);
+            let p = prepare(opts, need_of("bfs"));
+            let src = opts.src;
+            let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
+                let o = pc_algos::kernels::bfs(d.unweighted(), topo, cfg, src);
+                (o.level, o.stats)
+            };
+            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            conclude(
+                p,
+                opts,
+                values,
+                stats,
+                |level, stats| {
+                    let reached = level
+                        .iter()
+                        .filter(|&&l| l != pc_algos::kernels::UNREACHED)
+                        .count();
+                    let depth = level
+                        .iter()
+                        .filter(|&&l| l != pc_algos::kernels::UNREACHED)
+                        .max();
+                    println!("{reached} reachable, depth {:?}", depth);
+                    report(stats);
+                },
+                run,
+            );
         }
         "kcore" => {
-            let g = load_unweighted(&opts, false);
-            let topo = topology(&g, &opts);
-            let out = pc_algos::kernels::kcore(&g, &topo, &cfg, opts.k);
-            println!(
-                "{} of {} vertices in the {}-core",
-                out.in_core.iter().filter(|&&a| a).count(),
-                g.n(),
-                opts.k
+            let p = prepare(opts, need_of("kcore"));
+            let k = opts.k;
+            let n = p.data.n();
+            let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
+                let o = pc_algos::kernels::kcore(d.unweighted(), topo, cfg, k);
+                (o.in_core, o.stats)
+            };
+            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            conclude(
+                p,
+                opts,
+                values,
+                stats,
+                move |in_core, stats| {
+                    println!(
+                        "{} of {} vertices in the {}-core",
+                        in_core.iter().filter(|&&a| a).count(),
+                        n,
+                        k
+                    );
+                    report(stats);
+                },
+                run,
             );
-            report(&out.stats);
         }
         "msf" => {
-            let g = load_weighted(&opts);
-            let topo = topology(&g, &opts);
-            let out = pc_algos::msf::channel_basic(&g, &topo, &cfg);
-            println!(
-                "forest weight {} over {} edges",
-                out.total_weight, out.edge_count
+            let p = prepare(opts, need_of("msf"));
+            let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
+                let o = pc_algos::msf::channel_basic(d.weighted(), topo, cfg);
+                ((o.total_weight, o.edge_count), o.stats)
+            };
+            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            conclude(
+                p,
+                opts,
+                values,
+                stats,
+                |&(weight, edges), stats| {
+                    println!("forest weight {weight} over {edges} edges");
+                    report(stats);
+                },
+                run,
             );
-            report(&out.stats);
         }
-        _ => usage(),
+        other => usage_error(&format!("unknown algorithm '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(algorithm: &str) -> Opts {
+        Opts {
+            algorithm: algorithm.to_string(),
+            input: Some(PathBuf::from("/tmp/in.txt")),
+            gen: None,
+            scale: 9,
+            workers: 4,
+            transport: TransportKind::InProcess,
+            variant: "prop".to_string(),
+            iters: 12,
+            src: 3,
+            k: 2,
+            directed: true,
+            partition: false,
+            ranks: Some(4),
+            rank: None,
+            coordinator: None,
+            verify: true,
+            spin_budget: Some(64),
+        }
+    }
+
+    /// Followers get no loader flags at all: they cannot even name the
+    /// input file, which is the structural half of the "non-zero ranks
+    /// read no graph file" guarantee.
+    #[test]
+    fn followers_receive_no_loader_flags() {
+        let o = opts("wcc");
+        let addr: SocketAddr = "127.0.0.1:4000".parse().unwrap();
+        let rank0 = child_args(&o, 0, 4, &addr);
+        assert!(rank0.contains(&"--input".to_string()));
+        assert!(rank0.contains(&"--verify".to_string()));
+        // The spin budget only affects the in-process barrier; ranks run
+        // the socket mesh, so no rank receives it.
+        assert!(!rank0.contains(&"--spin-budget".to_string()));
+        for rank in 1..4 {
+            let args = child_args(&o, rank, 4, &addr);
+            for forbidden in ["--input", "--gen", "--scale", "--verify", "/tmp/in.txt"] {
+                assert!(
+                    !args.contains(&forbidden.to_string()),
+                    "rank {rank} got {forbidden}: {args:?}"
+                );
+            }
+            assert!(args.contains(&"--rank".to_string()));
+            assert!(args.contains(&"--coordinator".to_string()));
+            // Algorithm parameters still ride along.
+            assert!(args.contains(&"--variant".to_string()));
+            assert!(args.contains(&"--iters".to_string()));
+        }
+    }
+
+    #[test]
+    fn rank_args_carry_rank_identity() {
+        let o = opts("pagerank");
+        let addr: SocketAddr = "127.0.0.1:4001".parse().unwrap();
+        let args = child_args(&o, 2, 4, &addr);
+        let at = args.iter().position(|a| a == "--rank").unwrap();
+        assert_eq!(args[at + 1], "2");
+        let at = args.iter().position(|a| a == "--ranks").unwrap();
+        assert_eq!(args[at + 1], "4");
+        let at = args.iter().position(|a| a == "--coordinator").unwrap();
+        assert_eq!(args[at + 1], "127.0.0.1:4001");
     }
 }

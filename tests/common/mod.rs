@@ -2,7 +2,8 @@
 //! both the property tests and the transport-conformance suite.
 #![allow(dead_code)] // each test binary uses the subset it needs
 
-use pc_bsp::{Config, RunStats};
+use pc_bsp::{Config, RunStats, Tcp};
+use std::sync::Arc;
 
 /// Two runs of the same program must agree on *everything observable* —
 /// values are checked by the caller; this covers byte counts, message
@@ -29,4 +30,31 @@ pub fn conformance_configs(workers: usize) -> [(&'static str, Config); 3] {
         ("in-process", Config::with_workers(workers)),
         ("tcp", Config::tcp(workers)),
     ]
+}
+
+/// Run `run` once per rank of a simulated multi-process cluster: every
+/// rank is driven through the engine's single-worker-per-process driver
+/// (`Config::dist`) over a shared socket mesh, exactly as real `pcgraph
+/// --rank N` processes would — same wire traffic, same gather of results
+/// to rank 0. Returns rank 0's (complete, merged) output.
+pub fn run_multirank<V: Send, F>(workers: usize, run: &F) -> (V, RunStats)
+where
+    F: Fn(&Config) -> (V, RunStats) + Sync,
+{
+    let tcp = Arc::new(Tcp::loopback(workers).expect("bind loopback mesh"));
+    let mut rank0: Option<(V, RunStats)> = None;
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let tcp = Arc::clone(&tcp);
+            handles.push(s.spawn(move || run(&Config::rank(workers, w, tcp))));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            let out = h.join().expect("rank thread panicked");
+            if w == 0 {
+                rank0 = Some(out);
+            }
+        }
+    });
+    rank0.expect("rank 0 produced no output")
 }

@@ -1,0 +1,248 @@
+//! Multi-process integration: real OS processes through the `pcgraph`
+//! binary — launcher supervision, bootstrap rendezvous, partition
+//! shipping, and the `--verify` arm that pins the distributed run to the
+//! sequential reference (values, bytes, messages, supersteps, rounds,
+//! pool — the same contract as `tests/transport_conformance.rs`, now
+//! across process boundaries).
+//!
+//! Every launcher invocation here uses `--verify`: rank 0 re-runs the
+//! sequential engine on the full graph after the distributed run and
+//! exits non-zero on any divergence, so a passing exit code *is* the
+//! conformance assertion.
+
+use std::process::{Command, Output};
+use std::time::Duration;
+
+fn pcgraph() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_pcgraph"));
+    // Bound every child so a wedged cluster fails the test instead of
+    // hanging it.
+    cmd.env("PC_DIST_CONNECT_TIMEOUT_MS", "15000");
+    cmd.env("PC_DIST_JOIN_TIMEOUT_MS", "120000");
+    cmd
+}
+
+fn run_ok(args: &[&str]) -> Output {
+    let out = pcgraph().args(args).output().expect("spawn pcgraph");
+    assert!(
+        out.status.success(),
+        "pcgraph {args:?} failed (exit {:?})\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    out
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// The acceptance bar: every shipped algorithm runs as 4 OS processes
+/// with values, message counts and supersteps identical to the
+/// sequential engine (asserted in-process by `--verify`).
+#[test]
+fn all_algorithms_verify_across_four_processes() {
+    for algorithm in [
+        "pagerank", "wcc", "sv", "scc", "sssp", "bfs", "kcore", "msf",
+    ] {
+        let out = run_ok(&[
+            algorithm,
+            "--gen",
+            "wikipedia",
+            "--scale",
+            "7",
+            "--ranks",
+            "4",
+            "--verify",
+        ]);
+        let err = stderr_of(&out);
+        assert!(
+            err.contains("verify: distributed run matches the sequential reference"),
+            "{algorithm}: verification line missing\n{err}"
+        );
+        assert!(
+            err.contains("transport tcp"),
+            "{algorithm}: the run did not go over the socket mesh\n{err}"
+        );
+    }
+}
+
+/// Partition shipping from a real input file: only rank 0 can read it.
+/// The launcher hands loader flags to rank 0 alone (follower commands do
+/// not even contain the path — see the `child_args` unit tests), and the
+/// run still verifies against the sequential reference, so the followers
+/// demonstrably computed on shipped slices.
+#[test]
+fn launcher_ships_partitions_from_an_input_file() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("pc_dist_test_{}.txt", std::process::id()));
+    // A little two-component graph plus isolated vertex padding.
+    let mut edges = String::from("# test graph\n");
+    for v in 0..40u32 {
+        edges.push_str(&format!("{} {}\n", v, (v + 1) % 41));
+        if v % 3 == 0 {
+            edges.push_str(&format!("{} {}\n", v, 60 + v / 3));
+        }
+    }
+    std::fs::write(&path, edges).unwrap();
+    let out = run_ok(&[
+        "wcc",
+        "--input",
+        path.to_str().unwrap(),
+        "--ranks",
+        "3",
+        "--verify",
+    ]);
+    std::fs::remove_file(&path).ok();
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("verify: distributed run matches"),
+        "verification line missing\n{err}"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("components"),
+        "rank 0 printed no result"
+    );
+}
+
+/// LDG partitioning works distributed: rank 0 partitions, ships the owner
+/// table, and the placement-sensitive propagation channel still conforms.
+#[test]
+fn partitioned_distributed_run_verifies() {
+    let out = run_ok(&[
+        "wcc",
+        "--gen",
+        "road",
+        "--scale",
+        "8",
+        "--ranks",
+        "3",
+        "--partition",
+        "--verify",
+    ]);
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("ldg partition"),
+        "partitioner did not run\n{err}"
+    );
+    assert!(err.contains("verify: distributed run matches"), "{err}");
+}
+
+/// A single-rank "cluster" is legal (debugging shape).
+#[test]
+fn single_rank_cluster_runs() {
+    run_ok(&[
+        "wcc",
+        "--gen",
+        "wikipedia",
+        "--scale",
+        "7",
+        "--ranks",
+        "1",
+        "--verify",
+    ]);
+}
+
+#[test]
+fn unknown_flags_are_rejected_with_usage_exit() {
+    let out = pcgraph().args(["wcc", "--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr_of(&out).contains("unknown flag '--frobnicate'"));
+    let out = pcgraph()
+        .args(["wcc", "stray-positional"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = pcgraph().args(["not-an-algorithm"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = pcgraph()
+        .args(["wcc", "--rank", "1", "--ranks", "2"]) // no --coordinator
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_prints_to_stdout_and_exits_zero() {
+    let out = pcgraph().arg("--help").output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("--ranks"));
+    assert!(text.contains("--coordinator"));
+}
+
+#[test]
+fn engine_errors_exit_nonzero() {
+    // Unreadable input: runtime error, exit 1.
+    let out = pcgraph()
+        .args(["wcc", "--input", "/nonexistent/graph.txt"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("cannot read"));
+    // Same through the launcher: the failing rank's code propagates.
+    let out = pcgraph()
+        .args(["wcc", "--input", "/nonexistent/graph.txt", "--ranks", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr_of(&out).contains("rank 0 failed"));
+}
+
+/// A rank pointed at a dead coordinator fails fast with the bootstrap
+/// exit code — a typed error, never a hang.
+#[test]
+fn dead_coordinator_is_a_typed_bootstrap_failure() {
+    let out = pcgraph()
+        .env("PC_DIST_CONNECT_TIMEOUT_MS", "400")
+        .args([
+            "wcc",
+            "--rank",
+            "1",
+            "--ranks",
+            "2",
+            "--coordinator",
+            "127.0.0.1:1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("bootstrap failed"));
+}
+
+/// A cluster whose followers never appear dies at the rendezvous
+/// deadline with a typed failure (and the launcher reaps everything).
+#[test]
+fn missing_ranks_time_out() {
+    // Rank 0 alone, expecting a second rank that never joins.
+    let addr = {
+        let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        l.local_addr().unwrap()
+    };
+    let start = std::time::Instant::now();
+    let out = pcgraph()
+        .env("PC_DIST_CONNECT_TIMEOUT_MS", "500")
+        .args([
+            "wcc",
+            "--gen",
+            "wikipedia",
+            "--scale",
+            "7",
+            "--rank",
+            "0",
+            "--ranks",
+            "2",
+            "--coordinator",
+            &addr.to_string(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "stderr: {}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("timed out"));
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "rendezvous timeout did not bound the wait"
+    );
+}

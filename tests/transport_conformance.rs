@@ -3,16 +3,20 @@
 //!
 //! The channel abstraction separates what a channel computes from how
 //! messages move between workers; this suite pins the second half down.
-//! For every shipped algorithm, three backend configurations —
-//! sequential (the deterministic reference), threaded over the
-//! shared-memory hub, and threaded over real loopback TCP sockets — must
-//! produce identical values, message counts, byte counts, supersteps,
-//! rounds, pool traffic, and per-round wire order. A transport that
-//! reorders, drops, duplicates or re-times anything fails here first.
+//! For every shipped algorithm, four backend configurations — sequential
+//! (the deterministic reference), threaded over the shared-memory hub,
+//! threaded over real loopback TCP sockets, and one-worker-per-"process"
+//! ranks over a shared socket mesh (the multi-process driver, gather
+//! included) — must produce identical values, message counts, byte
+//! counts, supersteps, rounds, pool traffic, and per-round wire order. A
+//! transport that reorders, drops, duplicates or re-times anything fails
+//! here first. (Real separate-OS-process conformance, partition shipping
+//! included, is pinned by `tests/dist_multiprocess.rs` via `pcgraph
+//! --ranks N --verify`.)
 
 mod common;
 
-use common::{assert_stats_agree, conformance_configs};
+use common::{assert_stats_agree, conformance_configs, run_multirank};
 use pc_bsp::{Config, RunStats, Topology};
 use pc_graph::gen;
 use proptest::prelude::*;
@@ -20,12 +24,12 @@ use std::sync::Arc;
 
 const WORKERS: usize = 4;
 
-/// Run one algorithm under all three backend configurations and assert
+/// Run one algorithm under all four backend configurations and assert
 /// the values and every observable statistic agree with the sequential
 /// reference.
-fn conform<V: PartialEq + std::fmt::Debug>(
+fn conform<V: PartialEq + std::fmt::Debug + Send>(
     name: &str,
-    mut run: impl FnMut(&Config) -> (V, RunStats),
+    run: impl Fn(&Config) -> (V, RunStats) + Sync,
 ) {
     let configs = conformance_configs(WORKERS);
     let (base_label, base_cfg) = &configs[0];
@@ -42,6 +46,18 @@ fn conform<V: PartialEq + std::fmt::Debug>(
             &stats,
         );
     }
+    // The multi-process arm: every rank in its own engine driver over a
+    // shared mesh, results gathered to rank 0 over the wire.
+    let (values, stats) = run_multirank(WORKERS, &run);
+    assert!(
+        values == base_values,
+        "{name}: values diverge between {base_label} and multi-process ranks"
+    );
+    assert_stats_agree(
+        &format!("{name} ({base_label} vs multi-process ranks)"),
+        &base_stats,
+        &stats,
+    );
 }
 
 fn undirected() -> Arc<pc_graph::Graph> {
@@ -222,6 +238,7 @@ mod wire_order {
     impl Algorithm for WireProbeAlgo {
         type Value = u64;
         type Channels = (WireProbe,);
+        pc_channels::dist_value_via_codec!();
         fn channels(&self, env: &WorkerEnv) -> Self::Channels {
             (WireProbe {
                 env: env.clone(),
@@ -271,6 +288,29 @@ mod wire_order {
                 }
             }
         }
+        // Multi-process arm: each rank drives its own algorithm instance
+        // (as separate processes would) over a shared mesh; the shared
+        // log shows the same frames in the same per-worker order.
+        let log = Arc::new(Mutex::new(vec![Vec::new(); WORKERS]));
+        let tcp = Arc::new(pc_bsp::Tcp::loopback(WORKERS).unwrap());
+        std::thread::scope(|s| {
+            for w in 0..WORKERS {
+                let log = Arc::clone(&log);
+                let tcp = Arc::clone(&tcp);
+                let topo = Arc::clone(&topo);
+                s.spawn(move || {
+                    let algo = WireProbeAlgo { steps: 6, log };
+                    let out = run(&algo, &topo, &Config::rank(WORKERS, w, tcp));
+                    assert_eq!(out.stats.supersteps, 6);
+                });
+            }
+        });
+        let seen = Arc::try_unwrap(log).unwrap().into_inner().unwrap();
+        assert_eq!(
+            reference.as_ref().unwrap(),
+            &seen,
+            "multi-process ranks: wire order diverges from the sequential reference"
+        );
     }
 }
 
@@ -305,5 +345,12 @@ proptest! {
             prop_assert_eq!(&sv.labels, &base_sv.labels, "sv values on {}", label);
             assert_stats_agree(&format!("sv ({label})"), &base_sv.stats, &sv.stats);
         }
+        // Multi-process ranks over a shared mesh, random graphs included.
+        let (labels, stats) = run_multirank(workers, &|cfg: &Config| {
+            let o = pc_algos::wcc::channel_propagation(&g, &topo, cfg);
+            (o.labels, o.stats)
+        });
+        prop_assert_eq!(&labels, &base_wcc.labels, "wcc values on multi-process ranks");
+        assert_stats_agree("wcc (multi-process ranks)", &base_wcc.stats, &stats);
     }
 }
