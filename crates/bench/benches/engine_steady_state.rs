@@ -118,9 +118,33 @@ fn transport_compare(c: &mut Criterion) {
     for (name, cfg) in [
         ("threads", Config::with_workers(w)),
         ("tcp", Config::tcp(w)),
+        ("tcp-batched", Config::tcp_batched(w)),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| pc_algos::pagerank::channel_scatter(&g, &topo, &cfg, 20))
+        });
+    }
+    group.finish();
+}
+
+/// The skewed-frontier transport duel: propagation WCC on a
+/// hash-partitioned ring is a long tail of rounds with tiny per-peer
+/// frames — the regime where the synchronous TCP backend pays one
+/// syscall-heavy frame per peer per round and the batched driver's
+/// pipelined, coalesced sends should win. Capped scale keeps the round
+/// count in the hundreds.
+fn transport_skewed_frontier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_steady_state/transport_skewed_wcc");
+    let g = Arc::new(gen::cycle(1usize << scale().min(9)));
+    let topo = Arc::new(Topology::hashed(g.n(), workers()));
+    let w = workers();
+    for (name, cfg) in [
+        ("threads", Config::with_workers(w)),
+        ("tcp", Config::tcp(w)),
+        ("tcp-batched", Config::tcp_batched(w)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| pc_algos::wcc::channel_propagation(&g, &topo, &cfg))
         });
     }
     group.finish();
@@ -149,6 +173,6 @@ criterion_group! {
 criterion_group! {
     name = transport_benches;
     config = quick_tcp();
-    targets = transport_compare
+    targets = transport_compare, transport_skewed_frontier
 }
 criterion_main!(benches, transport_benches);

@@ -19,13 +19,16 @@ struct Entry {
 
 fn record(entries: &mut Vec<Entry>, workload: &str, mode: &'static str, stats: RunStats) {
     println!(
-        "{workload:<24} {mode:<10} {:>9.1} ms  {:>8.2} MiB  {:>4} supersteps  {:>5} rounds  pool {:>6.2}%  {:.2} crossings/round",
+        "{workload:<24} {mode:<11} {:>9.1} ms  {:>8.2} MiB  {:>4} supersteps  {:>5} rounds  pool {:>6.2}%  {:.2} crossings/round  {:>6} wire frames ({} coalesced, {} µs stalled)",
         stats.millis(),
         stats.remote_mib(),
         stats.supersteps,
         stats.rounds,
         100.0 * stats.pool_hit_rate(),
         stats.crossings_per_round(),
+        stats.transport.frames,
+        stats.transport.coalesced_frames,
+        stats.transport.send_stall_us,
     );
     entries.push(Entry {
         workload: workload.to_string(),
@@ -99,6 +102,26 @@ fn main() {
         record(&mut entries, "wcc_ring_propagation", mode, stats);
     }
 
+    // The skewed-frontier transport duel: a hash-partitioned ring under
+    // propagation WCC degenerates into a long tail of rounds whose
+    // per-peer frames are tiny — exactly the regime the iPregel
+    // irregularity studies single out, and where the synchronous TCP
+    // backend pays one syscall-heavy frame per peer per round. The
+    // batched driver's pipelined sends and coalesced super-frames are
+    // measured against it here (capped scale keeps the round count in
+    // the hundreds, not thousands).
+    let skewed = Arc::new(gen::cycle(1usize << scale.min(9)));
+    let skewed_topo = Arc::new(Topology::hashed(skewed.n(), workers));
+    let skewed_modes: [(&'static str, Config); 3] = [
+        ("threads", Config::with_workers(workers)),
+        ("tcp", Config::tcp(workers)),
+        ("tcp-batched", Config::tcp_batched(workers)),
+    ];
+    for (mode, cfg) in &skewed_modes {
+        let stats = best(&|| pc_algos::wcc::channel_propagation(&skewed, &skewed_topo, cfg).stats);
+        record(&mut entries, "wcc_ring_skewed", mode, stats);
+    }
+
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"exchange\",");
     let _ = writeln!(json, "  \"scale\": {scale},");
@@ -123,8 +146,21 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "      \"crossings_per_round\": {:.4}",
+            "      \"crossings_per_round\": {:.4},",
             s.crossings_per_round()
+        );
+        let _ = writeln!(json, "      \"wire_frames\": {},", s.transport.frames);
+        let _ = writeln!(json, "      \"wire_mib\": {:.4},", s.wire_mib());
+        let _ = writeln!(
+            json,
+            "      \"coalesced_frames\": {},",
+            s.transport.coalesced_frames
+        );
+        let _ = writeln!(json, "      \"flushes\": {},", s.transport.flushes);
+        let _ = writeln!(
+            json,
+            "      \"send_stall_us\": {}",
+            s.transport.send_stall_us
         );
         let _ = writeln!(
             json,

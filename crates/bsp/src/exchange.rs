@@ -27,39 +27,80 @@
 //!   [`crate::pool::BufferPool`], closing the zero-allocation loop.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Condvar;
 use std::time::Duration;
 
 use crate::pool::BufferPool;
 use crossbeam::utils::CachePadded;
 
-/// Spins with `spin_loop` hints before yielding (when cores allow).
+/// Initial adaptive spin budget (iterations of `spin_loop` hints before
+/// yielding, when cores allow).
 const SPIN_LIMIT: u32 = 256;
 /// Yields to the scheduler before parking on the condvar.
 const YIELD_LIMIT: u32 = 64;
+/// Floor of the adaptive budget: a few spins are cheaper than the
+/// syscall they might save, so the controller never adapts below this.
+const SPIN_MIN: u32 = 16;
+/// Ceiling of the adaptive budget.
+const SPIN_MAX: u32 = 4096;
 
 /// A sense-reversing barrier: spin, then yield, then park.
 ///
 /// Workers spin on a generation counter bumped by the last arriver. The
-/// spin phase is skipped automatically when the machine has fewer cores
-/// than workers (spinning there only delays the threads that hold
-/// progress). The slow path parks on a condvar with a timeout, so a late
-/// wake-up can never deadlock the run.
+/// spin phase is skipped entirely when the machine has fewer cores than
+/// workers (spinning there only delays the threads that hold progress).
+/// The slow path parks on a condvar with a timeout, so a late wake-up can
+/// never deadlock the run.
+///
+/// ## Adaptive spin budget
+///
+/// With no explicit budget, each barrier tunes its own budget at run time
+/// from the measured arrival-spin distribution (closing the ROADMAP
+/// "adaptive spin budget" loop). Every non-last arriver observes where
+/// its wait resolved and nudges the shared budget:
+///
+/// * resolved **while spinning** after `s` iterations — the budget tracks
+///   the observed skew: move a quarter of the way toward `2·s` (so the
+///   typical arrival lands comfortably inside the spin phase without the
+///   budget ballooning);
+/// * resolved **while yielding** — the peers arrive just past the budget:
+///   double it (capped at [`SPIN_MAX`]);
+/// * resolved **after parking** — spinning was pure waste for this skew:
+///   halve the budget (floored at [`SPIN_MIN`]).
+///
+/// Updates use relaxed atomics; workers race and the last write wins,
+/// which is fine — the budget is a performance hint, not a correctness
+/// input, and [`RunStats::barrier_spins`](crate::metrics::RunStats)
+/// still reports exactly the spins actually burned. An explicit
+/// `Some(n)` budget (the `--spin-budget` escape hatch) disables
+/// adaptation entirely, as does an oversubscribed machine (where the
+/// budget pins to 0).
 #[derive(Debug)]
 pub struct SpinBarrier {
     workers: usize,
-    /// Spin budget before yielding: 0 on oversubscribed machines.
-    spin_limit: u32,
+    /// Current spin budget before yielding; adapted at run time unless
+    /// `fixed`.
+    budget: CachePadded<AtomicU32>,
+    /// True when the budget is pinned: explicit `with_budget(Some(_))`,
+    /// or an oversubscribed machine (budget 0).
+    fixed: bool,
     arrived: CachePadded<AtomicUsize>,
     generation: CachePadded<AtomicU64>,
     sleepers: CachePadded<AtomicUsize>,
     waits: CachePadded<AtomicU64>,
     /// Arrival-spin iterations burned across all waits — the measurement
-    /// behind the ROADMAP "adaptive spin budget" item.
+    /// the adaptive budget is tuned from.
     spins: CachePadded<AtomicU64>,
     park: std::sync::Mutex<()>,
     unpark: Condvar,
+}
+
+/// Where a barrier wait resolved — the adaptive controller's input.
+enum Resolved {
+    Spin(u32),
+    Yield,
+    Park,
 }
 
 impl SpinBarrier {
@@ -70,13 +111,14 @@ impl SpinBarrier {
 
     /// Barrier for `workers` threads with an explicit spin budget.
     ///
-    /// `None` keeps the adaptive default (spin [`SPIN_LIMIT`] iterations
-    /// when the machine has more cores than workers, park immediately
-    /// otherwise); `Some(n)` forces a budget of `n` iterations regardless
-    /// of core count — `Some(0)` disables spinning entirely.
+    /// `None` enables the adaptive budget (starting at [`SPIN_LIMIT`]
+    /// when the machine has more cores than workers, pinned to 0
+    /// otherwise); `Some(n)` forces a fixed budget of `n` iterations
+    /// regardless of core count — `Some(0)` disables spinning entirely.
     pub fn with_budget(workers: usize, budget: Option<u32>) -> Self {
         assert!(workers > 0);
-        let spin_limit = budget.unwrap_or_else(|| {
+        let fixed = budget.is_some();
+        let initial = budget.unwrap_or_else(|| {
             let cores = std::thread::available_parallelism()
                 .map(|c| c.get())
                 .unwrap_or(1);
@@ -88,7 +130,10 @@ impl SpinBarrier {
         });
         SpinBarrier {
             workers,
-            spin_limit,
+            budget: CachePadded::new(AtomicU32::new(initial)),
+            // An adaptive budget of 0 means "oversubscribed": growing it
+            // would burn exactly the cores the late threads need.
+            fixed: fixed || initial == 0,
             arrived: CachePadded::new(AtomicUsize::new(0)),
             generation: CachePadded::new(AtomicU64::new(0)),
             sleepers: CachePadded::new(AtomicUsize::new(0)),
@@ -116,15 +161,19 @@ impl SpinBarrier {
             }
             return;
         }
+        let budget = self.budget.load(Ordering::Relaxed);
         let mut spins = 0u32;
+        let mut resolved = Resolved::Spin(0);
         while self.generation.load(Ordering::Acquire) == gen {
-            if spins < self.spin_limit {
+            if spins < budget {
                 std::hint::spin_loop();
                 spins += 1;
-            } else if spins < self.spin_limit + YIELD_LIMIT {
+            } else if spins < budget + YIELD_LIMIT {
                 std::thread::yield_now();
                 spins += 1;
+                resolved = Resolved::Yield;
             } else {
+                resolved = Resolved::Park;
                 self.sleepers.fetch_add(1, Ordering::SeqCst);
                 let mut guard = self.park.lock().unwrap_or_else(|e| e.into_inner());
                 while self.generation.load(Ordering::SeqCst) == gen {
@@ -139,10 +188,36 @@ impl SpinBarrier {
                 break;
             }
         }
+        if let Resolved::Spin(_) = resolved {
+            resolved = Resolved::Spin(spins);
+        }
         // Charge only the spin-phase iterations (not yields/parks): this
-        // is the budget an adaptive policy would tune.
+        // is exactly what the adaptive budget spends.
         self.spins
-            .fetch_add(spins.min(self.spin_limit) as u64, Ordering::Relaxed);
+            .fetch_add(spins.min(budget) as u64, Ordering::Relaxed);
+        if !self.fixed {
+            self.adapt(budget, resolved);
+        }
+    }
+
+    /// One controller step: nudge the shared budget from where this wait
+    /// resolved (see the type docs for the policy).
+    fn adapt(&self, budget: u32, resolved: Resolved) {
+        let next = match resolved {
+            Resolved::Spin(s) => {
+                let target = (s.saturating_mul(2)).clamp(SPIN_MIN, SPIN_MAX);
+                if target >= budget {
+                    budget + (target - budget) / 4
+                } else {
+                    budget - (budget - target) / 4
+                }
+            }
+            Resolved::Yield => budget.saturating_mul(2).clamp(SPIN_MIN, SPIN_MAX),
+            Resolved::Park => (budget / 2).max(SPIN_MIN),
+        };
+        if next != budget {
+            self.budget.store(next, Ordering::Relaxed);
+        }
     }
 
     /// Total `wait` calls across all workers (waits ÷ workers = barrier
@@ -158,9 +233,11 @@ impl SpinBarrier {
         self.spins.load(Ordering::Relaxed)
     }
 
-    /// The spin budget this barrier runs with (iterations before yielding).
+    /// The barrier's current spin budget (iterations before yielding).
+    /// Fixed for `with_budget(Some(_))` barriers; a live, adapting value
+    /// otherwise.
     pub fn spin_budget(&self) -> u32 {
-        self.spin_limit
+        self.budget.load(Ordering::Relaxed)
     }
 }
 
@@ -615,6 +692,93 @@ mod tests {
         b.wait();
         h.join().unwrap();
         assert_eq!(b.total_spins(), 96, "early arriver burns the budget");
+    }
+
+    /// Arrival skew far beyond any useful spin budget: the adaptive
+    /// controller observes park-resolved waits and walks the budget down
+    /// from its initial value, so heavily skewed workloads stop burning
+    /// CPU at the barrier.
+    #[test]
+    fn adaptive_budget_shrinks_under_heavy_skew() {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        if cores <= 2 {
+            // The adaptive budget pins to 0 on oversubscribed machines;
+            // nothing to observe here.
+            return;
+        }
+        let b = Arc::new(SpinBarrier::new(2));
+        let initial = b.spin_budget();
+        assert!(initial > 0, "not oversubscribed, so spinning starts on");
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || {
+            for _ in 0..12 {
+                b2.wait();
+            }
+        });
+        for _ in 0..12 {
+            // Arrive milliseconds late: the peer always parks.
+            std::thread::sleep(Duration::from_millis(4));
+            b.wait();
+        }
+        h.join().unwrap();
+        assert!(
+            b.spin_budget() < initial,
+            "budget did not shrink: {} vs initial {initial}",
+            b.spin_budget()
+        );
+        assert!(b.spin_budget() >= SPIN_MIN);
+    }
+
+    /// The adapted budget always stays inside its clamp, whatever the
+    /// arrival pattern; tight lock-step crossings keep it live (non-zero)
+    /// rather than collapsing it.
+    #[test]
+    fn adaptive_budget_stays_clamped_under_tight_arrivals() {
+        let cores = std::thread::available_parallelism()
+            .map(|c| c.get())
+            .unwrap_or(1);
+        if cores <= 2 {
+            return;
+        }
+        let b = Arc::new(SpinBarrier::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    b.wait();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let budget = b.spin_budget();
+        assert!(
+            (SPIN_MIN..=SPIN_MAX).contains(&budget),
+            "budget {budget} escaped its clamp"
+        );
+    }
+
+    /// The `--spin-budget` escape hatch: an explicit budget never adapts,
+    /// whatever the measured skew.
+    #[test]
+    fn fixed_budget_never_adapts() {
+        let b = Arc::new(SpinBarrier::with_budget(2, Some(96)));
+        let b2 = Arc::clone(&b);
+        let h = std::thread::spawn(move || {
+            for _ in 0..8 {
+                b2.wait();
+            }
+        });
+        for _ in 0..8 {
+            std::thread::sleep(Duration::from_millis(3));
+            b.wait();
+        }
+        h.join().unwrap();
+        assert_eq!(b.spin_budget(), 96, "a fixed budget must stay fixed");
     }
 
     #[test]

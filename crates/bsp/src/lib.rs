@@ -69,8 +69,31 @@ pub enum TransportKind {
     InProcess,
     /// A full mesh of loopback TCP sockets ([`tcp::Tcp`]): real
     /// length-prefixed wire traffic, reductions as gather/broadcast
-    /// rounds on worker 0.
+    /// rounds on worker 0. Synchronous: one blocking write per frame.
     Tcp,
+    /// The same socket mesh under the non-blocking batched driver
+    /// ([`TcpOptions::batched`]): pipelined sends, per-peer send queues,
+    /// small frames coalesced into super-frames. Observationally
+    /// identical to every other backend (conformance-pinned); faster
+    /// under skewed frontiers.
+    TcpBatched,
+}
+
+impl TransportKind {
+    /// The CLI name of this transport (accepted back by `FromStr`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TransportKind::InProcess => "in-process",
+            TransportKind::Tcp => "tcp",
+            TransportKind::TcpBatched => "tcp-batched",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
 }
 
 impl std::str::FromStr for TransportKind {
@@ -80,7 +103,10 @@ impl std::str::FromStr for TransportKind {
         match s {
             "in-process" | "inprocess" | "hub" => Ok(TransportKind::InProcess),
             "tcp" => Ok(TransportKind::Tcp),
-            other => Err(format!("unknown transport '{other}' (in-process|tcp)")),
+            "tcp-batched" | "batched" => Ok(TransportKind::TcpBatched),
+            other => Err(format!(
+                "unknown transport '{other}' (in-process|tcp|tcp-batched)"
+            )),
         }
     }
 }
@@ -160,6 +186,16 @@ impl Config {
         Config {
             workers,
             transport: TransportKind::Tcp,
+            ..Config::default()
+        }
+    }
+
+    /// Threaded config over loopback TCP sockets under the non-blocking
+    /// batched driver.
+    pub fn tcp_batched(workers: usize) -> Self {
+        Config {
+            workers,
+            transport: TransportKind::TcpBatched,
             ..Config::default()
         }
     }

@@ -51,14 +51,31 @@ pub struct ChannelMetrics {
 /// reductions. `round_trips` counts global reductions — a gather/broadcast
 /// exchange with worker 0 on the TCP backend, one barrier-synchronized
 /// slot exchange on the in-process backend.
+///
+/// The last three fields belong to the batched TCP driver and stay zero
+/// everywhere else: `coalesced_frames` counts logical frames that rode
+/// inside a coalesced super-frame (each super-frame counts once in
+/// `frames` but carries ≥ 2 coalesced sub-frames), `flushes` counts send
+/// queues drained completely to the kernel, and `send_stall_us` is the
+/// time the driver sat on queued bytes the kernel would not accept.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TransportStats {
     /// Bytes put on the wire (or through the mailbox) by all workers.
     pub wire_bytes: u64,
-    /// Frames sent by all workers (data, skip and reduction frames).
+    /// Frames sent by all workers (data, skip and reduction frames); a
+    /// coalesced super-frame counts as one.
     pub frames: u64,
     /// Global reduction round-trips.
     pub round_trips: u64,
+    /// Logical frames carried inside coalesced super-frames (batched TCP
+    /// driver; 0 elsewhere).
+    pub coalesced_frames: u64,
+    /// Send queues fully drained to the kernel (batched TCP driver; 0
+    /// elsewhere).
+    pub flushes: u64,
+    /// Microseconds spent stalled with queued send bytes the kernel would
+    /// not accept (batched TCP driver; 0 elsewhere).
+    pub send_stall_us: u64,
 }
 
 impl TransportStats {
@@ -67,6 +84,9 @@ impl TransportStats {
         self.wire_bytes += other.wire_bytes;
         self.frames += other.frames;
         self.round_trips += other.round_trips;
+        self.coalesced_frames += other.coalesced_frames;
+        self.flushes += other.flushes;
+        self.send_stall_us += other.send_stall_us;
     }
 }
 
@@ -95,7 +115,7 @@ pub struct RunStats {
     /// ([`crate::Config::spin_budget`]) fits the workload's arrival skew.
     pub barrier_spins: u64,
     /// Name of the exchange transport that carried the run
-    /// (`"sequential"`, `"in-process"`, `"tcp"`).
+    /// (`"sequential"`, `"in-process"`, `"tcp"`, `"tcp-batched"`).
     pub transport_name: &'static str,
     /// Wire-level transport counters (zero in sequential mode, which
     /// moves buffers without a transport).

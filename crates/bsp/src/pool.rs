@@ -92,6 +92,22 @@ impl BufferPool {
         BufferPool::default()
     }
 
+    /// Seed the freelist with `count` fresh buffers of `capacity` bytes
+    /// each, so a run's first exchange round is served from the pool
+    /// instead of allocating per destination. Pre-warmed buffers count as
+    /// neither hits nor misses when added (they are charged normally when
+    /// [`BufferPool::get`] hands them out), so hit/miss accounting stays
+    /// a pure function of the exchange traffic — identical across
+    /// execution modes as long as every mode pre-warms identically.
+    pub fn prewarm(&mut self, count: usize, capacity: usize) {
+        self.free.reserve(count);
+        for _ in 0..count {
+            let buf = Vec::with_capacity(capacity);
+            self.free_bytes += buf.capacity();
+            self.free.push(buf);
+        }
+    }
+
     /// Get a cleared buffer, reusing a pooled one when available. Reused
     /// buffers keep their capacity — that is the whole point.
     pub fn get(&mut self) -> Vec<u8> {

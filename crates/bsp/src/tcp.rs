@@ -24,6 +24,38 @@
 //!   the round is complete without a barrier.
 //! * `REDUCE` — a worker's reduction contribution, gathered by worker 0.
 //! * `RESULT` — the combined reduction, broadcast by worker 0.
+//! * `BATCH`  — a coalesced super-frame (batched driver only): several
+//!   logical frames to the same peer packed behind one header. The
+//!   payload is a sub-frame directory (`count:u32`, then `tag:u8
+//!   len:u32` per sub-frame) followed by the concatenated sub-frame
+//!   payloads; the receiver splits it back into the original frames, so
+//!   everything above the transport — values, [`ChannelMetrics`] bytes
+//!   and messages, rounds, pool traffic — is byte-identical to the
+//!   un-batched drivers. (`ChannelMetrics` accounting happens at the
+//!   engine's serialize step and never sees transport framing at all.)
+//!
+//! ## Two drivers, one wire
+//!
+//! [`TcpOptions::batched`] selects between two concurrency models over
+//! the same frame format:
+//!
+//! * **Synchronous** (`batched = false`, transport name `"tcp"`): `post`
+//!   blocks on `write_all`, `take_all_into` blocks on reads peer by peer.
+//!   One frame per write, one write per frame. A bolt-on drain-on-stall
+//!   path rescues all-to-all exchanges larger than kernel socket
+//!   buffering.
+//! * **Non-blocking batched** (`batched = true`, transport name
+//!   `"tcp-batched"`): every socket runs in `set_nonblocking` mode and a
+//!   single readiness loop drives all progress. `post` only enqueues into
+//!   a per-peer send queue and opportunistically pumps the sockets, so
+//!   serializing the next destination's buffer overlaps the wire transfer
+//!   of the previous one; partial reads *and* partial writes resume from
+//!   per-peer cursors inside the same loop. Small frames that share a
+//!   peer are coalesced into one `BATCH` super-frame — in particular a
+//!   worker's `DATA`/`SKIP` toward the reduction root is held until the
+//!   round's `REDUCE` joins it, turning the two per-round control frames
+//!   into one (see [`Tcp::try_flush`] for the escape hatch when no
+//!   reduction follows, e.g. the multi-process result gather).
 //!
 //! ## Design notes
 //!
@@ -69,6 +101,9 @@ pub const TAG_SKIP: u8 = b'S';
 pub const TAG_REDUCE: u8 = b'R';
 /// Frame tag: combined reduction result (rank 0 → worker).
 pub const TAG_RESULT: u8 = b'r';
+/// Frame tag: coalesced super-frame (batched driver; see the module docs
+/// for the payload layout and [`encode_batch`] / [`decode_batch`]).
+pub const TAG_BATCH: u8 = b'B';
 
 /// Reduction op: lane-wise sum.
 const OP_SUM: u8 = 0;
@@ -90,6 +125,24 @@ const MAX_FRAME: usize = 1 << 30;
 /// Frame header size on the wire: tag byte + `u32` length prefix.
 pub const FRAME_HEADER: u64 = 5;
 
+/// Default ceiling on a sub-frame payload eligible for coalescing; larger
+/// frames stream out on their own so one bulk transfer never delays the
+/// control frames queued behind it by a directory copy.
+pub const DEFAULT_COALESCE_LIMIT: usize = 16 << 10;
+
+/// Bytes of one sub-frame directory entry (`tag:u8 len:u32`).
+const BATCH_ENTRY: usize = 5;
+
+/// Sanity cap on sub-frames per super-frame. With `DEFAULT_COALESCE_LIMIT`
+/// payloads this keeps a super-frame far below [`MAX_FRAME`]; a directory
+/// claiming more is a protocol violation, not an allocation attempt.
+const MAX_BATCH_FRAMES: usize = 4096;
+
+/// Capacity retained on a fully drained send-staging buffer, so one giant
+/// superstep does not pin giant staging capacity for the mesh's lifetime
+/// (the send-side sibling of the receive watermark).
+const STAGE_RETAIN: usize = 256 << 10;
+
 /// Tuning knobs of the TCP transport.
 #[derive(Debug, Clone, Copy)]
 pub struct TcpOptions {
@@ -99,6 +152,13 @@ pub struct TcpOptions {
     /// Deadline for any single exchange/reduction operation once the mesh
     /// is up.
     pub io_timeout: Duration,
+    /// Run the non-blocking batched driver (pipelined sends, frame
+    /// coalescing, readiness-loop progress) instead of the synchronous
+    /// one-frame-per-write path. See the module docs.
+    pub batched: bool,
+    /// Largest payload eligible for coalescing into a super-frame
+    /// (batched driver only).
+    pub coalesce_limit: usize,
 }
 
 impl Default for TcpOptions {
@@ -106,6 +166,18 @@ impl Default for TcpOptions {
         TcpOptions {
             connect_timeout: Duration::from_secs(10),
             io_timeout: Duration::from_secs(30),
+            batched: false,
+            coalesce_limit: DEFAULT_COALESCE_LIMIT,
+        }
+    }
+}
+
+impl TcpOptions {
+    /// Default options with the non-blocking batched driver enabled.
+    pub fn batched() -> Self {
+        TcpOptions {
+            batched: true,
+            ..TcpOptions::default()
         }
     }
 }
@@ -118,6 +190,21 @@ pub fn configure_stream(stream: &TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL))?;
     stream.set_write_timeout(Some(POLL))?;
     Ok(())
+}
+
+/// Put a mesh link into the batched driver's progress mode: permanently
+/// non-blocking when cores are spare (`spins > 0` — the polling readiness
+/// loop owns all progress), permanently *blocking* with short kernel
+/// timeouts when oversubscribed (`spins == 0` — every wait must hand the
+/// CPU straight to the thread that holds progress, and per-wait mode
+/// toggling would double the syscall bill).
+fn configure_batched(stream: &TcpStream, spins: u32) -> std::io::Result<()> {
+    if spins > 0 {
+        stream.set_nonblocking(true)
+    } else {
+        stream.set_read_timeout(Some(BLOCK_WAIT))?;
+        stream.set_write_timeout(Some(SEND_WAIT))
+    }
 }
 
 fn io_err(peer: usize, during: &'static str, e: std::io::Error) -> TransportError {
@@ -199,18 +286,25 @@ fn frame_header(
     payload: &[u8],
     peer: usize,
 ) -> Result<[u8; FRAME_HEADER as usize], TransportError> {
-    if payload.len() > MAX_FRAME {
+    frame_header_for_len(tag, payload.len(), peer)
+}
+
+/// [`frame_header`] for a payload known only by length (the batched
+/// driver sizes super-frames before concatenating their sub-frames).
+fn frame_header_for_len(
+    tag: u8,
+    len: usize,
+    peer: usize,
+) -> Result<[u8; FRAME_HEADER as usize], TransportError> {
+    if len > MAX_FRAME {
         return Err(TransportError::Protocol {
             peer,
-            detail: format!(
-                "outgoing frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
-                payload.len()
-            ),
+            detail: format!("outgoing frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
         });
     }
     let mut header = [0u8; FRAME_HEADER as usize];
     header[0] = tag;
-    header[1..5].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[1..5].copy_from_slice(&(len as u32).to_le_bytes());
     Ok(header)
 }
 
@@ -261,6 +355,164 @@ pub fn read_frame_into(
     payload.resize(len, 0);
     read_exact_deadline(stream, payload, deadline, peer, "read frame payload")?;
     Ok(tag)
+}
+
+/// Encode logical `(tag, payload)` frames into the payload of one `BATCH`
+/// super-frame: `count:u32`, a `tag:u8 len:u32` directory entry per
+/// sub-frame, then the concatenated payloads. The inverse of
+/// [`decode_batch`]; the round trip is byte-exact (pinned by a proptest in
+/// `tests/transport_conformance.rs`).
+pub fn encode_batch(frames: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        4 + frames.len() * BATCH_ENTRY + frames.iter().map(|(_, p)| p.len()).sum::<usize>(),
+    );
+    encode_batch_into(&mut out, frames.iter().map(|(t, p)| (*t, p.as_slice())));
+    out
+}
+
+/// [`encode_batch`] appending into a caller-owned buffer (the batched
+/// driver stages directly into its per-peer wire buffer). The iterator is
+/// walked twice: once for the directory, once for the payloads.
+fn encode_batch_into<'a>(out: &mut Vec<u8>, frames: impl Iterator<Item = (u8, &'a [u8])> + Clone) {
+    let count = frames.clone().count();
+    debug_assert!((1..=MAX_BATCH_FRAMES).contains(&count));
+    (count as u32).encode(out);
+    for (tag, payload) in frames.clone() {
+        out.push(tag);
+        (payload.len() as u32).encode(out);
+    }
+    for (_, payload) in frames {
+        out.extend_from_slice(payload);
+    }
+}
+
+/// Split a `BATCH` payload back into its logical `(tag, payload)` frames.
+/// Every malformation — empty batch, oversized count, directory past the
+/// payload, payload bytes left over or missing, a nested batch — is a
+/// typed [`TransportError::Protocol`], never a bad allocation or a panic.
+pub fn decode_batch(payload: &[u8], peer: usize) -> Result<Vec<(u8, Vec<u8>)>, TransportError> {
+    let mut frames = Vec::new();
+    let mut pool = Vec::new();
+    split_batch_into(payload, peer, &mut pool, |tag, buf| frames.push((tag, buf)))?;
+    Ok(frames)
+}
+
+/// The zero-copy-pooled core of [`decode_batch`]: validate the directory
+/// and hand each sub-frame to `sink` in order, pulling payload buffers
+/// from `read_pool`.
+fn split_batch_into(
+    payload: &[u8],
+    peer: usize,
+    read_pool: &mut Vec<Vec<u8>>,
+    mut sink: impl FnMut(u8, Vec<u8>),
+) -> Result<(), TransportError> {
+    let malformed = |detail: String| TransportError::Protocol { peer, detail };
+    if payload.len() < 4 {
+        return Err(malformed(format!(
+            "super-frame of {} bytes cannot hold a directory",
+            payload.len()
+        )));
+    }
+    let count = u32::from_le_bytes(payload[..4].try_into().unwrap()) as usize;
+    if count == 0 || count > MAX_BATCH_FRAMES {
+        return Err(malformed(format!(
+            "super-frame claims {count} sub-frames (valid: 1..={MAX_BATCH_FRAMES})"
+        )));
+    }
+    let dir_end = 4 + count * BATCH_ENTRY;
+    if dir_end > payload.len() {
+        return Err(malformed(format!(
+            "sub-frame directory ({count} entries) overruns the {}-byte super-frame",
+            payload.len()
+        )));
+    }
+    let mut at = dir_end;
+    for i in 0..count {
+        let entry = &payload[4 + i * BATCH_ENTRY..4 + (i + 1) * BATCH_ENTRY];
+        let tag = entry[0];
+        if tag == TAG_BATCH {
+            return Err(malformed("nested super-frame".to_string()));
+        }
+        let len = u32::from_le_bytes(entry[1..5].try_into().unwrap()) as usize;
+        let end = at.checked_add(len).filter(|&e| e <= payload.len());
+        let Some(end) = end else {
+            return Err(malformed(format!(
+                "sub-frame {i} ({len} bytes) overruns the {}-byte super-frame",
+                payload.len()
+            )));
+        };
+        let mut buf = read_pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(&payload[at..end]);
+        sink(tag, buf);
+        at = end;
+    }
+    if at != payload.len() {
+        return Err(malformed(format!(
+            "{} trailing bytes after the last sub-frame",
+            payload.len() - at
+        )));
+    }
+    Ok(())
+}
+
+/// Where a queued frame's payload `Vec` goes once its bytes are staged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Return {
+    /// An engine-posted exchange buffer: park it on `send_returns` so
+    /// `reclaim_into` hands it back to the engine's [`BufferPool`] —
+    /// exactly when the synchronous driver would.
+    Engine,
+    /// A transport-internal control payload: recycle it through the
+    /// receive freelist so steady-state reductions allocate nothing.
+    Pool,
+}
+
+/// One frame waiting in a peer's send queue (batched driver).
+#[derive(Debug)]
+struct QueuedFrame {
+    tag: u8,
+    payload: Vec<u8>,
+    ret: Return,
+    /// Held for coalescing: a small root-bound `DATA`/`SKIP` waits here
+    /// until the round's `REDUCE` (any un-held frame) queues behind it,
+    /// so the two go out as one super-frame. [`Tcp::try_flush`] releases
+    /// holds when no reduction follows.
+    held: bool,
+}
+
+/// Per-peer outgoing state of the batched driver: frames not yet encoded,
+/// plus the staged wire bytes currently being pushed into the kernel.
+#[derive(Debug, Default)]
+struct SendQueue {
+    frames: VecDeque<QueuedFrame>,
+    /// Encoded wire bytes; `staged[cursor..]` is still owed to the kernel.
+    staged: Vec<u8>,
+    cursor: usize,
+}
+
+impl SendQueue {
+    fn staged_pending(&self) -> usize {
+        self.staged.len() - self.cursor
+    }
+
+    /// Nothing queued and nothing in flight.
+    fn is_idle(&self) -> bool {
+        self.frames.is_empty() && self.staged_pending() == 0
+    }
+
+    fn unhold(&mut self) {
+        for f in &mut self.frames {
+            f.held = false;
+        }
+    }
+
+    /// Frames ready to stage: the un-held prefix (held frames are only
+    /// ever queued before the un-held frame that releases them, so the
+    /// queue is always an un-held prefix followed by a held suffix).
+    fn ready(&self) -> usize {
+        self.frames.iter().take_while(|f| !f.held).count()
+    }
 }
 
 /// An incoming frame caught mid-flight by a drain-on-stall pass. The
@@ -314,11 +566,32 @@ fn drain_available(
     stream
         .set_nonblocking(true)
         .map_err(|e| io_err(peer, "drain set_nonblocking", e))?;
-    let result = drain_available_nonblocking(stream, pending, early, read_pool, peer);
+    let result = drain_available_nonblocking(stream, pending, early, read_pool, peer, false);
     stream
         .set_nonblocking(false)
         .map_err(|e| io_err(peer, "drain restore blocking", e))?;
     result
+}
+
+/// Queue a completed frame on `early`, splitting super-frames into their
+/// logical sub-frames when `split_batches` (batched driver) so everything
+/// downstream of the drain sees only plain frames.
+fn complete_frame(
+    tag: u8,
+    mut buf: Vec<u8>,
+    early: &mut VecDeque<(u8, Vec<u8>)>,
+    read_pool: &mut Vec<Vec<u8>>,
+    peer: usize,
+    split_batches: bool,
+) -> Result<(), TransportError> {
+    if split_batches && tag == TAG_BATCH {
+        split_batch_into(&buf, peer, read_pool, |t, b| early.push_back((t, b)))?;
+        buf.clear();
+        read_pool.push(buf);
+    } else {
+        early.push_back((tag, buf));
+    }
+    Ok(())
 }
 
 fn drain_available_nonblocking(
@@ -327,6 +600,7 @@ fn drain_available_nonblocking(
     early: &mut VecDeque<(u8, Vec<u8>)>,
     read_pool: &mut Vec<Vec<u8>>,
     peer: usize,
+    split_batches: bool,
 ) -> Result<usize, TransportError> {
     let mut consumed = 0;
     loop {
@@ -339,7 +613,7 @@ fn drain_available_nonblocking(
         if dst.is_empty() {
             // Zero-length payload frame completed on the header alone.
             let pr = pending.take().unwrap();
-            early.push_back((pr.tag(), pr.buf));
+            complete_frame(pr.tag(), pr.buf, early, read_pool, peer, split_batches)?;
             continue;
         }
         match stream.read(dst) {
@@ -361,7 +635,7 @@ fn drain_available_nonblocking(
                 }
                 if pr.header_got == pr.header.len() && pr.payload_got == pr.buf.len() {
                     let pr = pending.take().unwrap();
-                    early.push_back((pr.tag(), pr.buf));
+                    complete_frame(pr.tag(), pr.buf, early, read_pool, peer, split_batches)?;
                 }
             }
             Err(e) if is_poll_expiry(&e) => return Ok(consumed),
@@ -481,6 +755,652 @@ fn write_frame_draining(
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// The batched driver's progress engine
+// ---------------------------------------------------------------------
+//
+// Every operation of the batched driver reduces to the same readiness
+// loop: stage queued frames into per-peer wire buffers (coalescing small
+// runs into super-frames), push whatever the kernel will take, drain
+// whatever the kernel has, and consume completed frames from the `early`
+// queues — resuming partial writes and reads from per-peer cursors. The
+// loop never blocks in the kernel; when a full pass moves nothing it
+// backs off (spin → yield → sleep) under the operation's deadline.
+//
+// Because the drain reads greedily, it can observe a peer's orderly
+// close *after* that peer's last frame was already delivered (the
+// synchronous driver, which reads exactly frame by frame, never can).
+// A clean end-of-stream therefore only marks the peer closed; it
+// becomes a typed `Disconnected` error at the consumer, if and when a
+// frame is still owed from that peer.
+
+/// How long one kernel-blocking wait step may sleep before the progress
+/// loop re-examines every socket. Bounds the cost of blocking on one
+/// socket while bytes arrive on another.
+const BLOCK_WAIT: Duration = Duration::from_millis(2);
+
+/// Kernel write timeout of the batched driver's oversubscribed
+/// (permanently blocking) mode: a stalled send blocks at most this long
+/// before the progress loop gets control back to drain inbound bytes.
+const SEND_WAIT: Duration = Duration::from_millis(1);
+
+/// Spin iterations before an idle progress loop falls back to a
+/// kernel-blocking wait — only when cores outnumber workers; an
+/// oversubscribed machine must hand the CPU to the thread that holds
+/// progress immediately (polling there starves the producer, exactly
+/// like the [`crate::exchange::SpinBarrier`] heuristic).
+fn poll_spins(workers: usize) -> u32 {
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    if cores > workers {
+        256
+    } else {
+        0
+    }
+}
+
+/// Idle counter of the batched progress loops: spin briefly (arrival is
+/// usually imminent on a local mesh with spare cores), then block in the
+/// kernel via [`Pump::idle`].
+struct Backoff {
+    idle_rounds: u32,
+}
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff { idle_rounds: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.idle_rounds = 0;
+    }
+}
+
+/// Encode `q`'s ready frames into its wire-staging buffer (no-op while
+/// staged bytes are still in flight). Runs of ≥ 2 coalescible frames
+/// become one `BATCH` super-frame; everything else is framed plainly, in
+/// queue order either way. Staged payload `Vec`s go home immediately —
+/// engine buffers to `send_returns`, control payloads to the freelist.
+fn stage_queue(
+    q: &mut SendQueue,
+    coalesce_limit: usize,
+    send_returns: &mut Vec<Vec<u8>>,
+    read_pool: &mut Vec<Vec<u8>>,
+    stats: &mut TransportStats,
+    peer: usize,
+) -> Result<(), TransportError> {
+    if q.staged_pending() > 0 {
+        return Ok(());
+    }
+    let ready = q.ready();
+    if ready == 0 {
+        return Ok(());
+    }
+    q.staged.clear();
+    q.cursor = 0;
+    let mut staged = 0;
+    while staged < ready {
+        let run = q
+            .frames
+            .iter()
+            .skip(staged)
+            .take((ready - staged).min(MAX_BATCH_FRAMES))
+            .take_while(|f| f.payload.len() <= coalesce_limit)
+            .count();
+        if run >= 2 {
+            let sub = q.frames.iter().skip(staged).take(run);
+            let body = 4 + run * BATCH_ENTRY + sub.clone().map(|f| f.payload.len()).sum::<usize>();
+            let header = frame_header_for_len(TAG_BATCH, body, peer)?;
+            q.staged.extend_from_slice(&header);
+            encode_batch_into(&mut q.staged, sub.map(|f| (f.tag, f.payload.as_slice())));
+            stats.frames += 1;
+            stats.coalesced_frames += run as u64;
+            stats.wire_bytes += FRAME_HEADER + body as u64;
+            staged += run;
+        } else {
+            let f = &q.frames[staged];
+            let header = frame_header(f.tag, &f.payload, peer)?;
+            q.staged.extend_from_slice(&header);
+            q.staged.extend_from_slice(&f.payload);
+            stats.frames += 1;
+            stats.wire_bytes += FRAME_HEADER + f.payload.len() as u64;
+            staged += 1;
+        }
+    }
+    for _ in 0..staged {
+        let f = q.frames.pop_front().expect("staged frame count");
+        match f.ret {
+            Return::Engine => send_returns.push(f.payload),
+            Return::Pool => {
+                let mut p = f.payload;
+                p.clear();
+                read_pool.push(p);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The batched driver's per-operation view of one endpoint: every field
+/// is a disjoint mutable borrow of the locked [`Endpoint`], so the
+/// progress methods compose without fighting the borrow checker.
+struct Pump<'a> {
+    worker: usize,
+    coalesce_limit: usize,
+    /// Spin iterations before idle loops block in the kernel (0 on
+    /// oversubscribed machines; see [`poll_spins`]).
+    spins: u32,
+    /// Oversubscribed mode: sockets run permanently *blocking* with
+    /// short kernel timeouts ([`BLOCK_WAIT`] reads, [`SEND_WAIT`]
+    /// writes), so every wait hands the CPU to the thread that holds
+    /// progress without any per-wait mode toggling. With spare cores
+    /// (`false`) the sockets are permanently non-blocking and progress
+    /// comes from the polling readiness loop instead.
+    block: bool,
+    links: &'a [Option<TcpStream>],
+    send: &'a mut [SendQueue],
+    recv: &'a mut [RecvBuf],
+    large: &'a mut [Option<LargeFrame>],
+    early: &'a mut [VecDeque<(u8, Vec<u8>)>],
+    read_pool: &'a mut Vec<Vec<u8>>,
+    send_returns: &'a mut Vec<Vec<u8>>,
+    closed: &'a mut [bool],
+    stats: &'a mut TransportStats,
+}
+
+impl Pump<'_> {
+    /// Append one frame to `to`'s send queue. An un-held frame releases
+    /// every hold queued before it (that is how the round's `REDUCE`
+    /// pulls the held `DATA`/`SKIP` into its super-frame).
+    fn enqueue(&mut self, to: usize, tag: u8, payload: Vec<u8>, ret: Return, held: bool) {
+        let q = &mut self.send[to];
+        if !held {
+            q.unhold();
+        }
+        q.frames.push_back(QueuedFrame {
+            tag,
+            payload,
+            ret,
+            held,
+        });
+    }
+
+    /// A cleared scratch buffer from the freelist.
+    fn pool_buf(&mut self) -> Vec<u8> {
+        let mut buf = self.read_pool.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Return a consumed control payload to the freelist.
+    fn recycle(&mut self, mut buf: Vec<u8>) {
+        buf.clear();
+        self.read_pool.push(buf);
+    }
+
+    /// True when some queue still holds bytes or frames to push.
+    fn has_send_work(&self) -> bool {
+        self.send
+            .iter()
+            .any(|q| q.staged_pending() > 0 || q.ready() > 0)
+    }
+
+    /// One non-blocking pass over every mesh link: push staged send
+    /// bytes, re-stage as queues drain, and (when `drain_reads`) drain
+    /// inbound bytes into the `early` queues — super-frames split back
+    /// into their sub-frames. Returns the bytes moved in either
+    /// direction — 0 means the kernel had nothing for us and took
+    /// nothing from us. `post`/`sync` pump with `drain_reads = false`:
+    /// they only need the sends pipelined, and skipping the speculative
+    /// empty reads keeps the hot path's syscall count down.
+    fn pump(&mut self, drain_reads: bool) -> Result<usize, TransportError> {
+        let mut moved = 0;
+        for (p, link) in self.links.iter().enumerate() {
+            if p == self.worker {
+                continue;
+            }
+            let Some(stream) = link else { continue };
+            let q = &mut self.send[p];
+            stage_queue(
+                q,
+                self.coalesce_limit,
+                self.send_returns,
+                self.read_pool,
+                self.stats,
+                p,
+            )?;
+            let mut stream_ref = stream;
+            while q.staged_pending() > 0 {
+                match stream_ref.write(&q.staged[q.cursor..]) {
+                    Ok(0) => {
+                        return Err(TransportError::Disconnected {
+                            peer: p,
+                            during: "write queued frames",
+                        })
+                    }
+                    Ok(n) => {
+                        q.cursor += n;
+                        moved += n;
+                        if q.staged_pending() == 0 {
+                            q.staged.clear();
+                            q.cursor = 0;
+                            if q.staged.capacity() > STAGE_RETAIN {
+                                q.staged.shrink_to(STAGE_RETAIN);
+                            }
+                            stage_queue(
+                                q,
+                                self.coalesce_limit,
+                                self.send_returns,
+                                self.read_pool,
+                                self.stats,
+                                p,
+                            )?;
+                            if q.is_idle() {
+                                self.stats.flushes += 1;
+                            }
+                        }
+                    }
+                    Err(e) if is_poll_expiry(&e) => break,
+                    Err(e) => return Err(io_err(p, "write queued frames", e)),
+                }
+            }
+            if drain_reads && !self.block && !self.closed[p] {
+                match drain_link_nonblocking(
+                    stream,
+                    &mut self.recv[p],
+                    &mut self.large[p],
+                    &mut self.early[p],
+                    self.read_pool,
+                    p,
+                ) {
+                    Ok((n, eof)) => {
+                        moved += n;
+                        if eof {
+                            self.closed[p] = true;
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        Ok(moved)
+    }
+
+    /// One idle step of a progress loop that made no progress: surface a
+    /// peer that closed while still owing a frame, enforce the deadline
+    /// (blaming the first peer still owed something), then wait — a
+    /// brief spin when cores are spare, otherwise a *kernel-blocking*
+    /// step (a bounded read toward the first owed peer, or a blocking
+    /// write when unsent bytes are what we are stuck on), so an
+    /// oversubscribed machine hands the CPU to whichever thread holds
+    /// progress instead of polling it to death.
+    fn idle(
+        &mut self,
+        backoff: &mut Backoff,
+        deadline: Instant,
+        owed: &[bool],
+        during: &'static str,
+    ) -> Result<(), TransportError> {
+        for (p, &is_owed) in owed.iter().enumerate() {
+            if is_owed && self.closed[p] && self.early[p].is_empty() {
+                return Err(TransportError::Disconnected { peer: p, during });
+            }
+        }
+        if Instant::now() >= deadline {
+            let peer = owed.iter().position(|&o| o).unwrap_or(usize::MAX);
+            return Err(TransportError::Timeout { peer, during });
+        }
+        backoff.idle_rounds += 1;
+        if backoff.idle_rounds <= self.spins {
+            // Cores to spare: poll everything and spin — lowest latency.
+            self.pump(true)?;
+            std::hint::spin_loop();
+            return Ok(());
+        }
+        if let Some(p) = (0..self.links.len())
+            .find(|&p| p != self.worker && owed.get(p).copied().unwrap_or(false) && !self.closed[p])
+        {
+            self.wait_readable(p)
+        } else {
+            self.wait_writable()
+        }
+    }
+
+    /// Kernel-blocking read step toward `peer`: consume reads into the
+    /// peer's partial-frame cursor until a frame completes, the kernel
+    /// wait times out, or the stream ends. The thread sleeps in the
+    /// kernel until bytes arrive — no CPU burned, immediate wake-up.
+    ///
+    /// In oversubscribed (`block`) mode the stream is already blocking
+    /// with a [`BLOCK_WAIT`] read cap, so this costs exactly the `read`
+    /// syscalls; otherwise the stream is flipped to blocking for the
+    /// wait and back, and the wake-up's remainder is drained greedily.
+    fn wait_readable(&mut self, peer: usize) -> Result<(), TransportError> {
+        let Some(stream) = &self.links[peer] else {
+            return Ok(());
+        };
+        if self.block {
+            let before = self.early[peer].len();
+            loop {
+                let (n, eof) = recv_step(
+                    stream,
+                    &mut self.recv[peer],
+                    &mut self.large[peer],
+                    &mut self.early[peer],
+                    self.read_pool,
+                    peer,
+                )?;
+                if eof {
+                    self.closed[peer] = true;
+                    return Ok(());
+                }
+                if n == 0 || self.early[peer].len() > before {
+                    // Kernel wait expired, or whole frames landed: let
+                    // the caller consume and re-examine the world.
+                    return Ok(());
+                }
+            }
+        }
+        stream
+            .set_nonblocking(false)
+            .map_err(|e| io_err(peer, "wait set_blocking", e))?;
+        stream
+            .set_read_timeout(Some(BLOCK_WAIT))
+            .map_err(|e| io_err(peer, "wait set timeout", e))?;
+        let result = recv_step(
+            stream,
+            &mut self.recv[peer],
+            &mut self.large[peer],
+            &mut self.early[peer],
+            self.read_pool,
+            peer,
+        );
+        let restored = stream
+            .set_read_timeout(Some(POLL))
+            .and_then(|()| stream.set_nonblocking(true));
+        restored.map_err(|e| io_err(peer, "wait restore nonblocking", e))?;
+        match result {
+            Ok((n, eof)) => {
+                if eof {
+                    self.closed[peer] = true;
+                } else if n > 0 {
+                    // The wake-up usually delivers a whole frame (or
+                    // more); pull the rest in while it is hot.
+                    let (_, eof) = drain_link_nonblocking(
+                        stream,
+                        &mut self.recv[peer],
+                        &mut self.large[peer],
+                        &mut self.early[peer],
+                        self.read_pool,
+                        peer,
+                    )?;
+                    if eof {
+                        self.closed[peer] = true;
+                    }
+                }
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Kernel-blocking write step toward the first peer with staged
+    /// bytes the kernel refused; the pause is charged to
+    /// `send_stall_us`. Falls back to a scheduler yield when nothing at
+    /// all is pending. In `block` mode the stream already blocks (capped
+    /// by [`SEND_WAIT`]); otherwise it is flipped for the wait.
+    fn wait_writable(&mut self) -> Result<(), TransportError> {
+        let Some(peer) = self.send.iter().position(|q| q.staged_pending() > 0) else {
+            std::thread::yield_now();
+            return Ok(());
+        };
+        let Some(stream) = &self.links[peer] else {
+            return Ok(());
+        };
+        if !self.block {
+            stream
+                .set_nonblocking(false)
+                .map_err(|e| io_err(peer, "wait set_blocking", e))?;
+        }
+        let before = Instant::now();
+        let q = &mut self.send[peer];
+        let mut stream_ref = stream;
+        let result = match stream_ref.write(&q.staged[q.cursor..]) {
+            Ok(0) => Err(TransportError::Disconnected {
+                peer,
+                during: "write queued frames",
+            }),
+            Ok(n) => {
+                q.cursor += n;
+                Ok(())
+            }
+            Err(e) if is_poll_expiry(&e) => Ok(()),
+            Err(e) => Err(io_err(peer, "write queued frames", e)),
+        };
+        self.stats.send_stall_us += before.elapsed().as_micros() as u64;
+        if !self.block {
+            stream
+                .set_nonblocking(true)
+                .map_err(|e| io_err(peer, "wait restore nonblocking", e))?;
+        }
+        result
+    }
+
+    /// Drive the pump until every send queue is empty and on the wire
+    /// (held frames must have been released first). Used by the
+    /// reduction broadcast — peers are blocked on the `RESULT`, so it
+    /// must not linger staged — and by [`Tcp::try_flush`].
+    fn drive_empty(
+        &mut self,
+        deadline: Instant,
+        during: &'static str,
+    ) -> Result<(), TransportError> {
+        let mut backoff = Backoff::new();
+        let no_owed: &[bool] = &[];
+        while !self.send.iter().all(SendQueue::is_idle) {
+            let moved = self.pump(true)?;
+            if moved > 0 {
+                backoff.reset();
+                continue;
+            }
+            if Instant::now() >= deadline {
+                let peer = self
+                    .send
+                    .iter()
+                    .position(|q| !q.is_idle())
+                    .unwrap_or(usize::MAX);
+                return Err(TransportError::Timeout { peer, during });
+            }
+            self.idle(&mut backoff, deadline, no_owed, during)?;
+        }
+        Ok(())
+    }
+}
+
+/// Writable chunk kept free at the tail of a receive staging buffer: one
+/// `read` syscall can pull this much, which on small-frame rounds means
+/// several complete frames per syscall.
+const RECV_CHUNK: usize = 32 << 10;
+
+/// Frames with payloads beyond this bypass staging: the remainder is
+/// read straight into the frame's own buffer, so bulk transfers pay no
+/// staging copy.
+const RECV_DIRECT: usize = 16 << 10;
+
+/// Per-peer buffered receive state of the batched driver. `buf[start..
+/// end]` holds bytes not yet parsed into frames.
+#[derive(Debug, Default)]
+struct RecvBuf {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl RecvBuf {
+    fn pending(&self) -> usize {
+        self.end - self.start
+    }
+}
+
+/// A frame whose payload outgrew the staging buffer ([`RECV_DIRECT`]):
+/// its remainder reads directly into `buf`.
+#[derive(Debug)]
+struct LargeFrame {
+    tag: u8,
+    buf: Vec<u8>,
+    got: usize,
+}
+
+/// One buffered read attempt from `peer` (batched driver): a single
+/// `read` syscall typically delivers several complete frames, each of
+/// which — super-frames split into their sub-frames — lands on `early`.
+/// Returns `(bytes, clean_eof)`; a clean end-of-stream is not an error
+/// until someone is still owed a frame from this peer. Works on a
+/// non-blocking stream (one poll) and on a blocking one (one bounded
+/// kernel wait).
+fn recv_step(
+    mut stream: &TcpStream,
+    rb: &mut RecvBuf,
+    large: &mut Option<LargeFrame>,
+    early: &mut VecDeque<(u8, Vec<u8>)>,
+    read_pool: &mut Vec<Vec<u8>>,
+    peer: usize,
+) -> Result<(usize, bool), TransportError> {
+    // Direct path: a large frame's remainder goes straight into its own
+    // buffer — no staging copy, full-chunk reads.
+    if let Some(lf) = large.as_mut() {
+        let n = match stream.read(&mut lf.buf[lf.got..]) {
+            Ok(0) => {
+                return Err(TransportError::Truncated {
+                    peer,
+                    expected: lf.buf.len(),
+                    got: lf.got,
+                })
+            }
+            Ok(n) => n,
+            Err(e) if is_poll_expiry(&e) => return Ok((0, false)),
+            Err(e) => return Err(io_err(peer, "drain frame", e)),
+        };
+        lf.got += n;
+        if lf.got == lf.buf.len() {
+            let lf = large.take().unwrap();
+            complete_frame(lf.tag, lf.buf, early, read_pool, peer, true)?;
+        }
+        return Ok((n, false));
+    }
+    // Make room: compact parsed-off bytes, keep a full chunk writable.
+    if rb.start > 0 && (rb.buf.len() - rb.end < RECV_CHUNK) {
+        rb.buf.copy_within(rb.start..rb.end, 0);
+        rb.end -= rb.start;
+        rb.start = 0;
+    }
+    if rb.buf.len() < rb.end + RECV_CHUNK {
+        rb.buf.resize(rb.end + RECV_CHUNK, 0);
+    }
+    let n = match stream.read(&mut rb.buf[rb.end..]) {
+        Ok(0) => {
+            return if rb.pending() == 0 {
+                Ok((0, true))
+            } else {
+                // Report what the in-flight frame still owed: its full
+                // length once the header is staged, else the header.
+                let expected = if rb.pending() >= FRAME_HEADER as usize {
+                    let len =
+                        u32::from_le_bytes(rb.buf[rb.start + 1..rb.start + 5].try_into().unwrap())
+                            as usize;
+                    FRAME_HEADER as usize + len
+                } else {
+                    FRAME_HEADER as usize
+                };
+                Err(TransportError::Truncated {
+                    peer,
+                    expected,
+                    got: rb.pending(),
+                })
+            };
+        }
+        Ok(n) => n,
+        Err(e) if is_poll_expiry(&e) => return Ok((0, false)),
+        Err(e) => return Err(io_err(peer, "drain frame", e)),
+    };
+    rb.end += n;
+    // Parse every complete frame out of the staged bytes.
+    while rb.pending() >= FRAME_HEADER as usize {
+        let at = rb.start;
+        let tag = rb.buf[at];
+        let len = u32::from_le_bytes(rb.buf[at + 1..at + 5].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(TransportError::Protocol {
+                peer,
+                detail: format!("frame length {len} exceeds the {MAX_FRAME}-byte limit"),
+            });
+        }
+        let body = at + FRAME_HEADER as usize;
+        if len > RECV_DIRECT {
+            // Switch this frame to the direct path: take what is staged,
+            // read the rest into the frame's own buffer.
+            let have = (rb.end - body).min(len);
+            let mut buf = read_pool.pop().unwrap_or_default();
+            buf.clear();
+            buf.resize(len, 0);
+            buf[..have].copy_from_slice(&rb.buf[body..body + have]);
+            rb.start = body + have;
+            if have == len {
+                complete_frame(tag, buf, early, read_pool, peer, true)?;
+                continue;
+            }
+            *large = Some(LargeFrame {
+                tag,
+                buf,
+                got: have,
+            });
+            break;
+        }
+        if rb.pending() < FRAME_HEADER as usize + len {
+            break; // partial frame; the next read completes it
+        }
+        let mut buf = read_pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.extend_from_slice(&rb.buf[body..body + len]);
+        rb.start = body + len;
+        complete_frame(tag, buf, early, read_pool, peer, true)?;
+    }
+    if rb.start == rb.end {
+        rb.start = 0;
+        rb.end = 0;
+        // One giant staged round must not pin staging capacity forever.
+        if rb.buf.len() > 2 * RECV_CHUNK {
+            rb.buf.truncate(RECV_CHUNK);
+            rb.buf.shrink_to(RECV_CHUNK);
+        }
+    }
+    Ok((n, false))
+}
+
+/// Drain everything currently available from one link (batched driver):
+/// repeated [`recv_step`]s until the kernel has nothing more.
+#[allow(clippy::too_many_arguments)]
+fn drain_link_nonblocking(
+    stream: &TcpStream,
+    rb: &mut RecvBuf,
+    large: &mut Option<LargeFrame>,
+    early: &mut VecDeque<(u8, Vec<u8>)>,
+    read_pool: &mut Vec<Vec<u8>>,
+    peer: usize,
+) -> Result<(usize, bool), TransportError> {
+    let mut consumed = 0;
+    loop {
+        let (n, eof) = recv_step(stream, rb, large, early, read_pool, peer)?;
+        consumed += n;
+        if eof {
+            return Ok((consumed, true));
+        }
+        if n == 0 {
+            return Ok((consumed, false));
+        }
+    }
+}
 /// Per-worker endpoint state. Each worker locks only its own endpoint, so
 /// the mutexes are uncontended; they exist to make the shared [`Tcp`]
 /// object `Sync`.
@@ -504,13 +1424,86 @@ struct Endpoint {
     early: Vec<VecDeque<(u8, Vec<u8>)>>,
     /// Per-peer frame fragments caught mid-flight by a drain pass.
     pending: Vec<Option<PartialRead>>,
+    /// Per-peer send queues of the batched driver (empty when the
+    /// synchronous driver runs — it writes frames through directly).
+    send: Vec<SendQueue>,
+    /// Per-peer buffered receive staging of the batched driver.
+    recv: Vec<RecvBuf>,
+    /// Per-peer direct-path large frames of the batched driver.
+    large: Vec<Option<LargeFrame>>,
+    /// Peers whose stream hit a clean end-of-stream during a batched
+    /// drain; an error only once a frame is still owed from them.
+    closed: Vec<bool>,
     /// Posted buffers awaiting `reclaim_into` (their bytes are already on
     /// the wire; the `Vec`s go home to the engine's pool).
     send_returns: Vec<Vec<u8>>,
     /// Scratch for reduction payload encoding.
     scratch: Vec<u8>,
+    /// Per-peer "still owes this round a frame" scratch, reused by the
+    /// batched `take_all_into` and reduction gathers.
+    owed: Vec<bool>,
     /// This worker's share of the wire counters.
     stats: TransportStats,
+}
+
+/// The endpoint fields a batched operation keeps for itself, next to the
+/// [`Pump`] that owns the progress machinery.
+struct OpState<'a> {
+    self_slot: &'a mut Option<Vec<u8>>,
+    posted: &'a mut Vec<bool>,
+    owed: &'a mut Vec<bool>,
+    read_watermark: &'a mut usize,
+}
+
+impl Endpoint {
+    /// Split this endpoint into the batched driver's progress context and
+    /// the op-local leftovers — disjoint borrows, usable side by side.
+    fn split(
+        &mut self,
+        worker: usize,
+        coalesce_limit: usize,
+        spins: u32,
+    ) -> (Pump<'_>, OpState<'_>) {
+        let Endpoint {
+            links,
+            self_slot,
+            posted,
+            read_pool,
+            read_watermark,
+            early,
+            send,
+            recv,
+            large,
+            closed,
+            send_returns,
+            owed,
+            stats,
+            ..
+        } = self;
+        (
+            Pump {
+                worker,
+                coalesce_limit,
+                spins,
+                block: spins == 0,
+                links,
+                send,
+                recv,
+                large,
+                early,
+                read_pool,
+                send_returns,
+                closed,
+                stats,
+            },
+            OpState {
+                self_slot,
+                posted,
+                owed,
+                read_watermark,
+            },
+        )
+    }
 }
 
 /// The TCP exchange transport: a full mesh of sockets between `workers`
@@ -528,6 +1521,9 @@ struct Endpoint {
 #[derive(Debug)]
 pub struct Tcp {
     workers: usize,
+    /// Spin iterations before batched idle loops block in the kernel
+    /// (computed once from cores vs workers; see [`poll_spins`]).
+    spins: u32,
     /// `Some(rank)` when this object is one rank of a multi-process mesh
     /// (only that endpoint may be driven); `None` for the in-process
     /// loopback mesh where every worker is local.
@@ -570,6 +1566,7 @@ impl Tcp {
         let endpoints = Tcp::fresh_endpoints(workers);
         Ok(Tcp {
             workers,
+            spins: poll_spins(workers),
             local: None,
             opts,
             addrs,
@@ -605,6 +1602,7 @@ impl Tcp {
         *listeners[rank].get_mut() = Some(listener);
         Ok(Tcp {
             workers,
+            spins: poll_spins(workers),
             local: Some(rank),
             opts,
             addrs,
@@ -621,6 +1619,11 @@ impl Tcp {
                     posted: vec![false; workers],
                     early: (0..workers).map(|_| VecDeque::new()).collect(),
                     pending: (0..workers).map(|_| None).collect(),
+                    send: (0..workers).map(|_| SendQueue::default()).collect(),
+                    recv: (0..workers).map(|_| RecvBuf::default()).collect(),
+                    large: (0..workers).map(|_| None).collect(),
+                    closed: vec![false; workers],
+                    owed: vec![false; workers],
                     ..Endpoint::default()
                 })
             })
@@ -692,6 +1695,9 @@ impl Tcp {
             write_frame(&stream, TAG_HELLO, &hello, deadline, p)?;
             ep.stats.frames += 1;
             ep.stats.wire_bytes += FRAME_HEADER + hello.len() as u64;
+            if self.opts.batched {
+                configure_batched(&stream, self.spins).map_err(|e| io_err(p, "mesh mode", e))?;
+            }
             ep.links[p] = Some(stream);
         }
         let expect_higher = (w + 1..self.workers).any(|p| ep.links[p].is_none());
@@ -746,6 +1752,10 @@ impl Tcp {
                         detail: "HELLO from an unexpected or duplicate rank".to_string(),
                     });
                 }
+                if self.opts.batched {
+                    configure_batched(&stream, self.spins)
+                        .map_err(|e| io_err(peer, "mesh mode", e))?;
+                }
                 ep.links[peer] = Some(stream);
             }
             // All higher ranks connected: the listener's job is done.
@@ -770,8 +1780,19 @@ impl Tcp {
         Instant::now() + self.opts.io_timeout
     }
 
+    /// True when a batched frame from `from` to `to` should wait for the
+    /// round's reduction contribution: small `DATA`/`SKIP` frames toward
+    /// the reduction root coalesce with the `REDUCE` that every round
+    /// sends there anyway, halving the root-bound frame count.
+    fn hold_for_reduce(&self, from: usize, to: usize, len: usize) -> bool {
+        to == 0 && from != 0 && len <= self.opts.coalesce_limit
+    }
+
     /// Fallible [`ExchangeTransport::post`].
     pub fn try_post(&self, from: usize, to: usize, data: Vec<u8>) -> Result<(), TransportError> {
+        if self.opts.batched {
+            return self.try_post_batched(from, to, data);
+        }
         let deadline = self.io_deadline();
         self.with_endpoint(from, |ep| {
             assert!(
@@ -802,9 +1823,42 @@ impl Tcp {
         })
     }
 
+    /// Batched [`Tcp::try_post`]: enqueue and immediately drive socket
+    /// progress, so serializing the next destination overlaps this one's
+    /// wire transfer instead of stalling on `write_all`.
+    fn try_post_batched(
+        &self,
+        from: usize,
+        to: usize,
+        data: Vec<u8>,
+    ) -> Result<(), TransportError> {
+        self.with_endpoint(from, |ep| {
+            assert!(
+                !ep.posted[to],
+                "transport slot ({from},{to}) posted twice in one round"
+            );
+            ep.posted[to] = true;
+            if to == from {
+                ep.self_slot = Some(data);
+                return Ok(());
+            }
+            // Oversize fails at the post site, exactly like the
+            // synchronous driver.
+            frame_header(TAG_DATA, &data, to)?;
+            let held = self.hold_for_reduce(from, to, data.len());
+            let (mut cx, _) = ep.split(from, self.opts.coalesce_limit, self.spins);
+            cx.enqueue(to, TAG_DATA, data, Return::Engine, held);
+            cx.pump(false)?;
+            Ok(())
+        })
+    }
+
     /// Fallible [`ExchangeTransport::sync`]: emit `SKIP` markers to every
     /// peer not posted to, completing the round on all receivers.
     pub fn try_sync(&self, worker: usize) -> Result<(), TransportError> {
+        if self.opts.batched {
+            return self.try_sync_batched(worker);
+        }
         let deadline = self.io_deadline();
         self.with_endpoint(worker, |ep| {
             let Endpoint {
@@ -839,6 +1893,272 @@ impl Tcp {
         })
     }
 
+    /// Batched [`Tcp::try_sync`]: queue the round's `SKIP` markers and
+    /// drive whatever progress the kernel will take right now — the
+    /// blocking "drive until quiesced" happens in `take_all_into`, where
+    /// the round's frames are actually needed.
+    fn try_sync_batched(&self, worker: usize) -> Result<(), TransportError> {
+        self.with_endpoint(worker, |ep| {
+            let (mut cx, op) = ep.split(worker, self.opts.coalesce_limit, self.spins);
+            for (p, was_posted) in op.posted.iter_mut().enumerate() {
+                let skip = p != worker && !*was_posted;
+                *was_posted = false;
+                if skip {
+                    let held = self.hold_for_reduce(worker, p, 0);
+                    cx.enqueue(p, TAG_SKIP, Vec::new(), Return::Pool, held);
+                }
+            }
+            cx.pump(false)?;
+            Ok(())
+        })
+    }
+
+    /// Batched [`Tcp::try_take_all_into`]: the round's "drive until
+    /// quiesced" loop — push queued sends and collect exactly one
+    /// `DATA`/`SKIP` per peer, in whatever order peers deliver, then
+    /// emit in ascending rank order like every other backend.
+    fn try_take_all_into_batched(
+        &self,
+        worker: usize,
+        out: &mut Vec<(usize, Vec<u8>)>,
+    ) -> Result<(), TransportError> {
+        let deadline = self.io_deadline();
+        out.clear();
+        self.with_endpoint(worker, |ep| {
+            let (mut cx, op) = ep.split(worker, self.opts.coalesce_limit, self.spins);
+            let workers = cx.links.len();
+            let owed = op.owed;
+            let mut outstanding = 0;
+            for (p, slot) in owed.iter_mut().enumerate() {
+                *slot = p != worker;
+                outstanding += *slot as usize;
+            }
+            if let Some(buf) = op.self_slot.take() {
+                out.push((worker, buf));
+            }
+            let mut round_max = 0usize;
+            let mut backoff = Backoff::new();
+            cx.pump(true)?;
+            while outstanding > 0 {
+                let mut consumed = false;
+                #[allow(clippy::needless_range_loop)] // disjoint owed/cx index access
+                for p in 0..workers {
+                    if !owed[p] {
+                        continue;
+                    }
+                    let Some((tag, buf)) = cx.early[p].pop_front() else {
+                        continue;
+                    };
+                    match tag {
+                        TAG_DATA => {
+                            round_max = round_max.max(buf.len());
+                            out.push((p, buf));
+                        }
+                        TAG_SKIP => cx.recycle(buf),
+                        other => {
+                            return Err(TransportError::Protocol {
+                                peer: p,
+                                detail: format!("expected DATA/SKIP, got tag {other:#04x}"),
+                            })
+                        }
+                    }
+                    owed[p] = false;
+                    outstanding -= 1;
+                    consumed = true;
+                }
+                if outstanding == 0 {
+                    break;
+                }
+                if consumed {
+                    backoff.reset();
+                    continue;
+                }
+                if cx.has_send_work() {
+                    let moved = cx.pump(true)?;
+                    if moved > 0 {
+                        backoff.reset();
+                        continue;
+                    }
+                }
+                cx.idle(&mut backoff, deadline, owed, "take_all_into")?;
+            }
+            out.sort_unstable_by_key(|&(sender, _)| sender);
+            *op.read_watermark = round_max.max(*op.read_watermark - *op.read_watermark / 4);
+            Ok(())
+        })
+    }
+
+    /// Batched generic reduction: same gather/broadcast protocol as the
+    /// synchronous driver, driven by the readiness loop. The worker's
+    /// `REDUCE` releases any held root-bound frame and coalesces with it.
+    fn try_reduce_op_batched(
+        &self,
+        worker: usize,
+        op: u8,
+        values: &[u64],
+    ) -> Result<Vec<u64>, TransportError> {
+        let deadline = self.io_deadline();
+        self.with_endpoint(worker, |ep| {
+            let lanes = values.len();
+            let (mut cx, opstate) = ep.split(worker, self.opts.coalesce_limit, self.spins);
+            let workers = cx.links.len();
+            let owed = opstate.owed;
+            if worker == 0 {
+                let mut acc = values.to_vec();
+                let mut outstanding = 0;
+                for (p, slot) in owed.iter_mut().enumerate() {
+                    *slot = p != 0;
+                    outstanding += *slot as usize;
+                }
+                // A previous round's RESULT may still be held for
+                // coalescing (channel-free supersteps have no post/sync
+                // to release it); peers cannot send this round's REDUCE
+                // before they see it, so push it now.
+                for q in cx.send.iter_mut() {
+                    q.unhold();
+                }
+                let mut backoff = Backoff::new();
+                cx.pump(true)?;
+                while outstanding > 0 {
+                    let mut consumed = false;
+                    #[allow(clippy::needless_range_loop)] // disjoint owed/cx index access
+                    for p in 1..workers {
+                        if !owed[p] {
+                            continue;
+                        }
+                        let Some((tag, payload)) = cx.early[p].pop_front() else {
+                            continue;
+                        };
+                        if tag != TAG_REDUCE {
+                            return Err(TransportError::Protocol {
+                                peer: p,
+                                detail: format!("expected REDUCE, got tag {tag:#04x}"),
+                            });
+                        }
+                        let mut r = Reader::new(&payload);
+                        let peer_op: u8 = r.get();
+                        let peer_lanes: u32 = r.get();
+                        if peer_op != op || peer_lanes as usize != lanes {
+                            return Err(TransportError::Protocol {
+                                peer: p,
+                                detail: format!(
+                                    "reduction shape mismatch: op {peer_op}/{op}, \
+                                     lanes {peer_lanes}/{lanes}"
+                                ),
+                            });
+                        }
+                        for (lane, slot) in acc.iter_mut().enumerate() {
+                            let v: u64 = r.get();
+                            match (op, lane) {
+                                (OP_FUSED, 0) => *slot |= v,
+                                _ => *slot += v,
+                            }
+                        }
+                        cx.recycle(payload);
+                        owed[p] = false;
+                        outstanding -= 1;
+                        consumed = true;
+                    }
+                    if outstanding == 0 {
+                        break;
+                    }
+                    if consumed {
+                        backoff.reset();
+                        continue;
+                    }
+                    if cx.has_send_work() {
+                        let moved = cx.pump(true)?;
+                        if moved > 0 {
+                            backoff.reset();
+                            continue;
+                        }
+                    }
+                    cx.idle(&mut backoff, deadline, owed, "gather reduction")?;
+                }
+                // Broadcast the combined result and push it all the way
+                // out — every peer is blocked on it.
+                let mut body = cx.pool_buf();
+                for &v in &acc {
+                    v.encode(&mut body);
+                }
+                // In oversubscribed mode the RESULT is held so it
+                // coalesces with the root's next frame to each peer (the
+                // next round's DATA/SKIP, enqueued un-held, releases it)
+                // — one wake-up per peer per round instead of two. The
+                // engine's end-of-program flush pushes the last one; on
+                // machines with spare cores the RESULT goes out
+                // immediately instead, because peers could be computing
+                // in parallel the moment they see it.
+                let hold_result = cx.block;
+                for p in 1..workers {
+                    let mut payload = cx.pool_buf();
+                    payload.extend_from_slice(&body);
+                    cx.enqueue(p, TAG_RESULT, payload, Return::Pool, hold_result);
+                }
+                cx.recycle(body);
+                if !hold_result {
+                    cx.drive_empty(deadline, "broadcast reduction result")?;
+                }
+                cx.stats.round_trips += 1;
+                Ok(acc)
+            } else {
+                let mut payload = cx.pool_buf();
+                op.encode(&mut payload);
+                (lanes as u32).encode(&mut payload);
+                for &v in values {
+                    v.encode(&mut payload);
+                }
+                cx.enqueue(0, TAG_REDUCE, payload, Return::Pool, false);
+                owed.fill(false);
+                owed[0] = true;
+                let mut backoff = Backoff::new();
+                cx.pump(true)?;
+                let (tag, payload) = loop {
+                    if let Some(frame) = cx.early[0].pop_front() {
+                        break frame;
+                    }
+                    if cx.has_send_work() {
+                        let moved = cx.pump(true)?;
+                        if moved > 0 {
+                            backoff.reset();
+                            continue;
+                        }
+                    }
+                    cx.idle(&mut backoff, deadline, owed, "await reduction result")?;
+                };
+                if tag != TAG_RESULT {
+                    return Err(TransportError::Protocol {
+                        peer: 0,
+                        detail: format!("expected RESULT, got tag {tag:#04x}"),
+                    });
+                }
+                let mut r = Reader::new(&payload);
+                let result = (0..lanes).map(|_| r.get()).collect();
+                cx.recycle(payload);
+                Ok(result)
+            }
+        })
+    }
+
+    /// Fallible [`ExchangeTransport::flush`]: release frames held for
+    /// coalescing and drive every send queue onto the wire. Needed when a
+    /// round's posts are *not* followed by a reduction (the multi-process
+    /// result gather); a no-op for the synchronous driver, whose writes
+    /// complete inside `post`/`sync`.
+    pub fn try_flush(&self, worker: usize) -> Result<(), TransportError> {
+        if !self.opts.batched {
+            return Ok(());
+        }
+        let deadline = self.io_deadline();
+        self.with_endpoint(worker, |ep| {
+            let (mut cx, _) = ep.split(worker, self.opts.coalesce_limit, self.spins);
+            for q in cx.send.iter_mut() {
+                q.unhold();
+            }
+            cx.drive_empty(deadline, "flush send queues")
+        })
+    }
+
     /// Fallible [`ExchangeTransport::take_all_into`]: exactly one frame
     /// per peer per round, ascending rank order, self-delivery in rank
     /// place.
@@ -847,6 +2167,9 @@ impl Tcp {
         worker: usize,
         out: &mut Vec<(usize, Vec<u8>)>,
     ) -> Result<(), TransportError> {
+        if self.opts.batched {
+            return self.try_take_all_into_batched(worker, out);
+        }
         let deadline = self.io_deadline();
         out.clear();
         self.with_endpoint(worker, |ep| {
@@ -905,6 +2228,9 @@ impl Tcp {
         op: u8,
         values: &[u64],
     ) -> Result<Vec<u64>, TransportError> {
+        if self.opts.batched {
+            return self.try_reduce_op_batched(worker, op, values);
+        }
         let deadline = self.io_deadline();
         self.with_endpoint(worker, |ep| {
             let lanes = values.len();
@@ -1030,7 +2356,11 @@ fn bail(e: TransportError) -> ! {
 
 impl ExchangeTransport for Tcp {
     fn name(&self) -> &'static str {
-        "tcp"
+        if self.opts.batched {
+            "tcp-batched"
+        } else {
+            "tcp"
+        }
     }
 
     fn workers(&self) -> usize {
@@ -1043,6 +2373,10 @@ impl ExchangeTransport for Tcp {
 
     fn sync(&self, worker: usize) {
         self.try_sync(worker).unwrap_or_else(|e| bail(e))
+    }
+
+    fn flush(&self, worker: usize) {
+        self.try_flush(worker).unwrap_or_else(|e| bail(e))
     }
 
     fn take_all_into(&self, worker: usize, out: &mut Vec<(usize, Vec<u8>)>) {
@@ -1243,6 +2577,291 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let t = Tcp::mesh(0, vec![addr, addr], listener, TcpOptions::default()).unwrap();
         t.post(1, 0, vec![1]);
+    }
+
+    /// The exchange/reduction pattern of `tcp_exchange_and_reduce_round`,
+    /// under the batched driver: identical observable behavior, plus
+    /// coalescing actually happening (the root-bound `DATA`/`SKIP` rides
+    /// with each round's `REDUCE`).
+    #[test]
+    fn batched_exchange_and_reduce_round() {
+        let t = Arc::new(Tcp::loopback_with(3, TcpOptions::batched()).unwrap());
+        assert_eq!(t.name(), "tcp-batched");
+        let mut handles = Vec::new();
+        for w in 0..3usize {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut received = Vec::new();
+                let mut seen = Vec::new();
+                for round in 0..5u8 {
+                    t.post(w, w, vec![round, w as u8]);
+                    t.post(w, (w + 1) % 3, vec![round, w as u8, 7]);
+                    t.sync(w);
+                    t.take_all_into(w, &mut received);
+                    let mut senders = Vec::new();
+                    for (s, buf) in received.drain(..) {
+                        assert_eq!(buf[0], round);
+                        assert_eq!(buf[1], s as u8);
+                        senders.push(s);
+                        t.recycle(w, s, buf);
+                    }
+                    seen.push(senders);
+                    let (mask, active) = t.reduce_round(w, 1 << w, w as u64 + 1);
+                    assert_eq!(mask, 0b111);
+                    assert_eq!(active, 6);
+                }
+                // The final RESULT may be held for coalescing; nothing
+                // follows, so push it (what the engine does after its
+                // superstep loop).
+                t.flush(w);
+                seen
+            }));
+        }
+        for (w, h) in handles.into_iter().enumerate() {
+            let seen = h.join().unwrap();
+            let pred = (w + 2) % 3;
+            let mut expect = vec![pred, w];
+            expect.sort_unstable();
+            for senders in seen {
+                assert_eq!(senders, expect, "worker {w}");
+            }
+        }
+        let stats = t.stats();
+        assert!(stats.wire_bytes > 0);
+        assert_eq!(stats.round_trips, 5);
+        assert!(
+            stats.coalesced_frames > 0,
+            "no frames were coalesced: {stats:?}"
+        );
+        assert!(stats.flushes > 0);
+    }
+
+    /// The batched driver moves fewer wire frames than the synchronous
+    /// one for the same traffic — the whole point of coalescing.
+    #[test]
+    fn batched_driver_reduces_wire_frames() {
+        let run = |opts: TcpOptions| {
+            let t = Arc::new(Tcp::loopback_with(3, opts).unwrap());
+            let mut handles = Vec::new();
+            for w in 0..3usize {
+                let t = Arc::clone(&t);
+                handles.push(std::thread::spawn(move || {
+                    let mut received = Vec::new();
+                    for _ in 0..10 {
+                        t.post(w, (w + 1) % 3, vec![w as u8; 16]);
+                        t.sync(w);
+                        t.take_all_into(w, &mut received);
+                        for (s, buf) in received.drain(..) {
+                            t.recycle(w, s, buf);
+                        }
+                        let _ = t.reduce_round(w, 0, 1);
+                    }
+                    t.flush(w);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            t.stats()
+        };
+        let sync = run(TcpOptions::default());
+        let batched = run(TcpOptions::batched());
+        assert!(
+            batched.frames < sync.frames,
+            "batched sent {} frames, sync {}",
+            batched.frames,
+            sync.frames
+        );
+        assert!(batched.coalesced_frames > 0);
+        assert_eq!(sync.coalesced_frames, 0);
+        assert_eq!(sync.round_trips, batched.round_trips);
+    }
+
+    /// Frames far larger than kernel socket buffering under the batched
+    /// driver: the readiness loop resumes partial writes and reads from
+    /// its per-peer cursors, so the all-to-all completes intact.
+    #[test]
+    fn batched_giant_frames_complete() {
+        const WORKERS: usize = 3;
+        const LEN: usize = 4 << 20;
+        let t = Arc::new(Tcp::loopback_with(WORKERS, TcpOptions::batched()).unwrap());
+        let mut handles = Vec::new();
+        for w in 0..WORKERS {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut received = Vec::new();
+                for round in 0..2u8 {
+                    for peer in 0..WORKERS {
+                        let mut buf = vec![w as u8 ^ round; LEN];
+                        buf[0] = w as u8;
+                        t.post(w, peer, buf);
+                    }
+                    t.sync(w);
+                    t.take_all_into(w, &mut received);
+                    assert_eq!(received.len(), WORKERS);
+                    for (s, buf) in received.drain(..) {
+                        assert_eq!(buf.len(), LEN);
+                        assert_eq!(buf[0], s as u8);
+                        assert!(buf[1..].iter().all(|&b| b == s as u8 ^ round));
+                        t.recycle(w, s, buf);
+                    }
+                    let (mask, active) = t.reduce_round(w, 1 << w, 1);
+                    assert_eq!(mask, 0b111);
+                    assert_eq!(active, WORKERS as u64);
+                }
+                t.flush(w);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    /// A round with no reduction after it (the multi-process result
+    /// gather): `flush` releases frames held for coalescing, so the
+    /// receiver is not left waiting on a parked send queue.
+    #[test]
+    fn batched_flush_releases_held_frames() {
+        let t = Arc::new(Tcp::loopback_with(2, TcpOptions::batched()).unwrap());
+        let t1 = Arc::clone(&t);
+        let sender = std::thread::spawn(move || {
+            t1.post(1, 0, vec![42; 8]);
+            t1.sync(1);
+            t1.flush(1);
+            let mut received = Vec::new();
+            t1.take_all_into(1, &mut received);
+            assert!(received.is_empty() || received[0].0 == 0);
+        });
+        t.post(0, 0, vec![9]);
+        t.sync(0);
+        t.flush(0);
+        let mut received = Vec::new();
+        t.take_all_into(0, &mut received);
+        sender.join().unwrap();
+        let senders: Vec<usize> = received.iter().map(|&(s, _)| s).collect();
+        assert_eq!(senders, vec![0, 1], "held frame was flushed to rank 0");
+        assert_eq!(received[1].1, vec![42; 8]);
+    }
+
+    /// The batch payload codec round-trips and rejects malformations with
+    /// typed protocol errors.
+    #[test]
+    fn batch_codec_roundtrip_and_validation() {
+        let frames = vec![
+            (TAG_DATA, vec![1, 2, 3]),
+            (TAG_SKIP, Vec::new()),
+            (TAG_REDUCE, vec![9; 40]),
+        ];
+        let payload = encode_batch(&frames);
+        assert_eq!(decode_batch(&payload, 7).unwrap(), frames);
+
+        let assert_protocol = |bytes: &[u8], what: &str| match decode_batch(bytes, 7) {
+            Err(TransportError::Protocol { peer: 7, .. }) => {}
+            other => panic!("{what}: expected Protocol, got {other:?}"),
+        };
+        assert_protocol(&[], "empty payload");
+        assert_protocol(&0u32.to_le_bytes(), "zero sub-frames");
+        assert_protocol(&u32::MAX.to_le_bytes(), "absurd count");
+        // Directory larger than the payload.
+        assert_protocol(&2u32.to_le_bytes(), "truncated directory");
+        // Sub-frame length overruns the payload.
+        let mut bad = Vec::new();
+        1u32.encode(&mut bad);
+        bad.push(TAG_DATA);
+        100u32.encode(&mut bad);
+        bad.extend_from_slice(&[0; 10]);
+        assert_protocol(&bad, "overrunning sub-frame");
+        // Trailing bytes after the last sub-frame.
+        let mut trailing = encode_batch(&[(TAG_DATA, vec![1])]);
+        trailing.push(0xee);
+        assert_protocol(&trailing, "trailing bytes");
+        // Nested super-frame.
+        let nested = encode_batch(&[(TAG_BATCH, vec![0; 4]), (TAG_DATA, vec![1])]);
+        assert_protocol(&nested, "nested batch");
+    }
+
+    /// Batched mesh endpoints in separate objects (the multi-process
+    /// shape) interoperate exactly like the loopback shape.
+    #[test]
+    fn batched_mesh_endpoints_interoperate() {
+        let listeners: Vec<TcpListener> = (0..3)
+            .map(|_| TcpListener::bind(("127.0.0.1", 0)).unwrap())
+            .collect();
+        let addrs: Vec<std::net::SocketAddr> =
+            listeners.iter().map(|l| l.local_addr().unwrap()).collect();
+        let mut handles = Vec::new();
+        for (rank, listener) in listeners.into_iter().enumerate() {
+            let addrs = addrs.clone();
+            handles.push(std::thread::spawn(move || {
+                let t = Tcp::mesh(rank, addrs, listener, TcpOptions::batched()).unwrap();
+                let mut received = Vec::new();
+                for round in 0..4u8 {
+                    t.post(rank, rank, vec![round, rank as u8]);
+                    t.post(rank, (rank + 1) % 3, vec![round, rank as u8, 9]);
+                    t.sync(rank);
+                    t.take_all_into(rank, &mut received);
+                    let mut senders = Vec::new();
+                    for (s, buf) in received.drain(..) {
+                        assert_eq!(buf[0], round);
+                        assert_eq!(buf[1], s as u8);
+                        senders.push(s);
+                        t.recycle(rank, s, buf);
+                    }
+                    let mut expect = vec![(rank + 2) % 3, rank];
+                    expect.sort_unstable();
+                    assert_eq!(senders, expect, "rank {rank} round {round}");
+                    let (mask, active) = t.reduce_round(rank, 1 << rank, rank as u64 + 1);
+                    assert_eq!(mask, 0b111);
+                    assert_eq!(active, 6);
+                }
+                t.flush(rank);
+                t.worker_stats(rank)
+            }));
+        }
+        let mut wire = 0;
+        let mut coalesced = 0;
+        for h in handles {
+            let stats = h.join().unwrap();
+            wire += stats.wire_bytes;
+            coalesced += stats.coalesced_frames;
+        }
+        assert!(wire > 0);
+        assert!(coalesced > 0, "mesh endpoints coalesced nothing");
+    }
+
+    /// Pool traffic under the batched driver is identical to the
+    /// synchronous one: posted buffers come home through `reclaim_into`
+    /// by the time the next round drains.
+    #[test]
+    fn batched_send_buffers_are_reclaimed() {
+        let t = Arc::new(Tcp::loopback_with(2, TcpOptions::batched()).unwrap());
+        let mut handles = Vec::new();
+        for w in 0..2usize {
+            let t = Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut pool = BufferPool::new();
+                let mut received = Vec::new();
+                for _ in 0..3 {
+                    t.reclaim_into(w, &mut pool);
+                    let mut buf = pool.get();
+                    buf.extend_from_slice(&[w as u8; 16]);
+                    t.post(w, 1 - w, buf);
+                    t.sync(w);
+                    t.take_all_into(w, &mut received);
+                    for (s, b) in received.drain(..) {
+                        t.recycle(w, s, b);
+                    }
+                    let _ = t.reduce(w, &[1]);
+                }
+                t.flush(w);
+                pool.stats()
+            }));
+        }
+        for h in handles {
+            let stats = h.join().unwrap();
+            assert_eq!(stats.misses, 1);
+            assert_eq!(stats.hits, 2);
+        }
     }
 
     /// Posted buffers come home to the engine pool via reclaim, exactly

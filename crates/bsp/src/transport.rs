@@ -12,7 +12,7 @@
 //! * `reduce` / `reduce_round` — the global reductions that decide channel
 //!   and vertex activity.
 //!
-//! Two backends ship:
+//! Three backends ship:
 //!
 //! * [`InProcess`] — the shared-memory [`Hub`] (mailbox + sense-reversing
 //!   barrier + double-buffered reduction slots). This is the simulated
@@ -22,8 +22,13 @@
 //!   worker 0. Observationally identical to `InProcess` (same values,
 //!   bytes, supersteps, rounds — see `tests/transport_conformance.rs`),
 //!   one process-boundary step away from a distributed deployment.
+//! * The same mesh under [`crate::tcp::TcpOptions::batched`] — the
+//!   non-blocking batched driver: per-peer send queues with pipelined
+//!   partial writes, small frames coalesced into super-frames, buffered
+//!   receive. Same conformance contract, fewer syscalls and wire frames
+//!   under skewed frontiers.
 //!
-//! **Adding a third backend** means implementing this trait and keeping
+//! **Adding a fourth backend** means implementing this trait and keeping
 //! the conformance suite green; the engine, the algorithms and the metrics
 //! need no changes. The contract every implementation must honor:
 //!
@@ -59,6 +64,14 @@ pub trait ExchangeTransport: Sync {
     /// End `worker`'s posting for this round. After every worker's `sync`,
     /// the round's buffers are observable via [`Self::take_all_into`].
     fn sync(&self, worker: usize);
+
+    /// Push any buffered outgoing frames to the wire. A no-op for
+    /// backends that send eagerly; the batched TCP driver uses it to
+    /// release frames held for coalescing when no reduction will follow
+    /// this round (e.g. the multi-process result gather).
+    fn flush(&self, worker: usize) {
+        let _ = worker;
+    }
 
     /// Drain every buffer addressed to `worker` this round into `out`
     /// (cleared first), ordered by sender id.
@@ -305,6 +318,7 @@ impl ExchangeTransport for InProcess {
             } else {
                 0
             },
+            ..TransportStats::default()
         }
     }
 

@@ -73,7 +73,10 @@ INPUT (rank 0 / single process only):
 
 EXECUTION:
     --workers N       simulated workers (single process)         [default 4]
-    --transport NAME  exchange backend: in-process|tcp           [default in-process]
+    --transport NAME  exchange backend: in-process|tcp|tcp-batched
+                      (tcp-batched = non-blocking pipelined sends with
+                      frame coalescing; also drives the multi-process
+                      mesh when combined with --ranks)            [default in-process]
     --partition       place vertices with the LDG partitioner (vs random)
     --spin-budget N   barrier spin iterations before yielding, in-process
                       transport only                             [default adaptive]
@@ -231,9 +234,14 @@ fn bootstrap_options() -> BootstrapOptions {
     }
 }
 
-fn tcp_options() -> TcpOptions {
+/// Mesh options for a rank's data plane. `--transport tcp-batched` runs
+/// the multi-process mesh under the non-blocking batched driver;
+/// `in-process` makes no sense across processes and falls back to the
+/// synchronous socket driver.
+fn tcp_options(kind: TransportKind) -> TcpOptions {
     TcpOptions {
         connect_timeout: env_ms("PC_DIST_CONNECT_TIMEOUT_MS", 10_000),
+        batched: kind == TransportKind::TcpBatched,
         ..TcpOptions::default()
     }
 }
@@ -534,8 +542,13 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
                 .unwrap_or_else(|e| bail_bootstrap(e));
         }
         let data = slices_for(&full, &topo, 0);
-        let tcp = Tcp::mesh(0, coordinator.peers().to_vec(), listener, tcp_options())
-            .unwrap_or_else(|e| bail_bootstrap(e));
+        let tcp = Tcp::mesh(
+            0,
+            coordinator.peers().to_vec(),
+            listener,
+            tcp_options(opts.transport),
+        )
+        .unwrap_or_else(|e| bail_bootstrap(e));
         let cfg = Config {
             spin_budget: opts.spin_budget,
             ..Config::rank(ranks, 0, Arc::new(tcp))
@@ -562,8 +575,13 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
         let (owner, data) = decode_plan(&plan, need)
             .unwrap_or_else(|e| bail_bootstrap(format!("malformed plan: {e}")));
         let topo = Arc::new(Topology::from_owners(ranks, owner));
-        let tcp = Tcp::mesh(rank, follower.peers().to_vec(), listener, tcp_options())
-            .unwrap_or_else(|e| bail_bootstrap(e));
+        let tcp = Tcp::mesh(
+            rank,
+            follower.peers().to_vec(),
+            listener,
+            tcp_options(opts.transport),
+        )
+        .unwrap_or_else(|e| bail_bootstrap(e));
         let cfg = Config {
             spin_budget: opts.spin_budget,
             ..Config::rank(ranks, rank, Arc::new(tcp))
@@ -703,6 +721,10 @@ fn child_args(opts: &Opts, rank: usize, ranks: usize, coordinator: &SocketAddr) 
         a.push("--variant".into());
         a.push(opts.variant.clone());
     }
+    // The data-plane driver is a per-rank choice: every rank runs its
+    // mesh endpoint synchronous or batched, so the flag rides along.
+    a.push("--transport".into());
+    a.push(opts.transport.to_string());
     a.push("--iters".into());
     a.push(opts.iters.to_string());
     a.push("--src".into());

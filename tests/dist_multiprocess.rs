@@ -68,6 +68,37 @@ fn all_algorithms_verify_across_four_processes() {
     }
 }
 
+/// The batched data-plane driver across real OS processes: every rank's
+/// mesh endpoint runs the non-blocking coalescing driver, and the run
+/// still verifies against the sequential reference — values, bytes,
+/// messages, supersteps, rounds and pool traffic all identical.
+#[test]
+fn batched_transport_verifies_across_four_processes() {
+    for algorithm in ["pagerank", "wcc"] {
+        let out = run_ok(&[
+            algorithm,
+            "--gen",
+            "wikipedia",
+            "--scale",
+            "7",
+            "--ranks",
+            "4",
+            "--transport",
+            "tcp-batched",
+            "--verify",
+        ]);
+        let err = stderr_of(&out);
+        assert!(
+            err.contains("verify: distributed run matches the sequential reference"),
+            "{algorithm}: verification line missing\n{err}"
+        );
+        assert!(
+            err.contains("transport tcp-batched"),
+            "{algorithm}: the run did not go over the batched mesh\n{err}"
+        );
+    }
+}
+
 /// Partition shipping from a real input file: only rank 0 can read it.
 /// The launcher hands loader flags to rank 0 alone (follower commands do
 /// not even contain the path — see the `child_args` unit tests), and the

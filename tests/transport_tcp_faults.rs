@@ -157,6 +157,7 @@ fn late_peer_completes_round_identically() {
                     TcpOptions {
                         connect_timeout: Duration::from_secs(10),
                         io_timeout: Duration::from_secs(10),
+                        ..TcpOptions::default()
                     },
                 )
                 .unwrap(),
@@ -205,6 +206,7 @@ fn absent_peer_is_a_typed_error() {
             TcpOptions {
                 connect_timeout: Duration::from_millis(300),
                 io_timeout: Duration::from_millis(300),
+                ..TcpOptions::default()
             },
         )
         .unwrap();
@@ -259,6 +261,177 @@ fn giant_frames_do_not_deadlock() {
         }
         for h in handles {
             h.join().unwrap();
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Batched-driver faults: the coalesced super-frame path must fail with
+// the same typed-error discipline as plain frames — partial writes
+// mid-super-frame, peers stalling between sub-frames, and corrupt
+// coalesced directories are errors, never hangs and never bad reads.
+// ---------------------------------------------------------------------
+
+/// A 2-rank batched mesh where rank 1 is a raw socket under test
+/// control: it completes the `HELLO` handshake like a real peer and then
+/// writes whatever bytes the test wants rank 0 to choke on.
+fn batched_mesh_with_fake_peer(io_timeout: Duration) -> (Tcp, TcpStream) {
+    let l0 = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let l1 = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addrs = vec![l0.local_addr().unwrap(), l1.local_addr().unwrap()];
+    let t = Tcp::mesh(
+        0,
+        addrs.clone(),
+        l0,
+        TcpOptions {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout,
+            ..TcpOptions::batched()
+        },
+    )
+    .unwrap();
+    let fake = TcpStream::connect(addrs[0]).unwrap();
+    configure_stream(&fake).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    write_frame(&fake, tcp::TAG_HELLO, &1u32.to_le_bytes(), deadline, 0).unwrap();
+    (t, fake)
+}
+
+/// A super-frame header and part of its payload, then EOF: a partial
+/// write mid-super-frame is a `Truncated`, with the batch never reaching
+/// the splitter.
+#[test]
+fn batched_partial_super_frame_then_close_is_truncation() {
+    with_watchdog(Duration::from_secs(20), || {
+        let (t, fake) = batched_mesh_with_fake_peer(Duration::from_secs(10));
+        let mut wire = vec![tcp::TAG_BATCH];
+        wire.extend_from_slice(&100u32.to_le_bytes());
+        wire.extend_from_slice(&[7u8; 20]); // 20 of the promised 100 bytes
+        (&fake).write_all(&wire).unwrap();
+        drop(fake);
+        let mut out = Vec::new();
+        match t.try_take_all_into(0, &mut out) {
+            Err(TransportError::Truncated {
+                peer,
+                expected,
+                got,
+            }) => {
+                assert_eq!(peer, 1);
+                // The diagnostic owes the whole frame: header + the 100
+                // promised payload bytes; 25 wire bytes arrived.
+                assert_eq!(expected, 105);
+                assert_eq!(got, 25);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    });
+}
+
+/// A peer that sends the super-frame directory and the first sub-frame,
+/// then stalls without closing: the receiver times out at its deadline
+/// instead of waiting forever for the remaining sub-frames.
+#[test]
+fn batched_peer_stalling_between_sub_frames_times_out() {
+    with_watchdog(Duration::from_secs(20), || {
+        let (t, fake) = batched_mesh_with_fake_peer(Duration::from_millis(400));
+        // A well-formed batch of two 8-byte sub-frames, cut after the
+        // first sub-frame's payload.
+        let payload =
+            tcp::encode_batch(&[(tcp::TAG_DATA, vec![1u8; 8]), (tcp::TAG_SKIP, vec![2u8; 8])]);
+        let mut wire = vec![tcp::TAG_BATCH];
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload[..payload.len() - 8]);
+        (&fake).write_all(&wire).unwrap();
+        let started = Instant::now();
+        let mut out = Vec::new();
+        match t.try_take_all_into(0, &mut out) {
+            Err(TransportError::Timeout { peer, .. }) => assert_eq!(peer, 1),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "timeout honored promptly"
+        );
+        drop(fake); // keep the socket alive until after the verdict
+    });
+}
+
+/// A coalesced header whose directory overruns the super-frame payload
+/// is a protocol violation at the splitter — typed, attributed to the
+/// offending peer, no allocation of the claimed lengths.
+#[test]
+fn batched_truncated_coalesced_header_is_protocol_violation() {
+    with_watchdog(Duration::from_secs(20), || {
+        let (t, fake) = batched_mesh_with_fake_peer(Duration::from_secs(10));
+        // Payload: directory claims 2 sub-frames of 50 bytes each, but
+        // only 10 payload bytes follow.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        for _ in 0..2 {
+            payload.push(tcp::TAG_DATA);
+            payload.extend_from_slice(&50u32.to_le_bytes());
+        }
+        payload.extend_from_slice(&[9u8; 10]);
+        let mut wire = vec![tcp::TAG_BATCH];
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        (&fake).write_all(&wire).unwrap();
+        let mut out = Vec::new();
+        match t.try_take_all_into(0, &mut out) {
+            Err(TransportError::Protocol { peer, detail }) => {
+                assert_eq!(peer, 1);
+                assert!(detail.contains("overruns"), "{detail}");
+            }
+            other => panic!("expected Protocol, got {other:?}"),
+        }
+        drop(fake);
+    });
+}
+
+/// A super-frame claiming an absurd sub-frame count is rejected before
+/// anything is allocated for it.
+#[test]
+fn batched_absurd_sub_frame_count_is_rejected() {
+    with_watchdog(Duration::from_secs(20), || {
+        let (t, fake) = batched_mesh_with_fake_peer(Duration::from_secs(10));
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut wire = vec![tcp::TAG_BATCH];
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        (&fake).write_all(&wire).unwrap();
+        let mut out = Vec::new();
+        match t.try_take_all_into(0, &mut out) {
+            Err(TransportError::Protocol { peer, detail }) => {
+                assert_eq!(peer, 1);
+                assert!(detail.contains("sub-frames"), "{detail}");
+            }
+            other => panic!("expected Protocol, got {other:?}"),
+        }
+        drop(fake);
+    });
+}
+
+/// The batched driver's absent-peer behavior matches the synchronous
+/// one: a rank that never appears is a typed connect/accept failure.
+#[test]
+fn batched_absent_peer_is_a_typed_error() {
+    with_watchdog(Duration::from_secs(20), || {
+        let t = Tcp::loopback_with(
+            2,
+            TcpOptions {
+                connect_timeout: Duration::from_millis(300),
+                io_timeout: Duration::from_millis(300),
+                ..TcpOptions::batched()
+            },
+        )
+        .unwrap();
+        match t.try_post(0, 1, vec![1, 2, 3]) {
+            Err(TransportError::Timeout { peer, during }) => {
+                assert_eq!(peer, 1);
+                assert!(during.contains("accept"), "failed during {during}");
+            }
+            other => panic!("expected a connect timeout, got {other:?}"),
         }
     });
 }
