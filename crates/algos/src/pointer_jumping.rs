@@ -142,8 +142,8 @@ impl PregelProgram for PjPregel {
         Some(Combine::or())
     }
 
-    fn respond(&self, d: &VertexId) -> u32 {
-        *d
+    fn respond(&self, d: &VertexId) -> Result<u32, pc_pregel::ProgramError> {
+        Ok(*d)
     }
 
     fn compute(&self, v: &mut PregelVertex<'_, '_, Self>) {

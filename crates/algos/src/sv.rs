@@ -358,8 +358,8 @@ impl PregelProgram for SvPregel {
         Some(Combine::or())
     }
 
-    fn respond(&self, value: &SvPregelValue) -> u32 {
-        value.d
+    fn respond(&self, value: &SvPregelValue) -> Result<u32, pc_pregel::ProgramError> {
+        Ok(value.d)
     }
 
     fn compute(&self, v: &mut PregelVertex<'_, '_, Self>) {

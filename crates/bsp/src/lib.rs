@@ -128,6 +128,23 @@ pub struct RankRole {
     pub transport: std::sync::Arc<Tcp>,
 }
 
+/// Superstep checkpointing policy.
+///
+/// When a [`Config`] carries one of these, the engine's worker drivers
+/// snapshot their state (vertex values, frontier, channel state, byte and
+/// pool counters) into `dir` every `every` supersteps, with worker 0
+/// committing a manifest once all workers pass the checkpoint barrier.
+/// The mechanics (segment files, digests, atomic commit, GC) live in the
+/// `pc-ckpt` crate; this is just the knob the engine reads.
+#[derive(Debug, Clone)]
+pub struct CkptPolicy {
+    /// Checkpoint cadence in supersteps (a checkpoint is taken after
+    /// every `every`-th superstep that is not the run's last).
+    pub every: u64,
+    /// Checkpoint directory, shared by all workers/ranks of the run.
+    pub dir: std::path::PathBuf,
+}
+
 /// Run-wide configuration shared by both engines.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -148,6 +165,9 @@ pub struct Config {
     /// spinning before yielding). `None` keeps the adaptive default: spin
     /// when cores outnumber workers, park immediately otherwise.
     pub spin_budget: Option<u32>,
+    /// Superstep checkpointing (threaded and multi-process drivers only);
+    /// `None` disables it.
+    pub ckpt: Option<CkptPolicy>,
 }
 
 impl Default for Config {
@@ -159,6 +179,7 @@ impl Default for Config {
             max_supersteps: 1_000_000,
             dist: None,
             spin_budget: None,
+            ckpt: None,
         }
     }
 }

@@ -211,6 +211,14 @@ impl BufferPool {
     pub fn stats(&self) -> PoolStats {
         self.stats
     }
+
+    /// Overwrite the hit/miss counters — used when restoring a worker
+    /// from a checkpoint, so the resumed run's pool accounting continues
+    /// from exactly where the snapshot left it (the re-executed tail adds
+    /// its traffic once, as an unfailed run would have).
+    pub fn set_stats(&mut self, stats: PoolStats) {
+        self.stats = stats;
+    }
 }
 
 #[cfg(test)]

@@ -1533,6 +1533,12 @@ pub struct Tcp {
     /// Listener for each rank, taken by its worker during mesh setup.
     listeners: Vec<Mutex<Option<TcpListener>>>,
     endpoints: Vec<Mutex<Endpoint>>,
+    /// The first [`TransportError`] that made an infallible trait method
+    /// panic. A supervisor that catches the worker's unwind reads this
+    /// through [`Tcp::take_fault`] to decide whether the failure is a
+    /// recoverable data-plane fault (peer died → rebuild the mesh and
+    /// restore a checkpoint) or a programming error it must propagate.
+    fault: Mutex<Option<TransportError>>,
 }
 
 impl Tcp {
@@ -1572,6 +1578,7 @@ impl Tcp {
             addrs,
             listeners,
             endpoints,
+            fault: Mutex::new(None),
         })
     }
 
@@ -1608,6 +1615,7 @@ impl Tcp {
             addrs,
             listeners,
             endpoints: Tcp::fresh_endpoints(workers),
+            fault: Mutex::new(None),
         })
     }
 
@@ -2347,11 +2355,31 @@ impl Tcp {
     }
 }
 
-/// Panic message for the infallible trait surface: the engine treats a
-/// transport failure like any other worker panic (the run aborts), while
-/// the fault-injection tests use the fallible `try_*` methods directly.
-fn bail(e: TransportError) -> ! {
-    panic!("tcp transport: {e}")
+impl Tcp {
+    /// Record `e` as this mesh's fault, then panic — the infallible
+    /// [`ExchangeTransport`] surface treats a transport failure like any
+    /// other worker panic (the run unwinds), while a recovery-capable
+    /// supervisor catches the unwind and reads the typed error back via
+    /// [`Tcp::take_fault`]. Fault-injection tests use the fallible
+    /// `try_*` methods directly and never come through here.
+    fn fail(&self, e: TransportError) -> ! {
+        let msg = format!("tcp transport: {e}");
+        {
+            let mut slot = self.fault.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+        panic!("{msg}")
+    }
+
+    /// Take the typed error behind the most recent transport panic, if
+    /// any. A `Some` answer means the unwound run died of a data-plane
+    /// failure (peer gone, timeout, protocol desync) — the recoverable
+    /// class — rather than an engine bug.
+    pub fn take_fault(&self) -> Option<TransportError> {
+        self.fault.lock().take()
+    }
 }
 
 impl ExchangeTransport for Tcp {
@@ -2368,20 +2396,21 @@ impl ExchangeTransport for Tcp {
     }
 
     fn post(&self, from: usize, to: usize, data: Vec<u8>) {
-        self.try_post(from, to, data).unwrap_or_else(|e| bail(e))
+        self.try_post(from, to, data)
+            .unwrap_or_else(|e| self.fail(e))
     }
 
     fn sync(&self, worker: usize) {
-        self.try_sync(worker).unwrap_or_else(|e| bail(e))
+        self.try_sync(worker).unwrap_or_else(|e| self.fail(e))
     }
 
     fn flush(&self, worker: usize) {
-        self.try_flush(worker).unwrap_or_else(|e| bail(e))
+        self.try_flush(worker).unwrap_or_else(|e| self.fail(e))
     }
 
     fn take_all_into(&self, worker: usize, out: &mut Vec<(usize, Vec<u8>)>) {
         self.try_take_all_into(worker, out)
-            .unwrap_or_else(|e| bail(e))
+            .unwrap_or_else(|e| self.fail(e))
     }
 
     fn recycle(&self, worker: usize, sender: usize, mut buf: Vec<u8>) {
@@ -2413,12 +2442,13 @@ impl ExchangeTransport for Tcp {
     }
 
     fn reduce(&self, worker: usize, values: &[u64]) -> Vec<u64> {
-        self.try_reduce(worker, values).unwrap_or_else(|e| bail(e))
+        self.try_reduce(worker, values)
+            .unwrap_or_else(|e| self.fail(e))
     }
 
     fn reduce_round(&self, worker: usize, again: u64, active: u64) -> (u64, u64) {
         self.try_reduce_round(worker, again, active)
-            .unwrap_or_else(|e| bail(e))
+            .unwrap_or_else(|e| self.fail(e))
     }
 
     fn stats(&self) -> TransportStats {

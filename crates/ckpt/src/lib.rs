@@ -1,0 +1,732 @@
+//! # pc-ckpt — superstep checkpointing for the channel engine
+//!
+//! BSP superstep boundaries are natural consistency points: every worker
+//! has finished its exchange rounds, no message is in flight, and the
+//! next superstep's frontier is fully decided. This crate stores that
+//! state durably so a multi-process run can survive a rank being killed
+//! (`pc_dist`'s supervisor respawns it and every rank resumes from the
+//! last *committed* checkpoint).
+//!
+//! ## On-disk layout
+//!
+//! ```text
+//! <dir>/step-0000000008/rank-0000.seg     per-rank state snapshot
+//!                       rank-0001.seg
+//!                       ...
+//!                       MANIFEST          commit record (written last)
+//! ```
+//!
+//! A checkpoint of superstep `s` is **either complete or invisible**:
+//!
+//! * every rank writes its segment to `*.tmp`, fsyncs, and atomically
+//!   renames it into place — a crash mid-write leaves at worst a `.tmp`
+//!   straggler that is never read;
+//! * rank 0 writes the `MANIFEST` (same tmp + fsync + rename discipline)
+//!   only after *all* ranks have passed the checkpoint barrier, so a
+//!   step directory without a digest-valid manifest is not a checkpoint;
+//! * the manifest pins each segment's content digest, so a torn or
+//!   truncated segment is detected at restore time and the restore falls
+//!   back to the previous complete epoch ([`Store::latest_restorable`]).
+//!
+//! Every file carries a trailing [`fnv64`] digest over its own bytes, and
+//! the manifest additionally records each segment's digest — validation
+//! never trusts file lengths or headers alone.
+//!
+//! The *contents* of a segment payload belong to the engine
+//! (`pc_channels::engine` encodes vertex values, frontier, channel state
+//! and counters); this crate only frames, digests and commits them.
+
+use pc_bsp::{Codec, Reader};
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a segment file ("pcSEG\x01" padded).
+pub const SEGMENT_MAGIC: u64 = 0x0100_4745_5363_7000;
+/// Magic prefix of a manifest file ("pcMAN\x01" padded).
+pub const MANIFEST_MAGIC: u64 = 0x0100_4e41_4d63_7000;
+/// On-disk format version; bumped on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+/// Committed epochs the garbage collector keeps: the newest one plus one
+/// fallback for the torn-write path.
+pub const KEEP_COMMITTED: usize = 2;
+
+/// FNV-1a 64-bit digest — small, dependency-free, and plenty for
+/// detecting torn writes and bit rot (this is not an adversarial setting:
+/// checkpoints live on the operator's own disk).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A checkpointing failure.
+#[derive(Debug)]
+pub enum CkptError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// Path involved.
+        path: PathBuf,
+        /// What was being attempted.
+        during: &'static str,
+        /// The OS error kind.
+        kind: std::io::ErrorKind,
+    },
+    /// A file exists but fails digest or structural validation.
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// What was wrong.
+        detail: String,
+    },
+    /// The directory holds checkpoints of a *different* run (other
+    /// algorithm, worker count or graph) — refusing to restore from them
+    /// is a loud error, not a silent cold start.
+    Incompatible {
+        /// Human-readable mismatch description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io { path, during, kind } => {
+                write!(
+                    f,
+                    "i/o error ({kind:?}) during {during}: {}",
+                    path.display()
+                )
+            }
+            CkptError::Corrupt { path, detail } => {
+                write!(f, "corrupt checkpoint file {}: {detail}", path.display())
+            }
+            CkptError::Incompatible { detail } => {
+                write!(f, "incompatible checkpoint: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+fn io_err(path: &Path, during: &'static str, e: std::io::Error) -> CkptError {
+    CkptError::Io {
+        path: path.to_path_buf(),
+        during,
+        kind: e.kind(),
+    }
+}
+
+/// Identity of a run, pinned into every manifest so a checkpoint is only
+/// ever restored into the run shape that wrote it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunId {
+    /// Cluster width (workers / ranks).
+    pub workers: u32,
+    /// Total vertices in the graph.
+    pub n: u64,
+    /// Algorithm tag (the engine uses the algorithm's type name).
+    pub algo: String,
+}
+
+impl RunId {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.workers.encode(buf);
+        self.n.encode(buf);
+        let bytes = self.algo.as_bytes();
+        (bytes.len() as u32).encode(buf);
+        buf.extend_from_slice(bytes);
+    }
+
+    fn decode(r: &mut Reader<'_>, path: &Path) -> Result<Self, CkptError> {
+        let corrupt = |detail: String| CkptError::Corrupt {
+            path: path.to_path_buf(),
+            detail,
+        };
+        if r.remaining() < 16 {
+            return Err(corrupt("run id truncated".into()));
+        }
+        let workers = r.get();
+        let n = r.get();
+        let len: u32 = r.get();
+        if r.remaining() < len as usize {
+            return Err(corrupt("algo tag truncated".into()));
+        }
+        let algo = String::from_utf8(r.take(len as usize).to_vec())
+            .map_err(|e| corrupt(format!("algo tag is not utf-8: {e}")))?;
+        Ok(RunId { workers, n, algo })
+    }
+}
+
+/// The commit record of one checkpoint epoch, written by rank 0 after
+/// every rank acked the checkpoint barrier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The run this checkpoint belongs to.
+    pub id: RunId,
+    /// Superstep the checkpoint was taken after.
+    pub superstep: u64,
+    /// Exchange rounds completed at that point.
+    pub rounds: u64,
+    /// Per-rank segment content digests, indexed by rank.
+    pub digests: Vec<u64>,
+}
+
+/// One rank's state snapshot. The payload bytes are produced and consumed
+/// by the engine; this crate treats them as opaque.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// Superstep the snapshot was taken after.
+    pub superstep: u64,
+    /// Exchange rounds completed at that point.
+    pub rounds: u64,
+    /// The rank whose state this is.
+    pub rank: u32,
+    /// Cluster width, for cross-checking against the manifest.
+    pub workers: u32,
+    /// Engine-encoded worker state.
+    pub payload: Vec<u8>,
+}
+
+/// Trailing digest width on every checkpoint file.
+const DIGEST_LEN: usize = 8;
+/// File name of the commit record inside a step directory.
+const MANIFEST_NAME: &str = "MANIFEST";
+
+/// A checkpoint directory. Cheap to construct per worker; all methods are
+/// `&self` and safe to call concurrently from different ranks (each rank
+/// writes only its own segment, rank 0 alone writes manifests).
+#[derive(Debug, Clone)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+impl Store {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CkptError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, "create checkpoint dir", e))?;
+        Ok(Store { dir })
+    }
+
+    /// The directory this store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Directory of one checkpoint epoch.
+    pub fn step_dir(&self, superstep: u64) -> PathBuf {
+        self.dir.join(format!("step-{superstep:010}"))
+    }
+
+    /// Path of one rank's segment file.
+    pub fn segment_path(&self, superstep: u64, rank: u32) -> PathBuf {
+        self.step_dir(superstep).join(format!("rank-{rank:04}.seg"))
+    }
+
+    /// Path of an epoch's manifest.
+    pub fn manifest_path(&self, superstep: u64) -> PathBuf {
+        self.step_dir(superstep).join(MANIFEST_NAME)
+    }
+
+    /// Write `bytes + fnv64(bytes)` to `path` atomically: tmp file, data
+    /// fsync, rename, directory fsync. Returns the digest.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<u64, CkptError> {
+        let digest = fnv64(bytes);
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = fs::File::create(&tmp).map_err(|e| io_err(&tmp, "create tmp file", e))?;
+            f.write_all(bytes)
+                .and_then(|()| f.write_all(&digest.to_le_bytes()))
+                .map_err(|e| io_err(&tmp, "write checkpoint bytes", e))?;
+            f.sync_all()
+                .map_err(|e| io_err(&tmp, "fsync checkpoint", e))?;
+        }
+        fs::rename(&tmp, path).map_err(|e| io_err(path, "rename into place", e))?;
+        if let Some(parent) = path.parent() {
+            // Make the rename itself durable. Failing to fsync a directory
+            // only weakens durability, not atomicity, so a filesystem that
+            // refuses (some tmpfs setups) is tolerated.
+            if let Ok(d) = fs::File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(digest)
+    }
+
+    /// Read `path` and validate its trailing digest; returns the body
+    /// and the (verified) content digest, so callers comparing against a
+    /// manifest never need to re-hash.
+    fn read_validated(&self, path: &Path) -> Result<(Vec<u8>, u64), CkptError> {
+        let bytes = fs::read(path).map_err(|e| io_err(path, "read checkpoint file", e))?;
+        if bytes.len() < DIGEST_LEN {
+            return Err(CkptError::Corrupt {
+                path: path.to_path_buf(),
+                detail: format!("{} bytes is too short to carry a digest", bytes.len()),
+            });
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - DIGEST_LEN);
+        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        let actual = fnv64(body);
+        if stored != actual {
+            return Err(CkptError::Corrupt {
+                path: path.to_path_buf(),
+                detail: format!("digest mismatch: stored {stored:#018x}, content {actual:#018x}"),
+            });
+        }
+        Ok((body.to_vec(), stored))
+    }
+
+    /// Write one rank's segment (atomically); returns its content digest.
+    pub fn write_segment(&self, seg: &Segment) -> Result<u64, CkptError> {
+        let step = self.step_dir(seg.superstep);
+        fs::create_dir_all(&step).map_err(|e| io_err(&step, "create step dir", e))?;
+        let buf = encode_segment_body(seg);
+        self.write_atomic(&self.segment_path(seg.superstep, seg.rank), &buf)
+    }
+
+    /// The digest a segment file carries (its last 8 bytes). Rank 0 reads
+    /// these at commit time instead of re-hashing whole segments.
+    pub fn segment_digest(&self, superstep: u64, rank: u32) -> Result<u64, CkptError> {
+        use std::io::{Read, Seek, SeekFrom};
+        let path = self.segment_path(superstep, rank);
+        let mut f = fs::File::open(&path).map_err(|e| io_err(&path, "open segment", e))?;
+        f.seek(SeekFrom::End(-(DIGEST_LEN as i64)))
+            .map_err(|e| io_err(&path, "seek segment trailer", e))?;
+        let mut trailer = [0u8; DIGEST_LEN];
+        f.read_exact(&mut trailer)
+            .map_err(|e| io_err(&path, "read segment trailer", e))?;
+        Ok(u64::from_le_bytes(trailer))
+    }
+
+    /// Read and fully validate one rank's segment.
+    pub fn read_segment(&self, superstep: u64, rank: u32) -> Result<Segment, CkptError> {
+        Ok(self.read_segment_with_digest(superstep, rank)?.0)
+    }
+
+    /// [`Store::read_segment`] plus the segment's verified content
+    /// digest (what the manifest pins), without re-hashing.
+    fn read_segment_with_digest(
+        &self,
+        superstep: u64,
+        rank: u32,
+    ) -> Result<(Segment, u64), CkptError> {
+        let path = self.segment_path(superstep, rank);
+        let (body, digest) = self.read_validated(&path)?;
+        let corrupt = |detail: String| CkptError::Corrupt {
+            path: path.clone(),
+            detail,
+        };
+        let mut r = Reader::new(&body);
+        if r.remaining() < 40 {
+            return Err(corrupt("segment header truncated".into()));
+        }
+        let magic: u64 = r.get();
+        if magic != SEGMENT_MAGIC {
+            return Err(corrupt(format!("bad magic {magic:#018x}")));
+        }
+        let version: u32 = r.get();
+        if version != FORMAT_VERSION {
+            return Err(corrupt(format!("unsupported format version {version}")));
+        }
+        let seg = Segment {
+            superstep: r.get(),
+            rounds: r.get(),
+            rank: r.get(),
+            workers: r.get(),
+            payload: {
+                let len: u64 = r.get();
+                if r.remaining() as u64 != len {
+                    return Err(corrupt(format!(
+                        "payload length {len} but {} bytes follow",
+                        r.remaining()
+                    )));
+                }
+                r.take(len as usize).to_vec()
+            },
+        };
+        if seg.superstep != superstep || seg.rank != rank {
+            return Err(corrupt(format!(
+                "segment claims superstep {}/rank {}, expected {superstep}/{rank}",
+                seg.superstep, seg.rank
+            )));
+        }
+        Ok((seg, digest))
+    }
+
+    /// Commit one epoch: write its manifest atomically. After this
+    /// returns, the epoch is visible to [`Store::latest_restorable`].
+    pub fn commit(&self, m: &Manifest) -> Result<(), CkptError> {
+        assert_eq!(
+            m.digests.len() as u32,
+            m.id.workers,
+            "manifest must carry one digest per rank"
+        );
+        let step = self.step_dir(m.superstep);
+        fs::create_dir_all(&step).map_err(|e| io_err(&step, "create step dir", e))?;
+        let mut buf = Vec::new();
+        MANIFEST_MAGIC.encode(&mut buf);
+        FORMAT_VERSION.encode(&mut buf);
+        m.id.encode(&mut buf);
+        m.superstep.encode(&mut buf);
+        m.rounds.encode(&mut buf);
+        m.digests.encode(&mut buf);
+        self.write_atomic(&self.manifest_path(m.superstep), &buf)?;
+        Ok(())
+    }
+
+    /// Read and validate the manifest of one epoch.
+    pub fn read_manifest(&self, superstep: u64) -> Result<Manifest, CkptError> {
+        let path = self.manifest_path(superstep);
+        let (body, _) = self.read_validated(&path)?;
+        let corrupt = |detail: String| CkptError::Corrupt {
+            path: path.clone(),
+            detail,
+        };
+        let mut r = Reader::new(&body);
+        if r.remaining() < 12 {
+            return Err(corrupt("manifest header truncated".into()));
+        }
+        let magic: u64 = r.get();
+        if magic != MANIFEST_MAGIC {
+            return Err(corrupt(format!("bad magic {magic:#018x}")));
+        }
+        let version: u32 = r.get();
+        if version != FORMAT_VERSION {
+            return Err(corrupt(format!("unsupported format version {version}")));
+        }
+        let id = RunId::decode(&mut r, &path)?;
+        if r.remaining() < 20 {
+            return Err(corrupt("manifest body truncated".into()));
+        }
+        let superstep_in: u64 = r.get();
+        let rounds: u64 = r.get();
+        let digests: Vec<u64> = r.get();
+        if superstep_in != superstep {
+            return Err(corrupt(format!(
+                "manifest claims superstep {superstep_in}, expected {superstep}"
+            )));
+        }
+        if !r.is_empty() {
+            return Err(corrupt(format!("{} trailing bytes", r.remaining())));
+        }
+        Ok(Manifest {
+            id,
+            superstep,
+            rounds,
+            digests,
+        })
+    }
+
+    /// Every step directory present, ascending by superstep. Directories
+    /// with unparsable names are ignored.
+    fn step_dirs(&self) -> Result<Vec<u64>, CkptError> {
+        let mut steps = Vec::new();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(ref e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(steps),
+            Err(e) => return Err(io_err(&self.dir, "scan checkpoint dir", e)),
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let Some(rest) = name.to_str().and_then(|s| s.strip_prefix("step-")) else {
+                continue;
+            };
+            if let Ok(step) = rest.parse::<u64>() {
+                steps.push(step);
+            }
+        }
+        steps.sort_unstable();
+        Ok(steps)
+    }
+
+    /// Epochs with a manifest file present (not yet digest-validated),
+    /// ascending.
+    pub fn committed_steps(&self) -> Result<Vec<u64>, CkptError> {
+        Ok(self
+            .step_dirs()?
+            .into_iter()
+            .filter(|&s| self.manifest_path(s).exists())
+            .collect())
+    }
+
+    /// The newest epoch that can actually be restored for `id`: its
+    /// manifest is digest-valid, names the same run, and **every** rank's
+    /// segment validates against the manifest's pinned digest. A torn or
+    /// truncated segment fails that epoch and the scan falls back to the
+    /// previous committed one — all ranks scanning the same directory
+    /// reach the same answer.
+    ///
+    /// A digest-valid manifest for a *different* run is an
+    /// [`CkptError::Incompatible`] error, never a silent cold start.
+    pub fn latest_restorable(&self, id: &RunId) -> Result<Option<Manifest>, CkptError> {
+        for step in self.committed_steps()?.into_iter().rev() {
+            let manifest = match self.read_manifest(step) {
+                Ok(m) => m,
+                // A torn manifest is an uncommitted epoch.
+                Err(CkptError::Corrupt { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            if manifest.id != *id {
+                return Err(CkptError::Incompatible {
+                    detail: format!(
+                        "checkpoint dir {} holds epoch {} of run {:?}, but this run is {:?}",
+                        self.dir.display(),
+                        step,
+                        manifest.id,
+                        id
+                    ),
+                });
+            }
+            let all_valid = (0..manifest.id.workers).all(|rank| {
+                matches!(
+                    self.read_segment_with_digest(step, rank),
+                    Ok((ref seg, digest))
+                        if digest == manifest.digests[rank as usize]
+                            && seg.rounds == manifest.rounds
+                            && seg.workers == manifest.id.workers
+                )
+            });
+            if all_valid {
+                return Ok(Some(manifest));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Garbage-collect superseded epochs: keep the newest `keep` committed
+    /// epochs (and anything newer than the newest committed one — an
+    /// in-flight checkpoint), delete the rest. Best-effort: removal errors
+    /// on individual directories are ignored.
+    pub fn gc(&self, keep: usize) -> Result<(), CkptError> {
+        let committed = self.committed_steps()?;
+        if committed.len() <= keep {
+            // Still remove uncommitted stragglers older than the oldest
+            // kept committed epoch (a crashed run's partial epoch).
+            if let Some(&oldest_kept) = committed.first() {
+                for step in self.step_dirs()? {
+                    if step < oldest_kept && !committed.contains(&step) {
+                        let _ = fs::remove_dir_all(self.step_dir(step));
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let cutoff = committed[committed.len() - keep];
+        for step in self.step_dirs()? {
+            if step < cutoff {
+                let _ = fs::remove_dir_all(self.step_dir(step));
+            }
+        }
+        Ok(())
+    }
+
+    /// Remove every checkpoint epoch (the launcher wipes the directory at
+    /// the start of a fresh job so stale epochs cannot be restored into
+    /// it, and cleans up after a successful one).
+    pub fn wipe(&self) -> Result<(), CkptError> {
+        for step in self.step_dirs()? {
+            fs::remove_dir_all(self.step_dir(step))
+                .map_err(|e| io_err(&self.step_dir(step), "remove step dir", e))?;
+        }
+        Ok(())
+    }
+}
+
+/// A segment's on-disk body (header + payload, digest trailer excluded)
+/// — the one encoding both the writer and the digest re-check use, so
+/// the two can never drift apart and silently disable restores.
+fn encode_segment_body(seg: &Segment) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(48 + seg.payload.len());
+    SEGMENT_MAGIC.encode(&mut buf);
+    FORMAT_VERSION.encode(&mut buf);
+    seg.superstep.encode(&mut buf);
+    seg.rounds.encode(&mut buf);
+    seg.rank.encode(&mut buf);
+    seg.workers.encode(&mut buf);
+    (seg.payload.len() as u64).encode(&mut buf);
+    buf.extend_from_slice(&seg.payload);
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir().join(format!(
+            "pc_ckpt_test_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    fn run_id(workers: u32) -> RunId {
+        RunId {
+            workers,
+            n: 1000,
+            algo: "test::Algo".into(),
+        }
+    }
+
+    fn write_epoch(store: &Store, id: &RunId, superstep: u64, rounds: u64) -> Manifest {
+        let mut digests = Vec::new();
+        for rank in 0..id.workers {
+            let seg = Segment {
+                superstep,
+                rounds,
+                rank,
+                workers: id.workers,
+                payload: vec![rank as u8; 64 + superstep as usize],
+            };
+            store.write_segment(&seg).unwrap();
+            digests.push(store.segment_digest(superstep, rank).unwrap());
+        }
+        let m = Manifest {
+            id: id.clone(),
+            superstep,
+            rounds,
+            digests,
+        };
+        store.commit(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn segment_roundtrip_is_byte_exact() {
+        let store = tmp_store("seg_rt");
+        let seg = Segment {
+            superstep: 8,
+            rounds: 31,
+            rank: 2,
+            workers: 4,
+            payload: (0..=255u8).collect(),
+        };
+        let digest = store.write_segment(&seg).unwrap();
+        assert_eq!(store.segment_digest(8, 2).unwrap(), digest);
+        assert_eq!(store.read_segment(8, 2).unwrap(), seg);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn manifest_commit_makes_epoch_visible() {
+        let store = tmp_store("commit");
+        let id = run_id(3);
+        // Segments alone are invisible.
+        for rank in 0..3 {
+            store
+                .write_segment(&Segment {
+                    superstep: 4,
+                    rounds: 9,
+                    rank,
+                    workers: 3,
+                    payload: vec![7; 32],
+                })
+                .unwrap();
+        }
+        assert_eq!(store.latest_restorable(&id).unwrap(), None);
+        let m = write_epoch(&store, &id, 4, 9);
+        assert_eq!(store.latest_restorable(&id).unwrap(), Some(m.clone()));
+        assert_eq!(store.read_manifest(4).unwrap(), m);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn torn_segment_falls_back_to_previous_epoch() {
+        let store = tmp_store("torn");
+        let id = run_id(2);
+        let older = write_epoch(&store, &id, 4, 10);
+        write_epoch(&store, &id, 8, 20);
+        // Truncate rank 1's newest segment: the epoch is committed but no
+        // longer restorable; the scan must fall back to superstep 4.
+        let victim = store.segment_path(8, 1);
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(store.latest_restorable(&id).unwrap(), Some(older));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupted_bytes_are_detected() {
+        let store = tmp_store("flip");
+        let id = run_id(1);
+        write_epoch(&store, &id, 2, 3);
+        let victim = store.segment_path(2, 0);
+        let mut bytes = fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        fs::write(&victim, &bytes).unwrap();
+        assert!(matches!(
+            store.read_segment(2, 0),
+            Err(CkptError::Corrupt { .. })
+        ));
+        assert_eq!(store.latest_restorable(&id).unwrap(), None);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn foreign_run_is_a_loud_incompatibility() {
+        let store = tmp_store("foreign");
+        write_epoch(&store, &run_id(2), 2, 5);
+        let other = RunId {
+            workers: 2,
+            n: 1000,
+            algo: "test::OtherAlgo".into(),
+        };
+        assert!(matches!(
+            store.latest_restorable(&other),
+            Err(CkptError::Incompatible { .. })
+        ));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn gc_keeps_newest_committed_epochs() {
+        let store = tmp_store("gc");
+        let id = run_id(2);
+        for step in [2, 4, 6, 8] {
+            write_epoch(&store, &id, step, step * 3);
+        }
+        // An uncommitted straggler older than the kept window.
+        store
+            .write_segment(&Segment {
+                superstep: 1,
+                rounds: 1,
+                rank: 0,
+                workers: 2,
+                payload: vec![0; 8],
+            })
+            .unwrap();
+        store.gc(KEEP_COMMITTED).unwrap();
+        assert_eq!(store.committed_steps().unwrap(), vec![6, 8]);
+        assert!(!store.step_dir(1).exists(), "straggler survived gc");
+        assert!(!store.step_dir(2).exists());
+        assert!(store.read_segment(6, 0).is_ok());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn wipe_clears_all_epochs() {
+        let store = tmp_store("wipe");
+        let id = run_id(1);
+        write_epoch(&store, &id, 2, 2);
+        write_epoch(&store, &id, 4, 4);
+        store.wipe().unwrap();
+        assert_eq!(store.committed_steps().unwrap(), Vec::<u64>::new());
+        assert_eq!(store.latest_restorable(&id).unwrap(), None);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn fnv64_is_stable_and_sensitive() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+        assert_ne!(fnv64(b"ab"), fnv64(b"ba"));
+    }
+}

@@ -212,6 +212,33 @@ pub trait Channel<AV>: Send {
     fn message_count(&self) -> u64 {
         0
     }
+
+    /// Serialize this channel's cross-superstep state for a checkpoint
+    /// taken at a superstep boundary (all exchange rounds finished, the
+    /// frontier advanced, nothing in flight). Everything a restored
+    /// instance cannot rebuild from [`crate::Algorithm::channels`] alone
+    /// must be written: registered routes, staged receive state for the
+    /// next superstep's `before_superstep`, the message counter.
+    ///
+    /// Return `true` when the state was written; the default returns
+    /// `false`, marking the channel as not checkpointable (the engine
+    /// refuses to start a checkpointing run over such a channel, before
+    /// the first superstep).
+    fn encode_state(&self, buf: &mut Vec<u8>) -> bool {
+        let _ = buf;
+        false
+    }
+
+    /// Restore state written by [`Channel::encode_state`] into a freshly
+    /// constructed instance. Only called when `encode_state` returned
+    /// `true`; the default is therefore unreachable.
+    fn decode_state(&mut self, r: &mut Reader<'_>) {
+        let _ = r;
+        unreachable!(
+            "decode_state called on channel '{}', which never encodes state",
+            self.name()
+        )
+    }
 }
 
 /// A fixed collection of channels — the engine iterates them untyped, the

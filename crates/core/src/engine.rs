@@ -50,7 +50,8 @@ use pc_bsp::pool::{BufferPool, PoolStats};
 use pc_bsp::tcp::TcpOptions;
 use pc_bsp::topology::Topology;
 use pc_bsp::transport::{ExchangeTransport, InProcess};
-use pc_bsp::{Config, ExecMode, RankRole, Tcp, TransportKind};
+use pc_bsp::{CkptPolicy, Config, ExecMode, RankRole, Tcp, TransportKind};
+use pc_ckpt::{Manifest, RunId, Segment, Store, KEEP_COMMITTED};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -306,6 +307,101 @@ impl<'a, A: Algorithm> WorkerState<'a, A> {
         self.frontier.advance() as u64
     }
 
+    /// Panic (before the first superstep) unless this worker's state can
+    /// be checkpointed: every channel must implement the state codec and
+    /// the algorithm must implement the value codec.
+    fn assert_checkpointable(&mut self) {
+        let mut scratch = Vec::new();
+        A::encode_value(&A::Value::default(), &mut scratch);
+        self.channels.for_each(&mut |_, ch| {
+            scratch.clear();
+            assert!(
+                ch.encode_state(&mut scratch),
+                "channel '{}' does not support checkpointing; implement \
+                 Channel::encode_state/decode_state or disable checkpoints",
+                ch.name()
+            );
+        });
+    }
+
+    /// Serialize this worker's complete superstep-boundary state: vertex
+    /// values, the advanced frontier, per-channel byte counters, pool
+    /// counters and every channel's own state. The inverse of
+    /// [`WorkerState::restore_snapshot`].
+    fn encode_snapshot(&mut self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        (self.values.len() as u64).encode(&mut buf);
+        for v in &self.values {
+            A::encode_value(v, &mut buf);
+        }
+        self.frontier.current().to_vec().encode(&mut buf);
+        (self.bytes.len() as u32).encode(&mut buf);
+        for b in &self.bytes {
+            b.remote.encode(&mut buf);
+            b.local.encode(&mut buf);
+        }
+        let pool = self.pool.stats();
+        pool.hits.encode(&mut buf);
+        pool.misses.encode(&mut buf);
+        let n_channels = self.channels.len() as u32;
+        n_channels.encode(&mut buf);
+        let mut state = Vec::new();
+        self.channels.for_each(&mut |_, ch| {
+            state.clear();
+            assert!(ch.encode_state(&mut state), "channel lost its state codec");
+            (state.len() as u64).encode(&mut buf);
+            buf.extend_from_slice(&state);
+        });
+        buf
+    }
+
+    /// Restore a freshly constructed worker from a snapshot taken after
+    /// `superstep` (the checkpoint's superstep boundary).
+    fn restore_snapshot(&mut self, payload: &[u8], superstep: u64) {
+        let mut r = Reader::new(payload);
+        let numv: u64 = r.get();
+        assert_eq!(
+            numv as usize,
+            self.values.len(),
+            "snapshot holds {numv} values but this worker owns {}",
+            self.values.len()
+        );
+        for v in &mut self.values {
+            *v = A::decode_value(&mut r);
+        }
+        let current: Vec<u32> = r.get();
+        self.frontier = Frontier::restore(self.values.len(), (superstep + 1) as u32, current);
+        let n_bytes: u32 = r.get();
+        assert_eq!(n_bytes as usize, self.bytes.len(), "channel count drifted");
+        for b in &mut self.bytes {
+            b.remote = r.get();
+            b.local = r.get();
+        }
+        self.pool.set_stats(PoolStats {
+            hits: r.get(),
+            misses: r.get(),
+        });
+        let n_channels: u32 = r.get();
+        assert_eq!(
+            n_channels as usize,
+            self.channels.len(),
+            "channel count drifted"
+        );
+        self.channels.for_each(&mut |i, ch| {
+            let len: u64 = r.get();
+            let slice = r.take(len as usize);
+            let mut cr = Reader::new(slice);
+            ch.decode_state(&mut cr);
+            assert!(
+                cr.is_empty(),
+                "channel {i} left {} unread snapshot bytes",
+                cr.remaining()
+            );
+        });
+        assert!(r.is_empty(), "trailing bytes in worker snapshot");
+        self.step = superstep;
+    }
+
     /// Final per-worker results: `(global_id, value)` pairs plus channel
     /// metrics and pool counters.
     fn finish(mut self) -> WorkerPart<A::Value> {
@@ -377,7 +473,92 @@ fn assemble<V: Clone + Default>(
     values
 }
 
+/// One worker's view of the run's checkpoint policy: the opened store,
+/// the run identity pinned into every manifest, and the epoch (if any)
+/// this run resumes from. Every worker computes the same `restore`
+/// decision — [`Store::latest_restorable`] validates the manifest *and*
+/// all segments, so a torn segment fails the epoch for everyone alike.
+struct CkptCtx {
+    store: Store,
+    every: u64,
+    id: RunId,
+    restore: Option<Manifest>,
+}
+
+impl CkptCtx {
+    fn open<A: Algorithm>(policy: &CkptPolicy, topo: &Topology, workers: usize) -> CkptCtx {
+        let store = Store::open(&policy.dir)
+            .unwrap_or_else(|e| panic!("cannot open checkpoint store: {e}"));
+        let id = RunId {
+            workers: workers as u32,
+            n: topo.n() as u64,
+            algo: std::any::type_name::<A>().to_string(),
+        };
+        let restore = store
+            .latest_restorable(&id)
+            .unwrap_or_else(|e| panic!("checkpoint restore scan failed: {e}"));
+        CkptCtx {
+            store,
+            every: policy.every.max(1),
+            id,
+            restore,
+        }
+    }
+
+    /// Write this worker's segment for the boundary after `supersteps`,
+    /// wait for every worker to do the same (one transport reduction —
+    /// no buffers move, so pool accounting is untouched), then let
+    /// worker 0 commit the manifest and garbage-collect superseded
+    /// epochs. Checkpoint I/O failures are fatal, not recoverable: a rank
+    /// that cannot persist its state must not ack the barrier.
+    fn take<A: Algorithm, T: ExchangeTransport + ?Sized>(
+        &self,
+        s: &mut WorkerState<'_, A>,
+        hub: &T,
+        w: usize,
+        workers: usize,
+        supersteps: u64,
+        rounds: u64,
+    ) {
+        let payload = s.encode_snapshot();
+        self.store
+            .write_segment(&Segment {
+                superstep: supersteps,
+                rounds,
+                rank: w as u32,
+                workers: workers as u32,
+                payload,
+            })
+            .unwrap_or_else(|e| panic!("checkpoint segment write failed: {e}"));
+        let acks = hub.reduce(w, &[1])[0];
+        debug_assert_eq!(acks as usize, workers, "checkpoint barrier lost a worker");
+        if w == 0 {
+            let digests: Vec<u64> = (0..workers)
+                .map(|r| {
+                    self.store
+                        .segment_digest(supersteps, r as u32)
+                        .unwrap_or_else(|e| panic!("checkpoint digest read failed: {e}"))
+                })
+                .collect();
+            self.store
+                .commit(&Manifest {
+                    id: self.id.clone(),
+                    superstep: supersteps,
+                    rounds,
+                    digests,
+                })
+                .unwrap_or_else(|e| panic!("checkpoint commit failed: {e}"));
+            let _ = self.store.gc(KEEP_COMMITTED);
+        }
+    }
+}
+
 fn run_sequential<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> Output<A::Value> {
+    assert!(
+        cfg.ckpt.is_none(),
+        "checkpointing requires the threaded or multi-process driver \
+         (the sequential driver is the deterministic reference and never checkpoints)"
+    );
     let workers = cfg.workers;
     let mut states: Vec<WorkerState<'_, A>> = (0..workers)
         .map(|w| WorkerState::new(algo, topo, w))
@@ -457,6 +638,29 @@ fn drive_worker<A: Algorithm, T: ExchangeTransport + ?Sized>(
     let mut received: BufList = Vec::new();
     let mut supersteps = 0u64;
     let mut rounds = 0u64;
+    // Checkpointing: restore the last committed epoch (if one exists for
+    // this run) before the first superstep, then snapshot at the policy's
+    // cadence. Both decisions are pure functions of the shared checkpoint
+    // directory and the loop counters, so every worker takes them
+    // identically and the barrier structure stays in lock-step.
+    let ckpt = cfg
+        .ckpt
+        .as_ref()
+        .map(|p| CkptCtx::open::<A>(p, topo, cfg.workers));
+    let mut last_ckpt = 0u64;
+    if let Some(ck) = &ckpt {
+        s.assert_checkpointable();
+        if let Some(m) = &ck.restore {
+            let seg = ck
+                .store
+                .read_segment(m.superstep, w as u32)
+                .unwrap_or_else(|e| panic!("checkpoint segment read failed: {e}"));
+            s.restore_snapshot(&seg.payload, m.superstep);
+            supersteps = m.superstep;
+            rounds = m.rounds;
+            last_ckpt = m.superstep;
+        }
+    }
     loop {
         s.compute_phase();
         supersteps += 1;
@@ -498,6 +702,15 @@ fn drive_worker<A: Algorithm, T: ExchangeTransport + ?Sized>(
         if total_active == 0 {
             break;
         }
+        if let Some(ck) = &ckpt {
+            // Snapshot only at boundaries the run continues past (the
+            // terminal state is about to be gathered anyway), and never
+            // re-snapshot the boundary a restore just reproduced.
+            if supersteps.is_multiple_of(ck.every) && supersteps > last_ckpt {
+                ck.take(&mut s, hub, w, cfg.workers, supersteps, rounds);
+                last_ckpt = supersteps;
+            }
+        }
         assert!(
             supersteps < cfg.max_supersteps,
             "exceeded max_supersteps = {}",
@@ -537,7 +750,13 @@ fn run_threaded<A: Algorithm, T: ExchangeTransport>(
             }));
         }
         for h in handles {
-            let (w, part, supersteps, rounds) = h.join().expect("worker thread panicked");
+            // Propagate a worker panic with its original payload — a
+            // recovery-capable supervisor above `run` matches it against
+            // the transport's typed fault slot.
+            let (w, part, supersteps, rounds) = match h.join() {
+                Ok(result) => result,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             results[w] = Some(part);
             counters = (supersteps, rounds);
         }
@@ -817,6 +1036,15 @@ mod tests {
         fn message_count(&self) -> u64 {
             self.messages
         }
+        fn encode_state(&self, buf: &mut Vec<u8>) -> bool {
+            self.incoming.encode(buf);
+            self.messages.encode(buf);
+            true
+        }
+        fn decode_state(&mut self, r: &mut pc_bsp::Reader<'_>) {
+            self.incoming = r.get();
+            self.messages = r.get();
+        }
     }
 
     /// Send id to the ring successor at step 1, sum what arrives at step 2.
@@ -950,6 +1178,67 @@ mod tests {
         }
     }
 
+    /// Checkpointing is observationally free (same values, bytes,
+    /// messages, supersteps, rounds, pool), leaves a committed epoch
+    /// behind, and a second run against the same directory restores it
+    /// and replays only the tail — converging to the identical output.
+    #[test]
+    fn threaded_checkpoint_is_transparent_and_resumable() {
+        let n = 96u32;
+        let dir = std::env::temp_dir().join(format!(
+            "pc_engine_ckpt_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let topo = Arc::new(Topology::hashed(n as usize, 3));
+        let plain = run(&RingSum { n }, &topo, &Config::with_workers(3));
+        let ck_cfg = Config {
+            ckpt: Some(CkptPolicy {
+                every: 1,
+                dir: dir.clone(),
+            }),
+            ..Config::with_workers(3)
+        };
+        let ck = run(&RingSum { n }, &topo, &ck_cfg);
+        assert_eq!(ck.values, plain.values);
+        assert_eq!(ck.stats.remote_bytes(), plain.stats.remote_bytes());
+        assert_eq!(ck.stats.total_bytes(), plain.stats.total_bytes());
+        assert_eq!(ck.stats.messages(), plain.stats.messages());
+        assert_eq!(ck.stats.supersteps, plain.stats.supersteps);
+        assert_eq!(ck.stats.rounds, plain.stats.rounds);
+        assert_eq!(ck.stats.pool, plain.stats.pool);
+        // The run terminated after superstep 2, so the committed epoch is
+        // the boundary after superstep 1.
+        let store = pc_ckpt::Store::open(&dir).unwrap();
+        assert_eq!(store.committed_steps().unwrap(), vec![1]);
+        // Resume: restores superstep 1 and replays only superstep 2.
+        let resumed = run(&RingSum { n }, &topo, &ck_cfg);
+        assert_eq!(resumed.values, plain.values);
+        assert_eq!(resumed.stats.supersteps, plain.stats.supersteps);
+        assert_eq!(resumed.stats.rounds, plain.stats.rounds);
+        assert_eq!(resumed.stats.messages(), plain.stats.messages());
+        assert_eq!(resumed.stats.total_bytes(), plain.stats.total_bytes());
+        assert_eq!(resumed.stats.pool, plain.stats.pool);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A channel without a state codec is refused before the first
+    /// superstep, with a message naming the channel.
+    #[test]
+    #[should_panic(expected = "does not support checkpointing")]
+    fn non_checkpointable_channel_is_refused_up_front() {
+        let dir =
+            std::env::temp_dir().join(format!("pc_engine_ckpt_refuse_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let topo = Arc::new(Topology::hashed(64, 2));
+        let cfg = Config {
+            ckpt: Some(CkptPolicy { every: 2, dir }),
+            ..Config::with_workers(2)
+        };
+        run(&PulseAlgo { steps: 10 }, &topo, &cfg);
+    }
+
     /// `Config::spin_budget = Some(0)` reaches the barrier: no arrival
     /// spins are ever recorded.
     #[test]
@@ -1022,6 +1311,7 @@ mod tests {
     impl Algorithm for PulseAlgo {
         type Value = u64;
         type Channels = (Pulse,);
+        crate::dist_value_via_codec!();
         fn channels(&self, env: &WorkerEnv) -> Self::Channels {
             (Pulse {
                 env: env.clone(),

@@ -36,6 +36,24 @@ impl Frontier {
         }
     }
 
+    /// Rebuild a frontier from a checkpoint taken at a superstep
+    /// boundary: `current` is the next superstep's active set (ascending,
+    /// as [`Frontier::advance`] left it) and `epoch` is the boundary's
+    /// epoch (`superstep + 1` — the engine's step counter plus one, which
+    /// is exactly where a live frontier sits after `advance`).
+    pub fn restore(n: usize, epoch: u32, current: Vec<u32>) -> Self {
+        let mut stamp = vec![0u32; n];
+        for &v in &current {
+            stamp[v as usize] = epoch;
+        }
+        Frontier {
+            epoch,
+            stamp,
+            current,
+            next: Vec::new(),
+        }
+    }
+
     /// Number of vertices active this superstep.
     pub fn len(&self) -> usize {
         self.current.len()

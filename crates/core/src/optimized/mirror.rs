@@ -236,6 +236,42 @@ impl<AV, M: Codec + Clone + Send> Channel<AV> for Mirror<M> {
     fn message_count(&self) -> u64 {
         self.messages
     }
+
+    fn encode_state(&self, buf: &mut Vec<u8>) -> bool {
+        // Registration tables, receive-side mirror tables, not-yet-shipped
+        // table updates and the staged receive slots. Hash maps are
+        // written sorted by key so checkpoint bytes are deterministic.
+        self.edges.encode(buf);
+        self.mirror_peers.encode(buf);
+        self.dirty.encode(buf);
+        let mut ghosts: Vec<(&VertexId, &Vec<u32>)> = self.ghost_in.iter().collect();
+        ghosts.sort_unstable_by_key(|(k, _)| **k);
+        (ghosts.len() as u32).encode(buf);
+        for (src, locals) in ghosts {
+            src.encode(buf);
+            locals.encode(buf);
+        }
+        self.pending_tables.encode(buf);
+        self.incoming.encode(buf);
+        self.messages.encode(buf);
+        true
+    }
+
+    fn decode_state(&mut self, r: &mut pc_bsp::codec::Reader<'_>) {
+        self.edges = r.get();
+        self.mirror_peers = r.get();
+        self.dirty = r.get();
+        self.ghost_in.clear();
+        let n: u32 = r.get();
+        for _ in 0..n {
+            let src: VertexId = r.get();
+            let locals: Vec<u32> = r.get();
+            self.ghost_in.insert(src, locals);
+        }
+        self.pending_tables = r.get();
+        self.incoming = r.get();
+        self.messages = r.get();
+    }
 }
 
 #[cfg(test)]

@@ -258,7 +258,9 @@ impl<M: Codec + Clone + PartialEq + Send, E: Clone + Send> Propagation<M, E> {
     }
 }
 
-impl<AV, M: Codec + Clone + PartialEq + Send, E: Clone + Send> Channel<AV> for Propagation<M, E> {
+impl<AV, M: Codec + Clone + PartialEq + Send, E: Codec + Clone + Send> Channel<AV>
+    for Propagation<M, E>
+{
     fn name(&self) -> &'static str {
         "propagation"
     }
@@ -312,6 +314,50 @@ impl<AV, M: Codec + Clone + PartialEq + Send, E: Clone + Send> Channel<AV> for P
 
     fn message_count(&self) -> u64 {
         self.messages
+    }
+
+    fn encode_state(&self, buf: &mut Vec<u8>) -> bool {
+        // Adjacency (with edge values — hence the `E: Codec` bound on
+        // this impl), converged values, and the block-mode worklist that
+        // may legitimately carry over a superstep boundary. The combiner
+        // and edge function are rebuilt by the algorithm's constructor.
+        self.pending_edges.encode(buf);
+        self.local_adj.encode(buf);
+        self.remote_adj.encode(buf);
+        self.values.encode(buf);
+        (self.queue.len() as u32).encode(buf);
+        for &v in &self.queue {
+            v.encode(buf);
+        }
+        self.in_queue.encode(buf);
+        self.changed.encode(buf);
+        self.is_changed.encode(buf);
+        (self.staging.len() as u32).encode(buf);
+        for stage in &self.staging {
+            stage.slots.encode(buf);
+            stage.dirty.encode(buf);
+        }
+        self.messages.encode(buf);
+        true
+    }
+
+    fn decode_state(&mut self, r: &mut pc_bsp::codec::Reader<'_>) {
+        self.pending_edges = r.get();
+        self.local_adj = r.get();
+        self.remote_adj = r.get();
+        self.values = r.get();
+        let qlen: u32 = r.get();
+        self.queue = (0..qlen).map(|_| r.get::<u32>()).collect();
+        self.in_queue = r.get();
+        self.changed = r.get();
+        self.is_changed = r.get();
+        let stages: u32 = r.get();
+        assert_eq!(stages as usize, self.staging.len(), "stage count drifted");
+        for stage in &mut self.staging {
+            stage.slots = r.get();
+            stage.dirty = r.get();
+        }
+        self.messages = r.get();
     }
 }
 

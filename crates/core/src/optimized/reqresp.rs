@@ -175,6 +175,30 @@ impl<AV, R: Codec + Clone + Send> Channel<AV> for RequestRespond<AV, R> {
     fn message_count(&self) -> u64 {
         self.messages
     }
+
+    fn encode_state(&self, buf: &mut Vec<u8>) -> bool {
+        // At a boundary the conversation is complete: `sent` holds the
+        // requests whose positional responses sit in `incoming`; both are
+        // consumed by the next `before_superstep`. `staged`/`pending` are
+        // drained and `phase`/`traffic` reset.
+        self.sent.encode(buf);
+        (self.incoming.len() as u32).encode(buf);
+        for resp in &self.incoming {
+            resp.encode(buf);
+        }
+        self.messages.encode(buf);
+        true
+    }
+
+    fn decode_state(&mut self, r: &mut pc_bsp::codec::Reader<'_>) {
+        self.sent = r.get();
+        let n: u32 = r.get();
+        assert_eq!(n as usize, self.incoming.len(), "peer count drifted");
+        for resp in &mut self.incoming {
+            *resp = r.get();
+        }
+        self.messages = r.get();
+    }
 }
 
 #[cfg(test)]

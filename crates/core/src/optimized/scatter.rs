@@ -271,6 +271,34 @@ impl<AV, M: Codec + Clone + Send> Channel<AV> for ScatterCombine<M> {
     fn message_count(&self) -> u64 {
         self.messages
     }
+
+    fn encode_state(&self, buf: &mut Vec<u8>) -> bool {
+        // The registered route tables are built by `compute` in early
+        // supersteps and never rebuilt on restore, so they are state just
+        // as much as the staged receive slots are.
+        self.edges.encode(buf);
+        self.unique_dsts.encode(buf);
+        self.ids_shipped.encode(buf);
+        self.dirty.encode(buf);
+        self.registered.encode(buf);
+        self.slots.encode(buf);
+        self.routes.encode(buf);
+        self.incoming.encode(buf);
+        self.messages.encode(buf);
+        true
+    }
+
+    fn decode_state(&mut self, r: &mut pc_bsp::codec::Reader<'_>) {
+        self.edges = r.get();
+        self.unique_dsts = r.get();
+        self.ids_shipped = r.get();
+        self.dirty = r.get();
+        self.registered = r.get();
+        self.slots = r.get();
+        self.routes = r.get();
+        self.incoming = r.get();
+        self.messages = r.get();
+    }
 }
 
 fn absorb<M: Clone>(slots: &mut [Option<M>], combine: &Combine<M>, dst: u32, m: M) {

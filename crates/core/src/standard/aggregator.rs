@@ -89,6 +89,21 @@ impl<AV, M: Codec + Clone + Send> Channel<AV> for Aggregator<M> {
     fn message_count(&self) -> u64 {
         self.messages
     }
+
+    fn encode_state(&self, buf: &mut Vec<u8>) -> bool {
+        // `incoming` holds the next superstep's global result (our own
+        // partial folded in at serialize time plus every received
+        // partial); `partial`/`added` reset at the next `before_superstep`
+        // and `readable` is the stale current-superstep view.
+        self.incoming.encode(buf);
+        self.messages.encode(buf);
+        true
+    }
+
+    fn decode_state(&mut self, r: &mut pc_bsp::codec::Reader<'_>) {
+        self.incoming = r.get();
+        self.messages = r.get();
+    }
 }
 
 #[cfg(test)]

@@ -128,6 +128,33 @@ impl<AV, M: Codec + Clone + Send> Channel<AV> for CombinedMessage<M> {
     fn message_count(&self) -> u64 {
         self.messages
     }
+
+    fn encode_state(&self, buf: &mut Vec<u8>) -> bool {
+        // `staged` is drained at every serialize, so the receive-side
+        // combine table for the next superstep is the live state. Encoded
+        // sorted by key: hash iteration order must never reach a
+        // checkpoint file.
+        let mut pairs: Vec<(&u32, &M)> = self.incoming.iter().collect();
+        pairs.sort_unstable_by_key(|(k, _)| **k);
+        (pairs.len() as u32).encode(buf);
+        for (k, m) in pairs {
+            k.encode(buf);
+            m.encode(buf);
+        }
+        self.messages.encode(buf);
+        true
+    }
+
+    fn decode_state(&mut self, r: &mut pc_bsp::codec::Reader<'_>) {
+        self.incoming.clear();
+        let n: u32 = r.get();
+        for _ in 0..n {
+            let k: u32 = r.get();
+            let m: M = r.get();
+            self.incoming.insert(k, m);
+        }
+        self.messages = r.get();
+    }
 }
 
 #[cfg(test)]

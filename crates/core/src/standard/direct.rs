@@ -110,6 +110,21 @@ impl<AV, M: Codec + Clone + Send> Channel<AV> for DirectMessage<M> {
     fn message_count(&self) -> u64 {
         self.messages
     }
+
+    fn encode_state(&self, buf: &mut Vec<u8>) -> bool {
+        // At a superstep boundary `staged` is drained and the readable
+        // arrays are stale (the next `before_superstep` rebuilds them
+        // from `incoming`), so the deliveries pending for the next
+        // superstep plus the message counter are the whole state.
+        self.incoming.encode(buf);
+        self.messages.encode(buf);
+        true
+    }
+
+    fn decode_state(&mut self, r: &mut pc_bsp::codec::Reader<'_>) {
+        self.incoming = r.get();
+        self.messages = r.get();
+    }
 }
 
 #[cfg(test)]

@@ -24,14 +24,24 @@ use pc_bsp::{Codec, Reader, TransportError};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
-/// Control frame: a follower announces `{rank, data_addr}`.
+/// Control frame: a follower announces `{rank, data_addr, flags, epoch}`.
 pub const TAG_JOIN: u8 = b'J';
-/// Control frame: the coordinator's peer-address table.
+/// Control frame: the coordinator's peer-address table (plus the
+/// recovery epoch it belongs to; 0 for the initial bootstrap).
 pub const TAG_PEERS: u8 = b'P';
 /// Control frame: a rank's shipped partition (owner table + CSR slices).
 pub const TAG_PLAN: u8 = b'G';
 /// Control frame: run settings the coordinator decides for every rank.
 pub const TAG_SETTINGS: u8 = b'S';
+/// Control frame: the coordinator starts recovery epoch `{epoch}` after a
+/// data-plane failure; every surviving rank re-binds a fresh data-plane
+/// listener and answers with a new `JOIN`.
+pub const TAG_RECOVER: u8 = b'R';
+
+/// `JOIN` flag: this rank holds no graph partition and needs its `PLAN`
+/// (re-)shipped — set by every initial join and by respawned ranks, clear
+/// on a surviving rank's recovery re-join.
+pub const JOIN_NEEDS_PLAN: u8 = 1;
 
 /// Timeouts of the rendezvous and the control-plane I/O.
 #[derive(Debug, Clone, Copy)]
@@ -41,6 +51,13 @@ pub struct BootstrapOptions {
     /// Deadline for any single control-plane frame. Plan frames carry
     /// whole CSR slices, so this is generous.
     pub io_timeout: Duration,
+    /// Recovery mode: a follower dying *during* the rendezvous is
+    /// tolerated instead of failing the bootstrap — a broken joiner
+    /// stream is dropped (its respawned process re-joins), a duplicate
+    /// `JOIN` replaces the dead link, and a failed `PEERS` write marks
+    /// the link dead for the recovery rendezvous to repair. Off (the
+    /// fail-fast default) unless checkpoint-based recovery is armed.
+    pub tolerate_lost: bool,
 }
 
 impl Default for BootstrapOptions {
@@ -48,6 +65,7 @@ impl Default for BootstrapOptions {
         BootstrapOptions {
             connect_timeout: Duration::from_secs(10),
             io_timeout: Duration::from_secs(60),
+            tolerate_lost: false,
         }
     }
 }
@@ -85,6 +103,88 @@ fn io_err(peer: usize, during: &'static str, e: std::io::Error) -> TransportErro
     }
 }
 
+/// One parsed `JOIN` frame.
+#[derive(Debug, Clone, Copy)]
+struct Join {
+    rank: usize,
+    addr: SocketAddr,
+    flags: u8,
+    epoch: u32,
+}
+
+fn encode_join(rank: usize, addr: &SocketAddr, flags: u8, epoch: u32) -> Vec<u8> {
+    let mut buf = Vec::new();
+    (rank as u32).encode(&mut buf);
+    encode_addr(addr, &mut buf);
+    flags.encode(&mut buf);
+    epoch.encode(&mut buf);
+    buf
+}
+
+fn decode_join(payload: &[u8], peer: usize) -> Result<Join, TransportError> {
+    let mut r = Reader::new(payload);
+    if r.remaining() < 4 {
+        return Err(TransportError::Protocol {
+            peer,
+            detail: "JOIN too short".to_string(),
+        });
+    }
+    let rank = r.get::<u32>() as usize;
+    let addr = decode_addr(&mut r, rank)?;
+    if r.remaining() < 5 {
+        return Err(TransportError::Protocol {
+            peer: rank,
+            detail: "JOIN missing flags/epoch".to_string(),
+        });
+    }
+    Ok(Join {
+        rank,
+        addr,
+        flags: r.get(),
+        epoch: r.get(),
+    })
+}
+
+/// Encode the `PEERS` table: rank count, one address per rank, and the
+/// recovery epoch the table belongs to (0 = initial bootstrap).
+fn encode_peers(peers: &[SocketAddr], epoch: u32) -> Vec<u8> {
+    let mut table = Vec::new();
+    (peers.len() as u32).encode(&mut table);
+    for addr in peers {
+        encode_addr(addr, &mut table);
+    }
+    epoch.encode(&mut table);
+    table
+}
+
+fn decode_peers(payload: &[u8], rank: usize) -> Result<(Vec<SocketAddr>, u32), TransportError> {
+    let mut r = Reader::new(payload);
+    if r.remaining() < 4 {
+        return Err(TransportError::Protocol {
+            peer: 0,
+            detail: "PEERS too short".to_string(),
+        });
+    }
+    let ranks = r.get::<u32>() as usize;
+    if rank >= ranks {
+        return Err(TransportError::Protocol {
+            peer: 0,
+            detail: format!("peer table has {ranks} ranks but we are rank {rank}"),
+        });
+    }
+    let mut peers = Vec::with_capacity(ranks);
+    for p in 0..ranks {
+        peers.push(decode_addr(&mut r, p)?);
+    }
+    if r.remaining() < 4 {
+        return Err(TransportError::Protocol {
+            peer: 0,
+            detail: "PEERS missing epoch".to_string(),
+        });
+    }
+    Ok((peers, r.get()))
+}
+
 /// Rank 0's side of the rendezvous: accepts every follower, collects the
 /// data-plane peer table, broadcasts it, and keeps one control stream per
 /// follower for partition shipping.
@@ -95,6 +195,11 @@ pub struct Coordinator {
     links: Vec<Option<TcpStream>>,
     peers: Vec<SocketAddr>,
     opts: BootstrapOptions,
+    /// The rendezvous listener, kept open for the whole run so respawned
+    /// ranks can re-join during recovery.
+    listener: TcpListener,
+    /// Current recovery epoch (0 = the initial bootstrap generation).
+    epoch: u32,
 }
 
 impl Coordinator {
@@ -145,52 +250,61 @@ impl Coordinator {
                 .set_nonblocking(false)
                 .map_err(|e| io_err(usize::MAX, "joiner set_nonblocking", e))?;
             configure_stream(&stream).map_err(|e| io_err(usize::MAX, "configure joiner", e))?;
-            let tag = read_frame_into(&stream, &mut scratch, deadline, usize::MAX)?;
-            if tag != TAG_JOIN {
-                return Err(TransportError::Protocol {
-                    peer: usize::MAX,
-                    detail: format!("expected JOIN, got tag {tag:#04x}"),
-                });
-            }
-            let mut r = Reader::new(&scratch);
-            if r.remaining() < 4 {
-                return Err(TransportError::Protocol {
-                    peer: usize::MAX,
-                    detail: "JOIN too short".to_string(),
-                });
-            }
-            let rank = r.get::<u32>() as usize;
+            let join = match read_frame_into(&stream, &mut scratch, deadline, usize::MAX) {
+                Ok(TAG_JOIN) => match decode_join(&scratch, usize::MAX) {
+                    Ok(j) => j,
+                    Err(e) if opts.tolerate_lost => {
+                        let _ = e; // a dying joiner; its respawn re-joins
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                },
+                Ok(tag) => {
+                    return Err(TransportError::Protocol {
+                        peer: usize::MAX,
+                        detail: format!("expected JOIN, got tag {tag:#04x}"),
+                    })
+                }
+                Err(_) if opts.tolerate_lost => continue,
+                Err(e) => return Err(e),
+            };
+            let rank = join.rank;
             if rank == 0 || rank >= ranks {
                 return Err(TransportError::Protocol {
                     peer: rank,
                     detail: format!("JOIN from rank {rank}, expected 1..{ranks}"),
                 });
             }
-            if links[rank].is_some() {
+            if links[rank].is_some() && !opts.tolerate_lost {
                 return Err(TransportError::Protocol {
                     peer: rank,
                     detail: "duplicate JOIN".to_string(),
                 });
             }
-            let addr = decode_addr(&mut r, rank)?;
-            peers[rank] = Some(addr);
+            // In recovery mode a duplicate JOIN means the rank died after
+            // joining and was respawned before the rendezvous finished —
+            // the newer join replaces the dead link.
+            peers[rank] = Some(join.addr);
             links[rank] = Some(stream);
         }
         let peers: Vec<SocketAddr> = peers.into_iter().map(Option::unwrap).collect();
-        let mut table = Vec::new();
-        (ranks as u32).encode(&mut table);
-        for addr in &peers {
-            encode_addr(addr, &mut table);
-        }
+        let table = encode_peers(&peers, 0);
         let io_deadline = Instant::now() + opts.io_timeout;
-        for (rank, link) in links.iter().enumerate().skip(1) {
-            write_frame(link.as_ref().unwrap(), TAG_PEERS, &table, io_deadline, rank)?;
+        for (rank, link) in links.iter_mut().enumerate().skip(1) {
+            let write = write_frame(link.as_ref().unwrap(), TAG_PEERS, &table, io_deadline, rank);
+            match write {
+                Ok(()) => {}
+                Err(_) if opts.tolerate_lost => *link = None, // repaired at recovery
+                Err(e) => return Err(e),
+            }
         }
         Ok(Coordinator {
             ranks,
             links,
             peers,
             opts,
+            listener,
+            epoch: 0,
         })
     }
 
@@ -204,12 +318,17 @@ impl Coordinator {
         self.ranks
     }
 
-    /// Send one control frame to a follower.
+    /// Send one control frame to a follower. A rank whose control link
+    /// is gone (it died during a tolerant rendezvous) is a typed
+    /// disconnect, repaired by the next recovery rendezvous.
     pub fn send(&mut self, rank: usize, tag: u8, payload: &[u8]) -> Result<(), TransportError> {
         let deadline = Instant::now() + self.opts.io_timeout;
         let link = self.links[rank]
             .as_ref()
-            .expect("no control link for that rank");
+            .ok_or(TransportError::Disconnected {
+                peer: rank,
+                during: "control-plane send (link lost)",
+            })?;
         write_frame(link, tag, payload, deadline, rank)
     }
 
@@ -219,8 +338,159 @@ impl Coordinator {
         let deadline = Instant::now() + self.opts.io_timeout;
         let link = self.links[rank]
             .as_ref()
-            .expect("no control link for that rank");
+            .ok_or(TransportError::Disconnected {
+                peer: rank,
+                during: "control-plane recv (link lost)",
+            })?;
         read_frame_into(link, buf, deadline, rank)
+    }
+
+    /// The current recovery epoch (0 before any recovery).
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Run one **recovery rendezvous** after a data-plane failure: agree
+    /// on a fresh peer table that replaces every rank's (torn-down) mesh.
+    ///
+    /// ```text
+    /// coordinator:  RECOVER{epoch}  ──────▶  every live control link
+    /// survivor r:   JOIN{r, new_data_addr, flags=0, epoch}  ──▶  (same link)
+    /// respawned r:  JOIN{r, data_addr, NEEDS_PLAN, ·}  ──▶  (fresh connection
+    ///                                                        to the kept listener)
+    /// coordinator:  PEERS{addrs, epoch}  ──────▶  everyone
+    /// ```
+    ///
+    /// `data_addr` is rank 0's own freshly bound data-plane address.
+    /// Returns, per rank, whether its `PLAN` must be (re-)shipped — true
+    /// exactly for the ranks that re-joined through the listener (they
+    /// are fresh processes holding no partition). Control links that fail
+    /// during the exchange are treated as dead ranks and replaced by a
+    /// listener join; a rank that appears on neither path before the
+    /// connect deadline is a typed timeout.
+    pub fn recover(&mut self, data_addr: SocketAddr) -> Result<Vec<bool>, TransportError> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        // A healthy survivor only notices the failure at its next
+        // transport call, which can be a full compute phase away — give
+        // the re-JOIN collection the generous control-plane deadline,
+        // not just the connect one, so a long superstep on a big graph
+        // doesn't get a live rank declared dead.
+        let deadline = Instant::now() + self.opts.connect_timeout.max(self.opts.io_timeout);
+        let mut peers: Vec<Option<SocketAddr>> = (0..self.ranks).map(|_| None).collect();
+        let mut needs_plan = vec![false; self.ranks];
+        peers[0] = Some(data_addr);
+        // Phase 1a: announce the epoch on every control link that still
+        // accepts writes; failures mark the rank dead (its replacement
+        // will come through the listener).
+        let mut notice = Vec::new();
+        epoch.encode(&mut notice);
+        for rank in 1..self.ranks {
+            let dead = match &self.links[rank] {
+                Some(link) => write_frame(link, TAG_RECOVER, &notice, deadline, rank).is_err(),
+                None => true,
+            };
+            if dead {
+                self.links[rank] = None;
+            }
+        }
+        // Phase 1b: collect the survivors' re-JOINs. A stale JOIN from an
+        // aborted earlier recovery epoch is skipped, not an error.
+        let mut scratch = Vec::new();
+        for rank in 1..self.ranks {
+            let Some(link) = &self.links[rank] else {
+                continue;
+            };
+            let joined = loop {
+                match read_frame_into(link, &mut scratch, deadline, rank) {
+                    Ok(TAG_JOIN) => match decode_join(&scratch, rank) {
+                        Ok(j) if j.epoch != epoch => continue,
+                        Ok(j) if j.rank == rank => break Some(j),
+                        _ => break None,
+                    },
+                    _ => break None,
+                }
+            };
+            match joined {
+                Some(j) => {
+                    peers[rank] = Some(j.addr);
+                    needs_plan[rank] = j.flags & JOIN_NEEDS_PLAN != 0;
+                }
+                None => self.links[rank] = None,
+            }
+        }
+        // Phase 2: accept fresh JOINs (respawned ranks) for the dead
+        // slots on the listener kept from the initial bootstrap. The
+        // backlog may hold JOINs from *abandoned* attempts (a respawned
+        // rank that timed out waiting and reconnected), so a newer JOIN
+        // for an already-filled listener slot replaces the older one —
+        // the newest connection is the one a live process is waiting on.
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err(0, "recovery set_nonblocking", e))?;
+        let mut from_listener = vec![false; self.ranks];
+        loop {
+            let complete = peers.iter().all(Option::is_some);
+            let stream = match self.listener.accept() {
+                Ok((s, _)) => s,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    if complete {
+                        break; // every slot filled and the backlog drained
+                    }
+                    if Instant::now() >= deadline {
+                        let missing = (1..self.ranks).find(|&r| peers[r].is_none()).unwrap();
+                        return Err(TransportError::Timeout {
+                            peer: missing,
+                            during: "recovery rendezvous (a rank never re-joined)",
+                        });
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                Err(e) => return Err(io_err(usize::MAX, "recovery accept", e)),
+            };
+            if stream.set_nonblocking(false).is_err() || configure_stream(&stream).is_err() {
+                continue;
+            }
+            let Ok(TAG_JOIN) = read_frame_into(&stream, &mut scratch, deadline, usize::MAX) else {
+                continue; // a dying straggler; ignore it
+            };
+            let Ok(join) = decode_join(&scratch, usize::MAX) else {
+                continue;
+            };
+            let rank = join.rank;
+            let replaceable =
+                rank != 0 && rank < self.ranks && (peers[rank].is_none() || from_listener[rank]);
+            if !replaceable {
+                // A listener join may only fill a dead slot (or replace a
+                // staler listener join); survivors answered on their
+                // control links.
+                continue;
+            }
+            peers[rank] = Some(join.addr);
+            needs_plan[rank] = true; // fresh processes never hold a partition
+            from_listener[rank] = true;
+            self.links[rank] = Some(stream);
+        }
+        self.peers = peers.into_iter().map(Option::unwrap).collect();
+        // Phase 3: broadcast the new table (old links and new alike). A
+        // link that dies mid-broadcast is marked dead rather than
+        // aborting the epoch: the stale address it leaves in the table
+        // faults the new mesh, and the *next* recovery epoch repairs it.
+        let table = encode_peers(&self.peers, epoch);
+        let io_deadline = Instant::now() + self.opts.io_timeout;
+        for rank in 1..self.ranks {
+            let link = self.links[rank].as_ref().expect("all ranks re-joined");
+            if write_frame(link, TAG_PEERS, &table, io_deadline, rank).is_err() {
+                self.links[rank] = None;
+            }
+        }
+        Ok(needs_plan)
     }
 }
 
@@ -232,6 +502,8 @@ pub struct Follower {
     link: TcpStream,
     peers: Vec<SocketAddr>,
     opts: BootstrapOptions,
+    /// Recovery epoch of the peer table currently held (0 = initial).
+    epoch: u32,
 }
 
 impl Follower {
@@ -261,9 +533,10 @@ impl Follower {
             }
         };
         configure_stream(&stream).map_err(|e| io_err(0, "configure rendezvous stream", e))?;
-        let mut join = Vec::new();
-        (rank as u32).encode(&mut join);
-        encode_addr(&data_addr, &mut join);
+        // Joining processes never hold a partition: the initial bootstrap
+        // always ships one, and a respawned rank joining a recovery epoch
+        // needs its partition re-shipped just the same.
+        let join = encode_join(rank, &data_addr, JOIN_NEEDS_PLAN, 0);
         write_frame(&stream, TAG_JOIN, &join, deadline, 0)?;
         let mut scratch = Vec::new();
         let tag = read_frame_into(&stream, &mut scratch, deadline, 0)?;
@@ -273,24 +546,7 @@ impl Follower {
                 detail: format!("expected PEERS, got tag {tag:#04x}"),
             });
         }
-        let mut r = Reader::new(&scratch);
-        if r.remaining() < 4 {
-            return Err(TransportError::Protocol {
-                peer: 0,
-                detail: "PEERS too short".to_string(),
-            });
-        }
-        let ranks = r.get::<u32>() as usize;
-        if rank >= ranks {
-            return Err(TransportError::Protocol {
-                peer: 0,
-                detail: format!("peer table has {ranks} ranks but we are rank {rank}"),
-            });
-        }
-        let mut peers = Vec::with_capacity(ranks);
-        for p in 0..ranks {
-            peers.push(decode_addr(&mut r, p)?);
-        }
+        let (peers, epoch) = decode_peers(&scratch, rank)?;
         if peers[rank] != data_addr {
             return Err(TransportError::Protocol {
                 peer: 0,
@@ -305,6 +561,7 @@ impl Follower {
             link: stream,
             peers,
             opts,
+            epoch,
         })
     }
 
@@ -330,6 +587,74 @@ impl Follower {
         let deadline = Instant::now() + self.opts.io_timeout;
         write_frame(&self.link, tag, payload, deadline, 0)
     }
+
+    /// Recovery epoch of the peer table currently held.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// A surviving rank's side of a recovery rendezvous: wait for the
+    /// coordinator's `RECOVER`, announce this rank's freshly bound
+    /// `data_addr` (keeping its in-memory partition — no plan re-ship),
+    /// and adopt the rebroadcast peer table. If another failure interrupts
+    /// the exchange (a second `RECOVER` arrives instead of `PEERS`), the
+    /// handshake restarts at the newer epoch. Returns the agreed epoch.
+    pub fn rejoin(&mut self, data_addr: SocketAddr) -> Result<u32, TransportError> {
+        let deadline = Instant::now() + self.opts.connect_timeout;
+        let mut scratch = Vec::new();
+        fn recover_epoch(scratch: &[u8]) -> Result<u32, TransportError> {
+            let mut r = Reader::new(scratch);
+            if r.remaining() < 4 {
+                return Err(TransportError::Protocol {
+                    peer: 0,
+                    detail: "RECOVER too short".to_string(),
+                });
+            }
+            Ok(r.get())
+        }
+        // Wait for the coordinator to open the recovery epoch.
+        let mut epoch = match read_frame_into(&self.link, &mut scratch, deadline, 0)? {
+            TAG_RECOVER => recover_epoch(&scratch)?,
+            other => {
+                return Err(TransportError::Protocol {
+                    peer: 0,
+                    detail: format!("expected RECOVER, got tag {other:#04x}"),
+                })
+            }
+        };
+        loop {
+            let join = encode_join(self.rank, &data_addr, 0, epoch);
+            write_frame(&self.link, TAG_JOIN, &join, deadline, 0)?;
+            match read_frame_into(&self.link, &mut scratch, deadline, 0)? {
+                TAG_PEERS => {
+                    let (peers, peers_epoch) = decode_peers(&scratch, self.rank)?;
+                    if peers[self.rank] != data_addr {
+                        return Err(TransportError::Protocol {
+                            peer: 0,
+                            detail: format!(
+                                "recovery table lists {} for rank {}, but we bound {data_addr}",
+                                peers[self.rank], self.rank
+                            ),
+                        });
+                    }
+                    self.peers = peers;
+                    self.epoch = peers_epoch;
+                    return Ok(peers_epoch);
+                }
+                TAG_RECOVER => {
+                    // The recovery itself was interrupted by another
+                    // failure; re-announce under the newer epoch.
+                    epoch = recover_epoch(&scratch)?;
+                }
+                other => {
+                    return Err(TransportError::Protocol {
+                        peer: 0,
+                        detail: format!("expected PEERS, got tag {other:#04x}"),
+                    })
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +672,7 @@ mod tests {
         BootstrapOptions {
             connect_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(5),
+            tolerate_lost: false,
         }
     }
 
@@ -392,6 +718,7 @@ mod tests {
         let opts = BootstrapOptions {
             connect_timeout: Duration::from_millis(300),
             io_timeout: Duration::from_millis(300),
+            tolerate_lost: false,
         };
         let err = Coordinator::rendezvous(rendezvous, 2, free_addr(), opts).unwrap_err();
         assert!(
@@ -408,10 +735,84 @@ mod tests {
         let opts = BootstrapOptions {
             connect_timeout: Duration::from_millis(300),
             io_timeout: Duration::from_millis(300),
+            tolerate_lost: false,
         };
         let err = Follower::join(dead, 1, free_addr(), opts).unwrap_err();
         assert!(
             matches!(err, TransportError::Connect { peer: 0, .. }),
+            "{err}"
+        );
+    }
+
+    /// A full recovery rendezvous: one rank "dies" (drops its control
+    /// link) and re-joins through the kept listener as a fresh process,
+    /// the survivor re-joins over its existing link, and everyone agrees
+    /// on the new table. The fresh rank — and only the fresh rank — is
+    /// flagged for plan re-shipping.
+    #[test]
+    fn recovery_rendezvous_replaces_a_dead_rank() {
+        let rendezvous = free_addr();
+        let data: Vec<SocketAddr> = (0..3).map(|_| free_addr()).collect();
+        let new_data: Vec<SocketAddr> = (0..3).map(|_| free_addr()).collect();
+        let survivor_new = new_data[1];
+        let respawn_new = new_data[2];
+        // Rank 1 survives: joins, then re-joins over the same link.
+        let (data1, data2) = (data[1], data[2]);
+        let survivor = std::thread::spawn(move || {
+            let mut f = Follower::join(rendezvous, 1, data1, quick()).unwrap();
+            assert_eq!(f.epoch(), 0);
+            let epoch = f.rejoin(survivor_new).unwrap();
+            assert_eq!(epoch, 1);
+            assert_eq!(f.epoch(), 1);
+            f.peers().to_vec()
+        });
+        // Rank 2 dies after the bootstrap: its link simply drops.
+        let dying = std::thread::spawn(move || {
+            let f = Follower::join(rendezvous, 2, data2, quick()).unwrap();
+            drop(f);
+        });
+        let mut c = Coordinator::rendezvous(rendezvous, 3, data[0], quick()).unwrap();
+        dying.join().unwrap();
+        // The respawned rank 2 re-joins through the ordinary join path.
+        let respawned = std::thread::spawn(move || {
+            let mut f = Follower::join(rendezvous, 2, respawn_new, quick()).unwrap();
+            assert_eq!(f.epoch(), 1, "respawned rank adopts the recovery epoch");
+            // The rebuilt control link carries the re-shipped plan.
+            let mut plan = Vec::new();
+            assert_eq!(f.recv(&mut plan).unwrap(), TAG_PLAN);
+            assert_eq!(plan, vec![9, 9]);
+            f.peers().to_vec()
+        });
+        let needs_plan = c.recover(new_data[0]).unwrap();
+        assert_eq!(c.epoch(), 1);
+        assert_eq!(needs_plan, vec![false, false, true]);
+        let expect = vec![new_data[0], survivor_new, respawn_new];
+        assert_eq!(c.peers(), &expect[..]);
+        c.send(2, TAG_PLAN, &[9, 9]).unwrap();
+        assert_eq!(survivor.join().unwrap(), expect);
+        assert_eq!(respawned.join().unwrap(), expect);
+    }
+
+    /// A recovery where a rank never re-appears is a typed timeout.
+    #[test]
+    fn recovery_times_out_on_a_missing_rank() {
+        let rendezvous = free_addr();
+        let data: Vec<SocketAddr> = (0..2).map(|_| free_addr()).collect();
+        let opts = BootstrapOptions {
+            connect_timeout: Duration::from_millis(400),
+            io_timeout: Duration::from_millis(400),
+            tolerate_lost: false,
+        };
+        let data1 = data[1];
+        let dying = std::thread::spawn(move || {
+            let f = Follower::join(rendezvous, 1, data1, opts).unwrap();
+            drop(f);
+        });
+        let mut c = Coordinator::rendezvous(rendezvous, 2, data[0], opts).unwrap();
+        dying.join().unwrap();
+        let err = c.recover(free_addr()).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Timeout { peer: 1, .. }),
             "{err}"
         );
     }

@@ -110,6 +110,13 @@ pub struct LaunchSpec {
     pub ranks: usize,
     /// Deadline for the whole cluster to finish.
     pub join_timeout: Duration,
+    /// How many times a *non-zero* rank that exits abnormally is
+    /// respawned before its failure is propagated. 0 (the default for
+    /// runs without checkpointing) keeps the original fail-fast
+    /// supervision: any abnormal exit kills the cluster. Rank 0 is never
+    /// respawned — it owns the rendezvous listener, the control plane and
+    /// the loaded graph, so its death is fatal by design.
+    pub max_respawns: u32,
 }
 
 /// Pick a free loopback address for the rendezvous.
@@ -133,12 +140,42 @@ fn kill_all(children: &mut [(usize, Option<Child>)]) {
     }
 }
 
+/// Spawn one rank's child process; rank 0 inherits the terminal, other
+/// ranks get their stderr piped into a capture thread.
+fn spawn_rank(
+    spec: &LaunchSpec,
+    rank: usize,
+    args: Vec<String>,
+    reader_slot: &mut Option<std::thread::JoinHandle<String>>,
+) -> Result<Child, std::io::Error> {
+    let mut cmd = Command::new(&spec.exe);
+    cmd.args(args);
+    if rank > 0 {
+        cmd.stdout(Stdio::null());
+        cmd.stderr(Stdio::piped());
+    }
+    let mut child = cmd.spawn()?;
+    if let Some(pipe) = child.stderr.take() {
+        *reader_slot = Some(std::thread::spawn(move || {
+            let mut pipe = pipe;
+            let mut out = String::new();
+            let _ = pipe.read_to_string(&mut out);
+            out
+        }));
+    }
+    Ok(child)
+}
+
 /// Spawn `spec.ranks` children (`args_for_rank(i)` builds rank `i`'s
 /// argument vector) and supervise them to completion.
 ///
 /// Rank 0 inherits stdout/stderr; follower stderr is piped and captured.
-/// Returns as soon as every rank exits 0, or with the first failure
-/// (remaining children killed).
+/// Returns as soon as every rank exits 0. An abnormal exit of a non-zero
+/// rank is respawned up to `spec.max_respawns` times (the rank-failure
+/// recovery path: the new process re-joins the coordinator and the
+/// cluster resumes from the last committed checkpoint); past the budget
+/// — or for rank 0, or with `max_respawns == 0` — the first failure
+/// kills the remaining children and is returned typed.
 pub fn launch(
     spec: &LaunchSpec,
     args_for_rank: impl Fn(usize) -> Vec<String>,
@@ -147,68 +184,115 @@ pub fn launch(
     let mut children: Vec<(usize, Option<Child>)> = Vec::with_capacity(spec.ranks);
     let mut stderr_readers: Vec<Option<std::thread::JoinHandle<String>>> =
         (0..spec.ranks).map(|_| None).collect();
+    let mut respawns = vec![0u32; spec.ranks];
     // Rank 0 first: it binds the rendezvous address the others dial.
     for (rank, reader_slot) in stderr_readers.iter_mut().enumerate() {
-        let mut cmd = Command::new(&spec.exe);
-        cmd.args(args_for_rank(rank));
-        if rank > 0 {
-            cmd.stdout(Stdio::null());
-            cmd.stderr(Stdio::piped());
-        }
-        match cmd.spawn() {
-            Ok(mut child) => {
-                if let Some(pipe) = child.stderr.take() {
-                    *reader_slot = Some(std::thread::spawn(move || {
-                        let mut pipe = pipe;
-                        let mut out = String::new();
-                        let _ = pipe.read_to_string(&mut out);
-                        out
-                    }));
-                }
-                children.push((rank, Some(child)));
-            }
+        match spawn_rank(spec, rank, args_for_rank(rank), reader_slot) {
+            Ok(child) => children.push((rank, Some(child))),
             Err(error) => {
                 kill_all(&mut children);
                 return Err(LaunchError::Spawn { rank, error });
             }
         }
     }
+    let recovery = spec.max_respawns > 0;
     let deadline = Instant::now() + spec.join_timeout;
-    let mut done = 0usize;
-    while done < spec.ranks {
+    let mut done = vec![false; spec.ranks];
+    while !done.iter().all(|&d| d) {
         let mut progressed = false;
-        for (rank, slot) in children.iter_mut() {
+        let mut respawn_event = false;
+        for i in 0..children.len() {
+            let (rank, ref mut slot) = children[i];
             let Some(child) = slot.as_mut() else { continue };
             match child.try_wait() {
                 Ok(None) => {}
                 Ok(Some(status)) => {
                     progressed = true;
                     *slot = None;
-                    done += 1;
-                    if !status.success() {
-                        let rank = *rank;
-                        kill_all(&mut children);
-                        let stderr = stderr_readers[rank]
+                    if status.success() {
+                        done[rank] = true;
+                        if rank == 0 && recovery {
+                            // Rank 0 printed (and, under --verify,
+                            // validated) the merged results: the job is
+                            // complete. Stragglers — e.g. a respawned
+                            // rank still looking for a cluster that just
+                            // finished without it — are moot.
+                            kill_all(&mut children);
+                            return Ok(());
+                        }
+                        continue;
+                    }
+                    let code = status.code();
+                    let kind = classify_exit(code);
+                    if recovery && rank != 0 && respawns[rank] < spec.max_respawns {
+                        respawns[rank] += 1;
+                        let captured = stderr_readers[rank]
                             .take()
                             .and_then(|h| h.join().ok())
                             .unwrap_or_default();
-                        let code = status.code();
-                        return Err(LaunchError::Exit {
-                            rank,
-                            code,
-                            kind: classify_exit(code),
-                            stderr,
-                        });
+                        if !captured.trim().is_empty() {
+                            eprintln!("--- rank {rank} stderr (before respawn) ---");
+                            eprintln!("{}", captured.trim_end());
+                        }
+                        eprintln!(
+                            "pcgraph launcher: rank {rank} died ({kind}, exit {code:?}); \
+                             respawning (attempt {}/{})",
+                            respawns[rank], spec.max_respawns
+                        );
+                        respawn_event = true;
+                        continue;
                     }
+                    kill_all(&mut children);
+                    let stderr = stderr_readers[rank]
+                        .take()
+                        .and_then(|h| h.join().ok())
+                        .unwrap_or_default();
+                    return Err(LaunchError::Exit {
+                        rank,
+                        code,
+                        kind,
+                        stderr,
+                    });
                 }
                 Err(error) => {
-                    let rank = *rank;
                     kill_all(&mut children);
                     return Err(LaunchError::Spawn { rank, error });
                 }
             }
         }
-        if done == spec.ranks {
+        if respawn_event {
+            // Recovery path: bring the dead rank(s) back — the
+            // coordinator's recovery rendezvous re-ships their partitions
+            // and the cluster resumes from the last committed checkpoint.
+            // Every rank is needed for that resume, so non-zero ranks
+            // that had already finished their part (the end-of-run
+            // window, where followers exit right after posting their
+            // gather) come back too; they restore the same checkpoint and
+            // replay the same tail. Any non-zero rank without a live
+            // child is (re)spawned here, so several victims in one poll
+            // pass all come back.
+            for i in 0..children.len() {
+                let (rank, ref slot) = children[i];
+                if rank == 0 || slot.is_some() {
+                    continue;
+                }
+                if done[rank] {
+                    eprintln!(
+                        "pcgraph launcher: rank {rank} had finished; \
+                         re-joining it for the recovery epoch"
+                    );
+                    done[rank] = false;
+                }
+                match spawn_rank(spec, rank, args_for_rank(rank), &mut stderr_readers[rank]) {
+                    Ok(new_child) => children[i].1 = Some(new_child),
+                    Err(error) => {
+                        kill_all(&mut children);
+                        return Err(LaunchError::Spawn { rank, error });
+                    }
+                }
+            }
+        }
+        if done.iter().all(|&d| d) {
             break;
         }
         if Instant::now() >= deadline {
@@ -236,6 +320,7 @@ mod tests {
             exe: PathBuf::from("/bin/sh"),
             ranks,
             join_timeout: Duration::from_millis(timeout_ms),
+            max_respawns: 0,
         }
     }
 
@@ -290,9 +375,83 @@ mod tests {
             exe: PathBuf::from("/nonexistent/binary"),
             ranks: 2,
             join_timeout: Duration::from_secs(1),
+            max_respawns: 0,
         };
         let err = launch(&spec, |_| vec![]).unwrap_err();
         assert!(matches!(err, LaunchError::Spawn { rank: 0, .. }));
+    }
+
+    /// With a respawn budget, a non-zero rank that dies abnormally is
+    /// brought back (with the same argument vector) and the job still
+    /// completes; the budget bounds how often.
+    #[test]
+    fn abnormal_follower_exit_is_respawned_within_budget() {
+        let marker = std::env::temp_dir().join(format!("pc_launch_respawn_{}", std::process::id()));
+        let _ = std::fs::remove_file(&marker);
+        let spec = LaunchSpec {
+            max_respawns: 3,
+            ..sh_spec(3, 20_000)
+        };
+        let script = format!(
+            "if [ -e {m} ]; then exit 0; else touch {m}; exit 1; fi",
+            m = marker.display()
+        );
+        launch(&spec, |rank| {
+            if rank == 2 {
+                vec!["-c".into(), script.clone()]
+            } else {
+                vec!["-c".into(), "exit 0".into()]
+            }
+        })
+        .unwrap();
+        let _ = std::fs::remove_file(&marker);
+    }
+
+    /// A rank that keeps dying exhausts the budget and the original
+    /// typed failure comes back.
+    #[test]
+    fn respawn_budget_is_bounded() {
+        let spec = LaunchSpec {
+            max_respawns: 2,
+            ..sh_spec(2, 20_000)
+        };
+        let err = launch(&spec, |rank| {
+            if rank == 1 {
+                vec!["-c".into(), "exit 3".into()]
+            } else {
+                vec!["-c".into(), "sleep 5".into()]
+            }
+        })
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                LaunchError::Exit {
+                    rank: 1,
+                    code: Some(3),
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    /// Rank 0 is never respawned, whatever the budget.
+    #[test]
+    fn rank_zero_death_is_always_fatal() {
+        let spec = LaunchSpec {
+            max_respawns: 5,
+            ..sh_spec(2, 20_000)
+        };
+        let err = launch(&spec, |rank| {
+            if rank == 0 {
+                vec!["-c".into(), "exit 1".into()]
+            } else {
+                vec!["-c".into(), "sleep 5".into()]
+            }
+        })
+        .unwrap_err();
+        assert!(matches!(err, LaunchError::Exit { rank: 0, .. }), "{err}");
     }
 
     #[test]

@@ -18,7 +18,14 @@
 //! * [`launch`] — the process supervisor behind `pcgraph --ranks N`: it
 //!   spawns one `pcgraph --rank i` child per rank, captures follower
 //!   stderr, enforces a join deadline, and maps child exits to typed
-//!   [`launch::LaunchError`]s.
+//!   [`launch::LaunchError`]s. With a respawn budget
+//!   ([`launch::LaunchSpec::max_respawns`], armed by checkpointing) it
+//!   becomes a real supervisor: a non-zero rank that dies abnormally is
+//!   respawned, the [`bootstrap`] recovery rendezvous re-admits it
+//!   (surviving ranks re-JOIN over their kept control links with fresh
+//!   data-plane addresses, the coordinator re-ships the dead rank's
+//!   partition and rebroadcasts the peer table), and the cluster resumes
+//!   from the last committed `pc_ckpt` checkpoint.
 //!
 //! The engine side lives in `pc_channels::engine`: a [`pc_bsp::Config`]
 //! whose `dist` field carries a [`pc_bsp::RankRole`] drives exactly one

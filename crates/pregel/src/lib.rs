@@ -36,5 +36,7 @@ pub mod reqresp;
 
 pub use ghost::GhostMessage;
 pub use monolithic::MonolithicMessage;
-pub use program::{run_pregel, PregelOptions, PregelProgram, PregelVertex};
+pub use program::{
+    run_pregel, try_run_pregel, PregelOptions, PregelProgram, PregelVertex, ProgramError,
+};
 pub use reqresp::PregelReqResp;

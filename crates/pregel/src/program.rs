@@ -21,6 +21,32 @@ use pc_channels::Combine;
 use pc_graph::{Graph, VertexId};
 use std::sync::Arc;
 
+/// A typed misconfiguration of a [`PregelProgram`] — the failures that
+/// used to be `unimplemented!` aborts inside worker code. Surfaced by
+/// [`try_run_pregel`] as an `Err` instead of a crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program issued reqresp requests but does not implement
+    /// [`PregelProgram::respond`].
+    RespondNotImplemented {
+        /// Type name of the offending program.
+        program: &'static str,
+    },
+}
+
+impl std::fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramError::RespondNotImplemented { program } => write!(
+                f,
+                "{program} issues reqresp requests but does not implement respond()"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
 /// A vertex-centric program against the classic Pregel+ interface.
 ///
 /// Programs are shared across worker threads behind an `Arc` (the respond
@@ -48,9 +74,14 @@ pub trait PregelProgram: Send + Sync + 'static {
         None
     }
 
-    /// Produce a reqresp response from a vertex value (reqresp mode only).
-    fn respond(&self, _value: &Self::Value) -> Self::Resp {
-        unimplemented!("this program does not use reqresp mode")
+    /// Produce a reqresp response from a vertex value (reqresp mode
+    /// only). The default is a typed [`ProgramError`]: a program that
+    /// requests without responding fails cleanly through
+    /// [`try_run_pregel`] instead of aborting the worker mid-superstep.
+    fn respond(&self, _value: &Self::Value) -> Result<Self::Resp, ProgramError> {
+        Err(ProgramError::RespondNotImplemented {
+            program: std::any::type_name::<Self>(),
+        })
     }
 
     /// The vertex program.
@@ -203,18 +234,40 @@ impl<P: PregelProgram> Algorithm for PregelAdapter<P> {
     }
 }
 
-/// Run a Pregel+ program — the entry point for every baseline measurement.
+/// Run a Pregel+ program, surfacing program misconfigurations (a reqresp
+/// request against a program with no `respond()`) as a typed
+/// [`ProgramError`] instead of an abort: worker unwinds whose payload is
+/// a `ProgramError` are caught and returned as `Err`; every other panic
+/// (engine invariants, transport failures) propagates unchanged.
+pub fn try_run_pregel<P: PregelProgram>(
+    prog: Arc<P>,
+    topo: &Arc<Topology>,
+    cfg: &Config,
+    opts: PregelOptions,
+) -> Result<Output<P::Value>, ProgramError> {
+    let adapter = PregelAdapter {
+        prog,
+        ghost: opts.ghost,
+    };
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(&adapter, topo, cfg))) {
+        Ok(out) => Ok(out),
+        Err(payload) => match payload.downcast::<ProgramError>() {
+            Ok(e) => Err(*e),
+            Err(payload) => std::panic::resume_unwind(payload),
+        },
+    }
+}
+
+/// Run a Pregel+ program — the entry point for every baseline
+/// measurement. Panics (with the error's message) on a
+/// [`ProgramError`]; use [`try_run_pregel`] to handle it.
 pub fn run_pregel<P: PregelProgram>(
     prog: Arc<P>,
     topo: &Arc<Topology>,
     cfg: &Config,
     opts: PregelOptions,
 ) -> Output<P::Value> {
-    let adapter = PregelAdapter {
-        prog,
-        ghost: opts.ghost,
-    };
-    run(&adapter, topo, cfg)
+    try_run_pregel(prog, topo, cfg, opts).unwrap_or_else(|e| panic!("pregel program error: {e}"))
 }
 
 #[cfg(test)]
@@ -281,8 +334,8 @@ mod tests {
         type Msg = u32;
         type Agg = u8;
         type Resp = u32;
-        fn respond(&self, value: &u32) -> u32 {
-            value * 3
+        fn respond(&self, value: &u32) -> Result<u32, ProgramError> {
+            Ok(value * 3)
         }
         fn compute(&self, v: &mut PregelVertex<'_, '_, Self>) {
             if v.step() == 1 {
@@ -350,6 +403,43 @@ mod tests {
             },
         );
         assert_eq!(out.values, expect);
+    }
+
+    /// A program that requests without implementing `respond()` fails
+    /// with a *typed* error through `try_run_pregel` — not an
+    /// `unimplemented!` abort in the middle of a worker's exchange round.
+    struct AsksButNeverAnswers;
+    impl PregelProgram for AsksButNeverAnswers {
+        type Value = u32;
+        type Msg = u32;
+        type Agg = u8;
+        type Resp = u32; // declared but respond() not implemented
+        fn compute(&self, v: &mut PregelVertex<'_, '_, Self>) {
+            if v.step() == 1 {
+                v.request(v.id() / 2);
+            } else {
+                v.vote_to_halt();
+            }
+        }
+    }
+
+    #[test]
+    fn missing_respond_is_a_typed_error() {
+        let topo = Arc::new(Topology::hashed(20, 2));
+        for cfg in [Config::sequential(2), Config::with_workers(2)] {
+            let err = try_run_pregel(
+                Arc::new(AsksButNeverAnswers),
+                &topo,
+                &cfg,
+                PregelOptions::default(),
+            )
+            .unwrap_err();
+            assert!(
+                matches!(err, ProgramError::RespondNotImplemented { program }
+                    if program.contains("AsksButNeverAnswers")),
+                "{err}"
+            );
+        }
     }
 
     /// Aggregator round trip through the facade.

@@ -12,16 +12,23 @@
 //!   more response bytes for 4-byte values ("so that the message size
 //!   increases").
 
+use crate::program::ProgramError;
 use pc_bsp::codec::{Codec, FixedWidth};
 use pc_channels::channel::{Channel, DeserializeCx, SerializeCx, WorkerEnv};
 use pc_graph::VertexId;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
-/// Pregel+-style request/respond channel.
+/// The fallible respond callback shared with worker threads.
+type RespondFn<AV, R> = Arc<dyn Fn(&AV) -> Result<R, ProgramError> + Send + Sync>;
+
+/// Pregel+-style request/respond channel. The respond function is
+/// fallible: a program that receives requests without implementing
+/// `respond()` unwinds with a typed [`ProgramError`] payload, which
+/// `try_run_pregel` turns back into a clean `Err`.
 pub struct PregelReqResp<AV, R> {
     env: WorkerEnv,
-    respond: Arc<dyn Fn(&AV) -> R + Send + Sync>,
+    respond: RespondFn<AV, R>,
     /// Hash-set deduplication per destination worker.
     staged: Vec<HashSet<VertexId>>,
     /// Responses produced this superstep, per requesting worker, carrying
@@ -37,7 +44,10 @@ pub struct PregelReqResp<AV, R> {
 
 impl<AV, R: Codec + FixedWidth + Clone + Send> PregelReqResp<AV, R> {
     /// Create this worker's instance with the respond function.
-    pub fn new(env: &WorkerEnv, respond: impl Fn(&AV) -> R + Send + Sync + 'static) -> Self {
+    pub fn new(
+        env: &WorkerEnv,
+        respond: impl Fn(&AV) -> Result<R, ProgramError> + Send + Sync + 'static,
+    ) -> Self {
         let workers = env.workers();
         PregelReqResp {
             env: env.clone(),
@@ -121,7 +131,13 @@ impl<AV, R: Codec + FixedWidth + Clone + Send> Channel<AV> for PregelReqResp<AV,
                     while !r.is_empty() {
                         let dst: VertexId = r.get();
                         let local = self.env.local_of(dst);
-                        let value = (self.respond)(cx.value(local));
+                        // A missing respond() unwinds with the typed
+                        // error as payload — `try_run_pregel` catches it
+                        // and returns it as a clean Err.
+                        let value = match (self.respond)(cx.value(local)) {
+                            Ok(v) => v,
+                            Err(e) => std::panic::panic_any(e),
+                        };
                         self.pending[from].push((dst, value));
                     }
                 }

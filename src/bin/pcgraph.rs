@@ -16,14 +16,17 @@
 //! success, 1 runtime error (including `--verify` mismatches), 2 usage,
 //! 3 bootstrap/transport failure.
 
-use pc_bsp::{Config, ExecMode, RunStats, Tcp, TcpOptions, Topology, TransportKind};
+use pc_bsp::{
+    CkptPolicy, Config, ExecMode, RunStats, Tcp, TcpOptions, Topology, TransportError,
+    TransportKind,
+};
 use pc_dist::bootstrap::{BootstrapOptions, Coordinator, Follower, TAG_PLAN};
 use pc_dist::launch::{
     self, pick_rendezvous_addr, LaunchSpec, EXIT_BOOTSTRAP, EXIT_OK, EXIT_RUNTIME, EXIT_USAGE,
 };
 use pc_dist::ship;
 use pc_graph::{io, partition, stats, Graph, WeightedGraph};
-use std::net::{SocketAddr, TcpListener};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
@@ -54,6 +57,15 @@ struct Opts {
     verify: bool,
     /// Explicit SpinBarrier budget (in-process transport).
     spin_budget: Option<u32>,
+    /// Checkpoint cadence in supersteps (requires `--checkpoint-dir`).
+    checkpoint_every: Option<u64>,
+    /// Checkpoint directory; with `--ranks`, also enables rank-failure
+    /// recovery (launcher respawns dead non-zero ranks, the cluster
+    /// resumes from the last committed checkpoint).
+    checkpoint_dir: Option<PathBuf>,
+    /// Interface address the data-plane listeners bind (rank mode);
+    /// default loopback. First step toward multi-host deployments.
+    bind: Option<IpAddr>,
 }
 
 const HELP: &str = "\
@@ -88,8 +100,21 @@ MULTI-PROCESS:
     --rank N          rank mode: be rank N of an M-rank cluster (requires
                       --ranks and --coordinator; normally set by the launcher)
     --coordinator A   rendezvous address rank 0 listens on (HOST:PORT)
+    --bind IP         interface the data-plane listeners bind (rank mode;
+                      default 127.0.0.1) — use a routable address to spread
+                      ranks across hosts
     --verify          after the distributed run, rank 0 re-runs the
                       sequential engine and fails on any mismatch
+
+FAULT TOLERANCE:
+    --checkpoint-every N   snapshot every rank's state after every N-th
+                      superstep (atomic per-rank segments, committed by a
+                      rank-0 manifest — a checkpoint is complete or invisible)
+    --checkpoint-dir PATH  where checkpoints live (required with
+                      --checkpoint-every). With --ranks this also arms
+                      recovery: a SIGKILL'd non-zero rank is respawned, the
+                      surviving ranks re-rendezvous, and the job resumes from
+                      the last committed checkpoint
 
 ALGORITHM PARAMETERS:
     --variant NAME    basic|scatter|reqresp|both|prop|mirror|blogel [default: best]
@@ -100,6 +125,8 @@ ALGORITHM PARAMETERS:
 ENVIRONMENT:
     PC_DIST_CONNECT_TIMEOUT_MS   rendezvous/mesh connect deadline [10000]
     PC_DIST_JOIN_TIMEOUT_MS      launcher whole-run deadline      [600000]
+    PC_DIST_MAX_RESPAWNS         per-rank respawn budget when
+                                 checkpointing is enabled         [3]
 
 EXIT CODES:
     0 success   1 runtime error / verify mismatch   2 usage   3 bootstrap failure
@@ -140,6 +167,9 @@ fn parse_args() -> Opts {
         coordinator: None,
         verify: false,
         spin_budget: None,
+        checkpoint_every: None,
+        checkpoint_dir: None,
+        bind: None,
     };
     fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
         args.next()
@@ -180,6 +210,18 @@ fn parse_args() -> Opts {
             }
             "--verify" => opts.verify = true,
             "--spin-budget" => opts.spin_budget = Some(number(&mut args, "--spin-budget")),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(number(&mut args, "--checkpoint-every"))
+            }
+            "--checkpoint-dir" => {
+                opts.checkpoint_dir = Some(PathBuf::from(value(&mut args, "--checkpoint-dir")))
+            }
+            "--bind" => {
+                let v = value(&mut args, "--bind");
+                opts.bind = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--bind expects an IP address, got '{v}'"))
+                }));
+            }
             other if other.starts_with('-') => usage_error(&format!("unknown flag '{other}'")),
             other => usage_error(&format!("unexpected argument '{other}'")),
         }
@@ -208,11 +250,55 @@ fn parse_args() -> Opts {
         if opts.coordinator.is_some() {
             usage_error("--coordinator requires --ranks (and --rank for rank mode)");
         }
+        if opts.bind.is_some() {
+            usage_error(
+                "--bind configures multi-process data-plane listeners; it requires --ranks",
+            );
+        }
     }
     if opts.workers == 0 {
         usage_error("--workers must be at least 1");
     }
+    match (&opts.checkpoint_every, &opts.checkpoint_dir) {
+        (Some(0), _) => usage_error("--checkpoint-every must be at least 1"),
+        (Some(_), None) => usage_error("--checkpoint-every requires --checkpoint-dir"),
+        (None, Some(_)) => usage_error("--checkpoint-dir requires --checkpoint-every"),
+        (Some(_), Some(_)) if opts.variant == "blogel" => usage_error(
+            "--variant blogel runs on the Pregel baseline engine, which has no checkpoint support",
+        ),
+        _ => {}
+    }
+    if let Some(ip) = opts.bind {
+        if ip.is_unspecified() {
+            usage_error(
+                "--bind needs a concrete interface address (peers must be able to dial it); \
+                 0.0.0.0/:: is not routable",
+            );
+        }
+    }
     opts
+}
+
+/// The engine-facing checkpoint policy, when both flags are present.
+fn ckpt_policy(opts: &Opts) -> Option<CkptPolicy> {
+    match (&opts.checkpoint_every, &opts.checkpoint_dir) {
+        (Some(every), Some(dir)) => Some(CkptPolicy {
+            every: *every,
+            dir: dir.clone(),
+        }),
+        _ => None,
+    }
+}
+
+/// Per-rank respawn budget of the supervising launcher when
+/// checkpointing (and with it recovery) is armed.
+fn respawn_budget() -> u32 {
+    match std::env::var("PC_DIST_MAX_RESPAWNS") {
+        Err(_) => 3,
+        Ok(v) => v.parse().unwrap_or_else(|_| {
+            usage_error(&format!("PC_DIST_MAX_RESPAWNS expects a number, got '{v}'"))
+        }),
+    }
 }
 
 fn env_ms(name: &str, default_ms: u64) -> Duration {
@@ -227,9 +313,10 @@ fn env_ms(name: &str, default_ms: u64) -> Duration {
     }
 }
 
-fn bootstrap_options() -> BootstrapOptions {
+fn bootstrap_options(tolerate_lost: bool) -> BootstrapOptions {
     BootstrapOptions {
         connect_timeout: env_ms("PC_DIST_CONNECT_TIMEOUT_MS", 10_000),
+        tolerate_lost,
         ..BootstrapOptions::default()
     }
 }
@@ -467,10 +554,19 @@ enum Role {
     /// `--verify` will need it; the run itself uses rank 0's slice.
     Rank0 {
         full: Option<Gdata>,
-        /// Keeps the control links open for the lifetime of the run.
-        _coordinator: Coordinator,
+        /// Keeps the control links (and the rendezvous listener) open for
+        /// the lifetime of the run; recovery runs through it.
+        coordinator: Coordinator,
+        /// Encoded `PLAN` frames per rank (index 0 empty), kept only when
+        /// recovery is armed so a respawned rank's partition can be
+        /// re-shipped without reloading the input.
+        plans: Option<Vec<Vec<u8>>>,
     },
-    Follower,
+    Follower {
+        /// The control link to the coordinator, kept only when recovery
+        /// is armed (a surviving rank re-joins over it).
+        ctrl: Option<Follower>,
+    },
 }
 
 struct Prepared {
@@ -483,6 +579,28 @@ struct Prepared {
 fn bail_bootstrap(e: impl std::fmt::Display) -> ! {
     eprintln!("pcgraph: bootstrap failed: {e}");
     exit(EXIT_BOOTSTRAP)
+}
+
+/// Bind this rank's data-plane listener on the `--bind` interface
+/// (loopback by default); peers will dial the resulting address from the
+/// rebroadcast peer table.
+fn bind_data_listener(opts: &Opts) -> (TcpListener, SocketAddr) {
+    let ip = opts.bind.unwrap_or(IpAddr::V4(Ipv4Addr::LOCALHOST));
+    let listener = TcpListener::bind((ip, 0))
+        .unwrap_or_else(|e| bail_bootstrap(format!("bind data-plane listener on {ip}: {e}")));
+    let addr = listener
+        .local_addr()
+        .unwrap_or_else(|e| bail_bootstrap(format!("data-plane local_addr: {e}")));
+    (listener, addr)
+}
+
+/// The engine config for one rank over a fresh mesh.
+fn rank_config(opts: &Opts, ranks: usize, rank: usize, tcp: Tcp) -> Config {
+    Config {
+        spin_budget: opts.spin_budget,
+        ckpt: ckpt_policy(opts),
+        ..Config::rank(ranks, rank, Arc::new(tcp))
+    }
 }
 
 fn prepare(opts: &Opts, need: Need) -> Prepared {
@@ -500,6 +618,7 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
         let cfg = Config {
             transport: opts.transport,
             spin_budget: opts.spin_budget,
+            ckpt: ckpt_policy(opts),
             ..Config::with_workers(opts.workers)
         };
         return Prepared {
@@ -517,12 +636,11 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
             "--variant blogel runs on the Pregel baseline engine, which has no multi-process mode",
         );
     }
-    let listener = TcpListener::bind(("127.0.0.1", 0))
-        .unwrap_or_else(|e| bail_bootstrap(format!("bind data-plane listener: {e}")));
-    let data_addr = listener
-        .local_addr()
-        .unwrap_or_else(|e| bail_bootstrap(format!("data-plane local_addr: {e}")));
-    let bopts = bootstrap_options();
+    // Recovery needs the control plane (and on rank 0 the encoded plans)
+    // to outlive the bootstrap.
+    let recovery = ckpt_policy(opts).is_some();
+    let (listener, data_addr) = bind_data_listener(opts);
+    let bopts = bootstrap_options(recovery);
     if rank == 0 {
         // Rendezvous before loading: followers dial under the (short)
         // connect deadline, which must not also have to cover a long
@@ -535,11 +653,23 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
         let topo = Arc::new(Topology::from_owners(ranks, owner.clone()));
         // Partition shipping: every follower gets the owner table plus
         // exactly its row slices — no other process opens the input.
+        let mut plans: Vec<Vec<u8>> = vec![Vec::new()];
         for r in 1..ranks {
             let plan = encode_plan(&owner, &slices_for(&full, &topo, r));
-            coordinator
-                .send(r, TAG_PLAN, &plan)
-                .unwrap_or_else(|e| bail_bootstrap(e));
+            if let Err(e) = coordinator.send(r, TAG_PLAN, &plan) {
+                if !recovery {
+                    bail_bootstrap(e);
+                }
+                // The rank died between joining and receiving its plan.
+                // With recovery armed this is survivable: the launcher is
+                // respawning it, the data plane will fault, and the
+                // recovery rendezvous re-ships this cached plan.
+                eprintln!(
+                    "pcgraph: rank 0: cannot ship plan to rank {r} ({e}); \
+                     deferring to recovery"
+                );
+            }
+            plans.push(if recovery { plan } else { Vec::new() });
         }
         let data = slices_for(&full, &topo, 0);
         let tcp = Tcp::mesh(
@@ -549,22 +679,35 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
             tcp_options(opts.transport),
         )
         .unwrap_or_else(|e| bail_bootstrap(e));
-        let cfg = Config {
-            spin_budget: opts.spin_budget,
-            ..Config::rank(ranks, 0, Arc::new(tcp))
-        };
         Prepared {
-            cfg,
+            cfg: rank_config(opts, ranks, 0, tcp),
             topo,
             data,
             role: Role::Rank0 {
                 full: opts.verify.then_some(full),
-                _coordinator: coordinator,
+                coordinator,
+                plans: recovery.then_some(plans),
             },
         }
     } else {
-        let mut follower = Follower::join(coordinator_addr, rank, data_addr, bopts)
-            .unwrap_or_else(|e| bail_bootstrap(e));
+        // With recovery armed, a failed join retries a few times: a
+        // respawned rank may arrive while the cluster is still detecting
+        // the failure it replaces, and rank 0 only drains the rendezvous
+        // backlog once its own data plane faults. Each retry is a fresh
+        // connection, so the coordinator always finds a live socket.
+        let mut join_attempts = 0u32;
+        let mut follower = loop {
+            match Follower::join(coordinator_addr, rank, data_addr, bopts) {
+                Ok(f) => break f,
+                Err(e) if recovery && join_attempts < 4 => {
+                    join_attempts += 1;
+                    eprintln!(
+                        "pcgraph: rank {rank}: join attempt {join_attempts} failed ({e}); retrying"
+                    );
+                }
+                Err(e) => bail_bootstrap(e),
+            }
+        };
         let mut plan = Vec::new();
         let tag = follower
             .recv(&mut plan)
@@ -582,17 +725,124 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
             tcp_options(opts.transport),
         )
         .unwrap_or_else(|e| bail_bootstrap(e));
-        let cfg = Config {
-            spin_budget: opts.spin_budget,
-            ..Config::rank(ranks, rank, Arc::new(tcp))
-        };
         Prepared {
-            cfg,
+            cfg: rank_config(opts, ranks, rank, tcp),
             topo,
             data,
-            role: Role::Follower,
+            role: Role::Follower {
+                ctrl: recovery.then_some(follower),
+            },
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Execution with rank-failure recovery
+// ---------------------------------------------------------------------
+
+/// Run the algorithm, and — when this is a rank of a checkpointing
+/// multi-process job — survive data-plane failures: a panic whose typed
+/// [`TransportError`] the mesh recorded tears the old mesh down, runs a
+/// recovery rendezvous over the (still-open) control plane, rebuilds the
+/// mesh, and re-enters the engine, which restores the last committed
+/// checkpoint and resumes the superstep loop. Non-transport panics (and
+/// anything past the attempt budget) propagate unchanged.
+fn execute<V>(
+    p: &mut Prepared,
+    opts: &Opts,
+    run: &impl Fn(&Gdata, &Arc<Topology>, &Config) -> (V, RunStats),
+) -> (V, RunStats) {
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    if p.cfg.dist.is_none() || p.cfg.ckpt.is_none() {
+        return run(&p.data, &p.topo, &p.cfg);
+    }
+    let ranks = opts.ranks.expect("rank mode");
+    // Every recovery epoch costs one attempt; the budget scales with the
+    // cluster (each rank may be respawned up to the launcher's budget,
+    // and every respawn implies one cluster-wide recovery epoch).
+    let max_attempts = respawn_budget().saturating_mul(ranks as u32).max(1);
+    let mut attempts = 0u32;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| run(&p.data, &p.topo, &p.cfg))) {
+            Ok(out) => return out,
+            Err(payload) => {
+                let role = p.cfg.dist.clone().expect("checked above");
+                let Some(fault) = role.transport.take_fault() else {
+                    resume_unwind(payload); // not a transport failure
+                };
+                attempts += 1;
+                if attempts > max_attempts {
+                    eprintln!(
+                        "pcgraph: rank {}: giving up after {max_attempts} recovery attempts",
+                        role.rank
+                    );
+                    resume_unwind(payload);
+                }
+                eprintln!(
+                    "pcgraph: rank {}: data-plane failure ({fault}); recovering \
+                     (attempt {attempts}/{max_attempts})",
+                    role.rank
+                );
+                // Drop every handle on the failed mesh first: closing its
+                // sockets is what unblocks peers still waiting in it.
+                p.cfg.dist = None;
+                drop(role);
+                if let Err(e) = recover(p, opts, ranks) {
+                    bail_bootstrap(format!("recovery rendezvous: {e}"));
+                }
+            }
+        }
+    }
+}
+
+/// One recovery rendezvous: agree on a fresh peer table over the control
+/// plane, re-ship plans to respawned ranks, rebuild this rank's mesh.
+fn recover(p: &mut Prepared, opts: &Opts, ranks: usize) -> Result<(), TransportError> {
+    let (listener, data_addr) = bind_data_listener(opts);
+    match &mut p.role {
+        Role::Rank0 {
+            coordinator, plans, ..
+        } => {
+            let needs_plan = coordinator.recover(data_addr)?;
+            let plans = plans.as_ref().expect("recovery keeps the encoded plans");
+            for (r, needs) in needs_plan.iter().enumerate().skip(1) {
+                if !*needs {
+                    continue;
+                }
+                if let Err(e) = coordinator.send(r, TAG_PLAN, &plans[r]) {
+                    // The respawned rank died again before its plan went
+                    // out (crash loop). Same policy as the initial
+                    // bootstrap: don't fail rank 0 over it — the mesh
+                    // will fault and the next recovery epoch retries.
+                    eprintln!(
+                        "pcgraph: rank 0: cannot re-ship plan to rank {r} ({e}); \
+                         deferring to the next recovery epoch"
+                    );
+                }
+            }
+            let tcp = Tcp::mesh(
+                0,
+                coordinator.peers().to_vec(),
+                listener,
+                tcp_options(opts.transport),
+            )?;
+            p.cfg = rank_config(opts, ranks, 0, tcp);
+        }
+        Role::Follower { ctrl } => {
+            let follower = ctrl.as_mut().expect("recovery keeps the control link");
+            follower.rejoin(data_addr)?;
+            let rank = opts.rank.expect("rank mode");
+            let tcp = Tcp::mesh(
+                rank,
+                follower.peers().to_vec(),
+                listener,
+                tcp_options(opts.transport),
+            )?;
+            p.cfg = rank_config(opts, ranks, rank, tcp);
+        }
+        Role::Single => unreachable!("recovery only runs in rank mode"),
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------
@@ -641,7 +891,7 @@ fn conclude<V: PartialEq>(
 ) -> ! {
     let Prepared { topo, role, .. } = prepared;
     match role {
-        Role::Follower => exit(EXIT_OK), // results were gathered to rank 0
+        Role::Follower { .. } => exit(EXIT_OK), // results were gathered to rank 0
         Role::Single => {
             print(&values, &stats);
             exit(EXIT_OK)
@@ -734,6 +984,20 @@ fn child_args(opts: &Opts, rank: usize, ranks: usize, coordinator: &SocketAddr) 
     if opts.partition {
         a.push("--partition".into());
     }
+    // Checkpointing is a cluster-wide policy: every rank snapshots at the
+    // same cadence into the same directory, and a respawned rank needs
+    // the directory to restore from.
+    if let (Some(every), Some(dir)) = (&opts.checkpoint_every, &opts.checkpoint_dir) {
+        a.push("--checkpoint-every".into());
+        a.push(every.to_string());
+        a.push("--checkpoint-dir".into());
+        a.push(dir.display().to_string());
+    }
+    // Every rank binds its data listener on the same interface.
+    if let Some(ip) = &opts.bind {
+        a.push("--bind".into());
+        a.push(ip.to_string());
+    }
     // --spin-budget is NOT forwarded: ranks exchange over the socket
     // mesh, which has no spinning barrier, so the flag would be a
     // silent no-op there.
@@ -774,13 +1038,37 @@ fn run_launcher(opts: &Opts) -> ! {
         eprintln!("pcgraph: cannot locate own binary: {e}");
         exit(EXIT_RUNTIME)
     });
+    // Checkpointing arms the launcher's recovery supervision; a fresh
+    // job must also never restore another job's epochs, so the directory
+    // is wiped up front and cleaned after success.
+    let ckpt_store = ckpt_policy(opts).map(|p| {
+        let store = pc_ckpt::Store::open(&p.dir).unwrap_or_else(|e| {
+            eprintln!("pcgraph: cannot open checkpoint dir: {e}");
+            exit(EXIT_RUNTIME)
+        });
+        store.wipe().unwrap_or_else(|e| {
+            eprintln!("pcgraph: cannot clear stale checkpoints: {e}");
+            exit(EXIT_RUNTIME)
+        });
+        store
+    });
     let spec = LaunchSpec {
         exe,
         ranks,
         join_timeout: env_ms("PC_DIST_JOIN_TIMEOUT_MS", 600_000),
+        max_respawns: if ckpt_store.is_some() {
+            respawn_budget()
+        } else {
+            0
+        },
     };
     match launch::launch(&spec, |rank| child_args(opts, rank, ranks, &coordinator)) {
-        Ok(()) => exit(EXIT_OK),
+        Ok(()) => {
+            if let Some(store) = &ckpt_store {
+                let _ = store.wipe(); // the job finished; epochs are garbage
+            }
+            exit(EXIT_OK)
+        }
         Err(e) => {
             eprintln!("pcgraph: {e}");
             // Propagate the failing rank's own code where there is one.
@@ -816,7 +1104,7 @@ fn main() {
             );
         }
         "pagerank" => {
-            let p = prepare(opts, need_of("pagerank"));
+            let mut p = prepare(opts, need_of("pagerank"));
             let (variant, iters) = (opts.variant.clone(), opts.iters);
             let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
                 let g = d.unweighted();
@@ -827,7 +1115,7 @@ fn main() {
                 };
                 (o.ranks, o.stats)
             };
-            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            let (values, stats) = execute(&mut p, opts, &run);
             conclude(
                 p,
                 opts,
@@ -845,7 +1133,7 @@ fn main() {
             );
         }
         "wcc" => {
-            let p = prepare(opts, need_of("wcc"));
+            let mut p = prepare(opts, need_of("wcc"));
             let variant = opts.variant.clone();
             let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
                 let g = d.unweighted();
@@ -856,7 +1144,7 @@ fn main() {
                 };
                 (o.labels, o.stats)
             };
-            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            let (values, stats) = execute(&mut p, opts, &run);
             conclude(
                 p,
                 opts,
@@ -873,7 +1161,7 @@ fn main() {
             );
         }
         "sv" => {
-            let p = prepare(opts, need_of("sv"));
+            let mut p = prepare(opts, need_of("sv"));
             let variant = opts.variant.clone();
             let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
                 let g = d.unweighted();
@@ -885,7 +1173,7 @@ fn main() {
                 };
                 (o.labels, o.stats)
             };
-            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            let (values, stats) = execute(&mut p, opts, &run);
             conclude(
                 p,
                 opts,
@@ -902,7 +1190,7 @@ fn main() {
             );
         }
         "scc" => {
-            let p = prepare(opts, need_of("scc"));
+            let mut p = prepare(opts, need_of("scc"));
             let variant = opts.variant.clone();
             let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
                 let (g, rev) = (d.unweighted(), d.rev());
@@ -912,7 +1200,7 @@ fn main() {
                 };
                 (o.labels, o.stats)
             };
-            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            let (values, stats) = execute(&mut p, opts, &run);
             conclude(
                 p,
                 opts,
@@ -926,7 +1214,7 @@ fn main() {
             );
         }
         "sssp" => {
-            let p = prepare(opts, need_of("sssp"));
+            let mut p = prepare(opts, need_of("sssp"));
             let (variant, src) = (opts.variant.clone(), opts.src);
             let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
                 let g = d.weighted();
@@ -936,7 +1224,7 @@ fn main() {
                 };
                 (o.dist, o.stats)
             };
-            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            let (values, stats) = execute(&mut p, opts, &run);
             let src = opts.src;
             conclude(
                 p,
@@ -955,13 +1243,13 @@ fn main() {
             );
         }
         "bfs" => {
-            let p = prepare(opts, need_of("bfs"));
+            let mut p = prepare(opts, need_of("bfs"));
             let src = opts.src;
             let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
                 let o = pc_algos::kernels::bfs(d.unweighted(), topo, cfg, src);
                 (o.level, o.stats)
             };
-            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            let (values, stats) = execute(&mut p, opts, &run);
             conclude(
                 p,
                 opts,
@@ -983,14 +1271,14 @@ fn main() {
             );
         }
         "kcore" => {
-            let p = prepare(opts, need_of("kcore"));
+            let mut p = prepare(opts, need_of("kcore"));
             let k = opts.k;
             let n = p.data.n();
             let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
                 let o = pc_algos::kernels::kcore(d.unweighted(), topo, cfg, k);
                 (o.in_core, o.stats)
             };
-            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            let (values, stats) = execute(&mut p, opts, &run);
             conclude(
                 p,
                 opts,
@@ -1009,12 +1297,12 @@ fn main() {
             );
         }
         "msf" => {
-            let p = prepare(opts, need_of("msf"));
+            let mut p = prepare(opts, need_of("msf"));
             let run = move |d: &Gdata, topo: &Arc<Topology>, cfg: &Config| {
                 let o = pc_algos::msf::channel_basic(d.weighted(), topo, cfg);
                 ((o.total_weight, o.edge_count), o.stats)
             };
-            let (values, stats) = run(&p.data, &p.topo, &p.cfg);
+            let (values, stats) = execute(&mut p, opts, &run);
             conclude(
                 p,
                 opts,
@@ -1054,6 +1342,9 @@ mod tests {
             coordinator: None,
             verify: true,
             spin_budget: Some(64),
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            bind: None,
         }
     }
 
@@ -1084,6 +1375,31 @@ mod tests {
             assert!(args.contains(&"--variant".to_string()));
             assert!(args.contains(&"--iters".to_string()));
         }
+    }
+
+    /// Checkpoint and bind flags are cluster-wide: every rank receives
+    /// them (a respawned follower must find the checkpoint directory and
+    /// bind the same interface).
+    #[test]
+    fn checkpoint_and_bind_flags_reach_every_rank() {
+        let mut o = opts("pagerank");
+        o.checkpoint_every = Some(2);
+        o.checkpoint_dir = Some(PathBuf::from("/tmp/ckpts"));
+        o.bind = Some("127.0.0.1".parse().unwrap());
+        let addr: SocketAddr = "127.0.0.1:4000".parse().unwrap();
+        for rank in 0..4 {
+            let args = child_args(&o, rank, 4, &addr);
+            let at = args.iter().position(|a| a == "--checkpoint-every").unwrap();
+            assert_eq!(args[at + 1], "2", "rank {rank}");
+            let at = args.iter().position(|a| a == "--checkpoint-dir").unwrap();
+            assert_eq!(args[at + 1], "/tmp/ckpts", "rank {rank}");
+            let at = args.iter().position(|a| a == "--bind").unwrap();
+            assert_eq!(args[at + 1], "127.0.0.1", "rank {rank}");
+        }
+        // Without the flags, nothing is forwarded.
+        let bare = child_args(&opts("pagerank"), 1, 4, &addr);
+        assert!(!bare.contains(&"--checkpoint-dir".to_string()));
+        assert!(!bare.contains(&"--bind".to_string()));
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Checkpoint transparency and resume determinism, per shipped algorithm.
+//!
+//! Two contracts per algorithm:
+//!
+//! * **Transparency** — a threaded run that checkpoints (but never
+//!   fails) reports values, bytes, messages, supersteps, rounds and pool
+//!   traffic identical to one that does not: the checkpoint barrier is a
+//!   pure transport reduction and never touches the exchange path.
+//! * **Resume** — pointing a second run at the directory the first one
+//!   left behind restores the last committed epoch (vertex values,
+//!   frontier, channel state, counters) and replays only the tail — and
+//!   still converges to the identical output and statistics. This
+//!   exercises every channel's `encode_state`/`decode_state` codec under
+//!   its real algorithm, which is exactly the state a respawned rank
+//!   restores after a mid-run SIGKILL (`tests/dist_recovery.rs`).
+//!
+//! A third arm covers the torn-write discipline end to end: truncating a
+//! segment of the newest committed epoch makes the resume fall back to
+//! the previous complete epoch, with identical results.
+
+mod common;
+
+use common::assert_stats_agree;
+use pc_bsp::{CkptPolicy, Config, RunStats, Topology};
+use pc_ckpt::Store;
+use pc_graph::gen;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const WORKERS: usize = 4;
+
+fn temp_dir(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pc_ckpt_resume_{name}_{}", std::process::id()))
+}
+
+fn ckpt_cfg(every: u64, dir: &Path) -> Config {
+    Config {
+        ckpt: Some(CkptPolicy {
+            every,
+            dir: dir.to_path_buf(),
+        }),
+        ..Config::with_workers(WORKERS)
+    }
+}
+
+/// The transparency + resume + torn-write contract for one algorithm.
+fn resumable<V: PartialEq + std::fmt::Debug>(
+    name: &str,
+    every: u64,
+    run: impl Fn(&Config) -> (V, RunStats),
+) {
+    let dir = temp_dir(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    let (plain_values, plain_stats) = run(&Config::with_workers(WORKERS));
+    let cfg = ckpt_cfg(every, &dir);
+
+    // Transparency: checkpointing changes nothing observable.
+    let (ck_values, ck_stats) = run(&cfg);
+    assert_eq!(
+        ck_values, plain_values,
+        "{name}: checkpointing changed values"
+    );
+    assert_stats_agree(
+        &format!("{name} (plain vs checkpointing)"),
+        &plain_stats,
+        &ck_stats,
+    );
+
+    // The run must actually have committed something, or the resume arm
+    // would silently test a cold start.
+    let store = Store::open(&dir).unwrap();
+    let steps = store.committed_steps().unwrap();
+    assert!(
+        !steps.is_empty(),
+        "{name}: no checkpoint was committed (cadence {every}, {} supersteps)",
+        plain_stats.supersteps
+    );
+
+    // Resume: restore the newest epoch, replay the tail, same output.
+    let (res_values, res_stats) = run(&cfg);
+    assert_eq!(res_values, plain_values, "{name}: resumed values diverge");
+    assert_stats_agree(
+        &format!("{name} (plain vs resumed)"),
+        &plain_stats,
+        &res_stats,
+    );
+
+    // Torn write: truncate a segment of the newest epoch; the resume
+    // falls back to the previous complete epoch (or a cold start when
+    // only one epoch was ever committed) and still agrees.
+    let steps = store.committed_steps().unwrap();
+    let newest = *steps.last().unwrap();
+    let victim = store.segment_path(newest, (WORKERS - 1) as u32);
+    let bytes = std::fs::read(&victim).unwrap();
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+    let (torn_values, torn_stats) = run(&cfg);
+    assert_eq!(
+        torn_values, plain_values,
+        "{name}: torn-write fallback diverges"
+    );
+    assert_stats_agree(
+        &format!("{name} (plain vs torn fallback)"),
+        &plain_stats,
+        &torn_stats,
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn undirected() -> Arc<pc_graph::Graph> {
+    Arc::new(gen::rmat(8, 1400, gen::RmatParams::default(), 11, false).symmetrized())
+}
+
+fn directed() -> Arc<pc_graph::Graph> {
+    Arc::new(gen::rmat(8, 1800, gen::RmatParams::default(), 12, true))
+}
+
+#[test]
+fn pagerank_scatter_resumes() {
+    let g = directed();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    resumable("pagerank_scatter", 3, |cfg| {
+        let o = pc_algos::pagerank::channel_scatter(&g, &topo, cfg, 12);
+        (o.ranks, o.stats)
+    });
+}
+
+#[test]
+fn pagerank_basic_resumes() {
+    let g = directed();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    resumable("pagerank_basic", 4, |cfg| {
+        let o = pc_algos::pagerank::channel_basic(&g, &topo, cfg, 10);
+        (o.ranks, o.stats)
+    });
+}
+
+#[test]
+fn pagerank_mirror_resumes() {
+    let g = directed();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    resumable("pagerank_mirror", 3, |cfg| {
+        let o = pc_algos::pagerank::channel_mirror(&g, &topo, cfg, 10, 8);
+        (o.ranks, o.stats)
+    });
+}
+
+#[test]
+fn wcc_propagation_resumes() {
+    let g = undirected();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    // Propagation converges in 2 supersteps; cadence 1 checkpoints the
+    // boundary after superstep 1 — mid-fixpoint channel state included.
+    resumable("wcc_propagation", 1, |cfg| {
+        let o = pc_algos::wcc::channel_propagation(&g, &topo, cfg);
+        (o.labels, o.stats)
+    });
+}
+
+#[test]
+fn wcc_basic_resumes() {
+    let g = undirected();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    resumable("wcc_basic", 2, |cfg| {
+        let o = pc_algos::wcc::channel_basic(&g, &topo, cfg);
+        (o.labels, o.stats)
+    });
+}
+
+#[test]
+fn sv_both_resumes() {
+    let g = undirected();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    resumable("sv_both", 2, |cfg| {
+        let o = pc_algos::sv::channel_both(&g, &topo, cfg);
+        (o.labels, o.stats)
+    });
+}
+
+#[test]
+fn scc_propagation_resumes() {
+    let g = directed();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    resumable("scc_propagation", 2, |cfg| {
+        let o = pc_algos::scc::channel_propagation(&g, &topo, cfg);
+        (o.labels, o.stats)
+    });
+}
+
+#[test]
+fn sssp_propagation_resumes() {
+    let g = Arc::new(gen::grid2d_weighted(14, 14, 9, 21));
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    resumable("sssp_propagation", 1, |cfg| {
+        let o = pc_algos::sssp::channel_propagation(&g, &topo, cfg, 0);
+        (o.dist, o.stats)
+    });
+}
+
+#[test]
+fn bfs_resumes() {
+    let g = undirected();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    resumable("bfs", 1, |cfg| {
+        let o = pc_algos::kernels::bfs(&g, &topo, cfg, 0);
+        (o.level, o.stats)
+    });
+}
+
+#[test]
+fn kcore_resumes() {
+    let g = undirected();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    resumable("kcore", 1, |cfg| {
+        let o = pc_algos::kernels::kcore(&g, &topo, cfg, 2);
+        (o.in_core, o.stats)
+    });
+}
+
+#[test]
+fn msf_resumes() {
+    let g = Arc::new(gen::rmat_weighted(
+        8,
+        1200,
+        gen::RmatParams::default(),
+        13,
+        false,
+        1000,
+    ));
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    resumable("msf", 2, |cfg| {
+        let o = pc_algos::msf::channel_basic(&g, &topo, cfg);
+        ((o.total_weight, o.edge_count), o.stats)
+    });
+}
+
+/// The simulated multi-process shape (one engine driver per rank over a
+/// shared loopback mesh) checkpoints and resumes identically too — the
+/// same path real `pcgraph --rank N` processes take.
+#[test]
+fn multirank_checkpointing_is_transparent() {
+    let g = directed();
+    let topo = Arc::new(Topology::hashed(g.n(), WORKERS));
+    let run = |cfg: &Config| {
+        let o = pc_algos::pagerank::channel_scatter(&g, &topo, cfg, 12);
+        (o.ranks, o.stats)
+    };
+    let dir = temp_dir("multirank");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (plain_values, plain_stats) = common::run_multirank(WORKERS, &run);
+    let policy = CkptPolicy {
+        every: 3,
+        dir: dir.clone(),
+    };
+    let run_ck = |cfg: &Config| {
+        run(&Config {
+            ckpt: Some(policy.clone()),
+            ..cfg.clone()
+        })
+    };
+    let (ck_values, ck_stats) = common::run_multirank(WORKERS, &run_ck);
+    assert_eq!(ck_values, plain_values);
+    assert_stats_agree(
+        "multirank (plain vs checkpointing)",
+        &plain_stats,
+        &ck_stats,
+    );
+    let store = Store::open(&dir).unwrap();
+    assert!(!store.committed_steps().unwrap().is_empty());
+    // Resume through the rank driver.
+    let (res_values, res_stats) = common::run_multirank(WORKERS, &run_ck);
+    assert_eq!(res_values, plain_values);
+    assert_stats_agree("multirank (plain vs resumed)", &plain_stats, &res_stats);
+    let _ = std::fs::remove_dir_all(&dir);
+}
