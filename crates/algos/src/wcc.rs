@@ -17,7 +17,7 @@
 use pc_bsp::{Config, RunStats, Topology};
 use pc_channels::channel::{VertexCtx, WorkerEnv};
 use pc_channels::engine::{run, Algorithm};
-use pc_channels::{Combine, CombinedMessage, Propagation};
+use pc_channels::{Combine, CombinedMessage, Mirror, Propagation};
 use pc_graph::{Graph, VertexId};
 use pc_pregel::{run_pregel, PregelOptions, PregelProgram, PregelVertex};
 use std::sync::Arc;
@@ -94,6 +94,69 @@ impl Algorithm for WccProp {
     }
 }
 
+/// Skew-resistant hash-min composing **Propagation + Mirror** (§IV-C3 +
+/// §V-B1): vertices with degree ≥ τ broadcast their label through the
+/// Mirror channel — one ghost message per destination worker instead of
+/// one per edge — while the low-degree mass converges asynchronously
+/// through the Propagation channel. On skewed graphs this caps the
+/// per-worker message volume a hub can generate.
+struct WccMirror {
+    g: Arc<Graph>,
+    threshold: usize,
+}
+
+impl Algorithm for WccMirror {
+    type Value = VertexId;
+    type Channels = (Propagation<u32>, Mirror<u32>);
+    pc_channels::dist_value_via_codec!();
+
+    fn channels(&self, env: &WorkerEnv) -> Self::Channels {
+        (
+            Propagation::new(env, Combine::min_u32()),
+            Mirror::new(env, Combine::min_u32(), self.threshold),
+        )
+    }
+
+    fn compute(&self, v: &mut VertexCtx<'_>, label: &mut VertexId, ch: &mut Self::Channels) {
+        // The Mirror channel knows the effective τ (a shipped plan's τ
+        // overrides the constructor's), so routing asks it, not `self`.
+        let hub = self.g.degree(v.id) >= ch.1.threshold();
+        if v.step() == 1 {
+            *label = v.id;
+            for &t in self.g.neighbors(v.id) {
+                if hub {
+                    ch.1.add_edge(v.local, t);
+                } else {
+                    ch.0.add_edge(v.local, t);
+                }
+            }
+            // Everyone sits in the propagation network as a *receiver*;
+            // hubs just have no propagation out-edges.
+            ch.0.set_value(v.local, v.id);
+            if hub {
+                ch.1.send_to_neighbors(v.local, v.id, v.id);
+            }
+            return;
+        }
+        let mut next = (*label).min(*ch.0.get_value(v.local));
+        if let Some(&m) = ch.1.get_message(v.local) {
+            next = next.min(m);
+        }
+        // Guard: `set_value` re-enqueues unconditionally, so only push a
+        // strict improvement back into the propagation network.
+        if next < *ch.0.get_value(v.local) {
+            ch.0.set_value(v.local, next);
+        }
+        if next < *label {
+            *label = next;
+            if hub {
+                ch.1.send_to_neighbors(v.local, v.id, next);
+            }
+        }
+        v.vote_to_halt();
+    }
+}
+
 /// Pregel+ hash-min: monolithic `u32` message; the min combiner *is*
 /// globally applicable here, so the baseline gets it too.
 struct WccPregel {
@@ -154,6 +217,27 @@ pub fn channel_propagation(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -
     }
 }
 
+/// Skew-resistant WCC: Propagation for the low-degree mass, Mirror for
+/// hubs with degree ≥ `threshold`. When `topo` carries a
+/// [`pc_bsp::MirrorPlan`] the plan's τ wins and the Mirror channel comes
+/// up pre-wired (no in-band table shipment).
+pub fn channel_mirror(
+    g: &Arc<Graph>,
+    topo: &Arc<Topology>,
+    cfg: &Config,
+    threshold: usize,
+) -> WccOutput {
+    let algo = WccMirror {
+        g: Arc::clone(g),
+        threshold,
+    };
+    let out = run(&algo, topo, cfg);
+    WccOutput {
+        labels: out.values,
+        stats: out.stats,
+    }
+}
+
 /// Pregel+ basic-mode WCC.
 pub fn pregel_basic(g: &Arc<Graph>, topo: &Arc<Topology>, cfg: &Config) -> WccOutput {
     let out = run_pregel(
@@ -198,6 +282,13 @@ mod tests {
         );
         assert_eq!(pregel_basic(&g, &topo, &cfg).labels, expect, "pregel basic");
         assert_eq!(blogel(&g, &topo, &cfg).labels, expect, "blogel");
+        for threshold in [1, 16, usize::MAX] {
+            assert_eq!(
+                channel_mirror(&g, &topo, &cfg, threshold).labels,
+                expect,
+                "channel mirror τ={threshold}"
+            );
+        }
     }
 
     #[test]
@@ -257,6 +348,50 @@ mod tests {
             b.stats.remote_bytes(),
             a.stats.remote_bytes()
         );
+    }
+
+    #[test]
+    fn mirror_caps_hub_volume_on_skewed_ring() {
+        let g = Arc::new(gen::ring_with_hub(256, 1024));
+        let expect = reference::connected_components(&g);
+        let workers = 4;
+        let cfg = Config::sequential(workers);
+        let plain_topo = Arc::new(Topology::hashed(g.n(), workers));
+        let plain = channel_propagation(&g, &plain_topo, &cfg);
+        assert_eq!(plain.labels, expect);
+        // Degree-sorted LDG places the hub first, then a shipped mirror
+        // plan pre-wires the hub's per-worker broadcast fan-out.
+        let owners = partition::ldg_deg(&*g, workers, 1);
+        let base = Topology::from_owners(workers, owners);
+        let plan = partition::build_mirror_plan(&*g, &base, 64);
+        assert!(!plan.hubs.is_empty(), "the hub must qualify");
+        let topo = Arc::new(base.with_mirror(Arc::new(plan)));
+        let mirrored = channel_mirror(&g, &topo, &cfg, 64);
+        assert_eq!(mirrored.labels, expect);
+        assert!(mirrored.stats.mirrored_msgs() > 0);
+        assert!(mirrored.stats.mirror_saved() > 0);
+        // The hub's broadcast collapses from ~1024 per-edge messages to
+        // ≤ workers ghosts, so the worst rank's message volume drops.
+        assert!(
+            mirrored.stats.max_rank_msgs * 2 < plain.stats.max_rank_msgs,
+            "mirrored max/rank {} vs plain {}",
+            mirrored.stats.max_rank_msgs,
+            plain.stats.max_rank_msgs
+        );
+    }
+
+    #[test]
+    fn mirror_matches_under_every_transport_shape() {
+        let g = Arc::new(gen::rmat(9, 4000, gen::RmatParams::default(), 21, false));
+        let expect = reference::connected_components(&g);
+        let owners = partition::ldg_deg(&*g, 4, 1);
+        let base = Topology::from_owners(4, owners);
+        let threshold = partition::default_mirror_threshold(&*g);
+        let plan = partition::build_mirror_plan(&*g, &base, threshold);
+        let topo = Arc::new(base.with_mirror(Arc::new(plan)));
+        for cfg in [Config::sequential(4), Config::with_workers(4)] {
+            assert_eq!(channel_mirror(&g, &topo, &cfg, threshold).labels, expect);
+        }
     }
 
     #[test]

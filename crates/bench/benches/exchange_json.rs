@@ -109,8 +109,11 @@ fn main() {
     // backend pays one syscall-heavy frame per peer per round. The
     // batched driver's pipelined sends and coalesced super-frames are
     // measured against it here (capped scale keeps the round count in
-    // the hundreds, not thousands).
-    let skewed = Arc::new(gen::cycle(1usize << scale.min(9)));
+    // the hundreds, not thousands). A high-degree hub rides along as a
+    // disjoint star so the same workload also exposes degree skew: under
+    // hash placement + plain propagation the hub floods its owner rank.
+    let ring_n = 1usize << scale.min(9);
+    let skewed = Arc::new(gen::ring_with_hub(ring_n, 4 * ring_n));
     let skewed_topo = Arc::new(Topology::hashed(skewed.n(), workers));
     let skewed_modes: [(&'static str, Config); 3] = [
         ("threads", Config::with_workers(workers)),
@@ -120,6 +123,19 @@ fn main() {
     for (mode, cfg) in &skewed_modes {
         let stats = best(&|| pc_algos::wcc::channel_propagation(&skewed, &skewed_topo, cfg).stats);
         record(&mut entries, "wcc_ring_skewed", mode, stats);
+    }
+    // Skew resistance, same workload: degree-sorted LDG streams the hub
+    // first and lays the ring out contiguously (collapsing the round
+    // tail), and the shipped mirror plan turns the hub's broadcast into
+    // one pre-wired ghost message per rank.
+    let owners = pc_graph::partition::ldg_deg(&*skewed, workers, 2);
+    let base = Topology::from_owners(workers, owners);
+    let tau = pc_graph::partition::default_mirror_threshold(&*skewed);
+    let plan = pc_graph::partition::build_mirror_plan(&*skewed, &base, tau);
+    let mirror_topo = Arc::new(base.with_mirror(Arc::new(plan)));
+    for (mode, cfg) in &skewed_modes {
+        let stats = best(&|| pc_algos::wcc::channel_mirror(&skewed, &mirror_topo, cfg, tau).stats);
+        record(&mut entries, "wcc_ring_skewed_mirror", mode, stats);
     }
 
     let mut json = String::from("{\n");
@@ -136,6 +152,9 @@ fn main() {
         let _ = writeln!(json, "      \"remote_mib\": {:.4},", s.remote_mib());
         let _ = writeln!(json, "      \"supersteps\": {},", s.supersteps);
         let _ = writeln!(json, "      \"rounds\": {},", s.rounds);
+        let _ = writeln!(json, "      \"max_rank_msgs\": {},", s.max_rank_msgs);
+        let _ = writeln!(json, "      \"mirrored_msgs\": {},", s.mirrored_msgs());
+        let _ = writeln!(json, "      \"mirror_saved_frames\": {},", s.mirror_saved());
         let _ = writeln!(json, "      \"pool_hits\": {},", s.pool.hits);
         let _ = writeln!(json, "      \"pool_misses\": {},", s.pool.misses);
         let _ = writeln!(json, "      \"pool_hit_rate\": {:.6},", s.pool_hit_rate());

@@ -97,6 +97,8 @@ mod tests {
                 local: 0,
             },
             messages: 1,
+            mirrored: 0,
+            mirror_saved: 0,
         }]);
         s
     }

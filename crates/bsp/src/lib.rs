@@ -41,7 +41,7 @@ pub use exchange::{Hub, Mailbox, SharedReduce, SpinBarrier};
 pub use metrics::{ChannelMetrics, RunStats, TransportStats};
 pub use pool::{BufferPool, PoolStats};
 pub use tcp::{Tcp, TcpOptions};
-pub use topology::Topology;
+pub use topology::{MirrorHub, MirrorPlan, Topology};
 pub use transport::{ExchangeTransport, InProcess, TransportError};
 
 /// How the simulated cluster executes its workers.

@@ -40,6 +40,12 @@ pub struct ChannelMetrics {
     /// Number of application-level messages (combined values, requests,
     /// responses, label updates — channel-specific unit).
     pub messages: u64,
+    /// Messages sent as per-worker mirror broadcasts instead of per-edge
+    /// sends (Mirror channel; 0 elsewhere).
+    pub mirrored: u64,
+    /// Per-edge messages the mirror broadcasts avoided — the skew win
+    /// (Mirror channel; 0 elsewhere).
+    pub mirror_saved: u64,
 }
 
 /// Wire-level counters of one exchange transport (see
@@ -114,6 +120,11 @@ pub struct RunStats {
     /// `barrier_crossings` this measures how well the spin budget
     /// ([`crate::Config::spin_budget`]) fits the workload's arrival skew.
     pub barrier_spins: u64,
+    /// Largest per-worker application-message volume (Σ `messages` over
+    /// that worker's channels) — the skew metric: under a hub-heavy
+    /// partition one rank's volume dwarfs the rest, and mirroring is what
+    /// bounds it.
+    pub max_rank_msgs: u64,
     /// Name of the exchange transport that carried the run
     /// (`"sequential"`, `"in-process"`, `"tcp"`, `"tcp-batched"`).
     pub transport_name: &'static str,
@@ -137,6 +148,16 @@ impl RunStats {
     /// Total application-level messages across channels.
     pub fn messages(&self) -> u64 {
         self.channels.iter().map(|c| c.messages).sum()
+    }
+
+    /// Total messages sent as per-worker mirror broadcasts.
+    pub fn mirrored_msgs(&self) -> u64 {
+        self.channels.iter().map(|c| c.mirrored).sum()
+    }
+
+    /// Total per-edge messages the mirror broadcasts avoided.
+    pub fn mirror_saved(&self) -> u64 {
+        self.channels.iter().map(|c| c.mirror_saved).sum()
     }
 
     /// Remote bytes in mebibytes, for table printing.
@@ -187,6 +208,8 @@ impl RunStats {
             debug_assert_eq!(into.name, from.name);
             into.bytes.merge(&from.bytes);
             into.messages += from.messages;
+            into.mirrored += from.mirrored;
+            into.mirror_saved += from.mirror_saved;
         }
     }
 
@@ -205,6 +228,7 @@ mod tests {
             name: name.to_string(),
             bytes: ByteCounter { remote, local },
             messages,
+            ..Default::default()
         }
     }
 
@@ -218,6 +242,21 @@ mod tests {
         assert_eq!(stats.messages(), 6);
         assert_eq!(stats.channel("a").unwrap().bytes.remote, 17);
         assert!(stats.channel("zzz").is_none());
+    }
+
+    #[test]
+    fn absorb_accumulates_mirror_counters() {
+        let mut stats = RunStats::default();
+        let mirrored = |m: u64, s: u64| ChannelMetrics {
+            name: "mirror".to_string(),
+            mirrored: m,
+            mirror_saved: s,
+            ..Default::default()
+        };
+        stats.absorb_channels(vec![mirrored(3, 40)]);
+        stats.absorb_channels(vec![mirrored(2, 10)]);
+        assert_eq!(stats.mirrored_msgs(), 5);
+        assert_eq!(stats.mirror_saved(), 50);
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! worker, supporting both the paper's default random (hash) assignment and
 //! explicit partitions produced by a partitioner (the "Wikipedia (P)" runs).
 
+use crate::codec::{Codec, Reader};
+use std::sync::Arc;
+
 /// Ownership map of all vertices over a set of workers.
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -12,6 +15,107 @@ pub struct Topology {
     owner: Vec<u16>,
     local_index: Vec<u32>,
     locals: Vec<Vec<u32>>,
+    /// Pre-computed mirror/ghost tables for high-degree vertices, when a
+    /// degree-aware partitioner built them at ship time. Channels that
+    /// replicate vertices (the Mirror channel) pick this up on
+    /// construction; everything else ignores it.
+    mirror: Option<Arc<MirrorPlan>>,
+}
+
+/// One replicated high-degree vertex in a [`MirrorPlan`]: the hub's
+/// global id, the sorted set of workers holding a mirror, and — per
+/// holding worker — the local indices of the hub's neighbors there, in
+/// the hub's adjacency order (duplicates preserved, so mirror-side
+/// expansion applies the combiner once per edge occurrence exactly like
+/// the unmirrored per-edge path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirrorHub {
+    /// Global id of the mirrored vertex.
+    pub id: u32,
+    /// Workers holding a mirror, ascending (includes the hub's own worker
+    /// when it has local neighbors).
+    pub peers: Vec<u16>,
+    /// Per peer worker, the local indices its mirror fans a broadcast out
+    /// to; same order and length as `peers`.
+    pub targets: Vec<(u16, Vec<u32>)>,
+}
+
+impl MirrorHub {
+    /// Local target indices of this hub's neighbors on `worker`, if any.
+    pub fn targets_for(&self, worker: u16) -> Option<&[u32]> {
+        self.targets
+            .iter()
+            .find(|(w, _)| *w == worker)
+            .map(|(_, t)| t.as_slice())
+    }
+}
+
+/// The mirror/ghost tables rank 0 computes at ship time: every vertex
+/// with out-degree ≥ `threshold` gets a [`MirrorHub`] entry, so a
+/// broadcast from it costs one wire message per holding *worker* instead
+/// of one per remote edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirrorPlan {
+    /// The degree threshold τ the plan was built with.
+    pub threshold: u64,
+    /// Mirrored vertices, ascending by id.
+    pub hubs: Vec<MirrorHub>,
+}
+
+impl MirrorPlan {
+    /// Append the plan's wire encoding to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.threshold.encode(buf);
+        (self.hubs.len() as u32).encode(buf);
+        for h in &self.hubs {
+            h.id.encode(buf);
+            h.peers.encode(buf);
+            (h.targets.len() as u32).encode(buf);
+            for (w, locals) in &h.targets {
+                w.encode(buf);
+                locals.encode(buf);
+            }
+        }
+    }
+
+    /// Decode a plan from `r`. Plans travel inside the shipped partition
+    /// plan, so truncation must surface as an error, never a panic.
+    pub fn decode_from(r: &mut Reader) -> Result<Self, String> {
+        fn need(r: &Reader, bytes: usize) -> Result<(), String> {
+            if r.remaining() < bytes {
+                Err("mirror plan truncated".to_string())
+            } else {
+                Ok(())
+            }
+        }
+        fn u32s(r: &mut Reader) -> Result<Vec<u32>, String> {
+            need(r, 4)?;
+            let count: u32 = r.get();
+            need(r, count as usize * 4)?;
+            Ok((0..count).map(|_| r.get::<u32>()).collect())
+        }
+        need(r, 12)?;
+        let threshold: u64 = r.get();
+        let hub_count: u32 = r.get();
+        let mut hubs = Vec::with_capacity(hub_count.min(1 << 20) as usize);
+        for _ in 0..hub_count {
+            need(r, 8)?;
+            let id: u32 = r.get();
+            let peer_count: u32 = r.get();
+            need(r, peer_count as usize * 2)?;
+            let peers: Vec<u16> = (0..peer_count).map(|_| r.get::<u16>()).collect();
+            need(r, 4)?;
+            let target_count: u32 = r.get();
+            let mut targets = Vec::with_capacity(target_count.min(1 << 20) as usize);
+            for _ in 0..target_count {
+                need(r, 2)?;
+                let w: u16 = r.get();
+                targets.push((w, u32s(r)?));
+            }
+            hubs.push(MirrorHub { id, peers, targets });
+        }
+        Ok(MirrorPlan { threshold, hubs })
+    }
 }
 
 /// Deterministic 64-bit mix (splitmix64 finalizer) used for pseudo-random
@@ -44,7 +148,19 @@ impl Topology {
             owner,
             local_index,
             locals,
+            mirror: None,
         }
+    }
+
+    /// Attach a [`MirrorPlan`] (built at ship time by the partitioner).
+    pub fn with_mirror(mut self, plan: Arc<MirrorPlan>) -> Self {
+        self.mirror = Some(plan);
+        self
+    }
+
+    /// The attached mirror plan, if any.
+    pub fn mirror_plan(&self) -> Option<&Arc<MirrorPlan>> {
+        self.mirror.as_ref()
     }
 
     /// Pseudo-random (hash) placement of `n` vertices over `workers`
@@ -164,5 +280,64 @@ mod tests {
         let t = Topology::hashed(64, 1);
         assert_eq!(t.local_count(0), 64);
         assert_eq!(t.balance(), (64, 64));
+    }
+
+    fn sample_plan() -> MirrorPlan {
+        MirrorPlan {
+            threshold: 16,
+            hubs: vec![
+                MirrorHub {
+                    id: 3,
+                    peers: vec![0, 2],
+                    targets: vec![(0, vec![1, 4, 4]), (2, vec![0])],
+                },
+                MirrorHub {
+                    id: 9,
+                    peers: vec![1],
+                    targets: vec![(1, vec![7])],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn mirror_plan_roundtrips() {
+        let plan = sample_plan();
+        let mut buf = Vec::new();
+        plan.encode_into(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = MirrorPlan::decode_from(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back, plan);
+        assert_eq!(back.hubs[0].targets_for(2), Some(&[0u32][..]));
+        assert_eq!(back.hubs[0].targets_for(1), None);
+    }
+
+    #[test]
+    fn mirror_plan_decode_rejects_truncation_at_every_cut() {
+        let plan = sample_plan();
+        let mut buf = Vec::new();
+        plan.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(
+                MirrorPlan::decode_from(&mut r).is_err(),
+                "cut at {cut} decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn topology_carries_a_mirror_plan() {
+        let t = Topology::hashed(8, 2);
+        assert!(t.mirror_plan().is_none());
+        let t = t.with_mirror(Arc::new(sample_plan()));
+        assert_eq!(t.mirror_plan().unwrap().threshold, 16);
+        // Cloning keeps the plan shared, not duplicated.
+        let c = t.clone();
+        assert!(Arc::ptr_eq(
+            c.mirror_plan().unwrap(),
+            t.mirror_plan().unwrap()
+        ));
     }
 }

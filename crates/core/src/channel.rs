@@ -213,6 +213,13 @@ pub trait Channel<AV>: Send {
         0
     }
 
+    /// `(mirrored, saved)`: messages sent as per-worker mirror broadcasts,
+    /// and the per-edge messages those broadcasts avoided. Non-zero only
+    /// for channels that replicate vertices (the Mirror channel).
+    fn mirror_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
     /// Serialize this channel's cross-superstep state for a checkpoint
     /// taken at a superstep boundary (all exchange rounds finished, the
     /// frontier advanced, nothing in flight). Everything a restored

@@ -410,10 +410,13 @@ impl<'a, A: Algorithm> WorkerState<'a, A> {
         let mut metrics = Vec::with_capacity(self.channels.len());
         let bytes = &self.bytes;
         self.channels.for_each(&mut |i, ch| {
+            let (mirrored, mirror_saved) = ch.mirror_stats();
             metrics.push(ChannelMetrics {
                 name: ch.name().to_string(),
                 bytes: bytes[i as usize],
                 messages: ch.message_count(),
+                mirrored,
+                mirror_saved,
             });
         });
         (pairs, metrics, self.pool.stats())
@@ -464,6 +467,10 @@ fn assemble<V: Clone + Default>(
 ) -> Vec<V> {
     let mut values = vec![V::default(); n];
     for (pairs, metrics, pool) in parts {
+        // The skew metric: one part = one worker (or rank), so the largest
+        // per-part message volume is the hottest rank's send load.
+        let part_msgs: u64 = metrics.iter().map(|m| m.messages).sum();
+        stats.max_rank_msgs = stats.max_rank_msgs.max(part_msgs);
         stats.absorb_channels(metrics);
         stats.pool.merge(&pool);
         for (gid, v) in pairs {
@@ -800,6 +807,8 @@ fn encode_part<A: Algorithm>(
         m.bytes.remote.encode(buf);
         m.bytes.local.encode(buf);
         m.messages.encode(buf);
+        m.mirrored.encode(buf);
+        m.mirror_saved.encode(buf);
     }
     pool.hits.encode(buf);
     pool.misses.encode(buf);
@@ -841,6 +850,8 @@ fn decode_part<A: Algorithm>(r: &mut Reader<'_>) -> (WorkerPart<A::Value>, Trans
                 local: r.get(),
             },
             messages: r.get(),
+            mirrored: r.get(),
+            mirror_saved: r.get(),
         });
     }
     let pool = PoolStats {

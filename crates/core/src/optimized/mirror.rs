@@ -52,15 +52,26 @@ pub struct Mirror<M> {
     incoming: Vec<Option<M>>,
     readable: Vec<Option<M>>,
     messages: u64,
+    /// Messages sent as per-worker mirror broadcasts.
+    mirrored: u64,
+    /// Per-edge messages the broadcasts avoided.
+    saved: u64,
 }
 
 impl<M: Codec + Clone + Send> Mirror<M> {
     /// Create this worker's instance with mirroring threshold τ (the paper
     /// uses 16 for ghost mode).
+    ///
+    /// When the topology carries a [`pc_bsp::MirrorPlan`] (built at ship
+    /// time by a degree-aware partitioner), the channel pre-wires from it:
+    /// the plan's τ replaces `threshold`, owned hubs get their per-worker
+    /// broadcast fan-out installed up front, and receive-side ghost tables
+    /// for remote hubs targeting this worker are installed too — so no
+    /// mirror tables ever ship in-band.
     pub fn new(env: &WorkerEnv, combine: Combine<M>, threshold: usize) -> Self {
         let numv = env.local_count();
         let workers = env.workers();
-        Mirror {
+        let mut ch = Mirror {
             env: env.clone(),
             combine,
             threshold: threshold.max(1),
@@ -74,7 +85,28 @@ impl<M: Codec + Clone + Send> Mirror<M> {
             incoming: vec![None; numv],
             readable: vec![None; numv],
             messages: 0,
+            mirrored: 0,
+            saved: 0,
+        };
+        if let Some(plan) = env.topo.mirror_plan() {
+            ch.threshold = (plan.threshold as usize).max(1);
+            for hub in &plan.hubs {
+                if env.worker_of(hub.id) == env.worker {
+                    ch.mirror_peers[env.local_of(hub.id) as usize] = hub.peers.clone();
+                }
+                if let Some(locals) = hub.targets_for(env.worker as u16) {
+                    ch.ghost_in.insert(hub.id, locals.to_vec());
+                }
+            }
         }
+        ch
+    }
+
+    /// The effective mirroring threshold τ (the plan's, when the topology
+    /// carries one) — algorithms use it to route hub traffic here and
+    /// low-degree traffic through cheaper channels.
+    pub fn threshold(&self) -> usize {
+        self.threshold
     }
 
     /// Register a broadcast edge from local vertex `src_local` to the
@@ -95,6 +127,9 @@ impl<M: Codec + Clone + Send> Mirror<M> {
             for &peer in &self.mirror_peers[li] {
                 self.staged_ghost[peer as usize].push((src_id, m.clone()));
             }
+            self.mirrored += self.mirror_peers[li].len() as u64;
+            self.saved +=
+                (self.edges[li].len() as u64).saturating_sub(self.mirror_peers[li].len() as u64);
             return;
         }
         for i in 0..self.edges[li].len() {
@@ -237,6 +272,10 @@ impl<AV, M: Codec + Clone + Send> Channel<AV> for Mirror<M> {
         self.messages
     }
 
+    fn mirror_stats(&self) -> (u64, u64) {
+        (self.mirrored, self.saved)
+    }
+
     fn encode_state(&self, buf: &mut Vec<u8>) -> bool {
         // Registration tables, receive-side mirror tables, not-yet-shipped
         // table updates and the staged receive slots. Hash maps are
@@ -254,6 +293,8 @@ impl<AV, M: Codec + Clone + Send> Channel<AV> for Mirror<M> {
         self.pending_tables.encode(buf);
         self.incoming.encode(buf);
         self.messages.encode(buf);
+        self.mirrored.encode(buf);
+        self.saved.encode(buf);
         true
     }
 
@@ -271,6 +312,8 @@ impl<AV, M: Codec + Clone + Send> Channel<AV> for Mirror<M> {
         self.pending_tables = r.get();
         self.incoming = r.get();
         self.messages = r.get();
+        self.mirrored = r.get();
+        self.saved = r.get();
     }
 }
 
@@ -373,6 +416,61 @@ mod tests {
             mirrored.stats.messages(),
             direct.stats.messages()
         );
+    }
+
+    #[test]
+    fn prewired_plan_matches_lazy_tables_and_ships_none() {
+        let g = Arc::new(gen::star(801));
+        let lazy_topo = Arc::new(Topology::hashed(g.n(), 4));
+        let plan = pc_graph::partition::build_mirror_plan(&*g, &lazy_topo, 16);
+        let wired_topo = Arc::new(Topology::hashed(g.n(), 4).with_mirror(Arc::new(plan)));
+        let cfg = Config::sequential(4);
+        let algo = || MirrorMin {
+            g: Arc::clone(&g),
+            threshold: 16,
+            rounds: 3,
+        };
+        let lazy = run(&algo(), &lazy_topo, &cfg);
+        let wired = run(&algo(), &wired_topo, &cfg);
+        assert_eq!(lazy.values, wired.values);
+        // Same broadcasts either way; the plan only removes the in-band
+        // mirror-table shipment, so the wired run is strictly smaller.
+        assert_eq!(lazy.stats.messages(), wired.stats.messages());
+        assert!(
+            wired.stats.total_bytes() < lazy.stats.total_bytes(),
+            "wired {} vs lazy {}",
+            wired.stats.total_bytes(),
+            lazy.stats.total_bytes()
+        );
+        assert!(wired.stats.mirrored_msgs() > 0);
+        assert!(wired.stats.mirror_saved() > 0);
+        assert_eq!(lazy.stats.mirrored_msgs(), wired.stats.mirrored_msgs());
+    }
+
+    #[test]
+    fn plan_threshold_overrides_the_constructor() {
+        let g = Arc::new(gen::star(801));
+        let base = Topology::hashed(g.n(), 4);
+        let plan = pc_graph::partition::build_mirror_plan(&*g, &base, 16);
+        let topo = Arc::new(base.with_mirror(Arc::new(plan)));
+        // The algorithm asks for no mirroring at all; the shipped plan's
+        // τ=16 wins, so the hub still broadcasts per worker.
+        let out = run(
+            &MirrorMin {
+                g: Arc::clone(&g),
+                threshold: usize::MAX,
+                rounds: 3,
+            },
+            &topo,
+            &Config::sequential(4),
+        );
+        assert!(out.stats.mirrored_msgs() > 0);
+        let expect = oracle(&g);
+        for (v, (&got, &want)) in out.values.iter().zip(&expect).enumerate() {
+            if want != u32::MAX {
+                assert_eq!(got, want, "v={v}");
+            }
+        }
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //! slice of the transposed graph; the plan carries any number of slices.
 //!
 //! The ownership table rides along so every rank builds the identical
-//! [`pc_bsp::Topology`] without re-deriving the partition.
+//! [`pc_bsp::Topology`] without re-deriving the partition — and when a
+//! degree-aware partitioner built mirror/ghost tables for high-degree
+//! vertices, the [`pc_bsp::MirrorPlan`] rides along too, so every rank
+//! pre-wires its Mirror channel instead of shipping tables in-band.
 
-use pc_bsp::{Codec, Reader, Topology};
+use pc_bsp::{Codec, MirrorPlan, Reader, Topology};
 use pc_graph::{io as gio, Graph};
 
 /// The row slice of `g` that `rank` needs: adjacency kept verbatim for
@@ -22,10 +25,14 @@ pub fn slice_for_rank<W: Copy + Default>(g: &Graph<W>, topo: &Topology, rank: us
     g.restrict_rows(|v| topo.worker_of(v) == rank)
 }
 
-/// Encode one rank's plan: the full ownership table plus its graph
-/// slices (one per graph the algorithm walks — forward, and reverse for
-/// SCC-style programs).
-pub fn encode_plan<W: Codec + Copy>(owner: &[u16], graphs: &[&Graph<W>]) -> Vec<u8> {
+/// Encode one rank's plan: the full ownership table, its graph slices
+/// (one per graph the algorithm walks — forward, and reverse for
+/// SCC-style programs), and the mirror plan when one was built.
+pub fn encode_plan<W: Codec + Copy>(
+    owner: &[u16],
+    graphs: &[&Graph<W>],
+    mirror: Option<&MirrorPlan>,
+) -> Vec<u8> {
     let mut buf = Vec::new();
     (owner.len() as u64).encode(&mut buf);
     for &o in owner {
@@ -35,13 +42,22 @@ pub fn encode_plan<W: Codec + Copy>(owner: &[u16], graphs: &[&Graph<W>]) -> Vec<
     for g in graphs {
         gio::encode_graph(g, &mut buf);
     }
+    match mirror {
+        None => false.encode(&mut buf),
+        Some(plan) => {
+            true.encode(&mut buf);
+            plan.encode_into(&mut buf);
+        }
+    }
     buf
 }
 
+/// What [`decode_plan`] recovers: the ownership table, the graph slices,
+/// and the mirror plan when rank 0 built one.
+pub type DecodedPlan<W> = (Vec<u16>, Vec<Graph<W>>, Option<MirrorPlan>);
+
 /// Decode a plan written by [`encode_plan`].
-pub fn decode_plan<W: Codec + Copy + Default>(
-    payload: &[u8],
-) -> Result<(Vec<u16>, Vec<Graph<W>>), String> {
+pub fn decode_plan<W: Codec + Copy + Default>(payload: &[u8]) -> Result<DecodedPlan<W>, String> {
     let mut r = Reader::new(payload);
     if r.remaining() < 8 {
         return Err("plan header truncated".to_string());
@@ -67,10 +83,18 @@ pub fn decode_plan<W: Codec + Copy + Default>(
     for _ in 0..ngraphs {
         graphs.push(gio::decode_graph(&mut r)?);
     }
+    if r.remaining() < 1 {
+        return Err("mirror section truncated".to_string());
+    }
+    let mirror = if r.get::<bool>() {
+        Some(MirrorPlan::decode_from(&mut r)?)
+    } else {
+        None
+    };
     if !r.is_empty() {
         return Err(format!("{} trailing bytes after plan", r.remaining()));
     }
-    Ok((owner, graphs))
+    Ok((owner, graphs, mirror))
 }
 
 #[cfg(test)]
@@ -92,8 +116,9 @@ mod tests {
         let mut covered = 0usize;
         for rank in 0..workers {
             let slice = slice_for_rank(&g, &topo, rank);
-            let payload = encode_plan(&owner, &[&slice]);
-            let (owner2, graphs) = decode_plan::<u32>(&payload).unwrap();
+            let payload = encode_plan(&owner, &[&slice], None);
+            let (owner2, graphs, mirror) = decode_plan::<u32>(&payload).unwrap();
+            assert!(mirror.is_none());
             assert_eq!(owner2, owner);
             assert_eq!(graphs.len(), 1);
             assert_eq!(&graphs[0], &slice);
@@ -121,11 +146,35 @@ mod tests {
             .collect();
         let fwd_slice = slice_for_rank(&g, &topo, 1);
         let rev_slice = slice_for_rank(&rev, &topo, 1);
-        let payload = encode_plan(&owner, &[&fwd_slice, &rev_slice]);
-        let (_, graphs) = decode_plan::<()>(&payload).unwrap();
+        let payload = encode_plan(&owner, &[&fwd_slice, &rev_slice], None);
+        let (_, graphs, _) = decode_plan::<()>(&payload).unwrap();
         assert_eq!(graphs.len(), 2);
         assert_eq!(&graphs[0], &fwd_slice);
         assert_eq!(&graphs[1], &rev_slice);
+    }
+
+    /// A mirror plan rides with the owner table and slices, byte-exact,
+    /// and truncating its section errors instead of panicking.
+    #[test]
+    fn plan_carries_mirror_tables() {
+        let g = gen::star(200);
+        let topo = Topology::hashed(g.n(), 4);
+        let owner: Vec<u16> = (0..g.n() as u32)
+            .map(|v| topo.worker_of(v) as u16)
+            .collect();
+        let plan = pc_graph::partition::build_mirror_plan(&g, &topo, 16);
+        assert!(!plan.hubs.is_empty());
+        let slice = slice_for_rank(&g, &topo, 2);
+        let payload = encode_plan(&owner, &[&slice], Some(&plan));
+        let (owner2, graphs, mirror) = decode_plan::<()>(&payload).unwrap();
+        assert_eq!(owner2, owner);
+        assert_eq!(&graphs[0], &slice);
+        assert_eq!(mirror.as_ref(), Some(&plan));
+        // Truncation anywhere inside the mirror section errors cleanly.
+        let without = encode_plan(&owner, &[&slice], None).len();
+        for cut in without..payload.len() {
+            assert!(decode_plan::<()>(&payload[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]
@@ -133,7 +182,7 @@ mod tests {
         assert!(decode_plan::<()>(&[]).is_err());
         let g = gen::cycle(5);
         let topo = Topology::hashed(5, 2);
-        let payload = encode_plan(&[0, 0, 1, 1, 0], &[&slice_for_rank(&g, &topo, 0)]);
+        let payload = encode_plan(&[0, 0, 1, 1, 0], &[&slice_for_rank(&g, &topo, 0)], None);
         // Truncation anywhere must error, never panic.
         for cut in [3, 10, payload.len() - 1] {
             assert!(decode_plan::<()>(&payload[..cut]).is_err(), "cut at {cut}");

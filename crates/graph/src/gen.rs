@@ -219,6 +219,23 @@ pub fn star(n: usize) -> Graph {
     Graph::from_edges(n, &edges, false)
 }
 
+/// The skew benchmark graph: a long undirected cycle on `0..ring` next
+/// to a disjoint star whose hub (`id = ring`) fans out to `spokes`
+/// leaves. The two pathologies of a skewed workload in one graph — deep
+/// label propagation along the ring (round-count stress, where locality
+/// partitioning pays) and one hub dominating message volume (skew
+/// stress, where mirroring pays).
+pub fn ring_with_hub(ring: usize, spokes: usize) -> Graph {
+    assert!(ring >= 3);
+    let hub = ring as VertexId;
+    let mut edges: Vec<(VertexId, VertexId)> = (0..ring - 1)
+        .map(|i| (i as VertexId, (i + 1) as VertexId))
+        .collect();
+    edges.push(((ring - 1) as VertexId, 0));
+    edges.extend((0..spokes).map(|i| (hub, hub + 1 + i as VertexId)));
+    Graph::from_edges(ring + 1 + spokes, &edges, false)
+}
+
 /// Complete undirected graph on `n` vertices (tests only; O(n²) edges).
 pub fn complete(n: usize) -> Graph {
     let mut edges = Vec::new();

@@ -8,13 +8,22 @@
 //!
 //! * [`ldg`] — Linear Deterministic Greedy streaming partitioning
 //!   (Stanton & Kliot), optionally with multiple refinement passes;
+//! * [`ldg_deg`] — the same greedy, streaming vertices highest-degree
+//!   first so hubs are placed while capacity is still balanced — the
+//!   degree-aware ordering the skew literature recommends for power-law
+//!   graphs;
 //! * [`bfs_blocks`] — BFS block growing (the partitioner Blogel itself
 //!   ships for graphs without coordinates).
 //!
-//! Quality is quantified by [`edge_cut`]; tests assert the locality-aware
-//! partitioners beat random placement on structured graphs.
+//! Quality is quantified by [`edge_cut`] and the fuller
+//! [`PartitionReport`] (sizes + per-part mirror replication factors);
+//! tests assert the locality-aware partitioners beat random placement on
+//! structured graphs. [`build_mirror_plan`] derives the mirror/ghost
+//! tables for vertices with out-degree ≥ τ that the distributed runtime
+//! ships with the partition plan.
 
 use crate::csr::{Graph, VertexId};
+use pc_bsp::{MirrorHub, MirrorPlan, Topology};
 
 /// Fraction of arcs whose endpoints live in different parts, given
 /// `owner[v]` assignments. Returns `(cut_arcs, total_arcs)`.
@@ -92,6 +101,211 @@ pub fn ldg<W: Copy>(g: &Graph<W>, parts: usize, passes: usize) -> Vec<u16> {
         }
     }
     owner
+}
+
+/// Degree-sorted Linear Deterministic Greedy: the same greedy placement
+/// as [`ldg`], but streaming vertices in descending degree order (ties
+/// broken by ascending id, so the order — and thus the partition — is
+/// deterministic). Hubs are placed first, while every part still has
+/// capacity, and their neighborhoods then accrete around them; the
+/// id-order stream instead meets a hub only after scattered low-degree
+/// neighbors have pinned it nowhere in particular.
+pub fn ldg_deg<W: Copy>(g: &Graph<W>, parts: usize, passes: usize) -> Vec<u16> {
+    assert!(parts >= 1 && parts <= u16::MAX as usize);
+    let n = g.n();
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    let capacity = (n as f64 / parts as f64) * 1.1 + 1.0;
+    let mut owner: Vec<u16> = vec![u16::MAX; n];
+    for _pass in 0..passes.max(1) {
+        let mut sizes = vec![0usize; parts];
+        let mut scores = vec![0u32; parts];
+        for &v in &order {
+            scores.iter_mut().for_each(|s| *s = 0);
+            for &t in g.neighbors(v) {
+                // The stream is not in id order, so "already placed" is
+                // read straight off the owner table; refinement passes
+                // see last pass's placement for not-yet-restreamed
+                // vertices the same way.
+                let o = owner[t as usize];
+                if o != u16::MAX {
+                    scores[o as usize] += 1;
+                }
+            }
+            let mut best = 0usize;
+            let mut best_score = f64::MIN;
+            for p in 0..parts {
+                let penalty = 1.0 - sizes[p] as f64 / capacity;
+                let s = scores[p] as f64 * penalty.max(0.0) + penalty * 1e-6;
+                if s > best_score {
+                    best_score = s;
+                    best = p;
+                }
+            }
+            owner[v as usize] = best as u16;
+            sizes[best] += 1;
+        }
+    }
+    owner
+}
+
+/// Default mirror threshold τ: four times the mean degree, floored at
+/// the paper's ghost-mode default of 16. On skew-free graphs (meshes,
+/// rings) nothing qualifies; on power-law graphs only the true hubs do,
+/// keeping the replication factor near 1 while the hub broadcasts
+/// collapse to one message per worker.
+pub fn default_mirror_threshold<W: Copy>(g: &Graph<W>) -> usize {
+    let avg = g.arc_count() / g.n().max(1);
+    (4 * avg).max(16)
+}
+
+/// Build the mirror/ghost tables for every vertex with out-degree ≥
+/// `threshold` under `topo`'s placement — the per-worker broadcast
+/// fan-out the Mirror channel pre-wires at construction instead of
+/// shipping tables in-band on the first superstep.
+///
+/// Per hub, targets are grouped by owning worker preserving adjacency
+/// order (duplicate edges included): mirror-side expansion applies the
+/// combiner once per edge occurrence, exactly like the unmirrored
+/// per-edge path, so results stay byte-identical.
+pub fn build_mirror_plan<W: Copy>(g: &Graph<W>, topo: &Topology, threshold: usize) -> MirrorPlan {
+    assert_eq!(topo.n(), g.n(), "topology does not match the graph");
+    let threshold = threshold.max(1);
+    let workers = topo.workers();
+    let mut slot = vec![usize::MAX; workers];
+    let mut hubs = Vec::new();
+    for v in 0..g.n() as VertexId {
+        if g.degree(v) < threshold {
+            continue;
+        }
+        slot.iter_mut().for_each(|s| *s = usize::MAX);
+        let mut targets: Vec<(u16, Vec<u32>)> = Vec::new();
+        for &t in g.neighbors(v) {
+            let w = topo.worker_of(t);
+            if slot[w] == usize::MAX {
+                slot[w] = targets.len();
+                targets.push((w as u16, Vec::new()));
+            }
+            targets[slot[w]].1.push(topo.local_of(t));
+        }
+        targets.sort_by_key(|&(w, _)| w);
+        let peers: Vec<u16> = targets.iter().map(|&(w, _)| w).collect();
+        hubs.push(MirrorHub {
+            id: v,
+            peers,
+            targets,
+        });
+    }
+    MirrorPlan {
+        threshold: threshold as u64,
+        hubs,
+    }
+}
+
+/// Skew diagnostics of one placement: edge cut, part sizes, and — when a
+/// mirror plan is in play — mirrors hosted per part plus the resulting
+/// replication factors. Printed by the launcher at ship time so skew is
+/// visible before the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionReport {
+    /// Number of parts.
+    pub parts: usize,
+    /// Arcs whose endpoints live in different parts.
+    pub cut: usize,
+    /// Total arcs.
+    pub total: usize,
+    /// Vertices owned per part.
+    pub sizes: Vec<usize>,
+    /// Mirrors hosted per part (hub replicas whose master lives elsewhere).
+    pub mirrors: Vec<usize>,
+    /// The mirror threshold τ and hub count, when a plan was built.
+    pub mirrored: Option<(usize, usize)>,
+}
+
+impl PartitionReport {
+    /// Percentage of arcs cut.
+    pub fn cut_percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.cut as f64 / self.total as f64
+        }
+    }
+
+    /// Per-part replication factor: (owned + hosted mirrors) / owned.
+    pub fn replication(&self) -> Vec<f64> {
+        self.sizes
+            .iter()
+            .zip(&self.mirrors)
+            .map(|(&s, &m)| {
+                if s == 0 {
+                    1.0
+                } else {
+                    (s + m) as f64 / s as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Largest per-part replication factor.
+    pub fn max_replication(&self) -> f64 {
+        self.replication().into_iter().fold(1.0, f64::max)
+    }
+}
+
+impl std::fmt::Display for PartitionReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "partition: {} parts, edge-cut {:.1}% ({}/{}), sizes {:?}",
+            self.parts,
+            self.cut_percent(),
+            self.cut,
+            self.total,
+            self.sizes,
+        )?;
+        if let Some((tau, hubs)) = self.mirrored {
+            write!(
+                f,
+                ", {} hubs mirrored (τ={}), mirrors/part {:?}, replication max {:.3}",
+                hubs,
+                tau,
+                self.mirrors,
+                self.max_replication(),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Compute a [`PartitionReport`] for a placement (and optional mirror
+/// plan over it).
+pub fn partition_report<W: Copy>(
+    g: &Graph<W>,
+    owner: &[u16],
+    parts: usize,
+    mirror: Option<&MirrorPlan>,
+) -> PartitionReport {
+    let (cut, total) = edge_cut(g, owner);
+    let sizes = part_sizes(owner, parts);
+    let mut mirrors = vec![0usize; parts];
+    if let Some(plan) = mirror {
+        for h in &plan.hubs {
+            for &p in &h.peers {
+                if p != owner[h.id as usize] {
+                    mirrors[p as usize] += 1;
+                }
+            }
+        }
+    }
+    PartitionReport {
+        parts,
+        cut,
+        total,
+        sizes,
+        mirrors,
+        mirrored: mirror.map(|p| (p.threshold as usize, p.hubs.len())),
+    }
 }
 
 /// BFS block-growing partitioner: repeatedly grow a block from the
@@ -277,6 +491,90 @@ mod tests {
             expect.sort_unstable();
             assert_eq!(rg.neighbors(v), &expect[..]);
         }
+    }
+
+    #[test]
+    fn ldg_deg_streams_hubs_first_and_stays_balanced() {
+        let g = gen::rmat(10, 8000, gen::RmatParams::default(), 2, false);
+        let owner = ldg_deg(&g, 4, 2);
+        let sizes = part_sizes(&owner, 4);
+        let max = *sizes.iter().max().unwrap();
+        // The greedy never places onto an over-capacity part while an
+        // under-capacity one exists, so the slack bound is hard.
+        assert!(
+            max as f64 <= g.n() as f64 / 4.0 * 1.1 + 2.0,
+            "sizes={sizes:?}"
+        );
+        assert!(owner.iter().all(|&o| o < 4));
+    }
+
+    #[test]
+    fn ldg_deg_beats_plain_ldg_on_rmat() {
+        // Power-law graphs are where the degree-sorted stream pays off;
+        // fixed seeds keep this deterministic.
+        for seed in [2u64, 7, 42] {
+            let g = gen::rmat(11, 16_000, gen::RmatParams::default(), seed, false);
+            let (cut_plain, total) = edge_cut(&g, &ldg(&g, 4, 2));
+            let (cut_deg, _) = edge_cut(&g, &ldg_deg(&g, 4, 2));
+            assert!(
+                cut_deg <= cut_plain,
+                "seed {seed}: degree-sorted cut {cut_deg}/{total} worse than plain {cut_plain}/{total}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_threshold_floors_at_sixteen() {
+        let ring = gen::cycle(64);
+        assert_eq!(default_mirror_threshold(&ring), 16);
+        let hub = gen::star(2000);
+        // avg degree ~2 on a star, but the hub still clears the floor.
+        assert!(hub.degree(0) >= default_mirror_threshold(&hub));
+    }
+
+    #[test]
+    fn mirror_plan_groups_targets_per_worker_in_adjacency_order() {
+        // Hub 0 points at 1..=6; spread them over 3 workers.
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6)], true);
+        let owner = vec![0u16, 1, 2, 1, 0, 2, 1];
+        let topo = Topology::from_owners(3, owner);
+        let plan = build_mirror_plan(&g, &topo, 4);
+        assert_eq!(plan.threshold, 4);
+        assert_eq!(plan.hubs.len(), 1);
+        let hub = &plan.hubs[0];
+        assert_eq!(hub.id, 0);
+        assert_eq!(hub.peers, vec![0, 1, 2]);
+        // Per worker, targets keep the hub's adjacency order as locals.
+        assert_eq!(hub.targets_for(0), Some(&[topo.local_of(4)][..]));
+        assert_eq!(
+            hub.targets_for(1),
+            Some(&[topo.local_of(1), topo.local_of(3), topo.local_of(6)][..])
+        );
+        assert_eq!(
+            hub.targets_for(2),
+            Some(&[topo.local_of(2), topo.local_of(5)][..])
+        );
+    }
+
+    #[test]
+    fn partition_report_counts_mirrors_and_replication() {
+        let g = gen::star(33); // hub 0 → 32 spokes, symmetrized arcs
+        let owner: Vec<u16> = (0..33).map(|v| (v % 4) as u16).collect();
+        let topo = Topology::from_owners(4, owner.clone());
+        let plan = build_mirror_plan(&g, &topo, 16);
+        let report = partition_report(&g, &owner, 4, Some(&plan));
+        assert_eq!(report.total, 64);
+        assert_eq!(report.mirrored, Some((16, 1)));
+        // The hub lives on part 0; parts 1..3 each host one mirror.
+        assert_eq!(report.mirrors, vec![0, 1, 1, 1]);
+        assert!(report.max_replication() > 1.0);
+        let line = report.to_string();
+        assert!(line.contains("edge-cut"), "{line}");
+        assert!(line.contains("replication max"), "{line}");
+        // Without a plan the mirror columns stay silent.
+        let plain = partition_report(&g, &owner, 4, None);
+        assert_eq!(plain.max_replication(), 1.0);
+        assert!(!plain.to_string().contains("replication"));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! 3 bootstrap/transport failure.
 
 use pc_bsp::{
-    CkptPolicy, Config, ExecMode, RunStats, Tcp, TcpOptions, Topology, TransportError,
+    CkptPolicy, Config, ExecMode, MirrorPlan, RunStats, Tcp, TcpOptions, Topology, TransportError,
     TransportKind,
 };
 use pc_dist::bootstrap::{BootstrapOptions, Coordinator, Follower, TAG_PLAN};
@@ -31,6 +31,14 @@ use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// `--mirror-threshold`: an explicit τ or the degree-aware heuristic
+/// ([`partition::default_mirror_threshold`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum MirrorArg {
+    Auto,
+    Fixed(usize),
+}
 
 #[derive(Debug, Clone)]
 struct Opts {
@@ -46,6 +54,12 @@ struct Opts {
     k: u32,
     directed: bool,
     partition: bool,
+    /// Vertex placement strategy (`--partitioner`); `--partition` is the
+    /// historical alias for `ldg`. `None` means hash/random placement.
+    partitioner: Option<String>,
+    /// Mirror hubs with out-degree ≥ τ (`--mirror-threshold`); builds and
+    /// ships a [`MirrorPlan`] so every rank pre-wires its Mirror channel.
+    mirror_threshold: Option<MirrorArg>,
     /// Total ranks of a multi-process run (launcher or rank mode).
     ranks: Option<usize>,
     /// This process's rank (rank mode only; the launcher spawns these).
@@ -66,6 +80,14 @@ struct Opts {
     /// Interface address the data-plane listeners bind (rank mode);
     /// default loopback. First step toward multi-host deployments.
     bind: Option<IpAddr>,
+}
+
+impl Opts {
+    /// The effective partitioner after alias normalization in
+    /// `parse_args` (`--partition` ⇒ `ldg`; default `hash`).
+    fn partitioner_name(&self) -> &str {
+        self.partitioner.as_deref().unwrap_or("hash")
+    }
 }
 
 const HELP: &str = "\
@@ -89,7 +111,15 @@ EXECUTION:
                       (tcp-batched = non-blocking pipelined sends with
                       frame coalescing; also drives the multi-process
                       mesh when combined with --ranks)            [default in-process]
-    --partition       place vertices with the LDG partitioner (vs random)
+    --partitioner P   vertex placement: hash|ldg|ldg-deg|bfs     [default hash]
+                      (ldg-deg streams vertices in descending-degree order so
+                      hubs are placed first — the skew-resistant choice)
+    --partition       alias for --partitioner ldg (kept for compatibility)
+    --mirror-threshold T  mirror vertices with out-degree ≥ T across ranks:
+                      a hub's broadcast becomes one message per rank instead
+                      of one per edge. T is a number or 'auto' (degree-aware
+                      heuristic, ≥ 16). Builds a mirror plan at ship time and
+                      pre-wires every rank's Mirror channel from it
     --spin-budget N   barrier spin iterations before yielding, in-process
                       transport only                             [default adaptive]
 
@@ -162,6 +192,8 @@ fn parse_args() -> Opts {
         k: 2,
         directed: false,
         partition: false,
+        partitioner: None,
+        mirror_threshold: None,
         ranks: None,
         rank: None,
         coordinator: None,
@@ -200,6 +232,29 @@ fn parse_args() -> Opts {
             "--k" => opts.k = number(&mut args, "--k"),
             "--directed" => opts.directed = true,
             "--partition" => opts.partition = true,
+            "--partitioner" => {
+                let v = value(&mut args, "--partitioner");
+                match v.as_str() {
+                    "hash" | "ldg" | "ldg-deg" | "bfs" => opts.partitioner = Some(v),
+                    other => usage_error(&format!(
+                        "--partitioner expects hash|ldg|ldg-deg|bfs, got '{other}'"
+                    )),
+                }
+            }
+            "--mirror-threshold" => {
+                let v = value(&mut args, "--mirror-threshold");
+                opts.mirror_threshold = Some(if v == "auto" {
+                    MirrorArg::Auto
+                } else {
+                    match v.parse() {
+                        Ok(0) => usage_error("--mirror-threshold must be at least 1"),
+                        Ok(t) => MirrorArg::Fixed(t),
+                        Err(_) => usage_error(&format!(
+                            "--mirror-threshold expects a number or 'auto', got '{v}'"
+                        )),
+                    }
+                });
+            }
             "--ranks" => opts.ranks = Some(number(&mut args, "--ranks")),
             "--rank" => opts.rank = Some(number(&mut args, "--rank")),
             "--coordinator" => {
@@ -227,6 +282,17 @@ fn parse_args() -> Opts {
         }
     }
     // Cross-flag validation.
+    if opts.partition {
+        // Normalize the historical alias so everything downstream asks
+        // `partitioner_name()` only.
+        match opts.partitioner.as_deref() {
+            None => opts.partitioner = Some("ldg".to_string()),
+            Some("ldg") => {}
+            Some(p) => usage_error(&format!(
+                "--partition is an alias for --partitioner ldg and contradicts --partitioner {p}"
+            )),
+        }
+    }
     if let Some(ranks) = opts.ranks {
         if ranks == 0 {
             usage_error("--ranks must be at least 1");
@@ -477,27 +543,75 @@ fn load(opts: &Opts, need: Need) -> Gdata {
     }
 }
 
-/// LDG-partition one graph and report the edge-cut.
-fn ldg_owners<W: Copy>(g: &Graph<W>, parts: usize) -> Vec<u16> {
-    let owners = partition::ldg(g, parts, 2);
+/// Partition one graph with the selected streaming partitioner and
+/// report the edge-cut.
+fn stream_owners<W: Copy>(g: &Graph<W>, parts: usize, name: &str) -> Vec<u16> {
+    let owners = match name {
+        "ldg" => partition::ldg(g, parts, 2),
+        "ldg-deg" => partition::ldg_deg(g, parts, 2),
+        "bfs" => partition::bfs_blocks(g, parts),
+        _ => unreachable!("validated in parse_args"),
+    };
     let (cut, total) = partition::edge_cut(g, &owners);
     eprintln!(
-        "ldg partition: edge-cut {:.1}%",
+        "{name} partition: edge-cut {:.1}%",
         100.0 * cut as f64 / total.max(1) as f64
     );
     owners
 }
 
-/// Owner table for a `parts`-way split of `data` (LDG or random).
+/// Owner table for a `parts`-way split of `data` (streaming partitioner
+/// or random placement).
 fn owners_for(data: &Gdata, opts: &Opts, parts: usize) -> Vec<u16> {
-    if opts.partition {
-        match data {
-            Gdata::U { g, .. } => ldg_owners(g.as_ref(), parts),
-            Gdata::W(g) => ldg_owners(g.as_ref(), parts),
-        }
-    } else {
-        partition::random_owners(data.n(), parts)
+    let name = opts.partitioner_name();
+    if name == "hash" {
+        return partition::random_owners(data.n(), parts);
     }
+    match data {
+        Gdata::U { g, .. } => stream_owners(g.as_ref(), parts, name),
+        Gdata::W(g) => stream_owners(g.as_ref(), parts, name),
+    }
+}
+
+/// The effective mirroring threshold τ, when `--mirror-threshold` was
+/// given. `auto` resolves through the degree-aware heuristic — on the
+/// **full** graph only (rank 0 / single process); followers take τ from
+/// the shipped plan instead.
+fn resolved_threshold(data: &Gdata, opts: &Opts) -> Option<usize> {
+    opts.mirror_threshold.map(|m| match m {
+        MirrorArg::Fixed(t) => t,
+        MirrorArg::Auto => match data {
+            Gdata::U { g, .. } => partition::default_mirror_threshold(g.as_ref()),
+            Gdata::W(g) => partition::default_mirror_threshold(g.as_ref()),
+        },
+    })
+}
+
+/// Build the mirror plan for `data` over `topo` and attach it — and
+/// print the partition/replication report while we have everything in
+/// hand. No-op unless `--mirror-threshold` was given.
+fn attach_mirror(data: &Gdata, opts: &Opts, topo: Topology) -> Topology {
+    let Some(threshold) = resolved_threshold(data, opts) else {
+        return topo;
+    };
+    let parts = topo.workers();
+    let owner: Vec<u16> = (0..topo.n() as u32)
+        .map(|v| topo.worker_of(v) as u16)
+        .collect();
+    let (plan, report) = match data {
+        Gdata::U { g, .. } => {
+            let p = partition::build_mirror_plan(g.as_ref(), &topo, threshold);
+            let r = partition::partition_report(g.as_ref(), &owner, parts, Some(&p));
+            (p, r)
+        }
+        Gdata::W(g) => {
+            let p = partition::build_mirror_plan(g.as_ref(), &topo, threshold);
+            let r = partition::partition_report(g.as_ref(), &owner, parts, Some(&p));
+            (p, r)
+        }
+    };
+    eprintln!("{report}");
+    topo.with_mirror(Arc::new(plan))
 }
 
 /// The row slices `rank` needs, in the order `decode_slices` restores.
@@ -513,23 +627,26 @@ fn slices_for(data: &Gdata, topo: &Topology, rank: usize) -> Gdata {
     }
 }
 
-fn encode_plan(owner: &[u16], data: &Gdata) -> Vec<u8> {
+fn encode_plan(owner: &[u16], data: &Gdata, mirror: Option<&MirrorPlan>) -> Vec<u8> {
     match data {
-        Gdata::U { g, rev: None } => ship::encode_plan(owner, &[g.as_ref()]),
-        Gdata::U { g, rev: Some(r) } => ship::encode_plan(owner, &[g.as_ref(), r.as_ref()]),
-        Gdata::W(g) => ship::encode_plan(owner, &[g.as_ref()]),
+        Gdata::U { g, rev: None } => ship::encode_plan(owner, &[g.as_ref()], mirror),
+        Gdata::U { g, rev: Some(r) } => ship::encode_plan(owner, &[g.as_ref(), r.as_ref()], mirror),
+        Gdata::W(g) => ship::encode_plan(owner, &[g.as_ref()], mirror),
     }
 }
 
-fn decode_plan(payload: &[u8], need: Need) -> Result<(Vec<u16>, Gdata), String> {
+fn decode_plan(
+    payload: &[u8],
+    need: Need,
+) -> Result<(Vec<u16>, Gdata, Option<MirrorPlan>), String> {
     if need.weighted {
-        let (owner, mut graphs) = ship::decode_plan::<u32>(payload)?;
+        let (owner, mut graphs, mirror) = ship::decode_plan::<u32>(payload)?;
         if graphs.len() != 1 {
             return Err(format!("expected 1 graph slice, got {}", graphs.len()));
         }
-        Ok((owner, Gdata::W(Arc::new(graphs.remove(0)))))
+        Ok((owner, Gdata::W(Arc::new(graphs.remove(0))), mirror))
     } else {
-        let (owner, graphs) = ship::decode_plan::<()>(payload)?;
+        let (owner, graphs, mirror) = ship::decode_plan::<()>(payload)?;
         let expected = if need.rev { 2 } else { 1 };
         if graphs.len() != expected {
             return Err(format!(
@@ -540,7 +657,7 @@ fn decode_plan(payload: &[u8], need: Need) -> Result<(Vec<u16>, Gdata), String> 
         let mut it = graphs.into_iter();
         let g = Arc::new(it.next().unwrap());
         let rev = it.next().map(Arc::new);
-        Ok((owner, Gdata::U { g, rev }))
+        Ok((owner, Gdata::U { g, rev }, mirror))
     }
 }
 
@@ -607,14 +724,12 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
     let Some(rank) = opts.rank else {
         // Single-process shape (the original pcgraph).
         let data = load(opts, need);
-        let topo = if opts.partition {
-            Arc::new(Topology::from_owners(
-                opts.workers,
-                owners_for(&data, opts, opts.workers),
-            ))
+        let base = if opts.partitioner_name() == "hash" {
+            Topology::hashed(data.n(), opts.workers)
         } else {
-            Arc::new(Topology::hashed(data.n(), opts.workers))
+            Topology::from_owners(opts.workers, owners_for(&data, opts, opts.workers))
         };
+        let topo = Arc::new(attach_mirror(&data, opts, base));
         let cfg = Config {
             transport: opts.transport,
             spin_budget: opts.spin_budget,
@@ -650,12 +765,18 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
             .unwrap_or_else(|e| bail_bootstrap(e));
         let full = load(opts, need);
         let owner = owners_for(&full, opts, ranks);
-        let topo = Arc::new(Topology::from_owners(ranks, owner.clone()));
+        let topo = Arc::new(attach_mirror(
+            &full,
+            opts,
+            Topology::from_owners(ranks, owner.clone()),
+        ));
+        let mirror = topo.mirror_plan().map(|p| p.as_ref().clone());
         // Partition shipping: every follower gets the owner table plus
-        // exactly its row slices — no other process opens the input.
+        // exactly its row slices (and the mirror plan, when one was
+        // built) — no other process opens the input.
         let mut plans: Vec<Vec<u8>> = vec![Vec::new()];
         for r in 1..ranks {
-            let plan = encode_plan(&owner, &slices_for(&full, &topo, r));
+            let plan = encode_plan(&owner, &slices_for(&full, &topo, r), mirror.as_ref());
             if let Err(e) = coordinator.send(r, TAG_PLAN, &plan) {
                 if !recovery {
                     bail_bootstrap(e);
@@ -715,9 +836,13 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
         if tag != TAG_PLAN {
             bail_bootstrap(format!("expected a PLAN frame, got tag {tag:#04x}"));
         }
-        let (owner, data) = decode_plan(&plan, need)
+        let (owner, data, mirror) = decode_plan(&plan, need)
             .unwrap_or_else(|e| bail_bootstrap(format!("malformed plan: {e}")));
-        let topo = Arc::new(Topology::from_owners(ranks, owner));
+        let mut base = Topology::from_owners(ranks, owner);
+        if let Some(plan) = mirror {
+            base = base.with_mirror(Arc::new(plan));
+        }
+        let topo = Arc::new(base);
         let tcp = Tcp::mesh(
             rank,
             follower.peers().to_vec(),
@@ -863,6 +988,16 @@ fn report(stats: &RunStats) {
             c.name, c.messages, c.bytes.remote
         );
     }
+    if stats.max_rank_msgs > 0 {
+        eprintln!("  skew {:>17} max per-rank messages", stats.max_rank_msgs);
+    }
+    if stats.mirrored_msgs() > 0 {
+        eprintln!(
+            "  mirror {:>15} ghost broadcasts {:>10} per-edge sends saved",
+            stats.mirrored_msgs(),
+            stats.mirror_saved()
+        );
+    }
     if stats.transport.frames > 0 {
         eprintln!(
             "  transport {:<10} {:>12} frames {:>14.3} MiB wire {:>8} round-trips",
@@ -909,7 +1044,7 @@ fn conclude<V: PartialEq>(
                 if values != seq_values {
                     failures.push("values".to_string());
                 }
-                let pairs: [(&str, u64, u64); 5] = [
+                let pairs: [(&str, u64, u64); 8] = [
                     (
                         "remote bytes",
                         stats.remote_bytes(),
@@ -919,6 +1054,21 @@ fn conclude<V: PartialEq>(
                     ("messages", stats.messages(), seq_stats.messages()),
                     ("supersteps", stats.supersteps, seq_stats.supersteps),
                     ("rounds", stats.rounds, seq_stats.rounds),
+                    (
+                        "mirrored messages",
+                        stats.mirrored_msgs(),
+                        seq_stats.mirrored_msgs(),
+                    ),
+                    (
+                        "mirror saved",
+                        stats.mirror_saved(),
+                        seq_stats.mirror_saved(),
+                    ),
+                    (
+                        "max rank messages",
+                        stats.max_rank_msgs,
+                        seq_stats.max_rank_msgs,
+                    ),
                 ];
                 for (what, got, want) in pairs {
                     if got != want {
@@ -941,7 +1091,7 @@ fn conclude<V: PartialEq>(
                 }
                 eprintln!(
                     "verify: distributed run matches the sequential reference \
-                     (values, bytes, messages, supersteps, rounds, pool)"
+                     (values, bytes, messages, supersteps, rounds, mirror, pool)"
                 );
             }
             exit(EXIT_OK)
@@ -981,8 +1131,21 @@ fn child_args(opts: &Opts, rank: usize, ranks: usize, coordinator: &SocketAddr) 
     a.push(opts.src.to_string());
     a.push("--k".into());
     a.push(opts.k.to_string());
-    if opts.partition {
-        a.push("--partition".into());
+    // Placement and mirroring are cluster-wide choices, forwarded like
+    // --transport. Only rank 0 acts on --partitioner (it computes the
+    // owner table), but forwarding everywhere keeps a hand-launched rank
+    // command line copy-pasteable; followers take the mirror plan (and
+    // its resolved τ) from the shipped plan, not from these flags.
+    if let Some(p) = &opts.partitioner {
+        a.push("--partitioner".into());
+        a.push(p.clone());
+    }
+    if let Some(m) = &opts.mirror_threshold {
+        a.push("--mirror-threshold".into());
+        a.push(match m {
+            MirrorArg::Auto => "auto".to_string(),
+            MirrorArg::Fixed(t) => t.to_string(),
+        });
     }
     // Checkpointing is a cluster-wide policy: every rank snapshots at the
     // same cadence into the same directory, and a respawned rank needs
@@ -1085,6 +1248,16 @@ fn run_launcher(opts: &Opts) -> ! {
 // Algorithm dispatch
 // ---------------------------------------------------------------------
 
+/// Mirroring threshold for a `--variant mirror` run: the shipped plan's
+/// τ (which the Mirror channel would enforce anyway — this just keeps
+/// routing decisions in the algorithm consistent with it), or the
+/// paper's ghost-mode default when no plan rides on the topology.
+fn mirror_tau(topo: &Topology) -> usize {
+    topo.mirror_plan()
+        .map(|p| (p.threshold as usize).max(1))
+        .unwrap_or(16)
+}
+
 fn main() {
     let opts = parse_args();
     if opts.ranks.is_some() && opts.rank.is_none() {
@@ -1110,7 +1283,9 @@ fn main() {
                 let g = d.unweighted();
                 let o = match variant.as_str() {
                     "basic" => pc_algos::pagerank::channel_basic(g, topo, cfg, iters),
-                    "mirror" => pc_algos::pagerank::channel_mirror(g, topo, cfg, iters, 16),
+                    "mirror" => {
+                        pc_algos::pagerank::channel_mirror(g, topo, cfg, iters, mirror_tau(topo))
+                    }
                     _ => pc_algos::pagerank::channel_scatter(g, topo, cfg, iters),
                 };
                 (o.ranks, o.stats)
@@ -1140,6 +1315,7 @@ fn main() {
                 let o = match variant.as_str() {
                     "basic" => pc_algos::wcc::channel_basic(g, topo, cfg),
                     "blogel" => pc_algos::wcc::blogel(g, topo, cfg),
+                    "mirror" => pc_algos::wcc::channel_mirror(g, topo, cfg, mirror_tau(topo)),
                     _ => pc_algos::wcc::channel_propagation(g, topo, cfg),
                 };
                 (o.labels, o.stats)
@@ -1337,6 +1513,8 @@ mod tests {
             k: 2,
             directed: true,
             partition: false,
+            partitioner: None,
+            mirror_threshold: None,
             ranks: Some(4),
             rank: None,
             coordinator: None,
@@ -1400,6 +1578,32 @@ mod tests {
         let bare = child_args(&opts("pagerank"), 1, 4, &addr);
         assert!(!bare.contains(&"--checkpoint-dir".to_string()));
         assert!(!bare.contains(&"--bind".to_string()));
+    }
+
+    /// Placement and mirroring flags ride to every rank, like
+    /// --transport — a hand-copied rank command line must behave the
+    /// same as a launcher-spawned one.
+    #[test]
+    fn partitioner_and_mirror_flags_reach_every_rank() {
+        let mut o = opts("wcc");
+        o.partitioner = Some("ldg-deg".to_string());
+        o.mirror_threshold = Some(MirrorArg::Auto);
+        let addr: SocketAddr = "127.0.0.1:4000".parse().unwrap();
+        for rank in 0..4 {
+            let args = child_args(&o, rank, 4, &addr);
+            let at = args.iter().position(|a| a == "--partitioner").unwrap();
+            assert_eq!(args[at + 1], "ldg-deg", "rank {rank}");
+            let at = args.iter().position(|a| a == "--mirror-threshold").unwrap();
+            assert_eq!(args[at + 1], "auto", "rank {rank}");
+        }
+        o.mirror_threshold = Some(MirrorArg::Fixed(48));
+        let args = child_args(&o, 1, 4, &addr);
+        let at = args.iter().position(|a| a == "--mirror-threshold").unwrap();
+        assert_eq!(args[at + 1], "48");
+        // Without the flags, nothing is forwarded.
+        let bare = child_args(&opts("wcc"), 1, 4, &addr);
+        assert!(!bare.contains(&"--partitioner".to_string()));
+        assert!(!bare.contains(&"--mirror-threshold".to_string()));
     }
 
     #[test]

@@ -145,6 +145,25 @@ fn pagerank_mirror_resumes() {
     });
 }
 
+/// The skew-resistant composition checkpoints and resumes with a
+/// shipped mirror plan attached: a restored Mirror channel pre-wires
+/// from the plan, then `decode_state` overwrites its tables with the
+/// checkpointed (equally pre-wired) state — the run must be
+/// indistinguishable either way, mirror counters included.
+#[test]
+fn wcc_mirror_resumes_with_a_shipped_plan() {
+    let g = undirected();
+    let owners = pc_graph::partition::ldg_deg(&*g, WORKERS, 2);
+    let base = Topology::from_owners(WORKERS, owners);
+    let tau = pc_graph::partition::default_mirror_threshold(&*g);
+    let plan = pc_graph::partition::build_mirror_plan(&*g, &base, tau);
+    let topo = Arc::new(base.with_mirror(Arc::new(plan)));
+    resumable("wcc_mirror", 2, |cfg| {
+        let o = pc_algos::wcc::channel_mirror(&g, &topo, cfg, tau);
+        (o.labels, o.stats)
+    });
+}
+
 #[test]
 fn wcc_propagation_resumes() {
     let g = undirected();

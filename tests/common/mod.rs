@@ -18,6 +18,12 @@ pub fn assert_stats_agree(name: &str, a: &RunStats, b: &RunStats) {
     assert_eq!(a.supersteps, b.supersteps, "{name}: supersteps");
     assert_eq!(a.rounds, b.rounds, "{name}: rounds");
     assert_eq!(a.pool, b.pool, "{name}: pool hits/misses");
+    assert_eq!(a.mirrored_msgs(), b.mirrored_msgs(), "{name}: mirrored");
+    assert_eq!(a.mirror_saved(), b.mirror_saved(), "{name}: mirror saved");
+    assert_eq!(
+        a.max_rank_msgs, b.max_rank_msgs,
+        "{name}: max per-rank messages"
+    );
 }
 
 /// The four backend configurations every algorithm must agree across:

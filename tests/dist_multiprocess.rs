@@ -160,6 +160,41 @@ fn partitioned_distributed_run_verifies() {
     assert!(err.contains("verify: distributed run matches"), "{err}");
 }
 
+/// The full skew-resistance stack works across real OS processes: rank 0
+/// partitions degree-first, builds the mirror plan, ships it inside every
+/// follower's PLAN frame, all four ranks pre-wire their Mirror channels,
+/// and the run still matches the sequential reference byte for byte —
+/// mirror counters and per-rank message volume included.
+#[test]
+fn mirrored_distributed_run_verifies() {
+    let out = run_ok(&[
+        "wcc",
+        "--gen",
+        "facebook",
+        "--scale",
+        "10",
+        "--ranks",
+        "4",
+        "--transport",
+        "tcp-batched",
+        "--variant",
+        "mirror",
+        "--partitioner",
+        "ldg-deg",
+        "--mirror-threshold",
+        "auto",
+        "--verify",
+    ]);
+    let err = stderr_of(&out);
+    assert!(
+        err.contains("ldg-deg partition"),
+        "partitioner did not run\n{err}"
+    );
+    assert!(err.contains("hubs mirrored"), "no mirror plan built\n{err}");
+    assert!(err.contains("ghost broadcasts"), "mirroring inert\n{err}");
+    assert!(err.contains("verify: distributed run matches"), "{err}");
+}
+
 /// A single-rank "cluster" is legal (debugging shape).
 #[test]
 fn single_rank_cluster_runs() {

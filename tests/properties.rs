@@ -56,6 +56,41 @@ proptest! {
         prop_assert_eq!(&pc_algos::wcc::channel_propagation(&g, &topo, &cfg).labels, &oracle);
     }
 
+    /// Degree-sorted LDG respects the same hard capacity bound as plain
+    /// LDG on arbitrary graphs — streaming hubs first must never cost
+    /// balance — and the mirrored WCC composition over its placement
+    /// still equals union-find.
+    #[test]
+    fn ldg_deg_stays_within_capacity_slack(
+        g in undirected_graph(150, 400),
+        parts in 2usize..5,
+        tau in 1usize..32,
+    ) {
+        let owners = pc_graph::partition::ldg_deg(&g, parts, 2);
+        let sizes = pc_graph::partition::part_sizes(&owners, parts);
+        // The LDG capacity rule: no vertex lands on a part already at
+        // capacity while an under-capacity part exists, so every part
+        // stays ≤ ⌈n/parts · 1.1⌉ + slack.
+        let capacity = g.n() as f64 / parts as f64 * 1.1 + 2.0;
+        for (p, &s) in sizes.iter().enumerate() {
+            prop_assert!(
+                (s as f64) <= capacity,
+                "part {} holds {} of {} vertices (capacity {:.1})",
+                p, s, g.n(), capacity
+            );
+        }
+        let g = Arc::new(g);
+        let oracle = reference::connected_components(&g);
+        let base = Topology::from_owners(parts, owners);
+        let plan = pc_graph::partition::build_mirror_plan(&g, &base, tau);
+        let topo = Arc::new(base.with_mirror(Arc::new(plan)));
+        let cfg = Config::sequential(parts);
+        prop_assert_eq!(
+            &pc_algos::wcc::channel_mirror(&g, &topo, &cfg, tau).labels,
+            &oracle
+        );
+    }
+
     /// SCC Min-Label equals Tarjan on arbitrary digraphs.
     #[test]
     fn scc_matches_tarjan(g in directed_graph(60, 150), workers in 1usize..4) {

@@ -100,6 +100,27 @@ fn wcc_conforms() {
     });
 }
 
+/// The skew-resistant composition (degree-sorted LDG owners + a shipped
+/// mirror plan pre-wiring the Mirror channel) is observationally
+/// identical across every transport, multi-process ranks included.
+#[test]
+fn wcc_mirror_conforms() {
+    let g = undirected();
+    let owners = pc_graph::partition::ldg_deg(&*g, WORKERS, 2);
+    let base = Topology::from_owners(WORKERS, owners);
+    let tau = pc_graph::partition::default_mirror_threshold(&*g);
+    let plan = pc_graph::partition::build_mirror_plan(&*g, &base, tau);
+    let topo = Arc::new(base.with_mirror(Arc::new(plan)));
+    conform("wcc_mirror", |cfg| {
+        let o = pc_algos::wcc::channel_mirror(&g, &topo, cfg, tau);
+        (o.labels, o.stats)
+    });
+    conform("pagerank_mirror", |cfg| {
+        let o = pc_algos::pagerank::channel_mirror(&g, &topo, cfg, 10, tau);
+        (o.ranks, o.stats)
+    });
+}
+
 #[test]
 fn sv_conforms() {
     let g = undirected();
