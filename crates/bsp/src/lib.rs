@@ -30,6 +30,7 @@ pub mod buffer;
 pub mod codec;
 pub mod exchange;
 pub mod metrics;
+pub mod poll;
 pub mod pool;
 pub mod tcp;
 pub mod topology;

@@ -58,12 +58,14 @@ pub struct ChannelMetrics {
 /// exchange with worker 0 on the TCP backend, one barrier-synchronized
 /// slot exchange on the in-process backend.
 ///
-/// The last three fields belong to the batched TCP driver and stay zero
+/// The trailing fields belong to the batched TCP driver and stay zero
 /// everywhere else: `coalesced_frames` counts logical frames that rode
 /// inside a coalesced super-frame (each super-frame counts once in
 /// `frames` but carries ≥ 2 coalesced sub-frames), `flushes` counts send
-/// queues drained completely to the kernel, and `send_stall_us` is the
-/// time the driver sat on queued bytes the kernel would not accept.
+/// queues drained completely to the kernel, `send_stall_us` /
+/// `recv_stall_us` split the driver's kernel-wait time by what it was
+/// stuck on, and `poll_waits` / `wakeups_spurious` count the readiness
+/// multiplexer's kernel waits and the wake-ups that moved nothing.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TransportStats {
     /// Bytes put on the wire (or through the mailbox) by all workers.
@@ -82,6 +84,18 @@ pub struct TransportStats {
     /// Microseconds spent stalled with queued send bytes the kernel would
     /// not accept (batched TCP driver; 0 elsewhere).
     pub send_stall_us: u64,
+    /// Microseconds spent waiting for inbound bytes with nothing queued
+    /// to send — the receive-side mirror of `send_stall_us`, so the stall
+    /// column no longer under-reports pure read waits (batched TCP
+    /// driver; 0 elsewhere).
+    pub recv_stall_us: u64,
+    /// Kernel readiness waits: one per `poll(2)` over the mesh's pollfd
+    /// set (batched TCP driver; 0 elsewhere).
+    pub poll_waits: u64,
+    /// Readiness wake-ups after which a full progress pass moved zero
+    /// bytes — spurious wake-ups, a health metric of the interest
+    /// computation (batched TCP driver; 0 elsewhere).
+    pub wakeups_spurious: u64,
 }
 
 impl TransportStats {
@@ -93,6 +107,15 @@ impl TransportStats {
         self.coalesced_frames += other.coalesced_frames;
         self.flushes += other.flushes;
         self.send_stall_us += other.send_stall_us;
+        self.recv_stall_us += other.recv_stall_us;
+        self.poll_waits += other.poll_waits;
+        self.wakeups_spurious += other.wakeups_spurious;
+    }
+
+    /// Total microseconds the driver sat in kernel waits, either
+    /// direction — the bench's headline stall column.
+    pub fn stall_us(&self) -> u64 {
+        self.send_stall_us + self.recv_stall_us
     }
 }
 

@@ -83,12 +83,14 @@
 
 use crate::codec::{Codec, Reader};
 use crate::metrics::TransportStats;
+use crate::poll::{self, PollFd};
 use crate::pool::BufferPool;
 use crate::transport::{ExchangeTransport, TransportError};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant};
 
 /// Frame tag: mesh handshake (payload = sender rank as `u32`).
@@ -159,6 +161,13 @@ pub struct TcpOptions {
     /// Largest payload eligible for coalescing into a super-frame
     /// (batched driver only).
     pub coalesce_limit: usize,
+    /// Spin iterations an idle batched progress loop burns before
+    /// sleeping in the readiness multiplexer. `None` picks the
+    /// [`poll_spins`] heuristic (spin only when cores outnumber
+    /// workers); `Some(0)` forces every idle wait straight to the
+    /// kernel poll — the engine plumbs `Config::spin_budget` through
+    /// here so one flag tunes both the barrier and the transport.
+    pub spins: Option<u32>,
 }
 
 impl Default for TcpOptions {
@@ -168,6 +177,7 @@ impl Default for TcpOptions {
             io_timeout: Duration::from_secs(30),
             batched: false,
             coalesce_limit: DEFAULT_COALESCE_LIMIT,
+            spins: None,
         }
     }
 }
@@ -193,18 +203,12 @@ pub fn configure_stream(stream: &TcpStream) -> std::io::Result<()> {
 }
 
 /// Put a mesh link into the batched driver's progress mode: permanently
-/// non-blocking when cores are spare (`spins > 0` — the polling readiness
-/// loop owns all progress), permanently *blocking* with short kernel
-/// timeouts when oversubscribed (`spins == 0` — every wait must hand the
-/// CPU straight to the thread that holds progress, and per-wait mode
-/// toggling would double the syscall bill).
-fn configure_batched(stream: &TcpStream, spins: u32) -> std::io::Result<()> {
-    if spins > 0 {
-        stream.set_nonblocking(true)
-    } else {
-        stream.set_read_timeout(Some(BLOCK_WAIT))?;
-        stream.set_write_timeout(Some(SEND_WAIT))
-    }
+/// non-blocking. The driver never blocks in a socket call — every idle
+/// wait is one multiplexed [`poll(2)`](crate::poll) over the whole mesh
+/// (see [`Pump::poll_wait`]), so the socket's own mode never toggles
+/// again for the life of the link.
+fn configure_batched(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(true)
 }
 
 fn io_err(peer: usize, during: &'static str, e: std::io::Error) -> TransportError {
@@ -212,6 +216,23 @@ fn io_err(peer: usize, during: &'static str, e: std::io::Error) -> TransportErro
         peer,
         kind: e.kind(),
         during,
+    }
+}
+
+/// Combine an I/O operation's result with the result of restoring the
+/// socket's mode afterwards. The operation's error wins (it is the root
+/// cause — a restore failure on an already-dead socket is noise); a
+/// failed restore after a *successful* operation is itself fatal and
+/// surfaces as its own typed error, never silently dropped — a socket
+/// stuck in the wrong mode would degrade every later wait on it.
+fn with_restored<T>(
+    op: Result<T, TransportError>,
+    restore: Result<(), TransportError>,
+) -> Result<T, TransportError> {
+    match (op, restore) {
+        (Err(e), _) => Err(e),
+        (Ok(_), Err(e)) => Err(e),
+        (Ok(v), Ok(())) => Ok(v),
     }
 }
 
@@ -567,10 +588,14 @@ fn drain_available(
         .set_nonblocking(true)
         .map_err(|e| io_err(peer, "drain set_nonblocking", e))?;
     let result = drain_available_nonblocking(stream, pending, early, read_pool, peer, false);
-    stream
+    // The restore runs unconditionally; `with_restored` keeps the drain's
+    // own error as the root cause and refuses to swallow a failed
+    // restore (which would leave the socket permanently non-blocking and
+    // silently degrade every later synchronous read on it).
+    let restored = stream
         .set_nonblocking(false)
-        .map_err(|e| io_err(peer, "drain restore blocking", e))?;
-    result
+        .map_err(|e| io_err(peer, "drain restore blocking", e));
+    with_restored(result, restored)
 }
 
 /// Queue a completed frame on `early`, splitting super-frames into their
@@ -764,8 +789,12 @@ fn write_frame_draining(
 // runs into super-frames), push whatever the kernel will take, drain
 // whatever the kernel has, and consume completed frames from the `early`
 // queues — resuming partial writes and reads from per-peer cursors. The
-// loop never blocks in the kernel; when a full pass moves nothing it
-// backs off (spin → yield → sleep) under the operation's deadline.
+// loop never blocks in a socket call; when a full pass moves nothing it
+// spins briefly (cores to spare) and then sleeps in ONE multiplexed
+// `poll(2)` over every mesh link — `POLLIN` interest on each peer still
+// able to send, `POLLOUT` on each link with staged bytes the kernel
+// refused — waking the instant any link can make progress, under the
+// operation's deadline.
 //
 // Because the drain reads greedily, it can observe a peer's orderly
 // close *after* that peer's last frame was already delivered (the
@@ -774,18 +803,23 @@ fn write_frame_draining(
 // becomes a typed `Disconnected` error at the consumer, if and when a
 // frame is still owed from that peer.
 
-/// How long one kernel-blocking wait step may sleep before the progress
-/// loop re-examines every socket. Bounds the cost of blocking on one
-/// socket while bytes arrive on another.
-const BLOCK_WAIT: Duration = Duration::from_millis(2);
+/// Cap on one multiplexed readiness wait. Readiness itself wakes the
+/// poll immediately; the cap only bounds how long a deadline check or a
+/// closed-peer re-examination can be deferred when *nothing* happens.
+const POLL_WAIT_CAP: Duration = Duration::from_millis(20);
 
-/// Kernel write timeout of the batched driver's oversubscribed
-/// (permanently blocking) mode: a stalled send blocks at most this long
-/// before the progress loop gets control back to drain inbound bytes.
-const SEND_WAIT: Duration = Duration::from_millis(1);
+/// Scheduler handoffs an idle progress loop offers before it sleeps in
+/// the readiness multiplexer. On an oversubscribed mesh the bytes a
+/// consumer is owed are usually one context switch away — the producer
+/// thread is runnable, just not running — so `yield_now` hands it the
+/// core and the next pump finds the frames without any kernel sleep,
+/// its wake-up latency, or a pollfd-set build. Only when repeated
+/// handoffs surface nothing (every runnable peer is itself waiting) is
+/// parking the thread in [`poll(2)`](crate::poll) the right call.
+const YIELD_BUDGET: u32 = 32;
 
-/// Spin iterations before an idle progress loop falls back to a
-/// kernel-blocking wait — only when cores outnumber workers; an
+/// Spin iterations before an idle progress loop falls back to the
+/// multiplexed kernel wait — only when cores outnumber workers; an
 /// oversubscribed machine must hand the CPU to the thread that holds
 /// progress immediately (polling there starves the producer, exactly
 /// like the [`crate::exchange::SpinBarrier`] heuristic).
@@ -801,8 +835,8 @@ fn poll_spins(workers: usize) -> u32 {
 }
 
 /// Idle counter of the batched progress loops: spin briefly (arrival is
-/// usually imminent on a local mesh with spare cores), then block in the
-/// kernel via [`Pump::idle`].
+/// usually imminent on a local mesh with spare cores), then sleep in the
+/// readiness multiplexer via [`Pump::idle`].
 struct Backoff {
     idle_rounds: u32,
 }
@@ -888,16 +922,9 @@ fn stage_queue(
 struct Pump<'a> {
     worker: usize,
     coalesce_limit: usize,
-    /// Spin iterations before idle loops block in the kernel (0 on
-    /// oversubscribed machines; see [`poll_spins`]).
+    /// Spin iterations before idle loops sleep in the readiness
+    /// multiplexer (0 on oversubscribed machines; see [`poll_spins`]).
     spins: u32,
-    /// Oversubscribed mode: sockets run permanently *blocking* with
-    /// short kernel timeouts ([`BLOCK_WAIT`] reads, [`SEND_WAIT`]
-    /// writes), so every wait hands the CPU to the thread that holds
-    /// progress without any per-wait mode toggling. With spare cores
-    /// (`false`) the sockets are permanently non-blocking and progress
-    /// comes from the polling readiness loop instead.
-    block: bool,
     links: &'a [Option<TcpStream>],
     send: &'a mut [SendQueue],
     recv: &'a mut [RecvBuf],
@@ -906,10 +933,18 @@ struct Pump<'a> {
     read_pool: &'a mut Vec<Vec<u8>>,
     send_returns: &'a mut Vec<Vec<u8>>,
     closed: &'a mut [bool],
+    /// Reused pollfd set of [`Pump::poll_wait`] (one entry per live
+    /// link with interest, rebuilt before every kernel wait).
+    pollfds: &'a mut Vec<PollFd>,
     stats: &'a mut TransportStats,
 }
 
 impl Pump<'_> {
+    /// No spin budget: every idle wait goes straight to the kernel
+    /// multiplexer so the thread that holds progress gets the core.
+    fn oversubscribed(&self) -> bool {
+        self.spins == 0
+    }
     /// Append one frame to `to`'s send queue. An un-held frame releases
     /// every hold queued before it (that is how the round's `REDUCE`
     /// pulls the held `DATA`/`SKIP` into its super-frame).
@@ -1005,7 +1040,7 @@ impl Pump<'_> {
                     Err(e) => return Err(io_err(p, "write queued frames", e)),
                 }
             }
-            if drain_reads && !self.block && !self.closed[p] {
+            if drain_reads && !self.closed[p] {
                 match drain_link_nonblocking(
                     stream,
                     &mut self.recv[p],
@@ -1029,12 +1064,13 @@ impl Pump<'_> {
 
     /// One idle step of a progress loop that made no progress: surface a
     /// peer that closed while still owing a frame, enforce the deadline
-    /// (blaming the first peer still owed something), then wait — a
-    /// brief spin when cores are spare, otherwise a *kernel-blocking*
-    /// step (a bounded read toward the first owed peer, or a blocking
-    /// write when unsent bytes are what we are stuck on), so an
-    /// oversubscribed machine hands the CPU to whichever thread holds
-    /// progress instead of polling it to death.
+    /// (blaming the first peer still owed something), then back off in
+    /// three escalating phases — a brief spin when cores are spare, a
+    /// bounded run of scheduler handoffs ([`YIELD_BUDGET`]), and finally
+    /// one multiplexed kernel sleep over every mesh link
+    /// ([`Pump::poll_wait`]), so the thread wakes the instant *any*
+    /// link can make progress instead of blocking toward one peer while
+    /// bytes arrive from another.
     fn idle(
         &mut self,
         backoff: &mut Backoff,
@@ -1058,133 +1094,83 @@ impl Pump<'_> {
             std::hint::spin_loop();
             return Ok(());
         }
-        if let Some(p) = (0..self.links.len())
-            .find(|&p| p != self.worker && owed.get(p).copied().unwrap_or(false) && !self.closed[p])
-        {
-            self.wait_readable(p)
-        } else {
-            self.wait_writable()
-        }
-    }
-
-    /// Kernel-blocking read step toward `peer`: consume reads into the
-    /// peer's partial-frame cursor until a frame completes, the kernel
-    /// wait times out, or the stream ends. The thread sleeps in the
-    /// kernel until bytes arrive — no CPU burned, immediate wake-up.
-    ///
-    /// In oversubscribed (`block`) mode the stream is already blocking
-    /// with a [`BLOCK_WAIT`] read cap, so this costs exactly the `read`
-    /// syscalls; otherwise the stream is flipped to blocking for the
-    /// wait and back, and the wake-up's remainder is drained greedily.
-    fn wait_readable(&mut self, peer: usize) -> Result<(), TransportError> {
-        let Some(stream) = &self.links[peer] else {
+        if backoff.idle_rounds <= self.spins.saturating_add(YIELD_BUDGET) {
+            // Offer the core to a runnable peer, then pump to pick up
+            // whatever the handoff produced (the consumer loops above
+            // only re-pump when they have send work of their own).
+            std::thread::yield_now();
+            self.pump(true)?;
             return Ok(());
-        };
-        if self.block {
-            let before = self.early[peer].len();
-            loop {
-                let (n, eof) = recv_step(
-                    stream,
-                    &mut self.recv[peer],
-                    &mut self.large[peer],
-                    &mut self.early[peer],
-                    self.read_pool,
-                    peer,
-                )?;
-                if eof {
-                    self.closed[peer] = true;
-                    return Ok(());
-                }
-                if n == 0 || self.early[peer].len() > before {
-                    // Kernel wait expired, or whole frames landed: let
-                    // the caller consume and re-examine the world.
-                    return Ok(());
-                }
-            }
         }
-        stream
-            .set_nonblocking(false)
-            .map_err(|e| io_err(peer, "wait set_blocking", e))?;
-        stream
-            .set_read_timeout(Some(BLOCK_WAIT))
-            .map_err(|e| io_err(peer, "wait set timeout", e))?;
-        let result = recv_step(
-            stream,
-            &mut self.recv[peer],
-            &mut self.large[peer],
-            &mut self.early[peer],
-            self.read_pool,
-            peer,
-        );
-        let restored = stream
-            .set_read_timeout(Some(POLL))
-            .and_then(|()| stream.set_nonblocking(true));
-        restored.map_err(|e| io_err(peer, "wait restore nonblocking", e))?;
-        match result {
-            Ok((n, eof)) => {
-                if eof {
-                    self.closed[peer] = true;
-                } else if n > 0 {
-                    // The wake-up usually delivers a whole frame (or
-                    // more); pull the rest in while it is hot.
-                    let (_, eof) = drain_link_nonblocking(
-                        stream,
-                        &mut self.recv[peer],
-                        &mut self.large[peer],
-                        &mut self.early[peer],
-                        self.read_pool,
-                        peer,
-                    )?;
-                    if eof {
-                        self.closed[peer] = true;
-                    }
-                }
-                Ok(())
-            }
-            Err(e) => Err(e),
-        }
+        self.poll_wait(deadline)
     }
 
-    /// Kernel-blocking write step toward the first peer with staged
-    /// bytes the kernel refused; the pause is charged to
-    /// `send_stall_us`. Falls back to a scheduler yield when nothing at
-    /// all is pending. In `block` mode the stream already blocks (capped
-    /// by [`SEND_WAIT`]); otherwise it is flipped for the wait.
-    fn wait_writable(&mut self) -> Result<(), TransportError> {
-        let Some(peer) = self.send.iter().position(|q| q.staged_pending() > 0) else {
+    /// One multiplexed readiness wait over the whole mesh: build a
+    /// pollfd set with `POLLIN` interest on every live (not yet closed)
+    /// link and `POLLOUT` interest on every link whose staged bytes the
+    /// kernel refused, sleep in a single [`poll(2)`](crate::poll) until
+    /// something is ready (capped by the remaining deadline and
+    /// [`POLL_WAIT_CAP`]), then run one full progress pass over the
+    /// wake-up.
+    ///
+    /// Accounting: the wait is charged to `send_stall_us` when unsent
+    /// bytes were among what we waited on, to `recv_stall_us` when the
+    /// wait was purely for inbound frames; every kernel wait counts one
+    /// `poll_waits`, and a wake-up whose progress pass moved zero bytes
+    /// counts one `wakeups_spurious`.
+    fn poll_wait(&mut self, deadline: Instant) -> Result<(), TransportError> {
+        self.pollfds.clear();
+        let mut want_out = false;
+        for (p, link) in self.links.iter().enumerate() {
+            if p == self.worker {
+                continue;
+            }
+            let Some(stream) = link else { continue };
+            let mut events = 0i16;
+            if !self.closed[p] {
+                events |= poll::POLLIN;
+            }
+            if self.send[p].staged_pending() > 0 {
+                events |= poll::POLLOUT;
+                want_out = true;
+            }
+            if events != 0 {
+                self.pollfds.push(PollFd::new(stream.as_raw_fd(), events));
+            }
+        }
+        if self.pollfds.is_empty() {
+            // Every peer closed and nothing queued: no readiness will
+            // ever arrive; yield so the consumer loop re-examines the
+            // world (and errors out on whatever it is still owed).
             std::thread::yield_now();
             return Ok(());
-        };
-        let Some(stream) = &self.links[peer] else {
-            return Ok(());
-        };
-        if !self.block {
-            stream
-                .set_nonblocking(false)
-                .map_err(|e| io_err(peer, "wait set_blocking", e))?;
         }
+        let timeout = deadline
+            .saturating_duration_since(Instant::now())
+            .min(POLL_WAIT_CAP);
         let before = Instant::now();
-        let q = &mut self.send[peer];
-        let mut stream_ref = stream;
-        let result = match stream_ref.write(&q.staged[q.cursor..]) {
-            Ok(0) => Err(TransportError::Disconnected {
-                peer,
-                during: "write queued frames",
-            }),
-            Ok(n) => {
-                q.cursor += n;
-                Ok(())
-            }
-            Err(e) if is_poll_expiry(&e) => Ok(()),
-            Err(e) => Err(io_err(peer, "write queued frames", e)),
-        };
-        self.stats.send_stall_us += before.elapsed().as_micros() as u64;
-        if !self.block {
-            stream
-                .set_nonblocking(true)
-                .map_err(|e| io_err(peer, "wait restore nonblocking", e))?;
+        let ready = poll::poll(self.pollfds, timeout)
+            .map_err(|e| io_err(usize::MAX, "poll mesh readiness", e))?;
+        let waited = before.elapsed().as_micros() as u64;
+        self.stats.poll_waits += 1;
+        if want_out {
+            self.stats.send_stall_us += waited;
+        } else {
+            self.stats.recv_stall_us += waited;
         }
-        result
+        if ready == 0 {
+            return Ok(()); // wait slice expired; the caller re-checks
+        }
+        // Something is ready: one full progress pass picks it up —
+        // whichever links woke us, and anything else that became ready
+        // meanwhile. A wake-up that moves nothing (e.g. a peer's orderly
+        // close, or readiness consumed by a mode change) is recorded as
+        // spurious rather than hiding in the next wait.
+        let moved = self.pump(true)?;
+        if moved == 0 {
+            self.stats.wakeups_spurious += 1;
+        }
+        Ok(())
     }
 
     /// Drive the pump until every send queue is empty and on the wire
@@ -1437,6 +1423,9 @@ struct Endpoint {
     /// Posted buffers awaiting `reclaim_into` (their bytes are already on
     /// the wire; the `Vec`s go home to the engine's pool).
     send_returns: Vec<Vec<u8>>,
+    /// Reused pollfd scratch of the readiness multiplexer (batched
+    /// driver; see [`Pump::poll_wait`]).
+    pollfds: Vec<PollFd>,
     /// Scratch for reduction payload encoding.
     scratch: Vec<u8>,
     /// Per-peer "still owes this round a frame" scratch, reused by the
@@ -1476,6 +1465,7 @@ impl Endpoint {
             large,
             closed,
             send_returns,
+            pollfds,
             owed,
             stats,
             ..
@@ -1485,7 +1475,6 @@ impl Endpoint {
                 worker,
                 coalesce_limit,
                 spins,
-                block: spins == 0,
                 links,
                 send,
                 recv,
@@ -1494,6 +1483,7 @@ impl Endpoint {
                 read_pool,
                 send_returns,
                 closed,
+                pollfds,
                 stats,
             },
             OpState {
@@ -1572,7 +1562,7 @@ impl Tcp {
         let endpoints = Tcp::fresh_endpoints(workers);
         Ok(Tcp {
             workers,
-            spins: poll_spins(workers),
+            spins: opts.spins.unwrap_or_else(|| poll_spins(workers)),
             local: None,
             opts,
             addrs,
@@ -1609,7 +1599,7 @@ impl Tcp {
         *listeners[rank].get_mut() = Some(listener);
         Ok(Tcp {
             workers,
-            spins: poll_spins(workers),
+            spins: opts.spins.unwrap_or_else(|| poll_spins(workers)),
             local: Some(rank),
             opts,
             addrs,
@@ -1704,7 +1694,7 @@ impl Tcp {
             ep.stats.frames += 1;
             ep.stats.wire_bytes += FRAME_HEADER + hello.len() as u64;
             if self.opts.batched {
-                configure_batched(&stream, self.spins).map_err(|e| io_err(p, "mesh mode", e))?;
+                configure_batched(&stream).map_err(|e| io_err(p, "mesh mode", e))?;
             }
             ep.links[p] = Some(stream);
         }
@@ -1761,8 +1751,7 @@ impl Tcp {
                     });
                 }
                 if self.opts.batched {
-                    configure_batched(&stream, self.spins)
-                        .map_err(|e| io_err(peer, "mesh mode", e))?;
+                    configure_batched(&stream).map_err(|e| io_err(peer, "mesh mode", e))?;
                 }
                 ep.links[peer] = Some(stream);
             }
@@ -2097,7 +2086,7 @@ impl Tcp {
                 // machines with spare cores the RESULT goes out
                 // immediately instead, because peers could be computing
                 // in parallel the moment they see it.
-                let hold_result = cx.block;
+                let hold_result = cx.oversubscribed();
                 for p in 1..workers {
                     let mut payload = cx.pool_buf();
                     payload.extend_from_slice(&body);
@@ -2461,6 +2450,12 @@ impl ExchangeTransport for Tcp {
 
     fn worker_stats(&self, worker: usize) -> TransportStats {
         self.endpoints[worker].lock().stats
+    }
+
+    fn wait_budget(&self) -> Option<u32> {
+        // Only the batched driver has a readiness multiplexer; the
+        // synchronous driver blocks per-socket and has no spin phase.
+        self.opts.batched.then_some(self.spins)
     }
 }
 
@@ -2926,5 +2921,62 @@ mod tests {
             assert_eq!(stats.misses, 1);
             assert_eq!(stats.hits, 2);
         }
+    }
+
+    /// The mode-restore epilogue never swallows a failure: the
+    /// operation's error wins when both fail, and a restore failure on a
+    /// successful operation surfaces instead of being discarded (the
+    /// socket would otherwise be silently left non-blocking).
+    #[test]
+    fn with_restored_never_swallows_an_error() {
+        let op_err = || -> Result<u8, TransportError> {
+            Err(TransportError::Timeout {
+                peer: 1,
+                during: "op",
+            })
+        };
+        let restore_err = || -> Result<(), TransportError> {
+            Err(TransportError::Disconnected {
+                peer: 1,
+                during: "restore",
+            })
+        };
+        match with_restored(Ok(7u8), Ok(())) {
+            Ok(v) => assert_eq!(v, 7),
+            other => panic!("expected Ok(7), got {other:?}"),
+        }
+        // Both failed: the operation's error is the root cause.
+        match with_restored(op_err(), restore_err()) {
+            Err(TransportError::Timeout { during, .. }) => assert_eq!(during, "op"),
+            other => panic!("expected the operation error, got {other:?}"),
+        }
+        // Operation fine, restore failed: the restore error must not
+        // vanish — this was the swallowed-error bug.
+        match with_restored(Ok(7u8), restore_err()) {
+            Err(TransportError::Disconnected { during, .. }) => assert_eq!(during, "restore"),
+            other => panic!("expected the restore error, got {other:?}"),
+        }
+    }
+
+    /// `TcpOptions::spins` overrides the cores-vs-workers heuristic and
+    /// surfaces through the transport's readiness hint; `None` keeps the
+    /// heuristic, and the synchronous driver reports no budget at all.
+    #[test]
+    fn wait_budget_reflects_the_spin_override() {
+        let t = Tcp::loopback_with(
+            2,
+            TcpOptions {
+                spins: Some(7),
+                ..TcpOptions::batched()
+            },
+        )
+        .unwrap();
+        assert_eq!(t.wait_budget(), Some(7));
+
+        let t = Tcp::loopback_with(2, TcpOptions::batched()).unwrap();
+        assert_eq!(t.wait_budget(), Some(poll_spins(2)));
+
+        let t = Tcp::loopback(2).unwrap();
+        assert_eq!(t.wait_budget(), None, "no multiplexer in the sync driver");
     }
 }

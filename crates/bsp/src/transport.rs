@@ -116,6 +116,16 @@ pub trait ExchangeTransport: Sync {
     fn barrier_spins(&self) -> u64 {
         0
     }
+
+    /// Readiness hint: how many iterations an idle progress loop spins
+    /// before sleeping in the backend's readiness multiplexer. `None`
+    /// means the backend has no kernel wait at all (in-process backends);
+    /// `Some(0)` means every idle wait goes straight to `poll(2)` — the
+    /// oversubscribed regime, where engine drivers should prefer yielding
+    /// over burning their own spin budgets.
+    fn wait_budget(&self) -> Option<u32> {
+        None
+    }
 }
 
 /// A typed transport failure. Backends must fail with one of these (or

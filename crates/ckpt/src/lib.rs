@@ -502,8 +502,19 @@ impl Store {
     /// epochs (and anything newer than the newest committed one — an
     /// in-flight checkpoint), delete the rest. Best-effort: removal errors
     /// on individual directories are ignored.
+    ///
+    /// Committed epochs are additionally swept for orphaned `*.tmp`
+    /// files: a rank killed between `create tmp` and `rename into place`
+    /// whose restart rewrote the segment leaves the abandoned tmp behind,
+    /// and epoch-granular GC (which keeps the whole directory) would
+    /// otherwise carry it forever. Uncommitted epochs are left untouched
+    /// — a newer in-flight checkpoint legitimately holds tmp files
+    /// mid-write.
     pub fn gc(&self, keep: usize) -> Result<(), CkptError> {
         let committed = self.committed_steps()?;
+        for &step in &committed {
+            self.sweep_orphan_tmps(step);
+        }
         if committed.len() <= keep {
             // Still remove uncommitted stragglers older than the oldest
             // kept committed epoch (a crashed run's partial epoch).
@@ -527,13 +538,30 @@ impl Store {
 
     /// Remove every checkpoint epoch (the launcher wipes the directory at
     /// the start of a fresh job so stale epochs cannot be restored into
-    /// it, and cleans up after a successful one).
+    /// it, and cleans up after a successful one). `remove_dir_all` takes
+    /// each epoch wholesale, orphaned tmp files included.
     pub fn wipe(&self) -> Result<(), CkptError> {
         for step in self.step_dirs()? {
             fs::remove_dir_all(self.step_dir(step))
                 .map_err(|e| io_err(&self.step_dir(step), "remove step dir", e))?;
         }
         Ok(())
+    }
+
+    /// Best-effort removal of orphaned `*.tmp` files inside one epoch's
+    /// directory. Only meaningful on committed epochs: once the manifest
+    /// is in place every surviving tmp is an abandoned write, never an
+    /// in-flight one.
+    fn sweep_orphan_tmps(&self, superstep: u64) {
+        let Ok(entries) = fs::read_dir(self.step_dir(superstep)) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|ext| ext == "tmp") {
+                let _ = fs::remove_file(&path);
+            }
+        }
     }
 }
 
@@ -708,6 +736,32 @@ mod tests {
         assert!(!store.step_dir(1).exists(), "straggler survived gc");
         assert!(!store.step_dir(2).exists());
         assert!(store.read_segment(6, 0).is_ok());
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    /// A rank killed mid-snapshot leaves `rank-NNNN.tmp` behind; once the
+    /// epoch commits (the restarted rank rewrote its segment), `gc` must
+    /// sweep the orphan even when the epoch itself is kept — and must not
+    /// touch the committed segments or the manifest while doing so.
+    #[test]
+    fn gc_sweeps_orphaned_tmp_segments_from_committed_epochs() {
+        let store = tmp_store("gc_tmp");
+        let id = run_id(2);
+        write_epoch(&store, &id, 4, 12);
+        let orphan = store.segment_path(4, 7).with_extension("tmp");
+        fs::write(&orphan, b"half a snapshot").unwrap();
+        // An uncommitted newer epoch with a tmp mid-write stays intact.
+        let in_flight = store.step_dir(6).join("rank-0000.tmp");
+        fs::create_dir_all(store.step_dir(6)).unwrap();
+        fs::write(&in_flight, b"still writing").unwrap();
+
+        store.gc(KEEP_COMMITTED).unwrap();
+
+        assert!(!orphan.exists(), "orphaned tmp survived gc");
+        assert!(in_flight.exists(), "in-flight tmp was swept");
+        assert!(store.read_segment(4, 0).is_ok());
+        assert!(store.read_segment(4, 1).is_ok());
+        assert_eq!(store.latest_restorable(&id).unwrap().unwrap().superstep, 4);
         let _ = fs::remove_dir_all(store.dir());
     }
 

@@ -452,7 +452,14 @@ pub fn run<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) -> Output
                 run_threaded(algo, topo, cfg, &tcp)
             }
             TransportKind::TcpBatched => {
-                let tcp = Tcp::loopback_with(cfg.workers, TcpOptions::batched())
+                // One knob tunes both waits: `spin_budget` reaches the
+                // barrier below and the transport's readiness multiplexer
+                // here (None keeps the cores-vs-workers heuristic).
+                let opts = TcpOptions {
+                    spins: cfg.spin_budget,
+                    ..TcpOptions::batched()
+                };
+                let tcp = Tcp::loopback_with(cfg.workers, opts)
                     .unwrap_or_else(|e| panic!("cannot bind tcp-batched transport: {e}"));
                 run_threaded(algo, topo, cfg, &tcp)
             }
@@ -818,6 +825,9 @@ fn encode_part<A: Algorithm>(
     tstats.coalesced_frames.encode(buf);
     tstats.flushes.encode(buf);
     tstats.send_stall_us.encode(buf);
+    tstats.recv_stall_us.encode(buf);
+    tstats.poll_waits.encode(buf);
+    tstats.wakeups_spurious.encode(buf);
 }
 
 /// Decode one worker's gather frame (see [`encode_part`]).
@@ -865,6 +875,9 @@ fn decode_part<A: Algorithm>(r: &mut Reader<'_>) -> (WorkerPart<A::Value>, Trans
         coalesced_frames: r.get(),
         flushes: r.get(),
         send_stall_us: r.get(),
+        recv_stall_us: r.get(),
+        poll_waits: r.get(),
+        wakeups_spurious: r.get(),
     };
     ((pairs, metrics, pool), tstats)
 }

@@ -1007,6 +1007,15 @@ fn report(stats: &RunStats) {
             stats.transport.round_trips,
         );
     }
+    if stats.transport.poll_waits > 0 {
+        eprintln!(
+            "  readiness {:>12} poll waits {:>12} µs send stall {:>8} µs recv stall {:>6} spurious",
+            stats.transport.poll_waits,
+            stats.transport.send_stall_us,
+            stats.transport.recv_stall_us,
+            stats.transport.wakeups_spurious,
+        );
+    }
     if stats.barrier_crossings > 0 {
         eprintln!(
             "  barrier {:>14} crossings {:>13} arrival spins",

@@ -412,6 +412,110 @@ fn batched_absurd_sub_frame_count_is_rejected() {
     });
 }
 
+/// The `POLLHUP` arm of the multiplexed wait: a peer that completes the
+/// handshake and then dies on a clean frame boundary. The readiness
+/// poll reports the hangup, the progress pass reads the orderly EOF,
+/// and the consumer — still owed that peer's frame for the round —
+/// gets `Disconnected`, not a hang until the io deadline.
+#[test]
+fn batched_peer_hangup_after_handshake_is_disconnect() {
+    with_watchdog(Duration::from_secs(20), || {
+        let (t, fake) = batched_mesh_with_fake_peer(Duration::from_secs(10));
+        drop(fake); // orderly close: FIN on a frame boundary
+        let mut out = Vec::new();
+        match t.try_take_all_into(0, &mut out) {
+            Err(TransportError::Disconnected { peer, .. }) => assert_eq!(peer, 1),
+            other => panic!("expected Disconnected, got {other:?}"),
+        }
+    });
+}
+
+/// A wake-up storm: the peer dribbles a well-formed super-frame one byte
+/// at a time with real pauses, so the receiver's multiplexed wait fires
+/// over and over, each wake delivering almost nothing. The frame must
+/// still reassemble exactly, and the readiness counters must show the
+/// driver actually slept in `poll(2)` between dribbles instead of
+/// spinning through them.
+#[test]
+fn batched_byte_dribble_storm_reassembles_and_counts_polls() {
+    with_watchdog(Duration::from_secs(60), || {
+        let (t, fake) = batched_mesh_with_fake_peer(Duration::from_secs(30));
+        let payload = tcp::encode_batch(&[(tcp::TAG_DATA, (0..61u8).collect::<Vec<u8>>())]);
+        let mut wire = vec![tcp::TAG_BATCH];
+        wire.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        wire.extend_from_slice(&payload);
+        let writer = std::thread::spawn(move || {
+            for chunk in wire.chunks(1) {
+                (&fake).write_all(chunk).unwrap();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            fake // hold the socket open until the reader is done
+        });
+        let mut out = Vec::new();
+        t.try_take_all_into(0, &mut out)
+            .expect("dribbled super-frame must decode");
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, 1);
+        assert_eq!(out[0].1, (0..61u8).collect::<Vec<u8>>());
+        let stats = t.stats();
+        assert!(
+            stats.poll_waits > 0,
+            "multi-millisecond dribbles must put the driver to sleep in poll(2), \
+             not leave it spinning (poll_waits = {})",
+            stats.poll_waits
+        );
+        drop(writer.join().unwrap());
+    });
+}
+
+/// The giant-frame all-to-all, under the batched driver: 3 ranks × 8 MiB
+/// per peer through the multiplexed progress loop. Every worker writes
+/// before it reads, so the kernel refuses most of the staged bytes and
+/// the drain must interleave `POLLOUT`- and `POLLIN`-driven work on the
+/// same pollfd set. Two rounds, every byte verified.
+#[test]
+fn batched_giant_all_to_all_completes_over_multiplexed_waits() {
+    with_watchdog(Duration::from_secs(90), || {
+        const WORKERS: usize = 3;
+        const LEN: usize = 8 << 20;
+        let t = std::sync::Arc::new(Tcp::loopback_with(WORKERS, TcpOptions::batched()).unwrap());
+        let mut handles = Vec::new();
+        for w in 0..WORKERS {
+            let t = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                let mut received = Vec::new();
+                for round in 0..2u8 {
+                    for peer in 0..WORKERS {
+                        let mut buf = vec![w as u8 ^ round; LEN];
+                        buf[0] = w as u8;
+                        t.post(w, peer, buf);
+                    }
+                    t.sync(w);
+                    t.take_all_into(w, &mut received);
+                    assert_eq!(received.len(), WORKERS);
+                    for (s, buf) in received.drain(..) {
+                        assert_eq!(buf.len(), LEN);
+                        assert_eq!(buf[0], s as u8);
+                        assert!(buf[1..].iter().all(|&b| b == s as u8 ^ round));
+                        t.recycle(w, s, buf);
+                    }
+                    let (mask, active) = t.reduce_round(w, 1 << w, 1);
+                    assert_eq!(mask, 0b111);
+                    assert_eq!(active, WORKERS as u64);
+                    // Oversubscribed, the root holds each RESULT to
+                    // coalesce with the next round's frames; no more
+                    // rounds follow the last one here, so release it the
+                    // way the engine's end-of-program epilogue does.
+                    t.flush(w);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    });
+}
+
 /// The batched driver's absent-peer behavior matches the synchronous
 /// one: a rank that never appears is a typed connect/accept failure.
 #[test]
