@@ -35,14 +35,10 @@ fn record(entries: &mut Vec<BenchEntry>, workload: &str, mode: &'static str, sta
 }
 
 fn main() {
-    let scale: u32 = std::env::var("PC_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(12);
-    let workers: usize = std::env::var("PC_WORKERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4);
+    // Set-but-garbage knobs abort instead of silently measuring the
+    // default configuration under the intended label.
+    let scale: u32 = pc_bench::datasets::env_number("PC_SCALE", 12);
+    let workers: usize = pc_bench::datasets::env_number("PC_WORKERS", 4);
     let n = 1usize << scale;
 
     let pr_graph = Arc::new(gen::rmat(
@@ -69,10 +65,7 @@ fn main() {
     // With PC_REPS > 1, each workload runs that many times and the
     // fastest run is recorded (in-process repetition smooths scheduler
     // noise on shared machines).
-    let reps: usize = std::env::var("PC_REPS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1);
+    let reps: usize = pc_bench::datasets::env_number("PC_REPS", 1);
     let best = |run: &dyn Fn() -> pc_bsp::RunStats| {
         let mut best: Option<RunStats> = None;
         for _ in 0..reps.max(1) {
@@ -151,6 +144,69 @@ fn main() {
     for (mode, cfg) in &wide_modes {
         let stats = best(&|| pc_algos::wcc::channel_propagation(&skewed, &wide_topo, cfg).stats);
         record(&mut entries, "wcc_ring_skewed_wide", mode, stats);
+    }
+
+    // Tracing must be a true no-op on everything the conformance contract
+    // measures, and a bounded perturbation on wall clock: rerun the RMAT
+    // WCC workload traced and assert its counters are identical to the
+    // untraced threads row recorded above, its timeline reconciles with
+    // its own totals, and it stays within a generous wall-clock envelope
+    // (loose on purpose — CI machines are noisy; the real overhead gate
+    // is the counter identity).
+    {
+        let topo = Arc::new(Topology::hashed(wcc_graph.n(), workers));
+        let traced_cfg = Config {
+            trace: true,
+            ..Config::with_workers(workers)
+        };
+        let traced =
+            best(&|| pc_algos::wcc::channel_propagation(&wcc_graph, &topo, &traced_cfg).stats);
+        let plain = entries
+            .iter()
+            .find(|e| e.workload == "wcc_rmat_propagation" && e.mode == "threads")
+            .map(|e| &e.stats)
+            .expect("untraced wcc_rmat_propagation threads row");
+        assert_eq!(
+            traced.supersteps, plain.supersteps,
+            "tracing changed supersteps"
+        );
+        assert_eq!(traced.rounds, plain.rounds, "tracing changed rounds");
+        assert_eq!(
+            traced.remote_bytes(),
+            plain.remote_bytes(),
+            "tracing changed remote bytes"
+        );
+        assert_eq!(
+            traced.messages(),
+            plain.messages(),
+            "tracing changed messages"
+        );
+        assert_eq!(traced.pool, plain.pool, "tracing changed pool traffic");
+        assert_eq!(traced.timeline.len() as u64, traced.supersteps);
+        assert_eq!(
+            traced.timeline.iter().map(|r| r.messages).sum::<u64>(),
+            traced.messages(),
+            "timeline rows do not sum to the run's message total"
+        );
+        assert_eq!(
+            traced.timeline.iter().map(|r| r.remote_bytes).sum::<u64>(),
+            traced.remote_bytes(),
+            "timeline rows do not sum to the run's remote bytes"
+        );
+        let envelope = plain.elapsed * 5 + std::time::Duration::from_millis(250);
+        assert!(
+            traced.elapsed <= envelope,
+            "traced run took {:?}, untraced {:?} (envelope {:?})",
+            traced.elapsed,
+            plain.elapsed,
+            envelope
+        );
+        record(
+            &mut entries,
+            "wcc_rmat_propagation_traced",
+            "threads",
+            traced,
+        );
     }
 
     let json = exchange_json(scale, workers, &entries);

@@ -22,22 +22,44 @@
 use pc_graph::gen::{self, RmatParams};
 use pc_graph::{Graph, VertexId, WeightedGraph};
 
+/// Read a numeric knob from the environment: unset means `default`, set
+/// means it must parse. A set-but-garbage value (`PC_SCALE=abc`) used to
+/// fall back silently, so a typo'd sweep measured the default scale and
+/// labeled it with the intended one — now it aborts loudly instead (the
+/// same policy `pcgraph` applies to `PC_IO_DEADLINE_MS`).
+pub fn env_number<T: std::str::FromStr>(name: &str, default: T) -> T {
+    parse_env_value(name, std::env::var(name), default)
+}
+
+/// [`env_number`] with the lookup injected, so tests can cover the
+/// garbage path without racing on the process environment.
+fn parse_env_value<T: std::str::FromStr>(
+    name: &str,
+    value: Result<String, std::env::VarError>,
+    default: T,
+) -> T {
+    match value {
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(v)) => {
+            panic!("{name} is set but not unicode: {v:?}")
+        }
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} expects a number, got {v:?}")),
+    }
+}
+
 /// Default scale exponent (vertices = 2^scale) used by the table benches.
-/// Override with the `PC_SCALE` environment variable.
+/// Override with the `PC_SCALE` environment variable (a set-but-garbage
+/// value is a loud error, never a silent default-scale run).
 pub fn default_scale() -> u32 {
-    std::env::var("PC_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(13)
+    env_number("PC_SCALE", 13)
 }
 
 /// Number of simulated workers used by the table benches.
-/// Override with `PC_WORKERS`.
+/// Override with `PC_WORKERS` (same loud-error policy as `PC_SCALE`).
 pub fn default_workers() -> usize {
-    std::env::var("PC_WORKERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(4)
+    env_number("PC_WORKERS", 4)
 }
 
 /// Wikipedia stand-in: directed power-law, avg out-degree ≈ 9.
@@ -162,5 +184,23 @@ mod tests {
         let a = wikipedia(9);
         let b = wikipedia(9);
         assert_eq!(a.arc_count(), b.arc_count());
+    }
+
+    #[test]
+    fn env_knob_unset_uses_default() {
+        use std::env::VarError;
+        assert_eq!(
+            parse_env_value("PC_SCALE", Err(VarError::NotPresent), 13u32),
+            13
+        );
+        assert_eq!(parse_env_value("PC_SCALE", Ok("10".into()), 13u32), 10);
+    }
+
+    /// A set-but-unparsable knob must abort, not silently run the
+    /// default configuration under the intended label.
+    #[test]
+    #[should_panic(expected = "PC_SCALE expects a number")]
+    fn env_knob_garbage_is_a_loud_error() {
+        parse_env_value("PC_SCALE", Ok("thirteen".into()), 13u32);
     }
 }

@@ -125,6 +125,101 @@ pub fn exchange_json(scale: u32, workers: usize, entries: &[BenchEntry]) -> Stri
     json
 }
 
+/// Render one run's complete [`RunStats`] as a standalone JSON document —
+/// the `--stats-json` payload. Everything `report()` prints to stderr is
+/// here as a machine-readable field, plus the full transport counters,
+/// the per-channel breakdown, and (when the run traced) the merged
+/// per-superstep timeline — so CI and scripts stop grepping report lines.
+pub fn run_stats_json(stats: &RunStats) -> String {
+    let mut json = String::from("{\n");
+    let _ = writeln!(
+        json,
+        "  \"runtime_ms\": {:.3},",
+        finite(stats.millis(), 0.0)
+    );
+    let _ = writeln!(json, "  \"supersteps\": {},", stats.supersteps);
+    let _ = writeln!(json, "  \"rounds\": {},", stats.rounds);
+    let _ = writeln!(json, "  \"remote_bytes\": {},", stats.remote_bytes());
+    let _ = writeln!(json, "  \"total_bytes\": {},", stats.total_bytes());
+    let _ = writeln!(json, "  \"messages\": {},", stats.messages());
+    let _ = writeln!(json, "  \"max_rank_msgs\": {},", stats.max_rank_msgs);
+    let _ = writeln!(json, "  \"mirrored_msgs\": {},", stats.mirrored_msgs());
+    let _ = writeln!(json, "  \"mirror_saved\": {},", stats.mirror_saved());
+    let _ = writeln!(
+        json,
+        "  \"barrier_crossings\": {},",
+        stats.barrier_crossings
+    );
+    let _ = writeln!(json, "  \"barrier_spins\": {},", stats.barrier_spins);
+    let _ = writeln!(json, "  \"pool\": {{");
+    let _ = writeln!(json, "    \"hits\": {},", stats.pool.hits);
+    let _ = writeln!(json, "    \"misses\": {},", stats.pool.misses);
+    let _ = writeln!(
+        json,
+        "    \"hit_rate\": {:.6}",
+        pool_hit_rate(stats.pool.hits, stats.pool.misses)
+    );
+    let _ = writeln!(json, "  }},");
+    let t = &stats.transport;
+    let _ = writeln!(json, "  \"transport\": {{");
+    let _ = writeln!(json, "    \"name\": \"{}\",", stats.transport_name);
+    let _ = writeln!(json, "    \"wire_bytes\": {},", t.wire_bytes);
+    let _ = writeln!(json, "    \"frames\": {},", t.frames);
+    let _ = writeln!(json, "    \"round_trips\": {},", t.round_trips);
+    let _ = writeln!(json, "    \"coalesced_frames\": {},", t.coalesced_frames);
+    let _ = writeln!(json, "    \"flushes\": {},", t.flushes);
+    let _ = writeln!(json, "    \"send_stall_us\": {},", t.send_stall_us);
+    let _ = writeln!(json, "    \"recv_stall_us\": {},", t.recv_stall_us);
+    let _ = writeln!(json, "    \"poll_waits\": {},", t.poll_waits);
+    let _ = writeln!(json, "    \"wakeups_spurious\": {}", t.wakeups_spurious);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"channels\": [");
+    for (i, c) in stats.channels.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"name\": \"{}\",", c.name);
+        let _ = writeln!(json, "      \"remote_bytes\": {},", c.bytes.remote);
+        let _ = writeln!(json, "      \"local_bytes\": {},", c.bytes.local);
+        let _ = writeln!(json, "      \"messages\": {},", c.messages);
+        let _ = writeln!(json, "      \"mirrored\": {},", c.mirrored);
+        let _ = writeln!(json, "      \"mirror_saved\": {}", c.mirror_saved);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < stats.channels.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"timeline\": [");
+    for (i, r) in stats.timeline.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"superstep\": {},", r.superstep);
+        let _ = writeln!(json, "      \"rounds\": {},", r.rounds);
+        let _ = writeln!(json, "      \"active\": {},", r.active);
+        let _ = writeln!(json, "      \"messages\": {},", r.messages);
+        let _ = writeln!(json, "      \"remote_bytes\": {},", r.remote_bytes);
+        let _ = writeln!(json, "      \"stall_us\": {},", r.stall_us);
+        let _ = writeln!(json, "      \"pool_misses\": {},", r.pool_misses);
+        let _ = writeln!(json, "      \"compute_us\": {},", r.compute_us);
+        let _ = writeln!(json, "      \"exchange_us\": {}", r.exchange_us);
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if i + 1 < stats.timeline.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+    json
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +273,61 @@ mod tests {
         assert!(json.contains("\"recv_stall_us\": 11,"), "{json}");
         assert!(json.contains("\"poll_waits\": 3,"), "{json}");
         assert!(json.contains("\"wakeups_spurious\": 1\n"), "{json}");
+    }
+
+    /// `run_stats_json` is structurally valid for both an empty default
+    /// and a populated run with channels and a traced timeline: balanced
+    /// braces, no trailing commas, no non-finite floats, and the
+    /// timeline rows carried through.
+    #[test]
+    fn run_stats_json_is_wellformed() {
+        use pc_bsp::trace::SuperstepStats;
+        use pc_bsp::ChannelMetrics;
+        let empty = run_stats_json(&RunStats::default());
+        let mut stats = RunStats {
+            supersteps: 2,
+            rounds: 3,
+            transport_name: "tcp-batched",
+            ..Default::default()
+        };
+        stats.absorb_channels(vec![ChannelMetrics {
+            name: "prop".to_string(),
+            messages: 5,
+            ..Default::default()
+        }]);
+        stats.timeline = vec![
+            SuperstepStats {
+                superstep: 1,
+                rounds: 2,
+                active: 10,
+                messages: 4,
+                remote_bytes: 64,
+                stall_us: 7,
+                pool_misses: 0,
+                compute_us: 3,
+                exchange_us: 9,
+            },
+            SuperstepStats {
+                superstep: 2,
+                rounds: 1,
+                ..Default::default()
+            },
+        ];
+        let full = run_stats_json(&stats);
+        for json in [&empty, &full] {
+            assert_eq!(json.matches('{').count(), json.matches('}').count());
+            assert_eq!(json.matches('[').count(), json.matches(']').count());
+            for bad in ["NaN", "nan", "inf"] {
+                assert!(!json.contains(bad), "non-finite float leaked: {json}");
+            }
+            assert!(!json.contains(",\n    }"), "trailing comma: {json}");
+            assert!(!json.contains(",\n  ]"), "trailing comma: {json}");
+            assert!(!json.contains(",\n  }"), "trailing comma: {json}");
+        }
+        assert!(empty.contains("\"timeline\": [\n  ]"), "{empty}");
+        assert_eq!(full.matches("\"superstep\":").count(), 2, "{full}");
+        assert!(full.contains("\"name\": \"prop\""), "{full}");
+        assert!(full.contains("\"stall_us\": 7"), "{full}");
     }
 
     /// Entries separate with commas; the last one carries none.

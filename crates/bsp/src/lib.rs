@@ -34,6 +34,7 @@ pub mod poll;
 pub mod pool;
 pub mod tcp;
 pub mod topology;
+pub mod trace;
 pub mod transport;
 
 pub use buffer::{iter_frames, FrameWriter, OutBuffers};
@@ -43,6 +44,7 @@ pub use metrics::{ChannelMetrics, RunStats, TransportStats};
 pub use pool::{BufferPool, PoolStats};
 pub use tcp::{Tcp, TcpOptions};
 pub use topology::{MirrorHub, MirrorPlan, Topology};
+pub use trace::{RankTrace, SpanKind, SuperstepStats, TraceEvent, Tracer};
 pub use transport::{ExchangeTransport, InProcess, TransportError};
 
 /// How the simulated cluster executes its workers.
@@ -169,6 +171,13 @@ pub struct Config {
     /// Superstep checkpointing (threaded and multi-process drivers only);
     /// `None` disables it.
     pub ckpt: Option<CkptPolicy>,
+    /// Superstep-resolution tracing (threaded and multi-process drivers
+    /// only; the sequential reference never traces). When set, every
+    /// worker records a [`trace::RankTrace`] — phase spans plus
+    /// per-superstep counters — and `RunStats` carries the merged
+    /// timeline. Off (`false`, the default) it is a true no-op: the
+    /// engine branches on a `None` recorder and touches nothing else.
+    pub trace: bool,
 }
 
 impl Default for Config {
@@ -181,6 +190,7 @@ impl Default for Config {
             dist: None,
             spin_budget: None,
             ckpt: None,
+            trace: false,
         }
     }
 }

@@ -5,6 +5,7 @@
 //! exchange rounds) to explain *where* a reduction came from.
 
 use crate::pool::PoolStats;
+use crate::trace::{RankTrace, SuperstepStats};
 use std::time::Duration;
 
 /// Local/remote byte tally for one channel on one worker.
@@ -154,6 +155,15 @@ pub struct RunStats {
     /// Wire-level transport counters (zero in sequential mode, which
     /// moves buffers without a transport).
     pub transport: TransportStats,
+    /// Per-superstep counter rows, summed over all workers — populated
+    /// only when the run traced ([`crate::Config::trace`]); empty
+    /// otherwise. Row N covers superstep N+1.
+    pub timeline: Vec<SuperstepStats>,
+    /// The raw per-rank traces behind `timeline` (one per worker, in
+    /// rank order, on a common epoch) — the input to
+    /// [`crate::trace::chrome_trace_json`]. Empty when the run did not
+    /// trace.
+    pub traces: Vec<RankTrace>,
 }
 
 impl RunStats {
@@ -308,6 +318,54 @@ mod tests {
             }
         );
         assert_eq!(a.total(), 33);
+    }
+
+    /// `merge` must sum *every* counter field. Both operands are built
+    /// with exhaustive struct literals (no `..Default::default()`) so a
+    /// newly added `TransportStats` field fails to compile here until
+    /// this test — and therefore `merge` — learns about it; each field
+    /// carries a distinct value so a summation typo (wrong source field,
+    /// assignment instead of `+=`) breaks a distinct assertion.
+    #[test]
+    fn transport_merge_covers_every_field() {
+        let mut a = TransportStats {
+            wire_bytes: 1,
+            frames: 2,
+            round_trips: 3,
+            coalesced_frames: 4,
+            flushes: 5,
+            send_stall_us: 6,
+            recv_stall_us: 7,
+            poll_waits: 8,
+            wakeups_spurious: 9,
+        };
+        let b = TransportStats {
+            wire_bytes: 100,
+            frames: 200,
+            round_trips: 300,
+            coalesced_frames: 400,
+            flushes: 500,
+            send_stall_us: 600,
+            recv_stall_us: 700,
+            poll_waits: 800,
+            wakeups_spurious: 900,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            TransportStats {
+                wire_bytes: 101,
+                frames: 202,
+                round_trips: 303,
+                coalesced_frames: 404,
+                flushes: 505,
+                send_stall_us: 606,
+                recv_stall_us: 707,
+                poll_waits: 808,
+                wakeups_spurious: 909,
+            }
+        );
+        assert_eq!(a.stall_us(), 606 + 707);
     }
 
     #[test]

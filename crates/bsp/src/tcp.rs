@@ -1152,6 +1152,10 @@ impl Pump<'_> {
         let ready = poll::poll(self.pollfds, timeout)
             .map_err(|e| io_err(usize::MAX, "poll mesh readiness", e))?;
         let waited = before.elapsed().as_micros() as u64;
+        // Feed the tracing probe, if the driving worker installed one on
+        // this thread; one thread-local check otherwise — negligible
+        // next to the kernel wait that just happened.
+        crate::trace::note_poll_wait(before, waited);
         self.stats.poll_waits += 1;
         if want_out {
             self.stats.send_stall_us += waited;

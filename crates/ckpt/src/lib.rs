@@ -40,6 +40,9 @@ use pc_bsp::{Codec, Reader};
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Magic prefix of a segment file ("pcSEG\x01" padded).
 pub const SEGMENT_MAGIC: u64 = 0x0100_4745_5363_7000;
@@ -197,12 +200,38 @@ const DIGEST_LEN: usize = 8;
 /// File name of the commit record inside a step directory.
 const MANIFEST_NAME: &str = "MANIFEST";
 
+/// Checkpoint I/O counters of one [`Store`] (shared by its clones): how
+/// many bytes hit or left the disk and how long the store spent doing it.
+/// The engine's `checkpoint`/`recovery` trace spans time the *barrier-
+/// inclusive* checkpoint path; these isolate the file I/O inside it.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Bytes written (segment/manifest bodies plus their digest trailers).
+    pub bytes_written: u64,
+    /// Microseconds spent in atomic writes (create + write + fsync +
+    /// rename).
+    pub write_us: u64,
+    /// Bytes read back (validated reads: restores, digest-checked scans).
+    pub bytes_read: u64,
+    /// Microseconds spent reading and digest-validating files.
+    pub read_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct IoTally {
+    bytes_written: AtomicU64,
+    write_us: AtomicU64,
+    bytes_read: AtomicU64,
+    read_us: AtomicU64,
+}
+
 /// A checkpoint directory. Cheap to construct per worker; all methods are
 /// `&self` and safe to call concurrently from different ranks (each rank
 /// writes only its own segment, rank 0 alone writes manifests).
 #[derive(Debug, Clone)]
 pub struct Store {
     dir: PathBuf,
+    io: Arc<IoTally>,
 }
 
 impl Store {
@@ -210,7 +239,20 @@ impl Store {
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, CkptError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| io_err(&dir, "create checkpoint dir", e))?;
-        Ok(Store { dir })
+        Ok(Store {
+            dir,
+            io: Arc::new(IoTally::default()),
+        })
+    }
+
+    /// Snapshot of this store's I/O counters (shared across clones).
+    pub fn io_stats(&self) -> IoStats {
+        IoStats {
+            bytes_written: self.io.bytes_written.load(Ordering::Relaxed),
+            write_us: self.io.write_us.load(Ordering::Relaxed),
+            bytes_read: self.io.bytes_read.load(Ordering::Relaxed),
+            read_us: self.io.read_us.load(Ordering::Relaxed),
+        }
     }
 
     /// The directory this store writes into.
@@ -236,6 +278,7 @@ impl Store {
     /// Write `bytes + fnv64(bytes)` to `path` atomically: tmp file, data
     /// fsync, rename, directory fsync. Returns the digest.
     fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<u64, CkptError> {
+        let started = Instant::now();
         let digest = fnv64(bytes);
         let tmp = path.with_extension("tmp");
         {
@@ -255,6 +298,12 @@ impl Store {
                 let _ = d.sync_all();
             }
         }
+        self.io
+            .bytes_written
+            .fetch_add((bytes.len() + DIGEST_LEN) as u64, Ordering::Relaxed);
+        self.io
+            .write_us
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
         Ok(digest)
     }
 
@@ -262,6 +311,7 @@ impl Store {
     /// and the (verified) content digest, so callers comparing against a
     /// manifest never need to re-hash.
     fn read_validated(&self, path: &Path) -> Result<(Vec<u8>, u64), CkptError> {
+        let started = Instant::now();
         let bytes = fs::read(path).map_err(|e| io_err(path, "read checkpoint file", e))?;
         if bytes.len() < DIGEST_LEN {
             return Err(CkptError::Corrupt {
@@ -278,6 +328,12 @@ impl Store {
                 detail: format!("digest mismatch: stored {stored:#018x}, content {actual:#018x}"),
             });
         }
+        self.io
+            .bytes_read
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.io
+            .read_us
+            .fetch_add(started.elapsed().as_micros() as u64, Ordering::Relaxed);
         Ok((body.to_vec(), stored))
     }
 
@@ -624,6 +680,39 @@ mod tests {
         };
         store.commit(&m).unwrap();
         m
+    }
+
+    /// The store's I/O counters account every write and validated read:
+    /// a segment write moves body + digest bytes, a read moves them back,
+    /// and clones of the store share the same tally.
+    #[test]
+    fn io_stats_account_writes_and_reads() {
+        let store = tmp_store("io_stats");
+        assert_eq!(store.io_stats(), IoStats::default());
+        let payload = vec![9u8; 256];
+        let seg = Segment {
+            superstep: 1,
+            rounds: 2,
+            rank: 0,
+            workers: 1,
+            payload: payload.clone(),
+        };
+        store.write_segment(&seg).unwrap();
+        let after_write = store.io_stats();
+        let body_len = encode_segment_body(&seg).len() as u64;
+        assert_eq!(after_write.bytes_written, body_len + DIGEST_LEN as u64);
+        assert_eq!(after_write.bytes_read, 0);
+        let clone = store.clone();
+        clone.read_segment(1, 0).unwrap();
+        let after_read = store.io_stats();
+        assert_eq!(after_read.bytes_written, after_write.bytes_written);
+        assert_eq!(
+            after_read.bytes_read,
+            body_len + DIGEST_LEN as u64,
+            "a validated read covers body + digest trailer"
+        );
+        assert!(after_read.write_us >= after_write.write_us);
+        let _ = fs::remove_dir_all(store.dir());
     }
 
     #[test]

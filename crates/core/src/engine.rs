@@ -49,6 +49,7 @@ use pc_bsp::metrics::{ByteCounter, ChannelMetrics, RunStats, TransportStats};
 use pc_bsp::pool::{BufferPool, PoolStats};
 use pc_bsp::tcp::TcpOptions;
 use pc_bsp::topology::Topology;
+use pc_bsp::trace::{self, RankTrace, SpanKind, SuperstepStats, Tracer};
 use pc_bsp::transport::{ExchangeTransport, InProcess};
 use pc_bsp::{CkptPolicy, Config, ExecMode, RankRole, Tcp, TransportKind};
 use pc_ckpt::{Manifest, RunId, Segment, Store, KEEP_COMMITTED};
@@ -300,6 +301,24 @@ impl<'a, A: Algorithm> WorkerState<'a, A> {
     /// exchange round this is exactly the next superstep's active count.
     fn pending_active(&self) -> u64 {
         self.frontier.pending() as u64
+    }
+
+    /// Vertices active in the superstep about to run (the current
+    /// frontier). Tracing records this as the superstep's `active` count.
+    fn active_now(&self) -> u64 {
+        self.frontier.current().len() as u64
+    }
+
+    /// Monotone traffic totals over this worker's channels: application
+    /// messages and remote bytes since the run (or the restored epoch's
+    /// original start). Tracing snapshots these at superstep boundaries;
+    /// the deltas become the timeline rows.
+    fn traffic_totals(&mut self) -> (u64, u64) {
+        let mut messages = 0u64;
+        self.channels
+            .for_each(&mut |_, ch| messages += ch.message_count());
+        let remote_bytes = self.bytes.iter().map(|b| b.remote).sum();
+        (messages, remote_bytes)
     }
 
     /// Superstep epilogue: the queued activations become the active set.
@@ -634,24 +653,53 @@ fn run_sequential<A: Algorithm>(algo: &A, topo: &Arc<Topology>, cfg: &Config) ->
     Output { values, stats }
 }
 
+/// Per-superstep baseline of the monotone worker counters, captured at
+/// superstep start so the end-of-superstep deltas become one timeline
+/// row. Only exists while tracing.
+struct TraceBase {
+    active: u64,
+    messages: u64,
+    remote_bytes: u64,
+    pool_misses: u64,
+    stall_us: u64,
+    rounds: u64,
+}
+
 /// Drive one worker's superstep/round loop over a transport until the
 /// program terminates globally. This is the per-worker body shared by the
 /// threaded driver (one call per worker thread) and the multi-process
 /// rank driver (one call per OS process). Returns the worker's results
 /// plus its superstep/round counters (identical on every worker — the
-/// loop exits are global decisions).
+/// loop exits are global decisions) and, when [`Config::trace`] is set,
+/// the worker's recorded [`RankTrace`].
+///
+/// Tracing is strictly additive: every probe branches on the `Option`
+/// tracer, so an untraced run executes the exact pre-tracing phase
+/// sequence (pinned by the conformance suite) and performs zero extra
+/// transport or clock calls.
 fn drive_worker<A: Algorithm, T: ExchangeTransport + ?Sized>(
     algo: &A,
     topo: &Arc<Topology>,
     cfg: &Config,
     hub: &T,
     w: usize,
-) -> (WorkerPart<A::Value>, u64, u64) {
+) -> (WorkerPart<A::Value>, u64, u64, Option<RankTrace>) {
     let mut s = WorkerState::new(algo, topo, w);
     let mut drained: BufList = Vec::new();
     let mut received: BufList = Vec::new();
     let mut supersteps = 0u64;
     let mut rounds = 0u64;
+    let mut tracer = if cfg.trace {
+        Some(Tracer::new(w))
+    } else {
+        None
+    };
+    // The probe lets the batched TCP driver's readiness multiplexer hand
+    // its kernel waits to this worker's trace without the transport ever
+    // seeing the tracer; it uninstalls when the guard drops.
+    let _poll_probe = tracer
+        .as_ref()
+        .map(|t| trace::install_poll_probe(t.origin()));
     // Checkpointing: restore the last committed epoch (if one exists for
     // this run) before the first superstep, then snapshot at the policy's
     // cadence. Both decisions are pure functions of the shared checkpoint
@@ -665,6 +713,7 @@ fn drive_worker<A: Algorithm, T: ExchangeTransport + ?Sized>(
     if let Some(ck) = &ckpt {
         s.assert_checkpointable();
         if let Some(m) = &ck.restore {
+            let t0 = tracer.as_ref().map(|t| t.now_us());
             let seg = ck
                 .store
                 .read_segment(m.superstep, w as u32)
@@ -673,17 +722,41 @@ fn drive_worker<A: Algorithm, T: ExchangeTransport + ?Sized>(
             supersteps = m.superstep;
             rounds = m.rounds;
             last_ckpt = m.superstep;
+            if let (Some(t), Some(t0)) = (tracer.as_mut(), t0) {
+                t.end(SpanKind::Recovery, m.superstep, t0);
+            }
         }
     }
     loop {
+        let base = tracer.as_ref().map(|_| {
+            let (messages, remote_bytes) = s.traffic_totals();
+            TraceBase {
+                active: s.active_now(),
+                messages,
+                remote_bytes,
+                pool_misses: s.pool.stats().misses,
+                stall_us: hub.worker_stats(w).stall_us(),
+                rounds,
+            }
+        });
+        let mut compute_us = 0u64;
+        let mut exchange_us = 0u64;
+        let t0 = tracer.as_ref().map(|t| t.now_us());
         s.compute_phase();
         supersteps += 1;
+        if let (Some(t), Some(t0)) = (tracer.as_mut(), t0) {
+            compute_us = t.end(SpanKind::Compute, supersteps, t0);
+        }
         let mut mask = s.channel_mask();
         let mut total_active;
         if mask == 0 {
             // Channel-free superstep: one reduction decides global
             // activity.
+            let t0 = tracer.as_ref().map(|t| t.now_us());
             total_active = hub.reduce(w, &[s.pending_active()])[0];
+            if let (Some(t), Some(t0)) = (tracer.as_mut(), t0) {
+                t.end(SpanKind::Barrier, supersteps, t0);
+            }
         } else {
             total_active = 0;
         }
@@ -691,6 +764,7 @@ fn drive_worker<A: Algorithm, T: ExchangeTransport + ?Sized>(
         // lock-step. Each iteration synchronizes exactly twice: the
         // post/take rendezvous and the fused again/active reduction.
         while mask != 0 {
+            let tx = tracer.as_ref().map(|t| t.now_us());
             s.serialize_phase(mask);
             // Buffers recycled by last round's receivers come home before
             // we drain, so the swap hits the pool.
@@ -707,12 +781,34 @@ fn drive_worker<A: Algorithm, T: ExchangeTransport + ?Sized>(
                 hub.recycle(w, sender, buf);
             }
             s.pool.end_round();
+            if let (Some(t), Some(tx)) = (tracer.as_mut(), tx) {
+                exchange_us += t.end(SpanKind::Exchange, supersteps, tx);
+            }
+            let tb = tracer.as_ref().map(|t| t.now_us());
             let (gmask, active) = hub.reduce_round(w, again, s.pending_active());
+            if let (Some(t), Some(tb)) = (tracer.as_mut(), tb) {
+                t.end(SpanKind::Barrier, supersteps, tb);
+            }
             rounds += 1;
             mask = gmask;
             total_active = active;
         }
         s.end_superstep();
+        if let (Some(t), Some(base)) = (tracer.as_mut(), base) {
+            let (messages, remote_bytes) = s.traffic_totals();
+            t.drain_poll_spans(supersteps);
+            t.superstep(SuperstepStats {
+                superstep: supersteps,
+                rounds: rounds - base.rounds,
+                active: base.active,
+                messages: messages - base.messages,
+                remote_bytes: remote_bytes - base.remote_bytes,
+                stall_us: hub.worker_stats(w).stall_us() - base.stall_us,
+                pool_misses: s.pool.stats().misses - base.pool_misses,
+                compute_us,
+                exchange_us,
+            });
+        }
         if total_active == 0 {
             break;
         }
@@ -721,7 +817,11 @@ fn drive_worker<A: Algorithm, T: ExchangeTransport + ?Sized>(
             // terminal state is about to be gathered anyway), and never
             // re-snapshot the boundary a restore just reproduced.
             if supersteps.is_multiple_of(ck.every) && supersteps > last_ckpt {
+                let t0 = tracer.as_ref().map(|t| t.now_us());
                 ck.take(&mut s, hub, w, cfg.workers, supersteps, rounds);
+                if let (Some(t), Some(t0)) = (tracer.as_mut(), t0) {
+                    t.end(SpanKind::Checkpoint, supersteps, t0);
+                }
                 last_ckpt = supersteps;
             }
         }
@@ -735,7 +835,13 @@ fn drive_worker<A: Algorithm, T: ExchangeTransport + ?Sized>(
     // still holds for coalescing (the last round's reduction result)
     // must be pushed out before this worker leaves the protocol.
     hub.flush(w);
-    (s.finish(), supersteps, rounds)
+    let trace = tracer.map(|mut t| {
+        // Waits incurred by the final flush still belong to the last
+        // superstep's track.
+        t.drain_poll_spans(supersteps);
+        t.finish()
+    });
+    (s.finish(), supersteps, rounds, trace)
 }
 
 /// The threaded driver, generic over the exchange backend. One OS thread
@@ -755,24 +861,28 @@ fn run_threaded<A: Algorithm, T: ExchangeTransport>(
     let mut results: Vec<Option<WorkerPart<A::Value>>> = Vec::new();
     results.resize_with(workers, || None);
     let mut counters = (0u64, 0u64); // (supersteps, rounds) — identical on all workers
+    let mut traces: Vec<RankTrace> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             handles.push(scope.spawn(move || {
-                let (part, supersteps, rounds) = drive_worker(algo, topo, cfg, hub, w);
-                (w, part, supersteps, rounds)
+                let (part, supersteps, rounds, trace) = drive_worker(algo, topo, cfg, hub, w);
+                (w, part, supersteps, rounds, trace)
             }));
         }
         for h in handles {
             // Propagate a worker panic with its original payload — a
             // recovery-capable supervisor above `run` matches it against
             // the transport's typed fault slot.
-            let (w, part, supersteps, rounds) = match h.join() {
+            let (w, part, supersteps, rounds, trace) = match h.join() {
                 Ok(result) => result,
                 Err(payload) => std::panic::resume_unwind(payload),
             };
             results[w] = Some(part);
             counters = (supersteps, rounds);
+            if let Some(tr) = trace {
+                traces.push(tr); // joined in spawn order: rank order
+            }
         }
     });
     let mut stats = RunStats {
@@ -784,6 +894,11 @@ fn run_threaded<A: Algorithm, T: ExchangeTransport>(
         transport: hub.stats(),
         ..Default::default()
     };
+    if !traces.is_empty() {
+        trace::align_epochs(&mut traces);
+        stats.timeline = trace::merge_timelines(&traces);
+        stats.traces = traces;
+    }
     let parts = results
         .into_iter()
         .map(|r| r.expect("missing worker result"))
@@ -794,10 +909,14 @@ fn run_threaded<A: Algorithm, T: ExchangeTransport>(
 }
 
 /// Encode one worker's results for the cross-process gather: value pairs,
-/// per-channel metrics, pool counters and the rank's transport counters.
+/// per-channel metrics, pool counters, the rank's transport counters and
+/// (when the run traced) the rank's trace stream. The trace rides as a
+/// flagged trailing section, so untraced gather frames are byte-identical
+/// to the pre-tracing wire format.
 fn encode_part<A: Algorithm>(
     part: &WorkerPart<A::Value>,
     tstats: TransportStats,
+    trace: Option<&RankTrace>,
     buf: &mut Vec<u8>,
 ) {
     let (pairs, metrics, pool) = part;
@@ -828,6 +947,13 @@ fn encode_part<A: Algorithm>(
     tstats.recv_stall_us.encode(buf);
     tstats.poll_waits.encode(buf);
     tstats.wakeups_spurious.encode(buf);
+    match trace {
+        Some(tr) => {
+            true.encode(buf);
+            tr.encode(buf);
+        }
+        None => false.encode(buf),
+    }
 }
 
 /// Decode one worker's gather frame (see [`encode_part`]).
@@ -840,7 +966,9 @@ fn encode_part<A: Algorithm>(
 /// External inputs that cross a trust boundary (shipped plans, graph
 /// files) go through the fallible decoders in `pc_graph::io`/`pc_dist`
 /// instead.
-fn decode_part<A: Algorithm>(r: &mut Reader<'_>) -> (WorkerPart<A::Value>, TransportStats) {
+fn decode_part<A: Algorithm>(
+    r: &mut Reader<'_>,
+) -> (WorkerPart<A::Value>, TransportStats, Option<RankTrace>) {
     let npairs: u32 = r.get();
     let mut pairs = Vec::with_capacity(npairs as usize);
     for _ in 0..npairs {
@@ -879,7 +1007,12 @@ fn decode_part<A: Algorithm>(r: &mut Reader<'_>) -> (WorkerPart<A::Value>, Trans
         poll_waits: r.get(),
         wakeups_spurious: r.get(),
     };
-    ((pairs, metrics, pool), tstats)
+    let trace = if r.get::<bool>() {
+        Some(r.get::<RankTrace>())
+    } else {
+        None
+    };
+    ((pairs, metrics, pool), tstats, trace)
 }
 
 /// The multi-process driver: this process runs exactly one worker
@@ -910,16 +1043,17 @@ fn run_rank<A: Algorithm>(
     );
     let w = role.rank;
     let start = Instant::now();
-    let (part, supersteps, rounds) = drive_worker(algo, topo, cfg, t, w);
+    let (part, supersteps, rounds, trace) = drive_worker(algo, topo, cfg, t, w);
     // Result gather: one extra post/sync/take round addressed at rank 0.
     // Transport counters are snapshotted first so every rank reports the
     // same traffic the conformant run produced (the gather's own frames
-    // are bookkeeping, not algorithm traffic).
+    // are bookkeeping, not algorithm traffic). The rank's trace stream —
+    // when the run traced — rides the same frame.
     let local_tstats = t.worker_stats(w);
     let mut frame = Vec::new();
     supersteps.encode(&mut frame);
     rounds.encode(&mut frame);
-    encode_part::<A>(&part, local_tstats, &mut frame);
+    encode_part::<A>(&part, local_tstats, trace.as_ref(), &mut frame);
     t.post(w, 0, frame);
     t.sync(w);
     // No reduction follows the gather round, so the batched driver's
@@ -939,11 +1073,16 @@ fn run_rank<A: Algorithm>(
         // Non-zero ranks keep their local view; `received` only drained
         // the round's SKIP markers.
         stats.transport = local_tstats;
+        if let Some(tr) = trace {
+            stats.timeline = tr.timeline.clone();
+            stats.traces = vec![tr];
+        }
         let values = assemble(topo.n(), vec![part], &mut stats);
         stats.elapsed = start.elapsed();
         return Output { values, stats };
     }
     let mut parts = Vec::with_capacity(workers);
+    let mut traces: Vec<RankTrace> = Vec::new();
     for (sender, buf) in received.drain(..) {
         let mut r = Reader::new(&buf);
         let ss: u64 = r.get();
@@ -953,13 +1092,23 @@ fn run_rank<A: Algorithm>(
             (supersteps, rounds),
             "rank {sender} disagrees on the superstep/round count"
         );
-        let (p, tstats) = decode_part::<A>(&mut r);
+        let (p, tstats, tr) = decode_part::<A>(&mut r);
         assert!(r.is_empty(), "trailing bytes in rank {sender}'s results");
         stats.transport.merge(&tstats);
+        if let Some(tr) = tr {
+            traces.push(tr);
+        }
         parts.push(p);
         t.recycle(w, sender, buf);
     }
     assert_eq!(parts.len(), workers, "missing rank results in the gather");
+    if !traces.is_empty() {
+        assert_eq!(traces.len(), workers, "missing rank traces in the gather");
+        traces.sort_by_key(|tr| tr.rank);
+        trace::align_epochs(&mut traces);
+        stats.timeline = trace::merge_timelines(&traces);
+        stats.traces = traces;
+    }
     let values = assemble(topo.n(), parts, &mut stats);
     stats.elapsed = start.elapsed();
     Output { values, stats }
@@ -1199,6 +1348,203 @@ mod tests {
                 assert_eq!(out.values[gid as usize], seq.values[gid as usize]);
             }
             assert!(out.stats.messages() < seq.stats.messages());
+        }
+    }
+
+    /// The dist gather codec round-trips a complete rank frame — with
+    /// and without the flagged trace section — bit-exactly: value pairs,
+    /// channel metrics, pool counters, every transport counter, and
+    /// every span/timeline field of the trace.
+    #[test]
+    fn gather_frame_round_trips_rank_traces() {
+        use pc_bsp::trace::TraceEvent;
+        let part: WorkerPart<u64> = (
+            vec![(3, 7u64), (9, 1)],
+            vec![ChannelMetrics {
+                name: "ring".to_string(),
+                bytes: ByteCounter {
+                    remote: 10,
+                    local: 2,
+                },
+                messages: 4,
+                mirrored: 1,
+                mirror_saved: 6,
+            }],
+            PoolStats { hits: 5, misses: 1 },
+        );
+        let tstats = TransportStats {
+            wire_bytes: 11,
+            frames: 2,
+            round_trips: 1,
+            coalesced_frames: 7,
+            flushes: 3,
+            send_stall_us: 4,
+            recv_stall_us: 5,
+            poll_waits: 6,
+            wakeups_spurious: 2,
+        };
+        let tr = RankTrace {
+            rank: 2,
+            epoch_us: 123_456,
+            dropped: 1,
+            events: vec![
+                TraceEvent {
+                    kind: SpanKind::Compute,
+                    superstep: 1,
+                    start_us: 5,
+                    dur_us: 9,
+                },
+                TraceEvent {
+                    kind: SpanKind::PollWait,
+                    superstep: 2,
+                    start_us: 20,
+                    dur_us: 300,
+                },
+            ],
+            timeline: vec![SuperstepStats {
+                superstep: 1,
+                rounds: 1,
+                active: 2,
+                messages: 4,
+                remote_bytes: 10,
+                stall_us: 9,
+                pool_misses: 1,
+                compute_us: 9,
+                exchange_us: 3,
+            }],
+        };
+        for trace in [None, Some(&tr)] {
+            let mut buf = Vec::new();
+            encode_part::<RingSum>(&part, tstats, trace, &mut buf);
+            let mut r = Reader::new(&buf);
+            let (p, ts, tr_back) = decode_part::<RingSum>(&mut r);
+            assert!(r.is_empty(), "trailing gather bytes");
+            assert_eq!(p.0, part.0);
+            assert_eq!(p.2, part.2);
+            let (m, m0) = (&p.1[0], &part.1[0]);
+            assert_eq!(
+                (
+                    m.name.as_str(),
+                    m.bytes,
+                    m.messages,
+                    m.mirrored,
+                    m.mirror_saved
+                ),
+                (
+                    m0.name.as_str(),
+                    m0.bytes,
+                    m0.messages,
+                    m0.mirrored,
+                    m0.mirror_saved
+                )
+            );
+            assert_eq!(ts, tstats);
+            assert_eq!(tr_back.as_ref(), trace);
+        }
+    }
+
+    /// Tracing is transparent and self-consistent: a traced threaded run
+    /// reports counters identical to an untraced one, its timeline has
+    /// one row per superstep, and the rows sum back to the run totals.
+    #[test]
+    fn traced_threaded_run_is_transparent_and_reconciles() {
+        let n = 200u32;
+        let topo = Arc::new(Topology::hashed(n as usize, 4));
+        let plain = run(&RingSum { n }, &topo, &Config::with_workers(4));
+        assert!(plain.stats.timeline.is_empty() && plain.stats.traces.is_empty());
+        let traced = run(
+            &RingSum { n },
+            &topo,
+            &Config {
+                trace: true,
+                ..Config::with_workers(4)
+            },
+        );
+        assert_eq!(traced.values, plain.values);
+        assert_eq!(traced.stats.remote_bytes(), plain.stats.remote_bytes());
+        assert_eq!(traced.stats.total_bytes(), plain.stats.total_bytes());
+        assert_eq!(traced.stats.messages(), plain.stats.messages());
+        assert_eq!(traced.stats.supersteps, plain.stats.supersteps);
+        assert_eq!(traced.stats.rounds, plain.stats.rounds);
+        assert_eq!(traced.stats.pool, plain.stats.pool);
+        let tl = &traced.stats.timeline;
+        assert_eq!(tl.len() as u64, traced.stats.supersteps);
+        assert_eq!(
+            tl.iter().map(|r| r.rounds).sum::<u64>(),
+            traced.stats.rounds
+        );
+        assert_eq!(
+            tl.iter().map(|r| r.messages).sum::<u64>(),
+            traced.stats.messages()
+        );
+        assert_eq!(
+            tl.iter().map(|r| r.remote_bytes).sum::<u64>(),
+            traced.stats.remote_bytes()
+        );
+        assert_eq!(tl[0].active, n as u64, "superstep 1 computes every vertex");
+        // One trace per worker, each with a compute span per superstep.
+        assert_eq!(traced.stats.traces.len(), 4);
+        for (w, tr) in traced.stats.traces.iter().enumerate() {
+            assert_eq!(tr.rank as usize, w);
+            assert_eq!(tr.dropped, 0);
+            for step in 1..=traced.stats.supersteps {
+                assert!(
+                    tr.events
+                        .iter()
+                        .any(|e| e.superstep == step && e.kind == SpanKind::Compute),
+                    "rank {w} has no compute span for superstep {step}"
+                );
+            }
+        }
+    }
+
+    /// The rank driver ships traces through the gather frame: rank 0
+    /// merges one trace per rank onto a common epoch and its timeline
+    /// reconciles with the merged run totals.
+    #[test]
+    fn rank_driver_gathers_traces_to_rank_zero() {
+        let n = 120u32;
+        let workers = 3;
+        let topo = Arc::new(Topology::hashed(n as usize, workers));
+        let tcp = Arc::new(Tcp::loopback(workers).unwrap());
+        let mut outs: Vec<Option<Output<u64>>> = (0..workers).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let cfg = Config {
+                    trace: true,
+                    ..Config::rank(workers, w, Arc::clone(&tcp))
+                };
+                let topo = Arc::clone(&topo);
+                handles.push(scope.spawn(move || (w, run(&RingSum { n }, &topo, &cfg))));
+            }
+            for h in handles {
+                let (w, out) = h.join().unwrap();
+                outs[w] = Some(out);
+            }
+        });
+        let outs: Vec<Output<u64>> = outs.into_iter().map(Option::unwrap).collect();
+        let stats = &outs[0].stats;
+        assert_eq!(stats.traces.len(), workers);
+        for (w, tr) in stats.traces.iter().enumerate() {
+            assert_eq!(tr.rank as usize, w);
+            assert_eq!(tr.timeline.len() as u64, stats.supersteps);
+            assert!(!tr.events.is_empty());
+        }
+        assert_eq!(stats.timeline.len() as u64, stats.supersteps);
+        assert_eq!(
+            stats.timeline.iter().map(|r| r.messages).sum::<u64>(),
+            stats.messages()
+        );
+        assert_eq!(
+            stats.timeline.iter().map(|r| r.remote_bytes).sum::<u64>(),
+            stats.remote_bytes()
+        );
+        // Non-zero ranks keep their own (local) trace.
+        for (w, out) in outs.iter().enumerate().skip(1) {
+            assert_eq!(out.stats.traces.len(), 1);
+            assert_eq!(out.stats.traces[0].rank as usize, w);
+            assert_eq!(out.stats.timeline.len() as u64, out.stats.supersteps);
         }
     }
 

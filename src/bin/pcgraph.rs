@@ -80,6 +80,16 @@ struct Opts {
     /// Interface address the data-plane listeners bind (rank mode);
     /// default loopback. First step toward multi-host deployments.
     bind: Option<IpAddr>,
+    /// Record per-rank span timelines and export Chrome trace-event JSON
+    /// here (Single / rank 0 writes; followers record and ship streams).
+    trace: Option<PathBuf>,
+    /// Print the merged per-superstep summary table to stderr. Enables
+    /// tracing like `--trace` does, with or without an export file.
+    superstep_table: bool,
+    /// Dump the final merged `RunStats` as JSON. Does NOT enable tracing
+    /// by itself — the timeline array is empty unless `--trace` or
+    /// `--superstep-table` also rides along.
+    stats_json: Option<PathBuf>,
 }
 
 impl Opts {
@@ -87,6 +97,13 @@ impl Opts {
     /// `parse_args` (`--partition` ⇒ `ldg`; default `hash`).
     fn partitioner_name(&self) -> &str {
         self.partitioner.as_deref().unwrap_or("hash")
+    }
+
+    /// Whether the engine should record spans and per-superstep rows.
+    /// `--stats-json` alone does not count: a stats dump without tracing
+    /// is free, and asking for it must not perturb the run.
+    fn tracing_enabled(&self) -> bool {
+        self.trace.is_some() || self.superstep_table
     }
 }
 
@@ -146,6 +163,19 @@ FAULT TOLERANCE:
                       surviving ranks re-rendezvous, and the job resumes from
                       the last committed checkpoint
 
+OBSERVABILITY:
+    --trace FILE      trace every rank (span timelines + per-superstep
+                      counters) and write Chrome trace-event JSON — load
+                      it in Perfetto (ui.perfetto.dev) or chrome://tracing;
+                      one track per rank
+    --superstep-table print the merged per-superstep summary (active
+                      vertices, messages, remote bytes, stall µs, pool
+                      misses, compute/exchange µs) to stderr; enables
+                      tracing like --trace
+    --stats-json FILE dump the final merged RunStats as JSON (includes the
+                      per-superstep timeline when tracing is on; does not
+                      enable tracing by itself)
+
 ALGORITHM PARAMETERS:
     --variant NAME    basic|scatter|reqresp|both|prop|mirror|blogel [default: best]
     --iters N         PageRank iterations                        [default 30]
@@ -202,6 +232,9 @@ fn parse_args() -> Opts {
         checkpoint_every: None,
         checkpoint_dir: None,
         bind: None,
+        trace: None,
+        superstep_table: false,
+        stats_json: None,
     };
     fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
         args.next()
@@ -271,6 +304,11 @@ fn parse_args() -> Opts {
             "--checkpoint-dir" => {
                 opts.checkpoint_dir = Some(PathBuf::from(value(&mut args, "--checkpoint-dir")))
             }
+            "--trace" => opts.trace = Some(PathBuf::from(value(&mut args, "--trace"))),
+            "--superstep-table" => opts.superstep_table = true,
+            "--stats-json" => {
+                opts.stats_json = Some(PathBuf::from(value(&mut args, "--stats-json")))
+            }
             "--bind" => {
                 let v = value(&mut args, "--bind");
                 opts.bind = Some(v.parse().unwrap_or_else(|_| {
@@ -333,6 +371,19 @@ fn parse_args() -> Opts {
             "--variant blogel runs on the Pregel baseline engine, which has no checkpoint support",
         ),
         _ => {}
+    }
+    // Observability flags only mean something on an engine run that
+    // produces RunStats; silently ignoring them would be worse than
+    // refusing.
+    if opts.tracing_enabled() || opts.stats_json.is_some() {
+        if opts.algorithm == "stats" {
+            usage_error("'stats' prints static graph properties; --trace/--superstep-table/--stats-json need an algorithm run");
+        }
+        if opts.tracing_enabled() && opts.variant == "blogel" {
+            usage_error(
+                "--variant blogel runs on the Pregel baseline engine, which has no trace support",
+            );
+        }
     }
     if let Some(ip) = opts.bind {
         if ip.is_unspecified() {
@@ -716,6 +767,7 @@ fn rank_config(opts: &Opts, ranks: usize, rank: usize, tcp: Tcp) -> Config {
     Config {
         spin_budget: opts.spin_budget,
         ckpt: ckpt_policy(opts),
+        trace: opts.tracing_enabled(),
         ..Config::rank(ranks, rank, Arc::new(tcp))
     }
 }
@@ -734,6 +786,7 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
             transport: opts.transport,
             spin_budget: opts.spin_budget,
             ckpt: ckpt_policy(opts),
+            trace: opts.tracing_enabled(),
             ..Config::with_workers(opts.workers)
         };
         return Prepared {
@@ -1024,6 +1077,35 @@ fn report(stats: &RunStats) {
     }
 }
 
+fn write_artifact(path: &std::path::Path, what: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("pcgraph: cannot write {what} {}: {e}", path.display());
+        exit(EXIT_RUNTIME);
+    }
+    eprintln!("{what}: wrote {}", path.display());
+}
+
+/// Export the observability artifacts from the process that holds the
+/// merged stats — Single or rank 0. Followers never reach this: they
+/// exit at the top of [`conclude`], so `--trace FILE` can ride to every
+/// rank (it is what arms their recorders) without two processes racing
+/// on one output path.
+fn emit_observability(opts: &Opts, stats: &RunStats) {
+    if opts.superstep_table {
+        eprint!("{}", pc_bsp::trace::superstep_table(&stats.timeline));
+    }
+    if let Some(path) = &opts.trace {
+        write_artifact(
+            path,
+            "trace",
+            &pc_bsp::trace::chrome_trace_json(&stats.traces),
+        );
+    }
+    if let Some(path) = &opts.stats_json {
+        write_artifact(path, "stats", &pc_bench::report::run_stats_json(stats));
+    }
+}
+
 /// Print (and in `--verify` mode check) the run's results, then exit.
 fn conclude<V: PartialEq>(
     prepared: Prepared,
@@ -1038,10 +1120,12 @@ fn conclude<V: PartialEq>(
         Role::Follower { .. } => exit(EXIT_OK), // results were gathered to rank 0
         Role::Single => {
             print(&values, &stats);
+            emit_observability(opts, &stats);
             exit(EXIT_OK)
         }
         Role::Rank0 { full, .. } => {
             print(&values, &stats);
+            emit_observability(opts, &stats);
             if opts.verify {
                 let full = full.expect("--verify keeps the full graph on rank 0");
                 let seq_cfg = Config {
@@ -1170,6 +1254,18 @@ fn child_args(opts: &Opts, rank: usize, ranks: usize, coordinator: &SocketAddr) 
         a.push("--bind".into());
         a.push(ip.to_string());
     }
+    // Tracing is cluster-wide: every rank must record its span stream for
+    // the gather to merge (rank 0 asserts one trace per rank). Only rank 0
+    // ever writes the file — followers exit before the export path — so
+    // forwarding the path itself is safe and keeps a hand-launched rank
+    // command line copy-pasteable.
+    if let Some(path) = &opts.trace {
+        a.push("--trace".into());
+        a.push(path.display().to_string());
+    }
+    if opts.superstep_table {
+        a.push("--superstep-table".into());
+    }
     // --spin-budget is NOT forwarded: ranks exchange over the socket
     // mesh, which has no spinning barrier, so the flag would be a
     // silent no-op there.
@@ -1188,6 +1284,12 @@ fn child_args(opts: &Opts, rank: usize, ranks: usize, coordinator: &SocketAddr) 
         }
         if opts.verify {
             a.push("--verify".into());
+        }
+        // The stats dump describes the merged run, which only rank 0
+        // holds; followers' stats frames are inputs to it, not outputs.
+        if let Some(path) = &opts.stats_json {
+            a.push("--stats-json".into());
+            a.push(path.display().to_string());
         }
     }
     a
@@ -1532,6 +1634,9 @@ mod tests {
             checkpoint_every: None,
             checkpoint_dir: None,
             bind: None,
+            trace: None,
+            superstep_table: false,
+            stats_json: None,
         }
     }
 
@@ -1613,6 +1718,39 @@ mod tests {
         let bare = child_args(&opts("wcc"), 1, 4, &addr);
         assert!(!bare.contains(&"--partitioner".to_string()));
         assert!(!bare.contains(&"--mirror-threshold".to_string()));
+    }
+
+    /// `--trace`/`--superstep-table` arm every rank's recorder (rank 0
+    /// cannot merge streams a follower never recorded); `--stats-json`
+    /// describes the merged run and stays on rank 0.
+    #[test]
+    fn trace_flags_reach_every_rank_stats_json_stays_on_rank0() {
+        let mut o = opts("wcc");
+        o.trace = Some(PathBuf::from("/tmp/trace.json"));
+        o.superstep_table = true;
+        o.stats_json = Some(PathBuf::from("/tmp/stats.json"));
+        let addr: SocketAddr = "127.0.0.1:4000".parse().unwrap();
+        for rank in 0..4 {
+            let args = child_args(&o, rank, 4, &addr);
+            let at = args.iter().position(|a| a == "--trace").unwrap();
+            assert_eq!(args[at + 1], "/tmp/trace.json", "rank {rank}");
+            assert!(
+                args.contains(&"--superstep-table".to_string()),
+                "rank {rank}"
+            );
+            assert_eq!(
+                args.contains(&"--stats-json".to_string()),
+                rank == 0,
+                "rank {rank}"
+            );
+        }
+        // Without the flags, nothing is forwarded.
+        for rank in 0..4 {
+            let bare = child_args(&opts("wcc"), rank, 4, &addr);
+            assert!(!bare.contains(&"--trace".to_string()));
+            assert!(!bare.contains(&"--superstep-table".to_string()));
+            assert!(!bare.contains(&"--stats-json".to_string()));
+        }
     }
 
     #[test]
