@@ -151,6 +151,8 @@ pub fn run_stats_json(stats: &RunStats) -> String {
         stats.barrier_crossings
     );
     let _ = writeln!(json, "  \"barrier_spins\": {},", stats.barrier_spins);
+    let _ = writeln!(json, "  \"recoveries\": {},", stats.recoveries);
+    let _ = writeln!(json, "  \"recovery_us\": {},", stats.recovery_us);
     let _ = writeln!(json, "  \"pool\": {{");
     let _ = writeln!(json, "    \"hits\": {},", stats.pool.hits);
     let _ = writeln!(json, "    \"misses\": {},", stats.pool.misses);
@@ -288,6 +290,8 @@ mod tests {
             supersteps: 2,
             rounds: 3,
             transport_name: "tcp-batched",
+            recoveries: 4,
+            recovery_us: 12_500,
             ..Default::default()
         };
         stats.absorb_channels(vec![ChannelMetrics {
@@ -328,6 +332,9 @@ mod tests {
         assert_eq!(full.matches("\"superstep\":").count(), 2, "{full}");
         assert!(full.contains("\"name\": \"prop\""), "{full}");
         assert!(full.contains("\"stall_us\": 7"), "{full}");
+        assert!(full.contains("\"recoveries\": 4"), "{full}");
+        assert!(full.contains("\"recovery_us\": 12500"), "{full}");
+        assert!(empty.contains("\"recoveries\": 0"), "{empty}");
     }
 
     /// Entries separate with commas; the last one carries none.

@@ -129,6 +129,17 @@ pub struct RankRole {
     /// The socket mesh connecting all ranks ([`Tcp::loopback`] for
     /// simulated multi-process tests, [`Tcp::mesh`] for real processes).
     pub transport: std::sync::Arc<Tcp>,
+    /// The rank final results are gathered to — rank 0 normally, the
+    /// acting coordinator after a failover (result gather, `--verify`
+    /// and stats output follow the acting coordinator).
+    pub gather_root: usize,
+    /// Recovery epochs this rank has been through (copied into
+    /// [`RunStats::recoveries`] by the rank driver and summed over ranks
+    /// at the gather root).
+    pub recoveries: u64,
+    /// Total microseconds this rank spent in recovery (mesh teardown to
+    /// resumed superstep loop), promoted into [`RunStats::recovery_us`].
+    pub recovery_us: u64,
 }
 
 /// Superstep checkpointing policy.
@@ -239,7 +250,13 @@ impl Config {
         Config {
             workers,
             transport: TransportKind::Tcp,
-            dist: Some(RankRole { rank, transport }),
+            dist: Some(RankRole {
+                rank,
+                transport,
+                gather_root: 0,
+                recoveries: 0,
+                recovery_us: 0,
+            }),
             ..Config::default()
         }
     }

@@ -164,6 +164,14 @@ pub struct RunStats {
     /// [`crate::trace::chrome_trace_json`]. Empty when the run did not
     /// trace.
     pub traces: Vec<RankTrace>,
+    /// Recovery epochs the run went through, summed over ranks at the
+    /// gather root (0 on an unfailed run; each surviving rank counts
+    /// every epoch it re-joined, so a single failure on an `M`-rank
+    /// cluster typically reads `M`).
+    pub recoveries: u64,
+    /// Total microseconds spent in recovery (mesh teardown through the
+    /// resumed superstep loop), summed over ranks.
+    pub recovery_us: u64,
 }
 
 impl RunStats {

@@ -37,17 +37,22 @@
 //! and counters); this crate only frames, digests and commits them.
 
 use pc_bsp::{Codec, Reader};
+use std::collections::HashMap;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Magic prefix of a segment file ("pcSEG\x01" padded).
 pub const SEGMENT_MAGIC: u64 = 0x0100_4745_5363_7000;
 /// Magic prefix of a manifest file ("pcMAN\x01" padded).
 pub const MANIFEST_MAGIC: u64 = 0x0100_4e41_4d63_7000;
+/// Magic prefix of a control-replica commit record ("pcCTL\x01" padded).
+pub const CTRL_MAGIC: u64 = 0x0100_4c54_4363_7000;
+/// Magic prefix of the coordinator advertisement ("pcADV\x01" padded).
+pub const ADVERT_MAGIC: u64 = 0x0100_5644_4163_7000;
 /// On-disk format version; bumped on any layout change.
 pub const FORMAT_VERSION: u32 = 1;
 /// Committed epochs the garbage collector keeps: the newest one plus one
@@ -195,10 +200,51 @@ pub struct Segment {
     pub payload: Vec<u8>,
 }
 
+/// Replicated control-plane state of one run: everything the coordinator
+/// holds that a standby needs to take over after rank 0 dies — the
+/// encoded partition plan of every rank (index = rank; rank 0's own plan
+/// included so a respawned rank 0 can rejoin as a plain follower), the
+/// recovery epoch the replica was shipped at, and which rank is the
+/// designated standby. Stored under `<dir>/replica/` with the same
+/// per-file + commit-record discipline as checkpoint epochs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlReplica {
+    /// The run this control state belongs to.
+    pub id: RunId,
+    /// Recovery epoch the replica was last refreshed at.
+    pub epoch: u32,
+    /// The rank currently designated as standby coordinator.
+    pub standby: u32,
+    /// One engine-encoded partition plan per rank.
+    pub plans: Vec<Vec<u8>>,
+}
+
+/// The coordinator advertisement: which rank is *acting* coordinator at
+/// which recovery epoch, and where its rendezvous listener is. Written
+/// atomically to `<dir>/COORDINATOR` at bootstrap and on every takeover;
+/// survivors, respawned ranks (including a respawned rank 0 rejoining as
+/// a follower) and the launcher all discover the current coordinator by
+/// reading it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Advertisement {
+    /// Recovery epoch this advertisement was published at.
+    pub epoch: u32,
+    /// Rank currently acting as coordinator.
+    pub acting: u32,
+    /// Rendezvous (control-plane) listener address of the acting rank.
+    pub addr: String,
+}
+
 /// Trailing digest width on every checkpoint file.
 const DIGEST_LEN: usize = 8;
 /// File name of the commit record inside a step directory.
 const MANIFEST_NAME: &str = "MANIFEST";
+/// Directory (under the store root) holding the control-plane replica.
+const REPLICA_DIR: &str = "replica";
+/// File name of the control-replica commit record.
+const CTRL_NAME: &str = "CTRL";
+/// File name of the coordinator advertisement at the store root.
+const ADVERT_NAME: &str = "COORDINATOR";
 
 /// Checkpoint I/O counters of one [`Store`] (shared by its clones): how
 /// many bytes hit or left the disk and how long the store spent doing it.
@@ -232,6 +278,12 @@ struct IoTally {
 pub struct Store {
     dir: PathBuf,
     io: Arc<IoTally>,
+    /// Epochs whose segments all validated against their manifest within
+    /// this store's lifetime, keyed by epoch → manifest file digest.
+    /// Lets repeated recoveries skip the O(ranks) segment re-reads;
+    /// cleared by [`Store::gc`] and [`Store::wipe`] (which change what is
+    /// on disk) so a segment torn across those calls is still caught.
+    validated: Arc<Mutex<HashMap<u64, u64>>>,
 }
 
 impl Store {
@@ -242,6 +294,7 @@ impl Store {
         Ok(Store {
             dir,
             io: Arc::new(IoTally::default()),
+            validated: Arc::new(Mutex::new(HashMap::new())),
         })
     }
 
@@ -437,8 +490,14 @@ impl Store {
 
     /// Read and validate the manifest of one epoch.
     pub fn read_manifest(&self, superstep: u64) -> Result<Manifest, CkptError> {
+        Ok(self.read_manifest_with_digest(superstep)?.0)
+    }
+
+    /// [`Store::read_manifest`] plus the manifest *file's* verified
+    /// digest — the key the validated-epoch cache is checked against.
+    fn read_manifest_with_digest(&self, superstep: u64) -> Result<(Manifest, u64), CkptError> {
         let path = self.manifest_path(superstep);
-        let (body, _) = self.read_validated(&path)?;
+        let (body, file_digest) = self.read_validated(&path)?;
         let corrupt = |detail: String| CkptError::Corrupt {
             path: path.clone(),
             detail,
@@ -470,12 +529,15 @@ impl Store {
         if !r.is_empty() {
             return Err(corrupt(format!("{} trailing bytes", r.remaining())));
         }
-        Ok(Manifest {
-            id,
-            superstep,
-            rounds,
-            digests,
-        })
+        Ok((
+            Manifest {
+                id,
+                superstep,
+                rounds,
+                digests,
+            },
+            file_digest,
+        ))
     }
 
     /// Every step directory present, ascending by superstep. Directories
@@ -521,7 +583,7 @@ impl Store {
     /// [`CkptError::Incompatible`] error, never a silent cold start.
     pub fn latest_restorable(&self, id: &RunId) -> Result<Option<Manifest>, CkptError> {
         for step in self.committed_steps()?.into_iter().rev() {
-            let manifest = match self.read_manifest(step) {
+            let (manifest, file_digest) = match self.read_manifest_with_digest(step) {
                 Ok(m) => m,
                 // A torn manifest is an uncommitted epoch.
                 Err(CkptError::Corrupt { .. }) => continue,
@@ -538,6 +600,20 @@ impl Store {
                     ),
                 });
             }
+            // Repeated recoveries re-validate the same epochs; once every
+            // segment of an epoch checked out against this exact manifest
+            // (same file digest), skip the O(ranks) segment re-reads for
+            // the rest of this store's lifetime. `gc`/`wipe` clear the
+            // cache because they change what is on disk.
+            let cached = self
+                .validated
+                .lock()
+                .unwrap()
+                .get(&step)
+                .is_some_and(|&d| d == file_digest);
+            if cached {
+                return Ok(Some(manifest));
+            }
             let all_valid = (0..manifest.id.workers).all(|rank| {
                 matches!(
                     self.read_segment_with_digest(step, rank),
@@ -548,6 +624,7 @@ impl Store {
                 )
             });
             if all_valid {
+                self.validated.lock().unwrap().insert(step, file_digest);
                 return Ok(Some(manifest));
             }
         }
@@ -567,6 +644,7 @@ impl Store {
     /// — a newer in-flight checkpoint legitimately holds tmp files
     /// mid-write.
     pub fn gc(&self, keep: usize) -> Result<(), CkptError> {
+        self.validated.lock().unwrap().clear();
         let committed = self.committed_steps()?;
         for &step in &committed {
             self.sweep_orphan_tmps(step);
@@ -595,13 +673,212 @@ impl Store {
     /// Remove every checkpoint epoch (the launcher wipes the directory at
     /// the start of a fresh job so stale epochs cannot be restored into
     /// it, and cleans up after a successful one). `remove_dir_all` takes
-    /// each epoch wholesale, orphaned tmp files included.
+    /// each epoch wholesale, orphaned tmp files included. The control
+    /// replica and coordinator advertisement go with them: a fresh job
+    /// must not discover a previous job's coordinator.
     pub fn wipe(&self) -> Result<(), CkptError> {
+        self.validated.lock().unwrap().clear();
         for step in self.step_dirs()? {
             fs::remove_dir_all(self.step_dir(step))
                 .map_err(|e| io_err(&self.step_dir(step), "remove step dir", e))?;
         }
+        let replica = self.replica_dir();
+        if replica.exists() {
+            fs::remove_dir_all(&replica).map_err(|e| io_err(&replica, "remove replica dir", e))?;
+        }
+        let advert = self.advertisement_path();
+        match fs::remove_file(&advert) {
+            Ok(()) => {}
+            Err(ref e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err(&advert, "remove advertisement", e)),
+        }
         Ok(())
+    }
+
+    /// Directory holding the control-plane replica.
+    pub fn replica_dir(&self) -> PathBuf {
+        self.dir.join(REPLICA_DIR)
+    }
+
+    /// Path of one rank's replicated plan file.
+    fn replica_plan_path(&self, rank: u32) -> PathBuf {
+        self.replica_dir().join(format!("plan-{rank:04}.bin"))
+    }
+
+    /// Path of the control-replica commit record.
+    fn replica_ctrl_path(&self) -> PathBuf {
+        self.replica_dir().join(CTRL_NAME)
+    }
+
+    /// Path of the coordinator advertisement.
+    pub fn advertisement_path(&self) -> PathBuf {
+        self.dir.join(ADVERT_NAME)
+    }
+
+    /// Persist the control-plane replica: every plan file is written
+    /// atomically, then the `CTRL` commit record (pinning each plan's
+    /// digest, the epoch and the designated standby) last — the same
+    /// complete-or-invisible discipline as a checkpoint epoch, so a rank
+    /// killed mid-replication leaves the previous replica intact.
+    pub fn write_replica(&self, replica: &ControlReplica) -> Result<(), CkptError> {
+        assert_eq!(
+            replica.plans.len() as u32,
+            replica.id.workers,
+            "replica must carry one plan per rank"
+        );
+        let dir = self.replica_dir();
+        fs::create_dir_all(&dir).map_err(|e| io_err(&dir, "create replica dir", e))?;
+        let mut digests = Vec::with_capacity(replica.plans.len());
+        for (rank, plan) in replica.plans.iter().enumerate() {
+            digests.push(self.write_atomic(&self.replica_plan_path(rank as u32), plan)?);
+        }
+        let mut buf = Vec::new();
+        CTRL_MAGIC.encode(&mut buf);
+        FORMAT_VERSION.encode(&mut buf);
+        replica.id.encode(&mut buf);
+        replica.epoch.encode(&mut buf);
+        replica.standby.encode(&mut buf);
+        digests.encode(&mut buf);
+        self.write_atomic(&self.replica_ctrl_path(), &buf)?;
+        Ok(())
+    }
+
+    /// Load the control-plane replica, if one was committed: `None` when
+    /// no `CTRL` record exists, [`CkptError::Incompatible`] when it names
+    /// a different run, [`CkptError::Corrupt`] when any plan file fails
+    /// its pinned digest.
+    pub fn read_replica(&self, id: &RunId) -> Result<Option<ControlReplica>, CkptError> {
+        let path = self.replica_ctrl_path();
+        let body = match self.read_validated(&path) {
+            Ok((body, _)) => body,
+            Err(CkptError::Io {
+                kind: std::io::ErrorKind::NotFound,
+                ..
+            }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let corrupt = |detail: String| CkptError::Corrupt {
+            path: path.clone(),
+            detail,
+        };
+        let mut r = Reader::new(&body);
+        if r.remaining() < 12 {
+            return Err(corrupt("control record truncated".into()));
+        }
+        let magic: u64 = r.get();
+        if magic != CTRL_MAGIC {
+            return Err(corrupt(format!("bad magic {magic:#018x}")));
+        }
+        let version: u32 = r.get();
+        if version != FORMAT_VERSION {
+            return Err(corrupt(format!("unsupported format version {version}")));
+        }
+        let id_in = RunId::decode(&mut r, &path)?;
+        if id_in != *id {
+            return Err(CkptError::Incompatible {
+                detail: format!(
+                    "replica in {} belongs to run {:?}, but this run is {:?}",
+                    self.replica_dir().display(),
+                    id_in,
+                    id
+                ),
+            });
+        }
+        if r.remaining() < 12 {
+            return Err(corrupt("control record body truncated".into()));
+        }
+        let epoch: u32 = r.get();
+        let standby: u32 = r.get();
+        let digests: Vec<u64> = r.get();
+        if !r.is_empty() {
+            return Err(corrupt(format!("{} trailing bytes", r.remaining())));
+        }
+        if digests.len() as u32 != id_in.workers {
+            return Err(corrupt(format!(
+                "{} plan digests for {} ranks",
+                digests.len(),
+                id_in.workers
+            )));
+        }
+        let mut plans = Vec::with_capacity(digests.len());
+        for (rank, &pinned) in digests.iter().enumerate() {
+            let plan_path = self.replica_plan_path(rank as u32);
+            let (plan, digest) = self.read_validated(&plan_path)?;
+            if digest != pinned {
+                return Err(CkptError::Corrupt {
+                    path: plan_path,
+                    detail: format!(
+                        "plan digest {digest:#018x} does not match pinned {pinned:#018x}"
+                    ),
+                });
+            }
+            plans.push(plan);
+        }
+        Ok(Some(ControlReplica {
+            id: id_in,
+            epoch,
+            standby,
+            plans,
+        }))
+    }
+
+    /// Publish (atomically replace) the coordinator advertisement.
+    pub fn advertise(&self, ad: &Advertisement) -> Result<(), CkptError> {
+        let mut buf = Vec::new();
+        ADVERT_MAGIC.encode(&mut buf);
+        FORMAT_VERSION.encode(&mut buf);
+        ad.epoch.encode(&mut buf);
+        ad.acting.encode(&mut buf);
+        let addr = ad.addr.as_bytes();
+        (addr.len() as u32).encode(&mut buf);
+        buf.extend_from_slice(addr);
+        self.write_atomic(&self.advertisement_path(), &buf)?;
+        Ok(())
+    }
+
+    /// Read the current coordinator advertisement, if one was published.
+    pub fn read_advertisement(&self) -> Result<Option<Advertisement>, CkptError> {
+        let path = self.advertisement_path();
+        let body = match self.read_validated(&path) {
+            Ok((body, _)) => body,
+            Err(CkptError::Io {
+                kind: std::io::ErrorKind::NotFound,
+                ..
+            }) => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let corrupt = |detail: String| CkptError::Corrupt {
+            path: path.clone(),
+            detail,
+        };
+        let mut r = Reader::new(&body);
+        if r.remaining() < 24 {
+            return Err(corrupt("advertisement truncated".into()));
+        }
+        let magic: u64 = r.get();
+        if magic != ADVERT_MAGIC {
+            return Err(corrupt(format!("bad magic {magic:#018x}")));
+        }
+        let version: u32 = r.get();
+        if version != FORMAT_VERSION {
+            return Err(corrupt(format!("unsupported format version {version}")));
+        }
+        let epoch: u32 = r.get();
+        let acting: u32 = r.get();
+        let len: u32 = r.get();
+        if r.remaining() != len as usize {
+            return Err(corrupt(format!(
+                "address length {len} but {} bytes follow",
+                r.remaining()
+            )));
+        }
+        let addr = String::from_utf8(r.take(len as usize).to_vec())
+            .map_err(|e| corrupt(format!("address is not utf-8: {e}")))?;
+        Ok(Some(Advertisement {
+            epoch,
+            acting,
+            addr,
+        }))
     }
 
     /// Best-effort removal of orphaned `*.tmp` files inside one epoch's
@@ -863,6 +1140,173 @@ mod tests {
         store.wipe().unwrap();
         assert_eq!(store.committed_steps().unwrap(), Vec::<u64>::new());
         assert_eq!(store.latest_restorable(&id).unwrap(), None);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    /// Repeated `latest_restorable` calls within one store lifetime must
+    /// not re-read every segment: the second scan costs one manifest
+    /// read, nothing more. The cache is trusted until `gc`/`wipe` —
+    /// after either, a newly torn segment is caught again.
+    #[test]
+    fn latest_restorable_caches_validated_epochs_until_gc() {
+        let store = tmp_store("val_cache");
+        let id = run_id(2);
+        write_epoch(&store, &id, 4, 10);
+
+        let before = store.io_stats().bytes_read;
+        assert_eq!(store.latest_restorable(&id).unwrap().unwrap().superstep, 4);
+        let first_scan = store.io_stats().bytes_read - before;
+
+        let manifest_len = fs::metadata(store.manifest_path(4)).unwrap().len();
+        let before = store.io_stats().bytes_read;
+        assert_eq!(store.latest_restorable(&id).unwrap().unwrap().superstep, 4);
+        let second_scan = store.io_stats().bytes_read - before;
+        assert_eq!(
+            second_scan, manifest_len,
+            "a cache hit reads the manifest only, no segments"
+        );
+        assert!(second_scan < first_scan);
+
+        // Tear a segment: the cached verdict (stale, by design — nothing
+        // mutates committed segments under a live store) still stands...
+        let victim = store.segment_path(4, 1);
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(store.latest_restorable(&id).unwrap().is_some());
+
+        // ...but gc invalidates the cache, and the re-validation catches
+        // the torn segment.
+        store.gc(KEEP_COMMITTED).unwrap();
+        assert_eq!(store.latest_restorable(&id).unwrap(), None);
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    /// A rewritten manifest (same epoch, different content) must miss the
+    /// cache: the key is the manifest file's own digest.
+    #[test]
+    fn cache_is_keyed_on_manifest_digest() {
+        let store = tmp_store("val_cache_key");
+        let id = run_id(1);
+        write_epoch(&store, &id, 2, 5);
+        assert!(store.latest_restorable(&id).unwrap().is_some());
+        // Recommit the same epoch with a different rounds count (digest
+        // changes); segments no longer match the new manifest's rounds.
+        let digests = vec![store.segment_digest(2, 0).unwrap()];
+        store
+            .commit(&Manifest {
+                id: id.clone(),
+                superstep: 2,
+                rounds: 6,
+                digests,
+            })
+            .unwrap();
+        assert_eq!(
+            store.latest_restorable(&id).unwrap(),
+            None,
+            "stale cache entry must not vouch for a rewritten manifest"
+        );
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn control_replica_round_trips() {
+        let store = tmp_store("replica");
+        let id = run_id(3);
+        assert_eq!(store.read_replica(&id).unwrap(), None);
+        let replica = ControlReplica {
+            id: id.clone(),
+            epoch: 2,
+            standby: 1,
+            plans: vec![vec![0xAA; 40], vec![0xBB; 7], Vec::new()],
+        };
+        store.write_replica(&replica).unwrap();
+        assert_eq!(store.read_replica(&id).unwrap(), Some(replica.clone()));
+        // Refresh at a later epoch replaces it atomically.
+        let fresher = ControlReplica {
+            epoch: 3,
+            standby: 2,
+            ..replica
+        };
+        store.write_replica(&fresher).unwrap();
+        assert_eq!(store.read_replica(&id).unwrap(), Some(fresher));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn torn_replica_plan_is_detected() {
+        let store = tmp_store("replica_torn");
+        let id = run_id(2);
+        store
+            .write_replica(&ControlReplica {
+                id: id.clone(),
+                epoch: 1,
+                standby: 1,
+                plans: vec![vec![1; 64], vec![2; 64]],
+            })
+            .unwrap();
+        let victim = store.replica_dir().join("plan-0001.bin");
+        let bytes = fs::read(&victim).unwrap();
+        fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(matches!(
+            store.read_replica(&id),
+            Err(CkptError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn replica_of_another_run_is_incompatible() {
+        let store = tmp_store("replica_foreign");
+        store
+            .write_replica(&ControlReplica {
+                id: run_id(2),
+                epoch: 1,
+                standby: 1,
+                plans: vec![vec![1; 8], vec![2; 8]],
+            })
+            .unwrap();
+        let other = RunId {
+            workers: 2,
+            n: 1000,
+            algo: "test::OtherAlgo".into(),
+        };
+        assert!(matches!(
+            store.read_replica(&other),
+            Err(CkptError::Incompatible { .. })
+        ));
+        let _ = fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn advertisement_round_trips_and_wipe_clears_control_state() {
+        let store = tmp_store("advert");
+        let id = run_id(1);
+        assert_eq!(store.read_advertisement().unwrap(), None);
+        let ad = Advertisement {
+            epoch: 0,
+            acting: 0,
+            addr: "127.0.0.1:4400".into(),
+        };
+        store.advertise(&ad).unwrap();
+        assert_eq!(store.read_advertisement().unwrap(), Some(ad));
+        let takeover = Advertisement {
+            epoch: 2,
+            acting: 1,
+            addr: "127.0.0.1:4411".into(),
+        };
+        store.advertise(&takeover).unwrap();
+        assert_eq!(store.read_advertisement().unwrap(), Some(takeover));
+        store
+            .write_replica(&ControlReplica {
+                id: id.clone(),
+                epoch: 2,
+                standby: 1,
+                plans: vec![vec![3; 16]],
+            })
+            .unwrap();
+        store.wipe().unwrap();
+        assert_eq!(store.read_advertisement().unwrap(), None);
+        assert_eq!(store.read_replica(&id).unwrap(), None);
         let _ = fs::remove_dir_all(store.dir());
     }
 

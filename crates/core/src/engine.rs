@@ -912,11 +912,14 @@ fn run_threaded<A: Algorithm, T: ExchangeTransport>(
 /// per-channel metrics, pool counters, the rank's transport counters and
 /// (when the run traced) the rank's trace stream. The trace rides as a
 /// flagged trailing section, so untraced gather frames are byte-identical
-/// to the pre-tracing wire format.
+/// to the pre-tracing wire format; recovery counters ride a second
+/// flagged section the same way (an unfailed run encodes one `false`
+/// byte).
 fn encode_part<A: Algorithm>(
     part: &WorkerPart<A::Value>,
     tstats: TransportStats,
     trace: Option<&RankTrace>,
+    recovery: (u64, u64),
     buf: &mut Vec<u8>,
 ) {
     let (pairs, metrics, pool) = part;
@@ -954,6 +957,14 @@ fn encode_part<A: Algorithm>(
         }
         None => false.encode(buf),
     }
+    let (recoveries, recovery_us) = recovery;
+    if recoveries == 0 && recovery_us == 0 {
+        false.encode(buf);
+    } else {
+        true.encode(buf);
+        recoveries.encode(buf);
+        recovery_us.encode(buf);
+    }
 }
 
 /// Decode one worker's gather frame (see [`encode_part`]).
@@ -968,7 +979,12 @@ fn encode_part<A: Algorithm>(
 /// instead.
 fn decode_part<A: Algorithm>(
     r: &mut Reader<'_>,
-) -> (WorkerPart<A::Value>, TransportStats, Option<RankTrace>) {
+) -> (
+    WorkerPart<A::Value>,
+    TransportStats,
+    Option<RankTrace>,
+    (u64, u64),
+) {
     let npairs: u32 = r.get();
     let mut pairs = Vec::with_capacity(npairs as usize);
     for _ in 0..npairs {
@@ -1012,7 +1028,12 @@ fn decode_part<A: Algorithm>(
     } else {
         None
     };
-    ((pairs, metrics, pool), tstats, trace)
+    let recovery = if r.get::<bool>() {
+        (r.get(), r.get())
+    } else {
+        (0, 0)
+    };
+    ((pairs, metrics, pool), tstats, trace, recovery)
 }
 
 /// The multi-process driver: this process runs exactly one worker
@@ -1023,10 +1044,12 @@ fn decode_part<A: Algorithm>(
 /// — same [`drive_worker`] body, same wire traffic — which is what the
 /// multi-process arm of the conformance suite pins down. When the program
 /// terminates, one extra exchange round gathers every rank's results to
-/// rank 0: each rank posts its encoded values/metrics ([`encode_part`]),
-/// rank 0 merges them into a complete [`Output`]. Non-zero ranks return
-/// an `Output` holding only their local values (every other slot is
-/// `Default`) and their local statistics.
+/// the gather root (`role.gather_root` — rank 0 normally, the acting
+/// coordinator after a failover): each rank posts its encoded
+/// values/metrics ([`encode_part`]), the root merges them into a
+/// complete [`Output`]. Other ranks return an `Output` holding only
+/// their local values (every other slot is `Default`) and their local
+/// statistics.
 fn run_rank<A: Algorithm>(
     algo: &A,
     topo: &Arc<Topology>,
@@ -1050,11 +1073,22 @@ fn run_rank<A: Algorithm>(
     // are bookkeeping, not algorithm traffic). The rank's trace stream —
     // when the run traced — rides the same frame.
     let local_tstats = t.worker_stats(w);
+    let root = role.gather_root;
+    assert!(
+        root < workers,
+        "gather root {root} out of range 0..{workers}"
+    );
     let mut frame = Vec::new();
     supersteps.encode(&mut frame);
     rounds.encode(&mut frame);
-    encode_part::<A>(&part, local_tstats, trace.as_ref(), &mut frame);
-    t.post(w, 0, frame);
+    encode_part::<A>(
+        &part,
+        local_tstats,
+        trace.as_ref(),
+        (role.recoveries, role.recovery_us),
+        &mut frame,
+    );
+    t.post(w, root, frame);
     t.sync(w);
     // No reduction follows the gather round, so the batched driver's
     // held-for-coalescing frames must be pushed out explicitly — without
@@ -1069,10 +1103,12 @@ fn run_rank<A: Algorithm>(
         transport_name: t.name(),
         ..Default::default()
     };
-    if w != 0 {
-        // Non-zero ranks keep their local view; `received` only drained
+    if w != root {
+        // Non-root ranks keep their local view; `received` only drained
         // the round's SKIP markers.
         stats.transport = local_tstats;
+        stats.recoveries = role.recoveries;
+        stats.recovery_us = role.recovery_us;
         if let Some(tr) = trace {
             stats.timeline = tr.timeline.clone();
             stats.traces = vec![tr];
@@ -1092,9 +1128,11 @@ fn run_rank<A: Algorithm>(
             (supersteps, rounds),
             "rank {sender} disagrees on the superstep/round count"
         );
-        let (p, tstats, tr) = decode_part::<A>(&mut r);
+        let (p, tstats, tr, (recoveries, recovery_us)) = decode_part::<A>(&mut r);
         assert!(r.is_empty(), "trailing bytes in rank {sender}'s results");
         stats.transport.merge(&tstats);
+        stats.recoveries += recoveries;
+        stats.recovery_us += recovery_us;
         if let Some(tr) = tr {
             traces.push(tr);
         }
@@ -1351,10 +1389,62 @@ mod tests {
         }
     }
 
+    /// After a coordinator failover, result gather follows the *acting*
+    /// coordinator: with `gather_root = 1`, rank 1 assembles the
+    /// complete output (identical to the sequential reference) and sums
+    /// every rank's recovery counters, while rank 0 keeps only its local
+    /// view like any other non-root rank.
+    #[test]
+    fn rank_driver_gathers_results_to_the_acting_root() {
+        let n = 120u32;
+        let workers = 3;
+        let root = 1usize;
+        let topo = Arc::new(Topology::hashed(n as usize, workers));
+        let seq = run(&RingSum { n }, &topo, &Config::sequential(workers));
+        let tcp = Arc::new(Tcp::loopback(workers).unwrap());
+        let mut outs: Vec<Option<Output<u64>>> = (0..workers).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let mut cfg = Config::rank(workers, w, Arc::clone(&tcp));
+                let role = cfg.dist.as_mut().unwrap();
+                role.gather_root = root;
+                role.recoveries = 1;
+                role.recovery_us = 100 + w as u64;
+                let topo = Arc::clone(&topo);
+                handles.push(scope.spawn(move || (w, run(&RingSum { n }, &topo, &cfg))));
+            }
+            for h in handles {
+                let (w, out) = h.join().unwrap();
+                outs[w] = Some(out);
+            }
+        });
+        let outs: Vec<Output<u64>> = outs.into_iter().map(Option::unwrap).collect();
+        assert_eq!(outs[root].values, seq.values);
+        assert_eq!(outs[root].stats.messages(), seq.stats.messages());
+        assert_eq!(outs[root].stats.supersteps, seq.stats.supersteps);
+        assert_eq!(outs[root].stats.pool, seq.stats.pool);
+        assert_eq!(outs[root].stats.recoveries, workers as u64);
+        assert_eq!(outs[root].stats.recovery_us, 100 + 101 + 102);
+        for (w, out) in outs.iter().enumerate() {
+            if w == root {
+                continue;
+            }
+            for &gid in topo.locals(w) {
+                assert_eq!(out.values[gid as usize], seq.values[gid as usize]);
+            }
+            assert!(out.stats.messages() < seq.stats.messages());
+            assert_eq!(out.stats.recoveries, 1, "non-root keeps its local count");
+        }
+    }
+
     /// The dist gather codec round-trips a complete rank frame — with
     /// and without the flagged trace section — bit-exactly: value pairs,
-    /// channel metrics, pool counters, every transport counter, and
-    /// every span/timeline field of the trace.
+    /// channel metrics, pool counters, every transport counter, every
+    /// span/timeline field of the trace, and the recovery counters. Each
+    /// recovery field carries a distinct non-zero value so a summation
+    /// or ordering typo in the codec breaks a distinct assertion, and
+    /// the zero case must cost exactly one flag byte.
     #[test]
     fn gather_frame_round_trips_rank_traces() {
         use pc_bsp::trace::TraceEvent;
@@ -1414,32 +1504,44 @@ mod tests {
             }],
         };
         for trace in [None, Some(&tr)] {
-            let mut buf = Vec::new();
-            encode_part::<RingSum>(&part, tstats, trace, &mut buf);
-            let mut r = Reader::new(&buf);
-            let (p, ts, tr_back) = decode_part::<RingSum>(&mut r);
-            assert!(r.is_empty(), "trailing gather bytes");
-            assert_eq!(p.0, part.0);
-            assert_eq!(p.2, part.2);
-            let (m, m0) = (&p.1[0], &part.1[0]);
-            assert_eq!(
-                (
-                    m.name.as_str(),
-                    m.bytes,
-                    m.messages,
-                    m.mirrored,
-                    m.mirror_saved
-                ),
-                (
-                    m0.name.as_str(),
-                    m0.bytes,
-                    m0.messages,
-                    m0.mirrored,
-                    m0.mirror_saved
-                )
-            );
-            assert_eq!(ts, tstats);
-            assert_eq!(tr_back.as_ref(), trace);
+            for recovery in [(0u64, 0u64), (3, 41_000)] {
+                let mut buf = Vec::new();
+                encode_part::<RingSum>(&part, tstats, trace, recovery, &mut buf);
+                if recovery == (0, 0) {
+                    let mut plain = Vec::new();
+                    encode_part::<RingSum>(&part, tstats, trace, (0, 0), &mut plain);
+                    assert_eq!(
+                        buf.len(),
+                        plain.len(),
+                        "unfailed frames must stay one flag byte"
+                    );
+                }
+                let mut r = Reader::new(&buf);
+                let (p, ts, tr_back, rec_back) = decode_part::<RingSum>(&mut r);
+                assert!(r.is_empty(), "trailing gather bytes");
+                assert_eq!(rec_back, recovery);
+                assert_eq!(p.0, part.0);
+                assert_eq!(p.2, part.2);
+                let (m, m0) = (&p.1[0], &part.1[0]);
+                assert_eq!(
+                    (
+                        m.name.as_str(),
+                        m.bytes,
+                        m.messages,
+                        m.mirrored,
+                        m.mirror_saved
+                    ),
+                    (
+                        m0.name.as_str(),
+                        m0.bytes,
+                        m0.messages,
+                        m0.mirrored,
+                        m0.mirror_saved
+                    )
+                );
+                assert_eq!(ts, tstats);
+                assert_eq!(tr_back.as_ref(), trace);
+            }
         }
     }
 

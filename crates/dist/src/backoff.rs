@@ -1,0 +1,111 @@
+//! Bounded exponential backoff with jitter for control-plane retries.
+//!
+//! Rendezvous joins used to hammer `TcpStream::connect` in a tight
+//! 2 ms loop until the deadline — harmless on localhost, a SYN storm
+//! against a slow coordinator on a real network, and a thundering herd
+//! when a whole cluster of followers retries in lockstep. This schedule
+//! doubles the delay per failed attempt up to a cap and spreads each
+//! sleep uniformly over `[delay/2, delay]` (decorrelation jitter), so
+//! concurrent retriers drift apart instead of synchronizing.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::time::Duration;
+
+/// An exponential retry schedule: `base, 2·base, 4·base, … , cap`, each
+/// delay jittered down by up to half. Deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    next_us: u64,
+    cap_us: u64,
+    rng: StdRng,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and never exceeding `cap` per sleep.
+    /// `seed` decorrelates concurrent retriers (ranks seed with their
+    /// rank id); equal seeds produce equal schedules.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Self {
+        let base_us = (base.as_micros() as u64).max(1);
+        Backoff {
+            next_us: base_us,
+            cap_us: (cap.as_micros() as u64).max(base_us),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The schedule the connect path uses: 2 ms doubling to a 250 ms
+    /// ceiling — sub-second reaction when the coordinator appears,
+    /// a handful of attempts per second once it is clearly slow.
+    pub fn for_connect(seed: u64) -> Self {
+        Backoff::new(Duration::from_millis(2), Duration::from_millis(250), seed)
+    }
+
+    /// Next delay: the current step jittered uniformly into
+    /// `[step/2, step]`, then the step doubles (saturating at the cap).
+    pub fn next_delay(&mut self) -> Duration {
+        let step = self.next_us;
+        self.next_us = (step.saturating_mul(2)).min(self.cap_us);
+        let lo = (step / 2).max(1);
+        Duration::from_micros(self.rng.random_range(lo..=step))
+    }
+
+    /// Sleep for [`Backoff::next_delay`], but never past `remaining` —
+    /// a retry loop racing a deadline should wake exactly at it.
+    pub fn sleep(&mut self, remaining: Duration) {
+        let delay = self.next_delay().min(remaining);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The schedule is exponential with a hard cap, every delay lands in
+    /// `[step/2, step]`, and equal seeds give equal schedules while
+    /// different seeds decorrelate.
+    #[test]
+    fn schedule_doubles_jitters_and_caps() {
+        let base = Duration::from_millis(2);
+        let cap = Duration::from_millis(250);
+        let mut b = Backoff::new(base, cap, 7);
+        let mut step_us = 2_000u64;
+        for attempt in 0..12 {
+            let d = b.next_delay().as_micros() as u64;
+            assert!(
+                d >= step_us / 2 && d <= step_us,
+                "attempt {attempt}: delay {d}µs outside [{}, {step_us}]µs",
+                step_us / 2
+            );
+            step_us = (step_us * 2).min(250_000);
+        }
+        // Past the cap the step stays pinned.
+        for _ in 0..8 {
+            let d = b.next_delay().as_micros() as u64;
+            assert!((125_000..=250_000).contains(&d), "capped delay {d}µs");
+        }
+
+        let seq = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(base, cap, seed);
+            (0..10).map(|_| b.next_delay()).collect()
+        };
+        assert_eq!(seq(42), seq(42), "same seed, same schedule");
+        assert_ne!(seq(1), seq(2), "different seeds decorrelate");
+    }
+
+    /// Sleeping against a deadline never overshoots the remaining budget.
+    #[test]
+    fn sleep_respects_the_remaining_budget() {
+        let mut b = Backoff::new(Duration::from_millis(50), Duration::from_millis(250), 3);
+        let started = std::time::Instant::now();
+        b.sleep(Duration::from_millis(5));
+        assert!(
+            started.elapsed() < Duration::from_millis(40),
+            "slept past the remaining budget: {:?}",
+            started.elapsed()
+        );
+    }
+}

@@ -19,6 +19,7 @@
 //! explicit deadline and fails with a typed [`TransportError`] — a rank
 //! that never shows up is an error, not a hang.
 
+use crate::backoff::Backoff;
 use pc_bsp::tcp::{configure_stream, read_frame_into, write_frame};
 use pc_bsp::{Codec, Reader, TransportError};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -34,9 +35,15 @@ pub const TAG_PLAN: u8 = b'G';
 /// Control frame: run settings the coordinator decides for every rank.
 pub const TAG_SETTINGS: u8 = b'S';
 /// Control frame: the coordinator starts recovery epoch `{epoch}` after a
-/// data-plane failure; every surviving rank re-binds a fresh data-plane
-/// listener and answers with a new `JOIN`.
+/// data-plane failure (payload also names the acting coordinator's
+/// rendezvous address, so a rank can tell who is running the recovery);
+/// every surviving rank re-binds a fresh data-plane listener and answers
+/// with a new `JOIN`.
 pub const TAG_RECOVER: u8 = b'R';
+/// Control frame: replicated control-plane state (`CTRL`) — the recovery
+/// epoch, the designated standby rank, and (for the standby itself) every
+/// rank's encoded plan. Only sent when coordinator failover is armed.
+pub const TAG_CTRL: u8 = b'C';
 
 /// `JOIN` flag: this rank holds no graph partition and needs its `PLAN`
 /// (re-)shipped — set by every initial join and by respawned ranks, clear
@@ -185,13 +192,93 @@ fn decode_peers(payload: &[u8], rank: usize) -> Result<(Vec<SocketAddr>, u32), T
     Ok((peers, r.get()))
 }
 
-/// Rank 0's side of the rendezvous: accepts every follower, collects the
-/// data-plane peer table, broadcasts it, and keeps one control stream per
-/// follower for partition shipping.
+/// The control-plane configuration a `CTRL` frame distributes: which
+/// recovery epoch it belongs to, which rank is the designated standby,
+/// and — on the frame sent to the standby itself — every rank's encoded
+/// partition plan (the replica a takeover re-ships from).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtrlState {
+    /// Recovery epoch this configuration was published at.
+    pub epoch: u32,
+    /// Rank designated as standby coordinator.
+    pub standby: u32,
+    /// Every rank's encoded plan; `Some` only on the standby's frame.
+    pub plans: Option<Vec<Vec<u8>>>,
+}
+
+/// Encode a `CTRL` frame payload.
+pub fn encode_ctrl(state: &CtrlState) -> Vec<u8> {
+    let mut buf = Vec::new();
+    state.epoch.encode(&mut buf);
+    state.standby.encode(&mut buf);
+    match &state.plans {
+        None => false.encode(&mut buf),
+        Some(plans) => {
+            true.encode(&mut buf);
+            (plans.len() as u32).encode(&mut buf);
+            for plan in plans {
+                (plan.len() as u64).encode(&mut buf);
+                buf.extend_from_slice(plan);
+            }
+        }
+    }
+    buf
+}
+
+/// Decode a `CTRL` frame payload.
+pub fn decode_ctrl(payload: &[u8], peer: usize) -> Result<CtrlState, TransportError> {
+    let protocol = |detail: String| TransportError::Protocol { peer, detail };
+    let mut r = Reader::new(payload);
+    if r.remaining() < 9 {
+        return Err(protocol("CTRL too short".to_string()));
+    }
+    let epoch: u32 = r.get();
+    let standby: u32 = r.get();
+    let has_plans: bool = r.get();
+    let plans = if has_plans {
+        if r.remaining() < 4 {
+            return Err(protocol("CTRL plan count truncated".to_string()));
+        }
+        let count = r.get::<u32>() as usize;
+        let mut plans = Vec::with_capacity(count);
+        for i in 0..count {
+            if r.remaining() < 8 {
+                return Err(protocol(format!("CTRL plan {i} length truncated")));
+            }
+            let len: u64 = r.get();
+            if (r.remaining() as u64) < len {
+                return Err(protocol(format!(
+                    "CTRL plan {i} of {len} bytes but only {} left",
+                    r.remaining()
+                )));
+            }
+            plans.push(r.take(len as usize).to_vec());
+        }
+        Some(plans)
+    } else {
+        None
+    };
+    if !r.is_empty() {
+        return Err(protocol(format!("{} trailing CTRL bytes", r.remaining())));
+    }
+    Ok(CtrlState {
+        epoch,
+        standby,
+        plans,
+    })
+}
+
+/// The coordinator's side of the rendezvous: accepts every follower,
+/// collects the data-plane peer table, broadcasts it, and keeps one
+/// control stream per follower for partition shipping. Normally rank 0;
+/// after a failover, the elected standby (see [`Coordinator::takeover`]).
 #[derive(Debug)]
 pub struct Coordinator {
     ranks: usize,
-    /// Control stream per follower (`None` at index 0 — that is us).
+    /// Which rank this coordinator is (0 at bootstrap; the elected
+    /// standby after a takeover).
+    self_rank: usize,
+    /// Control stream per follower (`None` at our own index).
     links: Vec<Option<TcpStream>>,
     peers: Vec<SocketAddr>,
     opts: BootstrapOptions,
@@ -300,11 +387,43 @@ impl Coordinator {
         }
         Ok(Coordinator {
             ranks,
+            self_rank: 0,
             links,
             peers,
             opts,
             listener,
             epoch: 0,
+        })
+    }
+
+    /// A standby rank **takes over** as coordinator after rank-0 (or a
+    /// previous acting coordinator's) death: bind a fresh rendezvous
+    /// listener, adopt the cluster shape at recovery epoch `epoch`, and
+    /// return with *no* live control links — the next
+    /// [`Coordinator::recover`] call collects every rank (survivors and
+    /// respawns alike) through the listener, which is why survivors must
+    /// learn the new rendezvous address out of band (the coordinator
+    /// advertisement in the checkpoint store).
+    pub fn takeover(
+        bind_addr: SocketAddr,
+        ranks: usize,
+        self_rank: usize,
+        epoch: u32,
+        opts: BootstrapOptions,
+    ) -> Result<Self, TransportError> {
+        assert!(self_rank < ranks, "acting rank must be in the cluster");
+        let listener = TcpListener::bind(bind_addr).map_err(|e| TransportError::Connect {
+            peer: self_rank,
+            detail: format!("bind takeover rendezvous address {bind_addr}: {e}"),
+        })?;
+        Ok(Coordinator {
+            ranks,
+            self_rank,
+            links: (0..ranks).map(|_| None).collect(),
+            peers: Vec::new(),
+            opts,
+            listener,
+            epoch,
         })
     }
 
@@ -316,6 +435,19 @@ impl Coordinator {
     /// Number of ranks in the cluster.
     pub fn ranks(&self) -> usize {
         self.ranks
+    }
+
+    /// The rank acting as coordinator (0 unless this is a takeover).
+    pub fn acting_rank(&self) -> usize {
+        self.self_rank
+    }
+
+    /// The rendezvous listener's address — what followers connect to,
+    /// and what the coordinator advertisement publishes.
+    pub fn control_addr(&self) -> Result<SocketAddr, TransportError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| io_err(self.self_rank, "rendezvous local_addr", e))
     }
 
     /// Send one control frame to a follower. A rank whose control link
@@ -354,23 +486,26 @@ impl Coordinator {
     /// on a fresh peer table that replaces every rank's (torn-down) mesh.
     ///
     /// ```text
-    /// coordinator:  RECOVER{epoch}  ──────▶  every live control link
+    /// coordinator:  RECOVER{epoch, coordinator_addr}  ──▶  every live control link
     /// survivor r:   JOIN{r, new_data_addr, flags=0, epoch}  ──▶  (same link)
     /// respawned r:  JOIN{r, data_addr, NEEDS_PLAN, ·}  ──▶  (fresh connection
     ///                                                        to the kept listener)
     /// coordinator:  PEERS{addrs, epoch}  ──────▶  everyone
     /// ```
     ///
-    /// `data_addr` is rank 0's own freshly bound data-plane address.
-    /// Returns, per rank, whether its `PLAN` must be (re-)shipped — true
-    /// exactly for the ranks that re-joined through the listener (they
-    /// are fresh processes holding no partition). Control links that fail
-    /// during the exchange are treated as dead ranks and replaced by a
-    /// listener join; a rank that appears on neither path before the
-    /// connect deadline is a typed timeout.
+    /// `data_addr` is the acting coordinator's own freshly bound
+    /// data-plane address. Returns, per rank, whether its `PLAN` must be
+    /// (re-)shipped — true exactly for the joins that carried
+    /// `NEEDS_PLAN` (fresh processes holding no partition; a survivor
+    /// reconnecting through a takeover coordinator's listener clears the
+    /// flag and keeps its partition). Control links that fail during the
+    /// exchange are treated as dead ranks and replaced by a listener
+    /// join; a rank that appears on neither path before the connect
+    /// deadline is a typed timeout.
     pub fn recover(&mut self, data_addr: SocketAddr) -> Result<Vec<bool>, TransportError> {
         self.epoch += 1;
         let epoch = self.epoch;
+        let self_rank = self.self_rank;
         // A healthy survivor only notices the failure at its next
         // transport call, which can be a full compute phase away — give
         // the re-JOIN collection the generous control-plane deadline,
@@ -379,13 +514,15 @@ impl Coordinator {
         let deadline = Instant::now() + self.opts.connect_timeout.max(self.opts.io_timeout);
         let mut peers: Vec<Option<SocketAddr>> = (0..self.ranks).map(|_| None).collect();
         let mut needs_plan = vec![false; self.ranks];
-        peers[0] = Some(data_addr);
-        // Phase 1a: announce the epoch on every control link that still
-        // accepts writes; failures mark the rank dead (its replacement
-        // will come through the listener).
+        peers[self_rank] = Some(data_addr);
+        // Phase 1a: announce the epoch (and where this coordinator's
+        // listener is) on every control link that still accepts writes;
+        // failures mark the rank dead (its replacement will come through
+        // the listener).
         let mut notice = Vec::new();
         epoch.encode(&mut notice);
-        for rank in 1..self.ranks {
+        encode_addr(&self.control_addr()?, &mut notice);
+        for rank in (0..self.ranks).filter(|&r| r != self_rank) {
             let dead = match &self.links[rank] {
                 Some(link) => write_frame(link, TAG_RECOVER, &notice, deadline, rank).is_err(),
                 None => true,
@@ -397,7 +534,7 @@ impl Coordinator {
         // Phase 1b: collect the survivors' re-JOINs. A stale JOIN from an
         // aborted earlier recovery epoch is skipped, not an error.
         let mut scratch = Vec::new();
-        for rank in 1..self.ranks {
+        for rank in (0..self.ranks).filter(|&r| r != self_rank) {
             let Some(link) = &self.links[rank] else {
                 continue;
             };
@@ -443,7 +580,7 @@ impl Coordinator {
                         break; // every slot filled and the backlog drained
                     }
                     if Instant::now() >= deadline {
-                        let missing = (1..self.ranks).find(|&r| peers[r].is_none()).unwrap();
+                        let missing = (0..self.ranks).find(|&r| peers[r].is_none()).unwrap();
                         return Err(TransportError::Timeout {
                             peer: missing,
                             during: "recovery rendezvous (a rank never re-joined)",
@@ -464,8 +601,9 @@ impl Coordinator {
                 continue;
             };
             let rank = join.rank;
-            let replaceable =
-                rank != 0 && rank < self.ranks && (peers[rank].is_none() || from_listener[rank]);
+            let replaceable = rank != self_rank
+                && rank < self.ranks
+                && (peers[rank].is_none() || from_listener[rank]);
             if !replaceable {
                 // A listener join may only fill a dead slot (or replace a
                 // staler listener join); survivors answered on their
@@ -473,7 +611,11 @@ impl Coordinator {
                 continue;
             }
             peers[rank] = Some(join.addr);
-            needs_plan[rank] = true; // fresh processes never hold a partition
+            // A fresh process joins with NEEDS_PLAN set; a *survivor*
+            // joining through the listener (its old control link pointed
+            // at a dead coordinator) keeps its in-memory partition and
+            // joins with the flag clear.
+            needs_plan[rank] = join.flags & JOIN_NEEDS_PLAN != 0;
             from_listener[rank] = true;
             self.links[rank] = Some(stream);
         }
@@ -484,7 +626,7 @@ impl Coordinator {
         // faults the new mesh, and the *next* recovery epoch repairs it.
         let table = encode_peers(&self.peers, epoch);
         let io_deadline = Instant::now() + self.opts.io_timeout;
-        for rank in 1..self.ranks {
+        for rank in (0..self.ranks).filter(|&r| r != self_rank) {
             let link = self.links[rank].as_ref().expect("all ranks re-joined");
             if write_frame(link, TAG_PEERS, &table, io_deadline, rank).is_err() {
                 self.links[rank] = None;
@@ -509,34 +651,50 @@ pub struct Follower {
 impl Follower {
     /// Connect to the coordinator (retrying until the connect deadline —
     /// rank 0 may still be starting), announce `rank` + `data_addr`, and
-    /// block for the peer table.
+    /// block for the peer table. Joining processes never hold a
+    /// partition, so the `JOIN` carries `NEEDS_PLAN`; a *survivor*
+    /// reconnecting to a takeover coordinator uses
+    /// [`Follower::join_with`] with the flag clear to keep its partition.
     pub fn join(
         coordinator: SocketAddr,
         rank: usize,
         data_addr: SocketAddr,
         opts: BootstrapOptions,
     ) -> Result<Self, TransportError> {
-        assert!(rank >= 1, "rank 0 is the coordinator; it does not join");
+        Self::join_with(coordinator, rank, data_addr, JOIN_NEEDS_PLAN, opts)
+    }
+
+    /// [`Follower::join`] with explicit `JOIN` flags. Any rank may join —
+    /// including a respawned rank 0 rejoining a takeover coordinator as a
+    /// plain follower. Connect retries follow a jittered exponential
+    /// backoff (seeded by `rank` so a whole cluster of retriers does not
+    /// SYN-storm a slow coordinator in lockstep).
+    pub fn join_with(
+        coordinator: SocketAddr,
+        rank: usize,
+        data_addr: SocketAddr,
+        flags: u8,
+        opts: BootstrapOptions,
+    ) -> Result<Self, TransportError> {
         let deadline = Instant::now() + opts.connect_timeout;
+        let mut backoff = Backoff::for_connect(rank as u64);
         let stream = loop {
             match TcpStream::connect(coordinator) {
                 Ok(s) => break s,
                 Err(e) => {
-                    if Instant::now() >= deadline {
+                    let now = Instant::now();
+                    if now >= deadline {
                         return Err(TransportError::Connect {
                             peer: 0,
                             detail: format!("connect rendezvous {coordinator}: {e}"),
                         });
                     }
-                    std::thread::sleep(Duration::from_millis(2));
+                    backoff.sleep(deadline - now);
                 }
             }
         };
         configure_stream(&stream).map_err(|e| io_err(0, "configure rendezvous stream", e))?;
-        // Joining processes never hold a partition: the initial bootstrap
-        // always ships one, and a respawned rank joining a recovery epoch
-        // needs its partition re-shipped just the same.
-        let join = encode_join(rank, &data_addr, JOIN_NEEDS_PLAN, 0);
+        let join = encode_join(rank, &data_addr, flags, 0);
         write_frame(&stream, TAG_JOIN, &join, deadline, 0)?;
         let mut scratch = Vec::new();
         let tag = read_frame_into(&stream, &mut scratch, deadline, 0)?;
@@ -610,7 +768,13 @@ impl Follower {
                     detail: "RECOVER too short".to_string(),
                 });
             }
-            Ok(r.get())
+            let epoch = r.get();
+            // The payload also names the acting coordinator's rendezvous
+            // address; on a live control link it is by construction the
+            // peer this frame arrived from, so it is informational here
+            // (respawned ranks learn it from the advertisement instead).
+            let _ = decode_addr(&mut r, 0)?;
+            Ok(epoch)
         }
         // Wait for the coordinator to open the recovery epoch.
         let mut epoch = match read_frame_into(&self.link, &mut scratch, deadline, 0)? {
@@ -815,6 +979,68 @@ mod tests {
             matches!(err, TransportError::Timeout { peer: 1, .. }),
             "{err}"
         );
+    }
+
+    /// `CTRL` frames round-trip both shapes: configuration-only (no
+    /// plans) and the standby's full replica.
+    #[test]
+    fn ctrl_frame_round_trips() {
+        let bare = CtrlState {
+            epoch: 3,
+            standby: 2,
+            plans: None,
+        };
+        assert_eq!(decode_ctrl(&encode_ctrl(&bare), 1).unwrap(), bare);
+        let full = CtrlState {
+            epoch: 7,
+            standby: 1,
+            plans: Some(vec![vec![1, 2, 3], Vec::new(), vec![9; 300]]),
+        };
+        assert_eq!(decode_ctrl(&encode_ctrl(&full), 1).unwrap(), full);
+        assert!(matches!(
+            decode_ctrl(&[1, 2], 1),
+            Err(TransportError::Protocol { .. })
+        ));
+    }
+
+    /// Coordinator failover: rank 1 takes over after rank 0's death,
+    /// binds a fresh listener, and runs a recovery rendezvous where the
+    /// survivor (rank 2) reconnects keeping its partition, the respawned
+    /// rank 0 joins as a plain follower needing its plan, and everyone
+    /// agrees on the new table at the bumped epoch.
+    #[test]
+    fn takeover_rendezvous_elects_a_standby_coordinator() {
+        let data: Vec<SocketAddr> = (0..3).map(|_| free_addr()).collect();
+        let mut c = Coordinator::takeover(free_addr(), 3, 1, 4, quick()).unwrap();
+        assert_eq!(c.acting_rank(), 1);
+        let rendezvous = c.control_addr().unwrap();
+        let (data0, data2) = (data[0], data[2]);
+        // Survivor rank 2: reconnects with NEEDS_PLAN clear.
+        let survivor = std::thread::spawn(move || {
+            let f = Follower::join_with(rendezvous, 2, data2, 0, quick()).unwrap();
+            assert_eq!(f.epoch(), 5, "survivor adopts the takeover epoch");
+            f.peers().to_vec()
+        });
+        // Respawned rank 0: an ordinary join — it is a follower now.
+        let respawned = std::thread::spawn(move || {
+            let mut f = Follower::join(rendezvous, 0, data0, quick()).unwrap();
+            assert_eq!(f.epoch(), 5);
+            let mut plan = Vec::new();
+            assert_eq!(f.recv(&mut plan).unwrap(), TAG_PLAN);
+            assert_eq!(plan, vec![7; 3]);
+            f.peers().to_vec()
+        });
+        let needs_plan = c.recover(data[1]).unwrap();
+        assert_eq!(c.epoch(), 5);
+        assert_eq!(
+            needs_plan,
+            vec![true, false, false],
+            "only the respawned rank needs its plan re-shipped"
+        );
+        assert_eq!(c.peers(), &data[..]);
+        c.send(0, TAG_PLAN, &[7; 3]).unwrap();
+        assert_eq!(survivor.join().unwrap(), data);
+        assert_eq!(respawned.join().unwrap(), data);
     }
 
     /// Duplicate JOINs are protocol violations, not silent overwrites.

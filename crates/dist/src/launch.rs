@@ -13,7 +13,7 @@
 //! bootstrap / panic) and the captured stderr; the remaining children are
 //! killed so a wedged rank cannot leak processes.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -110,13 +110,22 @@ pub struct LaunchSpec {
     pub ranks: usize,
     /// Deadline for the whole cluster to finish.
     pub join_timeout: Duration,
-    /// How many times a *non-zero* rank that exits abnormally is
-    /// respawned before its failure is propagated. 0 (the default for
-    /// runs without checkpointing) keeps the original fail-fast
-    /// supervision: any abnormal exit kills the cluster. Rank 0 is never
-    /// respawned — it owns the rendezvous listener, the control plane and
-    /// the loaded graph, so its death is fatal by design.
+    /// How many times a rank that exits abnormally is respawned before
+    /// its failure is propagated. 0 (the default for runs without
+    /// checkpointing) keeps the original fail-fast supervision: any
+    /// abnormal exit kills the cluster. Without [`LaunchSpec::ctrl_dir`],
+    /// rank 0 is never respawned — it owns the rendezvous listener, the
+    /// control plane and the loaded graph, so its death is fatal by
+    /// design; with coordinator failover armed, rank 0 shares the budget
+    /// like everyone else (it comes back as a plain follower).
     pub max_respawns: u32,
+    /// Checkpoint directory holding the coordinator advertisement
+    /// (`COORDINATOR`). `Some` arms coordinator failover: job completion
+    /// is judged by the *acting* coordinator named in the advertisement
+    /// (rank 0 until a standby takes over) rather than rank 0, rank 0
+    /// becomes respawnable, and follower stdout is captured so a takeover
+    /// coordinator's merged results can be replayed to the terminal.
+    pub ctrl_dir: Option<PathBuf>,
 }
 
 /// Pick a free loopback address for the rendezvous.
@@ -140,28 +149,53 @@ fn kill_all(children: &mut [(usize, Option<Child>)]) {
     }
 }
 
+/// Drain a child pipe on a capture thread.
+fn capture(pipe: impl Read + Send + 'static) -> std::thread::JoinHandle<String> {
+    std::thread::spawn(move || {
+        let mut pipe = pipe;
+        let mut out = String::new();
+        let _ = pipe.read_to_string(&mut out);
+        out
+    })
+}
+
+/// Read the acting coordinator's rank from the advertisement, if
+/// failover is armed and one has been published. Rank 0 is acting until
+/// a standby takes over (and always, when failover is off).
+fn advertised_acting(ctrl_dir: &Option<PathBuf>) -> usize {
+    let Some(dir) = ctrl_dir else { return 0 };
+    match pc_ckpt::Store::open(dir).and_then(|s| s.read_advertisement()) {
+        Ok(Some(ad)) => ad.acting as usize,
+        _ => 0,
+    }
+}
+
 /// Spawn one rank's child process; rank 0 inherits the terminal, other
-/// ranks get their stderr piped into a capture thread.
+/// ranks get their stderr piped into a capture thread (stdout too when
+/// failover is armed, so a takeover coordinator's results survive).
 fn spawn_rank(
     spec: &LaunchSpec,
     rank: usize,
     args: Vec<String>,
-    reader_slot: &mut Option<std::thread::JoinHandle<String>>,
+    stderr_slot: &mut Option<std::thread::JoinHandle<String>>,
+    stdout_slot: &mut Option<std::thread::JoinHandle<String>>,
 ) -> Result<Child, std::io::Error> {
     let mut cmd = Command::new(&spec.exe);
     cmd.args(args);
     if rank > 0 {
-        cmd.stdout(Stdio::null());
+        if spec.ctrl_dir.is_some() {
+            cmd.stdout(Stdio::piped());
+        } else {
+            cmd.stdout(Stdio::null());
+        }
         cmd.stderr(Stdio::piped());
     }
     let mut child = cmd.spawn()?;
     if let Some(pipe) = child.stderr.take() {
-        *reader_slot = Some(std::thread::spawn(move || {
-            let mut pipe = pipe;
-            let mut out = String::new();
-            let _ = pipe.read_to_string(&mut out);
-            out
-        }));
+        *stderr_slot = Some(capture(pipe));
+    }
+    if let Some(pipe) = child.stdout.take() {
+        *stdout_slot = Some(capture(pipe));
     }
     Ok(child)
 }
@@ -174,20 +208,29 @@ fn spawn_rank(
 /// rank is respawned up to `spec.max_respawns` times (the rank-failure
 /// recovery path: the new process re-joins the coordinator and the
 /// cluster resumes from the last committed checkpoint); past the budget
-/// — or for rank 0, or with `max_respawns == 0` — the first failure
-/// kills the remaining children and is returned typed.
+/// — or with `max_respawns == 0` — the first failure kills the remaining
+/// children and is returned typed. Rank 0's death is fatal too, unless
+/// [`LaunchSpec::ctrl_dir`] arms coordinator failover: then rank 0 is
+/// respawned like any other rank (the in-cluster standby election gives
+/// the survivors a new coordinator; the respawn rejoins it as a plain
+/// follower) and the job is complete when the *acting* coordinator named
+/// in the advertisement exits 0.
 pub fn launch(
     spec: &LaunchSpec,
     args_for_rank: impl Fn(usize) -> Vec<String>,
 ) -> Result<(), LaunchError> {
     assert!(spec.ranks >= 1);
+    let failover = spec.ctrl_dir.is_some();
     let mut children: Vec<(usize, Option<Child>)> = Vec::with_capacity(spec.ranks);
     let mut stderr_readers: Vec<Option<std::thread::JoinHandle<String>>> =
         (0..spec.ranks).map(|_| None).collect();
+    let mut stdout_readers: Vec<Option<std::thread::JoinHandle<String>>> =
+        (0..spec.ranks).map(|_| None).collect();
     let mut respawns = vec![0u32; spec.ranks];
     // Rank 0 first: it binds the rendezvous address the others dial.
-    for (rank, reader_slot) in stderr_readers.iter_mut().enumerate() {
-        match spawn_rank(spec, rank, args_for_rank(rank), reader_slot) {
+    for rank in 0..spec.ranks {
+        let (err_slot, out_slot) = (&mut stderr_readers[rank], &mut stdout_readers[rank]);
+        match spawn_rank(spec, rank, args_for_rank(rank), err_slot, out_slot) {
             Ok(child) => children.push((rank, Some(child))),
             Err(error) => {
                 kill_all(&mut children);
@@ -211,12 +254,32 @@ pub fn launch(
                     *slot = None;
                     if status.success() {
                         done[rank] = true;
-                        if rank == 0 && recovery {
-                            // Rank 0 printed (and, under --verify,
-                            // validated) the merged results: the job is
-                            // complete. Stragglers — e.g. a respawned
-                            // rank still looking for a cluster that just
-                            // finished without it — are moot.
+                        if (recovery || failover) && rank == advertised_acting(&spec.ctrl_dir) {
+                            // The acting coordinator printed (and, under
+                            // --verify, validated) the merged results:
+                            // the job is complete. Stragglers — e.g. a
+                            // respawned rank still looking for a cluster
+                            // that just finished without it — are moot.
+                            // A takeover coordinator's streams were piped
+                            // (it started as a follower); replay them so
+                            // the terminal sees the results and the
+                            // report/verify lines.
+                            if rank != 0 {
+                                if let Some(out) =
+                                    stdout_readers[rank].take().and_then(|h| h.join().ok())
+                                {
+                                    let mut stdout = std::io::stdout();
+                                    let _ = stdout.write_all(out.as_bytes());
+                                    let _ = stdout.flush();
+                                }
+                                if let Some(err) =
+                                    stderr_readers[rank].take().and_then(|h| h.join().ok())
+                                {
+                                    let mut stderr = std::io::stderr();
+                                    let _ = stderr.write_all(err.as_bytes());
+                                    let _ = stderr.flush();
+                                }
+                            }
                             kill_all(&mut children);
                             return Ok(());
                         }
@@ -224,8 +287,12 @@ pub fn launch(
                     }
                     let code = status.code();
                     let kind = classify_exit(code);
-                    if recovery && rank != 0 && respawns[rank] < spec.max_respawns {
+                    if recovery && (rank != 0 || failover) && respawns[rank] < spec.max_respawns {
                         respawns[rank] += 1;
+                        // A dead rank's partial stdout (it may have been
+                        // the acting coordinator) is noise: discard it so
+                        // the eventual winner's output stands alone.
+                        drop(stdout_readers[rank].take().map(|h| h.join()));
                         let captured = stderr_readers[rank]
                             .take()
                             .and_then(|h| h.join().ok())
@@ -268,12 +335,12 @@ pub fn launch(
             // that had already finished their part (the end-of-run
             // window, where followers exit right after posting their
             // gather) come back too; they restore the same checkpoint and
-            // replay the same tail. Any non-zero rank without a live
-            // child is (re)spawned here, so several victims in one poll
-            // pass all come back.
+            // replay the same tail. Any non-live rank is (re)spawned
+            // here — rank 0 included when failover is armed — so several
+            // victims in one poll pass all come back.
             for i in 0..children.len() {
                 let (rank, ref slot) = children[i];
-                if rank == 0 || slot.is_some() {
+                if (rank == 0 && !failover) || slot.is_some() {
                     continue;
                 }
                 if done[rank] {
@@ -283,7 +350,13 @@ pub fn launch(
                     );
                     done[rank] = false;
                 }
-                match spawn_rank(spec, rank, args_for_rank(rank), &mut stderr_readers[rank]) {
+                match spawn_rank(
+                    spec,
+                    rank,
+                    args_for_rank(rank),
+                    &mut stderr_readers[rank],
+                    &mut stdout_readers[rank],
+                ) {
                     Ok(new_child) => children[i].1 = Some(new_child),
                     Err(error) => {
                         kill_all(&mut children);
@@ -321,6 +394,25 @@ mod tests {
             ranks,
             join_timeout: Duration::from_millis(timeout_ms),
             max_respawns: 0,
+            ctrl_dir: None,
+        }
+    }
+
+    /// A scratch directory that is removed when dropped.
+    struct ScratchDir(PathBuf);
+
+    impl ScratchDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("pc_launch_{tag}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            ScratchDir(dir)
+        }
+    }
+
+    impl Drop for ScratchDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
         }
     }
 
@@ -376,6 +468,7 @@ mod tests {
             ranks: 2,
             join_timeout: Duration::from_secs(1),
             max_respawns: 0,
+            ctrl_dir: None,
         };
         let err = launch(&spec, |_| vec![]).unwrap_err();
         assert!(matches!(err, LaunchError::Spawn { rank: 0, .. }));
@@ -436,9 +529,10 @@ mod tests {
         );
     }
 
-    /// Rank 0 is never respawned, whatever the budget.
+    /// Without coordinator failover armed, rank 0 is never respawned,
+    /// whatever the budget.
     #[test]
-    fn rank_zero_death_is_always_fatal() {
+    fn rank_zero_death_is_fatal_without_failover() {
         let spec = LaunchSpec {
             max_respawns: 5,
             ..sh_spec(2, 20_000)
@@ -452,6 +546,67 @@ mod tests {
         })
         .unwrap_err();
         assert!(matches!(err, LaunchError::Exit { rank: 0, .. }), "{err}");
+    }
+
+    /// With `ctrl_dir` set, a dying rank 0 is respawned within the same
+    /// budget as everyone else.
+    #[test]
+    fn rank_zero_death_is_respawned_when_failover_is_armed() {
+        let scratch = ScratchDir::new("failover_respawn");
+        let marker = scratch.0.join("died_once");
+        let spec = LaunchSpec {
+            max_respawns: 3,
+            ctrl_dir: Some(scratch.0.clone()),
+            ..sh_spec(2, 20_000)
+        };
+        // First incarnation of rank 0 dies; its respawn completes the
+        // job (no advertisement, so rank 0 stays the acting coordinator).
+        let script = format!(
+            "if [ -e {m} ]; then exit 0; else touch {m}; exit 1; fi",
+            m = marker.display()
+        );
+        launch(&spec, |rank| {
+            if rank == 0 {
+                vec!["-c".into(), script.clone()]
+            } else {
+                vec!["-c".into(), "sleep 15".into()]
+            }
+        })
+        .unwrap();
+    }
+
+    /// Completion follows the advertisement: once a takeover coordinator
+    /// is advertised, *its* clean exit finishes the job even while other
+    /// ranks (here: a wedged rank 0) are still running.
+    #[test]
+    fn completion_follows_the_advertised_acting_rank() {
+        let scratch = ScratchDir::new("failover_acting");
+        let store = pc_ckpt::Store::open(&scratch.0).unwrap();
+        store
+            .advertise(&pc_ckpt::Advertisement {
+                epoch: 3,
+                acting: 1,
+                addr: "127.0.0.1:1".to_string(),
+            })
+            .unwrap();
+        let spec = LaunchSpec {
+            max_respawns: 2,
+            ctrl_dir: Some(scratch.0.clone()),
+            ..sh_spec(3, 20_000)
+        };
+        let start = Instant::now();
+        launch(&spec, |rank| {
+            if rank == 1 {
+                vec!["-c".into(), "exit 0".into()]
+            } else {
+                vec!["-c".into(), "sleep 30".into()]
+            }
+        })
+        .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "acting rank's exit should have ended the job promptly"
+        );
     }
 
     #[test]

@@ -34,9 +34,11 @@
 //! suite pins the whole stack to the sequential reference: identical
 //! values, bytes, messages, supersteps, rounds and pool traffic.
 
+pub mod backoff;
 pub mod bootstrap;
 pub mod launch;
 pub mod ship;
 
+pub use backoff::Backoff;
 pub use bootstrap::{BootstrapOptions, Coordinator, Follower};
 pub use launch::{pick_rendezvous_addr, LaunchError, LaunchSpec};

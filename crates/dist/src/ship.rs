@@ -52,6 +52,51 @@ pub fn encode_plan<W: Codec + Copy>(
     buf
 }
 
+/// Reassemble the full graph from every rank's row slice (index =
+/// rank). The slices partition the rows — each vertex's adjacency lives
+/// verbatim in exactly its owner's slice and is empty everywhere else —
+/// so the union is bit-identical to the graph rank 0 originally loaded.
+///
+/// This is how a takeover coordinator serves `--verify` without ever
+/// having seen the input: the replicated plans hold every rank's slice,
+/// and merging them reconstructs the sequential reference's graph.
+pub fn merge_slices<W: Copy + Default>(
+    owner: &[u16],
+    slices: &[Graph<W>],
+) -> Result<Graph<W>, String> {
+    let Some(first) = slices.first() else {
+        return Err("no slices to merge".to_string());
+    };
+    let n = first.n();
+    if n != owner.len() {
+        return Err(format!("{n}-vertex slices but {} owners", owner.len()));
+    }
+    let directed = {
+        let (_, _, _, _, d) = first.csr_parts();
+        d
+    };
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0usize);
+    let mut targets = Vec::new();
+    let mut weights: Vec<W> = Vec::new();
+    for v in 0..n as u32 {
+        let rank = owner[v as usize] as usize;
+        let slice = slices
+            .get(rank)
+            .ok_or_else(|| format!("vertex {v} owned by rank {rank}, but no such slice"))?;
+        if slice.n() != n {
+            return Err(format!(
+                "slice {rank} has {} vertices, expected {n}",
+                slice.n()
+            ));
+        }
+        targets.extend_from_slice(slice.neighbors(v));
+        weights.extend_from_slice(slice.weights(v));
+        offsets.push(targets.len());
+    }
+    Graph::from_csr_parts(n, offsets, targets, weights, directed)
+}
+
 /// What [`decode_plan`] recovers: the ownership table, the graph slices,
 /// and the mirror plan when rank 0 built one.
 pub type DecodedPlan<W> = (Vec<u16>, Vec<Graph<W>>, Option<MirrorPlan>);
@@ -133,6 +178,27 @@ mod tests {
             }
         }
         assert_eq!(covered, g.arc_count(), "slices cover every arc once");
+    }
+
+    /// Merging every rank's slice reconstructs the original graph
+    /// bit-for-bit — the property a takeover coordinator's `--verify`
+    /// depends on.
+    #[test]
+    fn merged_slices_reconstruct_the_full_graph() {
+        let g = gen::rmat_weighted(7, 700, gen::RmatParams::default(), 3, false, 100);
+        let workers = 3;
+        let topo = Topology::hashed(g.n(), workers);
+        let owner: Vec<u16> = (0..g.n() as u32)
+            .map(|v| topo.worker_of(v) as u16)
+            .collect();
+        let slices: Vec<Graph<u32>> = (0..workers)
+            .map(|rank| slice_for_rank(&g, &topo, rank))
+            .collect();
+        let merged = merge_slices(&owner, &slices).unwrap();
+        assert_eq!(merged, g);
+        // A missing slice is an error, not a silent hole.
+        assert!(merge_slices(&owner, &slices[..workers - 1]).is_err());
+        assert!(merge_slices::<u32>(&owner, &[]).is_err());
     }
 
     /// Multi-graph plans (forward + reverse, the SCC shape) round-trip.

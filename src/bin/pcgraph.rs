@@ -20,22 +20,35 @@ use pc_bsp::{
     CkptPolicy, Config, ExecMode, MirrorPlan, RunStats, Tcp, TcpOptions, Topology, TransportError,
     TransportKind,
 };
-use pc_dist::bootstrap::{BootstrapOptions, Coordinator, Follower, TAG_PLAN};
+use pc_ckpt::{Advertisement, ControlReplica, RunId, Store};
+use pc_dist::bootstrap::{
+    decode_ctrl, encode_ctrl, BootstrapOptions, Coordinator, CtrlState, Follower, TAG_CTRL,
+    TAG_PLAN,
+};
 use pc_dist::launch::{
     self, pick_rendezvous_addr, LaunchSpec, EXIT_BOOTSTRAP, EXIT_OK, EXIT_RUNTIME, EXIT_USAGE,
 };
-use pc_dist::ship;
+use pc_dist::{ship, Backoff};
 use pc_graph::{io, partition, stats, Graph, WeightedGraph};
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::process::exit;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// `--mirror-threshold`: an explicit τ or the degree-aware heuristic
 /// ([`partition::default_mirror_threshold`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum MirrorArg {
+    Auto,
+    Fixed(usize),
+}
+
+/// `--standby`: which rank replicates the control plane and takes over
+/// if the acting coordinator dies. `auto` (the default when failover is
+/// armed) picks the lowest-ranked follower.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum StandbyArg {
     Auto,
     Fixed(usize),
 }
@@ -77,6 +90,10 @@ struct Opts {
     /// recovery (launcher respawns dead non-zero ranks, the cluster
     /// resumes from the last committed checkpoint).
     checkpoint_dir: Option<PathBuf>,
+    /// Standby-coordinator designation (`--standby N|auto`); only
+    /// meaningful when coordinator failover is armed (checkpointing on a
+    /// multi-rank run).
+    standby: Option<StandbyArg>,
     /// Interface address the data-plane listeners bind (rank mode);
     /// default loopback. First step toward multi-host deployments.
     bind: Option<IpAddr>,
@@ -161,7 +178,11 @@ FAULT TOLERANCE:
                       --checkpoint-every). With --ranks this also arms
                       recovery: a SIGKILL'd non-zero rank is respawned, the
                       surviving ranks re-rendezvous, and the job resumes from
-                      the last committed checkpoint
+                      the last committed checkpoint. With 2+ ranks it also
+                      arms coordinator failover: a standby rank replicates
+                      the control plane and takes over if rank 0 dies
+    --standby R       which rank is the standby coordinator: a rank number
+                      or 'auto' (lowest-ranked follower)       [default auto]
 
 OBSERVABILITY:
     --trace FILE      trace every rank (span timelines + per-superstep
@@ -231,6 +252,7 @@ fn parse_args() -> Opts {
         spin_budget: None,
         checkpoint_every: None,
         checkpoint_dir: None,
+        standby: None,
         bind: None,
         trace: None,
         superstep_table: false,
@@ -304,6 +326,22 @@ fn parse_args() -> Opts {
             "--checkpoint-dir" => {
                 opts.checkpoint_dir = Some(PathBuf::from(value(&mut args, "--checkpoint-dir")))
             }
+            "--standby" => {
+                let v = value(&mut args, "--standby");
+                opts.standby = Some(if v == "auto" {
+                    StandbyArg::Auto
+                } else {
+                    match v.parse() {
+                        Ok(0) => usage_error(
+                            "--standby 0 is meaningless: rank 0 is the initial coordinator",
+                        ),
+                        Ok(r) => StandbyArg::Fixed(r),
+                        Err(_) => usage_error(&format!(
+                            "--standby expects a rank number or 'auto', got '{v}'"
+                        )),
+                    }
+                });
+            }
             "--trace" => opts.trace = Some(PathBuf::from(value(&mut args, "--trace"))),
             "--superstep-table" => opts.superstep_table = true,
             "--stats-json" => {
@@ -372,6 +410,23 @@ fn parse_args() -> Opts {
         ),
         _ => {}
     }
+    if let Some(standby) = opts.standby {
+        if opts.checkpoint_every.is_none() {
+            usage_error(
+                "--standby configures coordinator failover, which needs checkpoints to \
+                 resume from; add --checkpoint-every/--checkpoint-dir",
+            );
+        }
+        match (standby, opts.ranks) {
+            (_, None) => usage_error(
+                "--standby designates a rank of a multi-process run; it requires --ranks",
+            ),
+            (StandbyArg::Fixed(r), Some(ranks)) if r >= ranks => {
+                usage_error(&format!("--standby {r} out of range 1..{ranks}"))
+            }
+            _ => {}
+        }
+    }
     // Observability flags only mean something on an engine run that
     // produces RunStats; silently ignoring them would be worse than
     // refusing.
@@ -405,6 +460,106 @@ fn ckpt_policy(opts: &Opts) -> Option<CkptPolicy> {
         }),
         _ => None,
     }
+}
+
+/// Whether coordinator failover is armed: checkpointing (the state a
+/// takeover resumes from) on a run with at least one follower to elect.
+fn failover_armed(opts: &Opts) -> bool {
+    ckpt_policy(opts).is_some() && opts.ranks.is_some_and(|r| r >= 2)
+}
+
+/// Identity pinning the control-plane replica to this job. Unlike the
+/// engine's checkpoint `RunId` (keyed on the algorithm *type*), this one
+/// is keyed on the command line — every rank can derive it from its own
+/// argv plus the shipped vertex count, with no engine types in sight.
+fn replica_run_id(opts: &Opts, ranks: usize, n: usize) -> RunId {
+    RunId {
+        workers: ranks as u32,
+        n: n as u64,
+        algo: format!("ctrl/{}/{}", opts.algorithm, opts.variant),
+    }
+}
+
+/// The standby for the epoch an acting coordinator is about to publish:
+/// the `--standby` designation when it names someone else, otherwise the
+/// lowest rank that is not the acting coordinator (rank 1 at bootstrap;
+/// rank 0 itself once a takeover made it a plain follower).
+fn pick_standby(opts: &Opts, acting: usize, ranks: usize) -> u32 {
+    let fixed = match opts.standby {
+        Some(StandbyArg::Fixed(r)) if r != acting => Some(r),
+        _ => None,
+    };
+    fixed.unwrap_or_else(|| (0..ranks).find(|&r| r != acting).expect("ranks >= 2")) as u32
+}
+
+/// Open the checkpoint store that carries the control replica and the
+/// coordinator advertisement.
+fn ctrl_store(opts: &Opts) -> Store {
+    let dir = opts
+        .checkpoint_dir
+        .as_ref()
+        .expect("failover is armed, so --checkpoint-dir is set");
+    Store::open(dir).unwrap_or_else(|e| {
+        eprintln!("pcgraph: cannot open checkpoint store: {e}");
+        exit(EXIT_RUNTIME)
+    })
+}
+
+/// Publish this epoch's control-plane state: pick the standby, persist
+/// the replica and the coordinator advertisement (tmp→fsync→rename, so
+/// a torn publish leaves the previous epoch intact), and ship a `CTRL`
+/// frame to every follower — plans ride only on the standby's frame.
+/// Failures to persist are fatal (like checkpoint I/O); a dead control
+/// link is tolerated (the next recovery epoch repairs it).
+fn publish_ctrl(
+    coordinator: &mut Coordinator,
+    store: &Store,
+    id: &RunId,
+    plans: &[Vec<u8>],
+    opts: &Opts,
+) -> u32 {
+    let acting = coordinator.acting_rank();
+    let ranks = coordinator.ranks();
+    let epoch = coordinator.epoch();
+    let standby = pick_standby(opts, acting, ranks);
+    store
+        .write_replica(&ControlReplica {
+            id: id.clone(),
+            epoch,
+            standby,
+            plans: plans.to_vec(),
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("pcgraph: cannot persist control replica: {e}");
+            exit(EXIT_RUNTIME)
+        });
+    let addr = coordinator
+        .control_addr()
+        .unwrap_or_else(|e| bail_bootstrap(e));
+    store
+        .advertise(&Advertisement {
+            epoch,
+            acting: acting as u32,
+            addr: addr.to_string(),
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("pcgraph: cannot publish coordinator advertisement: {e}");
+            exit(EXIT_RUNTIME)
+        });
+    for rank in (0..ranks).filter(|&r| r != acting) {
+        let state = CtrlState {
+            epoch,
+            standby,
+            plans: (rank as u32 == standby).then(|| plans.to_vec()),
+        };
+        if let Err(e) = coordinator.send(rank, TAG_CTRL, &encode_ctrl(&state)) {
+            eprintln!(
+                "pcgraph: rank {acting}: cannot ship CTRL to rank {rank} ({e}); \
+                 deferring to the next recovery epoch"
+            );
+        }
+    }
+    standby
 }
 
 /// Per-rank respawn budget of the supervising launcher when
@@ -712,28 +867,85 @@ fn decode_plan(
     }
 }
 
+/// Rebuild the full input graph from the replicated per-rank `PLAN`
+/// frames — the `--verify` path of a takeover coordinator, which never
+/// loaded the input. Inverse of the `slices_for` + `encode_plan`
+/// shipping pipeline, so the result is bit-exact.
+fn rebuild_full(plans: &[Vec<u8>], need: Need) -> Result<Gdata, String> {
+    if need.weighted {
+        let mut owner = Vec::new();
+        let mut slices = Vec::new();
+        for p in plans {
+            let (o, mut graphs, _) = ship::decode_plan::<u32>(p)?;
+            if graphs.len() != 1 {
+                return Err(format!("expected 1 graph slice, got {}", graphs.len()));
+            }
+            owner = o;
+            slices.push(graphs.remove(0));
+        }
+        return Ok(Gdata::W(Arc::new(ship::merge_slices(&owner, &slices)?)));
+    }
+    let mut owner = Vec::new();
+    let (mut fwd, mut rev) = (Vec::new(), Vec::new());
+    let expected = if need.rev { 2 } else { 1 };
+    for p in plans {
+        let (o, graphs, _) = ship::decode_plan::<()>(p)?;
+        if graphs.len() != expected {
+            return Err(format!(
+                "expected {expected} graph slice(s), got {}",
+                graphs.len()
+            ));
+        }
+        let mut it = graphs.into_iter();
+        fwd.push(it.next().unwrap());
+        rev.extend(it.next());
+        owner = o;
+    }
+    let g = Arc::new(ship::merge_slices(&owner, &fwd)?);
+    let rev = if need.rev {
+        Some(Arc::new(ship::merge_slices(&owner, &rev)?))
+    } else {
+        None
+    };
+    Ok(Gdata::U { g, rev })
+}
+
 // ---------------------------------------------------------------------
 // Session preparation (single process / rank 0 / follower)
 // ---------------------------------------------------------------------
 
 enum Role {
     Single,
-    /// Rank 0 of a multi-process run. Keeps the full graph only when
-    /// `--verify` will need it; the run itself uses rank 0's slice.
+    /// The acting coordinator of a multi-process run — rank 0 at launch,
+    /// or a standby that took over after rank 0's death. Keeps the full
+    /// graph only when `--verify` will need it (a takeover coordinator
+    /// reconstructs it from the replicated plans instead); the run itself
+    /// uses this rank's slice.
     Rank0 {
         full: Option<Gdata>,
         /// Keeps the control links (and the rendezvous listener) open for
         /// the lifetime of the run; recovery runs through it.
         coordinator: Coordinator,
-        /// Encoded `PLAN` frames per rank (index 0 empty), kept only when
-        /// recovery is armed so a respawned rank's partition can be
-        /// re-shipped without reloading the input.
+        /// Encoded `PLAN` frames per rank (index 0 empty unless failover
+        /// is armed), kept only when recovery is armed so a respawned
+        /// rank's partition can be re-shipped without reloading the
+        /// input.
         plans: Option<Vec<Vec<u8>>>,
+        /// Failover bookkeeping (armed runs): the store carrying the
+        /// replica + advertisement, and the replica identity.
+        failover: Option<(Store, RunId)>,
     },
     Follower {
         /// The control link to the coordinator, kept only when recovery
         /// is armed (a surviving rank re-joins over it).
         ctrl: Option<Follower>,
+        /// The latest replicated control state (armed runs): the epoch,
+        /// the designated standby, and — on the standby itself — every
+        /// rank's plan.
+        ctrl_state: Option<CtrlState>,
+        /// Which rank is acting coordinator for the current epoch (0
+        /// until a takeover; then whatever the advertisement named).
+        acting: usize,
     },
 }
 
@@ -742,6 +954,10 @@ struct Prepared {
     topo: Arc<Topology>,
     data: Gdata,
     role: Role,
+    /// Recovery epochs this rank has participated in, and the wall-clock
+    /// µs they cost — merged into `RunStats` through the gather.
+    recoveries: u64,
+    recovery_us: u64,
 }
 
 fn bail_bootstrap(e: impl std::fmt::Display) -> ! {
@@ -794,6 +1010,8 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
             topo,
             data,
             role: Role::Single,
+            recoveries: 0,
+            recovery_us: 0,
         };
     };
     // Rank mode: one worker per process over a real socket mesh.
@@ -807,110 +1025,218 @@ fn prepare(opts: &Opts, need: Need) -> Prepared {
     // Recovery needs the control plane (and on rank 0 the encoded plans)
     // to outlive the bootstrap.
     let recovery = ckpt_policy(opts).is_some();
+    let armed = failover_armed(opts);
     let (listener, data_addr) = bind_data_listener(opts);
     let bopts = bootstrap_options(recovery);
-    if rank == 0 {
-        // Rendezvous before loading: followers dial under the (short)
-        // connect deadline, which must not also have to cover a long
-        // graph load. Once joined, they wait for their plan under the
-        // generous control-plane io deadline instead.
-        let mut coordinator = Coordinator::rendezvous(coordinator_addr, ranks, data_addr, bopts)
-            .unwrap_or_else(|e| bail_bootstrap(e));
-        let full = load(opts, need);
-        let owner = owners_for(&full, opts, ranks);
-        let topo = Arc::new(attach_mirror(
-            &full,
-            opts,
-            Topology::from_owners(ranks, owner.clone()),
-        ));
-        let mirror = topo.mirror_plan().map(|p| p.as_ref().clone());
-        // Partition shipping: every follower gets the owner table plus
-        // exactly its row slices (and the mirror plan, when one was
-        // built) — no other process opens the input.
-        let mut plans: Vec<Vec<u8>> = vec![Vec::new()];
-        for r in 1..ranks {
-            let plan = encode_plan(&owner, &slices_for(&full, &topo, r), mirror.as_ref());
-            if let Err(e) = coordinator.send(r, TAG_PLAN, &plan) {
-                if !recovery {
-                    bail_bootstrap(e);
-                }
-                // The rank died between joining and receiving its plan.
-                // With recovery armed this is survivable: the launcher is
-                // respawning it, the data plane will fault, and the
-                // recovery rendezvous re-ships this cached plan.
-                eprintln!(
-                    "pcgraph: rank 0: cannot ship plan to rank {r} ({e}); \
-                     deferring to recovery"
-                );
-            }
-            plans.push(if recovery { plan } else { Vec::new() });
-        }
-        let data = slices_for(&full, &topo, 0);
-        let tcp = Tcp::mesh(
-            0,
-            coordinator.peers().to_vec(),
-            listener,
-            tcp_options(opts.transport),
-        )
+    if rank != 0 {
+        return prepare_follower(opts, need, ranks, rank, listener, data_addr, bopts);
+    }
+    // A prior rank-0 incarnation leaves its advertisement in the
+    // checkpoint store (the launcher wipes the store only at job start),
+    // so finding one means this process is a *respawn*: the standby is
+    // taking over (or already has), and rank 0 rejoins the advertised
+    // coordinator as a plain follower instead of rendezvousing anew.
+    if armed && matches!(ctrl_store(opts).read_advertisement(), Ok(Some(_))) {
+        eprintln!("pcgraph: rank 0: prior incarnation detected; rejoining as a follower");
+        return prepare_follower(opts, need, ranks, 0, listener, data_addr, bopts);
+    }
+    // Rendezvous before loading: followers dial under the (short)
+    // connect deadline, which must not also have to cover a long
+    // graph load. Once joined, they wait for their plan under the
+    // generous control-plane io deadline instead.
+    let mut coordinator = Coordinator::rendezvous(coordinator_addr, ranks, data_addr, bopts)
         .unwrap_or_else(|e| bail_bootstrap(e));
-        Prepared {
-            cfg: rank_config(opts, ranks, 0, tcp),
-            topo,
-            data,
-            role: Role::Rank0 {
-                full: opts.verify.then_some(full),
-                coordinator,
-                plans: recovery.then_some(plans),
-            },
-        }
-    } else {
-        // With recovery armed, a failed join retries a few times: a
-        // respawned rank may arrive while the cluster is still detecting
-        // the failure it replaces, and rank 0 only drains the rendezvous
-        // backlog once its own data plane faults. Each retry is a fresh
-        // connection, so the coordinator always finds a live socket.
-        let mut join_attempts = 0u32;
-        let mut follower = loop {
-            match Follower::join(coordinator_addr, rank, data_addr, bopts) {
-                Ok(f) => break f,
-                Err(e) if recovery && join_attempts < 4 => {
-                    join_attempts += 1;
-                    eprintln!(
-                        "pcgraph: rank {rank}: join attempt {join_attempts} failed ({e}); retrying"
-                    );
-                }
-                Err(e) => bail_bootstrap(e),
+    let full = load(opts, need);
+    let owner = owners_for(&full, opts, ranks);
+    let topo = Arc::new(attach_mirror(
+        &full,
+        opts,
+        Topology::from_owners(ranks, owner.clone()),
+    ));
+    let mirror = topo.mirror_plan().map(|p| p.as_ref().clone());
+    // Partition shipping: every follower gets the owner table plus
+    // exactly its row slices (and the mirror plan, when one was
+    // built) — no other process opens the input. With failover armed,
+    // rank 0's own plan is encoded too: the replica must let a takeover
+    // coordinator re-ship a respawned rank 0's slice (and reconstruct
+    // the full graph for --verify) without ever seeing the input.
+    let mut plans: Vec<Vec<u8>> = vec![Vec::new()];
+    if armed {
+        plans[0] = encode_plan(&owner, &slices_for(&full, &topo, 0), mirror.as_ref());
+    }
+    for r in 1..ranks {
+        let plan = encode_plan(&owner, &slices_for(&full, &topo, r), mirror.as_ref());
+        if let Err(e) = coordinator.send(r, TAG_PLAN, &plan) {
+            if !recovery {
+                bail_bootstrap(e);
             }
-        };
-        let mut plan = Vec::new();
-        let tag = follower
-            .recv(&mut plan)
-            .unwrap_or_else(|e| bail_bootstrap(e));
-        if tag != TAG_PLAN {
-            bail_bootstrap(format!("expected a PLAN frame, got tag {tag:#04x}"));
+            // The rank died between joining and receiving its plan.
+            // With recovery armed this is survivable: the launcher is
+            // respawning it, the data plane will fault, and the
+            // recovery rendezvous re-ships this cached plan.
+            eprintln!(
+                "pcgraph: rank 0: cannot ship plan to rank {r} ({e}); \
+                 deferring to recovery"
+            );
         }
-        let (owner, data, mirror) = decode_plan(&plan, need)
-            .unwrap_or_else(|e| bail_bootstrap(format!("malformed plan: {e}")));
-        let mut base = Topology::from_owners(ranks, owner);
-        if let Some(plan) = mirror {
-            base = base.with_mirror(Arc::new(plan));
+        plans.push(if recovery { plan } else { Vec::new() });
+    }
+    // Failover: persist the control replica + advertisement and ship the
+    // CTRL frames (the standby's carries every plan) before the run
+    // starts, so rank 0's very first death is already survivable.
+    let failover = armed.then(|| {
+        let store = ctrl_store(opts);
+        let id = replica_run_id(opts, ranks, topo.n());
+        publish_ctrl(&mut coordinator, &store, &id, &plans, opts);
+        (store, id)
+    });
+    let data = slices_for(&full, &topo, 0);
+    let tcp = Tcp::mesh(
+        0,
+        coordinator.peers().to_vec(),
+        listener,
+        tcp_options(opts.transport),
+    )
+    .unwrap_or_else(|e| bail_bootstrap(e));
+    Prepared {
+        cfg: rank_config(opts, ranks, 0, tcp),
+        topo,
+        data,
+        role: Role::Rank0 {
+            full: opts.verify.then_some(full),
+            coordinator,
+            plans: recovery.then_some(plans),
+            failover,
+        },
+        recoveries: 0,
+        recovery_us: 0,
+    }
+}
+
+/// A follower's side of [`prepare`] — also the path a respawned rank 0
+/// takes once a prior incarnation's advertisement shows this cluster
+/// elects its coordinators. Resolves the live rendezvous address through
+/// the advertisement when failover is armed (the `--coordinator` flag
+/// names rank 0's listener, which dies with rank 0), joins, receives the
+/// shipped plan (and the replicated control state when armed), and
+/// builds this rank's mesh endpoint.
+fn prepare_follower(
+    opts: &Opts,
+    need: Need,
+    ranks: usize,
+    rank: usize,
+    listener: TcpListener,
+    data_addr: SocketAddr,
+    bopts: BootstrapOptions,
+) -> Prepared {
+    let recovery = ckpt_policy(opts).is_some();
+    let armed = failover_armed(opts);
+    // With recovery armed, a failed join retries under a jittered
+    // backoff: a respawned rank may arrive while the cluster is still
+    // detecting the failure it replaces, and the acting coordinator only
+    // drains the rendezvous backlog once its own data plane faults. Each
+    // retry is a fresh connection (and a fresh advertisement read, in
+    // case the coordinator moved), so the coordinator always finds a
+    // live socket.
+    let deadline = Instant::now() + bopts.connect_timeout.max(bopts.io_timeout);
+    let mut backoff = Backoff::for_connect(rank as u64);
+    let mut attempt = 0u32;
+    let (mut follower, acting) = loop {
+        // Where does the acting coordinator listen? Rank 0 respawns must
+        // never dial their own dead incarnation, so they wait for an
+        // advertisement naming somebody else; other ranks fall back to
+        // the flag-given address when nothing (newer) is advertised.
+        let mut target = (rank != 0).then(|| {
+            let addr = opts.coordinator.expect("validated in parse_args");
+            (addr, 0usize)
+        });
+        if armed {
+            if let Ok(Some(ad)) = ctrl_store(opts).read_advertisement() {
+                if ad.acting as usize != rank {
+                    if let Ok(addr) = ad.addr.parse::<SocketAddr>() {
+                        target = Some((addr, ad.acting as usize));
+                    }
+                }
+            }
         }
-        let topo = Arc::new(base);
-        let tcp = Tcp::mesh(
-            rank,
-            follower.peers().to_vec(),
-            listener,
-            tcp_options(opts.transport),
-        )
+        if let Some((addr, acting)) = target {
+            attempt += 1;
+            match Follower::join(addr, rank, data_addr, bopts) {
+                Ok(f) => break (f, acting),
+                Err(e) if !recovery => bail_bootstrap(e),
+                Err(e) => {
+                    eprintln!("pcgraph: rank {rank}: join attempt {attempt} failed ({e}); retrying")
+                }
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            bail_bootstrap(format!(
+                "rank {rank}: no acting coordinator reachable before the deadline"
+            ));
+        }
+        backoff.sleep(deadline - now);
+    };
+    let mut plan = Vec::new();
+    let tag = follower
+        .recv(&mut plan)
         .unwrap_or_else(|e| bail_bootstrap(e));
-        Prepared {
-            cfg: rank_config(opts, ranks, rank, tcp),
-            topo,
-            data,
-            role: Role::Follower {
-                ctrl: recovery.then_some(follower),
-            },
-        }
+    if tag != TAG_PLAN {
+        bail_bootstrap(format!("expected a PLAN frame, got tag {tag:#04x}"));
+    }
+    let (owner, data, mirror) =
+        decode_plan(&plan, need).unwrap_or_else(|e| bail_bootstrap(format!("malformed plan: {e}")));
+    // The coordinator follows every plan with the replicated control
+    // state: the epoch, who the standby is, and — on the standby's own
+    // frame — every rank's plan.
+    let ctrl_state = armed.then(|| recv_ctrl(&mut follower));
+    let mut base = Topology::from_owners(ranks, owner);
+    if let Some(plan) = mirror {
+        base = base.with_mirror(Arc::new(plan));
+    }
+    let topo = Arc::new(base);
+    let tcp = Tcp::mesh(
+        rank,
+        follower.peers().to_vec(),
+        listener,
+        tcp_options(opts.transport),
+    )
+    .unwrap_or_else(|e| bail_bootstrap(e));
+    let mut cfg = rank_config(opts, ranks, rank, tcp);
+    if let Some(d) = cfg.dist.as_mut() {
+        d.gather_root = acting;
+    }
+    Prepared {
+        cfg,
+        topo,
+        data,
+        role: Role::Follower {
+            ctrl: recovery.then_some(follower),
+            ctrl_state,
+            acting,
+        },
+        recoveries: 0,
+        recovery_us: 0,
+    }
+}
+
+/// Receive the `CTRL` frame the coordinator sends after a plan (or after
+/// a recovery rendezvous) on an armed run; fatal on failure.
+fn recv_ctrl(follower: &mut Follower) -> CtrlState {
+    try_recv_ctrl(follower).unwrap_or_else(|e| bail_bootstrap(e))
+}
+
+/// [`recv_ctrl`] returning the failure instead — the recovery path turns
+/// a lost CTRL frame into an election, not a process exit.
+fn try_recv_ctrl(follower: &mut Follower) -> Result<CtrlState, TransportError> {
+    let mut buf = Vec::new();
+    match follower.recv(&mut buf) {
+        Ok(TAG_CTRL) => decode_ctrl(&buf, 0),
+        Ok(tag) => Err(TransportError::Protocol {
+            peer: 0,
+            detail: format!("expected a CTRL frame, got tag {tag:#04x}"),
+        }),
+        Err(e) => Err(e),
     }
 }
 
@@ -964,9 +1290,35 @@ fn execute<V>(
                 // Drop every handle on the failed mesh first: closing its
                 // sockets is what unblocks peers still waiting in it.
                 p.cfg.dist = None;
+                let mut fault_peer = fault.peer();
                 drop(role);
-                if let Err(e) = recover(p, opts, ranks) {
-                    bail_bootstrap(format!("recovery rendezvous: {e}"));
+                let t0 = Instant::now();
+                // A rendezvous that itself fails — the acting coordinator
+                // died between re-shipping plans and the mesh completing,
+                // or another rank fell over mid-epoch — is a fresh fault,
+                // not a fatal exit: re-attribute the failed peer and go
+                // around again so the election path can still run. The
+                // shared attempt budget keeps a dead cluster bounded.
+                while let Err(e) = recover(p, opts, ranks, fault_peer) {
+                    attempts += 1;
+                    if attempts > max_attempts {
+                        bail_bootstrap(format!("recovery rendezvous: {e}"));
+                    }
+                    eprintln!(
+                        "pcgraph: rank {}: recovery rendezvous failed ({e}); retrying \
+                         (attempt {attempts}/{max_attempts})",
+                        opts.rank.expect("rank mode")
+                    );
+                    fault_peer = e.peer();
+                }
+                // Book the epoch on this rank's role record: the gather
+                // sums recoveries over ranks and takes the max repair
+                // time, so each rank reports only its own share.
+                p.recoveries += 1;
+                p.recovery_us += t0.elapsed().as_micros() as u64;
+                if let Some(d) = p.cfg.dist.as_mut() {
+                    d.recoveries = p.recoveries;
+                    d.recovery_us = p.recovery_us;
                 }
             }
         }
@@ -975,51 +1327,268 @@ fn execute<V>(
 
 /// One recovery rendezvous: agree on a fresh peer table over the control
 /// plane, re-ship plans to respawned ranks, rebuild this rank's mesh.
-fn recover(p: &mut Prepared, opts: &Opts, ranks: usize) -> Result<(), TransportError> {
+///
+/// With failover armed, a fault attributed to the *acting coordinator*
+/// (or a control plane that dies mid-rendezvous — the control link rides
+/// the same process) escalates to an election instead: the standby takes
+/// over, everyone else follows the new advertisement.
+fn recover(
+    p: &mut Prepared,
+    opts: &Opts,
+    ranks: usize,
+    fault_peer: usize,
+) -> Result<(), TransportError> {
+    let rank = opts.rank.expect("rank mode");
+    let armed = failover_armed(opts);
     let (listener, data_addr) = bind_data_listener(opts);
     match &mut p.role {
         Role::Rank0 {
-            coordinator, plans, ..
+            coordinator,
+            plans,
+            failover,
+            ..
         } => {
+            let acting = coordinator.acting_rank();
             let needs_plan = coordinator.recover(data_addr)?;
             let plans = plans.as_ref().expect("recovery keeps the encoded plans");
-            for (r, needs) in needs_plan.iter().enumerate().skip(1) {
-                if !*needs {
+            for (r, needs) in needs_plan.iter().enumerate() {
+                if r == acting || !*needs {
                     continue;
                 }
                 if let Err(e) = coordinator.send(r, TAG_PLAN, &plans[r]) {
                     // The respawned rank died again before its plan went
                     // out (crash loop). Same policy as the initial
-                    // bootstrap: don't fail rank 0 over it — the mesh
-                    // will fault and the next recovery epoch retries.
+                    // bootstrap: don't fail the coordinator over it — the
+                    // mesh will fault and the next recovery epoch retries.
                     eprintln!(
-                        "pcgraph: rank 0: cannot re-ship plan to rank {r} ({e}); \
+                        "pcgraph: rank {acting}: cannot re-ship plan to rank {r} ({e}); \
                          deferring to the next recovery epoch"
                     );
                 }
             }
+            // Refresh the replicated control state at the new epoch: the
+            // standby may have been the casualty, and respawned ranks
+            // hold no CTRL state at all yet.
+            if let Some((store, id)) = failover {
+                publish_ctrl(coordinator, store, id, plans, opts);
+            }
             let tcp = Tcp::mesh(
-                0,
+                rank,
                 coordinator.peers().to_vec(),
                 listener,
                 tcp_options(opts.transport),
             )?;
-            p.cfg = rank_config(opts, ranks, 0, tcp);
-        }
-        Role::Follower { ctrl } => {
-            let follower = ctrl.as_mut().expect("recovery keeps the control link");
-            follower.rejoin(data_addr)?;
-            let rank = opts.rank.expect("rank mode");
-            let tcp = Tcp::mesh(
-                rank,
-                follower.peers().to_vec(),
-                listener,
-                tcp_options(opts.transport),
-            )?;
             p.cfg = rank_config(opts, ranks, rank, tcp);
+            if let Some(d) = p.cfg.dist.as_mut() {
+                d.gather_root = acting;
+            }
+            return Ok(());
         }
         Role::Single => unreachable!("recovery only runs in rank mode"),
+        Role::Follower {
+            ctrl,
+            ctrl_state,
+            acting,
+        } => {
+            let follower = ctrl.as_mut().expect("recovery keeps the control link");
+            // The control link lives in the acting coordinator's process:
+            // a fault naming the acting rank, a failed rejoin, or a lost
+            // CTRL frame all mean the coordinator is gone.
+            let outcome = if armed && fault_peer == *acting {
+                Err("the data-plane fault names the acting coordinator".to_string())
+            } else {
+                match follower.rejoin(data_addr) {
+                    // The coordinator follows every recovery PEERS with a
+                    // fresh CTRL frame.
+                    Ok(_epoch) if armed => match try_recv_ctrl(follower) {
+                        Ok(state) => Ok(Some(state)),
+                        Err(e) => Err(format!("control plane lost after rejoin ({e})")),
+                    },
+                    Ok(_epoch) => Ok(None),
+                    Err(e) if armed => Err(format!("control plane lost during recovery ({e})")),
+                    Err(e) => return Err(e),
+                }
+            };
+            match outcome {
+                Ok(new_state) => {
+                    if let Some(state) = new_state {
+                        *ctrl_state = Some(state);
+                    }
+                    let tcp = Tcp::mesh(
+                        rank,
+                        follower.peers().to_vec(),
+                        listener,
+                        tcp_options(opts.transport),
+                    )?;
+                    p.cfg = rank_config(opts, ranks, rank, tcp);
+                    if let Some(d) = p.cfg.dist.as_mut() {
+                        d.gather_root = *acting;
+                    }
+                    return Ok(());
+                }
+                Err(why) => eprintln!("pcgraph: rank {rank}: {why}; electing a new coordinator"),
+            }
+        }
     }
+    elect(p, opts, ranks, listener, data_addr)
+}
+
+/// Coordinator election after the acting coordinator died. No consensus
+/// round is needed: every armed rank already agreed (via the last `CTRL`
+/// frame) on who the standby is, so the standby simply takes over and
+/// everyone else waits for its advertisement. Single-failure model: if
+/// the standby died in the same breath, the poll deadline expires, this
+/// rank exits with a typed bootstrap failure, and the launcher's respawn
+/// budget decides whether the job survives.
+fn elect(
+    p: &mut Prepared,
+    opts: &Opts,
+    ranks: usize,
+    listener: TcpListener,
+    data_addr: SocketAddr,
+) -> Result<(), TransportError> {
+    let rank = opts.rank.expect("rank mode");
+    let state = {
+        let Role::Follower { ctrl_state, .. } = &p.role else {
+            unreachable!("only followers elect");
+        };
+        ctrl_state
+            .clone()
+            .expect("armed runs always hold a CTRL state")
+    };
+    let store = ctrl_store(opts);
+    let bopts = bootstrap_options(true);
+    if state.standby as usize == rank {
+        // --- Takeover: this rank is the standby. ---
+        eprintln!(
+            "pcgraph: rank {rank}: coordinator lost; standby taking over at epoch {}",
+            state.epoch + 1
+        );
+        let id = replica_run_id(opts, ranks, p.topo.n());
+        // The plans rode on this rank's own CTRL frame; fall back to the
+        // persisted replica (e.g. the CTRL refresh after a recovery was
+        // lost in the coordinator's death).
+        let plans = state
+            .plans
+            .clone()
+            .or_else(|| match store.read_replica(&id) {
+                Ok(r) => r.map(|r| r.plans),
+                Err(e) => {
+                    eprintln!("pcgraph: rank {rank}: cannot read control replica: {e}");
+                    None
+                }
+            })
+            .unwrap_or_default();
+        if plans.len() != ranks {
+            bail_bootstrap(format!(
+                "rank {rank}: control replica holds {} plans for {ranks} ranks; cannot take over",
+                plans.len()
+            ));
+        }
+        let bind_ip = opts.bind.unwrap_or(IpAddr::V4(Ipv4Addr::LOCALHOST));
+        let mut coordinator =
+            Coordinator::takeover((bind_ip, 0).into(), ranks, rank, state.epoch, bopts)?;
+        // Advertise the fresh listener under the epoch the rendezvous
+        // will establish BEFORE blocking in it: the advertisement is how
+        // survivors (and the respawned ex-coordinator) find this rank.
+        let addr = coordinator.control_addr()?;
+        store
+            .advertise(&Advertisement {
+                epoch: state.epoch + 1,
+                acting: rank as u32,
+                addr: addr.to_string(),
+            })
+            .unwrap_or_else(|e| {
+                eprintln!("pcgraph: cannot publish coordinator advertisement: {e}");
+                exit(EXIT_RUNTIME)
+            });
+        let needs_plan = coordinator.recover(data_addr)?;
+        for (r, needs) in needs_plan.iter().enumerate() {
+            if r == rank || !*needs {
+                continue;
+            }
+            if let Err(e) = coordinator.send(r, TAG_PLAN, &plans[r]) {
+                eprintln!(
+                    "pcgraph: rank {rank}: cannot re-ship plan to rank {r} ({e}); \
+                     deferring to the next recovery epoch"
+                );
+            }
+        }
+        publish_ctrl(&mut coordinator, &store, &id, &plans, opts);
+        let tcp = Tcp::mesh(
+            rank,
+            coordinator.peers().to_vec(),
+            listener,
+            tcp_options(opts.transport),
+        )?;
+        p.cfg = rank_config(opts, ranks, rank, tcp);
+        if let Some(d) = p.cfg.dist.as_mut() {
+            d.gather_root = rank;
+        }
+        // `full` stays None: a takeover coordinator never loaded the
+        // input — `conclude` reconstructs it from the plans on --verify.
+        p.role = Role::Rank0 {
+            full: None,
+            coordinator,
+            plans: Some(plans),
+            failover: Some((store, id)),
+        };
+        return Ok(());
+    }
+    // --- Follow: wait for the standby's takeover advertisement. ---
+    eprintln!(
+        "pcgraph: rank {rank}: coordinator lost; waiting for standby rank {}",
+        state.standby
+    );
+    let deadline = Instant::now() + bopts.connect_timeout.max(bopts.io_timeout);
+    let mut backoff = Backoff::for_connect(rank as u64);
+    let (mut follower, acting) = loop {
+        if let Ok(Some(ad)) = store.read_advertisement() {
+            // Only an advertisement *newer* than the state this rank
+            // last saw counts — the dead coordinator's own is stale.
+            if ad.epoch > state.epoch && ad.acting as usize != rank {
+                if let Ok(addr) = ad.addr.parse::<SocketAddr>() {
+                    // A survivor keeps its partition: join with the
+                    // NEEDS_PLAN flag clear.
+                    match Follower::join_with(addr, rank, data_addr, 0, bopts) {
+                        Ok(f) => break (f, ad.acting as usize),
+                        Err(e) => eprintln!(
+                            "pcgraph: rank {rank}: cannot join takeover coordinator ({e}); \
+                             retrying"
+                        ),
+                    }
+                }
+            }
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            bail_bootstrap(format!(
+                "rank {rank}: no takeover coordinator appeared before the deadline \
+                 (standby rank {} may have died with the coordinator)",
+                state.standby
+            ));
+        }
+        backoff.sleep(deadline - now);
+    };
+    // A takeover coordinator dying between PEERS and CTRL surfaces here;
+    // propagate so the caller's retry loop re-enters the election rather
+    // than exiting this rank.
+    let new_state = try_recv_ctrl(&mut follower)?;
+    let tcp = Tcp::mesh(
+        rank,
+        follower.peers().to_vec(),
+        listener,
+        tcp_options(opts.transport),
+    )?;
+    p.cfg = rank_config(opts, ranks, rank, tcp);
+    if let Some(d) = p.cfg.dist.as_mut() {
+        d.gather_root = acting;
+    }
+    p.role = Role::Follower {
+        ctrl: Some(follower),
+        ctrl_state: Some(new_state),
+        acting,
+    };
     Ok(())
 }
 
@@ -1075,6 +1644,12 @@ fn report(stats: &RunStats) {
             stats.barrier_crossings, stats.barrier_spins,
         );
     }
+    if stats.recoveries > 0 {
+        eprintln!(
+            "  recovery {:>13} epochs {:>16} µs repairing",
+            stats.recoveries, stats.recovery_us,
+        );
+    }
 }
 
 fn write_artifact(path: &std::path::Path, what: &str, contents: &str) {
@@ -1123,11 +1698,24 @@ fn conclude<V: PartialEq>(
             emit_observability(opts, &stats);
             exit(EXIT_OK)
         }
-        Role::Rank0 { full, .. } => {
+        Role::Rank0 { full, plans, .. } => {
             print(&values, &stats);
             emit_observability(opts, &stats);
             if opts.verify {
-                let full = full.expect("--verify keeps the full graph on rank 0");
+                // Rank 0 kept the graph it loaded; a takeover coordinator
+                // never saw the input and rebuilds it — bit-exact — from
+                // the replicated per-rank plans.
+                let full = full.unwrap_or_else(|| {
+                    let plans = plans
+                        .as_ref()
+                        .expect("a takeover coordinator keeps the replicated plans");
+                    rebuild_full(plans, need_of(&opts.algorithm)).unwrap_or_else(|e| {
+                        eprintln!(
+                            "pcgraph: cannot rebuild the graph from the control replica: {e}"
+                        );
+                        exit(EXIT_RUNTIME)
+                    })
+                });
                 let seq_cfg = Config {
                     mode: ExecMode::Sequential,
                     ..Config::with_workers(topo.workers())
@@ -1269,6 +1857,20 @@ fn child_args(opts: &Opts, rank: usize, ranks: usize, coordinator: &SocketAddr) 
     // --spin-budget is NOT forwarded: ranks exchange over the socket
     // mesh, which has no spinning barrier, so the flag would be a
     // silent no-op there.
+    //
+    // Failover makes result handling mobile: any rank can end up the
+    // acting coordinator, so the standby designation and the
+    // conclude-side flags (--verify, --stats-json) must reach every
+    // rank. Without failover they stay on rank 0 — the merged run only
+    // ever exists there.
+    let armed = failover_armed(opts);
+    if let Some(standby) = &opts.standby {
+        a.push("--standby".into());
+        a.push(match standby {
+            StandbyArg::Auto => "auto".to_string(),
+            StandbyArg::Fixed(r) => r.to_string(),
+        });
+    }
     if rank == 0 {
         if let Some(input) = &opts.input {
             a.push("--input".into());
@@ -1282,11 +1884,14 @@ fn child_args(opts: &Opts, rank: usize, ranks: usize, coordinator: &SocketAddr) 
         if opts.directed {
             a.push("--directed".into());
         }
+    }
+    if rank == 0 || armed {
         if opts.verify {
             a.push("--verify".into());
         }
-        // The stats dump describes the merged run, which only rank 0
-        // holds; followers' stats frames are inputs to it, not outputs.
+        // The stats dump describes the merged run, which only the acting
+        // coordinator holds; followers' stats frames are inputs to it,
+        // not outputs.
         if let Some(path) = &opts.stats_json {
             a.push("--stats-json".into());
             a.push(path.display().to_string());
@@ -1335,6 +1940,14 @@ fn run_launcher(opts: &Opts) -> ! {
         } else {
             0
         },
+        // Arming failover teaches the launcher that rank 0 is
+        // respawnable and that "the job finished" means the *advertised
+        // acting* rank exited cleanly, not necessarily rank 0.
+        ctrl_dir: failover_armed(opts).then(|| {
+            opts.checkpoint_dir
+                .clone()
+                .expect("failover_armed implies --checkpoint-dir")
+        }),
     };
     match launch::launch(&spec, |rank| child_args(opts, rank, ranks, &coordinator)) {
         Ok(()) => {
@@ -1633,6 +2246,7 @@ mod tests {
             spin_budget: Some(64),
             checkpoint_every: None,
             checkpoint_dir: None,
+            standby: None,
             bind: None,
             trace: None,
             superstep_table: false,
@@ -1751,6 +2365,39 @@ mod tests {
             assert!(!bare.contains(&"--superstep-table".to_string()));
             assert!(!bare.contains(&"--stats-json".to_string()));
         }
+    }
+
+    /// With coordinator failover armed (checkpointing + 2 ranks), the
+    /// conclude-side flags become mobile: any rank can end up the acting
+    /// coordinator, so --verify, --stats-json, and --standby must reach
+    /// every rank — while the loader flags still stay on rank 0 (only
+    /// the initial coordinator ever reads the input).
+    #[test]
+    fn armed_failover_forwards_conclude_flags_to_every_rank() {
+        let mut o = opts("pagerank");
+        o.checkpoint_every = Some(2);
+        o.checkpoint_dir = Some(PathBuf::from("/tmp/ckpts"));
+        o.stats_json = Some(PathBuf::from("/tmp/stats.json"));
+        o.standby = Some(StandbyArg::Fixed(2));
+        assert!(failover_armed(&o));
+        let addr: SocketAddr = "127.0.0.1:4000".parse().unwrap();
+        for rank in 0..4 {
+            let args = child_args(&o, rank, 4, &addr);
+            assert!(args.contains(&"--verify".to_string()), "rank {rank}");
+            let at = args.iter().position(|a| a == "--stats-json").unwrap();
+            assert_eq!(args[at + 1], "/tmp/stats.json", "rank {rank}");
+            let at = args.iter().position(|a| a == "--standby").unwrap();
+            assert_eq!(args[at + 1], "2", "rank {rank}");
+            assert_eq!(
+                args.contains(&"--input".to_string()),
+                rank == 0,
+                "rank {rank}"
+            );
+        }
+        o.standby = Some(StandbyArg::Auto);
+        let args = child_args(&o, 3, 4, &addr);
+        let at = args.iter().position(|a| a == "--standby").unwrap();
+        assert_eq!(args[at + 1], "auto");
     }
 
     #[test]

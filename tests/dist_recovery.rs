@@ -112,18 +112,17 @@ fn finish(child: Child) -> Finished {
 }
 
 /// Launch `algo` over 4 ranks with the given checkpoint cadence, SIGKILL
-/// a pseudo-random non-zero rank once `ready` holds, and return the
-/// launcher's outcome — `None` when the run finished before the victim
-/// could be killed (the caller retries).
-fn kill_one_rank_mid_run(
+/// rank `victim` once `ready` holds, and return the launcher's outcome —
+/// `None` when the run finished before the victim could be killed (the
+/// caller retries).
+fn kill_rank_mid_run(
     algo: &str,
     extra: &[&str],
     ckpt: Option<(&str, &PathBuf)>,
+    victim: usize,
     ready: impl Fn() -> bool,
 ) -> Option<Finished> {
     let _cluster = ONE_CLUSTER.lock().unwrap_or_else(|p| p.into_inner());
-    let ranks = 4;
-    let victim = pick_victim(ranks);
     let mut cmd = pcgraph();
     cmd.args([
         algo,
@@ -155,6 +154,16 @@ fn kill_one_rank_mid_run(
     });
     let done = finish(child);
     killed.then_some(done)
+}
+
+/// [`kill_rank_mid_run`] with a pseudo-random non-zero victim.
+fn kill_one_rank_mid_run(
+    algo: &str,
+    extra: &[&str],
+    ckpt: Option<(&str, &PathBuf)>,
+    ready: impl Fn() -> bool,
+) -> Option<Finished> {
+    kill_rank_mid_run(algo, extra, ckpt, pick_victim(4), ready)
 }
 
 /// [`kill_one_rank_mid_run`], retried when the kill demonstrably landed
@@ -276,6 +285,302 @@ fn kill_before_first_checkpoint_restarts_cold() {
         done.stderr
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// [`kill_rank_mid_run`] on rank 0, retried when the kill demonstrably
+/// landed too late to matter — same policy as
+/// [`kill_one_rank_with_effect`].
+fn kill_rank0_with_effect(
+    algo: &str,
+    extra: &[&str],
+    ckpt: Option<(&str, &PathBuf)>,
+    ready: impl Fn() -> bool,
+) -> Finished {
+    for _ in 0..6 {
+        let Some(done) = kill_rank_mid_run(algo, extra, ckpt, 0, &ready) else {
+            continue; // the run finished before the kill; try again
+        };
+        if done.success && !done.stderr.contains("respawning") {
+            continue; // the kill hit a finished rank; try again
+        }
+        return done;
+    }
+    panic!("{algo}: six rank-0 kills in a row landed after the run finished — grow the workload");
+}
+
+/// The current coordinator advertisement in `dir`, if any.
+fn advertised(dir: &PathBuf) -> Option<pc_ckpt::Advertisement> {
+    pc_ckpt::Store::open(dir)
+        .ok()
+        .and_then(|s| s.read_advertisement().ok())
+        .flatten()
+}
+
+/// Highest committed checkpoint step in `dir` (0 when none).
+fn max_step(dir: &PathBuf) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            let n = name.strip_prefix("step-")?.parse::<u64>().ok()?;
+            e.path().join("MANIFEST").is_file().then_some(n)
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The coordinator-failover acceptance scenario: SIGKILL rank 0 after a
+/// committed checkpoint. The standby elects itself coordinator, the
+/// respawned rank 0 rejoins as a plain follower, the job resumes from
+/// the checkpoint, and the takeover coordinator's `--verify` proves the
+/// final values identical to the sequential reference — reconstructing
+/// the full graph from the replicated plans, since it never saw the
+/// input. `--stats-json` (written by the acting rank) must account the
+/// recovery epochs.
+#[test]
+fn rank_zero_sigkill_elects_standby_and_verifies() {
+    let dir = temp_ckpt_dir("rank0");
+    let stats =
+        std::env::temp_dir().join(format!("pc_dist_rank0_stats_{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&stats);
+    let stats_arg = stats.display().to_string();
+    let done = kill_rank0_with_effect(
+        "pagerank",
+        &["--iters", "120", "--stats-json", &stats_arg],
+        Some(("2", &dir)),
+        || has_manifest(&dir),
+    );
+    assert!(
+        done.success,
+        "launcher failed\n--- stderr ---\n{}",
+        done.stderr
+    );
+    assert!(
+        done.stderr.contains("standby taking over"),
+        "no election ran\n{}",
+        done.stderr
+    );
+    assert!(
+        done.stderr
+            .contains("verify: distributed run matches the sequential reference"),
+        "verification line missing\n{}",
+        done.stderr
+    );
+    let json = std::fs::read_to_string(&stats).expect("stats json written by the acting rank");
+    let recoveries = json
+        .lines()
+        .find(|l| l.contains("\"recoveries\":"))
+        .expect("recoveries field")
+        .to_string();
+    assert!(
+        !recoveries.contains(" 0,"),
+        "no recovery epoch recorded: {recoveries}"
+    );
+    let _ = std::fs::remove_file(&stats);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Rank 0 dying *while a recovery rendezvous is already running* (here:
+/// right after a follower was killed) is survivable too — the survivors'
+/// rejoin or CTRL exchange fails, which escalates to the same election
+/// path instead of a typed exit.
+#[test]
+fn rank_zero_kill_during_recovery_is_survivable() {
+    let dir = temp_ckpt_dir("rank0_mid_recovery");
+    for _ in 0..6 {
+        let _cluster = ONE_CLUSTER.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cmd = pcgraph();
+        cmd.args([
+            "pagerank",
+            "--gen",
+            "wikipedia",
+            "--scale",
+            "10",
+            "--ranks",
+            "4",
+            "--verify",
+            "--iters",
+            "200",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-dir",
+        ]);
+        cmd.arg(&dir);
+        let mut child = cmd.spawn().expect("spawn launcher");
+        // First kill: a follower, to start a recovery epoch.
+        let follower_killed = wait_until(&mut child, Duration::from_secs(60), || {
+            if !has_manifest(&dir) {
+                return false;
+            }
+            match find_rank_pid("pagerank", 2) {
+                Some(pid) => {
+                    sigkill(pid);
+                    true
+                }
+                None => false,
+            }
+        });
+        // Second kill: rank 0, immediately — with luck mid-rendezvous,
+        // but wherever it lands the job must survive.
+        let rank0_killed =
+            follower_killed
+                && wait_until(&mut child, Duration::from_secs(30), || match find_rank_pid(
+                    "pagerank", 0,
+                ) {
+                    Some(pid) => {
+                        sigkill(pid);
+                        true
+                    }
+                    None => false,
+                });
+        let done = finish(child);
+        if !(follower_killed && rank0_killed) {
+            continue; // the run finished before both kills landed
+        }
+        if done.success && !done.stderr.contains("respawning") {
+            continue; // both kills hit finished ranks
+        }
+        assert!(
+            done.success,
+            "launcher failed\n--- stderr ---\n{}",
+            done.stderr
+        );
+        assert!(
+            done.stderr
+                .contains("verify: distributed run matches the sequential reference"),
+            "{}",
+            done.stderr
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+    panic!("six double-kills in a row landed after the run finished — grow the workload");
+}
+
+/// After a first takeover, the new acting coordinator is itself covered:
+/// the refreshed CTRL state designates a new standby (the respawned rank
+/// 0, now the lowest-ranked follower), so killing the takeover
+/// coordinator triggers a second election and the job still verifies.
+#[test]
+fn acting_coordinator_death_after_election_is_survivable() {
+    let dir = temp_ckpt_dir("rank0_reelect");
+    for _ in 0..6 {
+        let _cluster = ONE_CLUSTER.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cmd = pcgraph();
+        cmd.args([
+            "pagerank",
+            "--gen",
+            "wikipedia",
+            "--scale",
+            "10",
+            "--ranks",
+            "4",
+            "--verify",
+            "--iters",
+            "300",
+            "--checkpoint-every",
+            "2",
+            "--checkpoint-dir",
+        ]);
+        cmd.arg(&dir);
+        let mut child = cmd.spawn().expect("spawn launcher");
+        let killed0 = wait_until(&mut child, Duration::from_secs(60), || {
+            if !has_manifest(&dir) {
+                return false;
+            }
+            match find_rank_pid("pagerank", 0) {
+                Some(pid) => {
+                    sigkill(pid);
+                    true
+                }
+                None => false,
+            }
+        });
+        // Wait for the takeover advertisement, then for a fresh checkpoint
+        // to commit under the new coordinator. A new manifest proves the
+        // election fully completed — every rank rejoined, received the
+        // refreshed control replica (which names a new standby), and resumed
+        // the superstep loop. Killing the acting rank before that point is
+        // the documented-unsurvivable double failure, not the scenario under
+        // test.
+        let mut step_at_takeover = None;
+        let killed_acting = killed0
+            && wait_until(&mut child, Duration::from_secs(90), || {
+                let Some(ad) = advertised(&dir) else {
+                    return false;
+                };
+                if ad.acting == 0 {
+                    return false;
+                }
+                let base = *step_at_takeover.get_or_insert_with(|| max_step(&dir));
+                if max_step(&dir) <= base {
+                    return false;
+                }
+                match find_rank_pid("pagerank", ad.acting as usize) {
+                    Some(pid) => {
+                        sigkill(pid);
+                        true
+                    }
+                    None => false,
+                }
+            });
+        let done = finish(child);
+        if !(killed0 && killed_acting) {
+            continue; // the run finished before both kills landed
+        }
+        assert!(
+            done.success,
+            "launcher failed\n--- stderr ---\n{}",
+            done.stderr
+        );
+        if done.stderr.matches("taking over").count() < 2 {
+            continue; // the second kill hit an exiting coordinator
+        }
+        assert!(
+            done.stderr
+                .contains("verify: distributed run matches the sequential reference"),
+            "{}",
+            done.stderr
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        return;
+    }
+    panic!("six double-kills in a row landed after the run finished — grow the workload");
+}
+
+/// Without checkpointing there is no control replica to elect from, so
+/// rank 0's death keeps its pre-existing typed fatal outcome, with no
+/// respawn attempted.
+#[test]
+fn rank_zero_sigkill_without_checkpointing_stays_fatal() {
+    let mut done = None;
+    for _ in 0..6 {
+        done = kill_rank_mid_run("pagerank", &["--iters", "120"], None, 0, || true);
+        if done.as_ref().is_some_and(|d| !d.success) {
+            break;
+        }
+    }
+    let done = done.expect("every kill landed after the run finished");
+    assert!(
+        !done.success,
+        "rank 0 death without checkpointing must fail the job\n{}",
+        done.stderr
+    );
+    assert!(
+        !done.stderr.contains("respawning"),
+        "rank 0 was respawned without failover armed\n{}",
+        done.stderr
+    );
+    assert!(
+        done.stderr.contains("rank 0"),
+        "the failure should name rank 0\n{}",
+        done.stderr
+    );
 }
 
 /// Without checkpointing the same kill keeps its pre-existing typed
